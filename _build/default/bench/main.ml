@@ -1,0 +1,108 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (§5) on the simulated GPU, then times the simulator itself
+   with bechamel micro-benchmarks.
+
+   Usage:
+     bench/main.exe                 run everything (default sizes)
+     bench/main.exe quick           run everything at reduced sizes
+     bench/main.exe fig16 q1 ...    run selected experiments
+     bench/main.exe bechamel        only the wall-clock micro-benchmarks *)
+
+let known = [ "table2"; "fig4"; "fig16"; "fig17"; "fig18"; "fig19"; "fig20";
+              "fig21"; "table3"; "q1"; "q21"; "ablation-input-sharing";
+              "ablation-rewriting"; "ablation-cta-threads";
+              "ablation-tile-capacity" ]
+
+let run_experiments ~quick names =
+  let all = Harness.Experiments.all ~quick () @ Harness.Ablations.all ~quick () in
+  let wanted =
+    match names with
+    | [] -> all
+    | _ ->
+        List.filter_map
+          (fun n ->
+            match List.assoc_opt n all with
+            | Some o -> Some (n, o)
+            | None ->
+                Printf.eprintf "unknown experiment %s (known: %s)\n" n
+                  (String.concat ", " known);
+                None)
+          names
+  in
+  List.iter
+    (fun (name, outcome) ->
+      Printf.printf "[%s]\n" name;
+      Harness.Report.print (outcome ()))
+    wanted
+
+(* --- bechamel micro-benchmarks: wall-clock cost of the simulator ---------- *)
+
+let bechamel_suite () =
+  let open Bechamel in
+  let pattern_test (w : Tpch.Patterns.workload) ~rows =
+    let bases = w.Tpch.Patterns.gen ~seed:1 ~rows in
+    let program = Weaver.Driver.compile w.Tpch.Patterns.plan in
+    Test.make
+      ~name:(Printf.sprintf "%s/%d" w.Tpch.Patterns.name rows)
+      (Staged.stage (fun () ->
+           ignore (Weaver.Driver.run program bases ~mode:Weaver.Runtime.Resident)))
+  in
+  let compile_test =
+    let w = Tpch.Patterns.pattern_b () in
+    Test.make ~name:"compile/pattern-b"
+      (Staged.stage (fun () ->
+           ignore (Weaver.Driver.compile w.Tpch.Patterns.plan)))
+  in
+  let optimize_test =
+    let w = Tpch.Patterns.pattern_a () in
+    let ir = Weaver.Fusion.build w.Tpch.Patterns.plan [ 0; 1; 2; 3 ] in
+    let lay = Weaver.Layout.compute Weaver.Config.default w.Tpch.Patterns.plan ir in
+    let ks = Weaver.Codegen.generate Weaver.Config.default ~name:"bench" ir lay in
+    Test.make ~name:"optimize/compute-kernel"
+      (Staged.stage (fun () ->
+           ignore
+             (Weaver.Optimizer.optimize Weaver.Optimizer.O3
+                ks.Weaver.Codegen.compute)))
+  in
+  let tests =
+    Test.make_grouped ~name:"kernel_weaver"
+      [
+        pattern_test (Tpch.Patterns.pattern_a ()) ~rows:20_000;
+        pattern_test (Tpch.Patterns.pattern_b ()) ~rows:10_000;
+        pattern_test (Tpch.Patterns.pattern_e ()) ~rows:20_000;
+        compile_test;
+        optimize_test;
+      ]
+  in
+  let benchmark () =
+    let instances = Toolkit.Instance.[ monotonic_clock ] in
+    let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) () in
+    Benchmark.all cfg instances tests
+  in
+  let analyze results =
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+    in
+    Analyze.all ols Toolkit.Instance.monotonic_clock results
+  in
+  let results = analyze (benchmark ()) in
+  Printf.printf "\n== bechamel: simulator wall-clock (ns per run) ==\n";
+  Hashtbl.iter
+    (fun name ols ->
+      match Analyze.OLS.estimates ols with
+      | Some [ t ] -> Printf.printf "%-40s %14.0f ns\n" name t
+      | _ -> Printf.printf "%-40s (no estimate)\n" name)
+    results
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  match args with
+  | [ "bechamel" ] -> bechamel_suite ()
+  | [ "quick" ] ->
+      run_experiments ~quick:true [];
+      bechamel_suite ()
+  | [] ->
+      run_experiments ~quick:false [];
+      bechamel_suite ()
+  | names ->
+      run_experiments ~quick:false (List.filter (fun n -> n <> "quick") names)

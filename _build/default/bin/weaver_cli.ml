@@ -1,0 +1,272 @@
+(* weaver-cli: drive Kernel Weaver from the command line.
+
+   Subcommands:
+     plan    <query.dl>             show the query plan and fusion groups
+     source  <query.dl>             emit CUDA-style source of all kernels
+     exec    <query.dl> [opts]      run a Datalog query (CSV or random data)
+     profile <query.dl> [opts]      per-kernel time/traffic breakdown
+     bench   [experiment ...]       regenerate the paper's tables/figures *)
+
+open Cmdliner
+open Relation_lib
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+(* --- CSV relations --------------------------------------------------------- *)
+
+let split_csv_line line =
+  String.split_on_char ',' line |> List.map String.trim
+
+let parse_value dt s =
+  match (dt : Dtype.t) with
+  | Dtype.I32 | Dtype.I64 | Dtype.Date -> int_of_string s
+  | Dtype.F32 -> Value.of_f32 (float_of_string s)
+  | Dtype.Bool -> Value.of_bool (bool_of_string s)
+
+let load_csv schema path =
+  let content = read_file path in
+  let lines =
+    String.split_on_char '\n' content
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "")
+  in
+  match lines with
+  | [] -> Relation.empty schema
+  | header :: rows ->
+      let ar = Schema.arity schema in
+      (* accept a header naming the attributes, or treat it as data *)
+      let is_header =
+        List.exists
+          (fun cell -> match int_of_string_opt cell with None -> true | Some _ -> (
+            match float_of_string_opt cell with None -> true | Some _ -> false))
+          (split_csv_line header)
+        && (try
+              List.for_all2
+                (fun cell i -> String.lowercase_ascii cell = String.lowercase_ascii (Schema.name schema i))
+                (split_csv_line header)
+                (List.init ar Fun.id)
+            with Invalid_argument _ -> false)
+      in
+      let data_rows = if is_header then rows else header :: rows in
+      let tuples =
+        List.map
+          (fun line ->
+            let cells = split_csv_line line in
+            if List.length cells <> ar then
+              failwith (Printf.sprintf "%s: row with %d cells, expected %d" path (List.length cells) ar);
+            Array.of_list
+              (List.mapi (fun i c -> parse_value (Schema.dtype schema i) c) cells))
+          data_rows
+      in
+      Relation.create schema tuples
+
+let print_csv rel =
+  let schema = Relation.schema rel in
+  let ar = Schema.arity schema in
+  print_endline
+    (String.concat "," (List.init ar (fun i -> Schema.name schema i)));
+  Relation.iter
+    (fun tup ->
+      print_endline
+        (String.concat ","
+           (List.init ar (fun i -> Value.to_string (Schema.dtype schema i) tup.(i)))))
+    rel
+
+(* --- shared arguments ------------------------------------------------------ *)
+
+let query_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"QUERY.dl"
+         ~doc:"Datalog query file")
+
+let rows_arg =
+  Arg.(value & opt int 10_000 & info [ "rows" ] ~docv:"N"
+         ~doc:"Rows generated for relations without CSV input")
+
+let inputs_arg =
+  Arg.(value & opt_all (pair ~sep:'=' string file) []
+       & info [ "input"; "i" ] ~docv:"REL=FILE.csv"
+           ~doc:"Bind a relation to a CSV file (repeatable)")
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random data seed")
+
+let fuse_arg =
+  Arg.(value & flag & info [ "no-fuse" ] ~doc:"Disable kernel fusion")
+
+let opt_arg =
+  Arg.(value & flag & info [ "O0" ] ~doc:"Disable KIR optimization")
+
+let rewrite_arg =
+  Arg.(value & flag & info [ "rewrite" ]
+         ~doc:"Apply the plan rewriter (operator rescheduling) first")
+
+let streamed_arg =
+  Arg.(value & flag & info [ "streamed" ]
+         ~doc:"Stream every operator's data over PCIe (large-input mode)")
+
+let compile_query path = Datalog.compile (read_file path)
+
+let bind_data q ~rows ~seed inputs =
+  List.mapi
+    (fun i name ->
+      let schema = Qplan.Plan.base_schema q.Datalog.plan i in
+      match List.assoc_opt name inputs with
+      | Some csv -> (name, load_csv schema csv)
+      | None ->
+          let st = Generator.make_state (seed + i) in
+          ( name,
+            Generator.random_relation ~sorted_key_arity:1 st schema ~count:rows
+          ))
+    q.Datalog.base_names
+
+(* --- plan ------------------------------------------------------------------ *)
+
+let maybe_rewrite rw plan = if rw then Qplan.Rewrite.optimize plan else plan
+
+let plan_cmd =
+  let run path rw =
+    let q = compile_query path in
+    let plan = maybe_rewrite rw q.Datalog.plan in
+    Format.printf "%a@." Qplan.Plan.pp plan;
+    let program = Weaver.Driver.compile plan in
+    print_string (Weaver.Driver.group_summary program);
+    `Ok ()
+  in
+  Cmd.v (Cmd.info "plan" ~doc:"Show the query plan and chosen fusion groups")
+    Term.(ret (const run $ query_arg $ rewrite_arg))
+
+(* --- source ---------------------------------------------------------------- *)
+
+let source_cmd =
+  let run path no_fuse o0 =
+    let q = compile_query path in
+    let program =
+      Weaver.Driver.compile ~fuse:(not no_fuse)
+        ~opt:(if o0 then Weaver.Optimizer.O0 else Weaver.Optimizer.O3)
+        q.Datalog.plan
+    in
+    print_string (Weaver.Runtime.kernels_source program);
+    `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "source" ~doc:"Emit CUDA-style source for all generated kernels")
+    Term.(ret (const run $ query_arg $ fuse_arg $ opt_arg))
+
+(* --- exec ------------------------------------------------------------------ *)
+
+let exec_cmd =
+  let run path rows inputs seed no_fuse o0 streamed =
+    let q = compile_query path in
+    let named = bind_data q ~rows ~seed inputs in
+    let bases = Datalog.bind q named in
+    let program =
+      Weaver.Driver.compile ~fuse:(not no_fuse)
+        ~opt:(if o0 then Weaver.Optimizer.O0 else Weaver.Optimizer.O3)
+        q.Datalog.plan
+    in
+    let mode =
+      if streamed then Weaver.Runtime.Streamed else Weaver.Runtime.Resident
+    in
+    let result = Weaver.Driver.run program bases ~mode in
+    let outputs = Datalog.outputs_of_sinks q result.Weaver.Runtime.sinks in
+    List.iter
+      (fun (name, rel) ->
+        Printf.printf "-- %s (%d tuples)\n" name (Relation.count rel);
+        print_csv rel)
+      outputs;
+    Format.printf "@.%a@." Weaver.Metrics.pp result.Weaver.Runtime.metrics;
+    `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "exec"
+       ~doc:"Execute a Datalog query on the simulated GPU and print results")
+    Term.(
+      ret
+        (const run $ query_arg $ rows_arg $ inputs_arg $ seed_arg $ fuse_arg
+       $ opt_arg $ streamed_arg))
+
+(* --- profile ---------------------------------------------------------------- *)
+
+let profile_cmd =
+  let run path rows inputs seed no_fuse o0 =
+    let q = compile_query path in
+    let named = bind_data q ~rows ~seed inputs in
+    let bases = Datalog.bind q named in
+    let program =
+      Weaver.Driver.compile ~fuse:(not no_fuse)
+        ~opt:(if o0 then Weaver.Optimizer.O0 else Weaver.Optimizer.O3)
+        q.Datalog.plan
+    in
+    let result = Weaver.Driver.run program bases ~mode:Weaver.Runtime.Resident in
+    let m = result.Weaver.Runtime.metrics in
+    let total = m.Weaver.Metrics.kernel_cycles in
+    Printf.printf "%-32s %8s %12s %7s %12s %12s
+" "kernel" "launches"
+      "cycles" "share" "instructions" "global bytes";
+    List.iter
+      (fun (name, n, cycles, (s : Gpu_sim.Stats.t)) ->
+        Printf.printf "%-32s %8d %12.3e %6.1f%% %12d %12d
+" name n cycles
+          (100.0 *. cycles /. total)
+          s.Gpu_sim.Stats.instructions
+          (Gpu_sim.Stats.global_bytes s))
+      (Weaver.Metrics.by_kernel m);
+    Printf.printf "
+total: %.3e cycles over %d launches (%d retries)
+" total
+      m.Weaver.Metrics.launches m.Weaver.Metrics.retries;
+    `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:"Run a query and print a per-kernel time/traffic breakdown")
+    Term.(
+      ret
+        (const run $ query_arg $ rows_arg $ inputs_arg $ seed_arg $ fuse_arg
+       $ opt_arg))
+
+(* --- bench ------------------------------------------------------------------ *)
+
+let bench_cmd =
+  let names_arg =
+    Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT"
+           ~doc:"table2 fig4 fig16 fig17 fig18 fig19 fig20 fig21 table3 q1 q21")
+  in
+  let quick_arg =
+    Arg.(value & flag & info [ "quick" ] ~doc:"Reduced problem sizes")
+  in
+  let run names quick =
+    let all = Harness.Experiments.all ~quick () @ Harness.Ablations.all ~quick () in
+    let wanted =
+      match names with
+      | [] -> all
+      | _ ->
+          List.filter_map
+            (fun n ->
+              match List.assoc_opt n all with
+              | Some o -> Some (n, o)
+              | None ->
+                  Printf.eprintf "unknown experiment: %s\n" n;
+                  None)
+            names
+    in
+    List.iter
+      (fun (name, o) ->
+        Printf.printf "[%s]\n" name;
+        Harness.Report.print (o ()))
+      wanted;
+    `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "bench" ~doc:"Regenerate the paper's tables and figures")
+    Term.(ret (const run $ names_arg $ quick_arg))
+
+let () =
+  let doc = "Kernel Weaver: fused relational-algebra kernels on a simulated GPU" in
+  let info = Cmd.info "weaver-cli" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ plan_cmd; source_cmd; exec_cmd; profile_cmd; bench_cmd ]))

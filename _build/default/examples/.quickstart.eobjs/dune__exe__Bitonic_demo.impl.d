@@ -1,0 +1,1 @@
+examples/bitonic_demo.ml: Array Device Executor Format Gpu_sim Kir Memory Printf Ra_lib Random

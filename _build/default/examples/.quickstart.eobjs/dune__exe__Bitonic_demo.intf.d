@@ -1,0 +1,1 @@
+examples/bitonic_demo.mli:

@@ -1,0 +1,1 @@
+examples/datalog_query.ml: Array Datalog Format Generator List Printf Qplan Rel_ops Relation Relation_lib String Weaver

@@ -1,0 +1,1 @@
+examples/datalog_query.mli:

@@ -1,0 +1,1 @@
+examples/exists_queries.ml: Array Datalog Dtype Format Generator List Op Plan Printf Qplan Rel_ops Relation Relation_lib Schema Weaver

@@ -1,0 +1,1 @@
+examples/exists_queries.mli:

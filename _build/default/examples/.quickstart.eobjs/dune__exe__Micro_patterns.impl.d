@@ -1,0 +1,1 @@
+examples/micro_patterns.ml: Array Gpu_sim List Printf Sys Tpch Weaver

@@ -1,0 +1,1 @@
+examples/micro_patterns.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Dtype Format Generator List Op Plan Pred Printf Qplan Rel_ops Relation Relation_lib Schema Weaver

@@ -1,0 +1,1 @@
+examples/tpch_q1.ml: Executor Format Gpu_sim List Printf Relation_lib String Timing Tpch Weaver

@@ -1,0 +1,1 @@
+examples/tpch_q1.mli:

@@ -1,0 +1,27 @@
+(* The paper's TPC-H-derived micro-benchmark patterns (Fig. 14) —
+   run each one fused and unfused and print the Fig. 16-style comparison.
+
+     dune exec examples/micro_patterns.exe [rows] *)
+
+let () =
+  let rows =
+    if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 100_000
+  in
+  Printf.printf "patterns (a)-(e) at %d rows:\n\n%!" rows;
+  List.iter
+    (fun (w : Tpch.Patterns.workload) ->
+      let bases = w.Tpch.Patterns.gen ~seed:1 ~rows in
+      let cmp =
+        Weaver.Driver.compare_fusion w.Tpch.Patterns.plan bases
+          ~mode:Weaver.Runtime.Resident
+      in
+      let f = cmp.Weaver.Driver.fused.Weaver.Runtime.metrics in
+      let u = cmp.Weaver.Driver.unfused.Weaver.Runtime.metrics in
+      Printf.printf
+        "%-24s speedup %.2fx   launches %2d -> %2d   global bytes %9d -> %9d\n%!"
+        w.Tpch.Patterns.name
+        (u.Weaver.Metrics.kernel_cycles /. f.Weaver.Metrics.kernel_cycles)
+        u.Weaver.Metrics.launches f.Weaver.Metrics.launches
+        (Gpu_sim.Stats.global_bytes u.Weaver.Metrics.stats)
+        (Gpu_sim.Stats.global_bytes f.Weaver.Metrics.stats))
+    (Tpch.Patterns.all ())

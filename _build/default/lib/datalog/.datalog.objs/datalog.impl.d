@@ -1,0 +1,1 @@
+lib/datalog/datalog.pp.ml: Array Ast Lexer List Parser Printf Qplan Relation Relation_lib Schema Translate

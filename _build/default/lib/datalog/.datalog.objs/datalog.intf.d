@@ -1,0 +1,1 @@
+lib/datalog/datalog.pp.mli: Ast Lexer Parser Qplan Relation_lib Translate

@@ -1,0 +1,1 @@
+lib/datalog/ast.pp.ml: Format List Ppx_deriving_runtime Qplan Relation_lib

@@ -1,0 +1,1 @@
+lib/datalog/ast.pp.mli: Ppx_deriving_runtime Qplan Relation_lib

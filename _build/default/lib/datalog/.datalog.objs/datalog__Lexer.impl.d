@@ -1,0 +1,1 @@
+lib/datalog/lexer.pp.ml: List Ppx_deriving_runtime Printf String

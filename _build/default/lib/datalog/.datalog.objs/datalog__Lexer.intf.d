@@ -1,0 +1,1 @@
+lib/datalog/lexer.pp.mli: Ppx_deriving_runtime

@@ -1,0 +1,1 @@
+lib/datalog/parser.pp.ml: Ast Lexer List Printf Qplan Relation_lib

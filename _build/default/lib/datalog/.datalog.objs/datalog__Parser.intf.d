@@ -1,0 +1,1 @@
+lib/datalog/parser.pp.mli: Ast

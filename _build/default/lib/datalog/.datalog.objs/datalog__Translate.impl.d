@@ -1,0 +1,1 @@
+lib/datalog/translate.pp.ml: Ast Fun Hashtbl Int List Op Option Plan Pred Printf Qplan Relation_lib Schema String

@@ -1,0 +1,1 @@
+lib/datalog/translate.pp.mli: Ast Qplan

@@ -1,0 +1,41 @@
+type dtype = Relation_lib.Dtype.t
+
+let pp_dtype ppf d = Format.fprintf ppf "%s" (Relation_lib.Dtype.to_string d)
+let equal_dtype = Relation_lib.Dtype.equal
+
+type term =
+  | Var of string
+  | Int of int
+  | Float of float
+  | Arith of Qplan.Pred.arith * term * term
+[@@deriving show, eq]
+
+type cmp = Qplan.Pred.cmp [@@deriving show, eq]
+
+type atom = { pred : string; args : term list } [@@deriving show, eq]
+
+type literal = Atom of atom | Neg of atom | Cmp of cmp * term * term
+[@@deriving show, eq]
+
+type rule = { head : atom; body : literal list } [@@deriving show, eq]
+
+type decl = { rel_name : string; attrs : (string * dtype) list }
+[@@deriving show, eq]
+
+type statement = Decl of decl | Rule of rule | Output of string
+[@@deriving show, eq]
+
+type program = { decls : decl list; rules : rule list; outputs : string list }
+[@@deriving show, eq]
+
+let program_of_statements stmts =
+  let decls, rules, outputs =
+    List.fold_left
+      (fun (ds, rs, os) s ->
+        match s with
+        | Decl d -> (d :: ds, rs, os)
+        | Rule r -> (ds, r :: rs, os)
+        | Output o -> (ds, rs, o :: os))
+      ([], [], []) stmts
+  in
+  { decls = List.rev decls; rules = List.rev rules; outputs = List.rev outputs }

@@ -1,0 +1,56 @@
+(** Abstract syntax of the Datalog front-end.
+
+    The supported subset (Soufflé-flavoured surface syntax) covers the
+    paper's usage — declarative conjunctive queries over large relations:
+
+    {v
+    .decl items(k: i32, price: f32, disc: f32)
+    .decl cheap(k: i32, net: f32)
+    cheap(K, P * (1.0 - D)) :- items(K, P, D), P < 100.0, K != 7.
+    .output cheap
+    v}
+
+    Rules are conjunctive (joins + comparisons + arithmetic heads) with
+    safe stratified negation ([!p(X)] compiles to an ANTIJOIN); a positive
+    atom that binds no new variables compiles to a SEMIJOIN (set
+    semantics). Multiple rules per head union; recursion is rejected at
+    translation, matching the paper's scope ("this work only considers
+    non-recursive queries"). *)
+
+type dtype = Relation_lib.Dtype.t
+
+type term =
+  | Var of string
+  | Int of int
+  | Float of float
+  | Arith of Qplan.Pred.arith * term * term
+[@@deriving show, eq]
+
+type cmp = Qplan.Pred.cmp [@@deriving show, eq]
+
+type atom = { pred : string; args : term list } [@@deriving show, eq]
+
+type literal =
+  | Atom of atom
+  | Neg of atom  (** negated atom: [!p(X,...)]; all variables must be
+                     bound by positive atoms (safe, stratified negation) *)
+  | Cmp of cmp * term * term
+[@@deriving show, eq]
+
+type rule = { head : atom; body : literal list } [@@deriving show, eq]
+
+type decl = { rel_name : string; attrs : (string * dtype) list }
+[@@deriving show, eq]
+
+type statement = Decl of decl | Rule of rule | Output of string
+[@@deriving show, eq]
+
+type program = {
+  decls : decl list;
+  rules : rule list;
+  outputs : string list;
+}
+[@@deriving show, eq]
+
+val program_of_statements : statement list -> program
+(** Preserves statement order within each category. *)

@@ -1,0 +1,167 @@
+type token =
+  | IDENT of string
+  | VAR of string
+  | INT of int
+  | FLOAT of float
+  | DIRECTIVE of string
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | COLON
+  | DOT
+  | TURNSTILE
+  | EQ
+  | NE
+  | BANG
+  | LT
+  | LE
+  | GT
+  | GE
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | EOF
+[@@deriving show, eq]
+
+exception Lex_error of { line : int; message : string }
+
+let error line fmt =
+  Printf.ksprintf (fun message -> raise (Lex_error { line; message })) fmt
+
+let is_digit c = c >= '0' && c <= '9'
+let is_lower c = (c >= 'a' && c <= 'z') || c = '_'
+let is_upper c = c >= 'A' && c <= 'Z'
+let is_ident_char c = is_lower c || is_upper c || is_digit c
+
+let tokenize src =
+  let n = String.length src in
+  let toks = ref [] in
+  let line = ref 1 in
+  let i = ref 0 in
+  let push t = toks := (t, !line) :: !toks in
+  let peek k = if !i + k < n then Some src.[!i + k] else None in
+  while !i < n do
+    let c = src.[!i] in
+    if c = '\n' then begin
+      incr line;
+      incr i
+    end
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = '%' then begin
+      while !i < n && src.[!i] <> '\n' do
+        incr i
+      done
+    end
+    else if is_digit c then begin
+      let start = !i in
+      while !i < n && is_digit src.[!i] do
+        incr i
+      done;
+      if !i < n && src.[!i] = '.' && !i + 1 < n && is_digit src.[!i + 1] then begin
+        incr i;
+        while !i < n && is_digit src.[!i] do
+          incr i
+        done;
+        push (FLOAT (float_of_string (String.sub src start (!i - start))))
+      end
+      else push (INT (int_of_string (String.sub src start (!i - start))))
+    end
+    else if is_lower c then begin
+      let start = !i in
+      while !i < n && is_ident_char src.[!i] do
+        incr i
+      done;
+      push (IDENT (String.sub src start (!i - start)))
+    end
+    else if is_upper c then begin
+      let start = !i in
+      while !i < n && is_ident_char src.[!i] do
+        incr i
+      done;
+      push (VAR (String.sub src start (!i - start)))
+    end
+    else
+      match c with
+      | '.' ->
+          if (match peek 1 with Some c1 -> is_lower c1 | None -> false) then begin
+            incr i;
+            let start = !i in
+            while !i < n && is_ident_char src.[!i] do
+              incr i
+            done;
+            push (DIRECTIVE (String.sub src start (!i - start)))
+          end
+          else begin
+            push DOT;
+            incr i
+          end
+      | '(' ->
+          push LPAREN;
+          incr i
+      | ')' ->
+          push RPAREN;
+          incr i
+      | ',' ->
+          push COMMA;
+          incr i
+      | ':' ->
+          if peek 1 = Some '-' then begin
+            push TURNSTILE;
+            i := !i + 2
+          end
+          else begin
+            push COLON;
+            incr i
+          end
+      | '=' ->
+          if peek 1 = Some '=' then begin
+            push EQ;
+            i := !i + 2
+          end
+          else begin
+            push EQ;
+            incr i
+          end
+      | '!' ->
+          if peek 1 = Some '=' then begin
+            push NE;
+            i := !i + 2
+          end
+          else begin
+            push BANG;
+            incr i
+          end
+      | '<' ->
+          if peek 1 = Some '=' then begin
+            push LE;
+            i := !i + 2
+          end
+          else begin
+            push LT;
+            incr i
+          end
+      | '>' ->
+          if peek 1 = Some '=' then begin
+            push GE;
+            i := !i + 2
+          end
+          else begin
+            push GT;
+            incr i
+          end
+      | '+' ->
+          push PLUS;
+          incr i
+      | '-' ->
+          push MINUS;
+          incr i
+      | '*' ->
+          push STAR;
+          incr i
+      | '/' ->
+          push SLASH;
+          incr i
+      | c -> error !line "unexpected character %C" c
+  done;
+  List.rev ((EOF, !line) :: !toks)

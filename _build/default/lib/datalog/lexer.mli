@@ -1,0 +1,33 @@
+(** Hand-written lexer for the Datalog subset. *)
+
+type token =
+  | IDENT of string  (** lowercase-initial: relation names, type names *)
+  | VAR of string  (** uppercase-initial: variables *)
+  | INT of int
+  | FLOAT of float
+  | DIRECTIVE of string  (** [.decl], [.output], ... *)
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | COLON
+  | DOT  (** rule terminator *)
+  | TURNSTILE  (** [:-] *)
+  | EQ
+  | NE
+  | BANG  (** [!] introducing a negated atom *)
+  | LT
+  | LE
+  | GT
+  | GE
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | EOF
+[@@deriving show, eq]
+
+exception Lex_error of { line : int; message : string }
+
+val tokenize : string -> (token * int) list
+(** Token stream with line numbers; [%] comments run to end of line.
+    Raises {!Lex_error}. *)

@@ -1,0 +1,169 @@
+open Lexer
+
+exception Parse_error of { line : int; message : string }
+
+type stream = { mutable toks : (token * int) list }
+
+let error line fmt =
+  Printf.ksprintf (fun message -> raise (Parse_error { line; message })) fmt
+
+let peek s = match s.toks with (t, l) :: _ -> (t, l) | [] -> (EOF, 0)
+
+let advance s = match s.toks with _ :: rest -> s.toks <- rest | [] -> ()
+
+let next s =
+  let t = peek s in
+  advance s;
+  t
+
+let expect s tok what =
+  let t, l = next s in
+  if not (Lexer.equal_token t tok) then
+    error l "expected %s, found %s" what (Lexer.show_token t)
+
+let dtype_of_name l = function
+  | "i32" | "number" | "int" -> Relation_lib.Dtype.I32
+  | "i64" -> Relation_lib.Dtype.I64
+  | "f32" | "float" -> Relation_lib.Dtype.F32
+  | "bool" -> Relation_lib.Dtype.Bool
+  | "date" -> Relation_lib.Dtype.Date
+  | n -> error l "unknown type %s" n
+
+(* term := factor (('+'|'-') factor)* ; factor := primary (('*'|'/') primary)* *)
+let rec parse_term s =
+  let lhs = parse_factor s in
+  let rec loop lhs =
+    match peek s with
+    | PLUS, _ ->
+        advance s;
+        loop (Ast.Arith (Qplan.Pred.Add, lhs, parse_factor s))
+    | MINUS, _ ->
+        advance s;
+        loop (Ast.Arith (Qplan.Pred.Sub, lhs, parse_factor s))
+    | _ -> lhs
+  in
+  loop lhs
+
+and parse_factor s =
+  let lhs = parse_primary s in
+  let rec loop lhs =
+    match peek s with
+    | STAR, _ ->
+        advance s;
+        loop (Ast.Arith (Qplan.Pred.Mul, lhs, parse_primary s))
+    | SLASH, _ ->
+        advance s;
+        loop (Ast.Arith (Qplan.Pred.Div, lhs, parse_primary s))
+    | _ -> lhs
+  in
+  loop lhs
+
+and parse_primary s =
+  match next s with
+  | VAR v, _ -> Ast.Var v
+  | INT n, _ -> Ast.Int n
+  | FLOAT f, _ -> Ast.Float f
+  | MINUS, _ -> (
+      match parse_primary s with
+      | Ast.Int n -> Ast.Int (-n)
+      | Ast.Float f -> Ast.Float (-.f)
+      | t -> Ast.Arith (Qplan.Pred.Sub, Ast.Int 0, t))
+  | LPAREN, _ ->
+      let t = parse_term s in
+      expect s RPAREN "')'";
+      t
+  | t, l -> error l "expected a term, found %s" (Lexer.show_token t)
+
+let parse_args s =
+  expect s LPAREN "'('";
+  let rec loop acc =
+    let t = parse_term s in
+    match next s with
+    | COMMA, _ -> loop (t :: acc)
+    | RPAREN, _ -> List.rev (t :: acc)
+    | t', l -> error l "expected ',' or ')', found %s" (Lexer.show_token t')
+  in
+  loop []
+
+let cmp_of_token = function
+  | EQ -> Some Qplan.Pred.Eq
+  | NE -> Some Qplan.Pred.Ne
+  | LT -> Some Qplan.Pred.Lt
+  | LE -> Some Qplan.Pred.Le
+  | GT -> Some Qplan.Pred.Gt
+  | GE -> Some Qplan.Pred.Ge
+  | _ -> None
+
+let parse_literal s =
+  match peek s with
+  | BANG, _ -> (
+      advance s;
+      match next s with
+      | IDENT name, _ -> Ast.Neg { Ast.pred = name; args = parse_args s }
+      | t, l -> error l "expected a relation after '!', found %s" (Lexer.show_token t))
+  | IDENT name, _ ->
+      advance s;
+      Ast.Atom { Ast.pred = name; args = parse_args s }
+  | _ -> (
+      let lhs = parse_term s in
+      let t, l = next s in
+      match cmp_of_token t with
+      | Some c -> Ast.Cmp (c, lhs, parse_term s)
+      | None -> error l "expected a comparison, found %s" (Lexer.show_token t))
+
+let parse_decl s =
+  let name, _ =
+    match next s with
+    | IDENT n, l -> (n, l)
+    | t, l -> error l "expected relation name, found %s" (Lexer.show_token t)
+  in
+  expect s LPAREN "'('";
+  let rec loop acc =
+    let attr =
+      match next s with
+      | IDENT a, _ | VAR a, _ -> a
+      | t, l -> error l "expected attribute name, found %s" (Lexer.show_token t)
+    in
+    expect s COLON "':'";
+    let ty =
+      match next s with
+      | IDENT t, l -> dtype_of_name l t
+      | t, l -> error l "expected type, found %s" (Lexer.show_token t)
+    in
+    match next s with
+    | COMMA, _ -> loop ((attr, ty) :: acc)
+    | RPAREN, _ -> List.rev ((attr, ty) :: acc)
+    | t, l -> error l "expected ',' or ')', found %s" (Lexer.show_token t)
+  in
+  { Ast.rel_name = name; attrs = loop [] }
+
+let parse_rule s name =
+  let head = { Ast.pred = name; args = parse_args s } in
+  match next s with
+  | DOT, _ -> { Ast.head; body = [] }
+  | TURNSTILE, _ ->
+      let rec loop acc =
+        let lit = parse_literal s in
+        match next s with
+        | COMMA, _ -> loop (lit :: acc)
+        | DOT, _ -> List.rev (lit :: acc)
+        | t, l -> error l "expected ',' or '.', found %s" (Lexer.show_token t)
+      in
+      { Ast.head; body = loop [] }
+  | t, l -> error l "expected ':-' or '.', found %s" (Lexer.show_token t)
+
+let parse src =
+  let s = { toks = Lexer.tokenize src } in
+  let rec loop acc =
+    match next s with
+    | EOF, _ -> List.rev acc
+    | DIRECTIVE "decl", _ -> loop (Ast.Decl (parse_decl s) :: acc)
+    | DIRECTIVE "output", _ -> (
+        match next s with
+        | IDENT n, _ -> loop (Ast.Output n :: acc)
+        | t, l -> error l "expected relation name, found %s" (Lexer.show_token t))
+    | DIRECTIVE d, l -> error l "unknown directive .%s" d
+    | IDENT name, _ -> loop (Ast.Rule (parse_rule s name) :: acc)
+    | t, l -> error l "expected a statement, found %s" (Lexer.show_token t)
+  in
+  Ast.program_of_statements (loop [])

@@ -1,0 +1,6 @@
+(** Recursive-descent parser for the Datalog subset (see {!Ast}). *)
+
+exception Parse_error of { line : int; message : string }
+
+val parse : string -> Ast.program
+(** Raises {!Parse_error} or {!Lexer.Lex_error}. *)

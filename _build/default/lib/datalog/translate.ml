@@ -1,0 +1,351 @@
+open Relation_lib
+open Qplan
+
+exception Translate_error of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Translate_error s)) fmt
+
+type compiled = {
+  plan : Plan.t;
+  base_names : string list;
+  output_nodes : (string * int) list;
+}
+
+(* bindings: variable -> attribute index of the current intermediate *)
+type env = { source : Plan.source; bindings : (string * int) list }
+
+let atom_rels body =
+  List.filter_map
+    (function
+      | Ast.Atom a | Ast.Neg a -> Some a.Ast.pred
+      | Ast.Cmp _ -> None)
+    body
+
+(* topologically order IDB relations; reject recursion *)
+let order_idb rules idb =
+  let depends_on name =
+    List.concat_map
+      (fun (r : Ast.rule) ->
+        if r.Ast.head.Ast.pred = name then
+          List.filter (fun p -> List.mem p idb) (atom_rels r.Ast.body)
+        else [])
+      rules
+    |> List.sort_uniq String.compare
+  in
+  let rec visit state order name =
+    match List.assoc_opt name state with
+    | Some `Done -> (state, order)
+    | Some `Active -> err "recursive rules are not supported (%s)" name
+    | None ->
+        let state = (name, `Active) :: state in
+        let state, order =
+          List.fold_left
+            (fun (st, ord) dep -> visit st ord dep)
+            (state, order) (depends_on name)
+        in
+        ((name, `Done) :: state, name :: order)
+  in
+  let _, order =
+    List.fold_left (fun (st, ord) n -> visit st ord n) ([], []) idb
+  in
+  List.rev order
+
+let rec term_to_expr bindings (t : Ast.term) =
+  match t with
+  | Ast.Var v -> (
+      match List.assoc_opt v bindings with
+      | Some i -> Pred.Attr i
+      | None -> err "unbound variable %s" v)
+  | Ast.Int n -> Pred.Int n
+  | Ast.Float f -> Pred.F32 f
+  | Ast.Arith (op, a, b) ->
+      Pred.Bin (op, term_to_expr bindings a, term_to_expr bindings b)
+
+(* SELECT conditions induced by one atom's argument list: constants and
+   repeated variables.  Returns the predicate (or True) and the variable
+   bindings (first occurrence wins). *)
+let atom_constraints args =
+  let preds = ref [] in
+  let bindings = ref [] in
+  List.iteri
+    (fun i (t : Ast.term) ->
+      match t with
+      | Ast.Var v -> (
+          match List.assoc_opt v !bindings with
+          | Some j ->
+              preds := Pred.Cmp (Pred.Eq, Pred.Attr i, Pred.Attr j) :: !preds
+          | None -> bindings := (v, i) :: !bindings)
+      | Ast.Int n -> preds := Pred.Cmp (Pred.Eq, Pred.Attr i, Pred.Int n) :: !preds
+      | Ast.Float f ->
+          preds := Pred.Cmp (Pred.Eq, Pred.Attr i, Pred.F32 f) :: !preds
+      | Ast.Arith _ -> err "arithmetic in body atom arguments is not supported")
+    args;
+  let pred =
+    List.fold_left (fun acc p -> Pred.And (p, acc)) Pred.True !preds
+  in
+  (pred, List.rev !bindings)
+
+let translate (prog : Ast.program) =
+  let decls = Hashtbl.create 16 in
+  List.iter
+    (fun (d : Ast.decl) ->
+      if Hashtbl.mem decls d.Ast.rel_name then
+        err "relation %s declared twice" d.Ast.rel_name;
+      Hashtbl.replace decls d.Ast.rel_name d)
+    prog.Ast.decls;
+  let decl_of name =
+    match Hashtbl.find_opt decls name with
+    | Some d -> d
+    | None -> err "relation %s is not declared" name
+  in
+  let schema_of name = Schema.make (decl_of name).Ast.attrs in
+  let idb =
+    List.sort_uniq String.compare
+      (List.map (fun (r : Ast.rule) -> r.Ast.head.Ast.pred) prog.Ast.rules)
+  in
+  List.iter (fun n -> ignore (decl_of n)) idb;
+  let edb =
+    List.filter_map
+      (fun (d : Ast.decl) ->
+        if List.mem d.Ast.rel_name idb then None else Some d.Ast.rel_name)
+      prog.Ast.decls
+  in
+  List.iter
+    (fun (r : Ast.rule) ->
+      List.iter (fun p -> ignore (decl_of p)) (atom_rels r.Ast.body))
+    prog.Ast.rules;
+  let pb = Plan.builder () in
+  let rel_sources = Hashtbl.create 16 in
+  List.iter
+    (fun name -> Hashtbl.replace rel_sources name (Plan.base pb (schema_of name)))
+    edb;
+  let source_of name =
+    match Hashtbl.find_opt rel_sources name with
+    | Some s -> s
+    | None -> err "relation %s has no rules and no data" name
+  in
+  let used_sources : (Plan.source, unit) Hashtbl.t = Hashtbl.create 16 in
+  (* one atom -> env (with per-atom selections applied) *)
+  let load_atom (a : Ast.atom) =
+    let d = decl_of a.Ast.pred in
+    if List.length a.Ast.args <> List.length d.Ast.attrs then
+      err "atom %s has %d arguments, declared with %d" a.Ast.pred
+        (List.length a.Ast.args)
+        (List.length d.Ast.attrs);
+    let pred, bindings = atom_constraints a.Ast.args in
+    let src = source_of a.Ast.pred in
+    Hashtbl.replace used_sources src ();
+    let src =
+      if Pred.equal pred Pred.True then src
+      else Plan.add pb (Op.Select pred) [ src ]
+    in
+    { source = src; bindings }
+  in
+  let arity_of src = Schema.arity (Plan.builder_schema pb src) in
+  (* reorder a side so [common] variables form the key prefix *)
+  let reorder common env =
+    let key_attrs = List.map (fun v -> List.assoc v env.bindings) common in
+    let n = Schema.arity (Plan.builder_schema pb env.source) in
+    let rest =
+      List.filter (fun i -> not (List.mem i key_attrs)) (List.init n Fun.id)
+    in
+    let perm = key_attrs @ rest in
+    let identity = perm = List.init n Fun.id in
+    let source =
+      if identity then env.source
+      else Plan.add pb (Op.Project perm) [ env.source ]
+    in
+    let lookup old = Option.get (List.find_index (Int.equal old) perm) in
+    let bindings = List.map (fun (v, i) -> (v, lookup i)) env.bindings in
+    (source, bindings, n)
+  in
+  (* EXISTS / NOT EXISTS against [right] on the shared variables: used for
+     negated atoms and for positive atoms that bind nothing new (set
+     semantics make a multiplying join wrong there) *)
+  let member_env ~negated left right =
+    let common =
+      List.filter (fun (v, _) -> List.mem_assoc v right.bindings) left.bindings
+      |> List.map fst
+    in
+    if common = [] then
+      err "%s atom shares no variables with the positive body"
+        (if negated then "negated" else "semijoin");
+    let l_src, l_bind, _ = reorder common left in
+    let r_src, _, _ = reorder common right in
+    let k = List.length common in
+    let kind =
+      if negated then Op.Antijoin { key_arity = k }
+      else Op.Semijoin { key_arity = k }
+    in
+    { source = Plan.add pb kind [ l_src; r_src ]; bindings = l_bind }
+  in
+  (* join two envs on their shared variables *)
+  let join_envs left right =
+    let common =
+      List.filter (fun (v, _) -> List.mem_assoc v right.bindings) left.bindings
+      |> List.map fst
+    in
+    let new_vars =
+      List.filter (fun (v, _) -> not (List.mem_assoc v left.bindings))
+        right.bindings
+    in
+    if common <> [] && new_vars = [] then
+      (* the atom constrains but binds nothing new: EXISTS, not a join *)
+      member_env ~negated:false left right
+    else if common = [] then begin
+      (* no shared variables: CROSS PRODUCT *)
+      let l_arity = arity_of left.source in
+      let node = Plan.add pb Op.Product [ left.source; right.source ] in
+      let bindings =
+        left.bindings
+        @ List.map (fun (v, i) -> (v, i + l_arity)) right.bindings
+      in
+      { source = node; bindings }
+    end
+    else begin
+      let l_src, l_bind, l_n = reorder common left in
+      let r_src, r_bind, _ = reorder common right in
+      let k = List.length common in
+      let node = Plan.add pb (Op.Join { key_arity = k }) [ l_src; r_src ] in
+      (* output: left attrs then right non-key attrs *)
+      let bindings =
+        l_bind
+        @ List.filter_map
+            (fun (v, i) ->
+              if i < k then None
+              else if List.mem_assoc v l_bind then None
+              else Some (v, l_n + i - k))
+            r_bind
+      in
+      { source = node; bindings }
+    end
+  in
+  let translate_rule (r : Ast.rule) =
+    let atoms =
+      List.filter_map
+        (function Ast.Atom a -> Some a | Ast.Neg _ | Ast.Cmp _ -> None)
+        r.Ast.body
+    in
+    let negs =
+      List.filter_map
+        (function Ast.Neg a -> Some a | Ast.Atom _ | Ast.Cmp _ -> None)
+        r.Ast.body
+    in
+    let cmps =
+      List.filter_map
+        (function
+          | Ast.Cmp (c, a, b) -> Some (c, a, b)
+          | Ast.Atom _ | Ast.Neg _ -> None)
+        r.Ast.body
+    in
+    if atoms = [] then err "rule for %s has no positive body atoms" r.Ast.head.Ast.pred;
+    let env =
+      List.fold_left
+        (fun acc a -> join_envs acc (load_atom a))
+        (load_atom (List.hd atoms))
+        (List.tl atoms)
+    in
+    (* negated atoms: every variable must already be bound (safety) *)
+    let env =
+      List.fold_left
+        (fun acc (a : Ast.atom) ->
+          let r_env = load_atom a in
+          List.iter
+            (fun (v, _) ->
+              if not (List.mem_assoc v acc.bindings) then
+                err "unsafe negation: variable %s only occurs under '!'" v)
+            r_env.bindings;
+          member_env ~negated:true acc r_env)
+        env negs
+    in
+    (* comparison literals: one conjunctive SELECT *)
+    let env =
+      if cmps = [] then env
+      else
+        let pred =
+          List.fold_left
+            (fun acc (c, a, b) ->
+              Pred.And
+                ( Pred.Cmp
+                    (c, term_to_expr env.bindings a, term_to_expr env.bindings b),
+                  acc ))
+            Pred.True cmps
+        in
+        { env with source = Plan.add pb (Op.Select pred) [ env.source ] }
+    in
+    (* head *)
+    let d = decl_of r.Ast.head.Ast.pred in
+    if List.length r.Ast.head.Ast.args <> List.length d.Ast.attrs then
+      err "head %s arity mismatch" r.Ast.head.Ast.pred;
+    let all_distinct_vars =
+      let rec go seen = function
+        | [] -> true
+        | Ast.Var v :: rest -> (not (List.mem v seen)) && go (v :: seen) rest
+        | _ -> false
+      in
+      go [] r.Ast.head.Ast.args
+    in
+    if all_distinct_vars then
+      let idx =
+        List.map
+          (fun t ->
+            match t with
+            | Ast.Var v -> (
+                match List.assoc_opt v env.bindings with
+                | Some i -> i
+                | None -> err "head variable %s is unbound" v)
+            | _ -> assert false)
+          r.Ast.head.Ast.args
+      in
+      Plan.add pb (Op.Project idx) [ env.source ]
+    else
+      let outs =
+        List.map2
+          (fun (name, _) t -> (name, term_to_expr env.bindings t))
+          d.Ast.attrs r.Ast.head.Ast.args
+      in
+      Plan.add pb (Op.Arith outs) [ env.source ]
+  in
+  (* process IDB relations in dependency order *)
+  let idb_order = order_idb prog.Ast.rules idb in
+  List.iter
+    (fun name ->
+      let rules =
+        List.filter (fun (r : Ast.rule) -> r.Ast.head.Ast.pred = name)
+          prog.Ast.rules
+      in
+      let heads = List.map translate_rule rules in
+      let arity = Schema.arity (schema_of name) in
+      let combined =
+        match heads with
+        | [] -> assert false
+        | [ h ] -> h
+        | h :: rest ->
+            List.fold_left
+              (fun acc h' ->
+                Plan.add pb (Op.Union { key_arity = arity }) [ acc; h' ])
+              h rest
+      in
+      Hashtbl.replace rel_sources name combined)
+    idb_order;
+  (* outputs must exist; an output some rule consumes gets an identity
+     SELECT wrapper so it is a sink of the plan *)
+  if prog.Ast.outputs = [] then err "program has no .output declaration";
+  let output_nodes =
+    List.map
+      (fun name ->
+        if not (List.mem name idb) then err "output %s has no rules" name
+        else
+          let src = Hashtbl.find rel_sources name in
+          let src =
+            if Hashtbl.mem used_sources src then
+              Plan.add pb (Op.Select Pred.True) [ src ]
+            else src
+          in
+          match src with
+          | Plan.Node id -> (name, id)
+          | Plan.Base _ -> assert false)
+      (List.sort_uniq String.compare prog.Ast.outputs)
+  in
+  let plan = Plan.build pb in
+  { plan; base_names = edb; output_nodes }

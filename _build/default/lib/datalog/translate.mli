@@ -1,0 +1,26 @@
+(** Translation from Datalog rules to relational-algebra query plans —
+    the language front-end of Fig. 5.
+
+    Each rule becomes a left-deep chain: atoms are joined pairwise on
+    their shared variables (PROJECTs reorder attributes so the join keys
+    form matching prefixes; atoms without shared variables take a CROSS
+    PRODUCT), constants and repeated variables become SELECTs, the
+    comparison literals become one conjunctive SELECT, and the head
+    becomes a PROJECT (plain distinct variables) or an ARITH map
+    (expressions). Multiple rules for one head relation UNION with the
+    full tuple as key (set semantics). Recursive programs are rejected,
+    matching the paper's scope. *)
+
+exception Translate_error of string
+
+type compiled = {
+  plan : Qplan.Plan.t;
+  base_names : string list;
+      (** EDB relation name for each plan base, in base-index order *)
+  output_nodes : (string * int) list;
+      (** each [.output] relation's plan node id (always a sink) *)
+}
+
+val translate : Ast.program -> compiled
+(** Raises {!Translate_error} on undeclared relations, unbound variables,
+    head-type mismatches, arity errors or recursion. *)

@@ -1,0 +1,1 @@
+lib/gpu/cuda_emit.pp.ml: Array Buffer Hashtbl Kir List Printf String

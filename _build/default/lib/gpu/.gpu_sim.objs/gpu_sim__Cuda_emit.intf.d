@@ -1,0 +1,1 @@
+lib/gpu/cuda_emit.pp.mli: Kir

@@ -1,0 +1,1 @@
+lib/gpu/device.pp.ml: Ppx_deriving_runtime Printf

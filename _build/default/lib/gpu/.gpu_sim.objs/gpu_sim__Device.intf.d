@@ -1,0 +1,1 @@
+lib/gpu/device.pp.mli: Ppx_deriving_runtime

@@ -1,0 +1,1 @@
+lib/gpu/executor.pp.ml: Device Format Interp Kir List Occupancy Printf Stats Timing

@@ -1,0 +1,1 @@
+lib/gpu/executor.pp.mli: Device Format Kir Memory Stats Timing

@@ -1,0 +1,1 @@
+lib/gpu/interp.pp.ml: Array Float Int32 Kir Memory Printf Stats

@@ -1,0 +1,1 @@
+lib/gpu/interp.pp.mli: Kir Memory Stats

@@ -1,0 +1,1 @@
+lib/gpu/kir.pp.ml: Array Format Hashtbl List Ppx_deriving_runtime

@@ -1,0 +1,1 @@
+lib/gpu/kir.pp.mli: Format Ppx_deriving_runtime

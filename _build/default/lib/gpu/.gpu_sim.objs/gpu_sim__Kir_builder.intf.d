@@ -1,0 +1,1 @@
+lib/gpu/kir_builder.pp.mli: Kir

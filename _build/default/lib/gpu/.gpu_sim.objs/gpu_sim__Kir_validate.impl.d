@@ -1,0 +1,1 @@
+lib/gpu/kir_validate.pp.ml: Array Kir List Printf String

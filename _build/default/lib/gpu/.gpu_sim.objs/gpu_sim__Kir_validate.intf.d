@@ -1,0 +1,1 @@
+lib/gpu/kir_validate.pp.mli: Kir

@@ -1,0 +1,1 @@
+lib/gpu/memory.pp.ml: Array Device Hashtbl Printf

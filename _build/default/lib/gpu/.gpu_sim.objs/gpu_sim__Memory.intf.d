@@ -1,0 +1,1 @@
+lib/gpu/memory.pp.mli: Device

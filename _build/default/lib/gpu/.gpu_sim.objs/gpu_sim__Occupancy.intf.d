@@ -1,0 +1,1 @@
+lib/gpu/occupancy.pp.mli: Device

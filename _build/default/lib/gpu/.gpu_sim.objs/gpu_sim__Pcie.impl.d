@@ -1,0 +1,1 @@
+lib/gpu/pcie.pp.ml: Device

@@ -1,0 +1,1 @@
+lib/gpu/profiler.pp.ml: Array Format Int Interp Kir List Stats

@@ -1,0 +1,1 @@
+lib/gpu/profiler.pp.mli: Format Kir Memory Stats

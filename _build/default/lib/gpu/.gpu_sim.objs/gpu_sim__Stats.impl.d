@@ -1,0 +1,1 @@
+lib/gpu/stats.pp.ml: Format

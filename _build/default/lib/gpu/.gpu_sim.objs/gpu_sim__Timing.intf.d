@@ -1,0 +1,1 @@
+lib/gpu/timing.pp.mli: Device Stats

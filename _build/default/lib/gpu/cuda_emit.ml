@@ -1,0 +1,138 @@
+let operand = function
+  | Kir.Reg r ->
+      if r = Kir.reg_tid then "tid"
+      else if r = Kir.reg_ctaid then "blockIdx.x"
+      else if r = Kir.reg_ntid then "blockDim.x"
+      else if r = Kir.reg_nctaid then "gridDim.x"
+      else if r < Kir.special_regs then Printf.sprintf "r%d" r
+      else Printf.sprintf "r%d" r
+  | Kir.Imm n -> string_of_int n
+
+let float_operand a = Printf.sprintf "__int_as_float(%s)" (operand a)
+
+let binop_expr op a b =
+  let i fmt = Printf.sprintf fmt (operand a) (operand b) in
+  let f fmt = Printf.sprintf fmt (float_operand a) (float_operand b) in
+  match (op : Kir.binop) with
+  | Add -> i "%s + %s"
+  | Sub -> i "%s - %s"
+  | Mul -> i "%s * %s"
+  | Div -> i "%s / %s"
+  | Rem -> i "%s %% %s"
+  | And -> i "%s & %s"
+  | Or -> i "%s | %s"
+  | Xor -> i "%s ^ %s"
+  | Shl -> i "%s << %s"
+  | Shr -> i "%s >> %s"
+  | Min -> i "min(%s, %s)"
+  | Max -> i "max(%s, %s)"
+  | Fadd -> "__float_as_int(" ^ f "%s + %s" ^ ")"
+  | Fsub -> "__float_as_int(" ^ f "%s - %s" ^ ")"
+  | Fmul -> "__float_as_int(" ^ f "%s * %s" ^ ")"
+  | Fdiv -> "__float_as_int(" ^ f "%s / %s" ^ ")"
+  | Fmin -> "__float_as_int(" ^ f "fminf(%s, %s)" ^ ")"
+  | Fmax -> "__float_as_int(" ^ f "fmaxf(%s, %s)" ^ ")"
+
+let cmp_expr c a b =
+  let i fmt = Printf.sprintf fmt (operand a) (operand b) in
+  let f fmt = Printf.sprintf fmt (float_operand a) (float_operand b) in
+  match (c : Kir.cmp) with
+  | Eq -> i "%s == %s"
+  | Ne -> i "%s != %s"
+  | Lt -> i "%s < %s"
+  | Le -> i "%s <= %s"
+  | Gt -> i "%s > %s"
+  | Ge -> i "%s >= %s"
+  | Feq -> f "%s == %s"
+  | Fne -> f "%s != %s"
+  | Flt -> f "%s < %s"
+  | Fle -> f "%s <= %s"
+  | Fgt -> f "%s > %s"
+  | Fge -> f "%s >= %s"
+
+let unop_expr op a =
+  match (op : Kir.unop) with
+  | Not -> Printf.sprintf "!%s" (operand a)
+  | Neg -> Printf.sprintf "-%s" (operand a)
+  | Fneg -> Printf.sprintf "__float_as_int(-%s)" (float_operand a)
+  | I2f -> Printf.sprintf "__float_as_int((float)%s)" (operand a)
+  | F2i -> Printf.sprintf "(int)%s" (float_operand a)
+
+let atom_fn op =
+  match (op : Kir.atomop) with
+  | Atom_add -> "atomicAdd"
+  | Atom_min -> "atomicMin"
+  | Atom_max -> "atomicMax"
+  | Atom_exch -> "atomicExch"
+
+let address space base idx =
+  match (space : Kir.space) with
+  | Global -> Printf.sprintf "param%s[%s]" (operand base) (operand idx)
+  | Shared -> Printf.sprintf "smem[%s + %s]" (operand base) (operand idx)
+
+(* Global buffers are kernel parameters; [param<r>] names the parameter
+   register holding the buffer pointer.  When the base is an immediate we
+   name it directly. *)
+let global_lvalue base idx =
+  match base with
+  | Kir.Reg r when r >= Kir.special_regs ->
+      Printf.sprintf "p%d[%s]" (r - Kir.special_regs) (operand idx)
+  | _ -> address Kir.Global base idx
+
+let kernel_source (k : Kir.kernel) =
+  let buf = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  let params =
+    List.init k.params (fun i -> Printf.sprintf "long* p%d" i)
+    |> String.concat ", "
+  in
+  line "__global__ void %s(%s) {" k.kname params;
+  line "  const int tid = threadIdx.x;";
+  if k.shared_words > 0 then
+    line "  __shared__ long smem[%d];" k.shared_words;
+  for r = Kir.special_regs + k.params to k.reg_count - 1 do
+    line "  long r%d;" r
+  done;
+  (* label positions *)
+  let label_at = Hashtbl.create 16 in
+  Array.iteri
+    (fun l idx ->
+      let prev = try Hashtbl.find label_at idx with Not_found -> [] in
+      Hashtbl.replace label_at idx (l :: prev))
+    k.labels;
+  Array.iteri
+    (fun i ins ->
+      (match Hashtbl.find_opt label_at i with
+      | Some ls -> List.iter (fun l -> line "L%d:;" l) (List.rev ls)
+      | None -> ());
+      match (ins : Kir.instr) with
+      | Mov (d, a) -> line "  r%d = %s;" d (operand a)
+      | Bin (op, d, a, b) -> line "  r%d = %s;" d (binop_expr op a b)
+      | Un (op, d, a) -> line "  r%d = %s;" d (unop_expr op a)
+      | Cmp (c, d, a, b) -> line "  r%d = %s;" d (cmp_expr c a b)
+      | Sel (d, c, a, b) ->
+          line "  r%d = %s ? %s : %s;" d (operand c) (operand a) (operand b)
+      | Ld { space = Global; dst; base; idx; _ } ->
+          line "  r%d = %s;" dst (global_lvalue base idx)
+      | Ld { space = Shared; dst; base; idx; _ } ->
+          line "  r%d = %s;" dst (address Shared base idx)
+      | St { space = Global; base; idx; src; _ } ->
+          line "  %s = %s;" (global_lvalue base idx) (operand src)
+      | St { space = Shared; base; idx; src; _ } ->
+          line "  %s = %s;" (address Shared base idx) (operand src)
+      | Atom { op; space; dst; base; idx; src } ->
+          let addr =
+            match space with
+            | Global -> global_lvalue base idx
+            | Shared -> address Shared base idx
+          in
+          line "  r%d = %s(&%s, %s);" dst (atom_fn op) addr (operand src)
+      | Br l -> line "  goto L%d;" l
+      | Brz (c, l) -> line "  if (!%s) goto L%d;" (operand c) l
+      | Brnz (c, l) -> line "  if (%s) goto L%d;" (operand c) l
+      | Bar -> line "  __syncthreads();"
+      | Ret -> line "  return;"
+      | Trap msg -> line "  __trap(); /* %s */" msg)
+    k.body;
+  line "}";
+  Buffer.contents buf

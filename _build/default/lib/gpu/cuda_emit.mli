@@ -1,0 +1,12 @@
+(** CUDA-like source rendering of KIR kernels.
+
+    The paper's Kernel Weaver operates on CUDA source (Fig. 15 shows
+    generated code). Our weaver operates on KIR; this module renders any
+    KIR kernel — including fused ones — as readable CUDA-style C so users
+    can inspect what fusion produced, mirroring that figure. The output is
+    documentation, not an input to any compiler. *)
+
+val kernel_source : Kir.kernel -> string
+(** A CUDA-style [__global__] function: registers become locals, shared
+    memory becomes a [__shared__] array, branches become labels/gotos and
+    [Bar] becomes [__syncthreads()]. *)

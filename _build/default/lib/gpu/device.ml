@@ -1,0 +1,132 @@
+type t = {
+  name : string;
+  sm_count : int;
+  clock_ghz : float;
+  warp_size : int;
+  max_threads_per_cta : int;
+  max_threads_per_sm : int;
+  max_ctas_per_sm : int;
+  max_warps_per_sm : int;
+  registers_per_sm : int;
+  max_registers_per_thread : int;
+  shared_mem_per_sm : int;
+  max_shared_mem_per_cta : int;
+  global_mem_bytes : int;
+  global_bw_gbps : float;
+  pcie_bw_gbps : float;
+  pcie_latency_us : float;
+  register_alloc_granularity : int;
+  shared_alloc_granularity : int;
+}
+[@@deriving show, eq]
+
+let fermi_c2050 =
+  {
+    name = "NVIDIA Tesla C2050 (Fermi, simulated)";
+    sm_count = 14;
+    clock_ghz = 1.15;
+    warp_size = 32;
+    max_threads_per_cta = 1024;
+    max_threads_per_sm = 1536;
+    max_ctas_per_sm = 8;
+    max_warps_per_sm = 48;
+    registers_per_sm = 32768;
+    max_registers_per_thread = 63;
+    shared_mem_per_sm = 48 * 1024;
+    max_shared_mem_per_cta = 48 * 1024;
+    global_mem_bytes = 3 * 1024 * 1024 * 1024;
+    global_bw_gbps = 144.0;
+    pcie_bw_gbps = 4.0;
+    pcie_latency_us = 10.0;
+    register_alloc_granularity = 64;
+    shared_alloc_granularity = 128;
+  }
+
+let kepler_k20 =
+  {
+    name = "NVIDIA Tesla K20 (Kepler, simulated)";
+    sm_count = 13;
+    clock_ghz = 0.71;
+    warp_size = 32;
+    max_threads_per_cta = 1024;
+    max_threads_per_sm = 2048;
+    max_ctas_per_sm = 16;
+    max_warps_per_sm = 64;
+    registers_per_sm = 65536;
+    max_registers_per_thread = 255;
+    shared_mem_per_sm = 48 * 1024;
+    max_shared_mem_per_cta = 48 * 1024;
+    global_mem_bytes = 5 * 1024 * 1024 * 1024;
+    global_bw_gbps = 208.0;
+    pcie_bw_gbps = 6.0;
+    pcie_latency_us = 10.0;
+    register_alloc_granularity = 256;
+    shared_alloc_granularity = 256;
+  }
+
+let cpu_like =
+  {
+    (* an 8-core CPU in GPU vocabulary: each "SM" is a core whose "warp"
+       is an 8-wide SIMD unit; "shared memory" is L1 cache; memory is
+       host memory, so there is no PCIe gap *)
+    name = "8-core CPU (simulated, Ocelot-style retargeting)";
+    sm_count = 8;
+    clock_ghz = 3.0;
+    warp_size = 8;
+    max_threads_per_cta = 256;
+    max_threads_per_sm = 256;
+    max_ctas_per_sm = 4;
+    max_warps_per_sm = 32;
+    registers_per_sm = 8192;
+    max_registers_per_thread = 64;
+    shared_mem_per_sm = 32 * 1024;
+    max_shared_mem_per_cta = 32 * 1024;
+    global_mem_bytes = 16 * 1024 * 1024 * 1024;
+    global_bw_gbps = 25.0;
+    pcie_bw_gbps = 25.0;
+    pcie_latency_us = 0.5;
+    register_alloc_granularity = 1;
+    shared_alloc_granularity = 64;
+  }
+
+let tiny =
+  {
+    name = "tiny test device";
+    sm_count = 2;
+    clock_ghz = 1.0;
+    warp_size = 4;
+    max_threads_per_cta = 64;
+    max_threads_per_sm = 128;
+    max_ctas_per_sm = 4;
+    max_warps_per_sm = 32;
+    registers_per_sm = 2048;
+    max_registers_per_thread = 32;
+    shared_mem_per_sm = 4 * 1024;
+    max_shared_mem_per_cta = 2 * 1024;
+    global_mem_bytes = 16 * 1024 * 1024;
+    global_bw_gbps = 16.0;
+    pcie_bw_gbps = 2.0;
+    pcie_latency_us = 10.0;
+    register_alloc_granularity = 8;
+    shared_alloc_granularity = 64;
+  }
+
+let default = fermi_c2050
+
+let max_concurrent_ctas d = d.sm_count * d.max_ctas_per_sm
+
+let validate_launch d ~cta_threads ~shared_bytes ~regs_per_thread =
+  if cta_threads <= 0 then Error "kernel launch needs at least one thread"
+  else if cta_threads > d.max_threads_per_cta then
+    Error
+      (Printf.sprintf "%d threads per CTA exceeds device limit %d" cta_threads
+         d.max_threads_per_cta)
+  else if shared_bytes > d.max_shared_mem_per_cta then
+    Error
+      (Printf.sprintf "%d bytes of shared memory exceeds per-CTA limit %d"
+         shared_bytes d.max_shared_mem_per_cta)
+  else if regs_per_thread > d.max_registers_per_thread then
+    Error
+      (Printf.sprintf "%d registers per thread exceeds device limit %d"
+         regs_per_thread d.max_registers_per_thread)
+  else Ok ()

@@ -1,0 +1,64 @@
+(** GPU device descriptors.
+
+    A device fixes the architectural limits the simulator enforces
+    (threads/CTA, shared memory per SM, registers per SM, ...) and the raw
+    machine rates the {!Timing} cost model converts events into cycles with.
+    The shipped preset mirrors the NVIDIA Tesla C2050 (Fermi) used in the
+    paper's evaluation (Table 2). *)
+
+type t = {
+  name : string;
+  sm_count : int;  (** number of streaming multiprocessors *)
+  clock_ghz : float;  (** SM clock in GHz *)
+  warp_size : int;  (** threads per warp *)
+  max_threads_per_cta : int;
+  max_threads_per_sm : int;
+  max_ctas_per_sm : int;
+  max_warps_per_sm : int;
+  registers_per_sm : int;  (** 32-bit registers per SM *)
+  max_registers_per_thread : int;
+  shared_mem_per_sm : int;  (** bytes of shared memory per SM *)
+  max_shared_mem_per_cta : int;  (** bytes of shared memory per CTA *)
+  global_mem_bytes : int;  (** device ("global") memory capacity *)
+  global_bw_gbps : float;  (** global-memory bandwidth, GB/s *)
+  pcie_bw_gbps : float;  (** effective host<->device bandwidth, GB/s *)
+  pcie_latency_us : float;  (** per-transfer fixed latency, microseconds *)
+  register_alloc_granularity : int;
+      (** registers are allocated per warp in multiples of this *)
+  shared_alloc_granularity : int;
+      (** shared memory is allocated per CTA in multiples of this (bytes) *)
+}
+[@@deriving show, eq]
+
+val fermi_c2050 : t
+(** The paper's evaluation platform: Tesla C2050, 14 SMs @ 1.15 GHz, 32768
+    registers/SM, 48 KB shared/SM, 3 GB GDDR5 at 144 GB/s, PCIe 2.0 x16. *)
+
+val kepler_k20 : t
+(** A later-generation GPU (more SMs, bigger register file, higher
+    bandwidth): used by the different-platform ablation to show the
+    fusion win is not Fermi-specific (§6, "Different Platform"). *)
+
+val cpu_like : t
+(** A CPU modelled in the same vocabulary: few wide "SMs" (cores), cache
+    as "shared memory", high per-core throughput, no PCIe gap (§6 notes
+    four of fusion's six benefits survive on integrated/CPU targets). *)
+
+val tiny : t
+(** A deliberately small device (2 SMs, few registers, little shared memory)
+    used by tests to force resource-bounded fusion decisions. *)
+
+val default : t
+(** [default] is {!fermi_c2050}. *)
+
+val max_concurrent_ctas : t -> int
+(** Upper bound on CTAs resident across the whole device, ignoring
+    per-kernel resource usage (SMs x max CTAs per SM). *)
+
+val validate_launch :
+  t -> cta_threads:int -> shared_bytes:int -> regs_per_thread:int ->
+  (unit, string) result
+(** Check a kernel launch against hard device limits. Returns [Error msg]
+    when the launch could not execute at all (e.g. more threads per CTA than
+    the device supports, or a single CTA needing more shared memory than an
+    SM has). *)

@@ -1,0 +1,46 @@
+type launch_report = {
+  kernel_name : string;
+  grid : int;
+  cta : int;
+  occupancy : float;
+  limiting_resource : string;
+  stats : Stats.t;
+  time : Timing.kernel_time;
+}
+
+let launch ?timing ?max_instructions device mem (k : Kir.kernel) ~params ~grid
+    ~cta =
+  (match
+     Device.validate_launch device ~cta_threads:cta
+       ~shared_bytes:k.shared_bytes ~regs_per_thread:k.regs_per_thread
+   with
+  | Ok () -> ()
+  | Error msg ->
+      invalid_arg (Printf.sprintf "launch of %s rejected: %s" k.kname msg));
+  let stats = Interp.run ?max_instructions mem k ~params ~grid ~cta in
+  let occupancy =
+    Occupancy.occupancy device ~cta_threads:cta ~shared_bytes:k.shared_bytes
+      ~regs_per_thread:k.regs_per_thread
+  in
+  let limiting_resource =
+    Occupancy.limiting_resource device ~cta_threads:cta
+      ~shared_bytes:k.shared_bytes ~regs_per_thread:k.regs_per_thread
+  in
+  let time = Timing.kernel_time ?params:timing device ~occupancy stats in
+  { kernel_name = k.kname; grid; cta; occupancy; limiting_resource; stats; time }
+
+let total_cycles reports =
+  List.fold_left (fun acc r -> acc +. r.time.Timing.total_cycles) 0.0 reports
+
+let sum_stats reports =
+  let acc = Stats.create () in
+  List.iter (fun r -> Stats.add acc r.stats) reports;
+  acc
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "@[<v>%s <<<%d, %d>>> occupancy %.2f (limited by %s)@ cycles: %.0f \
+     (compute %.0f, memory %.0f, launch %.0f)@ %a@]"
+    r.kernel_name r.grid r.cta r.occupancy r.limiting_resource
+    r.time.Timing.total_cycles r.time.Timing.compute_cycles
+    r.time.Timing.memory_cycles r.time.Timing.launch_cycles Stats.pp r.stats

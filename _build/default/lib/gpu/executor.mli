@@ -1,0 +1,36 @@
+(** Kernel launcher: validation + interpretation + cost model.
+
+    This is the layer the runtime talks to. It checks a launch against
+    device limits, computes achieved occupancy, interprets the kernel and
+    converts the observed events into simulated cycles. *)
+
+type launch_report = {
+  kernel_name : string;
+  grid : int;
+  cta : int;
+  occupancy : float;
+  limiting_resource : string;
+  stats : Stats.t;
+  time : Timing.kernel_time;
+}
+
+val launch :
+  ?timing:Timing.params ->
+  ?max_instructions:int ->
+  Device.t ->
+  Memory.t ->
+  Kir.kernel ->
+  params:int array ->
+  grid:int ->
+  cta:int ->
+  launch_report
+(** Execute one kernel launch. Raises [Interp.Runtime_error] on runtime
+    faults and [Invalid_argument] when the launch violates hard device
+    limits (see {!Device.validate_launch}). *)
+
+val total_cycles : launch_report list -> float
+(** Sum of simulated total cycles over a sequence of launches. *)
+
+val sum_stats : launch_report list -> Stats.t
+
+val pp_report : Format.formatter -> launch_report -> unit

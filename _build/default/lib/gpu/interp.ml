@@ -1,0 +1,229 @@
+exception Runtime_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Runtime_error s)) fmt
+
+let f32_of_bits v = Int32.float_of_bits (Int32.of_int v)
+let bits_of_f32 f = Int32.to_int (Int32.bits_of_float f) land 0xFFFFFFFF
+
+let exec_binop op a b =
+  match (op : Kir.binop) with
+  | Add -> a + b
+  | Sub -> a - b
+  | Mul -> a * b
+  | Div -> if b = 0 then fail "division by zero" else a / b
+  | Rem -> if b = 0 then fail "remainder by zero" else a mod b
+  | And -> a land b
+  | Or -> a lor b
+  | Xor -> a lxor b
+  | Shl -> a lsl b
+  | Shr -> a asr b
+  | Min -> min a b
+  | Max -> max a b
+  | Fadd -> bits_of_f32 (f32_of_bits a +. f32_of_bits b)
+  | Fsub -> bits_of_f32 (f32_of_bits a -. f32_of_bits b)
+  | Fmul -> bits_of_f32 (f32_of_bits a *. f32_of_bits b)
+  | Fdiv -> bits_of_f32 (f32_of_bits a /. f32_of_bits b)
+  | Fmin -> bits_of_f32 (Float.min (f32_of_bits a) (f32_of_bits b))
+  | Fmax -> bits_of_f32 (Float.max (f32_of_bits a) (f32_of_bits b))
+
+let exec_unop op a =
+  match (op : Kir.unop) with
+  | Not -> if a = 0 then 1 else 0
+  | Neg -> -a
+  | Fneg -> bits_of_f32 (-.f32_of_bits a)
+  | I2f -> bits_of_f32 (float_of_int a)
+  | F2i -> int_of_float (f32_of_bits a)
+
+let exec_cmp c a b =
+  let r =
+    match (c : Kir.cmp) with
+    | Eq -> a = b
+    | Ne -> a <> b
+    | Lt -> a < b
+    | Le -> a <= b
+    | Gt -> a > b
+    | Ge -> a >= b
+    | Feq -> f32_of_bits a = f32_of_bits b
+    | Fne -> f32_of_bits a <> f32_of_bits b
+    | Flt -> f32_of_bits a < f32_of_bits b
+    | Fle -> f32_of_bits a <= f32_of_bits b
+    | Fgt -> f32_of_bits a > f32_of_bits b
+    | Fge -> f32_of_bits a >= f32_of_bits b
+  in
+  if r then 1 else 0
+
+let exec_atomop op old v =
+  match (op : Kir.atomop) with
+  | Atom_add -> old + v
+  | Atom_min -> min old v
+  | Atom_max -> max old v
+  | Atom_exch -> v
+
+(* thread status *)
+let st_running = 0
+let st_at_bar = 1
+let st_done = 2
+
+let run ?(max_instructions = 2_000_000_000) ?profile mem (k : Kir.kernel)
+    ~params ~grid ~cta =
+  if Array.length params <> k.params then
+    fail "kernel %s expects %d params, got %d" k.kname k.params
+      (Array.length params);
+  if grid <= 0 || cta <= 0 then fail "empty launch of %s" k.kname;
+  let stats = Stats.create () in
+  let body = k.body in
+  let n_instr = Array.length body in
+  let labels = k.labels in
+  let budget = ref max_instructions in
+  (* small direct-mapped cache of buffer handle -> backing array *)
+  let cached_id = ref (-1) in
+  let cached_arr = ref [||] in
+  let buffer_data id =
+    if id = !cached_id then !cached_arr
+    else
+      let arr =
+        try Memory.data mem id
+        with Not_found | Invalid_argument _ ->
+          fail "kernel %s: invalid global buffer handle %d" k.kname id
+      in
+      cached_id := id;
+      cached_arr := arr;
+      arr
+  in
+  for ctaid = 0 to grid - 1 do
+    let shared = Array.make (max k.shared_words 1) 0 in
+    let regs = Array.init cta (fun _ -> Array.make (max k.reg_count 1) 0) in
+    let pcs = Array.make cta 0 in
+    let status = Array.make cta st_running in
+    for tid = 0 to cta - 1 do
+      let r = regs.(tid) in
+      r.(Kir.reg_tid) <- tid;
+      r.(Kir.reg_ctaid) <- ctaid;
+      r.(Kir.reg_ntid) <- cta;
+      r.(Kir.reg_nctaid) <- grid;
+      Array.iteri (fun i v -> r.(Kir.param_reg i) <- v) params
+    done;
+    let live = ref cta in
+    (* Run one thread until it hits a barrier or returns. *)
+    let run_thread tid =
+      let r = regs.(tid) in
+      let value = function Kir.Reg x -> r.(x) | Kir.Imm n -> n in
+      let pc = ref pcs.(tid) in
+      let continue = ref true in
+      while !continue do
+        if !pc < 0 || !pc >= n_instr then
+          fail "kernel %s: pc %d out of range" k.kname !pc;
+        decr budget;
+        if !budget <= 0 then
+          fail "kernel %s: instruction budget exhausted (possible infinite loop)"
+            k.kname;
+        stats.Stats.instructions <- stats.Stats.instructions + 1;
+        (match profile with
+        | Some c -> c.(!pc) <- c.(!pc) + 1
+        | None -> ());
+        let ins = Array.unsafe_get body !pc in
+        incr pc;
+        match ins with
+        | Mov (d, a) ->
+            stats.Stats.alu_ops <- stats.Stats.alu_ops + 1;
+            r.(d) <- value a
+        | Bin (op, d, a, b) ->
+            stats.Stats.alu_ops <- stats.Stats.alu_ops + 1;
+            r.(d) <- exec_binop op (value a) (value b)
+        | Un (op, d, a) ->
+            stats.Stats.alu_ops <- stats.Stats.alu_ops + 1;
+            r.(d) <- exec_unop op (value a)
+        | Cmp (c, d, a, b) ->
+            stats.Stats.alu_ops <- stats.Stats.alu_ops + 1;
+            r.(d) <- exec_cmp c (value a) (value b)
+        | Sel (d, c, a, b) ->
+            stats.Stats.alu_ops <- stats.Stats.alu_ops + 1;
+            r.(d) <- (if value c <> 0 then value a else value b)
+        | Ld { space = Global; dst; base; idx; width } ->
+            let arr = buffer_data (value base) in
+            let i = value idx in
+            if i < 0 || i >= Array.length arr then
+              fail "kernel %s: global load out of bounds (buffer %d, idx %d/%d)"
+                k.kname (value base) i (Array.length arr);
+            r.(dst) <- Array.unsafe_get arr i;
+            stats.Stats.global_loads <- stats.Stats.global_loads + 1;
+            stats.Stats.global_load_bytes <- stats.Stats.global_load_bytes + width
+        | Ld { space = Shared; dst; base; idx; width } ->
+            let i = value base + value idx in
+            if i < 0 || i >= Array.length shared then
+              fail "kernel %s: shared load out of bounds (idx %d/%d)" k.kname i
+                (Array.length shared);
+            r.(dst) <- Array.unsafe_get shared i;
+            stats.Stats.shared_loads <- stats.Stats.shared_loads + 1;
+            stats.Stats.shared_load_bytes <- stats.Stats.shared_load_bytes + width
+        | St { space = Global; base; idx; src; width } ->
+            let arr = buffer_data (value base) in
+            let i = value idx in
+            if i < 0 || i >= Array.length arr then
+              fail
+                "kernel %s: global store out of bounds (buffer %d, idx %d/%d)"
+                k.kname (value base) i (Array.length arr);
+            Array.unsafe_set arr i (value src);
+            stats.Stats.global_stores <- stats.Stats.global_stores + 1;
+            stats.Stats.global_store_bytes <-
+              stats.Stats.global_store_bytes + width
+        | St { space = Shared; base; idx; src; width } ->
+            let i = value base + value idx in
+            if i < 0 || i >= Array.length shared then
+              fail "kernel %s: shared store out of bounds (idx %d/%d)" k.kname i
+                (Array.length shared);
+            Array.unsafe_set shared i (value src);
+            stats.Stats.shared_stores <- stats.Stats.shared_stores + 1;
+            stats.Stats.shared_store_bytes <-
+              stats.Stats.shared_store_bytes + width
+        | Atom { op; space = Shared; dst; base; idx; src } ->
+            let i = value base + value idx in
+            if i < 0 || i >= Array.length shared then
+              fail "kernel %s: shared atomic out of bounds (idx %d/%d)" k.kname
+                i (Array.length shared);
+            let old = shared.(i) in
+            shared.(i) <- exec_atomop op old (value src);
+            r.(dst) <- old;
+            stats.Stats.atomics <- stats.Stats.atomics + 1
+        | Atom { op; space = Global; dst; base; idx; src } ->
+            let arr = buffer_data (value base) in
+            let i = value idx in
+            if i < 0 || i >= Array.length arr then
+              fail "kernel %s: global atomic out of bounds (buffer %d, idx %d)"
+                k.kname (value base) i;
+            let old = arr.(i) in
+            arr.(i) <- exec_atomop op old (value src);
+            r.(dst) <- old;
+            stats.Stats.atomics <- stats.Stats.atomics + 1
+        | Br l ->
+            stats.Stats.branches <- stats.Stats.branches + 1;
+            pc := labels.(l)
+        | Brz (c, l) ->
+            stats.Stats.branches <- stats.Stats.branches + 1;
+            if value c = 0 then pc := labels.(l)
+        | Brnz (c, l) ->
+            stats.Stats.branches <- stats.Stats.branches + 1;
+            if value c <> 0 then pc := labels.(l)
+        | Bar ->
+            status.(tid) <- st_at_bar;
+            stats.Stats.barrier_waits <- stats.Stats.barrier_waits + 1;
+            continue := false
+        | Ret ->
+            status.(tid) <- st_done;
+            decr live;
+            continue := false
+        | Trap msg -> fail "kernel %s trapped: %s" k.kname msg
+      done;
+      pcs.(tid) <- !pc
+    in
+    while !live > 0 do
+      for tid = 0 to cta - 1 do
+        if status.(tid) = st_running then run_thread tid
+      done;
+      (* all live threads are now at a barrier: release them together *)
+      for tid = 0 to cta - 1 do
+        if status.(tid) = st_at_bar then status.(tid) <- st_running
+      done
+    done
+  done;
+  stats

@@ -1,0 +1,32 @@
+(** KIR interpreter: executes a kernel over a grid of CTAs.
+
+    Thread scheduling is {e run-to-barrier}: within a CTA every thread runs
+    sequentially until its next [Bar] (or [Ret]); once all live threads have
+    arrived, execution resumes past the barrier. This is faithful to
+    [__syncthreads] for the well-structured kernels the code generator
+    emits. CTAs execute independently (their relative order is
+    unobservable for correct CUDA programs; we run them in index order).
+
+    Every executed instruction bumps the {!Stats} counters. Determinism:
+    given the same memory contents and parameters the interpreter is fully
+    deterministic, including atomics. *)
+
+exception Runtime_error of string
+(** Raised on traps, out-of-bounds accesses, division by zero, invalid
+    buffer handles or exceeding the instruction budget. *)
+
+val run :
+  ?max_instructions:int ->
+  ?profile:int array ->
+  Memory.t ->
+  Kir.kernel ->
+  params:int array ->
+  grid:int ->
+  cta:int ->
+  Stats.t
+(** [run mem k ~params ~grid ~cta] executes kernel [k] with [grid] CTAs of
+    [cta] threads and returns the dynamic event counts. [params] length
+    must equal [k.params]. [max_instructions] (default [2_000_000_000])
+    bounds total executed instructions to catch runaway loops.
+    [profile], when given (length >= body length), receives one increment
+    per instruction execution (see {!Profiler}). *)

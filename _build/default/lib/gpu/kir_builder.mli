@@ -1,0 +1,106 @@
+(** Imperative builder for KIR kernels.
+
+    The builder hands out fresh virtual registers, resolves labels, tracks
+    shared-memory allocations and provides structured control-flow helpers
+    ([if_], [while_], [for_range]) so operator code generators never
+    manipulate raw branch targets.
+
+    Addressing convention: for [Global] accesses the base operand is a
+    buffer handle (kernel parameter) and the index a word offset within the
+    buffer; for [Shared] accesses the effective word address is
+    [base + index], where the base is the offset returned by
+    {!alloc_shared}. *)
+
+type t
+
+val create : ?name:string -> params:int -> unit -> t
+(** A builder for a kernel taking [params] parameters. *)
+
+val fresh : t -> Kir.reg
+(** A fresh virtual register. *)
+
+val param : t -> int -> Kir.operand
+(** Operand for kernel parameter [i]. Raises [Invalid_argument] if [i] is
+    out of range. *)
+
+val tid : Kir.operand
+val ctaid : Kir.operand
+val ntid : Kir.operand
+val nctaid : Kir.operand
+
+val alloc_shared : t -> words:int -> bytes:int -> Kir.operand
+(** Reserve [words] consecutive shared-memory words accounted as [bytes]
+    bytes of shared memory (tuples mix 4- and 8-byte attributes, so the
+    byte size is supplied exactly); returns the base word offset as an
+    immediate operand. *)
+
+val emit : t -> Kir.instr -> unit
+
+(** {2 Value-producing emitters} *)
+
+val mov : t -> Kir.operand -> Kir.reg
+val mov_to : t -> Kir.reg -> Kir.operand -> unit
+val bin : t -> Kir.binop -> Kir.operand -> Kir.operand -> Kir.reg
+val bin_to : t -> Kir.reg -> Kir.binop -> Kir.operand -> Kir.operand -> unit
+val un : t -> Kir.unop -> Kir.operand -> Kir.reg
+val cmp : t -> Kir.cmp -> Kir.operand -> Kir.operand -> Kir.reg
+val sel : t -> Kir.operand -> Kir.operand -> Kir.operand -> Kir.reg
+
+val ld :
+  t -> Kir.space -> base:Kir.operand -> idx:Kir.operand -> width:int -> Kir.reg
+
+val st :
+  t ->
+  Kir.space ->
+  base:Kir.operand ->
+  idx:Kir.operand ->
+  src:Kir.operand ->
+  width:int ->
+  unit
+
+val atom :
+  t ->
+  Kir.atomop ->
+  Kir.space ->
+  base:Kir.operand ->
+  idx:Kir.operand ->
+  src:Kir.operand ->
+  Kir.reg
+(** Atomic read-modify-write; returns the register receiving the old value. *)
+
+val bar : t -> unit
+val ret : t -> unit
+
+(** {2 Labels and structured control flow} *)
+
+val new_label : t -> Kir.label
+val place : t -> Kir.label -> unit
+val br : t -> Kir.label -> unit
+val brz : t -> Kir.operand -> Kir.label -> unit
+val brnz : t -> Kir.operand -> Kir.label -> unit
+
+val if_ : t -> Kir.operand -> (unit -> unit) -> unit
+(** [if_ b cond body] runs [body] when [cond] is non-zero. *)
+
+val if_else : t -> Kir.operand -> (unit -> unit) -> (unit -> unit) -> unit
+
+val while_ : t -> cond:(unit -> Kir.operand) -> body:(unit -> unit) -> unit
+(** [while_ b ~cond ~body]: [cond] is re-emitted at each iteration head; the
+    loop exits when it evaluates to zero. *)
+
+val for_range :
+  t ->
+  start:Kir.operand ->
+  stop:Kir.operand ->
+  step:Kir.operand ->
+  (Kir.reg -> unit) ->
+  unit
+(** Loop [i = start; while i < stop; i += step], passing the induction
+    register to the body. The canonical grid-stride loop is
+    [for_range b ~start:global_tid ~stop:n ~step:total_threads]. *)
+
+val finish : ?regs_per_thread:int -> t -> Kir.kernel
+(** Seal the kernel. [regs_per_thread] is the hardware-register estimate
+    recorded for occupancy (defaults to a simple heuristic; the weaver's
+    resource estimator overrides it for fused kernels). Raises
+    [Invalid_argument] if a label was never placed. *)

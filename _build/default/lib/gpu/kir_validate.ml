@@ -1,0 +1,44 @@
+let check (k : Kir.kernel) =
+  let errors = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> errors := s :: !errors) fmt in
+  let n = Array.length k.body in
+  if n = 0 then err "kernel %s has an empty body" k.kname;
+  let check_label at l =
+    if l < 0 || l >= Array.length k.labels then
+      err "instruction %d: branch to unknown label L%d" at l
+    else
+      let target = k.labels.(l) in
+      if target < 0 || target > n then
+        err "instruction %d: label L%d resolves out of bounds (%d)" at l target
+  in
+  let check_reg at r =
+    if r < 0 || r >= k.reg_count then
+      err "instruction %d: register r%d outside [0, %d)" at r k.reg_count
+  in
+  let check_operand at = function
+    | Kir.Reg r -> check_reg at r
+    | Kir.Imm _ -> ()
+  in
+  let check_width at w =
+    if w <> 4 && w <> 8 then err "instruction %d: access width %d not 4 or 8" at w
+  in
+  Array.iteri
+    (fun at ins ->
+      (match Kir.defined_reg ins with
+      | Some r -> check_reg at r
+      | None -> ());
+      List.iter (check_operand at) (Kir.used_operands ins);
+      match ins with
+      | Kir.Br l | Kir.Brz (_, l) | Kir.Brnz (_, l) -> check_label at l
+      | Kir.Ld { width; _ } | Kir.St { width; _ } -> check_width at width
+      | _ -> ())
+    k.body;
+  match !errors with [] -> Ok () | es -> Error (List.rev es)
+
+let check_exn k =
+  match check k with
+  | Ok () -> ()
+  | Error msgs ->
+      invalid_arg
+        (Printf.sprintf "invalid kernel %s: %s" k.Kir.kname
+           (String.concat "; " msgs))

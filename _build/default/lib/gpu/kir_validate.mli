@@ -1,0 +1,15 @@
+(** Static well-formedness checks for KIR kernels.
+
+    Catches code-generation bugs early (dangling labels, out-of-range
+    registers, bad access widths) instead of letting them surface as
+    confusing interpreter faults mid-launch. *)
+
+val check : Kir.kernel -> (unit, string list) result
+(** [check k] returns [Error msgs] listing every violation found:
+    - a branch target that is not a placed label or is out of bounds,
+    - a register (read or written) outside [0, reg_count),
+    - a memory access width other than 4 or 8 bytes,
+    - an empty body. *)
+
+val check_exn : Kir.kernel -> unit
+(** Like {!check} but raises [Invalid_argument] with the joined messages. *)

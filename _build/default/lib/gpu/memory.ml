@@ -1,0 +1,66 @@
+type entry = {
+  data : int array;
+  bytes : int;
+  label : string;
+  mutable live : bool;
+}
+
+type t = {
+  device : Device.t;
+  entries : (int, entry) Hashtbl.t;
+  mutable next_id : int;
+  mutable live_bytes : int;
+  mutable peak_bytes : int;
+}
+
+type buffer = int
+
+let create device =
+  {
+    device;
+    entries = Hashtbl.create 64;
+    next_id = 1;
+    live_bytes = 0;
+    peak_bytes = 0;
+  }
+
+let alloc ?(label = "buf") t ~words ~bytes =
+  if words < 0 || bytes < 0 then invalid_arg "Memory.alloc: negative size";
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  Hashtbl.replace t.entries id
+    { data = Array.make (max words 1) 0; bytes; label; live = true };
+  t.live_bytes <- t.live_bytes + bytes;
+  if t.live_bytes > t.peak_bytes then t.peak_bytes <- t.live_bytes;
+  id
+
+let entry t b =
+  match Hashtbl.find_opt t.entries b with
+  | Some e -> e
+  | None -> raise Not_found
+
+let free t b =
+  let e = entry t b in
+  if not e.live then invalid_arg "Memory.free: buffer already freed";
+  e.live <- false;
+  t.live_bytes <- t.live_bytes - e.bytes
+
+let data t b =
+  let e = entry t b in
+  if not e.live then
+    invalid_arg (Printf.sprintf "Memory.data: buffer %d (%s) is dead" b e.label);
+  e.data
+
+let words t b = Array.length (entry t b).data
+let bytes t b = (entry t b).bytes
+let label t b = (entry t b).label
+let is_live t b =
+  match Hashtbl.find_opt t.entries b with Some e -> e.live | None -> false
+
+let live_bytes t = t.live_bytes
+let peak_bytes t = t.peak_bytes
+let reset_peak t = t.peak_bytes <- t.live_bytes
+let capacity_bytes t = t.device.Device.global_mem_bytes
+
+let would_overflow t ~extra_bytes =
+  t.live_bytes + extra_bytes > capacity_bytes t

@@ -1,0 +1,48 @@
+(** Simulated device (global) memory.
+
+    Buffers are flat arrays of 64-bit words with an accounted byte width per
+    element, handed out as integer handles that kernels receive as
+    parameters. The manager tracks live and peak allocated bytes, which is
+    the measurement behind Fig. 17 (global memory allocation with and
+    without fusion). *)
+
+type t
+
+type buffer = int
+(** Opaque buffer handle, passed to kernels as a parameter value. *)
+
+val create : Device.t -> t
+
+val alloc : ?label:string -> t -> words:int -> bytes:int -> buffer
+(** Allocate a buffer of [words] elements accounted as [bytes] bytes of
+    device memory (supplied exactly because tuples mix attribute widths).
+    Raises [Invalid_argument] on a negative size. *)
+
+val free : t -> buffer -> unit
+(** Release a buffer. Double frees raise [Invalid_argument]. *)
+
+val data : t -> buffer -> int array
+(** Backing store, shared with the simulator (host-side reads and writes
+    model explicit cudaMemcpy done by the runtime, which accounts PCIe
+    traffic separately). Raises [Not_found] for dead handles. *)
+
+val words : t -> buffer -> int
+val bytes : t -> buffer -> int
+val label : t -> buffer -> string
+val is_live : t -> buffer -> bool
+
+val live_bytes : t -> int
+(** Bytes currently allocated. *)
+
+val peak_bytes : t -> int
+(** High-water mark of {!live_bytes} since creation or {!reset_peak}. *)
+
+val reset_peak : t -> unit
+(** Reset the high-water mark to the current live size. *)
+
+val capacity_bytes : t -> int
+(** Device memory capacity (from the device descriptor). *)
+
+val would_overflow : t -> extra_bytes:int -> bool
+(** Whether allocating [extra_bytes] more would exceed device capacity;
+    used by the runtime to decide when data must be staged over PCIe. *)

@@ -1,0 +1,63 @@
+type limits = {
+  by_threads : int;
+  by_warps : int;
+  by_cta_slots : int;
+  by_registers : int;
+  by_shared_mem : int;
+}
+
+let round_up n granularity =
+  if granularity <= 0 then n else (n + granularity - 1) / granularity * granularity
+
+let limits (d : Device.t) ~cta_threads ~shared_bytes ~regs_per_thread =
+  let warps_per_cta = (cta_threads + d.warp_size - 1) / d.warp_size in
+  let by_threads = d.max_threads_per_sm / max cta_threads 1 in
+  let by_warps = d.max_warps_per_sm / max warps_per_cta 1 in
+  let by_cta_slots = d.max_ctas_per_sm in
+  let by_registers =
+    if regs_per_thread <= 0 then d.max_ctas_per_sm
+    else
+      (* Fermi allocates registers per warp, rounded to the granularity *)
+      let regs_per_warp =
+        round_up (regs_per_thread * d.warp_size) d.register_alloc_granularity
+      in
+      d.registers_per_sm / max (regs_per_warp * warps_per_cta) 1
+  in
+  let by_shared_mem =
+    if shared_bytes <= 0 then d.max_ctas_per_sm
+    else d.shared_mem_per_sm / max (round_up shared_bytes d.shared_alloc_granularity) 1
+  in
+  { by_threads; by_warps; by_cta_slots; by_registers; by_shared_mem }
+
+let ctas_per_sm d ~cta_threads ~shared_bytes ~regs_per_thread =
+  let l = limits d ~cta_threads ~shared_bytes ~regs_per_thread in
+  max 0
+    (min l.by_threads
+       (min l.by_warps (min l.by_cta_slots (min l.by_registers l.by_shared_mem))))
+
+let occupancy (d : Device.t) ~cta_threads ~shared_bytes ~regs_per_thread =
+  let ctas = ctas_per_sm d ~cta_threads ~shared_bytes ~regs_per_thread in
+  let warps_per_cta = (cta_threads + d.warp_size - 1) / d.warp_size in
+  float_of_int (ctas * warps_per_cta) /. float_of_int d.max_warps_per_sm
+  |> Float.min 1.0
+
+let limiting_resource d ~cta_threads ~shared_bytes ~regs_per_thread =
+  let l = limits d ~cta_threads ~shared_bytes ~regs_per_thread in
+  let candidates =
+    [
+      (l.by_registers, "registers");
+      (l.by_shared_mem, "shared memory");
+      (l.by_warps, "warps");
+      (l.by_threads, "threads");
+      (l.by_cta_slots, "CTA slots");
+    ]
+  in
+  let best =
+    List.fold_left
+      (fun acc (v, name) ->
+        match acc with
+        | Some (v0, _) when v0 <= v -> acc
+        | _ -> Some (v, name))
+      None candidates
+  in
+  match best with Some (_, name) -> name | None -> "none"

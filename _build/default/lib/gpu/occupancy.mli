@@ -1,0 +1,36 @@
+(** CUDA-style occupancy calculator.
+
+    Reimplements the published occupancy rules the paper reads off the CUDA
+    Occupancy Calculator (Table 3): resident CTAs per SM are limited by the
+    thread, warp, CTA-slot, register-file and shared-memory budgets, and
+    occupancy is the resulting fraction of active warps. *)
+
+type limits = {
+  by_threads : int;
+  by_warps : int;
+  by_cta_slots : int;
+  by_registers : int;
+  by_shared_mem : int;
+}
+(** Per-resource bounds on resident CTAs per SM, useful for explaining
+    which resource caps a fused kernel. *)
+
+val limits :
+  Device.t -> cta_threads:int -> shared_bytes:int -> regs_per_thread:int ->
+  limits
+
+val ctas_per_sm :
+  Device.t -> cta_threads:int -> shared_bytes:int -> regs_per_thread:int -> int
+(** Resident CTAs per SM: the minimum over {!limits} (never negative). *)
+
+val occupancy :
+  Device.t -> cta_threads:int -> shared_bytes:int -> regs_per_thread:int ->
+  float
+(** Active warps over maximum warps per SM, in [0, 1]. Zero when the kernel
+    cannot be resident at all. *)
+
+val limiting_resource :
+  Device.t -> cta_threads:int -> shared_bytes:int -> regs_per_thread:int ->
+  string
+(** Human-readable name of the binding constraint ("registers",
+    "shared memory", "warps", "threads" or "CTA slots"). *)

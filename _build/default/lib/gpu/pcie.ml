@@ -1,0 +1,42 @@
+type direction = Host_to_device | Device_to_host
+
+type t = {
+  device : Device.t;
+  mutable bytes_h2d : int;
+  mutable bytes_d2h : int;
+  mutable transfers : int;
+  mutable seconds : float;
+}
+
+let create device =
+  { device; bytes_h2d = 0; bytes_d2h = 0; transfers = 0; seconds = 0.0 }
+
+let transfer t dir ~bytes =
+  if bytes < 0 then invalid_arg "Pcie.transfer: negative size";
+  (match dir with
+  | Host_to_device -> t.bytes_h2d <- t.bytes_h2d + bytes
+  | Device_to_host -> t.bytes_d2h <- t.bytes_d2h + bytes);
+  t.transfers <- t.transfers + 1;
+  let d = t.device in
+  let duration =
+    (d.Device.pcie_latency_us *. 1e-6)
+    +. (float_of_int bytes /. (d.Device.pcie_bw_gbps *. 1e9))
+  in
+  t.seconds <- t.seconds +. duration;
+  duration
+
+let transfer_words t dir ~words ~width = transfer t dir ~bytes:(words * width)
+
+let total_bytes t = t.bytes_h2d + t.bytes_d2h
+let bytes_h2d t = t.bytes_h2d
+let bytes_d2h t = t.bytes_d2h
+let transfer_count t = t.transfers
+let total_seconds t = t.seconds
+
+let total_cycles t = t.seconds *. t.device.Device.clock_ghz *. 1e9
+
+let reset t =
+  t.bytes_h2d <- 0;
+  t.bytes_d2h <- 0;
+  t.transfers <- 0;
+  t.seconds <- 0.0

@@ -1,0 +1,32 @@
+(** PCIe transfer model and traffic ledger.
+
+    Host-to-device and device-to-host copies are charged a fixed latency
+    plus bandwidth-proportional time (Device.pcie_bw_gbps is the effective
+    rate, already below the PCIe 2.0 x16 peak, as measured systems are).
+    The ledger supports Fig. 21 (PCIe traffic with and without fusion). *)
+
+type direction = Host_to_device | Device_to_host
+
+type t
+
+val create : Device.t -> t
+
+val transfer : t -> direction -> bytes:int -> float
+(** Record one transfer of [bytes]; returns its duration in seconds. *)
+
+val transfer_words : t -> direction -> words:int -> width:int -> float
+(** Convenience: [transfer t dir ~bytes:(words * width)]. *)
+
+val total_bytes : t -> int
+val bytes_h2d : t -> int
+val bytes_d2h : t -> int
+val transfer_count : t -> int
+
+val total_seconds : t -> float
+(** Accumulated transfer time in seconds. *)
+
+val total_cycles : t -> float
+(** Accumulated transfer time expressed in SM cycles of the device, so it
+    can be combined with kernel cycles. *)
+
+val reset : t -> unit

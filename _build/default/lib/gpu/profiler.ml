@@ -1,0 +1,27 @@
+type t = { kernel : Kir.kernel; counts : int array; stats : Stats.t }
+
+let run ?max_instructions mem kernel ~params ~grid ~cta =
+  let counts = Array.make (max 1 (Kir.instr_count kernel)) 0 in
+  let stats =
+    Interp.run ?max_instructions ~profile:counts mem kernel ~params ~grid ~cta
+  in
+  { kernel; counts; stats }
+
+let hot_spots ?(top = 10) t =
+  let indexed =
+    Array.to_list (Array.mapi (fun i c -> (i, c, t.kernel.Kir.body.(i))) t.counts)
+  in
+  let sorted =
+    List.sort (fun (_, a, _) (_, b, _) -> Int.compare b a) indexed
+  in
+  List.filteri (fun i _ -> i < top) sorted
+  |> List.filter (fun (_, c, _) -> c > 0)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>profile of %s (%d instructions executed)@ "
+    t.kernel.Kir.kname t.stats.Stats.instructions;
+  Array.iteri
+    (fun i c ->
+      Format.fprintf ppf "%8d  %a@ " c Kir.pp_instr t.kernel.Kir.body.(i))
+    t.counts;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,1 @@
+lib/harness/ablations.ml: Float Gpu_sim List Op Plan Pred Printf Qplan Relation_lib Report Rewrite Tpch Weaver

@@ -1,0 +1,1 @@
+lib/harness/experiments.ml: Device Executor Gpu_sim List Occupancy Printf Qplan Report String Timing Tpch Weaver

@@ -1,0 +1,22 @@
+(** Ablation studies for the design choices DESIGN.md calls out.
+
+    Each ablation switches one mechanism off (or sweeps one knob) and
+    reports the effect on the relevant workload:
+
+    - {b input sharing} (§4.4 extension): pattern (d) with and without
+      fusing input-dependent operators;
+    - {b plan rewriting} (§6 rescheduling): a SELECT trapped above a SORT,
+      with and without {!Qplan.Rewrite.optimize};
+    - {b CTA size}: threads per CTA swept on pattern (a);
+    - {b tile capacity}: the partition slice size swept on pattern (c),
+      exposing the occupancy / per-CTA-overhead trade-off the layout
+      search navigates. *)
+
+val input_sharing : ?rows:int -> unit -> Report.outcome
+val semijoin_q21 : ?lineitems:int -> unit -> Report.outcome
+val different_platform : ?rows:int -> unit -> Report.outcome
+val plan_rewriting : ?rows:int -> unit -> Report.outcome
+val cta_threads : ?rows:int -> unit -> Report.outcome
+val tile_capacity : ?rows:int -> unit -> Report.outcome
+
+val all : ?quick:bool -> unit -> (string * (unit -> Report.outcome)) list

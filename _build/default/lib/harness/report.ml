@@ -1,0 +1,64 @@
+type table = {
+  title : string;
+  header : string list;
+  rows : string list list;
+  notes : string list;
+}
+
+type outcome = { table : table; headline : (string * float) list }
+
+let f2 v = Printf.sprintf "%.2f" v
+let fx v = Printf.sprintf "%.2fx" v
+let pct v = Printf.sprintf "%+.0f%%" (100.0 *. v)
+
+let bytes_human n =
+  let f = float_of_int n in
+  if f >= 1073741824.0 then Printf.sprintf "%.2f GB" (f /. 1073741824.0)
+  else if f >= 1048576.0 then Printf.sprintf "%.2f MB" (f /. 1048576.0)
+  else if f >= 1024.0 then Printf.sprintf "%.1f KB" (f /. 1024.0)
+  else Printf.sprintf "%d B" n
+
+let widths header rows =
+  let all = header :: rows in
+  let cols = List.length header in
+  List.init cols (fun c ->
+      List.fold_left
+        (fun acc row ->
+          match List.nth_opt row c with
+          | Some cell -> max acc (String.length cell)
+          | None -> acc)
+        0 all)
+
+let render t =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf ("== " ^ t.title ^ " ==\n");
+  let ws = widths t.header t.rows in
+  let line row =
+    List.iteri
+      (fun c cell ->
+        let w = List.nth ws c in
+        Buffer.add_string buf (Printf.sprintf "%-*s" (w + 2) cell))
+      row;
+    Buffer.add_char buf '\n'
+  in
+  line t.header;
+  line (List.map (fun w -> String.make w '-') ws);
+  List.iter line t.rows;
+  List.iter (fun n -> Buffer.add_string buf ("note: " ^ n ^ "\n")) t.notes;
+  Buffer.contents buf
+
+let render_markdown t =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf ("### " ^ t.title ^ "\n\n");
+  let cells row = "| " ^ String.concat " | " row ^ " |\n" in
+  Buffer.add_string buf (cells t.header);
+  Buffer.add_string buf
+    (cells (List.map (fun _ -> "---") t.header));
+  List.iter (fun r -> Buffer.add_string buf (cells r)) t.rows;
+  List.iter (fun n -> Buffer.add_string buf ("\n_" ^ n ^ "_\n")) t.notes;
+  Buffer.contents buf
+
+let print o =
+  print_string (render o.table);
+  List.iter (fun (k, v) -> Printf.printf "  %s: %.3f\n" k v) o.headline;
+  print_newline ()

@@ -1,0 +1,38 @@
+(** Result tables for the experiment harness.
+
+    Each experiment produces a {!table} (what gets printed, shaped like
+    the paper's figure or table) plus headline numbers (used by tests and
+    EXPERIMENTS.md to compare against the paper's reported values). *)
+
+type table = {
+  title : string;
+  header : string list;
+  rows : string list list;
+  notes : string list;
+}
+
+type outcome = {
+  table : table;
+  headline : (string * float) list;
+      (** named scalar results, e.g. ("avg speedup", 2.9) *)
+}
+
+val render : table -> string
+(** Fixed-width text grid. *)
+
+val render_markdown : table -> string
+
+val print : outcome -> unit
+(** Render the table and the headline numbers to stdout. *)
+
+val f2 : float -> string
+(** Two-decimal formatting ("2.89"). *)
+
+val fx : float -> string
+(** Speedup formatting ("2.89x"). *)
+
+val pct : float -> string
+(** Percentage formatting ("-59%"); input is a fraction. *)
+
+val bytes_human : int -> string
+(** "1.5 MB" style. *)

@@ -1,0 +1,1 @@
+lib/qplan/candidates.pp.ml: Array Dependence Fun Hashtbl Int List Plan

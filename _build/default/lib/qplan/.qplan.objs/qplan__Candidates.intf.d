@@ -1,0 +1,1 @@
+lib/qplan/candidates.pp.mli: Plan

@@ -1,0 +1,1 @@
+lib/qplan/dependence.pp.ml: Op Ppx_deriving_runtime

@@ -1,0 +1,1 @@
+lib/qplan/dependence.pp.mli: Op Ppx_deriving_runtime

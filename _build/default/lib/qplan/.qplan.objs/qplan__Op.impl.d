@@ -1,0 +1,1 @@
+lib/qplan/op.pp.ml: Array Dtype List Ppx_deriving_runtime Pred Printf Relation_lib Result Schema String

@@ -1,0 +1,1 @@
+lib/qplan/op.pp.mli: Ppx_deriving_runtime Pred Relation_lib

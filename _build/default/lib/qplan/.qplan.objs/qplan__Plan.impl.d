@@ -1,0 +1,1 @@
+lib/qplan/plan.pp.ml: Array Format Fun List Op Ppx_deriving_runtime Printf Relation_lib Schema String

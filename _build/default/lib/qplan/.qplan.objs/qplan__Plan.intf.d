@@ -1,0 +1,1 @@
+lib/qplan/plan.pp.mli: Format Op Ppx_deriving_runtime Relation_lib

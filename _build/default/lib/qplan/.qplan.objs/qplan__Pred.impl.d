@@ -1,0 +1,1 @@
+lib/qplan/pred.pp.ml: Array Dtype Float Int List Ppx_deriving_runtime Printf Relation_lib Schema Value

@@ -1,0 +1,1 @@
+lib/qplan/pred.pp.mli: Ppx_deriving_runtime Relation_lib

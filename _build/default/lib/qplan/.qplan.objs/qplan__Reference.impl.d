@@ -1,0 +1,1 @@
+lib/qplan/reference.pp.ml: Array Dtype List Op Plan Pred Printf Rel_ops Relation Relation_lib Schema Value

@@ -1,0 +1,1 @@
+lib/qplan/reference.pp.mli: Op Plan Relation_lib

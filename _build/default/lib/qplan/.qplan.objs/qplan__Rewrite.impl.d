@@ -1,0 +1,1 @@
+lib/qplan/rewrite.pp.ml: Array Hashtbl List Op Plan Pred Relation_lib Schema

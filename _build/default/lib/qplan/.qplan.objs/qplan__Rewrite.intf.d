@@ -1,0 +1,1 @@
+lib/qplan/rewrite.pp.mli: Plan

@@ -1,0 +1,1 @@
+lib/qplan/selection.pp.ml: Array Int List Plan

@@ -1,0 +1,47 @@
+let barriers plan =
+  Plan.nodes plan
+  |> List.filter_map (fun (n : Plan.node) ->
+         if Dependence.fusible n.kind then None else Some n.id)
+
+let groups ?(input_sharing = true) plan =
+  let n = Plan.node_count plan in
+  let fusible = Array.make n false in
+  List.iter
+    (fun (nd : Plan.node) -> fusible.(nd.id) <- Dependence.fusible nd.kind)
+    (Plan.nodes plan);
+  (* union-find over fusible nodes *)
+  let parent = Array.init n Fun.id in
+  let rec find i = if parent.(i) = i then i else find parent.(i) in
+  let union i j =
+    let ri = find i and rj = find j in
+    if ri <> rj then parent.(max ri rj) <- min ri rj
+  in
+  List.iter
+    (fun (nd : Plan.node) ->
+      if fusible.(nd.id) then begin
+        (* producer-consumer edges *)
+        List.iter
+          (fun p -> if fusible.(p) then union p nd.id)
+          (Plan.producers plan nd.id);
+        (* input-sharing edges (the §4.4 extension) *)
+        if input_sharing then
+          for other = 0 to nd.id - 1 do
+            if fusible.(other) && Plan.share_input plan other nd.id then
+              union other nd.id
+          done
+      end)
+    (Plan.nodes plan);
+  let buckets = Hashtbl.create 16 in
+  for i = 0 to n - 1 do
+    if fusible.(i) then begin
+      let root = find i in
+      let l = try Hashtbl.find buckets root with Not_found -> [] in
+      Hashtbl.replace buckets root (i :: l)
+    end
+  done;
+  Hashtbl.fold (fun root members acc -> (root, List.rev members) :: acc) buckets []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+  |> List.map snd
+
+let fusion_candidates ?input_sharing plan =
+  List.filter (fun g -> List.length g >= 2) (groups ?input_sharing plan)

@@ -1,0 +1,21 @@
+(** Algorithm 1: find groups of operators that may legally fuse.
+
+    Remove every kernel-dependence operator from the dependence graph
+    (they are global barriers) and take the connected components of what
+    remains. Connectivity follows producer-consumer edges and — when the
+    §4.4 extension is enabled — input-sharing edges (operators reading the
+    same source benefit from loading it once). Components are returned in
+    topological order of their earliest operator; singleton components are
+    kept (executing one operator is just the degenerate "fused group of
+    one"), but {!fusion_candidates} filters to the groups of two or more
+    that fusion can actually improve. *)
+
+val groups : ?input_sharing:bool -> Plan.t -> int list list
+(** Partition of all fusible node ids into connected components, each
+    sorted ascending (= topological). [input_sharing] defaults to [true]. *)
+
+val fusion_candidates : ?input_sharing:bool -> Plan.t -> int list list
+(** {!groups} restricted to components with at least two operators. *)
+
+val barriers : Plan.t -> int list
+(** Node ids of kernel-dependence operators, ascending. *)

@@ -1,0 +1,17 @@
+type t = Thread | Cta | Kernel [@@deriving show, eq, ord]
+
+let of_kind (k : Op.kind) =
+  match k with
+  | Select _ | Project _ | Arith _ -> Thread
+  | Join _ | Semijoin _ | Antijoin _ | Product | Union _ | Intersect _
+  | Difference _ ->
+      Cta
+  | Sort _ | Unique _ | Aggregate _ -> Kernel
+
+let fusible k = not (equal (of_kind k) Kernel)
+
+let edge ~producer ~consumer =
+  match (of_kind producer, of_kind consumer) with
+  | Kernel, _ | _, Kernel -> Kernel
+  | Cta, _ | _, Cta -> Cta
+  | Thread, Thread -> Thread

@@ -1,0 +1,27 @@
+(** Producer-consumer dependence classification (§4.1, Fig. 8).
+
+    Fusing two kernels means fusing corresponding threads, so what matters
+    is how far a produced tuple can travel before its consumer needs it:
+
+    - {b Thread}: each consumer thread reads only what one producer thread
+      wrote — data passes in registers, no synchronization (SELECT,
+      PROJECT, arithmetic).
+    - {b CTA}: a consumer CTA needs everything its producer CTA wrote —
+      data passes in shared memory behind one barrier (JOIN, PRODUCT, set
+      operators, whose key-ranged partitions confine sharing to a CTA).
+    - {b Kernel}: the consumer needs the whole producer output (SORT,
+      UNIQUE, global AGGREGATE behave as global barriers) — not fusible. *)
+
+type t = Thread | Cta | Kernel [@@deriving show, eq, ord]
+
+val of_kind : Op.kind -> t
+(** The class an operator imposes when it participates in a fusion: how far
+    its input/output tuples must be visible. *)
+
+val fusible : Op.kind -> bool
+(** [of_kind k <> Kernel]. *)
+
+val edge : producer:Op.kind -> consumer:Op.kind -> t
+(** Class of a producer-consumer edge: [Kernel] if either endpoint is a
+    kernel-dependence operator, else [Cta] if either endpoint needs
+    CTA-level visibility, else [Thread]. *)

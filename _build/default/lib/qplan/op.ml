@@ -1,0 +1,176 @@
+open Relation_lib
+
+type agg_fn = Sum | Count | Min | Max | Avg [@@deriving show, eq]
+
+type agg = { fn : agg_fn; expr : Pred.expr; agg_name : string }
+[@@deriving show, eq]
+
+type kind =
+  | Select of Pred.t
+  | Project of int list
+  | Arith of (string * Pred.expr) list
+  | Join of { key_arity : int }
+  | Semijoin of { key_arity : int }
+  | Antijoin of { key_arity : int }
+  | Product
+  | Union of { key_arity : int }
+  | Intersect of { key_arity : int }
+  | Difference of { key_arity : int }
+  | Sort of { key_arity : int }
+  | Unique of { key_arity : int }
+  | Aggregate of { group_by : int list; aggs : agg list }
+[@@deriving show, eq]
+
+let name = function
+  | Select _ -> "SELECT"
+  | Project _ -> "PROJECT"
+  | Arith _ -> "ARITH"
+  | Join _ -> "JOIN"
+  | Semijoin _ -> "SEMIJOIN"
+  | Antijoin _ -> "ANTIJOIN"
+  | Product -> "PRODUCT"
+  | Union _ -> "UNION"
+  | Intersect _ -> "INTERSECT"
+  | Difference _ -> "DIFFERENCE"
+  | Sort _ -> "SORT"
+  | Unique _ -> "UNIQUE"
+  | Aggregate _ -> "AGGREGATE"
+
+let describe k =
+  match k with
+  | Select _ -> "SELECT(pred)"
+  | Project cols ->
+      Printf.sprintf "PROJECT[%s]"
+        (String.concat "," (List.map string_of_int cols))
+  | Arith outs ->
+      Printf.sprintf "ARITH[%s]" (String.concat "," (List.map fst outs))
+  | Join { key_arity } -> Printf.sprintf "JOIN(key=%d)" key_arity
+  | Semijoin { key_arity } -> Printf.sprintf "SEMIJOIN(key=%d)" key_arity
+  | Antijoin { key_arity } -> Printf.sprintf "ANTIJOIN(key=%d)" key_arity
+  | Product -> "PRODUCT"
+  | Union { key_arity } -> Printf.sprintf "UNION(key=%d)" key_arity
+  | Intersect { key_arity } -> Printf.sprintf "INTERSECT(key=%d)" key_arity
+  | Difference { key_arity } -> Printf.sprintf "DIFFERENCE(key=%d)" key_arity
+  | Sort { key_arity } -> Printf.sprintf "SORT(key=%d)" key_arity
+  | Unique { key_arity } -> Printf.sprintf "UNIQUE(key=%d)" key_arity
+  | Aggregate { group_by; aggs } ->
+      Printf.sprintf "AGGREGATE[by %s; %s]"
+        (String.concat "," (List.map string_of_int group_by))
+        (String.concat "," (List.map (fun a -> a.agg_name) aggs))
+
+let input_count = function
+  | Select _ | Project _ | Arith _ | Sort _ | Unique _ | Aggregate _ -> 1
+  | Join _ | Semijoin _ | Antijoin _ | Product | Union _ | Intersect _
+  | Difference _ ->
+      2
+
+let agg_result_dtype schema a =
+  match a.fn with
+  | Count -> Dtype.I64
+  | Avg -> Dtype.F32
+  | Sum ->
+      let t = Pred.type_of_expr schema a.expr in
+      if Dtype.is_float t then Dtype.F32 else Dtype.I64
+  | Min | Max -> Pred.type_of_expr schema a.expr
+
+let check_key name ~key_arity a b =
+  if key_arity <= 0 then Error (name ^ ": key arity must be positive")
+  else if key_arity > Schema.arity a || key_arity > Schema.arity b then
+    Error (name ^ ": key arity exceeds an input schema")
+  else
+    let rec go j =
+      if j >= key_arity then Ok ()
+      else if not (Dtype.equal (Schema.dtype a j) (Schema.dtype b j)) then
+        Error (Printf.sprintf "%s: key attribute %d dtypes differ" name j)
+      else go (j + 1)
+    in
+    go 0
+
+let ( let* ) r f = Result.bind r f
+
+let out_schema kind inputs =
+  let expect n =
+    if List.length inputs = n then Ok ()
+    else
+      Error
+        (Printf.sprintf "%s expects %d input(s), got %d" (name kind) n
+           (List.length inputs))
+  in
+  match kind with
+  | Select p ->
+      let* () = expect 1 in
+      let s = List.hd inputs in
+      (try
+         Pred.check s p;
+         Ok s
+       with Pred.Type_error m -> Error ("SELECT predicate: " ^ m))
+  | Project cols -> (
+      let* () = expect 1 in
+      let s = List.hd inputs in
+      if cols = [] then Error "PROJECT keeps no attributes"
+      else
+        try Ok (Schema.project s cols)
+        with Invalid_argument m -> Error m)
+  | Arith outs -> (
+      let* () = expect 1 in
+      let s = List.hd inputs in
+      if outs = [] then Error "ARITH produces no attributes"
+      else
+        try
+          Ok
+            (Schema.make
+               (List.map (fun (n, e) -> (n, Pred.type_of_expr s e)) outs))
+        with Pred.Type_error m -> Error ("ARITH expression: " ^ m))
+  | Join { key_arity } -> (
+      let* () = expect 2 in
+      match inputs with
+      | [ a; b ] ->
+          let* () = check_key "JOIN" ~key_arity a b in
+          Ok
+            (Schema.concat a
+               (Array.sub b key_arity (Schema.arity b - key_arity)))
+      | _ -> assert false)
+  | Semijoin { key_arity } | Antijoin { key_arity } -> (
+      let* () = expect 2 in
+      match inputs with
+      | [ a; b ] ->
+          let* () = check_key (name kind) ~key_arity a b in
+          Ok a
+      | _ -> assert false)
+  | Product -> (
+      let* () = expect 2 in
+      match inputs with
+      | [ a; b ] -> Ok (Schema.concat a b)
+      | _ -> assert false)
+  | Union { key_arity } | Intersect { key_arity } | Difference { key_arity }
+    -> (
+      let* () = expect 2 in
+      match inputs with
+      | [ a; b ] ->
+          let* () = check_key (name kind) ~key_arity a b in
+          if Schema.compatible a b then Ok a
+          else Error (name kind ^ ": input schemas are incompatible")
+      | _ -> assert false)
+  | Sort { key_arity } | Unique { key_arity } ->
+      let* () = expect 1 in
+      let s = List.hd inputs in
+      if key_arity <= 0 || key_arity > Schema.arity s then
+        Error (name kind ^ ": key arity out of range")
+      else Ok s
+  | Aggregate { group_by; aggs } -> (
+      let* () = expect 1 in
+      let s = List.hd inputs in
+      if aggs = [] then Error "AGGREGATE computes nothing"
+      else
+        try
+          let group_attrs =
+            List.map (fun c -> (Schema.name s c, Schema.dtype s c)) group_by
+          in
+          let agg_attrs =
+            List.map (fun a -> (a.agg_name, agg_result_dtype s a)) aggs
+          in
+          Ok (Schema.make (group_attrs @ agg_attrs))
+        with
+        | Invalid_argument m -> Error m
+        | Pred.Type_error m -> Error ("AGGREGATE expression: " ^ m)
+        | Not_found -> Error "AGGREGATE: bad group-by column")

@@ -1,0 +1,50 @@
+(** Relational-algebra operator kinds (Table 1 plus the §4.4 extensions).
+
+    Keys are attribute prefixes: a [key_arity] of [k] means an operator
+    compares tuples on their first [k] attributes, matching the sorted
+    dense-array storage format. *)
+
+type agg_fn = Sum | Count | Min | Max | Avg [@@deriving show, eq]
+
+type agg = { fn : agg_fn; expr : Pred.expr; agg_name : string }
+[@@deriving show, eq]
+
+type kind =
+  | Select of Pred.t
+  | Project of int list
+  | Arith of (string * Pred.expr) list
+      (** map operator: each output attribute is a named expression over
+          the input tuple (§4.4 second extension) *)
+  | Join of { key_arity : int }
+  | Semijoin of { key_arity : int }
+      (** EXISTS: left tuples whose key occurs in the right input *)
+  | Antijoin of { key_arity : int }
+      (** NOT EXISTS: left tuples whose key is absent from the right *)
+  | Product
+  | Union of { key_arity : int }
+  | Intersect of { key_arity : int }
+  | Difference of { key_arity : int }
+  | Sort of { key_arity : int }
+  | Unique of { key_arity : int }
+  | Aggregate of { group_by : int list; aggs : agg list }
+[@@deriving show, eq]
+
+val name : kind -> string
+(** Short operator name ("SELECT", "JOIN", ...). *)
+
+val describe : kind -> string
+(** Name plus salient parameters, for plan dumps. *)
+
+val input_count : kind -> int
+(** 1 for unary operators, 2 for binary ones. *)
+
+val agg_result_dtype :
+  Relation_lib.Schema.t -> agg -> Relation_lib.Dtype.t
+(** SUM keeps f32 for float expressions and widens integers to i64; COUNT
+    is i64; MIN/MAX keep the expression dtype; AVG is f32. *)
+
+val out_schema :
+  kind -> Relation_lib.Schema.t list -> (Relation_lib.Schema.t, string) result
+(** Output schema from input schemas; [Error] explains arity/type
+    mismatches (wrong input count, incompatible set-op schemas, key dtype
+    disagreement for joins, predicate type errors). *)

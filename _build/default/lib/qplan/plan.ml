@@ -1,0 +1,111 @@
+open Relation_lib
+
+type source = Base of int | Node of int [@@deriving show, eq, ord]
+
+type node = { id : int; kind : Op.kind; inputs : source list; schema : Schema.t }
+
+type t = { base_schemas : Schema.t array; node_arr : node array }
+
+type builder = {
+  mutable bases_rev : Schema.t list;
+  mutable base_n : int;
+  mutable nodes_rev : node list;
+  mutable node_n : int;
+}
+
+let builder () = { bases_rev = []; base_n = 0; nodes_rev = []; node_n = 0 }
+
+let base b schema =
+  let id = b.base_n in
+  b.bases_rev <- schema :: b.bases_rev;
+  b.base_n <- id + 1;
+  Base id
+
+let source_schema b = function
+  | Base i ->
+      if i < 0 || i >= b.base_n then
+        invalid_arg (Printf.sprintf "Plan.add: unknown base %d" i)
+      else List.nth b.bases_rev (b.base_n - 1 - i)
+  | Node i ->
+      if i < 0 || i >= b.node_n then
+        invalid_arg (Printf.sprintf "Plan.add: unknown node %d" i)
+      else (List.nth b.nodes_rev (b.node_n - 1 - i)).schema
+
+let add b kind inputs =
+  let input_schemas = List.map (source_schema b) inputs in
+  match Op.out_schema kind input_schemas with
+  | Error msg -> invalid_arg ("Plan.add: " ^ msg)
+  | Ok schema ->
+      let id = b.node_n in
+      b.nodes_rev <- { id; kind; inputs; schema } :: b.nodes_rev;
+      b.node_n <- id + 1;
+      Node id
+
+let builder_schema = source_schema
+
+let build b =
+  if b.node_n = 0 then invalid_arg "Plan.build: empty plan";
+  {
+    base_schemas = Array.of_list (List.rev b.bases_rev);
+    node_arr = Array.of_list (List.rev b.nodes_rev);
+  }
+
+let base_count t = Array.length t.base_schemas
+let base_schema t i = t.base_schemas.(i)
+let node_count t = Array.length t.node_arr
+
+let node t i =
+  if i < 0 || i >= node_count t then
+    invalid_arg (Printf.sprintf "Plan.node: %d out of range" i)
+  else t.node_arr.(i)
+
+let nodes t = Array.to_list t.node_arr
+
+let schema_of t = function
+  | Base i -> base_schema t i
+  | Node i -> (node t i).schema
+
+let producers t id =
+  List.filter_map
+    (function Node i -> Some i | Base _ -> None)
+    (node t id).inputs
+
+let consumers t id =
+  Array.to_list t.node_arr
+  |> List.filter_map (fun n ->
+         if List.exists (function Node i -> i = id | Base _ -> false) n.inputs
+         then Some n.id
+         else None)
+
+let sinks t =
+  let consumed = Array.make (node_count t) false in
+  Array.iter
+    (fun n ->
+      List.iter
+        (function Node i -> consumed.(i) <- true | Base _ -> ())
+        n.inputs)
+    t.node_arr;
+  List.filter (fun i -> not consumed.(i)) (List.init (node_count t) Fun.id)
+
+let share_input t a b =
+  let ia = (node t a).inputs and ib = (node t b).inputs in
+  List.exists (fun s -> List.exists (equal_source s) ib) ia
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>plan: %d base relation(s), %d operator(s)@ "
+    (base_count t) (node_count t);
+  Array.iteri
+    (fun i s ->
+      Format.fprintf ppf "base %d: %d attrs (%d B/tuple)@ " i (Schema.arity s)
+        (Schema.tuple_bytes s))
+    t.base_schemas;
+  Array.iter
+    (fun n ->
+      let show_src = function
+        | Base i -> Printf.sprintf "base%d" i
+        | Node i -> Printf.sprintf "op%d" i
+      in
+      Format.fprintf ppf "op%d: %s <- [%s]@ " n.id (Op.describe n.kind)
+        (String.concat "; " (List.map show_src n.inputs)))
+    t.node_arr;
+  Format.fprintf ppf "@]"

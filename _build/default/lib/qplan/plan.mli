@@ -1,0 +1,68 @@
+(** Query plans: DAGs of RA operators over base relations.
+
+    This is the "RA dependence graph" of Fig. 9(b): nodes are operators,
+    directed edges are producer-consumer dependences. Plans are built
+    through a monotonic builder, so node ids are topologically ordered by
+    construction and cycles cannot be expressed (the paper likewise
+    excludes recursive queries). *)
+
+type source = Base of int | Node of int [@@deriving show, eq, ord]
+(** Where an operator input comes from: an input relation or another
+    operator's output. *)
+
+type node = {
+  id : int;
+  kind : Op.kind;
+  inputs : source list;
+  schema : Relation_lib.Schema.t;  (** output schema, inferred at [add] *)
+}
+
+type t
+
+(** {2 Construction} *)
+
+type builder
+
+val builder : unit -> builder
+
+val base : builder -> Relation_lib.Schema.t -> source
+(** Declare an input relation; returns its [Base] source. *)
+
+val add : builder -> Op.kind -> source list -> source
+(** Append an operator; its inputs must already exist. Raises
+    [Invalid_argument] with the schema-inference error on invalid
+    operators. Returns the new node's [Node] source. *)
+
+val build : builder -> t
+(** Seal the plan. Raises [Invalid_argument] on an empty plan. *)
+
+val builder_schema : builder -> source -> Relation_lib.Schema.t
+(** Schema of a source while still building (front-ends need it to plan
+    attribute permutations). Raises [Invalid_argument] on unknown
+    sources. *)
+
+(** {2 Observation} *)
+
+val base_count : t -> int
+val base_schema : t -> int -> Relation_lib.Schema.t
+val node_count : t -> int
+val node : t -> int -> node
+val nodes : t -> node list
+(** In topological (id) order. *)
+
+val schema_of : t -> source -> Relation_lib.Schema.t
+
+val producers : t -> int -> int list
+(** Node ids feeding node [id] (base inputs excluded). *)
+
+val consumers : t -> int -> int list
+(** Node ids reading node [id]'s output. *)
+
+val sinks : t -> int list
+(** Nodes no other node consumes — the plan's results. *)
+
+val share_input : t -> int -> int -> bool
+(** Whether two nodes read a common source (the §4.4 input-dependence
+    extension). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,124 @@
+open Relation_lib
+
+type arith = Add | Sub | Mul | Div [@@deriving show, eq]
+
+type cmp = Eq | Ne | Lt | Le | Gt | Ge [@@deriving show, eq]
+
+type expr = Attr of int | Int of int | F32 of float | Bin of arith * expr * expr
+[@@deriving show, eq]
+
+type t =
+  | Cmp of cmp * expr * expr
+  | And of t * t
+  | Or of t * t
+  | Not of t
+  | True
+[@@deriving show, eq]
+
+exception Type_error of string
+
+let type_error fmt = Printf.ksprintf (fun s -> raise (Type_error s)) fmt
+
+let rec type_of_expr schema = function
+  | Attr i ->
+      if i < 0 || i >= Schema.arity schema then
+        type_error "attribute %d out of range (arity %d)" i
+          (Schema.arity schema)
+      else
+        let dt = Schema.dtype schema i in
+        if Dtype.equal dt Dtype.Bool then
+          type_error "attribute %d is boolean; not usable in arithmetic" i
+        else dt
+  | Int _ -> Dtype.I32
+  | F32 _ -> Dtype.F32
+  | Bin (_, a, b) -> (
+      let ta = type_of_expr schema a and tb = type_of_expr schema b in
+      match (Dtype.is_float ta, Dtype.is_float tb) with
+      | true, _ | _, true -> Dtype.F32
+      | false, false ->
+          if Dtype.equal ta Dtype.I64 || Dtype.equal tb Dtype.I64 then
+            Dtype.I64
+          else ta)
+
+let rec check schema = function
+  | True -> ()
+  | Not p -> check schema p
+  | And (a, b) | Or (a, b) ->
+      check schema a;
+      check schema b
+  | Cmp (_, a, b) ->
+      (* both sides typecheck; mixed int/float comparisons promote *)
+      ignore (type_of_expr schema a);
+      ignore (type_of_expr schema b)
+
+let rec eval_expr schema tup e =
+  match e with
+  | Attr i -> tup.(i)
+  | Int n -> n
+  | F32 f -> Value.of_f32 f
+  | Bin (op, a, b) ->
+      let ta = type_of_expr schema a and tb = type_of_expr schema b in
+      let va = eval_expr schema tup a and vb = eval_expr schema tup b in
+      let as_float t v =
+        if Dtype.is_float t then Value.to_f32 v else float_of_int v
+      in
+      if Dtype.is_float (type_of_expr schema e) then
+        let fa = as_float ta va and fb = as_float tb vb in
+        (* round through binary32 after each operation, as the GPU would *)
+        let f32 x = Value.to_f32 (Value.of_f32 x) in
+        Value.of_f32
+          (match op with
+          | Add -> f32 (fa +. fb)
+          | Sub -> f32 (fa -. fb)
+          | Mul -> f32 (fa *. fb)
+          | Div -> f32 (fa /. fb))
+      else
+        match op with
+        | Add -> va + vb
+        | Sub -> va - vb
+        | Mul -> va * vb
+        | Div ->
+            if vb = 0 then type_error "integer division by zero" else va / vb
+
+let rec eval schema tup = function
+  | True -> true
+  | Not p -> not (eval schema tup p)
+  | And (a, b) -> eval schema tup a && eval schema tup b
+  | Or (a, b) -> eval schema tup a || eval schema tup b
+  | Cmp (c, a, b) ->
+      let ta = type_of_expr schema a and tb = type_of_expr schema b in
+      let va = eval_expr schema tup a and vb = eval_expr schema tup b in
+      let r =
+        if Dtype.is_float ta || Dtype.is_float tb then
+          let fa = if Dtype.is_float ta then Value.to_f32 va else float_of_int va in
+          let fb = if Dtype.is_float tb then Value.to_f32 vb else float_of_int vb in
+          Float.compare fa fb
+        else Int.compare va vb
+      in
+      (match c with
+      | Eq -> r = 0
+      | Ne -> r <> 0
+      | Lt -> r < 0
+      | Le -> r <= 0
+      | Gt -> r > 0
+      | Ge -> r >= 0)
+
+let rec expr_attrs = function
+  | Attr i -> [ i ]
+  | Int _ | F32 _ -> []
+  | Bin (_, a, b) -> expr_attrs a @ expr_attrs b
+
+let attrs_used p =
+  let rec go = function
+    | True -> []
+    | Not p -> go p
+    | And (a, b) | Or (a, b) -> go a @ go b
+    | Cmp (_, a, b) -> expr_attrs a @ expr_attrs b
+  in
+  List.sort_uniq Int.compare (go p)
+
+let ( &&& ) a b = And (a, b)
+let ( ||| ) a b = Or (a, b)
+
+let attr_between i lo hi =
+  And (Cmp (Ge, Attr i, Int lo), Cmp (Le, Attr i, Int hi))

@@ -1,0 +1,54 @@
+(** Scalar expressions and predicates over tuple attributes.
+
+    These appear in SELECT conditions and in arithmetic (map) operators such
+    as TPC-H Q1's [price * (1 - discount) * (1 + tax)]. Expressions are
+    typed against a schema: integer and float arithmetic are distinguished,
+    and integers promote to f32 when mixed. The same AST is evaluated on
+    the host (reference evaluator) and compiled to KIR (code generator). *)
+
+type arith = Add | Sub | Mul | Div [@@deriving show, eq]
+
+type cmp = Eq | Ne | Lt | Le | Gt | Ge [@@deriving show, eq]
+
+type expr =
+  | Attr of int  (** input attribute by position *)
+  | Int of int
+  | F32 of float
+  | Bin of arith * expr * expr
+[@@deriving show, eq]
+
+type t =
+  | Cmp of cmp * expr * expr
+  | And of t * t
+  | Or of t * t
+  | Not of t
+  | True
+[@@deriving show, eq]
+
+exception Type_error of string
+
+val type_of_expr : Relation_lib.Schema.t -> expr -> Relation_lib.Dtype.t
+(** Resulting dtype ([I32], [I64], [F32] or [Date]); raises {!Type_error}
+    on out-of-range attributes or arithmetic on booleans. Mixed int/float
+    arithmetic promotes to [F32]. *)
+
+val check : Relation_lib.Schema.t -> t -> unit
+(** Typecheck a predicate; raises {!Type_error}. Comparisons require both
+    sides to be both-float or both-integer after promotion. *)
+
+val eval_expr : Relation_lib.Schema.t -> int array -> expr -> Relation_lib.Value.t
+(** Host evaluation; the result is encoded per {!type_of_expr}. *)
+
+val eval : Relation_lib.Schema.t -> int array -> t -> bool
+
+val attrs_used : t -> int list
+(** Sorted, deduplicated attribute indices read by a predicate. *)
+
+val expr_attrs : expr -> int list
+
+(** {2 Convenience constructors} *)
+
+val ( &&& ) : t -> t -> t
+val ( ||| ) : t -> t -> t
+val attr_between : int -> int -> int -> t
+(** [attr_between i lo hi] is [lo <= attr i && attr i <= hi]. *)

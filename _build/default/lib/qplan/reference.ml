@@ -1,0 +1,131 @@
+open Relation_lib
+
+let eval_aggregate ~group_by ~aggs rel =
+  let schema = Relation.schema rel in
+  let out_schema =
+    match Op.out_schema (Op.Aggregate { group_by; aggs }) [ schema ] with
+    | Ok s -> s
+    | Error m -> invalid_arg ("Reference.eval_aggregate: " ^ m)
+  in
+  let groups = Rel_ops.group_by ~cols:group_by rel in
+  let agg_value members (a : Op.agg) =
+    let vals = List.map (fun tup -> Pred.eval_expr schema tup a.expr) members in
+    let dt = Pred.type_of_expr schema a.expr in
+    let as_float v = if Dtype.is_float dt then Value.to_f32 v else float_of_int v in
+    match a.fn with
+    | Count -> List.length members
+    | Sum ->
+        if Dtype.is_float dt then
+          (* accumulate in f32 like the device does *)
+          Value.of_f32
+            (List.fold_left
+               (fun acc v -> Value.to_f32 (Value.of_f32 (acc +. Value.to_f32 v)))
+               0.0 vals)
+        else List.fold_left ( + ) 0 vals
+    | Min -> (
+        match vals with
+        | [] -> 0
+        | v0 :: rest ->
+            List.fold_left
+              (fun acc v -> if Value.compare_as dt v acc < 0 then v else acc)
+              v0 rest)
+    | Max -> (
+        match vals with
+        | [] -> 0
+        | v0 :: rest ->
+            List.fold_left
+              (fun acc v -> if Value.compare_as dt v acc > 0 then v else acc)
+              v0 rest)
+    | Avg ->
+        let n = List.length vals in
+        if n = 0 then Value.of_f32 0.0
+        else
+          Value.of_f32
+            (List.fold_left (fun acc v -> acc +. as_float v) 0.0 vals
+            /. float_of_int n)
+  in
+  let tuples =
+    List.map
+      (fun (key, members) ->
+        Array.append key (Array.of_list (List.map (agg_value members) aggs)))
+      groups
+  in
+  Relation.create out_schema tuples
+
+let eval_kind kind inputs =
+  let unary () = match inputs with [ r ] -> r | _ -> invalid_arg "Reference.eval_kind: arity" in
+  let binary () =
+    match inputs with [ a; b ] -> (a, b) | _ -> invalid_arg "Reference.eval_kind: arity"
+  in
+  match kind with
+  | Op.Select p ->
+      let r = unary () in
+      let schema = Relation.schema r in
+      Rel_ops.select (fun tup -> Pred.eval schema tup p) r
+  | Op.Project cols -> Rel_ops.project cols (unary ())
+  | Op.Arith outs ->
+      let r = unary () in
+      let schema = Relation.schema r in
+      let out_schema =
+        match Op.out_schema kind [ schema ] with
+        | Ok s -> s
+        | Error m -> invalid_arg ("Reference.eval_kind: " ^ m)
+      in
+      Rel_ops.map out_schema
+        (fun tup ->
+          Array.of_list
+            (List.map (fun (_, e) -> Pred.eval_expr schema tup e) outs))
+        r
+  | Op.Join { key_arity } ->
+      let a, b = binary () in
+      Rel_ops.join ~key_arity a b
+  | Op.Semijoin { key_arity } ->
+      let a, b = binary () in
+      Rel_ops.semijoin ~key_arity a b
+  | Op.Antijoin { key_arity } ->
+      let a, b = binary () in
+      Rel_ops.antijoin ~key_arity a b
+  | Op.Product ->
+      let a, b = binary () in
+      Rel_ops.product a b
+  | Op.Union { key_arity } ->
+      let a, b = binary () in
+      Rel_ops.union ~key_arity a b
+  | Op.Intersect { key_arity } ->
+      let a, b = binary () in
+      Rel_ops.intersect ~key_arity a b
+  | Op.Difference { key_arity } ->
+      let a, b = binary () in
+      Rel_ops.difference ~key_arity a b
+  | Op.Sort { key_arity } -> Rel_ops.sort ~key_arity (unary ())
+  | Op.Unique { key_arity } -> Rel_ops.unique ~key_arity (unary ())
+  | Op.Aggregate { group_by; aggs } -> eval_aggregate ~group_by ~aggs (unary ())
+
+let eval_node (results : Relation.t array) bases (n : Plan.node) =
+  let input = function
+    | Plan.Base i -> bases.(i)
+    | Plan.Node i -> results.(i)
+  in
+  eval_kind n.kind (List.map input n.inputs)
+
+let eval plan bases =
+  if Array.length bases <> Plan.base_count plan then
+    invalid_arg
+      (Printf.sprintf "Reference.eval: plan has %d bases, got %d relations"
+         (Plan.base_count plan) (Array.length bases));
+  Array.iteri
+    (fun i r ->
+      if not (Schema.equal (Relation.schema r) (Plan.base_schema plan i)) then
+        invalid_arg (Printf.sprintf "Reference.eval: base %d schema mismatch" i))
+    bases;
+  let results =
+    Array.make (Plan.node_count plan) (Relation.empty (Plan.base_schema plan 0))
+  in
+  List.iter
+    (fun (n : Plan.node) -> results.(n.id) <- eval_node results bases n)
+    (Plan.nodes plan);
+  results
+
+let eval_sinks plan bases =
+  let results = eval plan bases in
+  List.map (fun id -> (id, results.(id))) (Plan.sinks plan)

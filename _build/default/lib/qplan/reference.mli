@@ -1,0 +1,26 @@
+(** Oracle evaluator: runs a plan on the host with the naive algorithms.
+
+    Used to validate both the unfused GPU skeletons and every fused kernel
+    the weaver generates: for any plan and inputs, all three must agree.
+    Also handy on its own as a plain in-memory query engine. *)
+
+val eval : Plan.t -> Relation_lib.Relation.t array -> Relation_lib.Relation.t array
+(** [eval plan bases] returns one relation per plan node (indexed by node
+    id). [bases] must have one relation per plan base, with matching
+    schemas. Raises [Invalid_argument] on mismatches. *)
+
+val eval_sinks : Plan.t -> Relation_lib.Relation.t array -> (int * Relation_lib.Relation.t) list
+(** Only the sink nodes' results, as [(node id, relation)] pairs. *)
+
+val eval_kind :
+  Op.kind -> Relation_lib.Relation.t list -> Relation_lib.Relation.t
+(** Evaluate a single operator on materialized inputs (used by the
+    runtime's degenerate-skew fallback and by tests). *)
+
+val eval_aggregate :
+  group_by:int list ->
+  aggs:Op.agg list ->
+  Relation_lib.Relation.t ->
+  Relation_lib.Relation.t
+(** Host group-by aggregation (exposed for direct testing): output tuples
+    are [group values ++ aggregate values], sorted by group key. *)

@@ -1,0 +1,302 @@
+open Relation_lib
+
+(* Rewrites work on a small mutable graph, then rebuild a plan keeping
+   only the operators reachable from the original sinks. *)
+
+type gnode = { mutable kind : Op.kind; mutable inputs : Plan.source list }
+
+type graph = {
+  base_schemas : Schema.t array;
+  nodes : (int, gnode) Hashtbl.t;
+  mutable next_id : int;
+  sinks : int list;  (** the original plan's sinks: rewrites preserve them *)
+}
+
+let of_plan plan =
+  let nodes = Hashtbl.create 32 in
+  List.iter
+    (fun (n : Plan.node) ->
+      Hashtbl.replace nodes n.id { kind = n.kind; inputs = n.inputs })
+    (Plan.nodes plan);
+  {
+    base_schemas = Array.init (Plan.base_count plan) (Plan.base_schema plan);
+    nodes;
+    next_id = Plan.node_count plan;
+    sinks = Plan.sinks plan;
+  }
+
+let node g id = Hashtbl.find g.nodes id
+
+let consumers g id =
+  Hashtbl.fold
+    (fun cid (n : gnode) acc ->
+      if List.exists (function Plan.Node j -> j = id | Plan.Base _ -> false)
+           n.inputs
+      then cid :: acc
+      else acc)
+    g.nodes []
+
+let sole_consumer g id =
+  match consumers g id with [ c ] -> Some c | _ -> None
+
+(* schema of a source, recomputed through the (rewritten) graph *)
+let rec schema_of g = function
+  | Plan.Base i -> g.base_schemas.(i)
+  | Plan.Node id -> (
+      let n = node g id in
+      match Op.out_schema n.kind (List.map (schema_of g) n.inputs) with
+      | Ok s -> s
+      | Error m -> invalid_arg ("Rewrite: inconsistent graph: " ^ m))
+
+let to_plan g =
+  let pb = Plan.builder () in
+  let base_sources = Array.map (Plan.base pb) g.base_schemas in
+  let mapping = Hashtbl.create 32 in
+  let rec emit id =
+    match Hashtbl.find_opt mapping id with
+    | Some src -> src
+    | None ->
+        let n = node g id in
+        let inputs =
+          List.map
+            (function
+              | Plan.Base i -> base_sources.(i)
+              | Plan.Node j -> emit j)
+            n.inputs
+        in
+        let src = Plan.add pb n.kind inputs in
+        Hashtbl.replace mapping id src;
+        src
+  in
+  List.iter (fun s -> ignore (emit s)) g.sinks;
+  Plan.build pb
+
+(* --- rules ------------------------------------------------------------------ *)
+
+(* Each rule scans for one applicable site and rewires it; [run_rule]
+   iterates until no site remains. *)
+
+let rec fix rule g = if rule g then fix rule g else ()
+
+(* SELECT(SORT(x)) -> SORT(SELECT(x)): swap the two nodes' roles. *)
+let rule_select_below_sort g =
+  let site =
+    Hashtbl.fold
+      (fun sid (s : gnode) acc ->
+        match (acc, s.kind, s.inputs) with
+        | None, Op.Select _, [ Plan.Node jid ] -> (
+            let j = node g jid in
+            match j.kind with
+            | Op.Sort _ when sole_consumer g jid = Some sid -> Some (sid, jid)
+            | _ -> None)
+        | _ -> acc)
+      g.nodes None
+  in
+  match site with
+  | None -> false
+  | Some (sid, jid) ->
+      let s = node g sid and j = node g jid in
+      let sort_kind = j.kind and sort_inputs = j.inputs in
+      j.kind <- s.kind;
+      j.inputs <- sort_inputs;
+      s.kind <- sort_kind;
+      s.inputs <- [ Plan.Node jid ];
+      true
+
+(* PROJECT(SORT(x)) -> SORT(PROJECT(x)) when the kept columns start with
+   the sort key prefix in order. *)
+let rule_project_below_sort g =
+  let prefix_ok cols k =
+    List.length cols >= k
+    &&
+    let rec go j = function
+      | _ when j >= k -> true
+      | c :: rest -> c = j && go (j + 1) rest
+      | [] -> false
+    in
+    go 0 cols
+  in
+  let site =
+    Hashtbl.fold
+      (fun sid (s : gnode) acc ->
+        match (acc, s.kind, s.inputs) with
+        | None, Op.Project cols, [ Plan.Node jid ] -> (
+            let j = node g jid in
+            match j.kind with
+            | Op.Sort { key_arity } when sole_consumer g jid = Some sid
+                                          && prefix_ok cols key_arity ->
+                Some (sid, jid)
+            | _ -> None)
+        | _ -> acc)
+      g.nodes None
+  in
+  match site with
+  | None -> false
+  | Some (sid, jid) ->
+      let s = node g sid and j = node g jid in
+      let sort_kind = j.kind and sort_inputs = j.inputs in
+      j.kind <- s.kind;
+      j.inputs <- sort_inputs;
+      s.kind <- sort_kind;
+      s.inputs <- [ Plan.Node jid ];
+      true
+
+(* SELECT over JOIN commutes into one input when its predicate touches
+   only that side's attributes (key attributes exist on both sides). *)
+let rule_select_into_join g =
+  let remap_right ~key_arity ~l_arity p =
+    let rec expr (e : Pred.expr) =
+      match e with
+      | Pred.Attr i when i < key_arity -> Pred.Attr i
+      | Pred.Attr i -> Pred.Attr (i - l_arity + key_arity)
+      | Pred.Int _ | Pred.F32 _ -> e
+      | Pred.Bin (o, a, b) -> Pred.Bin (o, expr a, expr b)
+    in
+    let rec pred (p : Pred.t) =
+      match p with
+      | Pred.True -> p
+      | Pred.Not q -> Pred.Not (pred q)
+      | Pred.And (a, b) -> Pred.And (pred a, pred b)
+      | Pred.Or (a, b) -> Pred.Or (pred a, pred b)
+      | Pred.Cmp (c, a, b) -> Pred.Cmp (c, expr a, expr b)
+    in
+    pred p
+  in
+  let site =
+    Hashtbl.fold
+      (fun sid (s : gnode) acc ->
+        match (acc, s.kind, s.inputs) with
+        | None, Op.Select p, [ Plan.Node jid ] -> (
+            let j = node g jid in
+            match (j.kind, j.inputs) with
+            | (Op.Semijoin _ | Op.Antijoin _), [ a; b ]
+              when sole_consumer g jid = Some sid ->
+                (* semi/anti-join output IS the left input *)
+                Some (sid, jid, `Left (a, b, p))
+            | Op.Join { key_arity }, [ a; b ]
+              when sole_consumer g jid = Some sid -> (
+                let l_arity = Schema.arity (schema_of g a) in
+                let attrs = Pred.attrs_used p in
+                let left_only = List.for_all (fun i -> i < l_arity) attrs in
+                let right_only =
+                  List.for_all
+                    (fun i -> i < key_arity || i >= l_arity)
+                    attrs
+                in
+                if left_only then Some (sid, jid, `Left (a, b, p))
+                else if right_only then
+                  Some
+                    (sid, jid, `Right (a, b, remap_right ~key_arity ~l_arity p))
+                else None)
+            | _ -> None)
+        | _ -> acc)
+      g.nodes None
+  in
+  match site with
+  | None -> false
+  | Some (sid, jid, side) ->
+      let s = node g sid and j = node g jid in
+      (* the former SELECT node becomes the pushed-down select on one join
+         input; every consumer of the select now reads the join *)
+      let retarget () =
+        Hashtbl.iter
+          (fun cid (c : gnode) ->
+            if cid <> jid then
+              c.inputs <-
+                List.map
+                  (function
+                    | Plan.Node x when x = sid -> Plan.Node jid
+                    | src -> src)
+                  c.inputs)
+          g.nodes
+      in
+      (match side with
+      | `Left (a, b, p) ->
+          retarget ();
+          s.kind <- Op.Select p;
+          s.inputs <- [ a ];
+          j.inputs <- [ Plan.Node sid; b ]
+      | `Right (a, b, p) ->
+          retarget ();
+          s.kind <- Op.Select p;
+          s.inputs <- [ b ];
+          j.inputs <- [ a; Plan.Node sid ]);
+      (* the join keeps the select's sinks *)
+      true
+
+(* SELECT(SELECT(x)) -> SELECT(p_outer && p_inner). *)
+let rule_merge_selects g =
+  let site =
+    Hashtbl.fold
+      (fun sid (s : gnode) acc ->
+        match (acc, s.kind, s.inputs) with
+        | None, Op.Select _, [ Plan.Node jid ] -> (
+            let j = node g jid in
+            match j.kind with
+            | Op.Select _ when sole_consumer g jid = Some sid -> Some (sid, jid)
+            | _ -> None)
+        | _ -> acc)
+      g.nodes None
+  in
+  match site with
+  | None -> false
+  | Some (sid, jid) -> (
+      let s = node g sid and j = node g jid in
+      match (s.kind, j.kind) with
+      | Op.Select p_outer, Op.Select p_inner ->
+          s.kind <- Op.Select (Pred.And (p_inner, p_outer));
+          s.inputs <- j.inputs;
+          true
+      | _ -> false)
+
+(* sinks need care in rules that retarget: select_into_join moves a sink
+   from the select to the join; recompute sinks as the retargeted images *)
+let with_sinks g =
+  (* a sink id may have been repurposed (select_into_join): the plan's
+     result is now whatever nobody consumes on the path; we track by
+     checking that original sink ids still have no consumers — if one
+     gained consumers, its consumer chain's head replaces it *)
+  let rec chase id =
+    match consumers g id with
+    | [] -> id
+    | c :: _ -> chase c
+  in
+  { g with sinks = List.map chase g.sinks }
+
+let apply_rule rule plan =
+  let g = of_plan plan in
+  fix rule g;
+  to_plan (with_sinks g)
+
+let select_below_sort = apply_rule rule_select_below_sort
+let project_below_sort = apply_rule rule_project_below_sort
+let select_into_join = apply_rule rule_select_into_join
+let merge_selects = apply_rule rule_merge_selects
+
+let optimize ?(max_passes = 8) plan =
+  let g = of_plan plan in
+  let pass () =
+    let changed = ref false in
+    let try_rule r = if r g then changed := true in
+    try_rule rule_select_below_sort;
+    try_rule rule_project_below_sort;
+    try_rule rule_select_into_join;
+    try_rule rule_merge_selects;
+    !changed
+  in
+  let rec go n = if n > 0 && pass () then go (n - 1) in
+  go (max_passes * max 1 (Hashtbl.length g.nodes));
+  to_plan (with_sinks g)
+
+let rewrites_applied before after =
+  let kinds p =
+    List.map (fun (n : Plan.node) -> Op.name n.kind) (Plan.nodes p)
+  in
+  let kb = kinds before and ka = kinds after in
+  abs (List.length kb - List.length ka)
+  + List.length
+      (List.filteri
+         (fun i k -> match List.nth_opt ka i with
+            | Some k' -> k <> k'
+            | None -> false)
+         kb)

@@ -1,0 +1,38 @@
+(** Plan rewriting: invariant-based operator rescheduling (§6).
+
+    The paper's discussion notes that "a more complicated fusion framework
+    can use invariant analysis to reschedule operators and to fuse
+    [operators] which are not originally executed back-to-back. For
+    example, if switching the order of SORT and SELECT does not alter the
+    final result, the switch brings more opportunity to optimize since
+    SELECT can thus fuse with the operators before SORT." This module
+    implements that idea as source-to-source plan rewrites:
+
+    - {b select below sort}: [SELECT(SORT(x)) = SORT(SELECT(x))] always
+      (both sorts are stable and selection preserves relative order), and
+      the moved SELECT can now fuse with x's producers — and the SORT
+      processes fewer rows;
+    - {b project below sort}: when the projection keeps the sort key as a
+      prefix, sorting the narrower tuples is equivalent and cheaper;
+    - {b select into join}: a selection over only one side's attributes
+      (or only key attributes) commutes into that join input; selections
+      over SEMIJOIN/ANTIJOIN results always commute to the left input;
+    - {b merge adjacent selects}: consecutive SELECTs conjoin.
+
+    Rewrites fire only where the producer has a single consumer, so no
+    computation is duplicated. All rewrites preserve results exactly
+    (tuple-level, including order), which {!Test_rewrite}-style property
+    tests verify against the reference evaluator. *)
+
+val select_below_sort : Plan.t -> Plan.t
+val project_below_sort : Plan.t -> Plan.t
+val select_into_join : Plan.t -> Plan.t
+val merge_selects : Plan.t -> Plan.t
+
+val optimize : ?max_passes:int -> Plan.t -> Plan.t
+(** Apply every rule to a fixpoint (bounded by [max_passes], default 8),
+    then drop unreachable operators. *)
+
+val rewrites_applied : Plan.t -> Plan.t -> int
+(** Crude distance between plans (operator count difference plus kind
+    changes), for reporting. *)

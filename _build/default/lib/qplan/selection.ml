@@ -1,0 +1,62 @@
+type estimate = { regs_per_thread : int; shared_bytes : int }
+
+type budget = { max_regs_per_thread : int; max_shared_bytes : int }
+
+let fits budget e =
+  e.regs_per_thread <= budget.max_regs_per_thread
+  && e.shared_bytes <= budget.max_shared_bytes
+
+(* ancestors.(i) = set of node ids node i transitively depends on *)
+let ancestor_sets plan =
+  let n = Plan.node_count plan in
+  let anc = Array.make n [] in
+  let mem x l = List.exists (Int.equal x) l in
+  List.iter
+    (fun (nd : Plan.node) ->
+      let direct = Plan.producers plan nd.id in
+      let all =
+        List.fold_left
+          (fun acc p ->
+            List.fold_left
+              (fun acc a -> if mem a acc then acc else a :: acc)
+              (if mem p acc then acc else p :: acc)
+              anc.(p))
+          [] direct
+      in
+      anc.(nd.id) <- all)
+    (Plan.nodes plan);
+  anc
+
+let convex_with anc group =
+  let in_group x = List.exists (Int.equal x) group in
+  (* for every member m and every ancestor a of m outside the group,
+     a must not itself descend from a group member *)
+  List.for_all
+    (fun m ->
+      List.for_all
+        (fun a ->
+          in_group a
+          || not (List.exists in_group anc.(a)))
+        anc.(m))
+    group
+
+let convex plan group = convex_with (ancestor_sets plan) group
+
+let select ~plan ~estimate ~budget component =
+  let anc = ancestor_sets plan in
+  let component = List.sort_uniq Int.compare component in
+  let close groups current =
+    match current with [] -> groups | _ -> List.rev current :: groups
+  in
+  let rec go groups current = function
+    | [] -> List.rev (close groups current)
+    | op :: rest -> (
+        match current with
+        | [] -> go groups [ op ] rest
+        | _ ->
+            let tentative = List.rev (op :: current) in
+            if convex_with anc tentative && fits budget (estimate tentative)
+            then go groups (op :: current) rest
+            else go (close groups current) [ op ] rest)
+  in
+  go [] [] component

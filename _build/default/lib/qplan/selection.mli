@@ -1,0 +1,41 @@
+(** Algorithm 2: choose what to actually fuse, under resource budgets.
+
+    The main constraint on fusion is resource pressure: a fused kernel's
+    shared memory and registers must fit the device, or occupancy (and
+    with it, performance) collapses. Following the paper's heuristic,
+    operators are considered in topological order — fusing the {e
+    earliest} operators matters most, because data sets shrink as they
+    flow through filters — and greedily accumulated into the open group
+    while the estimated usage fits the budget; when an operator does not
+    fit, the group is closed and a new one opened with that operator.
+
+    Groups must also be {e convex}: no dependence path may leave the
+    group and re-enter it (such a group could not be scheduled as one
+    kernel). Input-sharing candidate components can be non-convex — two
+    SELECTs sharing an input with a SORT between them — so each operator
+    is admitted only if none of its outside-the-group ancestors descends
+    from a group member. *)
+
+type estimate = { regs_per_thread : int; shared_bytes : int }
+(** Resource usage of one (possibly fused) group, from the weaver's
+    §4.3.3 estimator. *)
+
+type budget = { max_regs_per_thread : int; max_shared_bytes : int }
+
+val select :
+  plan:Plan.t ->
+  estimate:(int list -> estimate) ->
+  budget:budget ->
+  int list ->
+  int list list
+(** [select ~plan ~estimate ~budget component] splits one Algorithm-1
+    candidate component (node ids, topologically sorted) into fusion
+    groups, each topologically sorted. Singleton groups are always
+    accepted — a lone operator runs as the library skeleton regardless of
+    the estimate. *)
+
+val fits : budget -> estimate -> bool
+
+val convex : Plan.t -> int list -> bool
+(** Whether a node set is convex in the plan's dependence DAG (exposed
+    for testing). *)

@@ -1,0 +1,1 @@
+lib/ra/aggregate_emit.pp.ml: Array Dtype Emit_common Expr_emit Gpu_sim Kir Kir_builder List Op Pred Printf Qplan Relation_lib Schema

@@ -1,0 +1,1 @@
+lib/ra/aggregate_emit.pp.mli: Gpu_sim Kir Qplan Relation_lib

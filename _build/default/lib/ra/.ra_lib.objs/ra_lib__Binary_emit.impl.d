@@ -1,0 +1,1 @@
+lib/ra/binary_emit.pp.ml: Array Dest Emit_common Gpu_sim Kir Kir_builder Tile

@@ -1,0 +1,1 @@
+lib/ra/binary_emit.pp.mli: Dest Gpu_sim Kir_builder Tile

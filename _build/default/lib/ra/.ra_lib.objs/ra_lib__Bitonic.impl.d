@@ -1,0 +1,1 @@
+lib/ra/bitonic.pp.ml: Emit_common Gpu_sim Kir Kir_builder Printf

@@ -1,0 +1,1 @@
+lib/ra/bitonic.pp.mli: Gpu_sim Kir

@@ -1,0 +1,1 @@
+lib/ra/dest.pp.ml: Array Gpu_sim Kir Kir_builder Printf Relation_lib Schema Tile

@@ -1,0 +1,1 @@
+lib/ra/emit_common.pp.ml: Array Dtype Gpu_sim Kir Kir_builder Relation_lib Schema Tile

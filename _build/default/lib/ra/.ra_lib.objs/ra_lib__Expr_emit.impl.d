@@ -1,0 +1,1 @@
+lib/ra/expr_emit.pp.ml: Dtype Gpu_sim Kir Kir_builder Pred Qplan Relation_lib Value

@@ -1,0 +1,1 @@
+lib/ra/expr_emit.pp.mli: Gpu_sim Kir Kir_builder Qplan Relation_lib

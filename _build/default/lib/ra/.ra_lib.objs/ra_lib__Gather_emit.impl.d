@@ -1,0 +1,1 @@
+lib/ra/gather_emit.pp.ml: Emit_common Gpu_sim Kir Kir_builder Relation_lib Schema

@@ -1,0 +1,1 @@
+lib/ra/gather_emit.pp.mli: Gpu_sim Kir Relation_lib

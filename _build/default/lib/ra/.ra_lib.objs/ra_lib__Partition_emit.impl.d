@@ -1,0 +1,1 @@
+lib/ra/partition_emit.pp.ml: Array Emit_common Gpu_sim Kir Kir_builder List Relation_lib Schema

@@ -1,0 +1,1 @@
+lib/ra/pipeline_emit.pp.ml: Array Dest Emit_common Expr_emit Gpu_sim Kir Kir_builder List Qplan Relation_lib Schema Tile

@@ -1,0 +1,1 @@
+lib/ra/pipeline_emit.pp.mli: Dest Gpu_sim Kir Kir_builder Qplan Relation_lib Tile

@@ -1,0 +1,1 @@
+lib/ra/sort_model.pp.ml: Array Gpu_sim List Memory Relation Relation_lib Schema Stats

@@ -1,0 +1,1 @@
+lib/ra/sort_model.pp.mli: Gpu_sim Memory Relation_lib Stats

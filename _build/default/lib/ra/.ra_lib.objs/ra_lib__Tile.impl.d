@@ -1,0 +1,1 @@
+lib/ra/tile.pp.ml: Array Gpu_sim Kir Kir_builder Relation_lib Schema

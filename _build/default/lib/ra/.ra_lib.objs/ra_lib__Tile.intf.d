@@ -1,0 +1,1 @@
+lib/ra/tile.pp.mli: Gpu_sim Kir Kir_builder Relation_lib

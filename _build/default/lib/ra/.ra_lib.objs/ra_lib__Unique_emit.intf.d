@@ -1,0 +1,1 @@
+lib/ra/unique_emit.pp.mli: Gpu_sim Kir Relation_lib

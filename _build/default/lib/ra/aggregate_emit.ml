@@ -1,0 +1,396 @@
+open Gpu_sim
+open Relation_lib
+open Qplan
+
+type layout = {
+  in_schema : Schema.t;
+  group_cols : int list;
+  aggs : Op.agg list;
+  partial_schema : Schema.t;
+  out_schema : Schema.t;
+  agg_slots : (Op.agg * int) list;
+}
+
+let slot_dtypes in_schema (a : Op.agg) =
+  match a.fn with
+  | Op.Count -> [ Dtype.I64 ]
+  | Op.Sum ->
+      if Dtype.is_float (Pred.type_of_expr in_schema a.expr) then
+        [ Dtype.F32 ]
+      else [ Dtype.I64 ]
+  | Op.Min | Op.Max -> [ Pred.type_of_expr in_schema a.expr ]
+  | Op.Avg -> [ Dtype.F32; Dtype.I64 ]
+
+let layout in_schema ~group_by ~aggs =
+  let out_schema =
+    match Op.out_schema (Op.Aggregate { group_by; aggs }) [ in_schema ] with
+    | Ok s -> s
+    | Error m -> invalid_arg ("Aggregate_emit.layout: " ^ m)
+  in
+  let group_attrs =
+    List.map
+      (fun c -> (Schema.name in_schema c, Schema.dtype in_schema c))
+      group_by
+  in
+  let slots, agg_slots =
+    List.fold_left
+      (fun (slots, assoc) a ->
+        let off = List.length slots in
+        let these =
+          List.mapi
+            (fun i dt -> (Printf.sprintf "%s_acc%d" a.Op.agg_name i, dt))
+            (slot_dtypes in_schema a)
+        in
+        (slots @ these, assoc @ [ (a, off) ]))
+      ([], []) aggs
+  in
+  {
+    in_schema;
+    group_cols = group_by;
+    aggs;
+    partial_schema = Schema.make (group_attrs @ slots);
+    out_schema;
+    agg_slots;
+  }
+
+(* --- shared emission helpers -------------------------------------------- *)
+
+(* Search the first [size] rows of the shared table for group key [gvals].
+   Returns (found?, index). *)
+let table_search b ~table_base ~partial_ar ~gschema ~gcols_n ~size ~gvals =
+  let open Kir_builder in
+  let idx = mov b (Imm 0) in
+  let found = mov b (Imm 0) in
+  while_ b
+    ~cond:(fun () ->
+      let more = cmp b Kir.Lt (Reg idx) size in
+      let not_found = un b Kir.Not (Reg found) in
+      Kir.Reg (bin b Kir.And (Reg more) (Reg not_found)))
+    ~body:(fun () ->
+      let row_word = bin b Kir.Mul (Reg idx) (Imm partial_ar) in
+      let at =
+        Array.init gcols_n (fun j ->
+            let off = bin b Kir.Add (Reg row_word) (Imm j) in
+            Kir.Reg
+              (ld b Kir.Shared ~base:(Imm table_base) ~idx:(Reg off)
+                 ~width:(Schema.attr_bytes gschema j)))
+      in
+      let eq = Emit_common.key_eq b gschema ~key_arity:gcols_n at gvals in
+      if_else b eq
+        (fun () -> mov_to b found (Imm 1))
+        (fun () -> bin_to b idx Kir.Add (Reg idx) (Imm 1)));
+  (found, idx)
+
+let table_slot b ~table_base ~partial_ar ~gcols_n ~row ~slot =
+  let open Kir_builder in
+  let row_word = bin b Kir.Mul row (Imm partial_ar) in
+  let off = bin b Kir.Add (Reg row_word) (Imm (gcols_n + slot)) in
+  ignore table_base;
+  off
+
+let load_slot b ~table_base ~partial_ar ~gcols_n ~row ~slot ~width =
+  let off = table_slot b ~table_base ~partial_ar ~gcols_n ~row ~slot in
+  Kir_builder.ld b Kir.Shared ~base:(Kir.Imm table_base) ~idx:(Reg off) ~width
+
+let store_slot b ~table_base ~partial_ar ~gcols_n ~row ~slot ~src ~width =
+  let off = table_slot b ~table_base ~partial_ar ~gcols_n ~row ~slot in
+  Kir_builder.st b Kir.Shared ~base:(Kir.Imm table_base) ~idx:(Reg off) ~src
+    ~width
+
+(* Fold [values] into row [row]'s accumulators.  [values] are per-agg slot
+   operands; [merge] selects the agg-vs-agg merge semantics used by the
+   final kernel (where AVG slots add instead of add/count-1). *)
+let accumulate b lay ~table_base ~partial_ar ~gcols_n ~row ~values ~merge =
+  let open Kir_builder in
+  List.iter2
+    (fun (a, slot0) vals ->
+      let expr_is_float =
+        Dtype.is_float (Pred.type_of_expr lay.in_schema a.Op.expr)
+      in
+      let rmw op slot v width =
+        let old =
+          load_slot b ~table_base ~partial_ar ~gcols_n ~row ~slot ~width
+        in
+        let nv = bin b op (Reg old) v in
+        store_slot b ~table_base ~partial_ar ~gcols_n ~row ~slot ~src:(Reg nv)
+          ~width
+      in
+      let w slot = Schema.attr_bytes lay.partial_schema (gcols_n + slot) in
+      match (a.Op.fn, vals) with
+      | Op.Count, [ v ] ->
+          rmw Kir.Add slot0 (if merge then v else Kir.Imm 1) (w slot0)
+      | Op.Sum, [ v ] ->
+          rmw (if expr_is_float then Kir.Fadd else Kir.Add) slot0 v (w slot0)
+      | Op.Min, [ v ] ->
+          rmw (if expr_is_float then Kir.Fmin else Kir.Min) slot0 v (w slot0)
+      | Op.Max, [ v ] ->
+          rmw (if expr_is_float then Kir.Fmax else Kir.Max) slot0 v (w slot0)
+      | Op.Avg, [ s; c ] ->
+          rmw Kir.Fadd slot0 s (w slot0);
+          rmw Kir.Add (slot0 + 1)
+            (if merge then c else Kir.Imm 1)
+            (w (slot0 + 1))
+      | _ -> invalid_arg "Aggregate_emit: malformed accumulator values")
+    lay.agg_slots values
+
+(* Store a brand-new row: group values then initial accumulators. *)
+let init_row b lay ~table_base ~partial_ar ~gcols_n ~row ~gvals ~values =
+  let open Kir_builder in
+  let gschema = lay.partial_schema in
+  Array.iteri
+    (fun j v ->
+      let row_word = bin b Kir.Mul row (Imm partial_ar) in
+      let off = bin b Kir.Add (Reg row_word) (Imm j) in
+      st b Kir.Shared ~base:(Imm table_base) ~idx:(Reg off) ~src:v
+        ~width:(Schema.attr_bytes gschema j))
+    gvals;
+  let slot_width slot = Schema.attr_bytes lay.partial_schema (gcols_n + slot) in
+  List.iter2
+    (fun (a, slot0) vals ->
+      match (a.Op.fn, vals) with
+      | (Op.Count | Op.Sum | Op.Min | Op.Max), [ v ] ->
+          store_slot b ~table_base ~partial_ar ~gcols_n ~row ~slot:slot0 ~src:v
+            ~width:(slot_width slot0)
+      | Op.Avg, [ s; c ] ->
+          store_slot b ~table_base ~partial_ar ~gcols_n ~row ~slot:slot0 ~src:s
+            ~width:(slot_width slot0);
+          store_slot b ~table_base ~partial_ar ~gcols_n ~row ~slot:(slot0 + 1)
+            ~src:c
+            ~width:(slot_width (slot0 + 1))
+      | _ -> invalid_arg "Aggregate_emit: malformed accumulator values")
+    lay.agg_slots values
+
+let gcols_n lay = List.length lay.group_cols
+
+(* --- partial kernel ------------------------------------------------------ *)
+
+let emit_partial ~name lay ~max_groups ~stage_cap =
+  let b = Kir_builder.create ~name ~params:4 () in
+  let open Kir_builder in
+  let in_buf = param b 0
+  and bounds = param b 1
+  and staging = param b 2
+  and counts = param b 3 in
+  let partial_ar = Schema.arity lay.partial_schema in
+  let gn = gcols_n lay in
+  let in_ar = Schema.arity lay.in_schema in
+  let table_base =
+    match
+      alloc_shared b ~words:(max_groups * partial_ar)
+        ~bytes:(max_groups * Schema.tuple_bytes lay.partial_schema)
+    with
+    | Kir.Imm base -> base
+    | Kir.Reg _ -> assert false
+  in
+  let is_t0 = cmp b Kir.Eq tid (Imm 0) in
+  if_ b (Reg is_t0) (fun () ->
+      let s = ld b Kir.Global ~base:bounds ~idx:ctaid ~width:4 in
+      let e1 = bin b Kir.Add ctaid (Imm 1) in
+      let e = ld b Kir.Global ~base:bounds ~idx:(Reg e1) ~width:4 in
+      let size = mov b (Imm 0) in
+      for_range b ~start:(Reg s) ~stop:(Reg e) ~step:(Imm 1) (fun gi ->
+          let word = bin b Kir.Mul (Reg gi) (Imm in_ar) in
+          let attrs =
+            Array.init in_ar (fun j ->
+                let off = bin b Kir.Add (Reg word) (Imm j) in
+                Kir.Reg
+                  (ld b Kir.Global ~base:in_buf ~idx:(Reg off)
+                     ~width:(Schema.attr_bytes lay.in_schema j)))
+          in
+          let env i = attrs.(i) in
+          let gvals =
+            Array.of_list (List.map (fun c -> attrs.(c)) lay.group_cols)
+          in
+          (* per-agg initial/accumulate slot values for one input tuple *)
+          let values =
+            List.map
+              (fun (a, _) ->
+                match a.Op.fn with
+                | Op.Count -> [ Kir.Imm 1 ]
+                | Op.Sum | Op.Min | Op.Max ->
+                    [ Expr_emit.expr b lay.in_schema ~env a.Op.expr ]
+                | Op.Avg ->
+                    let v = Expr_emit.expr b lay.in_schema ~env a.Op.expr in
+                    let vf =
+                      if
+                        Dtype.is_float
+                          (Pred.type_of_expr lay.in_schema a.Op.expr)
+                      then v
+                      else Kir.Reg (un b Kir.I2f v)
+                    in
+                    [ vf; Kir.Imm 1 ])
+              lay.agg_slots
+          in
+          let found, idx =
+            table_search b ~table_base ~partial_ar
+              ~gschema:lay.partial_schema ~gcols_n:gn ~size:(Kir.Reg size)
+              ~gvals
+          in
+          if_else b (Reg found)
+            (fun () ->
+              accumulate b lay ~table_base ~partial_ar ~gcols_n:gn
+                ~row:(Kir.Reg idx) ~values ~merge:false)
+            (fun () ->
+              let full = cmp b Kir.Ge (Reg size) (Imm max_groups) in
+              if_ b (Reg full) (fun () ->
+                  emit b
+                    (Kir.Trap
+                       (Printf.sprintf "overflow:groups capacity %d" max_groups)));
+              init_row b lay ~table_base ~partial_ar ~gcols_n:gn
+                ~row:(Kir.Reg size) ~gvals ~values;
+              bin_to b size Kir.Add (Reg size) (Imm 1)));
+      (* flush the table to this CTA's staging slice *)
+      for_range b ~start:(Imm 0) ~stop:(Reg size) ~step:(Imm 1) (fun k ->
+          let src_word = bin b Kir.Mul (Reg k) (Imm partial_ar) in
+          let dst_row = bin b Kir.Mul ctaid (Imm stage_cap) in
+          let dst_row = bin b Kir.Add (Reg dst_row) (Reg k) in
+          let dst_word = bin b Kir.Mul (Reg dst_row) (Imm partial_ar) in
+          for j = 0 to partial_ar - 1 do
+            let w = Schema.attr_bytes lay.partial_schema j in
+            let si = bin b Kir.Add (Reg src_word) (Imm j) in
+            let v = ld b Kir.Shared ~base:(Imm table_base) ~idx:(Reg si) ~width:w in
+            let di = bin b Kir.Add (Reg dst_word) (Imm j) in
+            st b Kir.Global ~base:staging ~idx:(Reg di) ~src:(Reg v) ~width:w
+          done);
+      st b Kir.Global ~base:counts ~idx:ctaid ~src:(Reg size) ~width:4);
+  finish b
+
+(* --- final kernel -------------------------------------------------------- *)
+
+let emit_final ~name lay ~max_groups ~stage_cap =
+  let b = Kir_builder.create ~name ~params:5 () in
+  let open Kir_builder in
+  let staging = param b 0
+  and counts = param b 1
+  and grid = param b 2
+  and out_buf = param b 3
+  and out_count = param b 4 in
+  let partial_ar = Schema.arity lay.partial_schema in
+  let gn = gcols_n lay in
+  let table_base =
+    match
+      alloc_shared b ~words:(max_groups * partial_ar)
+        ~bytes:(max_groups * Schema.tuple_bytes lay.partial_schema)
+    with
+    | Kir.Imm base -> base
+    | Kir.Reg _ -> assert false
+  in
+  let is_t0 = cmp b Kir.Eq tid (Imm 0) in
+  if_ b (Reg is_t0) (fun () ->
+      let size = mov b (Imm 0) in
+      (* merge every CTA's partial rows *)
+      for_range b ~start:(Imm 0) ~stop:grid ~step:(Imm 1) (fun c ->
+          let cnt = ld b Kir.Global ~base:counts ~idx:(Reg c) ~width:4 in
+          for_range b ~start:(Imm 0) ~stop:(Reg cnt) ~step:(Imm 1) (fun k ->
+              let row = bin b Kir.Mul (Reg c) (Imm stage_cap) in
+              let row = bin b Kir.Add (Reg row) (Reg k) in
+              let word = bin b Kir.Mul (Reg row) (Imm partial_ar) in
+              let fields =
+                Array.init partial_ar (fun j ->
+                    let off = bin b Kir.Add (Reg word) (Imm j) in
+                    Kir.Reg
+                      (ld b Kir.Global ~base:staging ~idx:(Reg off)
+                         ~width:(Schema.attr_bytes lay.partial_schema j)))
+              in
+              let gvals = Array.sub fields 0 gn in
+              let values =
+                List.map
+                  (fun (a, slot0) ->
+                    match a.Op.fn with
+                    | Op.Avg -> [ fields.(gn + slot0); fields.(gn + slot0 + 1) ]
+                    | Op.Count | Op.Sum | Op.Min | Op.Max ->
+                        [ fields.(gn + slot0) ])
+                  lay.agg_slots
+              in
+              let found, idx =
+                table_search b ~table_base ~partial_ar
+                  ~gschema:lay.partial_schema ~gcols_n:gn ~size:(Kir.Reg size)
+                  ~gvals
+              in
+              if_else b (Reg found)
+                (fun () ->
+                  accumulate b lay ~table_base ~partial_ar ~gcols_n:gn
+                    ~row:(Kir.Reg idx) ~values ~merge:true)
+                (fun () ->
+                  let full = cmp b Kir.Ge (Reg size) (Imm max_groups) in
+                  if_ b (Reg full) (fun () ->
+                      emit b
+                        (Kir.Trap
+                           (Printf.sprintf "overflow:groups capacity %d"
+                              max_groups)));
+                  init_row b lay ~table_base ~partial_ar ~gcols_n:gn
+                    ~row:(Kir.Reg size) ~gvals ~values;
+                  bin_to b size Kir.Add (Reg size) (Imm 1))));
+      (* insertion sort by group key *)
+      let load_key row =
+        Array.init gn (fun j ->
+            let w = bin b Kir.Mul row (Imm partial_ar) in
+            let off = bin b Kir.Add (Reg w) (Imm j) in
+            Kir.Reg
+              (ld b Kir.Shared ~base:(Imm table_base) ~idx:(Reg off)
+                 ~width:(Schema.attr_bytes lay.partial_schema j)))
+      in
+      for_range b ~start:(Imm 1) ~stop:(Reg size) ~step:(Imm 1) (fun i ->
+          let j = mov b (Reg i) in
+          while_ b
+            ~cond:(fun () ->
+              let pos = cmp b Kir.Gt (Reg j) (Imm 0) in
+              let jm1 = bin b Kir.Sub (Reg j) (Imm 1) in
+              let jm1c = bin b Kir.Max (Reg jm1) (Imm 0) in
+              let kj = load_key (Kir.Reg j) in
+              let kp = load_key (Kir.Reg jm1c) in
+              let lt =
+                Emit_common.key_lt b lay.partial_schema ~key_arity:gn kj kp
+              in
+              Kir.Reg (bin b Kir.And (Reg pos) lt))
+            ~body:(fun () ->
+              let jm1 = bin b Kir.Sub (Reg j) (Imm 1) in
+              (* swap rows j-1 and j *)
+              for w = 0 to partial_ar - 1 do
+                let wa = bin b Kir.Mul (Reg j) (Imm partial_ar) in
+                let wa = bin b Kir.Add (Reg wa) (Imm w) in
+                let wb = bin b Kir.Mul (Reg jm1) (Imm partial_ar) in
+                let wb = bin b Kir.Add (Reg wb) (Imm w) in
+                let va = ld b Kir.Shared ~base:(Imm table_base) ~idx:(Reg wa) ~width:4 in
+                let vb = ld b Kir.Shared ~base:(Imm table_base) ~idx:(Reg wb) ~width:4 in
+                st b Kir.Shared ~base:(Imm table_base) ~idx:(Reg wa) ~src:(Reg vb) ~width:4;
+                st b Kir.Shared ~base:(Imm table_base) ~idx:(Reg wb) ~src:(Reg va) ~width:4
+              done;
+              mov_to b j (Reg jm1)));
+      (* finalize and write the dense output *)
+      let out_ar = Schema.arity lay.out_schema in
+      for_range b ~start:(Imm 0) ~stop:(Reg size) ~step:(Imm 1) (fun k ->
+          let gv = load_key (Kir.Reg k) in
+          let finals =
+            List.map
+              (fun (a, slot0) ->
+                match a.Op.fn with
+                | Op.Count | Op.Sum | Op.Min | Op.Max ->
+                    Kir.Reg
+                      (load_slot b ~table_base ~partial_ar ~gcols_n:gn
+                         ~row:(Kir.Reg k) ~slot:slot0
+                         ~width:
+                           (Schema.attr_bytes lay.partial_schema (gn + slot0)))
+                | Op.Avg ->
+                    let s =
+                      load_slot b ~table_base ~partial_ar ~gcols_n:gn
+                        ~row:(Kir.Reg k) ~slot:slot0 ~width:4
+                    in
+                    let c =
+                      load_slot b ~table_base ~partial_ar ~gcols_n:gn
+                        ~row:(Kir.Reg k) ~slot:(slot0 + 1) ~width:8
+                    in
+                    let cf = un b Kir.I2f (Reg c) in
+                    Kir.Reg (bin b Kir.Fdiv (Reg s) (Reg cf)))
+              lay.agg_slots
+          in
+          let all = Array.append gv (Array.of_list finals) in
+          let word = bin b Kir.Mul (Reg k) (Imm out_ar) in
+          Array.iteri
+            (fun j v ->
+              let off = bin b Kir.Add (Reg word) (Imm j) in
+              st b Kir.Global ~base:out_buf ~idx:(Reg off) ~src:v
+                ~width:(Schema.attr_bytes lay.out_schema j))
+            all);
+      st b Kir.Global ~base:out_count ~idx:(Imm 0) ~src:(Reg size) ~width:4);
+  finish b

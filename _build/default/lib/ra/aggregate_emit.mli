@@ -1,0 +1,42 @@
+(** Group-by aggregation (SUM / COUNT / MIN / MAX / AVG).
+
+    A kernel-dependence operator: the final value of every group needs the
+    whole input, so it bounds fusion like SORT does. Two kernels:
+
+    - {b partial}: each CTA folds its input slice into a shared-memory
+      accumulator table (group key -> accumulator slots) and flushes the
+      table to its staging slice;
+    - {b final}: one CTA merges all partial tables, sorts the groups by
+      key (insertion sort — group counts are small) and writes the dense
+      result plus its row count.
+
+    The group table is capped at [max_groups] entries; exceeding it traps
+    with an [overflow:groups] message (a real system would fall back to a
+    sort-based aggregation — we document the cap instead). Floating-point
+    sums accumulate in f32, so cross-CTA merge order can differ from a
+    sequential host sum in the last ulps; tests compare approximately. *)
+
+open Gpu_sim
+
+type layout = {
+  in_schema : Relation_lib.Schema.t;
+  group_cols : int list;
+  aggs : Qplan.Op.agg list;
+  partial_schema : Relation_lib.Schema.t;
+      (** group columns followed by raw accumulator slots (AVG uses two) *)
+  out_schema : Relation_lib.Schema.t;
+  agg_slots : (Qplan.Op.agg * int) list;
+      (** each aggregate's first slot offset within the accumulator part *)
+}
+
+val layout :
+  Relation_lib.Schema.t -> group_by:int list -> aggs:Qplan.Op.agg list -> layout
+
+val emit_partial :
+  name:string -> layout -> max_groups:int -> stage_cap:int -> Kir.kernel
+(** Parameters: [0] input buffer, [1] bounds, [2] staging, [3] counts. *)
+
+val emit_final :
+  name:string -> layout -> max_groups:int -> stage_cap:int -> Kir.kernel
+(** Parameters: [0] staging, [1] counts, [2] partial grid size, [3] output
+    buffer, [4] output count (1 word). Launch with grid 1. *)

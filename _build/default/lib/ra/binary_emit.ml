@@ -1,0 +1,284 @@
+open Gpu_sim
+
+let key_ops b (tile : Tile.t) ~idx ~key_arity =
+  Array.init key_arity (fun j -> Kir.Reg (Tile.load_attr b tile ~idx j))
+
+(* 1 when tuple [i] starts a key run in [tile] (i.e. i = 0 or key differs
+   from the previous tuple).  Key runs never straddle CTAs thanks to the
+   snapped key partition, so "first in tile" means "first globally". *)
+let first_of_run b (tile : Tile.t) ~idx ~key_arity =
+  let open Kir_builder in
+  let is0 = cmp b Kir.Eq idx (Imm 0) in
+  let im1 = bin b Kir.Sub idx (Imm 1) in
+  let iprev = bin b Kir.Max (Reg im1) (Imm 0) in
+  let key = key_ops b tile ~idx ~key_arity in
+  let prev = key_ops b tile ~idx:(Reg iprev) ~key_arity in
+  let eq = Emit_common.key_eq b tile.Tile.schema ~key_arity key prev in
+  let neq = un b Kir.Not eq in
+  Kir.Reg (sel b (Reg is0) (Imm 1) (Reg neq))
+
+(* 1 when [key] occurs in [tile] (which holds [count] sorted tuples). *)
+let present b (tile : Tile.t) ~count ~key_arity ~key =
+  let open Kir_builder in
+  let lo =
+    Emit_common.bsearch_tile b ~upper:false ~tile ~count ~key_arity ~key
+  in
+  let in_range = cmp b Kir.Lt (Reg lo) count in
+  let last = bin b Kir.Sub count (Imm 1) in
+  let clamped = bin b Kir.Min (Reg lo) (Reg last) in
+  let safe = bin b Kir.Max (Reg clamped) (Imm 0) in
+  let at = key_ops b tile ~idx:(Reg safe) ~key_arity in
+  let eq = Emit_common.key_eq b tile.Tile.schema ~key_arity at key in
+  Kir.Reg (bin b Kir.And (Reg in_range) eq)
+
+(* Emit phase C's survivor test given a scanned counts region. *)
+let survivor b ~counts_base ~i ~count ~total =
+  let open Kir_builder in
+  let pos = ld b Kir.Shared ~base:(Imm counts_base) ~idx:(Reg i) ~width:4 in
+  let ip1 = bin b Kir.Add (Reg i) (Imm 1) in
+  let last = bin b Kir.Sub count (Imm 1) in
+  let idx2 = bin b Kir.Min (Reg ip1) (Reg last) in
+  let v2 = ld b Kir.Shared ~base:(Imm counts_base) ~idx:(Reg idx2) ~width:4 in
+  let in_range = cmp b Kir.Lt (Reg ip1) count in
+  let next = sel b (Reg in_range) (Reg v2) total in
+  (pos, Kir.Reg next)
+
+(* Merge-walk join (the skeletons' CTA-level algorithm): each thread takes
+   a blocked slice of the left tile, finds its starting right cursor with
+   one binary search, then advances the cursor linearly as left keys grow.
+   The cursor stops at the start of each matching key run so consecutive
+   equal left keys reuse it.  O(slice + range) instead of a per-row
+   binary search.  Phase A caches each row's cursor (and the scan of the
+   counts yields each row's match count), so the emit phase never
+   re-walks. *)
+let emit_join b ~key_arity ~(left : Tile.t) ~(right : Tile.t) ~counts_base
+    ~curs_base ~total_slot ~dest =
+  let open Kir_builder in
+  let n_l = Kir.Reg (Tile.load_count b left) in
+  let n_r = Kir.Reg (Tile.load_count b right) in
+  let last_r = bin b Kir.Sub n_r (Imm 1) in
+  (* load the right key at [idx], clamped so an out-of-range probe reads a
+     valid slot (its value is masked out of the condition) *)
+  let right_key_clamped idx =
+    let cl = bin b Kir.Min idx (Reg last_r) in
+    let safe = bin b Kir.Max (Reg cl) (Imm 0) in
+    key_ops b right ~idx:(Reg safe) ~key_arity
+  in
+  let walk ~start ~stop ~on_row =
+    (* cur: first right row whose key is >= the current left key *)
+    let first_key = key_ops b left ~idx:(Reg start) ~key_arity in
+    let cur0 =
+      Emit_common.bsearch_tile b ~upper:false ~tile:right ~count:n_r ~key_arity
+        ~key:first_key
+    in
+    let cur = mov b (Reg cur0) in
+    for_range b ~start:(Reg start) ~stop:(Reg stop) ~step:(Imm 1) (fun i ->
+        let ki = key_ops b left ~idx:(Reg i) ~key_arity in
+        (* advance cursor past smaller right keys *)
+        while_ b
+          ~cond:(fun () ->
+            let in_r = cmp b Kir.Lt (Reg cur) n_r in
+            let rk = right_key_clamped (Kir.Reg cur) in
+            let lt = Emit_common.key_lt b right.Tile.schema ~key_arity rk ki in
+            Kir.Reg (bin b Kir.And (Reg in_r) lt))
+          ~body:(fun () -> bin_to b cur Kir.Add (Reg cur) (Imm 1));
+        (* measure the matching run without consuming it *)
+        let k = mov b (Imm 0) in
+        while_ b
+          ~cond:(fun () ->
+            let m = bin b Kir.Add (Reg cur) (Reg k) in
+            let in_r = cmp b Kir.Lt (Reg m) n_r in
+            let rk = right_key_clamped (Kir.Reg m) in
+            let eq = Emit_common.key_eq b right.Tile.schema ~key_arity rk ki in
+            Kir.Reg (bin b Kir.And (Reg in_r) eq))
+          ~body:(fun () -> bin_to b k Kir.Add (Reg k) (Imm 1));
+        on_row ~i ~cur ~k)
+  in
+  let start, stop = Emit_common.blocked_chunk b ~count:n_l in
+  let has_rows = cmp b Kir.Lt (Reg start) (Reg stop) in
+  (* phase A: per left tuple, match count and starting cursor *)
+  if_ b (Reg has_rows) (fun () ->
+      walk ~start ~stop ~on_row:(fun ~i ~cur ~k ->
+          st b Kir.Shared ~base:(Imm counts_base) ~idx:(Reg i) ~src:(Reg k)
+            ~width:4;
+          st b Kir.Shared ~base:(Imm curs_base) ~idx:(Reg i) ~src:(Reg cur)
+            ~width:4));
+  Emit_common.seq_scan_exclusive b ~base:counts_base ~n:n_l ~total_slot;
+  let total = ld b Kir.Shared ~base:(Imm total_slot) ~idx:(Imm 0) ~width:4 in
+  (* phase C: emit straight from the cached cursors; the scanned offsets
+     encode each row's match count as [next - pos] *)
+  let ar_r = Tile.arity right in
+  if_ b (Reg has_rows) (fun () ->
+      for_range b ~start:(Reg start) ~stop:(Reg stop) ~step:(Imm 1) (fun i ->
+          let pos0 =
+            ld b Kir.Shared ~base:(Imm counts_base) ~idx:(Reg i) ~width:4
+          in
+          let ip1 = bin b Kir.Add (Reg i) (Imm 1) in
+          let last = bin b Kir.Sub n_l (Imm 1) in
+          let idx2 = bin b Kir.Min (Reg ip1) (Reg last) in
+          let v2 =
+            ld b Kir.Shared ~base:(Imm counts_base) ~idx:(Reg idx2) ~width:4
+          in
+          let in_range = cmp b Kir.Lt (Reg ip1) n_l in
+          let next = sel b (Reg in_range) (Reg v2) (Reg total) in
+          let k = bin b Kir.Sub (Reg next) (Reg pos0) in
+          let any = cmp b Kir.Gt (Reg k) (Imm 0) in
+          if_ b (Reg any) (fun () ->
+              let cur =
+                ld b Kir.Shared ~base:(Imm curs_base) ~idx:(Reg i) ~width:4
+              in
+              let l_ops =
+                Array.map
+                  (fun r -> Kir.Reg r)
+                  (Tile.load_tuple b left ~idx:(Reg i))
+              in
+              let pos = mov b (Reg pos0) in
+              let fin = bin b Kir.Add (Reg cur) (Reg k) in
+              for_range b ~start:(Reg cur) ~stop:(Reg fin) ~step:(Imm 1)
+                (fun m ->
+                  let r_vals =
+                    Array.init (ar_r - key_arity) (fun j ->
+                        Kir.Reg
+                          (Tile.load_attr b right ~idx:(Reg m) (key_arity + j)))
+                  in
+                  Dest.write_row b dest ~pos:(Reg pos)
+                    (Array.append l_ops r_vals);
+                  bin_to b pos Kir.Add (Reg pos) (Imm 1)))));
+  Dest.finalize b dest ~total:(Reg total)
+
+let emit_product b ~(left : Tile.t) ~(right : Tile.t) ~dest =
+  let open Kir_builder in
+  let n_l = Kir.Reg (Tile.load_count b left) in
+  let n_r = Kir.Reg (Tile.load_count b right) in
+  let start, stop = Emit_common.blocked_chunk b ~count:n_l in
+  for_range b ~start:(Reg start) ~stop:(Reg stop) ~step:(Imm 1) (fun i ->
+      let base = bin b Kir.Mul (Reg i) n_r in
+      let l_ops =
+        Array.map (fun r -> Kir.Reg r) (Tile.load_tuple b left ~idx:(Reg i))
+      in
+      for_range b ~start:(Imm 0) ~stop:n_r ~step:(Imm 1) (fun m ->
+          let r_ops =
+            Array.map (fun r -> Kir.Reg r) (Tile.load_tuple b right ~idx:(Reg m))
+          in
+          let pos = bin b Kir.Add (Reg base) (Reg m) in
+          Dest.write_row b dest ~pos:(Reg pos) (Array.append l_ops r_ops)));
+  let total = bin b Kir.Mul n_l n_r in
+  Dest.finalize b dest ~total:(Reg total)
+
+let emit_semifilter b ~keep_present ~dedup ~key_arity ~(left : Tile.t)
+    ~(right : Tile.t) ~counts_base ~total_slot ~dest =
+  let open Kir_builder in
+  let n_l = Kir.Reg (Tile.load_count b left) in
+  let n_r = Kir.Reg (Tile.load_count b right) in
+  let start, stop = Emit_common.blocked_chunk b ~count:n_l in
+  for_range b ~start:(Reg start) ~stop:(Reg stop) ~step:(Imm 1) (fun i ->
+      let key = key_ops b left ~idx:(Reg i) ~key_arity in
+      let pr = present b right ~count:n_r ~key_arity ~key in
+      let want = if keep_present then pr else Kir.Reg (un b Kir.Not pr) in
+      let keep =
+        if dedup then
+          let first = first_of_run b left ~idx:(Reg i) ~key_arity in
+          Kir.Reg (bin b Kir.And first want)
+        else want
+      in
+      st b Kir.Shared ~base:(Imm counts_base) ~idx:(Reg i) ~src:keep ~width:4);
+  Emit_common.seq_scan_exclusive b ~base:counts_base ~n:n_l ~total_slot;
+  let total = ld b Kir.Shared ~base:(Imm total_slot) ~idx:(Imm 0) ~width:4 in
+  for_range b ~start:(Reg start) ~stop:(Reg stop) ~step:(Imm 1) (fun i ->
+      let pos, next = survivor b ~counts_base ~i ~count:n_l ~total:(Reg total) in
+      let keep = cmp b Kir.Gt next (Reg pos) in
+      if_ b (Reg keep) (fun () ->
+          let ops =
+            Array.map (fun r -> Kir.Reg r) (Tile.load_tuple b left ~idx:(Reg i))
+          in
+          Dest.write_row b dest ~pos:(Reg pos) ops));
+  Dest.finalize b dest ~total:(Reg total)
+
+let emit_intersect b ~key_arity ~left ~right ~counts_base ~total_slot ~dest =
+  emit_semifilter b ~keep_present:true ~dedup:true ~key_arity ~left ~right
+    ~counts_base ~total_slot ~dest
+
+let emit_difference b ~key_arity ~left ~right ~counts_base ~total_slot ~dest =
+  emit_semifilter b ~keep_present:false ~dedup:true ~key_arity ~left ~right
+    ~counts_base ~total_slot ~dest
+
+let emit_semijoin b ~key_arity ~left ~right ~counts_base ~total_slot ~dest =
+  emit_semifilter b ~keep_present:true ~dedup:false ~key_arity ~left ~right
+    ~counts_base ~total_slot ~dest
+
+let emit_antijoin b ~key_arity ~left ~right ~counts_base ~total_slot ~dest =
+  emit_semifilter b ~keep_present:false ~dedup:false ~key_arity ~left ~right
+    ~counts_base ~total_slot ~dest
+
+let emit_union b ~key_arity ~(left : Tile.t) ~(right : Tile.t) ~counts_l
+    ~counts_r ~total_l ~total_r ~dest =
+  let open Kir_builder in
+  let n_l = Kir.Reg (Tile.load_count b left) in
+  let n_r = Kir.Reg (Tile.load_count b right) in
+  let start_l, stop_l = Emit_common.blocked_chunk b ~count:n_l in
+  let start_r, stop_r = Emit_common.blocked_chunk b ~count:n_r in
+  (* flag survivors on each side: left keeps first-of-run; right keeps
+     first-of-run whose key is absent from the left *)
+  for_range b ~start:(Reg start_l) ~stop:(Reg stop_l) ~step:(Imm 1) (fun i ->
+      let first = first_of_run b left ~idx:(Reg i) ~key_arity in
+      st b Kir.Shared ~base:(Imm counts_l) ~idx:(Reg i) ~src:first ~width:4);
+  for_range b ~start:(Reg start_r) ~stop:(Reg stop_r) ~step:(Imm 1) (fun j ->
+      let first = first_of_run b right ~idx:(Reg j) ~key_arity in
+      let key = key_ops b right ~idx:(Reg j) ~key_arity in
+      let in_left = present b left ~count:n_l ~key_arity ~key in
+      let absent = un b Kir.Not in_left in
+      let keep = bin b Kir.And first (Reg absent) in
+      st b Kir.Shared ~base:(Imm counts_r) ~idx:(Reg j) ~src:(Reg keep) ~width:4);
+  Emit_common.seq_scan_exclusive b ~base:counts_l ~n:n_l ~total_slot:total_l;
+  Emit_common.seq_scan_exclusive b ~base:counts_r ~n:n_r ~total_slot:total_r;
+  let tl = ld b Kir.Shared ~base:(Imm total_l) ~idx:(Imm 0) ~width:4 in
+  let tr = ld b Kir.Shared ~base:(Imm total_r) ~idx:(Imm 0) ~width:4 in
+  (* rank of a key among the opposite side's survivors: scanned flag value
+     at the key's lower bound (or that side's total at the end) *)
+  let rank b' ~(tile : Tile.t) ~count ~scan_base ~side_total ~key =
+    let lo =
+      Emit_common.bsearch_tile b' ~upper:false ~tile ~count ~key_arity ~key
+    in
+    let in_range = cmp b' Kir.Lt (Reg lo) count in
+    let last = bin b' Kir.Sub count (Imm 1) in
+    let clamped = bin b' Kir.Min (Reg lo) (Kir.Reg last) in
+    let safe = bin b' Kir.Max (Reg clamped) (Imm 0) in
+    let v = ld b' Kir.Shared ~base:(Imm scan_base) ~idx:(Reg safe) ~width:4 in
+    Kir.Reg (sel b' (Reg in_range) (Reg v) side_total)
+  in
+  (* emit left survivors *)
+  for_range b ~start:(Reg start_l) ~stop:(Reg stop_l) ~step:(Imm 1) (fun i ->
+      let pos, next =
+        survivor b ~counts_base:counts_l ~i ~count:n_l ~total:(Reg tl)
+      in
+      let keep = cmp b Kir.Gt next (Reg pos) in
+      if_ b (Reg keep) (fun () ->
+          let key = key_ops b left ~idx:(Reg i) ~key_arity in
+          let r =
+            rank b ~tile:right ~count:n_r ~scan_base:counts_r
+              ~side_total:(Kir.Reg tr) ~key
+          in
+          let final = bin b Kir.Add (Reg pos) r in
+          let ops =
+            Array.map (fun x -> Kir.Reg x) (Tile.load_tuple b left ~idx:(Reg i))
+          in
+          Dest.write_row b dest ~pos:(Reg final) ops));
+  (* emit right survivors *)
+  for_range b ~start:(Reg start_r) ~stop:(Reg stop_r) ~step:(Imm 1) (fun j ->
+      let pos, next =
+        survivor b ~counts_base:counts_r ~i:j ~count:n_r ~total:(Reg tr)
+      in
+      let keep = cmp b Kir.Gt next (Reg pos) in
+      if_ b (Reg keep) (fun () ->
+          let key = key_ops b right ~idx:(Reg j) ~key_arity in
+          let r =
+            rank b ~tile:left ~count:n_l ~scan_base:counts_l
+              ~side_total:(Kir.Reg tl) ~key
+          in
+          let final = bin b Kir.Add (Reg pos) r in
+          let ops =
+            Array.map (fun x -> Kir.Reg x) (Tile.load_tuple b right ~idx:(Reg j))
+          in
+          Dest.write_row b dest ~pos:(Reg final) ops));
+  let total = bin b Kir.Add (Reg tl) (Reg tr) in
+  Dest.finalize b dest ~total:(Reg total)

@@ -1,0 +1,91 @@
+(** Compilers for CTA-dependent binary operators over shared-memory tiles.
+
+    Inputs are key-sorted tiles (loaded from global memory or produced by
+    an upstream fused segment); the key-ranged partition guarantees every
+    key run is wholly inside one CTA, so set semantics and join matching
+    are CTA-local. All emitters use the count/scan/emit pattern, which
+    preserves key order, and end with {!Dest.finalize}.
+
+    Layout scratch (counts regions, total slots) is preallocated by the
+    caller so the resource estimator and the generated code agree. *)
+
+open Gpu_sim
+
+val emit_join :
+  Kir_builder.t ->
+  key_arity:int ->
+  left:Tile.t ->
+  right:Tile.t ->
+  counts_base:int ->  (** shared scratch, [left.cap] words *)
+  curs_base:int ->  (** shared scratch, [left.cap] words (cached cursors) *)
+  total_slot:int ->
+  dest:Dest.t ->
+  unit
+(** Merge-walk natural join on the key prefix: per left tuple emit
+    [left ++ right values] for its right key run. Phase A records each
+    row's match count and starting cursor; the emit phase reads them back
+    instead of re-walking. *)
+
+val emit_product :
+  Kir_builder.t -> left:Tile.t -> right:Tile.t -> dest:Dest.t -> unit
+(** Cross product; positions are [i * |right| + j], so no scan is needed. *)
+
+val emit_intersect :
+  Kir_builder.t ->
+  key_arity:int ->
+  left:Tile.t ->
+  right:Tile.t ->
+  counts_base:int ->
+  total_slot:int ->
+  dest:Dest.t ->
+  unit
+(** Left tuples whose key occurs in the right tile, deduplicated by key. *)
+
+val emit_difference :
+  Kir_builder.t ->
+  key_arity:int ->
+  left:Tile.t ->
+  right:Tile.t ->
+  counts_base:int ->
+  total_slot:int ->
+  dest:Dest.t ->
+  unit
+
+val emit_semijoin :
+  Kir_builder.t ->
+  key_arity:int ->
+  left:Tile.t ->
+  right:Tile.t ->
+  counts_base:int ->
+  total_slot:int ->
+  dest:Dest.t ->
+  unit
+(** EXISTS: left tuples whose key occurs in the right tile — like
+    {!emit_intersect} but keeping duplicates (no first-of-run filter). *)
+
+val emit_antijoin :
+  Kir_builder.t ->
+  key_arity:int ->
+  left:Tile.t ->
+  right:Tile.t ->
+  counts_base:int ->
+  total_slot:int ->
+  dest:Dest.t ->
+  unit
+(** NOT EXISTS: left tuples whose key is absent from the right tile. *)
+
+val emit_union :
+  Kir_builder.t ->
+  key_arity:int ->
+  left:Tile.t ->
+  right:Tile.t ->
+  counts_l:int ->  (** shared scratch, [left.cap] words *)
+  counts_r:int ->  (** shared scratch, [right.cap] words *)
+  total_l:int ->
+  total_r:int ->
+  dest:Dest.t ->
+  unit
+(** Key-based union with left preference. Survivors from both tiles are
+    merged into key order by cross-ranking (each survivor's position is
+    its own scan offset plus the count of surviving opposite-side tuples
+    with smaller keys, found by binary search). *)

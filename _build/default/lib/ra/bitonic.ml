@@ -1,0 +1,49 @@
+open Gpu_sim
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let emit ~n =
+  if not (is_pow2 n && n >= 2) then
+    invalid_arg "Bitonic.emit: n must be a power of two >= 2";
+  let b = Kir_builder.create ~name:(Printf.sprintf "bitonic_%d" n) ~params:1 () in
+  let open Kir_builder in
+  let buf = param b 0 in
+  let tile = alloc_shared b ~words:n ~bytes:(4 * n) in
+  (* cooperative load *)
+  let start, stop = Emit_common.blocked_chunk b ~count:(Imm n) in
+  for_range b ~start:(Reg start) ~stop:(Reg stop) ~step:(Imm 1) (fun i ->
+      let v = ld b Kir.Global ~base:buf ~idx:(Reg i) ~width:4 in
+      st b Kir.Shared ~base:tile ~idx:(Reg i) ~src:(Reg v) ~width:4);
+  bar b;
+  (* bitonic network: for k = 2,4..n; for j = k/2, k/4..1 *)
+  let k = ref 2 in
+  while !k <= n do
+    let j = ref (!k / 2) in
+    while !j >= 1 do
+      (* each thread handles its blocked chunk of indices *)
+      for_range b ~start:(Reg start) ~stop:(Reg stop) ~step:(Imm 1) (fun i ->
+          let ixj = bin b Kir.Xor (Reg i) (Imm !j) in
+          let swap_ok = cmp b Kir.Gt (Reg ixj) (Reg i) in
+          if_ b (Reg swap_ok) (fun () ->
+              let vi = ld b Kir.Shared ~base:tile ~idx:(Reg i) ~width:4 in
+              let vx = ld b Kir.Shared ~base:tile ~idx:(Reg ixj) ~width:4 in
+              (* ascending when (i & k) = 0 *)
+              let dir = bin b Kir.And (Reg i) (Imm !k) in
+              let asc = cmp b Kir.Eq (Reg dir) (Imm 0) in
+              let gt = cmp b Kir.Gt (Reg vi) (Reg vx) in
+              let lt = cmp b Kir.Lt (Reg vi) (Reg vx) in
+              let must = sel b (Reg asc) (Reg gt) (Reg lt) in
+              if_ b (Reg must) (fun () ->
+                  st b Kir.Shared ~base:tile ~idx:(Reg i) ~src:(Reg vx) ~width:4;
+                  st b Kir.Shared ~base:tile ~idx:(Reg ixj) ~src:(Reg vi)
+                    ~width:4)));
+      bar b;
+      j := !j / 2
+    done;
+    k := !k * 2
+  done;
+  (* cooperative store *)
+  for_range b ~start:(Reg start) ~stop:(Reg stop) ~step:(Imm 1) (fun i ->
+      let v = ld b Kir.Shared ~base:tile ~idx:(Reg i) ~width:4 in
+      st b Kir.Global ~base:buf ~idx:(Reg i) ~src:(Reg v) ~width:4);
+  finish b

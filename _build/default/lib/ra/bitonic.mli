@@ -1,0 +1,16 @@
+(** Real (interpreted) CTA-local bitonic sort — the in-KIR demonstrator
+    backing the {!Sort_model} substitution.
+
+    Sorts [n] single-attribute i32 rows (one CTA, [n] a power of two that
+    fits shared memory) with the classic bitonic network: log^2(n) phases
+    of compare-exchange separated by barriers. Used by tests and the
+    sort example to show the simulator runs a genuinely parallel,
+    barrier-heavy sorting kernel; the full multi-kernel merge sort is
+    modelled instead (see DESIGN.md). *)
+
+open Gpu_sim
+
+val emit : n:int -> Kir.kernel
+(** Parameters: [0] the data buffer ([n] i32 rows, sorted in place).
+    Launch with grid 1 and at least [n / 2] threads. Raises
+    [Invalid_argument] unless [n] is a power of two >= 2. *)

@@ -1,0 +1,56 @@
+open Gpu_sim
+open Relation_lib
+
+type t =
+  | To_tile of { tile : Tile.t; label : string }
+  | To_staging of {
+      buf : Kir.operand;
+      stage_cap : int;
+      counts : Kir.operand;
+      schema : Schema.t;
+      label : string;
+    }
+
+let schema = function
+  | To_tile { tile; _ } -> tile.Tile.schema
+  | To_staging { schema; _ } -> schema
+
+let cap = function
+  | To_tile { tile; _ } -> tile.Tile.cap
+  | To_staging { stage_cap; _ } -> stage_cap
+
+let bounds_check b ~pos ~cap ~what =
+  let open Kir_builder in
+  let over = cmp b Kir.Ge pos (Imm cap) in
+  if_ b (Reg over) (fun () ->
+      emit b (Kir.Trap (Printf.sprintf "overflow:%s capacity %d" what cap)))
+
+let write_row b t ~pos regs =
+  let open Kir_builder in
+  match t with
+  | To_tile { tile; label } ->
+      bounds_check b ~pos ~cap:tile.Tile.cap ~what:("tile " ^ label);
+      Tile.store_tuple b tile ~idx:pos regs
+  | To_staging { buf; stage_cap; schema; label; _ } ->
+      bounds_check b ~pos ~cap:stage_cap ~what:("staging " ^ label);
+      let ar = Schema.arity schema in
+      let base_row = bin b Kir.Mul ctaid (Imm stage_cap) in
+      let row = bin b Kir.Add (Reg base_row) pos in
+      let word = bin b Kir.Mul (Reg row) (Imm ar) in
+      Array.iteri
+        (fun j src ->
+          let idx = bin b Kir.Add (Reg word) (Imm j) in
+          st b Kir.Global ~base:buf ~idx:(Reg idx) ~src
+            ~width:(Schema.attr_bytes schema j))
+        regs
+
+let finalize b t ~total =
+  let open Kir_builder in
+  let is_t0 = cmp b Kir.Eq tid (Imm 0) in
+  (match t with
+  | To_tile { tile; _ } ->
+      if_ b (Reg is_t0) (fun () -> Tile.store_count b tile total)
+  | To_staging { counts; _ } ->
+      if_ b (Reg is_t0) (fun () ->
+          st b Kir.Global ~base:counts ~idx:ctaid ~src:total ~width:4));
+  bar b

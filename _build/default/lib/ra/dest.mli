@@ -1,0 +1,37 @@
+(** Where a (fused) operator segment writes its result.
+
+    A segment inside a fused compute kernel writes either to another
+    shared-memory tile (the next operator consumes it in the same kernel —
+    the CTA-dependence path of §4.3.2) or to this CTA's slice of a global
+    staging buffer plus a per-CTA count (the operator's result leaves the
+    kernel and the gather stage will compact it). *)
+
+open Gpu_sim
+
+type t =
+  | To_tile of { tile : Tile.t; label : string }
+      (** [label] names the segment in overflow traps so the runtime can
+          retry with only that segment's capacity scaled *)
+  | To_staging of {
+      buf : Kir.operand;  (** staging buffer, [grid * stage_cap] rows *)
+      stage_cap : int;  (** rows reserved per CTA *)
+      counts : Kir.operand;  (** per-CTA row counts, [grid] words *)
+      schema : Relation_lib.Schema.t;
+      label : string;
+    }
+
+val schema : t -> Relation_lib.Schema.t
+
+val cap : t -> int
+(** Rows the destination can accept from one CTA. *)
+
+val write_row :
+  Kir_builder.t -> t -> pos:Kir.operand -> Kir.operand array -> unit
+(** Store a tuple at row [pos] of the destination (tile-relative or
+    CTA-slice-relative). Emits a bounds check that traps on overflow so
+    the runtime can retry with a larger staging factor. *)
+
+val finalize : Kir_builder.t -> t -> total:Kir.operand -> unit
+(** Record the row count: the tile's count slot, or [counts[ctaid]] for
+    staging. Only thread 0 writes; a trailing barrier makes tiles safe to
+    read. *)

@@ -1,0 +1,136 @@
+open Gpu_sim
+open Relation_lib
+
+let blocked_chunk b ~count =
+  let open Kir_builder in
+  (* chunk = ceil(count / ntid); start = min(tid*chunk, count);
+     stop = min(start+chunk, count) *)
+  let c1 = bin b Kir.Add count ntid in
+  let c2 = bin b Kir.Sub (Reg c1) (Imm 1) in
+  let chunk = bin b Kir.Div (Reg c2) ntid in
+  let s0 = bin b Kir.Mul tid (Reg chunk) in
+  let start = bin b Kir.Min (Reg s0) count in
+  let e0 = bin b Kir.Add (Reg start) (Reg chunk) in
+  let stop = bin b Kir.Min (Reg e0) count in
+  (start, stop)
+
+let coop_copy_g2s b ~buf ~src_row ~count ~(tile : Tile.t) =
+  let open Kir_builder in
+  let ar = Tile.arity tile in
+  let start, stop = blocked_chunk b ~count in
+  for_range b ~start:(Reg start) ~stop:(Reg stop) ~step:(Imm 1) (fun k ->
+      let src = bin b Kir.Add src_row (Reg k) in
+      let src_word = bin b Kir.Mul (Reg src) (Imm ar) in
+      for j = 0 to ar - 1 do
+        let w = Schema.attr_bytes tile.schema j in
+        let idx = bin b Kir.Add (Reg src_word) (Imm j) in
+        let v = ld b Kir.Global ~base:buf ~idx:(Reg idx) ~width:w in
+        Tile.store_attr b tile ~idx:(Reg k) j (Reg v)
+      done);
+  let is_t0 = cmp b Kir.Eq tid (Imm 0) in
+  if_ b (Reg is_t0) (fun () -> Tile.store_count b tile count);
+  bar b
+
+let coop_copy_s2g b ~(tile : Tile.t) ~count ~buf ~dst_row =
+  let open Kir_builder in
+  let ar = Tile.arity tile in
+  let start, stop = blocked_chunk b ~count in
+  for_range b ~start:(Reg start) ~stop:(Reg stop) ~step:(Imm 1) (fun k ->
+      let dst = bin b Kir.Add dst_row (Reg k) in
+      let dst_word = bin b Kir.Mul (Reg dst) (Imm ar) in
+      for j = 0 to ar - 1 do
+        let w = Schema.attr_bytes tile.schema j in
+        let v = Tile.load_attr b tile ~idx:(Reg k) j in
+        let idx = bin b Kir.Add (Reg dst_word) (Imm j) in
+        st b Kir.Global ~base:buf ~idx:(Reg idx) ~src:(Reg v) ~width:w
+      done)
+
+let seq_scan_exclusive b ~base ~n ~total_slot =
+  let open Kir_builder in
+  bar b;
+  let is_t0 = cmp b Kir.Eq tid (Imm 0) in
+  if_ b (Reg is_t0) (fun () ->
+      let running = mov b (Imm 0) in
+      for_range b ~start:(Imm 0) ~stop:n ~step:(Imm 1) (fun i ->
+          let v = ld b Kir.Shared ~base:(Imm base) ~idx:(Reg i) ~width:4 in
+          st b Kir.Shared ~base:(Imm base) ~idx:(Reg i) ~src:(Reg running)
+            ~width:4;
+          bin_to b running Kir.Add (Reg running) (Reg v));
+      st b Kir.Shared ~base:(Imm total_slot) ~idx:(Imm 0) ~src:(Reg running)
+        ~width:4);
+  bar b
+
+let cmp_for schema j lt =
+  if Dtype.is_float (Schema.dtype schema j) then
+    if lt then Kir.Flt else Kir.Feq
+  else if lt then Kir.Lt
+  else Kir.Eq
+
+let key_lt b schema ~key_arity a_ops b_ops =
+  let open Kir_builder in
+  (* lt = lt_0 or (eq_0 and (lt_1 or (eq_1 and ...))) *)
+  let rec go j =
+    if j >= key_arity then Kir.Imm 0
+    else
+      let ltj = cmp b (cmp_for schema j true) a_ops.(j) b_ops.(j) in
+      let eqj = cmp b (cmp_for schema j false) a_ops.(j) b_ops.(j) in
+      let rest = go (j + 1) in
+      let tail = bin b Kir.And (Reg eqj) rest in
+      Kir.Reg (bin b Kir.Or (Reg ltj) (Reg tail))
+  in
+  go 0
+
+let key_eq b schema ~key_arity a_ops b_ops =
+  let open Kir_builder in
+  let rec go j acc =
+    if j >= key_arity then acc
+    else
+      let eqj = cmp b (cmp_for schema j false) a_ops.(j) b_ops.(j) in
+      go (j + 1) (Kir.Reg (bin b Kir.And acc (Reg eqj)))
+  in
+  go 0 (Kir.Imm 1)
+
+(* Generic binary search: [load_key mid] must emit code loading the key
+   attributes of element [mid]. *)
+let bsearch b ~upper ~schema ~lo ~hi ~key_arity ~key ~load_key =
+  let open Kir_builder in
+  let lo_r = mov b lo in
+  let hi_r = mov b hi in
+  while_ b
+    ~cond:(fun () -> Kir.Reg (cmp b Kir.Lt (Reg lo_r) (Reg hi_r)))
+    ~body:(fun () ->
+      let sum = bin b Kir.Add (Reg lo_r) (Reg hi_r) in
+      let mid = bin b Kir.Shr (Reg sum) (Imm 1) in
+      let mid_key = load_key (Kir.Reg mid) in
+      (* lower bound advances while elem < key; upper while elem <= key,
+         i.e. not (key < elem) *)
+      let advance =
+        if upper then
+          let gt = key_lt b schema ~key_arity key mid_key in
+          Kir.Reg (un b Kir.Not gt)
+        else key_lt b schema ~key_arity mid_key key
+      in
+      if_else b advance
+        (fun () -> bin_to b lo_r Kir.Add (Reg mid) (Imm 1))
+        (fun () -> mov_to b hi_r (Reg mid)));
+  lo_r
+
+let bsearch_tile b ~upper ~(tile : Tile.t) ~count ~key_arity ~key =
+  let load_key mid =
+    Array.init key_arity (fun j -> Kir.Reg (Tile.load_attr b tile ~idx:mid j))
+  in
+  bsearch b ~upper ~schema:tile.schema ~lo:(Kir.Imm 0) ~hi:count ~key_arity
+    ~key ~load_key
+
+let bsearch_global b ~upper ~buf ~schema ~lo ~hi ~key_arity ~key =
+  let ar = Schema.arity schema in
+  let load_key mid =
+    Array.init key_arity (fun j ->
+        let open Kir_builder in
+        let row = bin b Kir.Mul mid (Imm ar) in
+        let idx = bin b Kir.Add (Reg row) (Imm j) in
+        Kir.Reg
+          (ld b Kir.Global ~base:buf ~idx:(Reg idx)
+             ~width:(Schema.attr_bytes schema j)))
+  in
+  bsearch b ~upper ~schema ~lo ~hi ~key_arity ~key ~load_key

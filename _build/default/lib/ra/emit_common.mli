@@ -1,0 +1,82 @@
+(** Shared code-generation idioms used by every skeleton stage.
+
+    The per-CTA work decomposition is {e blocked}: thread [t] handles the
+    contiguous index range [[t*chunk, (t+1)*chunk)] of its CTA's items.
+    Blocked ranges keep compaction order-preserving, which is what lets
+    every operator maintain the dense sorted-array invariant. *)
+
+open Gpu_sim
+
+val blocked_chunk :
+  Kir_builder.t -> count:Kir.operand -> Kir.reg * Kir.reg
+(** [(start, stop)] of this thread's slice of [count] items. *)
+
+val coop_copy_g2s :
+  Kir_builder.t ->
+  buf:Kir.operand ->
+  src_row:Kir.operand ->
+  count:Kir.operand ->
+  tile:Tile.t ->
+  unit
+(** Cooperatively copy [count] tuples from a global relation buffer
+    (starting at row [src_row]) into a tile, set the tile count and
+    barrier. Rows are [arity] words each; the tile schema must match the
+    buffer's layout. *)
+
+val coop_copy_s2g :
+  Kir_builder.t ->
+  tile:Tile.t ->
+  count:Kir.operand ->
+  buf:Kir.operand ->
+  dst_row:Kir.operand ->
+  unit
+(** Cooperatively copy [count] tuples from a tile to a global buffer at
+    row [dst_row]. No trailing barrier (typically the last stage action). *)
+
+val seq_scan_exclusive :
+  Kir_builder.t -> base:int -> n:Kir.operand -> total_slot:int -> unit
+(** Thread 0 turns the [n]-entry shared array at word offset [base] into
+    its exclusive prefix sum and writes the grand total to shared word
+    [total_slot]. Emits barriers before and after, so every thread may
+    read the offsets (and total) afterwards. *)
+
+val key_lt :
+  Kir_builder.t ->
+  Relation_lib.Schema.t ->
+  key_arity:int ->
+  Kir.operand array ->
+  Kir.operand array ->
+  Kir.operand
+(** Branch-free lexicographic [a < b] on the key prefix (dtype-aware). *)
+
+val key_eq :
+  Kir_builder.t ->
+  Relation_lib.Schema.t ->
+  key_arity:int ->
+  Kir.operand array ->
+  Kir.operand array ->
+  Kir.operand
+
+val bsearch_tile :
+  Kir_builder.t ->
+  upper:bool ->
+  tile:Tile.t ->
+  count:Kir.operand ->
+  key_arity:int ->
+  key:Kir.operand array ->
+  Kir.reg
+(** Binary search a key-sorted tile: with [upper = false] the first index
+    whose key is [>=] the probe (lower bound), with [upper = true] the
+    first index whose key is [>] the probe (upper bound). *)
+
+val bsearch_global :
+  Kir_builder.t ->
+  upper:bool ->
+  buf:Kir.operand ->
+  schema:Relation_lib.Schema.t ->
+  lo:Kir.operand ->
+  hi:Kir.operand ->
+  key_arity:int ->
+  key:Kir.operand array ->
+  Kir.reg
+(** Same over a global relation buffer restricted to rows [[lo, hi)]. *)

@@ -1,0 +1,76 @@
+open Gpu_sim
+open Relation_lib
+open Qplan
+
+let arith_int : Pred.arith -> Kir.binop = function
+  | Add -> Kir.Add
+  | Sub -> Kir.Sub
+  | Mul -> Kir.Mul
+  | Div -> Kir.Div
+
+let arith_float : Pred.arith -> Kir.binop = function
+  | Add -> Kir.Fadd
+  | Sub -> Kir.Fsub
+  | Mul -> Kir.Fmul
+  | Div -> Kir.Fdiv
+
+let cmp_int : Pred.cmp -> Kir.cmp = function
+  | Eq -> Kir.Eq
+  | Ne -> Kir.Ne
+  | Lt -> Kir.Lt
+  | Le -> Kir.Le
+  | Gt -> Kir.Gt
+  | Ge -> Kir.Ge
+
+let cmp_float : Pred.cmp -> Kir.cmp = function
+  | Eq -> Kir.Feq
+  | Ne -> Kir.Fne
+  | Lt -> Kir.Flt
+  | Le -> Kir.Fle
+  | Gt -> Kir.Fgt
+  | Ge -> Kir.Fge
+
+(* Emit [e], returning its operand and whether it is float-encoded. *)
+let rec emit_typed b schema ~env (e : Pred.expr) =
+  let dt = Pred.type_of_expr schema e in
+  let is_float = Dtype.is_float dt in
+  let op =
+    match e with
+    | Pred.Attr i -> env i
+    | Pred.Int n -> Kir.Imm n
+    | Pred.F32 f -> Kir.Imm (Value.of_f32 f)
+    | Pred.Bin (op, x, y) ->
+        let vx, fx = emit_typed b schema ~env x in
+        let vy, fy = emit_typed b schema ~env y in
+        if is_float then
+          let vx = if fx then vx else Kir.Reg (Kir_builder.un b Kir.I2f vx) in
+          let vy = if fy then vy else Kir.Reg (Kir_builder.un b Kir.I2f vy) in
+          Kir.Reg (Kir_builder.bin b (arith_float op) vx vy)
+        else Kir.Reg (Kir_builder.bin b (arith_int op) vx vy)
+  in
+  (op, is_float)
+
+let expr b schema ~env e = fst (emit_typed b schema ~env e)
+
+let rec pred b schema ~env (p : Pred.t) =
+  match p with
+  | Pred.True -> Kir.Imm 1
+  | Pred.Not q ->
+      let v = pred b schema ~env q in
+      Kir.Reg (Kir_builder.un b Kir.Not v)
+  | Pred.And (x, y) ->
+      let vx = pred b schema ~env x in
+      let vy = pred b schema ~env y in
+      Kir.Reg (Kir_builder.bin b Kir.And vx vy)
+  | Pred.Or (x, y) ->
+      let vx = pred b schema ~env x in
+      let vy = pred b schema ~env y in
+      Kir.Reg (Kir_builder.bin b Kir.Or vx vy)
+  | Pred.Cmp (c, x, y) ->
+      let vx, fx = emit_typed b schema ~env x in
+      let vy, fy = emit_typed b schema ~env y in
+      if fx || fy then
+        let vx = if fx then vx else Kir.Reg (Kir_builder.un b Kir.I2f vx) in
+        let vy = if fy then vy else Kir.Reg (Kir_builder.un b Kir.I2f vy) in
+        Kir.Reg (Kir_builder.cmp b (cmp_float c) vx vy)
+      else Kir.Reg (Kir_builder.cmp b (cmp_int c) vx vy)

@@ -1,0 +1,27 @@
+(** Compile predicate / scalar-expression ASTs to KIR.
+
+    Attributes are supplied through an environment mapping attribute index
+    to an operand already holding the (word-encoded) value, so the same
+    compiler serves tuples loaded from registers, shared tiles or global
+    memory. Int-to-float promotion inserts [I2f] exactly where the host
+    evaluator promotes, keeping device and host bit-identical. *)
+
+open Gpu_sim
+
+val expr :
+  Kir_builder.t ->
+  Relation_lib.Schema.t ->
+  env:(int -> Kir.operand) ->
+  Qplan.Pred.expr ->
+  Kir.operand
+(** Emit code computing the expression; the result operand's encoding
+    matches {!Qplan.Pred.type_of_expr}. Raises [Qplan.Pred.Type_error] on
+    ill-typed expressions. *)
+
+val pred :
+  Kir_builder.t ->
+  Relation_lib.Schema.t ->
+  env:(int -> Kir.operand) ->
+  Qplan.Pred.t ->
+  Kir.operand
+(** Emit branch-free code evaluating the predicate to 0/1. *)

@@ -1,0 +1,52 @@
+open Gpu_sim
+open Relation_lib
+
+let emit_scan_offsets ~name =
+  let b = Kir_builder.create ~name ~params:3 () in
+  let open Kir_builder in
+  let counts = param b 0 and offsets = param b 1 and g = param b 2 in
+  let is_t0 = cmp b Kir.Eq tid (Imm 0) in
+  if_ b (Reg is_t0) (fun () ->
+      let run = mov b (Imm 0) in
+      for_range b ~start:(Imm 0) ~stop:g ~step:(Imm 1) (fun c ->
+          st b Kir.Global ~base:offsets ~idx:(Reg c) ~src:(Reg run) ~width:4;
+          let v = ld b Kir.Global ~base:counts ~idx:(Reg c) ~width:4 in
+          bin_to b run Kir.Add (Reg run) (Reg v));
+      st b Kir.Global ~base:offsets ~idx:g ~src:(Reg run) ~width:4);
+  finish b
+
+let emit_gather ~name ~schema ~stage_cap =
+  let b = Kir_builder.create ~name ~params:4 () in
+  let open Kir_builder in
+  let staging = param b 0
+  and counts = param b 1
+  and offsets = param b 2
+  and out = param b 3 in
+  let ar = Schema.arity schema in
+  (* stage the CTA's count and destination through shared memory so the
+     global words are read once, not once per thread *)
+  let meta = alloc_shared b ~words:2 ~bytes:8 in
+  let is_t0 = cmp b Kir.Eq tid (Imm 0) in
+  if_ b (Reg is_t0) (fun () ->
+      let c = ld b Kir.Global ~base:counts ~idx:ctaid ~width:4 in
+      let d = ld b Kir.Global ~base:offsets ~idx:ctaid ~width:4 in
+      st b Kir.Shared ~base:meta ~idx:(Imm 0) ~src:(Reg c) ~width:4;
+      st b Kir.Shared ~base:meta ~idx:(Imm 1) ~src:(Reg d) ~width:4);
+  bar b;
+  let cnt = ld b Kir.Shared ~base:meta ~idx:(Imm 0) ~width:4 in
+  let dst0 = ld b Kir.Shared ~base:meta ~idx:(Imm 1) ~width:4 in
+  let src0 = bin b Kir.Mul ctaid (Imm stage_cap) in
+  let start, stop = Emit_common.blocked_chunk b ~count:(Reg cnt) in
+  for_range b ~start:(Reg start) ~stop:(Reg stop) ~step:(Imm 1) (fun k ->
+      let src_row = bin b Kir.Add (Reg src0) (Reg k) in
+      let src_word = bin b Kir.Mul (Reg src_row) (Imm ar) in
+      let dst_row = bin b Kir.Add (Reg dst0) (Reg k) in
+      let dst_word = bin b Kir.Mul (Reg dst_row) (Imm ar) in
+      for j = 0 to ar - 1 do
+        let w = Schema.attr_bytes schema j in
+        let si = bin b Kir.Add (Reg src_word) (Imm j) in
+        let v = ld b Kir.Global ~base:staging ~idx:(Reg si) ~width:w in
+        let di = bin b Kir.Add (Reg dst_word) (Imm j) in
+        st b Kir.Global ~base:out ~idx:(Reg di) ~src:(Reg v) ~width:w
+      done);
+  finish b

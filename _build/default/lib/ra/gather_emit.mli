@@ -1,0 +1,22 @@
+(** Gather-stage code generation (plus the offsets scan feeding it).
+
+    After the compute stage each CTA has written its results into its own
+    slice of a staging buffer and its row count into a counts buffer. The
+    gather stage turns that into the dense sorted array format: a scan
+    kernel computes exclusive prefix offsets of the counts, then the
+    gather kernel performs the coalesced copy of every CTA's rows to their
+    final positions (§3, "Gather"). *)
+
+open Gpu_sim
+
+val emit_scan_offsets : name:string -> Kir.kernel
+(** Parameters: [0] counts buffer, [1] offsets buffer ([grid + 1] words),
+    [2] the compute grid size. Launch with grid 1; thread 0 writes
+    [offsets[c]] = exclusive prefix and [offsets[grid]] = total. *)
+
+val emit_gather :
+  name:string -> schema:Relation_lib.Schema.t -> stage_cap:int -> Kir.kernel
+(** Parameters: [0] staging buffer, [1] counts, [2] offsets, [3] output
+    buffer. Launch with the compute grid: CTA [c] copies its
+    [counts[c]] staged rows from slice [c * stage_cap] to rows starting
+    at [offsets[c]]. *)

@@ -1,0 +1,105 @@
+open Gpu_sim
+open Relation_lib
+
+type spec = Even | Keyed | Full
+
+let emit ~name ~inputs ~key_arity ~pivot ~cap =
+  let n_inputs = List.length inputs in
+  let has_keyed = List.exists (fun (s, _) -> s = Keyed) inputs in
+  (match (has_keyed, pivot) with
+  | true, None ->
+      invalid_arg "Partition_emit.emit: keyed inputs but no pivot input"
+  | true, Some p when p < 0 || p >= n_inputs ->
+      invalid_arg "Partition_emit.emit: pivot out of range"
+  | true, Some p when fst (List.nth inputs p) <> Keyed ->
+      invalid_arg "Partition_emit.emit: pivot input is not keyed"
+  | _ -> ());
+  if cap <= 0 then invalid_arg "Partition_emit.emit: cap must be positive";
+  let b = Kir_builder.create ~name ~params:(3 * n_inputs) () in
+  let open Kir_builder in
+  let buf i = param b (2 * i) in
+  let nrows i = param b ((2 * i) + 1) in
+  let bounds i = param b ((2 * n_inputs) + i) in
+  let inputs_a = Array.of_list inputs in
+  let is_t0 = cmp b Kir.Eq tid (Imm 0) in
+  if_ b (Reg is_t0) (fun () ->
+      (* keyed inputs: look up this CTA's boundary key in every keyed input *)
+      (match pivot with
+      | Some p when has_keyed ->
+          let np = nrows p in
+          let raw = bin b Kir.Mul ctaid (Imm cap) in
+          let pos = bin b Kir.Min (Reg raw) np in
+          (* CTA 0 must start at row 0 of EVERY keyed input: non-pivot
+             inputs may hold keys below the pivot's first key *)
+          let is_c0 = cmp b Kir.Eq ctaid (Imm 0) in
+          if_ b (Reg is_c0) (fun () ->
+              Array.iteri
+                (fun i (spec, _) ->
+                  if spec = Keyed then
+                    st b Kir.Global ~base:(bounds i) ~idx:ctaid ~src:(Imm 0)
+                      ~width:4)
+                inputs_a);
+          let not_c0 = un b Kir.Not (Reg is_c0) in
+          let at_end0 = cmp b Kir.Ge (Reg pos) np in
+          let at_end = bin b Kir.And (Reg not_c0) (Reg at_end0) in
+          let searching =
+            let ok = un b Kir.Not (Reg at_end) in
+            bin b Kir.And (Reg not_c0) (Reg ok)
+          in
+          if_ b (Reg at_end) (fun () ->
+              Array.iteri
+                (fun i (spec, _) ->
+                  if spec = Keyed then
+                    st b Kir.Global ~base:(bounds i) ~idx:ctaid ~src:(nrows i)
+                      ~width:4)
+                inputs_a);
+          if_ b (Reg searching)
+            (fun () ->
+              let pschema = snd inputs_a.(p) in
+              let ar = Schema.arity pschema in
+              let word = bin b Kir.Mul (Reg pos) (Imm ar) in
+              let key =
+                Array.init key_arity (fun j ->
+                    let idx = bin b Kir.Add (Reg word) (Imm j) in
+                    Kir.Reg
+                      (ld b Kir.Global ~base:(buf p) ~idx:(Reg idx)
+                         ~width:(Schema.attr_bytes pschema j)))
+              in
+              Array.iteri
+                (fun i (spec, schema) ->
+                  if spec = Keyed then
+                    let lb =
+                      Emit_common.bsearch_global b ~upper:false ~buf:(buf i)
+                        ~schema ~lo:(Kir.Imm 0) ~hi:(nrows i) ~key_arity ~key
+                    in
+                    st b Kir.Global ~base:(bounds i) ~idx:ctaid ~src:(Reg lb)
+                      ~width:4)
+                inputs_a)
+      | _ -> ());
+      (* even and full inputs *)
+      Array.iteri
+        (fun i (spec, _) ->
+          match spec with
+          | Keyed -> ()
+          | Full ->
+              st b Kir.Global ~base:(bounds i) ~idx:ctaid ~src:(Imm 0) ~width:4
+          | Even ->
+              (* chunk = ceil(n / grid); start = min(ctaid * chunk, n) *)
+              let n = nrows i in
+              let num = bin b Kir.Add n nctaid in
+              let num = bin b Kir.Sub (Reg num) (Imm 1) in
+              let chunk = bin b Kir.Div (Reg num) nctaid in
+              let s0 = bin b Kir.Mul ctaid (Reg chunk) in
+              let s = bin b Kir.Min (Reg s0) n in
+              st b Kir.Global ~base:(bounds i) ~idx:ctaid ~src:(Reg s) ~width:4)
+        inputs_a;
+      (* the last CTA also writes the terminating bound of every input *)
+      let gm1 = bin b Kir.Sub nctaid (Imm 1) in
+      let is_last = cmp b Kir.Eq ctaid (Reg gm1) in
+      if_ b (Reg is_last) (fun () ->
+          Array.iteri
+            (fun i _ ->
+              st b Kir.Global ~base:(bounds i) ~idx:nctaid ~src:(nrows i)
+                ~width:4)
+            inputs_a));
+  finish b

@@ -1,0 +1,35 @@
+(** Partition-stage code generation.
+
+    The partition stage computes, for every CTA, the row range of each
+    input it will process, writing a bounds array of [grid + 1] entries
+    per input (entry [c] is CTA [c]'s first row; entry [grid] the total).
+
+    Three partition specs (per input):
+    - [Even]: index-based equal slices — unary chains, balanced load;
+    - [Keyed]: key-ranged slices — binary operators. The pivot input is
+      cut into [cap]-row slices whose boundary keys are looked up by
+      binary search in every keyed input (including the pivot itself,
+      which snaps slice boundaries to key-run starts so runs never
+      straddle CTAs — Fig. 13(a));
+    - [Full]: every CTA sees the whole input (the broadcast side of a
+      CROSS PRODUCT).
+
+    Parameter layout of the generated kernel, for [n] inputs:
+    [2i] = input [i]'s buffer, [2i+1] = its row count, [2n + i] = input
+    [i]'s bounds buffer. Launch with the group's grid; only thread 0 of
+    each CTA does work. *)
+
+open Gpu_sim
+
+type spec = Even | Keyed | Full
+
+val emit :
+  name:string ->
+  inputs:(spec * Relation_lib.Schema.t) list ->
+  key_arity:int ->
+  pivot:int option ->
+  cap:int ->
+  Kir.kernel
+(** [pivot] (an index into [inputs]) is required iff some input is
+    [Keyed]; [cap] is the pivot slice size. Raises [Invalid_argument] on
+    an inconsistent spec. *)

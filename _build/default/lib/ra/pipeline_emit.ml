@@ -1,0 +1,126 @@
+open Gpu_sim
+open Relation_lib
+
+type step =
+  | Filter of Qplan.Pred.t
+  | Remap of int list
+  | Compute of (string * Qplan.Pred.expr) list
+
+type input =
+  | From_global of {
+      buf : Kir.operand;
+      row_start : Kir.operand;
+      count : Kir.operand;
+      schema : Schema.t;
+    }
+  | From_tile of Tile.t
+
+let step_out_schema schema = function
+  | Filter _ -> schema
+  | Remap cols -> Schema.project schema cols
+  | Compute outs ->
+      Schema.make
+        (List.map (fun (n, e) -> (n, Qplan.Pred.type_of_expr schema e)) outs)
+
+let out_schema schema steps = List.fold_left step_out_schema schema steps
+
+let input_schema = function
+  | From_global { schema; _ } -> schema
+  | From_tile tile -> tile.Tile.schema
+
+let load_input_tuple b input ~idx =
+  match input with
+  | From_tile tile ->
+      Array.map (fun r -> Kir.Reg r) (Tile.load_tuple b tile ~idx)
+  | From_global { buf; row_start; schema; _ } ->
+      let open Kir_builder in
+      let ar = Schema.arity schema in
+      let row = bin b Kir.Add row_start idx in
+      let word = bin b Kir.Mul (Reg row) (Imm ar) in
+      Array.init ar (fun j ->
+          let off = bin b Kir.Add (Reg word) (Imm j) in
+          Kir.Reg
+            (ld b Kir.Global ~base:buf ~idx:(Reg off)
+               ~width:(Schema.attr_bytes schema j)))
+
+(* Push one tuple through the chain, the way template concatenation does:
+   every stage reads its inputs from where the previous stage left them —
+   the original source until some stage computes new values into
+   registers.  Naively this reloads the tuple per stage (exactly the
+   redundancy the paper's Fig. 15 code has); the -O3 redundant-load
+   elimination collapses the reloads, which is the fusion-enlarges-
+   optimization-scope effect of Fig. 19.  On a failed filter, branch to
+   [invalid].  Returns the final attribute operands. *)
+let apply_steps b ~invalid ~input ~idx schema0 steps =
+  let open Kir_builder in
+  (* where the current tuple lives: still at the source, or in registers *)
+  let fetch = function
+    | None -> load_input_tuple b input ~idx
+    | Some ops -> ops
+  in
+  let apply (schema, loc) step =
+    match step with
+    | Filter p ->
+        let ops = fetch loc in
+        let env i = ops.(i) in
+        let c = Expr_emit.pred b schema ~env p in
+        brz b c invalid;
+        (* the tuple itself is unchanged: the next stage re-reads it *)
+        (schema, loc)
+    | Remap cols ->
+        let ops = fetch loc in
+        ( Schema.project schema cols,
+          Some (Array.of_list (List.map (fun i -> ops.(i)) cols)) )
+    | Compute outs ->
+        let ops = fetch loc in
+        let env i = ops.(i) in
+        ( step_out_schema schema (Compute outs),
+          Some
+            (Array.of_list
+               (List.map (fun (_, e) -> Expr_emit.expr b schema ~env e) outs))
+        )
+  in
+  let _, loc = List.fold_left apply (schema0, None) steps in
+  fetch loc
+
+let emit b ~input ~steps ~flags_base ~scratch ~total_slot ~dest =
+  let open Kir_builder in
+  let schema0 = input_schema input in
+  let count =
+    match input with
+    | From_global { count; _ } -> count
+    | From_tile tile -> Kir.Reg (Tile.load_count b tile)
+  in
+  (* phase A: apply the chain, fill scratch + flags *)
+  let start, stop = Emit_common.blocked_chunk b ~count in
+  for_range b ~start:(Reg start) ~stop:(Reg stop) ~step:(Imm 1) (fun i ->
+      let invalid = new_label b and fin = new_label b in
+      let out_ops = apply_steps b ~invalid ~input ~idx:(Reg i) schema0 steps in
+      Tile.store_tuple b scratch ~idx:(Reg i) out_ops;
+      st b Kir.Shared ~base:(Imm flags_base) ~idx:(Reg i) ~src:(Imm 1) ~width:4;
+      br b fin;
+      place b invalid;
+      st b Kir.Shared ~base:(Imm flags_base) ~idx:(Reg i) ~src:(Imm 0) ~width:4;
+      place b fin);
+  (* phase B: exclusive scan of the flags (stream compaction offsets) *)
+  Emit_common.seq_scan_exclusive b ~base:flags_base ~n:count
+    ~total_slot;
+  let total =
+    ld b Kir.Shared ~base:(Imm total_slot) ~idx:(Imm 0) ~width:4
+  in
+  (* phase C: move survivors to their compacted positions *)
+  for_range b ~start:(Reg start) ~stop:(Reg stop) ~step:(Imm 1) (fun i ->
+      let pos = ld b Kir.Shared ~base:(Imm flags_base) ~idx:(Reg i) ~width:4 in
+      let ip1 = bin b Kir.Add (Reg i) (Imm 1) in
+      let last = bin b Kir.Sub count (Imm 1) in
+      let idx2 = bin b Kir.Min (Reg ip1) (Reg last) in
+      let v2 = ld b Kir.Shared ~base:(Imm flags_base) ~idx:(Reg idx2) ~width:4 in
+      let in_range = cmp b Kir.Lt (Reg ip1) count in
+      let next = sel b (Reg in_range) (Reg v2) (Reg total) in
+      let survived = cmp b Kir.Gt (Reg next) (Reg pos) in
+      if_ b (Reg survived) (fun () ->
+          let regs =
+            Array.map (fun r -> Kir.Reg r) (Tile.load_tuple b scratch ~idx:(Reg i))
+          in
+          Dest.write_row b dest ~pos:(Reg pos) regs));
+  Dest.finalize b dest ~total:(Reg total)

@@ -1,0 +1,46 @@
+(** Compiler for thread-dependence chains (fused SELECT / PROJECT / ARITH).
+
+    A pipeline is the fusion of consecutive thread-dependent operators into
+    a single filter-then-compact pass, the code shape of the paper's
+    Figs. 12 and 15: every tuple flows through the whole chain in
+    registers; one stream compaction at the end replaces the per-operator
+    compactions of the unfused code.
+
+    Three phases, all order-preserving thanks to blocked thread chunks:
+    - {b apply}: each thread pushes its tuples through the chain, writing
+      surviving tuples to an uncompacted scratch tile and a 0/1 flag;
+    - {b scan}: exclusive prefix sum of the flags;
+    - {b compact}: surviving tuples move to their scanned positions in the
+      destination. *)
+
+open Gpu_sim
+
+type step =
+  | Filter of Qplan.Pred.t
+  | Remap of int list  (** PROJECT: keep these attribute positions *)
+  | Compute of (string * Qplan.Pred.expr) list  (** ARITH *)
+
+type input =
+  | From_global of {
+      buf : Kir.operand;
+      row_start : Kir.operand;  (** this CTA's first row *)
+      count : Kir.operand;  (** this CTA's row count *)
+      schema : Relation_lib.Schema.t;
+    }
+  | From_tile of Tile.t  (** count read from the tile's count slot *)
+
+val out_schema :
+  Relation_lib.Schema.t -> step list -> Relation_lib.Schema.t
+(** Schema after applying every step (raises on ill-typed steps). *)
+
+val emit :
+  Kir_builder.t ->
+  input:input ->
+  steps:step list ->
+  flags_base:int ->  (** shared scratch, >= input capacity words *)
+  scratch : Tile.t ->  (** uncompacted output scratch, input capacity rows *)
+  total_slot:int ->
+  dest:Dest.t ->
+  unit
+(** Emit the three phases. Ends with {!Dest.finalize} (count visible,
+    barrier taken). *)

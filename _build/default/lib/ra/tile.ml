@@ -1,0 +1,56 @@
+open Gpu_sim
+open Relation_lib
+
+type t = { base : int; cap : int; schema : Schema.t; cnt : int }
+
+let arity t = Schema.arity t.schema
+
+let words ~cap schema = (cap * Schema.arity schema) + 1
+
+let bytes ~cap schema = (cap * Schema.tuple_bytes schema) + 4
+
+let alloc b ~cap schema =
+  let ar = Schema.arity schema in
+  let data_base =
+    match
+      Kir_builder.alloc_shared b ~words:(cap * ar)
+        ~bytes:(cap * Schema.tuple_bytes schema)
+    with
+    | Kir.Imm base -> base
+    | Kir.Reg _ -> assert false
+  in
+  let cnt =
+    match Kir_builder.alloc_shared b ~words:1 ~bytes:4 with
+    | Kir.Imm c -> c
+    | Kir.Reg _ -> assert false
+  in
+  { base = data_base; cap; schema; cnt }
+
+let attr_offset b t ~idx j =
+  let row = Kir_builder.bin b Kir.Mul idx (Kir.Imm (arity t)) in
+  Kir_builder.bin b Kir.Add (Reg row) (Kir.Imm j)
+
+let load_attr b t ~idx j =
+  let off = attr_offset b t ~idx j in
+  Kir_builder.ld b Kir.Shared ~base:(Kir.Imm t.base) ~idx:(Reg off)
+    ~width:(Schema.attr_bytes t.schema j)
+
+let store_attr b t ~idx j src =
+  let off = attr_offset b t ~idx j in
+  Kir_builder.st b Kir.Shared ~base:(Kir.Imm t.base) ~idx:(Reg off) ~src
+    ~width:(Schema.attr_bytes t.schema j)
+
+let load_tuple b t ~idx =
+  Array.init (arity t) (fun j -> load_attr b t ~idx j)
+
+let store_tuple b t ~idx srcs =
+  if Array.length srcs <> arity t then
+    invalid_arg "Tile.store_tuple: arity mismatch";
+  Array.iteri (fun j src -> store_attr b t ~idx j src) srcs
+
+let load_count b t =
+  Kir_builder.ld b Kir.Shared ~base:(Kir.Imm t.cnt) ~idx:(Kir.Imm 0) ~width:4
+
+let store_count b t src =
+  Kir_builder.st b Kir.Shared ~base:(Kir.Imm t.cnt) ~idx:(Kir.Imm 0) ~src
+    ~width:4

@@ -1,0 +1,44 @@
+(** Shared-memory tiles: the software-controlled caches of the skeletons.
+
+    A tile holds up to [cap] tuples of a schema in a CTA's shared memory,
+    row-major (tuple-contiguous), plus a one-word count slot. Tiles are
+    what CTA-dependent operators read and write and what fused operators
+    use to pass intermediate results (§4.3.2). *)
+
+open Gpu_sim
+
+type t = {
+  base : int;  (** word offset of tuple storage in shared memory *)
+  cap : int;  (** capacity in tuples *)
+  schema : Relation_lib.Schema.t;
+  cnt : int;  (** word offset of the tuple-count slot *)
+}
+
+val alloc : Kir_builder.t -> cap:int -> Relation_lib.Schema.t -> t
+(** Reserve shared memory for the tile and its count slot. *)
+
+val arity : t -> int
+
+val words : cap:int -> Relation_lib.Schema.t -> int
+(** Shared words a tile of this shape occupies (including count slot). *)
+
+val bytes : cap:int -> Relation_lib.Schema.t -> int
+(** Accounted shared bytes (including count slot). *)
+
+(** {2 Access emitters} — all recompute addresses naively; the optimizer
+    cleans up (that headroom is the point of Fig. 19). *)
+
+val load_attr : Kir_builder.t -> t -> idx:Kir.operand -> int -> Kir.reg
+(** Load attribute [j] of tuple [idx]. *)
+
+val store_attr :
+  Kir_builder.t -> t -> idx:Kir.operand -> int -> Kir.operand -> unit
+
+val load_tuple : Kir_builder.t -> t -> idx:Kir.operand -> Kir.reg array
+(** All attributes of tuple [idx] into fresh registers. *)
+
+val store_tuple :
+  Kir_builder.t -> t -> idx:Kir.operand -> Kir.operand array -> unit
+
+val load_count : Kir_builder.t -> t -> Kir.reg
+val store_count : Kir_builder.t -> t -> Kir.operand -> unit

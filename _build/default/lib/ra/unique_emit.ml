@@ -1,0 +1,88 @@
+open Gpu_sim
+open Relation_lib
+
+let emit_compute ~name ~schema ~key_arity ~cap ~stage_cap =
+  let b = Kir_builder.create ~name ~params:4 () in
+  let open Kir_builder in
+  let in_buf = param b 0
+  and bounds = param b 1
+  and staging = param b 2
+  and counts = param b 3 in
+  let ar = Schema.arity schema in
+  let flags_base =
+    match alloc_shared b ~words:cap ~bytes:(4 * cap) with
+    | Kir.Imm base -> base
+    | Kir.Reg _ -> assert false
+  in
+  let total_slot =
+    match alloc_shared b ~words:1 ~bytes:4 with
+    | Kir.Imm s -> s
+    | Kir.Reg _ -> assert false
+  in
+  (* stage the CTA bounds through shared memory (one global read) *)
+  let meta = alloc_shared b ~words:2 ~bytes:8 in
+  let is_t0 = cmp b Kir.Eq tid (Imm 0) in
+  if_ b (Reg is_t0) (fun () ->
+      let s0 = ld b Kir.Global ~base:bounds ~idx:ctaid ~width:4 in
+      let e1 = bin b Kir.Add ctaid (Imm 1) in
+      let e0 = ld b Kir.Global ~base:bounds ~idx:(Reg e1) ~width:4 in
+      st b Kir.Shared ~base:meta ~idx:(Imm 0) ~src:(Reg s0) ~width:4;
+      st b Kir.Shared ~base:meta ~idx:(Imm 1) ~src:(Reg e0) ~width:4);
+  bar b;
+  let s = ld b Kir.Shared ~base:meta ~idx:(Imm 0) ~width:4 in
+  let e = ld b Kir.Shared ~base:meta ~idx:(Imm 1) ~width:4 in
+  let n = bin b Kir.Sub (Reg e) (Reg s) in
+  let over = cmp b Kir.Gt (Reg n) (Imm cap) in
+  if_ b (Reg over) (fun () ->
+      emit b
+        (Kir.Trap
+           (Printf.sprintf "overflow:input range exceeds capacity %d" cap)));
+  let load_key_at row =
+    Array.init key_arity (fun j ->
+        let word = bin b Kir.Mul row (Imm ar) in
+        let idx = bin b Kir.Add (Reg word) (Imm j) in
+        Kir.Reg
+          (ld b Kir.Global ~base:in_buf ~idx:(Reg idx)
+             ~width:(Schema.attr_bytes schema j)))
+  in
+  let start, stop = Emit_common.blocked_chunk b ~count:(Reg n) in
+  for_range b ~start:(Reg start) ~stop:(Reg stop) ~step:(Imm 1) (fun i ->
+      let gi = bin b Kir.Add (Reg s) (Reg i) in
+      let is0 = cmp b Kir.Eq (Reg gi) (Imm 0) in
+      let gm1 = bin b Kir.Sub (Reg gi) (Imm 1) in
+      let prev_row = bin b Kir.Max (Reg gm1) (Imm 0) in
+      let key = load_key_at (Kir.Reg gi) in
+      let prev = load_key_at (Kir.Reg prev_row) in
+      let eq = Emit_common.key_eq b schema ~key_arity key prev in
+      let neq = un b Kir.Not eq in
+      let first = sel b (Reg is0) (Imm 1) (Reg neq) in
+      st b Kir.Shared ~base:(Imm flags_base) ~idx:(Reg i) ~src:(Reg first)
+        ~width:4);
+  Emit_common.seq_scan_exclusive b ~base:flags_base ~n:(Reg n) ~total_slot;
+  let total = ld b Kir.Shared ~base:(Imm total_slot) ~idx:(Imm 0) ~width:4 in
+  let dest =
+    Dest.To_staging
+      { buf = staging; stage_cap; counts; schema; label = "unique" }
+  in
+  for_range b ~start:(Reg start) ~stop:(Reg stop) ~step:(Imm 1) (fun i ->
+      let pos = ld b Kir.Shared ~base:(Imm flags_base) ~idx:(Reg i) ~width:4 in
+      let ip1 = bin b Kir.Add (Reg i) (Imm 1) in
+      let last = bin b Kir.Sub (Reg n) (Imm 1) in
+      let idx2 = bin b Kir.Min (Reg ip1) (Reg last) in
+      let v2 = ld b Kir.Shared ~base:(Imm flags_base) ~idx:(Reg idx2) ~width:4 in
+      let in_range = cmp b Kir.Lt (Reg ip1) (Reg n) in
+      let next = sel b (Reg in_range) (Reg v2) (Reg total) in
+      let survived = cmp b Kir.Gt (Reg next) (Reg pos) in
+      if_ b (Reg survived) (fun () ->
+          let gi = bin b Kir.Add (Reg s) (Reg i) in
+          let word = bin b Kir.Mul (Reg gi) (Imm ar) in
+          let ops =
+            Array.init ar (fun j ->
+                let idx = bin b Kir.Add (Reg word) (Imm j) in
+                Kir.Reg
+                  (ld b Kir.Global ~base:in_buf ~idx:(Reg idx)
+                     ~width:(Schema.attr_bytes schema j)))
+          in
+          Dest.write_row b dest ~pos:(Reg pos) ops));
+  Dest.finalize b dest ~total:(Reg total);
+  finish b

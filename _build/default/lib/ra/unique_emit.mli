@@ -1,0 +1,19 @@
+(** UNIQUE: drop tuples whose key equals the previous tuple's key.
+
+    A kernel-dependence operator (its input must be globally key-sorted,
+    which is why it cannot fuse with producers), but its own compute stage
+    is an ordinary flag/scan/compact kernel: a tuple survives when it is
+    the first of its key run, determined by comparing with its global
+    predecessor — read directly from global memory, so key runs may
+    straddle CTA boundaries safely. *)
+
+open Gpu_sim
+
+val emit_compute :
+  name:string ->
+  schema:Relation_lib.Schema.t ->
+  key_arity:int ->
+  cap:int ->  (** max rows per CTA (flags scratch size) *)
+  stage_cap:int ->
+  Kir.kernel
+(** Parameters: [0] input buffer, [1] bounds, [2] staging, [3] counts. *)

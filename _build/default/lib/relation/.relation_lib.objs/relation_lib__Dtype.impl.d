@@ -1,0 +1,1 @@
+lib/relation/dtype.pp.ml: Ppx_deriving_runtime

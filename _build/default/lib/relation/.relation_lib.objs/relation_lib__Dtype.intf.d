@@ -1,0 +1,1 @@
+lib/relation/dtype.pp.mli: Ppx_deriving_runtime

@@ -1,0 +1,1 @@
+lib/relation/generator.pp.ml: Array Dtype Random Relation Schema Value

@@ -1,0 +1,1 @@
+lib/relation/generator.pp.mli: Dtype Relation Schema Value

@@ -1,0 +1,1 @@
+lib/relation/rel_ops.pp.ml: Array Dtype Hashtbl List Printf Relation Schema Stdlib

@@ -1,0 +1,1 @@
+lib/relation/rel_ops.pp.mli: Relation Schema

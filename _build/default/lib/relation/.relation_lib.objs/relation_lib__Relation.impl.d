@@ -1,0 +1,1 @@
+lib/relation/relation.pp.ml: Array Dtype Float Format Int List Printf Schema String Value

@@ -1,0 +1,1 @@
+lib/relation/relation.pp.mli: Format Schema Value

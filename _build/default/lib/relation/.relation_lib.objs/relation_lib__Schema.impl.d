@@ -1,0 +1,1 @@
+lib/relation/schema.pp.ml: Array Dtype Hashtbl List Ppx_deriving_runtime Printf String

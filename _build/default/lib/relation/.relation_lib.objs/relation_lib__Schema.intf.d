@@ -1,0 +1,1 @@
+lib/relation/schema.pp.mli: Dtype Ppx_deriving_runtime

@@ -1,0 +1,1 @@
+lib/relation/value.pp.ml: Dtype Float Int Int32 Printf

@@ -1,0 +1,1 @@
+lib/relation/value.pp.mli: Dtype

@@ -1,0 +1,12 @@
+type t = I32 | I64 | F32 | Bool | Date [@@deriving show, eq, ord]
+
+let width = function I32 -> 4 | I64 -> 8 | F32 -> 4 | Bool -> 4 | Date -> 4
+
+let is_float = function F32 -> true | I32 | I64 | Bool | Date -> false
+
+let to_string = function
+  | I32 -> "i32"
+  | I64 -> "i64"
+  | F32 -> "f32"
+  | Bool -> "bool"
+  | Date -> "date"

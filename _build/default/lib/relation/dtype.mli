@@ -1,0 +1,22 @@
+(** Attribute types.
+
+    Every attribute value travels as one 64-bit simulator word; the dtype
+    fixes its interpretation and its {e accounted} byte width, which drives
+    all data-movement measurements (tuple sizes, PCIe volume, global-memory
+    traffic). 32-bit floats are bit-encoded in the low half of the word,
+    matching the KIR float instructions. *)
+
+type t =
+  | I32  (** 32-bit signed integer (4 bytes) *)
+  | I64  (** 64-bit signed integer (8 bytes) *)
+  | F32  (** 32-bit float, bit-encoded (4 bytes) *)
+  | Bool  (** stored as 0/1 (accounted 4 bytes, like a CUDA int flag) *)
+  | Date  (** days since epoch, 32-bit (4 bytes) *)
+[@@deriving show, eq, ord]
+
+val width : t -> int
+(** Accounted byte width (4 or 8) — also the KIR access width. *)
+
+val is_float : t -> bool
+
+val to_string : t -> string

@@ -1,0 +1,41 @@
+type state = Random.State.t
+
+let make_state seed = Random.State.make [| seed; 0x6b77; seed lxor 0x5eed |]
+
+let random_value st (dt : Dtype.t) =
+  match dt with
+  | I32 -> Random.State.full_int st 0x40000000
+  | I64 -> Random.State.full_int st 0x40000000
+  | F32 -> Value.of_f32 (Random.State.float st 1.0)
+  | Bool -> Value.of_bool (Random.State.bool st)
+  | Date -> Random.State.full_int st 11000
+
+let random_relation ?key_range ?sorted_key_arity st schema ~count =
+  let key_range =
+    match key_range with Some r -> max r 1 | None -> max (2 * count) 1
+  in
+  let ar = Schema.arity schema in
+  let data = Array.make (count * ar) 0 in
+  for i = 0 to count - 1 do
+    data.(i * ar) <- Random.State.full_int st key_range;
+    for j = 1 to ar - 1 do
+      data.((i * ar) + j) <- random_value st (Schema.dtype schema j)
+    done
+  done;
+  let rel = Relation.of_array schema data in
+  match sorted_key_arity with
+  | Some k -> Relation.sort ~key_arity:k rel
+  | None -> rel
+
+let random_ints ?(range = 0x40000000) st ~count =
+  let schema = Schema.make [ ("x", Dtype.I32) ] in
+  let data = Array.init count (fun _ -> Random.State.full_int st range) in
+  Relation.of_array schema data
+
+let shuffle st a =
+  for i = Array.length a - 1 downto 1 do
+    let j = Random.State.int st (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

@@ -1,0 +1,35 @@
+(** Seeded random relation generators.
+
+    All experiments use deterministic seeds so runs are reproducible; the
+    micro-benchmarks follow the paper's setup of uniformly random 32-bit
+    integer attributes with a controllable key range (which sets join hit
+    rates and selection ratios). *)
+
+type state
+
+val make_state : int -> state
+(** A generator state from an integer seed. *)
+
+val random_value : state -> Dtype.t -> Value.t
+(** Uniform value of the dtype: integers over a wide range, floats in
+    [0, 1), booleans, dates within ~30 years. *)
+
+val random_relation :
+  ?key_range:int ->
+  ?sorted_key_arity:int ->
+  state ->
+  Schema.t ->
+  count:int ->
+  Relation.t
+(** [count] tuples; the first attribute is drawn uniformly from
+    [[0, key_range)] (default [2 * count], giving mostly-distinct keys) and
+    remaining attributes are {!random_value}s. When [sorted_key_arity] is
+    given the result is sorted by that key prefix (the skeletons' input
+    invariant). *)
+
+val random_ints :
+  ?range:int -> state -> count:int -> Relation.t
+(** Single-attribute i32 relation, the Fig. 4 / Fig. 20 workload. *)
+
+val shuffle : state -> 'a array -> unit
+(** In-place Fisher-Yates shuffle (used by the TPC-H generator). *)

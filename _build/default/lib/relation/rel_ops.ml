@@ -1,0 +1,169 @@
+let select pred r =
+  Relation.create (Relation.schema r)
+    (List.filter pred (Relation.to_list r))
+
+let project indices r =
+  let out_schema = Schema.project (Relation.schema r) indices in
+  let keep tup = Array.of_list (List.map (fun i -> tup.(i)) indices) in
+  Relation.create out_schema (List.map keep (Relation.to_list r))
+
+let map out_schema f r =
+  let ar = Schema.arity out_schema in
+  let apply tup =
+    let out = f tup in
+    if Array.length out <> ar then
+      invalid_arg "Rel_ops.map: function result does not match output schema";
+    out
+  in
+  Relation.create out_schema (List.map apply (Relation.to_list r))
+
+let check_key_compat name ~key_arity a b =
+  let sa = Relation.schema a and sb = Relation.schema b in
+  if key_arity <= 0 then
+    invalid_arg (Printf.sprintf "Rel_ops.%s: key arity must be positive" name);
+  if key_arity > Schema.arity sa || key_arity > Schema.arity sb then
+    invalid_arg (Printf.sprintf "Rel_ops.%s: key arity exceeds schema" name);
+  for j = 0 to key_arity - 1 do
+    if not (Dtype.equal (Schema.dtype sa j) (Schema.dtype sb j)) then
+      invalid_arg
+        (Printf.sprintf "Rel_ops.%s: key attribute %d dtypes differ" name j)
+  done
+
+let value_suffix ~key_arity tup =
+  Array.sub tup key_arity (Array.length tup - key_arity)
+
+let join ~key_arity left right =
+  check_key_compat "join" ~key_arity left right;
+  let ls = Relation.schema left and rs = Relation.schema right in
+  let out_schema =
+    Schema.concat ls
+      (Array.sub rs key_arity (Schema.arity rs - key_arity))
+  in
+  let l = Relation.to_list (Relation.sort ~key_arity left) in
+  let r = Relation.to_list (Relation.sort ~key_arity right) in
+  let cmp a b = Relation.compare_key ls ~key_arity a b in
+  (* sort-merge: for each run of equal keys emit the cross product *)
+  let rec run_of key = function
+    | x :: rest when cmp x key = 0 ->
+        let same, rest' = run_of key rest in
+        (x :: same, rest')
+    | rest -> ([], rest)
+  in
+  let rec merge l r acc =
+    match (l, r) with
+    | [], _ | _, [] -> List.rev acc
+    | x :: _, y :: _ ->
+        let c = cmp x y in
+        if c < 0 then merge (List.tl l) r acc
+        else if c > 0 then merge l (List.tl r) acc
+        else
+          let lrun, l' = run_of x l in
+          let rrun, r' = run_of x r in
+          let acc =
+            List.fold_left
+              (fun acc a ->
+                List.fold_left
+                  (fun acc b ->
+                    Array.append a (value_suffix ~key_arity b) :: acc)
+                  acc rrun)
+              acc lrun
+          in
+          merge l' r' acc
+  in
+  Relation.sort ~key_arity (Relation.create out_schema (merge l r []))
+
+let product left right =
+  let out_schema = Schema.concat (Relation.schema left) (Relation.schema right) in
+  let tuples =
+    List.concat_map
+      (fun a ->
+        List.map (fun b -> Array.append a b) (Relation.to_list right))
+      (Relation.to_list left)
+  in
+  Relation.create out_schema tuples
+
+let member_filter name keep_present ~key_arity left right =
+  check_key_compat name ~key_arity left right;
+  let ls = Relation.schema left in
+  let sorted_right = Relation.sort ~key_arity right in
+  let n = Relation.count sorted_right in
+  let present tup =
+    (* binary search the key prefix *)
+    let cmp i =
+      Relation.compare_key ls ~key_arity (Relation.get sorted_right i) tup
+    in
+    let rec go lo hi =
+      if lo >= hi then lo
+      else
+        let mid = (lo + hi) / 2 in
+        if cmp mid < 0 then go (mid + 1) hi else go lo mid
+    in
+    let lb = go 0 n in
+    lb < n && cmp lb = 0
+  in
+  let keep tup = if keep_present then present tup else not (present tup) in
+  Relation.create ls (List.filter keep (Relation.to_list left))
+
+let semijoin ~key_arity left right =
+  member_filter "semijoin" true ~key_arity left right
+
+let antijoin ~key_arity left right =
+  member_filter "antijoin" false ~key_arity left right
+
+(* Deduplicate a key-sorted tuple list by key, keeping the first tuple. *)
+let dedup_sorted cmp l =
+  let rec go = function
+    | a :: b :: rest when cmp a b = 0 -> go (a :: rest)
+    | a :: rest -> a :: go rest
+    | [] -> []
+  in
+  go l
+
+let set_op name keep_left_only keep_both keep_right_only ~key_arity left right =
+  check_key_compat name ~key_arity left right;
+  let ls = Relation.schema left in
+  if keep_right_only && not (Schema.compatible ls (Relation.schema right)) then
+    invalid_arg (Printf.sprintf "Rel_ops.%s: schemas incompatible" name);
+  let cmp a b = Relation.compare_key ls ~key_arity a b in
+  let l = dedup_sorted cmp (Relation.to_list (Relation.sort ~key_arity left)) in
+  let r = dedup_sorted cmp (Relation.to_list (Relation.sort ~key_arity right)) in
+  let rec merge l r acc =
+    match (l, r) with
+    | [], [] -> List.rev acc
+    | x :: l', [] -> merge l' [] (if keep_left_only then x :: acc else acc)
+    | [], y :: r' -> merge [] r' (if keep_right_only then y :: acc else acc)
+    | x :: l', y :: r' ->
+        let c = cmp x y in
+        if c < 0 then merge l' r (if keep_left_only then x :: acc else acc)
+        else if c > 0 then merge l r' (if keep_right_only then y :: acc else acc)
+        else merge l' r' (if keep_both then x :: acc else acc)
+  in
+  Relation.create ls (merge l r [])
+
+let union ~key_arity l r = set_op "union" true true true ~key_arity l r
+let intersect ~key_arity l r = set_op "intersect" false true false ~key_arity l r
+let difference ~key_arity l r = set_op "difference" true false false ~key_arity l r
+
+let sort = Relation.sort
+
+let unique ~key_arity r =
+  let s = Relation.sort ~key_arity r in
+  let cmp a b = Relation.compare_key (Relation.schema r) ~key_arity a b in
+  Relation.create (Relation.schema r) (dedup_sorted cmp (Relation.to_list s))
+
+let group_by ~cols r =
+  let key tup = Array.of_list (List.map (fun c -> tup.(c)) cols) in
+  let tbl = Hashtbl.create 64 in
+  let order = ref [] in
+  Relation.iter
+    (fun tup ->
+      let k = key tup in
+      match Hashtbl.find_opt tbl k with
+      | Some members -> members := tup :: !members
+      | None ->
+          Hashtbl.replace tbl k (ref [ tup ]);
+          order := k :: !order)
+    r;
+  !order
+  |> List.map (fun k -> (k, List.rev !(Hashtbl.find tbl k)))
+  |> List.sort (fun (a, _) (b, _) -> Stdlib.compare a b)

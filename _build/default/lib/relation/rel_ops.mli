@@ -1,0 +1,60 @@
+(** Host-side reference implementations of the relational algebra.
+
+    These are the semantic ground truth: simple, obviously-correct
+    list-level algorithms used (i) as the oracle the GPU skeletons and the
+    fused kernels are tested against, and (ii) by the reference query
+    evaluator. Set operators follow the paper's key-based semantics
+    (Table 1): keys are the first [key_arity] attributes, relations are
+    treated as sets of keys, and the surviving tuple comes from the left
+    input. All operators expect key-sorted inputs where the paper's
+    skeletons do, but sort defensively, so they accept anything. *)
+
+val select : (int array -> bool) -> Relation.t -> Relation.t
+(** Keep tuples satisfying the predicate (preserves order). *)
+
+val project : int list -> Relation.t -> Relation.t
+(** Keep the attributes at the given indices, in that order. *)
+
+val map : Schema.t -> (int array -> int array) -> Relation.t -> Relation.t
+(** Arithmetic operator: rewrite every tuple into the output schema. *)
+
+val join : key_arity:int -> Relation.t -> Relation.t -> Relation.t
+(** Sort-merge natural join on the key prefix: output tuples are
+    [key ++ left values ++ right values]; schemas must agree on the key
+    prefix dtypes. Output is key-sorted. *)
+
+val product : Relation.t -> Relation.t -> Relation.t
+(** Cross product, left-major order. *)
+
+val semijoin : key_arity:int -> Relation.t -> Relation.t -> Relation.t
+(** Left tuples whose key occurs in the right input (EXISTS). Unlike
+    {!intersect}, duplicates are kept and only the key prefix dtypes must
+    agree — the right side is probed, never emitted. Preserves order. *)
+
+val antijoin : key_arity:int -> Relation.t -> Relation.t -> Relation.t
+(** Left tuples whose key does not occur in the right input (NOT
+    EXISTS). Duplicates kept, order preserved. *)
+
+val union : key_arity:int -> Relation.t -> Relation.t -> Relation.t
+(** Tuples whose key appears in at least one input; on key collisions the
+    left tuple survives, and duplicate keys collapse. Key-sorted output. *)
+
+val intersect : key_arity:int -> Relation.t -> Relation.t -> Relation.t
+(** Left tuples whose key appears in the right input (deduplicated by
+    key). Key-sorted output. *)
+
+val difference : key_arity:int -> Relation.t -> Relation.t -> Relation.t
+(** Left tuples whose key does not appear in the right input
+    (deduplicated by key). Key-sorted output. *)
+
+val sort : key_arity:int -> Relation.t -> Relation.t
+(** Stable key-prefix sort (alias of {!Relation.sort}). *)
+
+val unique : key_arity:int -> Relation.t -> Relation.t
+(** Drop tuples whose key equals a previous tuple's key, after sorting. *)
+
+val group_by :
+  cols:int list -> Relation.t -> (int array * int array list) list
+(** Group tuples by the values of [cols]; groups are returned sorted by
+    group key, members in input order. The group key array holds the
+    selected column values in [cols] order. *)

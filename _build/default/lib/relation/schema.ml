@@ -1,0 +1,54 @@
+type attr = { name : string; dtype : Dtype.t } [@@deriving show, eq]
+
+type t = attr array [@@deriving show, eq]
+
+let make l =
+  Array.of_list (List.map (fun (name, dtype) -> { name; dtype }) l)
+
+let arity t = Array.length t
+
+let tuple_bytes t =
+  Array.fold_left (fun acc a -> acc + Dtype.width a.dtype) 0 t
+
+let attr_bytes t i = Dtype.width t.(i).dtype
+let dtype t i = t.(i).dtype
+let name t i = t.(i).name
+
+let index_of t n =
+  let rec find i =
+    if i >= Array.length t then raise Not_found
+    else if String.equal t.(i).name n then i
+    else find (i + 1)
+  in
+  find 0
+
+let project t indices =
+  let n = Array.length t in
+  List.iter
+    (fun i ->
+      if i < 0 || i >= n then
+        invalid_arg (Printf.sprintf "Schema.project: index %d out of range" i))
+    indices;
+  Array.of_list (List.map (fun i -> t.(i)) indices)
+
+let concat a b =
+  let names = Hashtbl.create 16 in
+  Array.iter (fun x -> Hashtbl.replace names x.name ()) a;
+  let rename x =
+    if Hashtbl.mem names x.name then (
+      let rec fresh i =
+        let candidate = Printf.sprintf "%s_%d" x.name i in
+        if Hashtbl.mem names candidate then fresh (i + 1) else candidate
+      in
+      let name = fresh 1 in
+      Hashtbl.replace names name ();
+      { x with name })
+    else (
+      Hashtbl.replace names x.name ();
+      x)
+  in
+  Array.append a (Array.map rename b)
+
+let compatible a b =
+  Array.length a = Array.length b
+  && Array.for_all2 (fun x y -> Dtype.equal x.dtype y.dtype) a b

@@ -1,0 +1,40 @@
+(** Relation schemas: an ordered list of named, typed attributes.
+
+    Following the paper (and Diamos et al.'s skeletons), the {e key} of a
+    relation is a prefix of its attributes; relations are kept sorted by
+    that prefix (strict weak ordering, Fig. 6). The key arity is a property
+    of how an operator uses a relation, so it lives on operators, not here
+    — the schema only fixes layout. *)
+
+type attr = { name : string; dtype : Dtype.t } [@@deriving show, eq]
+
+type t = attr array [@@deriving show, eq]
+
+val make : (string * Dtype.t) list -> t
+
+val arity : t -> int
+(** Number of attributes (= tuple width in simulator words). *)
+
+val tuple_bytes : t -> int
+(** Accounted bytes per tuple (sum of attribute widths). *)
+
+val attr_bytes : t -> int -> int
+(** Accounted width of attribute [i]. *)
+
+val dtype : t -> int -> Dtype.t
+val name : t -> int -> string
+
+val index_of : t -> string -> int
+(** Raises [Not_found]. *)
+
+val project : t -> int list -> t
+(** Schema after keeping exactly the attributes at the given indices, in
+    the given order. Raises [Invalid_argument] on out-of-range indices. *)
+
+val concat : t -> t -> t
+(** Attribute spaces side by side (CROSS PRODUCT / JOIN value part).
+    Names are uniquified with a suffix when they collide. *)
+
+val compatible : t -> t -> bool
+(** Same arity and dtypes position-wise (names may differ); required for
+    set operators. *)

@@ -1,0 +1,19 @@
+type t = int
+
+let of_f32 f = Int32.to_int (Int32.bits_of_float f) land 0xFFFFFFFF
+let to_f32 v = Int32.float_of_bits (Int32.of_int v)
+let of_bool b = if b then 1 else 0
+let to_bool v = v <> 0
+let of_int n = n
+let to_int v = v
+
+let compare_as dt a b =
+  if Dtype.is_float dt then Float.compare (to_f32 a) (to_f32 b)
+  else Int.compare a b
+
+let to_string dt v =
+  match (dt : Dtype.t) with
+  | F32 -> Printf.sprintf "%g" (to_f32 v)
+  | Bool -> if to_bool v then "true" else "false"
+  | I32 | I64 -> string_of_int v
+  | Date -> Printf.sprintf "d%d" v

@@ -1,0 +1,25 @@
+(** Word-encoded attribute values.
+
+    A value is a plain [int] whose interpretation depends on the attribute's
+    {!Dtype.t}. Floats use the IEEE-754 binary32 bit pattern in the low 32
+    bits, the same convention as the KIR interpreter, so values written by
+    the host are directly readable by kernels and vice versa. *)
+
+type t = int
+
+val of_f32 : float -> t
+(** Encode a float (rounded to binary32). *)
+
+val to_f32 : t -> float
+
+val of_bool : bool -> t
+val to_bool : t -> bool
+
+val of_int : int -> t
+val to_int : t -> int
+
+val compare_as : Dtype.t -> t -> t -> int
+(** Ordering consistent with the dtype's interpretation (floats compare as
+    floats, everything else as signed integers). *)
+
+val to_string : Dtype.t -> t -> string

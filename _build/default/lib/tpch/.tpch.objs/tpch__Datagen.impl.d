@@ -1,0 +1,1 @@
+lib/tpch/datagen.pp.ml: List Random Relation Relation_lib Tpch_schema Value

@@ -1,0 +1,1 @@
+lib/tpch/datagen.pp.mli: Relation_lib

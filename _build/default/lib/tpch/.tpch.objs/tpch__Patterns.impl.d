@@ -1,0 +1,1 @@
+lib/tpch/patterns.pp.ml: Dtype Generator Op Plan Pred Printf Qplan Relation Relation_lib Schema

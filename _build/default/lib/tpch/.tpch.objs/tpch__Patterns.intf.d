@@ -1,0 +1,1 @@
+lib/tpch/patterns.pp.mli: Qplan Relation_lib

@@ -1,0 +1,1 @@
+lib/tpch/queries.pp.ml: Datagen Op Plan Pred Qplan Relation Relation_lib Tpch_schema

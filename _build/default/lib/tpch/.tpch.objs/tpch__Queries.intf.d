@@ -1,0 +1,1 @@
+lib/tpch/queries.pp.mli: Datagen Qplan Relation_lib

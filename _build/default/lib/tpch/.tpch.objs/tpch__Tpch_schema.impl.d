@@ -1,0 +1,1 @@
+lib/tpch/tpch_schema.pp.ml: Dtype Relation_lib Schema

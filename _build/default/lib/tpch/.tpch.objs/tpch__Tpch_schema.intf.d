@@ -1,0 +1,1 @@
+lib/tpch/tpch_schema.pp.mli: Relation_lib

@@ -1,0 +1,82 @@
+open Relation_lib
+
+type db = {
+  lineitem : Relation.t;
+  orders : Relation.t;
+  supplier : Relation.t;
+  nation : Relation.t;
+  customer : Relation.t;
+}
+
+(* day numbers relative to 1992-01-01 *)
+let day_of ~year ~month ~day = ((year - 1992) * 365) + ((month - 1) * 30) + day
+let date_1995_03_15 = day_of ~year:1995 ~month:3 ~day:15
+let date_1998_09_01 = day_of ~year:1998 ~month:9 ~day:1
+
+let f32 = Value.of_f32
+
+let generate ~seed ~lineitems =
+  let st = Random.State.make [| seed; 0x7bc4 |] in
+  let irand n = Random.State.int st (max n 1) in
+  let frand lo hi = lo +. Random.State.float st (hi -. lo) in
+  let n_orders = max 1 (lineitems / 4) in
+  let n_customers = (n_orders / 8) + 1 in
+  let n_suppliers = (lineitems / 50) + 1 in
+  let n_nations = 25 in
+  let nation =
+    Relation.create Tpch_schema.nation
+      (List.init n_nations (fun i -> [| i; 1000 + i |]))
+  in
+  let supplier =
+    Relation.create Tpch_schema.supplier
+      (List.init n_suppliers (fun i -> [| i; irand n_nations |]))
+  in
+  let customer =
+    Relation.create Tpch_schema.customer
+      (List.init n_customers (fun i -> [| i; irand n_nations |]))
+  in
+  let orders =
+    Relation.create Tpch_schema.orders
+      (List.init n_orders (fun i ->
+           let status = if irand 2 = 0 then Tpch_schema.ostatus_f
+                        else Tpch_schema.ostatus_o in
+           [|
+             i;
+             irand n_customers;
+             status;
+             day_of ~year:1992 ~month:1 ~day:1 + irand (6 * 365);
+           |]))
+  in
+  (* lineitems: each row belongs to a uniformly drawn order, then the
+     whole table is sorted by orderkey (the dense sorted format) *)
+  let li =
+    List.init lineitems (fun _ ->
+        let orderkey = irand n_orders in
+        let orderdate = Relation.attr orders orderkey 3 in
+        let shipdate = orderdate + 1 + irand 120 in
+        let commitdate = orderdate + 30 + irand 60 in
+        let receiptdate = shipdate + 1 + irand 30 in
+        let quantity = float_of_int (1 + irand 50) in
+        let price = frand 900.0 105000.0 in
+        [|
+          orderkey;
+          irand 200000;
+          irand n_suppliers;
+          f32 quantity;
+          f32 price;
+          f32 (frand 0.0 0.10);
+          f32 (frand 0.0 0.08);
+          (if shipdate > date_1995_03_15 + 200 then Tpch_schema.flag_n
+           else if irand 2 = 0 then Tpch_schema.flag_a
+           else Tpch_schema.flag_r);
+          (if shipdate > date_1995_03_15 then Tpch_schema.status_o
+           else Tpch_schema.status_f);
+          shipdate;
+          commitdate;
+          receiptdate;
+        |])
+  in
+  let lineitem =
+    Relation.sort ~key_arity:1 (Relation.create Tpch_schema.lineitem li)
+  in
+  { lineitem; orders; supplier; nation; customer }

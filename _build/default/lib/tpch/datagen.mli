@@ -1,0 +1,26 @@
+(** Deterministic TPC-H-like data generator (a dbgen stand-in).
+
+    Follows dbgen's distributions where they matter to the evaluated
+    queries: ~4 lineitems per order, quantities 1..50, discounts 0..10%,
+    taxes 0..8%, ship/commit/receipt dates spread over the 1992..1998
+    window with the usual offsets, uniform foreign keys. Row counts scale
+    from [lineitems]; every table is key-sorted on its first attribute
+    (the storage-format invariant). *)
+
+type db = {
+  lineitem : Relation_lib.Relation.t;
+  orders : Relation_lib.Relation.t;
+  supplier : Relation_lib.Relation.t;
+  nation : Relation_lib.Relation.t;
+  customer : Relation_lib.Relation.t;
+}
+
+val generate : seed:int -> lineitems:int -> db
+(** [orders ~= lineitems/4], [customers = orders/8 + 1],
+    [suppliers = lineitems/50 + 1], 25 nations. *)
+
+val date_1995_03_15 : int
+(** Day-number constant handy for shipdate filters (mid-window). *)
+
+val date_1998_09_01 : int
+(** The Q1 cutoff ([<= 1998-12-01 minus 90 days]). *)

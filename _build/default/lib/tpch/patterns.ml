@@ -1,0 +1,204 @@
+open Relation_lib
+open Qplan
+
+type workload = {
+  name : string;
+  plan : Plan.t;
+  gen : seed:int -> rows:int -> Relation.t array;
+}
+
+let i32 = Dtype.I32
+let value_range = 0x40000000
+
+let tuple16 =
+  Schema.make [ ("k", i32); ("a", i32); ("b", i32); ("c", i32) ]
+
+let tuple8 = Schema.make [ ("k", i32); ("x", i32) ]
+
+let threshold ratio = int_of_float (ratio *. float_of_int value_range)
+
+let lt attr ratio = Pred.Cmp (Pred.Lt, Pred.Attr attr, Pred.Int (threshold ratio))
+
+let gen16 ~key_range st ~rows =
+  Generator.random_relation ~key_range ~sorted_key_arity:1 st tuple16
+    ~count:rows
+
+let pattern_a ?(selects = 3) ?(ratio = 0.5) () =
+  if selects < 1 || selects > 3 then
+    invalid_arg "pattern_a: 1 to 3 selects (attributes 1..3 carry conditions)";
+  let pb = Plan.builder () in
+  let base = Plan.base pb tuple16 in
+  let rec chain src i =
+    if i > selects then src
+    else chain (Plan.add pb (Op.Select (lt i ratio)) [ src ]) (i + 1)
+  in
+  let filtered = chain base 1 in
+  let _proj = Plan.add pb (Op.Project [ 0; 1 ]) [ filtered ] in
+  {
+    name = Printf.sprintf "a:%d-selects+project" selects;
+    plan = Plan.build pb;
+    gen =
+      (fun ~seed ~rows ->
+        let st = Generator.make_state seed in
+        [| gen16 ~key_range:(2 * rows) st ~rows |]);
+  }
+
+let pattern_b () =
+  let s3 = Schema.make [ ("k", i32); ("y", i32) ] in
+  let pb = Plan.builder () in
+  let a = Plan.base pb tuple16 in
+  let b = Plan.base pb tuple8 in
+  let c = Plan.base pb s3 in
+  let j1 = Plan.add pb (Op.Join { key_arity = 1 }) [ a; b ] in
+  let _j2 = Plan.add pb (Op.Join { key_arity = 1 }) [ j1; c ] in
+  {
+    name = "b:2-joins";
+    plan = Plan.build pb;
+    gen =
+      (fun ~seed ~rows ->
+        let st = Generator.make_state seed in
+        let key_range = max 1 rows in
+        [|
+          gen16 ~key_range st ~rows;
+          Generator.random_relation ~key_range ~sorted_key_arity:1 st tuple8
+            ~count:rows;
+          Generator.random_relation ~key_range ~sorted_key_arity:1 st s3
+            ~count:rows;
+        |]);
+  }
+
+let pattern_c () =
+  let pb = Plan.builder () in
+  let a = Plan.base pb tuple16 in
+  let b = Plan.base pb tuple8 in
+  let sa = Plan.add pb (Op.Select (lt 1 0.5)) [ a ] in
+  let sb = Plan.add pb (Op.Select (lt 1 0.5)) [ b ] in
+  let _j = Plan.add pb (Op.Join { key_arity = 1 }) [ sa; sb ] in
+  {
+    name = "c:selects+join";
+    plan = Plan.build pb;
+    gen =
+      (fun ~seed ~rows ->
+        let st = Generator.make_state seed in
+        let key_range = max 1 rows in
+        [|
+          gen16 ~key_range st ~rows;
+          Generator.random_relation ~key_range ~sorted_key_arity:1 st tuple8
+            ~count:rows;
+        |]);
+  }
+
+let pattern_d () =
+  let pb = Plan.builder () in
+  let base = Plan.base pb tuple16 in
+  let _s1 = Plan.add pb (Op.Select (lt 1 0.5)) [ base ] in
+  let _s2 =
+    Plan.add pb
+      (Op.Select (Pred.Cmp (Pred.Ge, Pred.Attr 2, Pred.Int (threshold 0.5))))
+      [ base ]
+  in
+  {
+    name = "d:shared-input-selects";
+    plan = Plan.build pb;
+    gen =
+      (fun ~seed ~rows ->
+        let st = Generator.make_state seed in
+        [| gen16 ~key_range:(2 * rows) st ~rows |]);
+  }
+
+let float_schema =
+  Schema.make
+    [ ("price", Dtype.F32); ("discount", Dtype.F32); ("tax", Dtype.F32) ]
+
+let pattern_e () =
+  let pb = Plan.builder () in
+  let base = Plan.base pb float_schema in
+  let e1 =
+    Plan.add pb
+      (Op.Arith
+         [
+           ( "disc_price",
+             Pred.Bin
+               ( Pred.Mul,
+                 Pred.Attr 0,
+                 Pred.Bin (Pred.Sub, Pred.F32 1.0, Pred.Attr 1) ) );
+           ("tax", Pred.Attr 2);
+         ])
+      [ base ]
+  in
+  let _e2 =
+    Plan.add pb
+      (Op.Arith
+         [
+           ( "charge",
+             Pred.Bin
+               ( Pred.Mul,
+                 Pred.Attr 0,
+                 Pred.Bin (Pred.Add, Pred.F32 1.0, Pred.Attr 1) ) );
+         ])
+      [ e1 ]
+  in
+  {
+    name = "e:arithmetic";
+    plan = Plan.build pb;
+    gen =
+      (fun ~seed ~rows ->
+        let st = Generator.make_state seed in
+        [| Generator.random_relation st float_schema ~count:rows |]);
+  }
+
+(* §5.1: "The above patterns can be further combined to form larger
+   patterns that can be fused.  For example, (a) and (b) can be combined
+   to form (c)." — a select chain feeding a join chain. *)
+let pattern_ab () =
+  let s3 = Schema.make [ ("k", i32); ("y", i32) ] in
+  let pb = Plan.builder () in
+  let a = Plan.base pb tuple16 in
+  let b = Plan.base pb tuple8 in
+  let c = Plan.base pb s3 in
+  let s1 = Plan.add pb (Op.Select (lt 1 0.7)) [ a ] in
+  let s2 = Plan.add pb (Op.Select (lt 2 0.7)) [ s1 ] in
+  let j1 = Plan.add pb (Op.Join { key_arity = 1 }) [ s2; b ] in
+  let _j2 = Plan.add pb (Op.Join { key_arity = 1 }) [ j1; c ] in
+  {
+    name = "a+b:selects+2-joins";
+    plan = Plan.build pb;
+    gen =
+      (fun ~seed ~rows ->
+        let st = Generator.make_state seed in
+        let key_range = max 1 rows in
+        [|
+          gen16 ~key_range st ~rows;
+          Generator.random_relation ~key_range ~sorted_key_arity:1 st tuple8
+            ~count:rows;
+          Generator.random_relation ~key_range ~sorted_key_arity:1 st s3
+            ~count:rows;
+        |]);
+  }
+
+let all () =
+  [ pattern_a (); pattern_b (); pattern_c (); pattern_d (); pattern_e () ]
+
+let back_to_back_selects ~selects ~ratio =
+  if selects < 1 then invalid_arg "back_to_back_selects: need >= 1";
+  let s = Schema.make [ ("x", i32) ] in
+  let pb = Plan.builder () in
+  let base = Plan.base pb s in
+  (* condition i keeps [ratio] of what survived condition i-1: successive
+     thresholds at ratio^i of the value range *)
+  let rec chain src i =
+    if i > selects then src
+    else
+      let t = threshold (ratio ** float_of_int i) in
+      chain (Plan.add pb (Op.Select (Pred.Cmp (Pred.Lt, Pred.Attr 0, Pred.Int t))) [ src ])
+        (i + 1)
+  in
+  let _ = chain base 1 in
+  {
+    name = Printf.sprintf "%d-selects@%.0f%%" selects (100.0 *. ratio);
+    plan = Plan.build pb;
+    gen =
+      (fun ~seed ~rows ->
+        let st = Generator.make_state seed in
+        [| Generator.random_ints ~range:value_range st ~count:rows |]);
+  }

@@ -1,0 +1,38 @@
+(** The TPC-H-derived micro-benchmark patterns of Fig. 14.
+
+    Each workload bundles a plan with a deterministic input generator so
+    experiments can sweep sizes. Patterns (a)-(d) use 16-byte tuples
+    (four i32 attributes), (e) uses single-precision floats, matching
+    §5.1's setup.
+
+    - (a) back-to-back SELECTs ending in a PROJECT — thread dependence;
+    - (b) two chained JOINs — CTA dependence;
+    - (c) two SELECTed tables feeding a JOIN — mixed;
+    - (d) two SELECTs filtering the same input — input dependence;
+    - (e) an arithmetic chain, [price * (1 - discount) * (1 + tax)]. *)
+
+type workload = {
+  name : string;
+  plan : Qplan.Plan.t;
+  gen : seed:int -> rows:int -> Relation_lib.Relation.t array;
+}
+
+val pattern_a : ?selects:int -> ?ratio:float -> unit -> workload
+(** Default 3 SELECTs at 50% selectivity each, then PROJECT [0; 1]. *)
+
+val pattern_b : unit -> workload
+val pattern_c : unit -> workload
+val pattern_d : unit -> workload
+val pattern_e : unit -> workload
+
+val pattern_ab : unit -> workload
+(** The §5.1 combination example — a SELECT chain feeding a JOIN chain
+    ("(a) and (b) can be combined to form (c)"). *)
+
+val all : unit -> workload list
+(** Patterns (a) through (e), in order. *)
+
+val back_to_back_selects : selects:int -> ratio:float -> workload
+(** The Fig. 4 / Fig. 20 workload: a chain of SELECTs over random 32-bit
+    integers (single-attribute tuples), each keeping [ratio] of its
+    input. *)

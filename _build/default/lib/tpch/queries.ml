@@ -1,0 +1,215 @@
+open Relation_lib
+open Qplan
+
+type query = {
+  qname : string;
+  plan : Plan.t;
+  bind : Datagen.db -> Relation.t array;
+}
+
+let agg fn expr agg_name = { Op.fn; expr; agg_name }
+
+(* TPC-H Q1: pricing summary report.
+
+   SELECT returnflag, linestatus, sum(qty), sum(price), sum(disc_price),
+          sum(charge), avg(qty), avg(price), avg(disc), count( * )
+   FROM lineitem WHERE shipdate <= :date
+   GROUP BY returnflag, linestatus ORDER BY returnflag, linestatus *)
+let q1 =
+  let pb = Plan.builder () in
+  let li = Plan.base pb Tpch_schema.lineitem in
+  (* shipdate is attribute 9 *)
+  let filtered =
+    Plan.add pb
+      (Op.Select (Pred.Cmp (Pred.Le, Pred.Attr 9, Pred.Int Datagen.date_1998_09_01)))
+      [ li ]
+  in
+  (* group keys first, then the measures (including the famous pricing
+     arithmetic), so the sort-based grouping can key on a prefix *)
+  let disc_price =
+    Pred.Bin (Pred.Mul, Pred.Attr 4, Pred.Bin (Pred.Sub, Pred.F32 1.0, Pred.Attr 5))
+  in
+  let charge =
+    Pred.Bin (Pred.Mul, disc_price, Pred.Bin (Pred.Add, Pred.F32 1.0, Pred.Attr 6))
+  in
+  let shaped =
+    Plan.add pb
+      (Op.Arith
+         [
+           ("returnflag", Pred.Attr 7);
+           ("linestatus", Pred.Attr 8);
+           ("quantity", Pred.Attr 3);
+           ("extendedprice", Pred.Attr 4);
+           ("disc_price", disc_price);
+           ("charge", charge);
+           ("discount", Pred.Attr 5);
+         ])
+      [ filtered ]
+  in
+  (* the sort-based group-by the paper's Q1 spends ~71% of its time in *)
+  let sorted = Plan.add pb (Op.Sort { key_arity = 2 }) [ shaped ] in
+  let _summary =
+    Plan.add pb
+      (Op.Aggregate
+         {
+           group_by = [ 0; 1 ];
+           aggs =
+             [
+               agg Op.Sum (Pred.Attr 2) "sum_qty";
+               agg Op.Sum (Pred.Attr 3) "sum_base_price";
+               agg Op.Sum (Pred.Attr 4) "sum_disc_price";
+               agg Op.Sum (Pred.Attr 5) "sum_charge";
+               agg Op.Avg (Pred.Attr 2) "avg_qty";
+               agg Op.Avg (Pred.Attr 3) "avg_price";
+               agg Op.Avg (Pred.Attr 6) "avg_disc";
+               agg Op.Count (Pred.Attr 0) "count_order";
+             ];
+         })
+      [ sorted ]
+  in
+  {
+    qname = "Q1";
+    plan = Plan.build pb;
+    bind = (fun db -> [| db.Datagen.lineitem |]);
+  }
+
+(* TPC-H Q21 (simplified): suppliers who kept 'F' orders waiting.
+
+   The relational skeleton: late lineitems join F-orders, join the order's
+   other lineitems (another supplier exists), join order metadata and the
+   late set again, with interleaved filters — six JOINs on orderkey plus
+   SELECTs/PROJECTs, all fusible into one kernel; then project suppliers,
+   sort, and count per supplier. *)
+let q21 =
+  let pb = Plan.builder () in
+  let li = Plan.base pb Tpch_schema.lineitem in
+  let orders = Plan.base pb Tpch_schema.orders in
+  (* slim projections (orderkey stays first everywhere) *)
+  let l_slim = Plan.add pb (Op.Project [ 0; 2; 10; 11 ]) [ li ] in
+  (* (orderkey, suppkey, commitdate, receiptdate) *)
+  let late =
+    Plan.add pb (Op.Select (Pred.Cmp (Pred.Gt, Pred.Attr 3, Pred.Attr 2)))
+      [ l_slim ]
+  in
+  let o_status = Plan.add pb (Op.Project [ 0; 2 ]) [ orders ] in
+  let o_f =
+    Plan.add pb
+      (Op.Select
+         (Pred.Cmp (Pred.Eq, Pred.Attr 1, Pred.Int Tpch_schema.ostatus_f)))
+      [ o_status ]
+  in
+  (* JOIN 1: late items of F orders *)
+  let j1 = Plan.add pb (Op.Join { key_arity = 1 }) [ late; o_f ] in
+  (* (ok, suppkey, commit, receipt, status) *)
+  let l_supp = Plan.add pb (Op.Project [ 0; 2 ]) [ li ] in
+  (* JOIN 2: all lineitems of those orders (candidate other suppliers) *)
+  let j2 = Plan.add pb (Op.Join { key_arity = 1 }) [ j1; l_supp ] in
+  (* (ok, suppkey, commit, receipt, status, supp2) *)
+  let other_supp =
+    Plan.add pb (Op.Select (Pred.Cmp (Pred.Ne, Pred.Attr 1, Pred.Attr 5))) [ j2 ]
+  in
+  let o_date = Plan.add pb (Op.Project [ 0; 3 ]) [ orders ] in
+  (* JOIN 3: order dates *)
+  let j3 = Plan.add pb (Op.Join { key_arity = 1 }) [ other_supp; o_date ] in
+  let o_cust = Plan.add pb (Op.Project [ 0; 1 ]) [ orders ] in
+  (* JOIN 4: customers of the orders *)
+  let j4 = Plan.add pb (Op.Join { key_arity = 1 }) [ j3; o_cust ] in
+  (* keep it slim: (ok, suppkey, receipt, commit) — only JOIN 2 fans out;
+     the remaining joins attach one row per order (real Q21's l2/l3
+     correlations are EXISTS semi-joins, which do not multiply rows) *)
+  let slim4 = Plan.add pb (Op.Project [ 0; 1; 3; 2 ]) [ j4 ] in
+  let o_all = Plan.add pb (Op.Project [ 0; 2 ]) [ orders ] in
+  (* JOIN 5: order status, unconditionally *)
+  let j5 = Plan.add pb (Op.Join { key_arity = 1 }) [ slim4; o_all ] in
+  (* (ok, suppkey, receipt, commit, status2) *)
+  let recent =
+    Plan.add pb
+      (Op.Select
+         (Pred.Cmp
+            ( Pred.Lt,
+              Pred.Bin (Pred.Sub, Pred.Attr 2, Pred.Attr 3),
+              Pred.Int 75 )))
+      [ j5 ]
+  in
+  (* JOIN 6: re-attach order status *)
+  let j6 = Plan.add pb (Op.Join { key_arity = 1 }) [ recent; o_f ] in
+  (* the waiting supplier per surviving row; suppkey is no longer a key
+     prefix, so this feeds the SORT boundary *)
+  let supp_only = Plan.add pb (Op.Project [ 1 ]) [ j6 ] in
+  let sorted = Plan.add pb (Op.Sort { key_arity = 1 }) [ supp_only ] in
+  let _numwait =
+    Plan.add pb
+      (Op.Aggregate
+         {
+           group_by = [ 0 ];
+           aggs = [ agg Op.Count (Pred.Attr 0) "numwait" ];
+         })
+      [ sorted ]
+  in
+  {
+    qname = "Q21";
+    plan = Plan.build pb;
+    bind = (fun db -> [| db.Datagen.lineitem; db.Datagen.orders |]);
+  }
+
+(* TPC-H Q21 expressed with semi/anti-joins — the shape of the real query,
+   where the l2/l3 correlations are EXISTS / NOT EXISTS and never multiply
+   rows.  The per-supplier correlation ("another supplier in the same
+   order") uses a (orderkey, suppkey)-keyed semijoin against the evidence
+   pairs, so the semantics are exact. *)
+let q21_semi =
+  let pb = Plan.builder () in
+  let li = Plan.base pb Tpch_schema.lineitem in
+  let orders = Plan.base pb Tpch_schema.orders in
+  let l_slim = Plan.add pb (Op.Project [ 0; 2; 10; 11 ]) [ li ] in
+  (* (orderkey, suppkey, commitdate, receiptdate) *)
+  let late =
+    Plan.add pb (Op.Select (Pred.Cmp (Pred.Gt, Pred.Attr 3, Pred.Attr 2)))
+      [ l_slim ]
+  in
+  let o_f =
+    Plan.add pb
+      (Op.Select
+         (Pred.Cmp (Pred.Eq, Pred.Attr 2, Pred.Int Tpch_schema.ostatus_f)))
+      [ orders ]
+  in
+  (* EXISTS: the order is an 'F' order *)
+  let l1 = Plan.add pb (Op.Semijoin { key_arity = 1 }) [ late; o_f ] in
+  (* evidence of another supplier in the same order: (ok, supp) pairs
+     having an order-mate with a different supplier *)
+  let l_supp = Plan.add pb (Op.Project [ 0; 2 ]) [ li ] in
+  let cand = Plan.add pb (Op.Project [ 0; 1 ]) [ l1 ] in
+  let pairs = Plan.add pb (Op.Join { key_arity = 1 }) [ cand; l_supp ] in
+  let other =
+    Plan.add pb (Op.Select (Pred.Cmp (Pred.Ne, Pred.Attr 1, Pred.Attr 2)))
+      [ pairs ]
+  in
+  let evidence = Plan.add pb (Op.Project [ 0; 1 ]) [ other ] in
+  (* EXISTS another supplier: keyed on (orderkey, suppkey) *)
+  let exists_other =
+    Plan.add pb (Op.Semijoin { key_arity = 2 }) [ l1; evidence ]
+  in
+  (* NOT EXISTS another late supplier *)
+  let late_supp = Plan.add pb (Op.Project [ 0; 1 ]) [ late ] in
+  let late_pairs = Plan.add pb (Op.Join { key_arity = 1 }) [ cand; late_supp ] in
+  let bad =
+    Plan.add pb (Op.Select (Pred.Cmp (Pred.Ne, Pred.Attr 1, Pred.Attr 2)))
+      [ late_pairs ]
+  in
+  let bad_ev = Plan.add pb (Op.Project [ 0; 1 ]) [ bad ] in
+  let waiting =
+    Plan.add pb (Op.Antijoin { key_arity = 2 }) [ exists_other; bad_ev ]
+  in
+  let supp_only = Plan.add pb (Op.Project [ 1 ]) [ waiting ] in
+  let sorted = Plan.add pb (Op.Sort { key_arity = 1 }) [ supp_only ] in
+  let _numwait =
+    Plan.add pb
+      (Op.Aggregate
+         { group_by = [ 0 ]; aggs = [ agg Op.Count (Pred.Attr 0) "numwait" ] })
+      [ sorted ]
+  in
+  {
+    qname = "Q21-semi";
+    plan = Plan.build pb;
+    bind = (fun db -> [| db.Datagen.lineitem; db.Datagen.orders |]);
+  }

@@ -1,0 +1,32 @@
+(** TPC-H queries Q1 and Q21 as query plans (§5.2).
+
+    The paper built these plans by hand too (its Datalog front-end did not
+    yet cover full TPC-H); we do the same, keeping the operator mix that
+    drives the result:
+
+    - {b Q1} is arithmetic-centric: one big scan of lineitem, a date
+      SELECT, the [price * (1 - discount) * (1 + tax)] arithmetic chain, a
+      SORT on (returnflag, linestatus) — the sort-based grouping that
+      dominates the paper's Q1 at ~71% of execution — and the grouped
+      aggregation.
+    - {b Q21} ("suppliers who kept orders waiting") is relational-centric:
+      six JOINs on orderkey over projected lineitem/orders columns with
+      interleaved SELECTs, then a suppkey projection, SORT and COUNT per
+      supplier. The semi-join-style predicates are simplified (see
+      DESIGN.md) but the fusible shape — 6 JOINs and SELECTs weavable
+      into one kernel, bounded by SORT — matches the paper's description. *)
+
+type query = {
+  qname : string;
+  plan : Qplan.Plan.t;
+  bind : Datagen.db -> Relation_lib.Relation.t array;
+}
+
+val q1 : query
+val q21 : query
+
+val q21_semi : query
+(** Q21 with the real query's EXISTS / NOT EXISTS correlations expressed
+    as SEMIJOIN / ANTIJOIN on (orderkey) and (orderkey, suppkey) keys —
+    exact semantics, no row multiplication. Compared against the
+    join-heavy [q21] in the semi-join ablation. *)

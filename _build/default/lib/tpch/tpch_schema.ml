@@ -1,0 +1,57 @@
+(** TPC-H table schemas, reduced to the columns the evaluated queries
+    touch. Strings are dictionary-encoded as integers (return flags,
+    statuses, names), dates as day numbers — both standard practice in
+    GPU databases and consistent with the simulator's word-encoded
+    attributes. Key prefixes follow the dense sorted-array storage
+    format: each table is key-sorted on its first attribute. *)
+
+open Relation_lib
+
+(* l_returnflag encoding *)
+let flag_a = 0
+let flag_n = 1
+let flag_r = 2
+
+(* l_linestatus encoding *)
+let status_f = 0
+let status_o = 1
+
+(* o_orderstatus encoding *)
+let ostatus_f = 0
+let ostatus_o = 1
+let ostatus_p = 2
+
+let lineitem =
+  Schema.make
+    [
+      ("l_orderkey", Dtype.I32);
+      ("l_partkey", Dtype.I32);
+      ("l_suppkey", Dtype.I32);
+      ("l_quantity", Dtype.F32);
+      ("l_extendedprice", Dtype.F32);
+      ("l_discount", Dtype.F32);
+      ("l_tax", Dtype.F32);
+      ("l_returnflag", Dtype.I32);
+      ("l_linestatus", Dtype.I32);
+      ("l_shipdate", Dtype.Date);
+      ("l_commitdate", Dtype.Date);
+      ("l_receiptdate", Dtype.Date);
+    ]
+
+let orders =
+  Schema.make
+    [
+      ("o_orderkey", Dtype.I32);
+      ("o_custkey", Dtype.I32);
+      ("o_orderstatus", Dtype.I32);
+      ("o_orderdate", Dtype.Date);
+    ]
+
+let supplier =
+  Schema.make [ ("s_suppkey", Dtype.I32); ("s_nationkey", Dtype.I32) ]
+
+let nation =
+  Schema.make [ ("n_nationkey", Dtype.I32); ("n_name", Dtype.I32) ]
+
+let customer =
+  Schema.make [ ("c_custkey", Dtype.I32); ("c_nationkey", Dtype.I32) ]

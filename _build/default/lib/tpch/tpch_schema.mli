@@ -1,0 +1,42 @@
+(** TPC-H table schemas, reduced to the columns the evaluated queries
+    touch.
+
+    Strings are dictionary-encoded as integers (return flags, statuses,
+    names) and dates as day numbers — standard practice in GPU databases
+    and consistent with the simulator's word-encoded attributes. Every
+    table is key-sorted on its first attribute (the dense sorted-array
+    storage format of Fig. 6). *)
+
+val flag_a : int
+(** l_returnflag = 'A' *)
+
+val flag_n : int
+val flag_r : int
+
+val status_f : int
+(** l_linestatus = 'F' *)
+
+val status_o : int
+
+val ostatus_f : int
+(** o_orderstatus = 'F' *)
+
+val ostatus_o : int
+val ostatus_p : int
+
+val lineitem : Relation_lib.Schema.t
+(** (l_orderkey, l_partkey, l_suppkey, l_quantity, l_extendedprice,
+    l_discount, l_tax, l_returnflag, l_linestatus, l_shipdate,
+    l_commitdate, l_receiptdate) *)
+
+val orders : Relation_lib.Schema.t
+(** (o_orderkey, o_custkey, o_orderstatus, o_orderdate) *)
+
+val supplier : Relation_lib.Schema.t
+(** (s_suppkey, s_nationkey) *)
+
+val nation : Relation_lib.Schema.t
+(** (n_nationkey, n_name) *)
+
+val customer : Relation_lib.Schema.t
+(** (c_custkey, c_nationkey) *)

@@ -1,0 +1,1 @@
+lib/weaver/codegen.pp.ml: Array Config Fusion Gpu_sim Kir Kir_builder Kir_validate Layout List Printf Ra_lib

@@ -1,0 +1,1 @@
+lib/weaver/codegen.pp.mli: Config Fusion Gpu_sim Kir Layout

@@ -1,0 +1,1 @@
+lib/weaver/config.pp.ml: Device Gpu_sim Qplan Timing

@@ -1,0 +1,1 @@
+lib/weaver/config.pp.mli: Device Gpu_sim Qplan Timing

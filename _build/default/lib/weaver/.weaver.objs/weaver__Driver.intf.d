@@ -1,0 +1,1 @@
+lib/weaver/driver.pp.mli: Config Metrics Optimizer Plan Qplan Relation Relation_lib Runtime

@@ -1,0 +1,1 @@
+lib/weaver/fusion.pp.ml: Array Dependence Fun Hashtbl Int List Op Option Plan Ppx_deriving_runtime Pred Printf Qplan Ra_lib Relation_lib Schema

@@ -1,0 +1,1 @@
+lib/weaver/fusion.pp.mli: Plan Ppx_deriving_runtime Qplan Ra_lib Relation_lib Schema

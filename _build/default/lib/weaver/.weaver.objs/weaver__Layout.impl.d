@@ -1,0 +1,1 @@
+lib/weaver/layout.pp.ml: Array Config Float Fusion Gpu_sim Int List Op Option Plan Printf Qplan Ra_lib Relation_lib Schema Selection

@@ -1,0 +1,1 @@
+lib/weaver/layout.pp.mli: Config Fusion Qplan Ra_lib

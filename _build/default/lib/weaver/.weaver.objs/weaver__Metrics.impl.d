@@ -1,0 +1,1 @@
+lib/weaver/metrics.pp.ml: Executor Float Format Gpu_sim Hashtbl List Stats Timing

@@ -1,0 +1,1 @@
+lib/weaver/metrics.pp.mli: Device Executor Format Gpu_sim Stats

@@ -1,0 +1,1 @@
+lib/weaver/optimizer.pp.ml: Array Float Gpu_sim Hashtbl Int32 Kir Kir_validate List Option Ppx_deriving_runtime

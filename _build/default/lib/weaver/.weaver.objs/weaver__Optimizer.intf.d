@@ -1,0 +1,1 @@
+lib/weaver/optimizer.pp.mli: Gpu_sim Ppx_deriving_runtime

@@ -1,0 +1,1 @@
+lib/weaver/runtime.pp.mli: Config Fusion Metrics Optimizer Plan Qplan Ra_lib Relation Relation_lib

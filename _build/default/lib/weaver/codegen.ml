@@ -1,0 +1,202 @@
+open Gpu_sim
+
+type kernels = {
+  partition : Kir.kernel;
+  compute : Kir.kernel;
+  scans : Kir.kernel array;
+  gathers : Kir.kernel array;
+}
+
+let compute_kernel (config : Config.t) ~name (ir : Fusion.t) (lay : Layout.t) =
+  let n_in = Array.length ir.inputs in
+  let n_out = Array.length ir.outputs in
+  let b =
+    Kir_builder.create ~name:(name ^ "_compute")
+      ~params:((2 * n_in) + (2 * n_out))
+      ()
+  in
+  let open Kir_builder in
+  let in_buf i = param b i in
+  let in_bounds i = param b (n_in + i) in
+  let staging o = param b ((2 * n_in) + o) in
+  let counts o = param b ((2 * n_in) + n_out + o) in
+  (* register the layout's shared plan with the builder (offsets start at 0) *)
+  let base = alloc_shared b ~words:lay.shared_words ~bytes:lay.shared_bytes in
+  assert (base = Kir.Imm 0);
+  (* Per-input CTA ranges.  Thread 0 reads the bounds from global memory
+     once and stages them through shared memory — a per-thread global read
+     of the same word would cost a transaction per thread in the model
+     (real hardware broadcasts it).  Broadcast (Full) inputs span [0, n),
+     read from the terminating bounds entry. *)
+  let meta = alloc_shared b ~words:(2 * n_in) ~bytes:(8 * n_in) in
+  let is_t0 = cmp b Kir.Eq tid (Imm 0) in
+  if_ b (Reg is_t0) (fun () ->
+      for i = 0 to n_in - 1 do
+        let is_full = ir.inputs.(i).Fusion.spec = Ra_lib.Partition_emit.Full in
+        let s =
+          if is_full then mov b (Imm 0)
+          else ld b Kir.Global ~base:(in_bounds i) ~idx:ctaid ~width:4
+        in
+        let e1 = bin b Kir.Add ctaid (Imm 1) in
+        let e =
+          if is_full then
+            ld b Kir.Global ~base:(in_bounds i) ~idx:nctaid ~width:4
+          else ld b Kir.Global ~base:(in_bounds i) ~idx:(Reg e1) ~width:4
+        in
+        st b Kir.Shared ~base:meta ~idx:(Imm (2 * i)) ~src:(Reg s) ~width:4;
+        st b Kir.Shared ~base:meta ~idx:(Imm ((2 * i) + 1)) ~src:(Reg e)
+          ~width:4
+      done);
+  bar b;
+  let starts = Array.make n_in 0 and cnts = Array.make n_in 0 in
+  for i = 0 to n_in - 1 do
+    let s = ld b Kir.Shared ~base:meta ~idx:(Imm (2 * i)) ~width:4 in
+    let e = ld b Kir.Shared ~base:meta ~idx:(Imm ((2 * i) + 1)) ~width:4 in
+    let c = bin b Kir.Sub (Reg e) (Reg s) in
+    starts.(i) <- s;
+    cnts.(i) <- c;
+    (* a snapped key range larger than the tile capacity cannot execute *)
+    let over = cmp b Kir.Gt (Reg c) (Imm lay.input_caps.(i)) in
+    if_ b (Reg over) (fun () ->
+        emit b
+          (Kir.Trap
+             (Printf.sprintf "overflow:input %d range exceeds capacity %d" i
+                lay.input_caps.(i))))
+  done;
+  let tile t = lay.tiles.(t) in
+  let staging_dest ~si o =
+    Ra_lib.Dest.To_staging
+      {
+        buf = staging o;
+        stage_cap = lay.out_caps.(o);
+        counts = counts o;
+        schema = snd ir.outputs.(o);
+        label = Printf.sprintf "seg=%d" si;
+      }
+  in
+  (* primary destination for a segment, and an optional tile->staging copy
+     when a result both feeds a later segment and leaves the group *)
+  let dest_of ~si (d : Fusion.dest) =
+    match (d.to_tile, d.to_output) with
+    | Some t, _ ->
+        ( Ra_lib.Dest.To_tile
+            { tile = tile t; label = Printf.sprintf "seg=%d" si },
+          d.to_output )
+    | None, Some o -> (staging_dest ~si o, None)
+    | None, None -> assert false
+  in
+  let copy_tile_to_staging ~si t o =
+    let tl = tile t in
+    let cnt = Ra_lib.Tile.load_count b tl in
+    let cap = lay.out_caps.(o) in
+    let over = cmp b Kir.Gt (Reg cnt) (Imm cap) in
+    if_ b (Reg over) (fun () ->
+        emit b
+          (Kir.Trap
+             (Printf.sprintf "overflow:staging seg=%d capacity %d" si cap)));
+    let row0 = bin b Kir.Mul ctaid (Imm cap) in
+    Ra_lib.Emit_common.coop_copy_s2g b ~tile:tl ~count:(Reg cnt)
+      ~buf:(staging o) ~dst_row:(Reg row0);
+    let is_t0 = cmp b Kir.Eq tid (Imm 0) in
+    if_ b (Reg is_t0) (fun () ->
+        st b Kir.Global ~base:(counts o) ~idx:ctaid ~src:(Reg cnt) ~width:4)
+  in
+  List.iteri
+    (fun si seg ->
+      match (seg, lay.seg_scratch.(si)) with
+      | Fusion.Load { input; tile = t }, _ ->
+          Ra_lib.Emit_common.coop_copy_g2s b ~buf:(in_buf input)
+            ~src_row:(Reg starts.(input))
+            ~count:(Reg cnts.(input))
+            ~tile:(tile t)
+      | Fusion.Pipe { input; steps; in_schema; dest; _ }, Layout.S_pipe s ->
+          let pin =
+            match input with
+            | Fusion.From_input i ->
+                Ra_lib.Pipeline_emit.From_global
+                  {
+                    buf = in_buf i;
+                    row_start = Kir.Reg starts.(i);
+                    count = Kir.Reg cnts.(i);
+                    schema = in_schema;
+                  }
+            | Fusion.From_tile t -> Ra_lib.Pipeline_emit.From_tile (tile t)
+          in
+          let d, extra = dest_of ~si dest in
+          Ra_lib.Pipeline_emit.emit b ~input:pin ~steps ~flags_base:s.flags
+            ~scratch:s.scratch ~total_slot:s.total ~dest:d;
+          (match (dest.to_tile, extra) with
+          | Some t, Some o -> copy_tile_to_staging ~si t o
+          | _ -> ())
+      | Fusion.Bin { kind; left; right; dest; _ }, scratch ->
+          let tile_of = function
+            | Fusion.From_tile t -> tile t
+            | Fusion.From_input _ ->
+                invalid_arg "Codegen: binary operand not cached in a tile"
+          in
+          let l = tile_of left and r = tile_of right in
+          let d, extra = dest_of ~si dest in
+          (match (kind, scratch) with
+          | Fusion.B_join key_arity, Layout.S_counts s ->
+              Ra_lib.Binary_emit.emit_join b ~key_arity ~left:l ~right:r
+                ~counts_base:s.counts ~curs_base:s.curs ~total_slot:s.total
+                ~dest:d
+          | Fusion.B_semijoin key_arity, Layout.S_counts s ->
+              Ra_lib.Binary_emit.emit_semijoin b ~key_arity ~left:l ~right:r
+                ~counts_base:s.counts ~total_slot:s.total ~dest:d
+          | Fusion.B_antijoin key_arity, Layout.S_counts s ->
+              Ra_lib.Binary_emit.emit_antijoin b ~key_arity ~left:l ~right:r
+                ~counts_base:s.counts ~total_slot:s.total ~dest:d
+          | Fusion.B_intersect key_arity, Layout.S_counts s ->
+              Ra_lib.Binary_emit.emit_intersect b ~key_arity ~left:l ~right:r
+                ~counts_base:s.counts ~total_slot:s.total ~dest:d
+          | Fusion.B_difference key_arity, Layout.S_counts s ->
+              Ra_lib.Binary_emit.emit_difference b ~key_arity ~left:l ~right:r
+                ~counts_base:s.counts ~total_slot:s.total ~dest:d
+          | Fusion.B_union key_arity, Layout.S_union s ->
+              Ra_lib.Binary_emit.emit_union b ~key_arity ~left:l ~right:r
+                ~counts_l:s.counts_l ~counts_r:s.counts_r ~total_l:s.total_l
+                ~total_r:s.total_r ~dest:d
+          | Fusion.B_product, Layout.S_none ->
+              Ra_lib.Binary_emit.emit_product b ~left:l ~right:r ~dest:d
+          | _ -> invalid_arg "Codegen: segment/scratch shape mismatch");
+          (match (dest.to_tile, extra) with
+          | Some t, Some o -> copy_tile_to_staging ~si t o
+          | _ -> ())
+      | Fusion.Pipe _, _ -> invalid_arg "Codegen: pipe without pipe scratch")
+    ir.segments;
+  ignore config;
+  let k = finish ~regs_per_thread:lay.regs_per_thread b in
+  (* the builder already accounted the layout's words/bytes exactly *)
+  k
+
+let generate ?pivot config ~name (ir : Fusion.t) (lay : Layout.t) =
+  let pivot = match pivot with Some _ as p -> p | None -> ir.pivot in
+  let partition =
+    Ra_lib.Partition_emit.emit ~name:(name ^ "_partition")
+      ~inputs:
+        (Array.to_list
+           (Array.map
+              (fun (i : Fusion.input_info) -> (i.spec, i.in_schema))
+              ir.inputs))
+      ~key_arity:ir.key_arity ~pivot ~cap:lay.cap
+  in
+  let compute = compute_kernel config ~name ir lay in
+  let scans =
+    Array.mapi
+      (fun o _ ->
+        Ra_lib.Gather_emit.emit_scan_offsets
+          ~name:(Printf.sprintf "%s_scan%d" name o))
+      ir.outputs
+  in
+  let gathers =
+    Array.mapi
+      (fun o (_, schema) ->
+        Ra_lib.Gather_emit.emit_gather
+          ~name:(Printf.sprintf "%s_gather%d" name o)
+          ~schema ~stage_cap:lay.out_caps.(o))
+      ir.outputs
+  in
+  let all = partition :: compute :: (Array.to_list scans @ Array.to_list gathers) in
+  List.iter Kir_validate.check_exn all;
+  { partition; compute; scans; gathers }

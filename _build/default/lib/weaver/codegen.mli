@@ -1,0 +1,26 @@
+(** Code generation: one fusion group -> partition / compute / gather KIR.
+
+    The compute kernel's parameter layout, for [n] inputs and [m] outputs:
+    [[0, n)] input buffers, [[n, 2n)] input bounds buffers,
+    [[2n, 2n + m)] staging buffers, [[2n + m, 2n + 2m)] counts buffers.
+
+    The gather stage is one offsets-scan kernel plus one gather kernel per
+    output (see {!Ra_lib.Gather_emit}). *)
+
+open Gpu_sim
+
+type kernels = {
+  partition : Kir.kernel;
+  compute : Kir.kernel;
+  scans : Kir.kernel array;  (** per output *)
+  gathers : Kir.kernel array;  (** per output *)
+}
+
+val generate :
+  ?pivot:int -> Config.t -> name:string -> Fusion.t -> Layout.t -> kernels
+(** [pivot] overrides the group's keyed pivot input (the runtime picks
+    the largest keyed input once sizes are known, so slice boundaries cut
+    the big side evenly). *)
+(** All kernels are validated with {!Kir_validate} before being returned;
+    compute and partition get [regs_per_thread] and shared sizes from the
+    layout so occupancy reflects the §4.3.3 estimate. *)

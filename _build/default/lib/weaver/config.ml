@@ -1,0 +1,43 @@
+open Gpu_sim
+
+type t = {
+  device : Device.t;
+  timing : Timing.params;
+  cta_threads : int;
+  cap : int;
+  min_cap : int;
+  aux_factor : int;
+  join_expansion : int;
+  broadcast_cap : int;
+  max_groups : int;
+  max_grid : int;
+  input_sharing : bool;
+  max_retries : int;
+  selection_shared_fraction : float;
+}
+
+let default =
+  {
+    device = Device.fermi_c2050;
+    timing = Timing.default_params;
+    cta_threads = 128;
+    cap = 256;
+    min_cap = 32;
+    aux_factor = 2;
+    join_expansion = 2;
+    broadcast_cap = 1024;
+    max_groups = 512;
+    max_grid = 4096;
+    input_sharing = true;
+    max_retries = 10;
+    selection_shared_fraction = 1.0;
+  }
+
+let budget t =
+  {
+    Qplan.Selection.max_regs_per_thread = t.device.Device.max_registers_per_thread;
+    max_shared_bytes =
+      int_of_float
+        (t.selection_shared_fraction
+        *. float_of_int t.device.Device.max_shared_mem_per_cta);
+  }

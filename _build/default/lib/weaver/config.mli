@@ -1,0 +1,38 @@
+(** Weaver configuration: device, cost model and skeleton tuning knobs.
+
+    The paper picks one kernel configuration (CTA and thread dimensions)
+    that works well across the micro-benchmarks (§4.1); [cta_threads] and
+    [cap] play that role here. Capacity knobs size the shared-memory tiles
+    and staging buffers; the runtime retries with scaled values when a
+    kernel traps on a capacity overflow. *)
+
+open Gpu_sim
+
+type t = {
+  device : Device.t;
+  timing : Timing.params;
+  cta_threads : int;  (** threads per CTA for compute/gather kernels *)
+  cap : int;  (** target driving rows per CTA (tile capacity seed) *)
+  min_cap : int;  (** below this the layout gives up (group infeasible) *)
+  aux_factor : int;
+      (** slack factor for keyed input tiles (snapped key ranges may
+          exceed an even slice) *)
+  join_expansion : int;  (** join output rows per left input row budgeted *)
+  broadcast_cap : int;  (** max rows of a PRODUCT's broadcast side *)
+  max_groups : int;  (** aggregation hash-table capacity *)
+  max_grid : int;  (** CTA-count ceiling per kernel *)
+  input_sharing : bool;  (** enable the §4.4 input-dependence extension *)
+  max_retries : int;  (** capacity-overflow retries before giving up *)
+  selection_shared_fraction : float;
+      (** Algorithm 2 closes a group when its estimated shared memory
+          exceeds this fraction of the per-CTA limit: groups that consume
+          the whole budget run one CTA per SM and starve latency hiding
+          (the paper's fused kernels use about half the 48 KB) *)
+}
+
+val default : t
+(** Fermi C2050, default timing, 128 threads/CTA, 256-row tiles. *)
+
+val budget : t -> Qplan.Selection.budget
+(** Algorithm 2's resource budget: the device register limit and
+    [selection_shared_fraction] of the shared-memory limit. *)

@@ -1,0 +1,53 @@
+(** Kernel Weaver's top-level API: compile a query plan, run it, compare.
+
+    [compile] is the whole Fig. 5 pipeline after the language front-end:
+    Algorithm 1 finds fusion candidates on the dependence graph, Algorithm
+    2 selects resource-feasible groups, the weaver builds each group's
+    segment program and the code generator emits its KIR kernels (lowered
+    lazily at run time so capacity retries can regenerate them).
+
+    [~fuse:false] compiles every fusible operator as its own singleton
+    group — the unfused baseline, using exactly the same skeleton library,
+    which is the paper's comparison methodology. *)
+
+open Qplan
+open Relation_lib
+
+val compile :
+  ?config:Config.t ->
+  ?fuse:bool ->
+  ?opt:Optimizer.level ->
+  Plan.t ->
+  Runtime.program
+(** Defaults: [Config.default], [fuse:true], [opt:O3]. Raises
+    [Runtime.Execution_error] if some group cannot be planned at all. *)
+
+val run :
+  Runtime.program -> Relation.t array -> mode:Runtime.mode -> Runtime.result
+(** Alias of {!Runtime.run}. *)
+
+type comparison = {
+  fused : Runtime.result;
+  unfused : Runtime.result;
+  fused_program : Runtime.program;
+  unfused_program : Runtime.program;
+}
+
+val compare_fusion :
+  ?config:Config.t ->
+  ?opt:Optimizer.level ->
+  Plan.t ->
+  Relation_lib.Relation.t array ->
+  mode:Runtime.mode ->
+  comparison
+(** Run the same plan and inputs with and without fusion (the experiment
+    every figure of §5 performs). Results are checked to be
+    multiset-equal; a mismatch raises [Runtime.Execution_error] — fusion
+    must never change answers. Relations with float attributes are
+    compared approximately (f32 reassociation differs across schedules). *)
+
+val speedup : baseline:Metrics.t -> improved:Metrics.t -> float
+(** [total_cycles baseline / total_cycles improved]. *)
+
+val group_summary : Runtime.program -> string
+(** Human-readable list of execution units and fusion groups. *)

@@ -1,0 +1,476 @@
+open Relation_lib
+open Qplan
+
+type place = From_input of int | From_tile of int [@@deriving show, eq]
+
+type dest = { to_tile : int option; to_output : int option }
+
+type bkind =
+  | B_join of int
+  | B_semijoin of int
+  | B_antijoin of int
+  | B_product
+  | B_union of int
+  | B_intersect of int
+  | B_difference of int
+
+type segment =
+  | Load of { input : int; tile : int }
+  | Pipe of {
+      op_ids : int list;
+      input : place;
+      steps : Ra_lib.Pipeline_emit.step list;
+      in_schema : Schema.t;
+      out_schema : Schema.t;
+      dest : dest;
+    }
+  | Bin of {
+      op_id : int;
+      kind : bkind;
+      left : place;
+      right : place;
+      out_schema : Schema.t;
+      dest : dest;
+    }
+
+type input_info = {
+  source : Plan.source;
+  in_schema : Schema.t;
+  spec : Ra_lib.Partition_emit.spec;
+  sort_arity : int;
+      (** the runtime must present this input sorted to this key depth
+          (binary operators with wider keys than the group partition need
+          deeper sorting inside each partition) *)
+}
+
+type t = {
+  op_ids : int list;
+  inputs : input_info array;
+  tiles : Schema.t array;
+  segments : segment list;
+  outputs : (int * Schema.t) array;
+  key_arity : int;
+  pivot : int option;
+}
+
+exception Infeasible of string
+
+let infeasible fmt = Printf.ksprintf (fun s -> raise (Infeasible s)) fmt
+
+let preserves_key_prefix ~key_arity (step : Ra_lib.Pipeline_emit.step) =
+  let prefix_ok l of_elt =
+    List.length l >= key_arity
+    &&
+    let rec go j = function
+      | _ when j >= key_arity -> true
+      | x :: rest -> of_elt j x && go (j + 1) rest
+      | [] -> false
+    in
+    go 0 l
+  in
+  match step with
+  | Ra_lib.Pipeline_emit.Filter _ -> true
+  | Ra_lib.Pipeline_emit.Remap cols -> prefix_ok cols (fun j c -> c = j)
+  | Ra_lib.Pipeline_emit.Compute outs ->
+      prefix_ok outs (fun j (_, e) -> e = Pred.Attr j)
+
+let is_thread_kind k = Dependence.(equal (of_kind k) Thread)
+let is_cta_kind k = Dependence.(equal (of_kind k) Cta)
+
+(* --- partition requirements --------------------------------------------- *)
+
+type req = R_even | R_keyed | R_full
+
+let combine_req a b =
+  match (a, b) with
+  | R_full, R_full -> R_full
+  | R_full, _ | _, R_full ->
+      infeasible "input needed both broadcast (PRODUCT) and partitioned"
+  | R_keyed, _ | _, R_keyed -> R_keyed
+  | R_even, R_even -> R_even
+
+let spec_of_req : req -> Ra_lib.Partition_emit.spec = function
+  | R_even -> Ra_lib.Partition_emit.Even
+  | R_keyed -> Ra_lib.Partition_emit.Keyed
+  | R_full -> Ra_lib.Partition_emit.Full
+
+let step_of_kind (k : Op.kind) =
+  match k with
+  | Op.Select p -> Ra_lib.Pipeline_emit.Filter p
+  | Op.Project cols -> Ra_lib.Pipeline_emit.Remap cols
+  | Op.Arith outs -> Ra_lib.Pipeline_emit.Compute outs
+  | _ -> invalid_arg "Fusion: not a thread operator"
+
+let bkind_of_kind (k : Op.kind) =
+  match k with
+  | Op.Join { key_arity } -> B_join key_arity
+  | Op.Semijoin { key_arity } -> B_semijoin key_arity
+  | Op.Antijoin { key_arity } -> B_antijoin key_arity
+  | Op.Product -> B_product
+  | Op.Union { key_arity } -> B_union key_arity
+  | Op.Intersect { key_arity } -> B_intersect key_arity
+  | Op.Difference { key_arity } -> B_difference key_arity
+  | _ -> invalid_arg "Fusion: not a CTA operator"
+
+let build plan group =
+  let group = List.sort_uniq Int.compare group in
+  if group = [] then invalid_arg "Fusion.build: empty group";
+  let in_group id = List.exists (Int.equal id) group in
+  let node id = Plan.node plan id in
+  List.iter
+    (fun id ->
+      if not (Dependence.fusible (node id).Plan.kind) then
+        invalid_arg
+          (Printf.sprintf "Fusion.build: op %d is a kernel-dependence operator"
+             id))
+    group;
+  (* group's partition key: minimum key arity among keyed members *)
+  let keyed_arities =
+    List.filter_map
+      (fun id ->
+        match (node id).Plan.kind with
+        | Op.Join { key_arity }
+        | Op.Semijoin { key_arity }
+        | Op.Antijoin { key_arity }
+        | Op.Union { key_arity }
+        | Op.Intersect { key_arity }
+        | Op.Difference { key_arity } ->
+            Some key_arity
+        | _ -> None)
+      group
+  in
+  let key_arity =
+    match keyed_arities with [] -> 1 | l -> List.fold_left min max_int l
+  in
+  (* requirement on each group member's output partitioning *)
+  let req = Hashtbl.create 16 in
+  let get_req id = Option.value (Hashtbl.find_opt req id) ~default:R_even in
+  let edge_reqs_of_consumer c_id producer =
+    let c = node c_id in
+    match c.Plan.kind with
+    | Op.Join _ | Op.Semijoin _ | Op.Antijoin _ | Op.Union _ | Op.Intersect _
+    | Op.Difference _ ->
+        [ R_keyed ]
+    | Op.Product ->
+        (* the producer may feed the left side, the right side, or both *)
+        List.filter_map
+          (fun (i, s) ->
+            match s with
+            | Plan.Node p when p = producer ->
+                Some (if i = 0 then get_req c_id else R_full)
+            | _ -> None)
+          (List.mapi (fun i s -> (i, s)) c.Plan.inputs)
+    | Op.Select _ | Op.Project _ | Op.Arith _ -> [ get_req c_id ]
+    | Op.Sort _ | Op.Unique _ | Op.Aggregate _ -> [ R_even ]
+  in
+  List.iter
+    (fun id ->
+      let consumers = List.filter in_group (Plan.consumers plan id) in
+      let r =
+        List.fold_left
+          (fun acc c -> List.fold_left combine_req acc (edge_reqs_of_consumer c id))
+          R_even consumers
+      in
+      Hashtbl.replace req id r)
+    (List.rev group);
+  (* a binary operator cannot produce a broadcast result *)
+  List.iter
+    (fun id ->
+      if is_cta_kind (node id).Plan.kind && get_req id = R_full then
+        infeasible "a binary operator's result cannot be broadcast")
+    group;
+  (* collect group inputs; the same source used with different requirements
+     combines them (Keyed wins over Even, Keyed + Full is infeasible) *)
+  let input_order = ref [] in
+  let input_reqs : (Plan.source, int * req ref) Hashtbl.t = Hashtbl.create 8 in
+  let input_of_source src r =
+    match Hashtbl.find_opt input_reqs src with
+    | Some (i, cell) ->
+        cell := combine_req !cell r;
+        i
+    | None ->
+        let i = Hashtbl.length input_reqs in
+        Hashtbl.replace input_reqs src (i, ref r);
+        input_order := src :: !input_order;
+        i
+  in
+  (* requirement seen by an operator's input coming from outside the group *)
+  let input_req_for op_id side =
+    let n = node op_id in
+    match n.Plan.kind with
+    | Op.Join _ | Op.Semijoin _ | Op.Antijoin _ | Op.Union _ | Op.Intersect _
+    | Op.Difference _ ->
+        R_keyed
+    | Op.Product -> if side = 0 then get_req op_id else R_full
+    | Op.Select _ | Op.Project _ | Op.Arith _ -> get_req op_id
+    | Op.Sort _ | Op.Unique _ | Op.Aggregate _ -> assert false
+  in
+  (* --- build segments --- *)
+  let processed = Hashtbl.create 16 in
+  let loc = Hashtbl.create 16 in
+  let tiles_rev = ref [] in
+  let n_tiles = ref 0 in
+  let new_tile schema =
+    tiles_rev := schema :: !tiles_rev;
+    let t = !n_tiles in
+    incr n_tiles;
+    t
+  in
+  let outputs_rev = ref [] in
+  let n_outputs = ref 0 in
+  let new_output op_id schema =
+    outputs_rev := (op_id, schema) :: !outputs_rev;
+    incr n_outputs
+  in
+  let segments_rev = ref [] in
+  let place_of_source op_id side src =
+    match src with
+    | Plan.Node j when in_group j -> (
+        match Hashtbl.find_opt loc j with
+        | Some p -> p
+        | None -> assert false (* topological order guarantees materialized *))
+    | _ -> From_input (input_of_source src (input_req_for op_id side))
+  in
+  let consumers_in_group id = List.filter in_group (Plan.consumers plan id) in
+  let consumed_outside id =
+    let cons = Plan.consumers plan id in
+    cons = [] (* sink *) || List.exists (fun c -> not (in_group c)) cons
+  in
+  let dest_of id schema =
+    let to_tile =
+      if consumers_in_group id <> [] then Some (new_tile schema) else None
+    in
+    let to_output =
+      if consumed_outside id then (
+        new_output id schema;
+        Some (!n_outputs - 1))
+      else None
+    in
+    (match to_tile with
+    | Some t -> Hashtbl.replace loc id (From_tile t)
+    | None -> ());
+    { to_tile; to_output }
+  in
+  List.iter
+    (fun id ->
+      if not (Hashtbl.mem processed id) then
+        let n = node id in
+        if is_thread_kind n.Plan.kind then begin
+          (* grow a maximal linear chain of thread operators *)
+          let rec grow chain last =
+            match Plan.consumers plan last with
+            | [ c ]
+              when in_group c
+                   && is_thread_kind (node c).Plan.kind
+                   && not (Hashtbl.mem processed c) ->
+                Hashtbl.replace processed c ();
+                grow (c :: chain) c
+            | _ -> (List.rev chain, last)
+          in
+          Hashtbl.replace processed id ();
+          let chain, last = grow [ id ] id in
+          let steps = List.map (fun i -> step_of_kind (node i).Plan.kind) chain in
+          (* a keyed-partitioned chain must preserve the key prefix *)
+          if get_req last = R_keyed then
+            List.iter
+              (fun s ->
+                if not (preserves_key_prefix ~key_arity s) then
+                  infeasible
+                    "a pipeline feeding a keyed operator rewrites the key \
+                     prefix")
+              steps;
+          let src =
+            match n.Plan.inputs with [ s ] -> s | _ -> assert false
+          in
+          let input = place_of_source id 0 src in
+          let in_schema = Plan.schema_of plan src in
+          let out_schema = (node last).Plan.schema in
+          let dest = dest_of last out_schema in
+          segments_rev :=
+            Pipe { op_ids = chain; input; steps; in_schema; out_schema; dest }
+            :: !segments_rev
+        end
+        else begin
+          Hashtbl.replace processed id ();
+          let l_src, r_src =
+            match n.Plan.inputs with
+            | [ a; b ] -> (a, b)
+            | _ -> assert false
+          in
+          let left = place_of_source id 0 l_src in
+          let right = place_of_source id 1 r_src in
+          let dest = dest_of id n.Plan.schema in
+          segments_rev :=
+            Bin
+              { op_id = id; kind = bkind_of_kind n.Plan.kind; left; right;
+                out_schema = n.Plan.schema; dest }
+            :: !segments_rev
+        end)
+    group;
+  let segments = List.rev !segments_rev in
+  let inputs =
+    Array.of_list
+      (List.rev_map
+         (fun src ->
+           let _, cell = Hashtbl.find input_reqs src in
+           {
+             source = src;
+             in_schema = Plan.schema_of plan src;
+             spec = spec_of_req !cell;
+             sort_arity = key_arity;
+           })
+         !input_order)
+  in
+  (* decide which global inputs must be cached in tiles: any side of a
+     binary operator, and any input read by two or more segments (the
+     input-dependence benefit: load shared data once) *)
+  let refs = Array.make (Array.length inputs) 0 in
+  let needs_tile = Array.make (Array.length inputs) false in
+  List.iter
+    (fun seg ->
+      match seg with
+      | Pipe { input = From_input i; _ } -> refs.(i) <- refs.(i) + 1
+      | Bin { left; right; _ } ->
+          (match left with
+          | From_input i ->
+              refs.(i) <- refs.(i) + 1;
+              needs_tile.(i) <- true
+          | From_tile _ -> ());
+          (match right with
+          | From_input i ->
+              refs.(i) <- refs.(i) + 1;
+              needs_tile.(i) <- true
+          | From_tile _ -> ())
+      | Pipe _ | Load _ -> ())
+    segments;
+  Array.iteri (fun i r -> if r >= 2 then needs_tile.(i) <- true) refs;
+  let input_tile = Array.make (Array.length inputs) (-1) in
+  let loads =
+    List.filter_map
+      (fun i ->
+        if needs_tile.(i) then begin
+          let t = new_tile inputs.(i).in_schema in
+          input_tile.(i) <- t;
+          Some (Load { input = i; tile = t })
+        end
+        else None)
+      (List.init (Array.length inputs) Fun.id)
+  in
+  let rewrite_place = function
+    | From_input i when needs_tile.(i) -> From_tile input_tile.(i)
+    | p -> p
+  in
+  let segments =
+    loads
+    @ List.map
+        (function
+          | Pipe p -> Pipe { p with input = rewrite_place p.input }
+          | Bin bn ->
+              Bin
+                {
+                  bn with
+                  left = rewrite_place bn.left;
+                  right = rewrite_place bn.right;
+                }
+          | Load l -> Load l)
+        segments
+  in
+  (* --- sortedness-guarantee propagation ---------------------------------
+     A binary operator probes its tiles with binary search on its own key
+     prefix, which may be deeper than the group's partition key.  Walk the
+     segments backwards, accumulating the sort depth each tile (and group
+     input) must provide; producers that cannot deliver it (a pipeline
+     that rewrites that prefix, a UNION with a narrower key) make the
+     group infeasible, and group inputs record the depth so the runtime
+     sorts them accordingly. *)
+  let tile_need = Array.make !n_tiles key_arity in
+  let input_need = Array.make (Array.length inputs) key_arity in
+  let need_place k = function
+    | From_input i -> input_need.(i) <- max input_need.(i) k
+    | From_tile t -> tile_need.(t) <- max tile_need.(t) k
+  in
+  let bkey = function
+    | B_join k | B_semijoin k | B_antijoin k | B_union k | B_intersect k
+    | B_difference k ->
+        k
+    | B_product -> 0
+  in
+  List.iter
+    (fun seg ->
+      match seg with
+      | Load { input; tile } -> input_need.(input) <- max input_need.(input) tile_need.(tile)
+      | Pipe { input; steps; dest; _ } ->
+          let k =
+            match dest.to_tile with Some t -> tile_need.(t) | None -> 0
+          in
+          if k > 0 then begin
+            List.iter
+              (fun s ->
+                if not (preserves_key_prefix ~key_arity:k s) then
+                  infeasible
+                    "a pipeline rewrites a key prefix a deeper-keyed operator                      needs")
+              steps;
+            need_place k input
+          end
+      | Bin { kind; left; right; dest; _ } ->
+          let own = bkey kind in
+          let out_k =
+            match dest.to_tile with Some t -> tile_need.(t) | None -> 0
+          in
+          (match kind with
+          | B_union k when out_k > k ->
+              infeasible "a UNION cannot feed a deeper-keyed operator"
+          | _ -> ());
+          (* left order is preserved into the output for every non-union
+             operator, so the left must satisfy both its own probe depth
+             and the consumer's *)
+          need_place (max own out_k) left;
+          need_place (max own 1) right)
+    (List.rev segments);
+  let inputs =
+    Array.mapi (fun i info -> { info with sort_arity = input_need.(i) }) inputs
+  in
+  (* broadcast taint: results derived from a Full input must stay internal *)
+  let tile_tainted = Array.make !n_tiles false in
+  let place_tainted = function
+    | From_input i -> inputs.(i).spec = Ra_lib.Partition_emit.Full
+    | From_tile t -> tile_tainted.(t)
+  in
+  List.iter
+    (fun seg ->
+      let taint, dest =
+        match seg with
+        | Load { input; tile } ->
+            (inputs.(input).spec = Ra_lib.Partition_emit.Full,
+             { to_tile = Some tile; to_output = None })
+        | Pipe { input; dest; _ } -> (place_tainted input, dest)
+        | Bin { kind; left; right; dest; _ } -> (
+            match kind with
+            | B_product -> (place_tainted left, dest)
+            | B_join _ | B_semijoin _ | B_antijoin _ | B_union _
+            | B_intersect _ | B_difference _ ->
+                if place_tainted left || place_tainted right then
+                  infeasible "a keyed operator cannot consume broadcast data"
+                else (false, dest))
+      in
+      (match dest.to_tile with Some t -> tile_tainted.(t) <- taint | None -> ());
+      if taint && dest.to_output <> None then
+        infeasible "a broadcast-derived result cannot leave the group")
+    segments;
+  let pivot =
+    let rec find i =
+      if i >= Array.length inputs then None
+      else if inputs.(i).spec = Ra_lib.Partition_emit.Keyed then Some i
+      else find (i + 1)
+    in
+    find 0
+  in
+  {
+    op_ids = group;
+    inputs;
+    tiles = Array.of_list (List.rev !tiles_rev);
+    segments;
+    outputs = Array.of_list (List.rev !outputs_rev);
+    key_arity;
+    pivot;
+  }

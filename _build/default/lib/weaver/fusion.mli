@@ -1,0 +1,89 @@
+(** Weaving: turn one fusion group into a segment program (§4.3, Fig. 11).
+
+    A group (a topologically-sorted set of fusible plan nodes, from
+    Algorithms 1 and 2) compiles to a single multi-stage operator whose
+    compute kernel runs a list of {e segments} per CTA:
+
+    - [Load]: cooperatively cache a group input in a shared tile (the
+      "software controlled cache" of Fig. 13(b));
+    - [Pipe]: a fused chain of thread-dependent operators (SELECT /
+      PROJECT / ARITH) flowing through registers — Fig. 12;
+    - [Bin]: one CTA-dependent binary operator reading tiles.
+
+    Data flows between segments through shared tiles; each segment's
+    destination says whether its result feeds a later segment (a tile), or
+    leaves the group (an output slot), or both.
+
+    [build] also derives the partition plan: inputs transitively feeding a
+    keyed binary operator are partitioned by the group's common key prefix
+    (the minimum key arity, per §4.3.2), the broadcast side of a PRODUCT
+    sees the whole input, everything else is evenly sliced. *)
+
+open Relation_lib
+open Qplan
+
+type place = From_input of int | From_tile of int [@@deriving show, eq]
+
+type dest = { to_tile : int option; to_output : int option }
+
+type bkind =
+  | B_join of int
+  | B_semijoin of int
+  | B_antijoin of int
+  | B_product
+  | B_union of int
+  | B_intersect of int
+  | B_difference of int
+
+type segment =
+  | Load of { input : int; tile : int }
+  | Pipe of {
+      op_ids : int list;
+      input : place;
+      steps : Ra_lib.Pipeline_emit.step list;
+      in_schema : Schema.t;
+      out_schema : Schema.t;
+      dest : dest;
+    }
+  | Bin of {
+      op_id : int;
+      kind : bkind;
+      left : place;
+      right : place;
+      out_schema : Schema.t;
+      dest : dest;
+    }
+
+type input_info = {
+  source : Plan.source;
+  in_schema : Schema.t;
+  spec : Ra_lib.Partition_emit.spec;
+  sort_arity : int;
+      (** the runtime must present this input sorted to this key depth
+          (binary operators with keys deeper than the group partition
+          probe their tiles with wider prefixes) *)
+}
+
+type t = {
+  op_ids : int list;
+  inputs : input_info array;
+  tiles : Schema.t array;  (** persistent inter-segment tiles *)
+  segments : segment list;
+  outputs : (int * Schema.t) array;  (** (plan node id, schema) per slot *)
+  key_arity : int;  (** partition key width when any input is keyed *)
+  pivot : int option;  (** keyed pivot input index *)
+}
+
+exception Infeasible of string
+(** The group cannot compile to one kernel (conflicting partition needs, a
+    key-breaking pipeline feeding a keyed operator, a broadcast-derived
+    result escaping the group). Selection treats this as "does not fit"
+    and splits the group. *)
+
+val build : Plan.t -> int list -> t
+(** Raises {!Infeasible}; raises [Invalid_argument] on non-fusible ops or
+    an empty group. *)
+
+val preserves_key_prefix : key_arity:int -> Ra_lib.Pipeline_emit.step -> bool
+(** Whether a pipeline step keeps attributes [0..key_arity-1] unchanged in
+    place (exposed for tests). *)

@@ -1,0 +1,50 @@
+open Gpu_sim
+
+type t = {
+  reports : Executor.launch_report list;
+  launches : int;
+  kernel_cycles : float;
+  compute_cycles : float;
+  memory_cycles : float;
+  pcie_seconds : float;
+  pcie_cycles : float;
+  pcie_bytes : int;
+  pcie_transfers : int;
+  peak_global_bytes : int;
+  stats : Stats.t;
+  retries : int;
+}
+
+let total_cycles t = t.kernel_cycles +. t.pcie_cycles
+
+let seconds device t = Timing.cycles_to_seconds device (total_cycles t)
+
+let by_kernel t =
+  let tbl : (string, int ref * float ref * Stats.t) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  List.iter
+    (fun (r : Executor.launch_report) ->
+      let n, c, s =
+        match Hashtbl.find_opt tbl r.Executor.kernel_name with
+        | Some e -> e
+        | None ->
+            let e = (ref 0, ref 0.0, Stats.create ()) in
+            Hashtbl.replace tbl r.Executor.kernel_name e;
+            e
+      in
+      incr n;
+      c := !c +. r.Executor.time.Timing.total_cycles;
+      Stats.add s r.Executor.stats)
+    t.reports;
+  Hashtbl.fold (fun name (n, c, s) acc -> (name, !n, !c, s) :: acc) tbl []
+  |> List.sort (fun (_, _, a, _) (_, _, b, _) -> Float.compare b a)
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>launches: %d (%d retries)@ kernel cycles: %.3e (compute %.3e, \
+     memory %.3e)@ PCIe: %.3e s, %d bytes in %d transfers@ peak global \
+     memory: %d bytes@ %a@]"
+    t.launches t.retries t.kernel_cycles t.compute_cycles t.memory_cycles
+    t.pcie_seconds t.pcie_bytes t.pcie_transfers t.peak_global_bytes Stats.pp
+    t.stats

@@ -1,0 +1,35 @@
+(** Execution metrics for one program run.
+
+    Everything the paper's figures report is derived from these:
+    kernel cycles (Figs. 4, 16), peak global-memory allocation (Fig. 17),
+    memory-access cycles (Fig. 18), dynamic instruction counts (Fig. 19),
+    PCIe time and volume (Fig. 21) and launch counts. *)
+
+open Gpu_sim
+
+type t = {
+  reports : Executor.launch_report list;  (** in launch order *)
+  launches : int;
+  kernel_cycles : float;  (** sum of per-launch total cycles *)
+  compute_cycles : float;
+  memory_cycles : float;  (** bandwidth-limited global traffic cycles *)
+  pcie_seconds : float;
+  pcie_cycles : float;  (** PCIe time in SM cycles, for combining *)
+  pcie_bytes : int;
+  pcie_transfers : int;
+  peak_global_bytes : int;
+  stats : Stats.t;  (** dynamic event totals over all launches *)
+  retries : int;  (** capacity-overflow retries that occurred *)
+}
+
+val total_cycles : t -> float
+(** Kernel + PCIe cycles: the paper's end-to-end time (Fig. 21). *)
+
+val seconds : Device.t -> t -> float
+
+val by_kernel : t -> (string * int * float * Gpu_sim.Stats.t) list
+(** Launches aggregated by kernel name: (name, launches, total cycles,
+    summed stats), sorted by cycles descending — the "where did the time
+    go" view the CLI's profile command prints. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,366 @@
+open Gpu_sim
+
+type level = O0 | O3 [@@deriving show, eq]
+
+let static_instructions (k : Kir.kernel) = Array.length k.body
+
+(* --- block-local value numbering ----------------------------------------- *)
+
+(* A resolved operand: an immediate, or a register at a specific local
+   version.  Versions make value numbering sound in the presence of the
+   builder's mutable loop registers. *)
+type rop = RImm of int | RRegv of int * int
+
+let f32 v = Int32.float_of_bits (Int32.of_int v)
+let of_f32 f = Int32.to_int (Int32.bits_of_float f) land 0xFFFFFFFF
+
+let fold_bin (op : Kir.binop) a b =
+  match op with
+  | Add -> Some (a + b)
+  | Sub -> Some (a - b)
+  | Mul -> Some (a * b)
+  | Div -> if b = 0 then None else Some (a / b)
+  | Rem -> if b = 0 then None else Some (a mod b)
+  | And -> Some (a land b)
+  | Or -> Some (a lor b)
+  | Xor -> Some (a lxor b)
+  | Shl -> Some (a lsl b)
+  | Shr -> Some (a asr b)
+  | Min -> Some (min a b)
+  | Max -> Some (max a b)
+  | Fadd -> Some (of_f32 (f32 a +. f32 b))
+  | Fsub -> Some (of_f32 (f32 a -. f32 b))
+  | Fmul -> Some (of_f32 (f32 a *. f32 b))
+  | Fdiv -> Some (of_f32 (f32 a /. f32 b))
+  | Fmin -> Some (of_f32 (Float.min (f32 a) (f32 b)))
+  | Fmax -> Some (of_f32 (Float.max (f32 a) (f32 b)))
+
+let fold_un (op : Kir.unop) a =
+  match op with
+  | Not -> Some (if a = 0 then 1 else 0)
+  | Neg -> Some (-a)
+  | Fneg -> Some (of_f32 (-.f32 a))
+  | I2f -> Some (of_f32 (float_of_int a))
+  | F2i -> Some (int_of_float (f32 a))
+
+let fold_cmp (c : Kir.cmp) a b =
+  let r =
+    match c with
+    | Eq -> a = b
+    | Ne -> a <> b
+    | Lt -> a < b
+    | Le -> a <= b
+    | Gt -> a > b
+    | Ge -> a >= b
+    | Feq -> f32 a = f32 b
+    | Fne -> f32 a <> f32 b
+    | Flt -> f32 a < f32 b
+    | Fle -> f32 a <= f32 b
+    | Fgt -> f32 a > f32 b
+    | Fge -> f32 a >= f32 b
+  in
+  if r then 1 else 0
+
+type expr_key =
+  | KBin of Kir.binop * rop * rop
+  | KUn of Kir.unop * rop
+  | KCmp of Kir.cmp * rop * rop
+  | KSel of rop * rop * rop
+
+let commutative : Kir.binop -> bool = function
+  | Add | Mul | And | Or | Xor | Min | Max | Fadd | Fmul | Fmin | Fmax -> true
+  | Sub | Div | Rem | Shl | Shr | Fsub | Fdiv -> false
+
+(* algebraic identities: the simplified operand the instruction reduces
+   to, if any (x+0, x*1, x*0, x-0, x<<0, x|0, ...) *)
+let identity (op : Kir.binop) ra rb =
+  let imm v = function RImm x -> x = v | RRegv _ -> false in
+  match op with
+  | Add | Or | Xor -> if imm 0 rb then Some ra else if imm 0 ra then Some rb else None
+  | Sub | Shl | Shr -> if imm 0 rb then Some ra else None
+  | Mul ->
+      if imm 1 rb then Some ra
+      else if imm 1 ra then Some rb
+      else if imm 0 rb || imm 0 ra then Some (RImm 0)
+      else None
+  | Div -> if imm 1 rb then Some ra else None
+  | And -> if imm 0 rb || imm 0 ra then Some (RImm 0) else None
+  | Rem | Min | Max | Fadd | Fsub | Fmul | Fdiv | Fmin | Fmax -> None
+
+let value_numbering (k : Kir.kernel) =
+  let n = Array.length k.body in
+  let body = Array.copy k.body in
+  (* Value knowledge resets only at labels: jumps can only land on labels,
+     so facts accumulated since the last label hold on every path that
+     reaches the current instruction (the fallthrough of a conditional
+     branch is dominated by it).  This lets common subexpressions survive
+     into if-bodies — where the compact/emit phases do their work. *)
+  let boundary = Array.make (n + 1) false in
+  boundary.(0) <- true;
+  Array.iter (fun t -> if t >= 0 && t <= n then boundary.(t) <- true) k.labels;
+  let version = Array.make (max k.reg_count 1) 0 in
+  (* copy bindings: reg -> rop, valid only while the reg's version and the
+     source's version are unchanged *)
+  let copies : (int, int * rop) Hashtbl.t = Hashtbl.create 64 in
+  let exprs : (expr_key, rop) Hashtbl.t = Hashtbl.create 64 in
+  let loads : (Kir.space * rop * rop, int * int) Hashtbl.t = Hashtbl.create 64 in
+  let rop_valid = function
+    | RImm _ -> true
+    | RRegv (r, v) -> version.(r) = v
+  in
+  let reset_block () =
+    Hashtbl.reset copies;
+    Hashtbl.reset exprs;
+    Hashtbl.reset loads
+  in
+  let kill_loads space =
+    Hashtbl.iter
+      (fun ((sp, _, _) as key) _ ->
+        if sp = space then Hashtbl.remove loads key)
+      (Hashtbl.copy loads)
+  in
+  let resolve (o : Kir.operand) : rop =
+    match o with
+    | Kir.Imm v -> RImm v
+    | Kir.Reg r -> (
+        match Hashtbl.find_opt copies r with
+        | Some (v, src) when version.(r) = v && rop_valid src -> src
+        | _ -> RRegv (r, version.(r)))
+  in
+  let operand_of = function
+    | RImm v -> Kir.Imm v
+    | RRegv (r, _) -> Kir.Reg r
+  in
+  let define r = version.(r) <- version.(r) + 1 in
+  for i = 0 to n - 1 do
+    if boundary.(i) then reset_block ();
+    (match body.(i) with
+    | Kir.Mov (d, a) ->
+        let ra = resolve a in
+        body.(i) <- Kir.Mov (d, operand_of ra);
+        define d;
+        Hashtbl.replace copies d (version.(d), ra)
+    | Kir.Bin (op, d, a, b) -> (
+        let ra = resolve a and rb = resolve b in
+        let ra, rb =
+          (* canonicalize commutative operands so x+y and y+x unify *)
+          if commutative op then
+            match (ra, rb) with
+            | RImm _, RRegv _ -> (rb, ra)
+            | RRegv (r1, v1), RRegv (r2, v2) when (r2, v2) < (r1, v1) ->
+                (rb, ra)
+            | _ -> (ra, rb)
+          else (ra, rb)
+        in
+        match (ra, rb) with
+        | RImm x, RImm y when fold_bin op x y <> None ->
+            let v = Option.get (fold_bin op x y) in
+            body.(i) <- Kir.Mov (d, Kir.Imm v);
+            define d;
+            Hashtbl.replace copies d (version.(d), RImm v)
+        | _ when identity op ra rb <> None ->
+            let src = Option.get (identity op ra rb) in
+            body.(i) <- Kir.Mov (d, operand_of src);
+            define d;
+            Hashtbl.replace copies d (version.(d), src)
+        | _ -> (
+            let key = KBin (op, ra, rb) in
+            match Hashtbl.find_opt exprs key with
+            | Some src when rop_valid src ->
+                body.(i) <- Kir.Mov (d, operand_of src);
+                define d;
+                Hashtbl.replace copies d (version.(d), src)
+            | _ ->
+                body.(i) <- Kir.Bin (op, d, operand_of ra, operand_of rb);
+                define d;
+                Hashtbl.replace exprs key (RRegv (d, version.(d)))))
+    | Kir.Un (op, d, a) -> (
+        let ra = resolve a in
+        match ra with
+        | RImm x when fold_un op x <> None ->
+            let v = Option.get (fold_un op x) in
+            body.(i) <- Kir.Mov (d, Kir.Imm v);
+            define d;
+            Hashtbl.replace copies d (version.(d), RImm v)
+        | _ -> (
+            let key = KUn (op, ra) in
+            match Hashtbl.find_opt exprs key with
+            | Some src when rop_valid src ->
+                body.(i) <- Kir.Mov (d, operand_of src);
+                define d;
+                Hashtbl.replace copies d (version.(d), src)
+            | _ ->
+                body.(i) <- Kir.Un (op, d, operand_of ra);
+                define d;
+                Hashtbl.replace exprs key (RRegv (d, version.(d)))))
+    | Kir.Cmp (c, d, a, b) -> (
+        let ra = resolve a and rb = resolve b in
+        match (ra, rb) with
+        | RImm x, RImm y ->
+            let v = fold_cmp c x y in
+            body.(i) <- Kir.Mov (d, Kir.Imm v);
+            define d;
+            Hashtbl.replace copies d (version.(d), RImm v)
+        | _ -> (
+            let key = KCmp (c, ra, rb) in
+            match Hashtbl.find_opt exprs key with
+            | Some src when rop_valid src ->
+                body.(i) <- Kir.Mov (d, operand_of src);
+                define d;
+                Hashtbl.replace copies d (version.(d), src)
+            | _ ->
+                body.(i) <- Kir.Cmp (c, d, operand_of ra, operand_of rb);
+                define d;
+                Hashtbl.replace exprs key (RRegv (d, version.(d)))))
+    | Kir.Sel (d, c, a, b) -> (
+        let rc = resolve c and ra = resolve a and rb = resolve b in
+        match rc with
+        | RImm v ->
+            let src = if v <> 0 then ra else rb in
+            body.(i) <- Kir.Mov (d, operand_of src);
+            define d;
+            Hashtbl.replace copies d (version.(d), src)
+        | _ -> (
+            let key = KSel (rc, ra, rb) in
+            match Hashtbl.find_opt exprs key with
+            | Some src when rop_valid src ->
+                body.(i) <- Kir.Mov (d, operand_of src);
+                define d;
+                Hashtbl.replace copies d (version.(d), src)
+            | _ ->
+                body.(i) <-
+                  Kir.Sel (d, operand_of rc, operand_of ra, operand_of rb);
+                define d;
+                Hashtbl.replace exprs key (RRegv (d, version.(d)))))
+    | Kir.Ld { space; dst; base; idx; width } -> (
+        let rb = resolve base and ri = resolve idx in
+        match Hashtbl.find_opt loads (space, rb, ri) with
+        | Some (r, v) when version.(r) = v ->
+            body.(i) <- Kir.Mov (dst, Kir.Reg r);
+            define dst;
+            Hashtbl.replace copies dst (version.(dst), RRegv (r, version.(r)))
+        | _ ->
+            body.(i) <-
+              Kir.Ld
+                { space; dst; base = operand_of rb; idx = operand_of ri; width };
+            define dst;
+            Hashtbl.replace loads (space, rb, ri) (dst, version.(dst)))
+    | Kir.St { space; base; idx; src; width } ->
+        let rb = resolve base and ri = resolve idx and rs = resolve src in
+        body.(i) <-
+          Kir.St
+            {
+              space;
+              base = operand_of rb;
+              idx = operand_of ri;
+              src = operand_of rs;
+              width;
+            };
+        kill_loads space;
+        (* the stored value is now loadable from that address *)
+        (match rs with
+        | RRegv (r, v) when version.(r) = v ->
+            Hashtbl.replace loads (space, rb, ri) (r, v)
+        | _ -> ())
+    | Kir.Atom { op; space; dst; base; idx; src } ->
+        let rb = resolve base and ri = resolve idx and rs = resolve src in
+        body.(i) <-
+          Kir.Atom
+            {
+              op;
+              space;
+              dst;
+              base = operand_of rb;
+              idx = operand_of ri;
+              src = operand_of rs;
+            };
+        define dst;
+        kill_loads space
+    | Kir.Brz (c, l) ->
+        let rc = resolve c in
+        body.(i) <-
+          (match rc with
+          | RImm 0 -> Kir.Br l
+          | _ -> Kir.Brz (operand_of rc, l))
+    | Kir.Brnz (c, l) ->
+        let rc = resolve c in
+        body.(i) <-
+          (match rc with
+          | RImm v when v <> 0 -> Kir.Br l
+          | _ -> Kir.Brnz (operand_of rc, l))
+    | Kir.Bar ->
+        (* other threads' shared/global writes become visible *)
+        kill_loads Kir.Shared;
+        kill_loads Kir.Global
+    | Kir.Br _ | Kir.Ret | Kir.Trap _ -> ())
+  done;
+  { k with body }
+
+(* --- global dead code elimination ---------------------------------------- *)
+
+let pure_and_removable (ins : Kir.instr) =
+  match ins with
+  | Kir.Mov _ | Kir.Un _ | Kir.Cmp _ | Kir.Sel _ | Kir.Ld _ -> true
+  | Kir.Bin (op, _, _, b) -> (
+      match op with
+      | Kir.Div | Kir.Rem -> ( match b with Kir.Imm v -> v <> 0 | _ -> false)
+      | _ -> true)
+  | Kir.St _ | Kir.Atom _ | Kir.Br _ | Kir.Brz _ | Kir.Brnz _ | Kir.Bar
+  | Kir.Ret | Kir.Trap _ ->
+      false
+
+let dce (k : Kir.kernel) =
+  let n = Array.length k.body in
+  let used = Array.make (max k.reg_count 1) false in
+  Array.iter
+    (fun ins ->
+      List.iter
+        (function Kir.Reg r -> used.(r) <- true | Kir.Imm _ -> ())
+        (Kir.used_operands ins))
+    k.body;
+  let keep = Array.make n true in
+  let removed = ref 0 in
+  Array.iteri
+    (fun i ins ->
+      match Kir.defined_reg ins with
+      | Some d when (not used.(d)) && pure_and_removable ins ->
+          keep.(i) <- false;
+          incr removed
+      | _ -> ())
+    k.body;
+  if !removed = 0 then (k, false)
+  else begin
+    (* compact the body and remap label targets *)
+    let new_index = Array.make (n + 1) 0 in
+    let acc = ref 0 in
+    for i = 0 to n - 1 do
+      new_index.(i) <- !acc;
+      if keep.(i) then incr acc
+    done;
+    new_index.(n) <- !acc;
+    let body = Array.make !acc Kir.Ret in
+    let j = ref 0 in
+    for i = 0 to n - 1 do
+      if keep.(i) then begin
+        body.(!j) <- k.body.(i);
+        incr j
+      end
+    done;
+    let labels = Array.map (fun t -> new_index.(t)) k.labels in
+    ({ k with body; labels }, true)
+  end
+
+let optimize level (k : Kir.kernel) =
+  match level with
+  | O0 -> k
+  | O3 ->
+      let rec fixpoint k rounds =
+        if rounds = 0 then k
+        else
+          let k = value_numbering k in
+          let k, changed = dce k in
+          if changed then fixpoint k (rounds - 1) else k
+      in
+      let k' = fixpoint k 8 in
+      Kir_validate.check_exn k';
+      k'

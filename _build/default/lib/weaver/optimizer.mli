@@ -1,0 +1,32 @@
+(** KIR optimization passes: the [-O0] / [-O3] axis of Fig. 19.
+
+    The code generator deliberately emits naive code (every tile access
+    recomputes its address, every operator reloads its inputs); [-O3]
+    cleans it up the way nvcc would:
+
+    - block-local value numbering: copy propagation, constant folding and
+      common-subexpression elimination with per-register versioning, so
+      address arithmetic inside loop bodies collapses;
+    - redundant-load elimination: a reload of the same shared/global
+      location with no intervening aliasing store, atomic or barrier
+      becomes a register move;
+    - global dead-code elimination, iterated to fixpoint, which deletes
+      the moves left behind and — the significant part — loads of
+      attributes no fused operator ever uses.
+
+    Fusion enlarges basic blocks (one loop body spans the whole operator
+    chain), so these passes find strictly more in fused kernels — that
+    widening of optimization scope is benefit 6 of §2.3.
+
+    The passes assume builder-generated kernels: values are defined before
+    use on every path (re-definitions happen only through explicit loop
+    registers). Hand-crafted kernels violating this should not be fed
+    through the optimizer. *)
+
+type level = O0 | O3 [@@deriving show, eq]
+
+val optimize : level -> Gpu_sim.Kir.kernel -> Gpu_sim.Kir.kernel
+(** [optimize O0 k] is [k]; [optimize O3 k] runs all passes to fixpoint
+    and revalidates the result. *)
+
+val static_instructions : Gpu_sim.Kir.kernel -> int

@@ -1,0 +1,909 @@
+open Gpu_sim
+open Relation_lib
+open Qplan
+
+type mode = Resident | Streamed
+
+type unit_kind =
+  | U_fused of { name : string; ir : Fusion.t }
+  | U_sort of { op_id : int; key_arity : int; source : Plan.source }
+  | U_unique of { op_id : int; key_arity : int; source : Plan.source }
+  | U_aggregate of {
+      op_id : int;
+      source : Plan.source;
+      lay : Ra_lib.Aggregate_emit.layout;
+    }
+
+type program = {
+  plan : Plan.t;
+  config : Config.t;
+  opt : Optimizer.level;
+  units : unit_kind list;
+  groups : int list list;
+}
+
+type result = { sinks : (int * Relation.t) list; metrics : Metrics.t }
+
+exception Execution_error of string
+
+let exec_error fmt = Printf.ksprintf (fun s -> raise (Execution_error s)) fmt
+
+(* --- per-run state -------------------------------------------------------- *)
+
+type mat = {
+  schema : Schema.t;
+  mutable rows : int;
+  mutable buf : Memory.buffer option;
+  mutable host : Relation.t option;
+  mutable remaining : int;  (** consuming units left (Resident freeing) *)
+}
+
+type st = {
+  program : program;
+  mem : Memory.t;
+  pcie : Pcie.t;
+  mode : mode;
+  mutable reports : Executor.launch_report list;  (** reversed *)
+  mutable retries : int;
+  base_mats : mat array;
+  node_mats : mat option array;
+  pending_extra : (int, int) Hashtbl.t;
+      (** extra consumer credits for node outputs produced inside a split
+          group (runtime re-selection), applied at publish time *)
+}
+
+let config st = st.program.config
+let device st = (config st).Config.device
+
+let launch st kernel ~params ~grid ~cta =
+  let r =
+    Executor.launch ~timing:(config st).Config.timing (device st) st.mem kernel
+      ~params ~grid ~cta
+  in
+  st.reports <- r :: st.reports;
+  r
+
+let synth_report st name stats =
+  let time =
+    Timing.kernel_time ~params:(config st).Config.timing (device st)
+      ~occupancy:1.0 stats
+  in
+  let r =
+    {
+      Executor.kernel_name = name;
+      grid = 0;
+      cta = 0;
+      occupancy = 1.0;
+      limiting_resource = "modelled";
+      stats;
+      time;
+    }
+  in
+  st.reports <- r :: st.reports
+
+let mat_of_source st = function
+  | Plan.Base i -> st.base_mats.(i)
+  | Plan.Node i -> (
+      match st.node_mats.(i) with
+      | Some m -> m
+      | None -> exec_error "operator %d's result is not materialized yet" i)
+
+let alloc_rel st ~label ~rows ~schema =
+  Memory.alloc ~label st.mem
+    ~words:(max 1 (rows * Schema.arity schema))
+    ~bytes:(rows * Schema.tuple_bytes schema)
+
+let upload st (m : mat) =
+  match m.buf with
+  | Some b -> b
+  | None ->
+      let rel =
+        match m.host with
+        | Some r -> r
+        | None -> exec_error "relation lost both device and host copies"
+      in
+      let b = alloc_rel st ~label:"input" ~rows:m.rows ~schema:m.schema in
+      Array.blit (Relation.data rel) 0 (Memory.data st.mem b) 0
+        (Array.length (Relation.data rel));
+      ignore
+        (Pcie.transfer st.pcie Pcie.Host_to_device ~bytes:(Relation.bytes rel));
+      m.buf <- Some b;
+      b
+
+let device_view st (m : mat) =
+  match m.buf with
+  | None -> Option.get m.host
+  | Some b ->
+      let ar = Schema.arity m.schema in
+      Relation.of_array m.schema
+        (Array.sub (Memory.data st.mem b) 0 (m.rows * ar))
+
+let download st (m : mat) =
+  match m.host with
+  | Some r -> r
+  | None ->
+      let rel = device_view st m in
+      ignore
+        (Pcie.transfer st.pcie Pcie.Device_to_host ~bytes:(Relation.bytes rel));
+      m.host <- Some rel;
+      rel
+
+let free_device st (m : mat) =
+  match m.buf with
+  | Some b ->
+      Memory.free st.mem b;
+      m.buf <- None
+  | None -> ()
+
+(* Enforce the skeletons' sorted-input invariant; re-sorting is charged as
+   a modelled SORT (the query planner would have inserted one). *)
+let ensure_sorted st (m : mat) ~key_arity =
+  let rel = device_view st m in
+  if not (Relation.is_sorted ~key_arity rel) then begin
+    let sorted = Relation.sort ~key_arity rel in
+    (match m.buf with
+    | Some b ->
+        Array.blit (Relation.data sorted) 0 (Memory.data st.mem b) 0
+          (Array.length (Relation.data sorted))
+    | None -> ());
+    if m.host <> None then m.host <- Some sorted;
+    List.iteri
+      (fun i s -> synth_report st (Printf.sprintf "implicit_sort_pass%d" i) s)
+      (Ra_lib.Sort_model.synthetic_stats ~rows:m.rows ~schema:m.schema)
+  end
+
+let clamp_grid st ~rows ~cap =
+  max 1 (min (config st).Config.max_grid ((rows + cap - 1) / cap))
+
+let consume st sources =
+  match st.mode with
+  | Streamed ->
+      List.iter
+        (fun src ->
+          let m = mat_of_source st src in
+          ignore (download st m);
+          free_device st m)
+        sources
+  | Resident ->
+      List.iter
+        (fun src ->
+          let m = mat_of_source st src in
+          m.remaining <- m.remaining - 1;
+          if m.remaining <= 0 then free_device st m)
+        sources
+
+let publish st op_id (m : mat) =
+  (match Hashtbl.find_opt st.pending_extra op_id with
+  | Some extra ->
+      m.remaining <- m.remaining + extra;
+      Hashtbl.remove st.pending_extra op_id
+  | None -> ());
+  st.node_mats.(op_id) <- Some m;
+  match st.mode with
+  | Streamed ->
+      ignore (download st m);
+      free_device st m
+  | Resident -> ()
+
+(* parse a "seg=<n>" marker out of an overflow trap message *)
+let seg_of_msg msg =
+  let n = String.length msg in
+  let rec find i =
+    if i + 4 > n then None
+    else if String.sub msg i 4 = "seg=" then
+      let rec digits j acc any =
+        if j < n && msg.[j] >= '0' && msg.[j] <= '9' then
+          digits (j + 1) ((acc * 10) + Char.code msg.[j] - 48) true
+        else if any then Some acc
+        else None
+      in
+      digits (i + 4) 0 false
+    else find (i + 1)
+  in
+  find 0
+
+let is_overflow msg = String.length msg > 0 &&
+  (let rec find i =
+     i + 9 <= String.length msg
+     && (String.sub msg i 9 = "overflow:" || find (i + 1))
+   in
+   find 0)
+
+(* how many units read a node's output (sinks get a sentinel so their
+   buffers survive until the end of the run) *)
+let consumer_units_of st op_id =
+  let uses_source srcs =
+    List.exists (Plan.equal_source (Plan.Node op_id)) srcs
+  in
+  let count =
+    List.fold_left
+      (fun acc u ->
+        let srcs =
+          match u with
+          | U_fused { ir; _ } ->
+              Array.to_list
+                (Array.map (fun (i : Fusion.input_info) -> i.source) ir.inputs)
+          | U_sort { source; _ } | U_unique { source; _ }
+          | U_aggregate { source; _ } ->
+              [ source ]
+        in
+        if uses_source srcs then acc + 1 else acc)
+      0 st.program.units
+  in
+  if List.exists (Int.equal op_id) (Plan.sinks st.program.plan) then count + 1
+  else count
+
+(* --- fused groups --------------------------------------------------------- *)
+
+let optimize_kernels st (ks : Codegen.kernels) =
+  let o = Optimizer.optimize st.program.opt in
+  {
+    Codegen.partition = o ks.Codegen.partition;
+    compute = o ks.Codegen.compute;
+    scans = Array.map o ks.Codegen.scans;
+    gathers = Array.map o ks.Codegen.gathers;
+  }
+
+(* Run the scan-then-gather tail for one output; returns the dense buffer
+   and its row count. *)
+let scan_and_gather st ~name ~scan_k ~gather_k ~staging ~counts ~grid ~schema =
+  let offsets = Memory.alloc ~label:(name ^ "_offsets") st.mem
+      ~words:(grid + 1) ~bytes:(4 * (grid + 1))
+  in
+  ignore (launch st scan_k ~params:[| counts; offsets; grid |] ~grid:1 ~cta:1);
+  let total = (Memory.data st.mem offsets).(grid) in
+  let out = alloc_rel st ~label:(name ^ "_out") ~rows:total ~schema in
+  ignore
+    (launch st gather_k
+       ~params:[| staging; counts; offsets; out |]
+       ~grid ~cta:(config st).Config.cta_threads);
+  Memory.free st.mem offsets;
+  (out, total)
+
+exception Needs_split of Config.t
+(* a capacity retry outgrew the shared budget: re-select with the grown
+   estimate (the JIT re-planning the paper's runtime design anticipates) *)
+
+exception Fallback_needed
+(* a lone operator whose key runs cannot fit shared memory at all *)
+
+(* Degenerate-data fallback: when one operator cannot execute on the
+   device at all (a key run larger than shared memory defeats the CTA
+   skeleton; an aggregation with more groups than a CTA table can hold),
+   it executes host-side and is charged one full streaming pass, like the
+   modelled SORT — a real system would switch algorithms there. *)
+let exec_fallback_node st ~name ~op_id ~consumed_sources =
+  let plan = st.program.plan in
+  let node = Plan.node plan op_id in
+  let rels =
+    List.map
+      (fun src -> device_view st (mat_of_source st src))
+      node.Plan.inputs
+  in
+  let out = Reference.eval_kind node.Plan.kind rels in
+  let stats = Stats.create () in
+  let add_rel (r : Relation.t) =
+    stats.Stats.global_loads <-
+      stats.Stats.global_loads + (Relation.count r * Relation.arity r);
+    stats.Stats.global_load_bytes <-
+      stats.Stats.global_load_bytes + Relation.bytes r
+  in
+  List.iter add_rel rels;
+  stats.Stats.global_stores <- Relation.count out * Relation.arity out;
+  stats.Stats.global_store_bytes <- Relation.bytes out;
+  let work_rows =
+    List.fold_left (fun a r -> a + Relation.count r) (Relation.count out) rels
+  in
+  stats.Stats.instructions <- work_rows * 40;
+  stats.Stats.alu_ops <- work_rows * 30;
+  synth_report st (name ^ "_skew_fallback") stats;
+  let buf =
+    alloc_rel st ~label:(name ^ "_fallback_out") ~rows:(Relation.count out)
+      ~schema:(Relation.schema out)
+  in
+  Array.blit (Relation.data out) 0 (Memory.data st.mem buf) 0
+    (Array.length (Relation.data out));
+  publish st op_id
+    {
+      schema = Relation.schema out;
+      rows = Relation.count out;
+      buf = Some buf;
+      host = None;
+      remaining = consumer_units_of st op_id;
+    };
+  consume st consumed_sources
+
+let exec_fallback st ~name (ir : Fusion.t) =
+  exec_fallback_node st ~name ~op_id:(List.hd ir.op_ids)
+    ~consumed_sources:
+      (Array.to_list
+         (Array.map (fun (i : Fusion.input_info) -> i.source) ir.inputs))
+
+let rec exec_fused st ~name (ir : Fusion.t) =
+  let plan = st.program.plan in
+  let n_in = Array.length ir.inputs in
+  let n_out = Array.length ir.outputs in
+  (* per-segment join-expansion overrides accumulated across retries *)
+  let seg_exp : (int, int) Hashtbl.t = Hashtbl.create 4 in
+  let in_mats = Array.map (fun (i : Fusion.input_info) -> mat_of_source st i.source) ir.inputs in
+  (* upload + sorted-invariant checks *)
+  Array.iteri
+    (fun i (info : Fusion.input_info) ->
+      ignore (upload st in_mats.(i));
+      if info.spec <> Ra_lib.Partition_emit.Even || info.sort_arity > 1 then
+        ensure_sorted st in_mats.(i) ~key_arity:info.sort_arity)
+    ir.inputs;
+  let rec attempt ?fixed_cap cfg tries =
+    let infeasible () =
+      if List.length ir.op_ids >= 2 then raise (Needs_split cfg)
+      else raise Fallback_needed
+    in
+    let lay =
+      (* a pinned capacity that no longer fits falls back to the search *)
+      match Layout.compute ?fixed_cap cfg plan ir with
+      | lay -> lay
+      | exception Fusion.Infeasible _ when fixed_cap <> None -> (
+          match Layout.compute cfg plan ir with
+          | lay -> lay
+          | exception Fusion.Infeasible _ -> infeasible ())
+      | exception Fusion.Infeasible _ -> infeasible ()
+    in
+    (* the pivot must be the largest keyed input so slice boundaries cut
+       the big side into even cap-sized pieces *)
+    let pivot =
+      match ir.pivot with
+      | None -> None
+      | Some _ ->
+          let best = ref (-1) in
+          Array.iteri
+            (fun i (info : Fusion.input_info) ->
+              if
+                info.spec = Ra_lib.Partition_emit.Keyed
+                && (!best < 0 || in_mats.(i).rows > in_mats.(!best).rows)
+              then best := i)
+            ir.inputs;
+          Some !best
+    in
+    let kernels =
+      optimize_kernels st (Codegen.generate ?pivot cfg ~name ir lay)
+    in
+    let driving_rows =
+      (* enough CTAs that the pivot's slices AND every even input's slices
+         fit their capacities *)
+      let even_max =
+        Array.to_list ir.inputs
+        |> List.mapi (fun i (info : Fusion.input_info) ->
+               if info.spec = Ra_lib.Partition_emit.Even then in_mats.(i).rows
+               else 0)
+        |> List.fold_left max 0
+      in
+      match pivot with
+      | Some p -> max in_mats.(p).rows even_max
+      | None -> even_max
+    in
+    let grid = clamp_grid st ~rows:driving_rows ~cap:lay.Layout.cap in
+    let temps = ref [] in
+    let temp b = temps := b :: !temps; b in
+    let free_temps () = List.iter (Memory.free st.mem) !temps; temps := [] in
+    try
+      let bounds =
+        Array.init n_in (fun i ->
+            temp
+              (Memory.alloc ~label:(Printf.sprintf "%s_bounds%d" name i) st.mem
+                 ~words:(grid + 1) ~bytes:(4 * (grid + 1))))
+      in
+      let stagings =
+        Array.init n_out (fun o ->
+            let schema = snd ir.outputs.(o) in
+            let rows = grid * lay.Layout.out_caps.(o) in
+            temp
+              (Memory.alloc ~label:(Printf.sprintf "%s_staging%d" name o) st.mem
+                 ~words:(max 1 (rows * Schema.arity schema))
+                 ~bytes:(rows * Schema.tuple_bytes schema)))
+      in
+      let counts =
+        Array.init n_out (fun o ->
+            temp
+              (Memory.alloc ~label:(Printf.sprintf "%s_counts%d" name o) st.mem
+                 ~words:grid ~bytes:(4 * grid)))
+      in
+      let part_params =
+        Array.concat
+          [
+            Array.concat
+              (Array.to_list
+                 (Array.map (fun (m : mat) -> [| Option.get m.buf; m.rows |]) in_mats));
+            bounds;
+          ]
+      in
+      ignore (launch st kernels.Codegen.partition ~params:part_params ~grid ~cta:32);
+      let comp_params =
+        Array.concat
+          [
+            Array.map (fun (m : mat) -> Option.get m.buf) in_mats;
+            bounds;
+            stagings;
+            counts;
+          ]
+      in
+      ignore
+        (launch st kernels.Codegen.compute ~params:comp_params ~grid
+           ~cta:(config st).Config.cta_threads);
+      (* per-output gather *)
+      let outs =
+        Array.init n_out (fun o ->
+            let op_id, schema = ir.outputs.(o) in
+            let buf, rows =
+              scan_and_gather st
+                ~name:(Printf.sprintf "%s_out%d" name o)
+                ~scan_k:kernels.Codegen.scans.(o)
+                ~gather_k:kernels.Codegen.gathers.(o)
+                ~staging:stagings.(o) ~counts:counts.(o) ~grid ~schema
+            in
+            (op_id, schema, buf, rows))
+      in
+      free_temps ();
+      outs
+    with Interp.Runtime_error msg when is_overflow msg ->
+      free_temps ();
+      if tries >= (config st).Config.max_retries then
+        if List.length ir.op_ids >= 2 then raise (Needs_split cfg)
+        else raise Fallback_needed;
+      st.retries <- st.retries + 1;
+      (* scale the capacity the trap names *)
+      let contains sub =
+        let n = String.length msg and m = String.length sub in
+        let rec go i = i + m <= n && (String.sub msg i m = sub || go (i + 1)) in
+        go 0
+      in
+      if contains "overflow:groups" then
+        attempt ~fixed_cap:lay.Layout.cap
+          { cfg with Config.max_groups = cfg.Config.max_groups * 2 }
+          (tries + 1)
+      else if contains "overflow:input" then
+        (* a key range outgrew its tile: the binding constraint is the
+           longest key run, which is independent of the slice size — so
+           grow the slack factor faster than the capacity shrinks, keeping
+           total shared memory roughly flat while the absolute tile
+           capacity doubles each retry *)
+        attempt
+          ~fixed_cap:(max 8 (lay.Layout.cap / 2))
+          {
+            cfg with
+            Config.aux_factor = cfg.Config.aux_factor * 4;
+            broadcast_cap = cfg.Config.broadcast_cap * 2;
+          }
+          (tries + 1)
+      else begin
+        (* join/staging overflow: fan-out exceeded the expansion budget;
+           grow only the overflowing segment when the trap names one *)
+        (match seg_of_msg msg with
+        | Some si ->
+            let cur =
+              Option.value (Hashtbl.find_opt seg_exp si)
+                ~default:cfg.Config.join_expansion
+            in
+            Hashtbl.replace seg_exp si (cur * 2);
+            ()
+        | None -> ());
+        let cfg' =
+          match seg_of_msg msg with
+          | Some _ -> cfg
+          | None ->
+              { cfg with Config.join_expansion = cfg.Config.join_expansion * 2 }
+        in
+        attempt ~fixed_cap:lay.Layout.cap cfg' (tries + 1)
+      end
+  in
+  match attempt (config st) 0 with
+  | outs ->
+      (* publish outputs, then release inputs *)
+      Array.iter
+        (fun (op_id, schema, buf, rows) ->
+          let m =
+            {
+              schema;
+              rows;
+              buf = Some buf;
+              host = None;
+              remaining = consumer_units_of st op_id;
+            }
+          in
+          publish st op_id m)
+        outs;
+      consume st
+        (Array.to_list
+           (Array.map (fun (i : Fusion.input_info) -> i.source) ir.inputs))
+  | exception Fallback_needed -> exec_fallback st ~name ir
+  | exception Needs_split grown_cfg ->
+      (* split the group under the grown resource estimate and execute the
+         pieces; each piece retries (and may split again) independently *)
+      let subgroups =
+        Selection.select ~plan
+          ~estimate:(Layout.estimate grown_cfg plan)
+          ~budget:(Config.budget grown_cfg) ir.op_ids
+      in
+      (* if re-selection keeps the group whole (its estimate was optimistic
+         where the observed data was not), fall back to singletons *)
+      let subgroups =
+        if List.length subgroups <= 1 then List.map (fun id -> [ id ]) ir.op_ids
+        else subgroups
+      in
+      (* consumer accounting: the static plan budgeted ONE consumption of
+         each original input by this unit, and NONE of the intermediates
+         now materialized between subgroups — credit the difference *)
+      let sub_irs =
+        List.map
+          (fun g ->
+            match Fusion.build plan g with
+            | sub -> sub
+            | exception Fusion.Infeasible msg ->
+                exec_error "subgroup of %s cannot be woven: %s" name msg)
+          subgroups
+      in
+      let reads : (Plan.source, int) Hashtbl.t = Hashtbl.create 8 in
+      List.iter
+        (fun (sub : Fusion.t) ->
+          Array.iter
+            (fun (i : Fusion.input_info) ->
+              Hashtbl.replace reads i.source
+                (1 + Option.value (Hashtbl.find_opt reads i.source) ~default:0))
+            sub.inputs)
+        sub_irs;
+      let original_input src =
+        Array.exists
+          (fun (i : Fusion.input_info) -> Plan.equal_source i.source src)
+          ir.inputs
+      in
+      Hashtbl.iter
+        (fun src cnt ->
+          if original_input src then begin
+            let m = mat_of_source st src in
+            m.remaining <- m.remaining + cnt - 1
+          end
+          else
+            match src with
+            | Plan.Node j ->
+                Hashtbl.replace st.pending_extra j
+                  (cnt
+                  + Option.value (Hashtbl.find_opt st.pending_extra j) ~default:0)
+            | Plan.Base _ -> ())
+        reads;
+      List.iteri
+        (fun i sub_ir ->
+          exec_fused st ~name:(Printf.sprintf "%s_s%d" name i) sub_ir)
+        sub_irs
+
+(* --- kernel-dependence units ---------------------------------------------- *)
+
+let exec_sort st ~op_id ~key_arity ~source =
+  let m = mat_of_source st source in
+  ignore (upload st m);
+  let out = alloc_rel st ~label:"sort_out" ~rows:m.rows ~schema:m.schema in
+  Array.blit
+    (Memory.data st.mem (Option.get m.buf))
+    0 (Memory.data st.mem out) 0
+    (m.rows * Schema.arity m.schema);
+  Ra_lib.Sort_model.sort_host st.mem ~buf:out ~rows:m.rows ~schema:m.schema
+    ~key_arity;
+  List.iteri
+    (fun i s -> synth_report st (Printf.sprintf "sort%d_pass%d" op_id i) s)
+    (Ra_lib.Sort_model.synthetic_stats ~rows:m.rows ~schema:m.schema);
+  publish st op_id
+    {
+      schema = m.schema;
+      rows = m.rows;
+      buf = Some out;
+      host = None;
+      remaining = consumer_units_of st op_id;
+    };
+  consume st [ source ]
+
+let exec_unique st ~op_id ~key_arity ~source =
+  let m = mat_of_source st source in
+  ignore (upload st m);
+  ensure_sorted st m ~key_arity;
+  let cfg = config st in
+  let cap = cfg.Config.cap in
+  let grid = clamp_grid st ~rows:m.rows ~cap in
+  let name = Printf.sprintf "unique%d" op_id in
+  let o = Optimizer.optimize st.program.opt in
+  let partition =
+    o
+      (Ra_lib.Partition_emit.emit ~name:(name ^ "_partition")
+         ~inputs:[ (Ra_lib.Partition_emit.Even, m.schema) ]
+         ~key_arity ~pivot:None ~cap)
+  in
+  let compute =
+    o
+      (Ra_lib.Unique_emit.emit_compute ~name:(name ^ "_compute")
+         ~schema:m.schema ~key_arity ~cap ~stage_cap:cap)
+  in
+  let scan_k = o (Ra_lib.Gather_emit.emit_scan_offsets ~name:(name ^ "_scan")) in
+  let gather_k =
+    o
+      (Ra_lib.Gather_emit.emit_gather ~name:(name ^ "_gather") ~schema:m.schema
+         ~stage_cap:cap)
+  in
+  let bounds =
+    Memory.alloc ~label:(name ^ "_bounds") st.mem ~words:(grid + 1)
+      ~bytes:(4 * (grid + 1))
+  in
+  let staging =
+    Memory.alloc ~label:(name ^ "_staging") st.mem
+      ~words:(max 1 (grid * cap * Schema.arity m.schema))
+      ~bytes:(grid * cap * Schema.tuple_bytes m.schema)
+  in
+  let counts =
+    Memory.alloc ~label:(name ^ "_counts") st.mem ~words:grid ~bytes:(4 * grid)
+  in
+  let buf = Option.get m.buf in
+  ignore
+    (launch st partition ~params:[| buf; m.rows; bounds |] ~grid ~cta:32);
+  ignore
+    (launch st compute
+       ~params:[| buf; bounds; staging; counts |]
+       ~grid ~cta:cfg.Config.cta_threads);
+  let out, rows =
+    scan_and_gather st ~name ~scan_k ~gather_k ~staging ~counts ~grid
+      ~schema:m.schema
+  in
+  Memory.free st.mem bounds;
+  Memory.free st.mem staging;
+  Memory.free st.mem counts;
+  publish st op_id
+    {
+      schema = m.schema;
+      rows;
+      buf = Some out;
+      host = None;
+      remaining = consumer_units_of st op_id;
+    };
+  consume st [ source ]
+
+let exec_aggregate st ~op_id ~source ~(lay : Ra_lib.Aggregate_emit.layout) =
+  let m = mat_of_source st source in
+  ignore (upload st m);
+  let cfg = config st in
+  let name = Printf.sprintf "aggregate%d" op_id in
+  let o = Optimizer.optimize st.program.opt in
+  (* the CTA table must fit shared memory; leave room for rounding *)
+  let fit_cap =
+    max 1
+      (cfg.Config.device.Device.max_shared_mem_per_cta * 3 / 4
+      / max 1 (Schema.tuple_bytes lay.Ra_lib.Aggregate_emit.partial_schema))
+  in
+  let rec attempt max_groups tries =
+    let slice = cfg.Config.cap * 8 in
+    let grid = clamp_grid st ~rows:m.rows ~cap:slice in
+    let partition =
+      o
+        (Ra_lib.Partition_emit.emit ~name:(name ^ "_partition")
+           ~inputs:[ (Ra_lib.Partition_emit.Even, m.schema) ]
+           ~key_arity:1 ~pivot:None ~cap:slice)
+    in
+    let partial =
+      o
+        (Ra_lib.Aggregate_emit.emit_partial ~name:(name ^ "_partial") lay
+           ~max_groups ~stage_cap:max_groups)
+    in
+    let final =
+      o
+        (Ra_lib.Aggregate_emit.emit_final ~name:(name ^ "_final") lay
+           ~max_groups ~stage_cap:max_groups)
+    in
+    let partial_ar = Schema.arity lay.Ra_lib.Aggregate_emit.partial_schema in
+    let temps = ref [] in
+    let temp b = temps := b :: !temps; b in
+    let free_temps () = List.iter (Memory.free st.mem) !temps; temps := [] in
+    try
+      let bounds =
+        temp
+          (Memory.alloc ~label:(name ^ "_bounds") st.mem ~words:(grid + 1)
+             ~bytes:(4 * (grid + 1)))
+      in
+      let staging =
+        temp
+          (Memory.alloc ~label:(name ^ "_staging") st.mem
+             ~words:(max 1 (grid * max_groups * partial_ar))
+             ~bytes:
+               (grid * max_groups
+               * Schema.tuple_bytes lay.Ra_lib.Aggregate_emit.partial_schema))
+      in
+      let counts =
+        temp
+          (Memory.alloc ~label:(name ^ "_counts") st.mem ~words:grid
+             ~bytes:(4 * grid))
+      in
+      let out_schema = lay.Ra_lib.Aggregate_emit.out_schema in
+      let out =
+        alloc_rel st ~label:(name ^ "_out") ~rows:max_groups ~schema:out_schema
+      in
+      let out_count =
+        temp (Memory.alloc ~label:(name ^ "_outcount") st.mem ~words:1 ~bytes:4)
+      in
+      let buf = Option.get m.buf in
+      ignore (launch st partition ~params:[| buf; m.rows; bounds |] ~grid ~cta:32);
+      ignore
+        (launch st partial
+           ~params:[| buf; bounds; staging; counts |]
+           ~grid ~cta:32);
+      ignore
+        (launch st final
+           ~params:[| staging; counts; grid; out; out_count |]
+           ~grid:1 ~cta:1);
+      let rows = (Memory.data st.mem out_count).(0) in
+      free_temps ();
+      (out, rows, out_schema)
+    with Interp.Runtime_error msg when is_overflow msg ->
+      free_temps ();
+      let next = min (max_groups * 2) fit_cap in
+      if next <= max_groups || tries >= cfg.Config.max_retries then
+        raise Fallback_needed;
+      st.retries <- st.retries + 1;
+      attempt next (tries + 1)
+  in
+  match attempt (min cfg.Config.max_groups fit_cap) 0 with
+  | exception Fallback_needed ->
+      exec_fallback_node st ~name ~op_id ~consumed_sources:[ source ]
+  | out, rows, out_schema ->
+  (* shrink the result to its actual size *)
+  let dense = alloc_rel st ~label:(name ^ "_dense") ~rows ~schema:out_schema in
+  Array.blit (Memory.data st.mem out) 0 (Memory.data st.mem dense) 0
+    (rows * Schema.arity out_schema);
+  Memory.free st.mem out;
+  publish st op_id
+    {
+      schema = out_schema;
+      rows;
+      buf = Some dense;
+      host = None;
+      remaining = consumer_units_of st op_id;
+    };
+  consume st [ source ]
+
+(* --- top level ------------------------------------------------------------ *)
+
+let run program bases ~mode =
+  if Array.length bases <> Plan.base_count program.plan then
+    invalid_arg "Runtime.run: wrong number of base relations";
+  Array.iteri
+    (fun i r ->
+      if not (Schema.equal (Relation.schema r) (Plan.base_schema program.plan i))
+      then invalid_arg (Printf.sprintf "Runtime.run: base %d schema mismatch" i))
+    bases;
+  let mem = Memory.create program.config.Config.device in
+  let pcie = Pcie.create program.config.Config.device in
+  let st =
+    {
+      program;
+      mem;
+      pcie;
+      mode;
+      reports = [];
+      retries = 0;
+      base_mats =
+        Array.map
+          (fun r ->
+            {
+              schema = Relation.schema r;
+              rows = Relation.count r;
+              buf = None;
+              host = Some r;
+              remaining = 0;
+            })
+          bases;
+      node_mats = Array.make (Plan.node_count program.plan) None;
+      pending_extra = Hashtbl.create 8;
+    }
+  in
+  (* base consumer counts *)
+  Array.iteri
+    (fun i (m : mat) ->
+      let src = Plan.Base i in
+      m.remaining <-
+        List.fold_left
+          (fun acc u ->
+            let srcs =
+              match u with
+              | U_fused { ir; _ } ->
+                  Array.to_list
+                    (Array.map (fun (x : Fusion.input_info) -> x.source) ir.inputs)
+              | U_sort { source; _ } | U_unique { source; _ }
+              | U_aggregate { source; _ } ->
+                  [ source ]
+            in
+            if List.exists (Plan.equal_source src) srcs then acc + 1 else acc)
+          0 program.units)
+    st.base_mats;
+  (* In Resident mode, upload every base once up front (the paper's small-
+     input protocol); Streamed uploads on demand. *)
+  (match mode with
+  | Resident -> Array.iter (fun m -> ignore (upload st m)) st.base_mats
+  | Streamed -> ());
+  List.iter
+    (fun u ->
+      match u with
+      | U_fused { name; ir } -> exec_fused st ~name ir
+      | U_sort { op_id; key_arity; source } ->
+          exec_sort st ~op_id ~key_arity ~source
+      | U_unique { op_id; key_arity; source } ->
+          exec_unique st ~op_id ~key_arity ~source
+      | U_aggregate { op_id; source; lay } ->
+          exec_aggregate st ~op_id ~source ~lay)
+    program.units;
+  let sinks =
+    List.map
+      (fun id ->
+        match st.node_mats.(id) with
+        | Some m -> (id, download st m)
+        | None -> exec_error "sink %d was never computed" id)
+      (Plan.sinks program.plan)
+  in
+  let reports = List.rev st.reports in
+  let stats = Executor.sum_stats reports in
+  let metrics =
+    {
+      Metrics.reports;
+      launches = List.length reports;
+      kernel_cycles =
+        List.fold_left (fun a r -> a +. r.Executor.time.Timing.total_cycles) 0.0 reports;
+      compute_cycles =
+        List.fold_left
+          (fun a r -> a +. r.Executor.time.Timing.compute_cycles)
+          0.0 reports;
+      memory_cycles =
+        List.fold_left
+          (fun a r -> a +. r.Executor.time.Timing.memory_cycles)
+          0.0 reports;
+      pcie_seconds = Pcie.total_seconds pcie;
+      pcie_cycles = Pcie.total_cycles pcie;
+      pcie_bytes = Pcie.total_bytes pcie;
+      pcie_transfers = Pcie.transfer_count pcie;
+      peak_global_bytes = Memory.peak_bytes mem;
+      stats;
+      retries = st.retries;
+    }
+  in
+  { sinks; metrics }
+
+let kernels_source program =
+  let buf = Buffer.create 4096 in
+  let o = Optimizer.optimize program.opt in
+  let add k = Buffer.add_string buf (Cuda_emit.kernel_source (o k)) in
+  List.iter
+    (fun u ->
+      match u with
+      | U_fused { name; ir } ->
+          let lay = Layout.compute program.config program.plan ir in
+          let ks = Codegen.generate program.config ~name ir lay in
+          add ks.Codegen.partition;
+          add ks.Codegen.compute;
+          Array.iter add ks.Codegen.scans;
+          Array.iter add ks.Codegen.gathers
+      | U_sort { op_id; _ } ->
+          Buffer.add_string buf
+            (Printf.sprintf "/* sort%d: modelled multi-pass merge sort */\n"
+               op_id)
+      | U_unique { op_id; key_arity; source = _ } ->
+          let schema =
+            (Plan.node program.plan op_id).Plan.schema
+          in
+          add
+            (Ra_lib.Unique_emit.emit_compute
+               ~name:(Printf.sprintf "unique%d_compute" op_id)
+               ~schema ~key_arity ~cap:program.config.Config.cap
+               ~stage_cap:program.config.Config.cap)
+      | U_aggregate { op_id; lay; _ } ->
+          add
+            (Ra_lib.Aggregate_emit.emit_partial
+               ~name:(Printf.sprintf "aggregate%d_partial" op_id)
+               lay ~max_groups:program.config.Config.max_groups
+               ~stage_cap:program.config.Config.max_groups);
+          add
+            (Ra_lib.Aggregate_emit.emit_final
+               ~name:(Printf.sprintf "aggregate%d_final" op_id)
+               lay ~max_groups:program.config.Config.max_groups
+               ~stage_cap:program.config.Config.max_groups))
+    program.units;
+  Buffer.contents buf

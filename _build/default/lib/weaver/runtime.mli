@@ -1,0 +1,60 @@
+(** The host runtime: executes a compiled program on the simulated GPU.
+
+    Mirrors the paper's lightweight host runtime layer (Harmony/Ocelot in
+    Fig. 5): it stages relations into device buffers, launches each
+    execution unit's kernels (partition, compute, offset scan, gather),
+    reads back result sizes, manages buffer lifetimes and accounts PCIe
+    traffic.
+
+    Two transfer modes reproduce the two evaluation regimes:
+    - [Resident] (small inputs, Figs. 16-18): base relations are uploaded
+      once, intermediates live in device memory (freed as their last
+      consumer finishes), and only sink results return to the host;
+    - [Streamed] (large inputs, Fig. 21): every unit's inputs are uploaded
+      just before it runs and its outputs downloaded and freed right
+      after, modelling data sets that exceed device memory.
+
+    Capacity overflows (a fused kernel traps because a join expanded past
+    its staging budget, a snapped key range outgrew its tile, or an
+    aggregation table filled) are retried with scaled capacities, up to
+    [config.max_retries]; all attempts are charged.
+
+    The runtime also enforces the skeletons' sorted-input invariant: when
+    a keyed unit's input is not key-sorted (e.g. a PROJECT reordered
+    attributes between groups), the relation is re-sorted and the cost of
+    a modelled SORT is charged. *)
+
+open Relation_lib
+open Qplan
+
+type mode = Resident | Streamed
+
+type unit_kind =
+  | U_fused of { name : string; ir : Fusion.t }
+  | U_sort of { op_id : int; key_arity : int; source : Plan.source }
+  | U_unique of { op_id : int; key_arity : int; source : Plan.source }
+  | U_aggregate of {
+      op_id : int;
+      source : Plan.source;
+      lay : Ra_lib.Aggregate_emit.layout;
+    }
+
+type program = {
+  plan : Plan.t;
+  config : Config.t;
+  opt : Optimizer.level;
+  units : unit_kind list;  (** topologically ordered *)
+  groups : int list list;  (** the fusion groups chosen (incl. singletons) *)
+}
+
+type result = { sinks : (int * Relation.t) list; metrics : Metrics.t }
+
+exception Execution_error of string
+
+val run : program -> Relation.t array -> mode:mode -> result
+(** Raises {!Execution_error} on unrecoverable faults (exhausted retries,
+    schema mismatches) and [Invalid_argument] on base-relation mismatch. *)
+
+val kernels_source : program -> string
+(** CUDA-style source of every generated kernel (after the program's
+    optimization level), for inspection — the Fig. 15 view. *)

@@ -1,0 +1,1 @@
+test/test_datalog.ml: Alcotest Array Datalog Dtype Generator List Printf Qplan Relation Relation_lib Schema Weaver

@@ -1,0 +1,1 @@
+test/test_expr_emit.ml: Array Device Dtype Gpu_sim Interp Kir Kir_builder List Memory Pred QCheck QCheck_alcotest Qplan Ra_lib Random Relation_lib Schema Value Weaver

@@ -1,0 +1,1 @@
+test/test_gpu.ml: Alcotest Array Astring_contains Cuda_emit Device Executor Float Gpu_sim Interp Kir Kir_builder Kir_validate Memory Occupancy Pcie Printf Relation_lib Stats String Timing

@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Astring_contains Harness List Printf String

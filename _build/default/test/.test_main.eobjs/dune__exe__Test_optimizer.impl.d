@@ -1,0 +1,1 @@
+test/test_optimizer.ml: Alcotest Array Device Gpu_sim Interp Kir Kir_builder List Memory QCheck QCheck_alcotest Stats Weaver

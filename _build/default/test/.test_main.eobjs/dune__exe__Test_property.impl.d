@@ -1,0 +1,1 @@
+test/test_property.ml: Array Dtype Fun Generator Gpu_sim Int List Op Plan Pred Printf QCheck QCheck_alcotest Qplan Random Reference Rel_ops Relation Relation_lib Schema String Weaver

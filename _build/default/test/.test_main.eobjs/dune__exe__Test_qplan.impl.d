@@ -1,0 +1,1 @@
+test/test_qplan.ml: Alcotest Array Candidates Dependence Dtype Generator Hashtbl List Op Option Plan Pred Qplan Reference Relation Relation_lib Schema Selection Value

@@ -1,0 +1,1 @@
+test/test_ra.ml: Alcotest Array Device Dtype Executor Gpu_sim Kir Kir_builder Kir_validate List Memory Printf Ra_lib Random Relation Relation_lib Schema Stats

@@ -1,0 +1,1 @@
+test/test_relation.ml: Alcotest Array Dtype Int List Printf QCheck QCheck_alcotest Rel_ops Relation Relation_lib Schema String Value

@@ -1,0 +1,1 @@
+test/test_rewrite.ml: Alcotest Array Dtype Generator List Op Plan Pred QCheck QCheck_alcotest Qplan Reference Rel_ops Relation Relation_lib Rewrite Schema Test_property Weaver

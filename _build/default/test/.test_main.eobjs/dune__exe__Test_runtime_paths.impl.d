@@ -1,0 +1,1 @@
+test/test_runtime_paths.ml: Alcotest Array Astring_contains Dtype Float Generator Gpu_sim List Op Plan Pred Qplan Reference Rel_ops Relation Relation_lib Rewrite Schema Tpch Weaver

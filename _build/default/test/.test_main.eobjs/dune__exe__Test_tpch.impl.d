@@ -1,0 +1,1 @@
+test/test_tpch.ml: Alcotest Dtype Fun List Printf Qplan Relation Relation_lib Schema Tpch Weaver

@@ -1,0 +1,1 @@
+test/test_weaver.ml: Alcotest Dtype Format Fun Generator List Op Plan Pred Printf Qplan Reference Relation Relation_lib Schema Weaver

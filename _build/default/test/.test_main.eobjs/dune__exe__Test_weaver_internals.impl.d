@@ -1,0 +1,1 @@
+test/test_weaver_internals.ml: Alcotest Array Astring_contains Dtype Generator Gpu_sim List Op Plan Pred Printf Qplan Ra_lib Reference Relation Relation_lib Schema Selection Tpch Weaver

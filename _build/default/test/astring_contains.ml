@@ -1,0 +1,12 @@
+(* Tiny substring helper shared by test modules (no external dependency). *)
+
+let contains haystack needle =
+  let hl = String.length haystack and nl = String.length needle in
+  if nl = 0 then true
+  else
+    let rec go i =
+      if i + nl > hl then false
+      else if String.sub haystack i nl = needle then true
+      else go (i + 1)
+    in
+    go 0

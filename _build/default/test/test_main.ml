@@ -1,0 +1,18 @@
+let () =
+  Alcotest.run "kernel_weaver"
+    [
+      ("gpu", Test_gpu.suite);
+      ("relation", Test_relation.suite);
+      ("qplan", Test_qplan.suite);
+      ("optimizer", Test_optimizer.suite);
+      ("expr-emit", Test_expr_emit.suite);
+      ("ra", Test_ra.suite);
+      ("weaver", Test_weaver.suite);
+      ("weaver-internals", Test_weaver_internals.suite);
+      ("datalog", Test_datalog.suite);
+      ("tpch", Test_tpch.suite);
+      ("property", Test_property.suite);
+      ("rewrite", Test_rewrite.suite);
+      ("harness", Test_harness.suite);
+      ("runtime-paths", Test_runtime_paths.suite);
+    ]

@@ -1,0 +1,263 @@
+(* Unit tests for the query-plan layer: predicates, operator schema
+   inference, plan construction, dependence classification and the two
+   fusion algorithms. *)
+
+open Relation_lib
+open Qplan
+
+let i32 = Dtype.I32
+let s3 = Schema.make [ ("k", i32); ("x", i32); ("f", Dtype.F32) ]
+
+(* --- Pred ------------------------------------------------------------------ *)
+
+let test_pred_types () =
+  Alcotest.(check bool) "attr i32" true
+    (Dtype.equal (Pred.type_of_expr s3 (Pred.Attr 1)) Dtype.I32);
+  Alcotest.(check bool) "attr f32" true
+    (Dtype.equal (Pred.type_of_expr s3 (Pred.Attr 2)) Dtype.F32);
+  (* int/float promotion *)
+  Alcotest.(check bool) "mixed promotes" true
+    (Dtype.equal
+       (Pred.type_of_expr s3 (Pred.Bin (Pred.Add, Pred.Attr 1, Pred.Attr 2)))
+       Dtype.F32);
+  (match Pred.type_of_expr s3 (Pred.Attr 9) with
+  | exception Pred.Type_error _ -> ()
+  | _ -> Alcotest.fail "out of range attr should fail");
+  let sb = Schema.make [ ("b", Dtype.Bool) ] in
+  match Pred.type_of_expr sb (Pred.Attr 0) with
+  | exception Pred.Type_error _ -> ()
+  | _ -> Alcotest.fail "bool arithmetic should fail"
+
+let test_pred_eval () =
+  let tup = [| 5; 10; Value.of_f32 0.5 |] in
+  let ev e = Pred.eval_expr s3 tup e in
+  Alcotest.(check int) "int arith" 25
+    (ev (Pred.Bin (Pred.Add, Pred.Attr 0,
+                   Pred.Bin (Pred.Mul, Pred.Attr 1, Pred.Int 2))));
+  Alcotest.(check (float 1e-6)) "float arith" 5.5
+    (Value.to_f32 (ev (Pred.Bin (Pred.Add, Pred.Attr 0, Pred.Attr 2))));
+  Alcotest.(check bool) "cmp true" true
+    (Pred.eval s3 tup (Pred.Cmp (Pred.Lt, Pred.Attr 0, Pred.Attr 1)));
+  Alcotest.(check bool) "and/or/not" true
+    (Pred.eval s3 tup
+       Pred.(Cmp (Eq, Attr 0, Int 5) &&& Not (Cmp (Gt, Attr 1, Int 100))));
+  Alcotest.(check bool) "mixed cmp" true
+    (Pred.eval s3 tup (Pred.Cmp (Pred.Gt, Pred.Attr 0, Pred.Attr 2)));
+  (match Pred.eval_expr s3 tup (Pred.Bin (Pred.Div, Pred.Attr 0, Pred.Int 0)) with
+  | exception Pred.Type_error _ -> ()
+  | _ -> Alcotest.fail "integer division by zero should fail");
+  Alcotest.(check (list int)) "attrs_used" [ 0; 1 ]
+    (Pred.attrs_used
+       Pred.(Cmp (Eq, Attr 1, Int 3) &&& Cmp (Lt, Attr 0, Attr 1)))
+
+(* --- Op schema inference --------------------------------------------------- *)
+
+let test_op_schemas () =
+  let expect_err k inputs =
+    match Op.out_schema k inputs with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.fail ("expected error for " ^ Op.describe k)
+  in
+  expect_err (Op.Select Pred.True) [];
+  expect_err (Op.Project []) [ s3 ];
+  expect_err (Op.Project [ 7 ]) [ s3 ];
+  expect_err (Op.Join { key_arity = 0 }) [ s3; s3 ];
+  expect_err (Op.Join { key_arity = 9 }) [ s3; s3 ];
+  (* key dtype mismatch *)
+  expect_err (Op.Join { key_arity = 1 })
+    [ s3; Schema.make [ ("k", Dtype.F32); ("v", i32) ] ];
+  (* set ops need compatible schemas *)
+  expect_err (Op.Union { key_arity = 1 })
+    [ s3; Schema.make [ ("k", i32); ("v", i32) ] ];
+  (* join output drops the right key *)
+  (match Op.out_schema (Op.Join { key_arity = 1 })
+           [ s3; Schema.make [ ("k", i32); ("y", i32) ] ] with
+  | Ok s -> Alcotest.(check int) "join arity" 4 (Schema.arity s)
+  | Error m -> Alcotest.fail m);
+  (* aggregate output: group cols then aggs with proper widening *)
+  match
+    Op.out_schema
+      (Op.Aggregate
+         {
+           group_by = [ 1 ];
+           aggs =
+             [
+               { Op.fn = Op.Sum; expr = Pred.Attr 1; agg_name = "s" };
+               { Op.fn = Op.Sum; expr = Pred.Attr 2; agg_name = "fs" };
+               { Op.fn = Op.Count; expr = Pred.Attr 0; agg_name = "n" };
+               { Op.fn = Op.Avg; expr = Pred.Attr 1; agg_name = "a" };
+             ];
+         })
+      [ s3 ]
+  with
+  | Ok s ->
+      Alcotest.(check int) "agg arity" 5 (Schema.arity s);
+      Alcotest.(check bool) "int sum widens" true
+        (Dtype.equal (Schema.dtype s 1) Dtype.I64);
+      Alcotest.(check bool) "float sum stays f32" true
+        (Dtype.equal (Schema.dtype s 2) Dtype.F32);
+      Alcotest.(check bool) "count i64" true
+        (Dtype.equal (Schema.dtype s 3) Dtype.I64);
+      Alcotest.(check bool) "avg f32" true
+        (Dtype.equal (Schema.dtype s 4) Dtype.F32)
+  | Error m -> Alcotest.fail m
+
+(* --- Plan ------------------------------------------------------------------ *)
+
+let mk_chain () =
+  let pb = Plan.builder () in
+  let b0 = Plan.base pb s3 in
+  let n0 = Plan.add pb (Op.Select Pred.True) [ b0 ] in
+  let n1 = Plan.add pb (Op.Select Pred.True) [ b0 ] in
+  let n2 = Plan.add pb (Op.Join { key_arity = 1 }) [ n0; n1 ] in
+  ignore n2;
+  Plan.build pb
+
+let test_plan () =
+  let p = mk_chain () in
+  Alcotest.(check int) "nodes" 3 (Plan.node_count p);
+  Alcotest.(check (list int)) "producers of join" [ 0; 1 ] (Plan.producers p 2);
+  Alcotest.(check (list int)) "consumers of select" [ 2 ] (Plan.consumers p 0);
+  Alcotest.(check (list int)) "sinks" [ 2 ] (Plan.sinks p);
+  Alcotest.(check bool) "share input" true (Plan.share_input p 0 1);
+  Alcotest.(check bool) "no shared input" false (Plan.share_input p 0 2);
+  (* builder rejects dangling references and bad ops *)
+  let pb = Plan.builder () in
+  Alcotest.check_raises "unknown node"
+    (Invalid_argument "Plan.add: unknown node 5") (fun () ->
+      ignore (Plan.add pb (Op.Select Pred.True) [ Plan.Node 5 ]));
+  let pb = Plan.builder () in
+  Alcotest.check_raises "empty plan" (Invalid_argument "Plan.build: empty plan")
+    (fun () -> ignore (Plan.build pb))
+
+(* --- Dependence ------------------------------------------------------------ *)
+
+let test_dependence () =
+  let open Dependence in
+  Alcotest.(check bool) "select thread" true
+    (equal (of_kind (Op.Select Pred.True)) Thread);
+  Alcotest.(check bool) "project thread" true
+    (equal (of_kind (Op.Project [ 0 ])) Thread);
+  Alcotest.(check bool) "join cta" true
+    (equal (of_kind (Op.Join { key_arity = 1 })) Cta);
+  Alcotest.(check bool) "product cta" true (equal (of_kind Op.Product) Cta);
+  Alcotest.(check bool) "sort kernel" true
+    (equal (of_kind (Op.Sort { key_arity = 1 })) Kernel);
+  Alcotest.(check bool) "aggregate kernel" true
+    (equal (of_kind (Op.Aggregate { group_by = [ 0 ]; aggs = [] })) Kernel);
+  Alcotest.(check bool) "select-select edge" true
+    (equal (edge ~producer:(Op.Select Pred.True) ~consumer:(Op.Select Pred.True)) Thread);
+  Alcotest.(check bool) "select-join edge" true
+    (equal
+       (edge ~producer:(Op.Select Pred.True) ~consumer:(Op.Join { key_arity = 1 }))
+       Cta);
+  Alcotest.(check bool) "sort edge" true
+    (equal
+       (edge ~producer:(Op.Sort { key_arity = 1 }) ~consumer:(Op.Select Pred.True))
+       Kernel)
+
+(* --- Candidates (Algorithm 1) ----------------------------------------------- *)
+
+let test_candidates () =
+  (* select -> sort -> select: the sort is a barrier splitting components *)
+  let pb = Plan.builder () in
+  let b0 = Plan.base pb s3 in
+  let n0 = Plan.add pb (Op.Select Pred.True) [ b0 ] in
+  let n1 = Plan.add pb (Op.Sort { key_arity = 1 }) [ n0 ] in
+  let _n2 = Plan.add pb (Op.Select Pred.True) [ n1 ] in
+  let p = Plan.build pb in
+  Alcotest.(check (list (list int))) "two singleton components"
+    [ [ 0 ]; [ 2 ] ]
+    (Candidates.groups ~input_sharing:false p);
+  Alcotest.(check (list int)) "barriers" [ 1 ] (Candidates.barriers p);
+  Alcotest.(check int) "no multi-op candidates" 0
+    (List.length (Candidates.fusion_candidates ~input_sharing:false p));
+  (* input sharing merges independent selects *)
+  let p2 = mk_chain () in
+  Alcotest.(check (list (list int))) "one component (sharing)"
+    [ [ 0; 1; 2 ] ]
+    (Candidates.groups ~input_sharing:true p2);
+  (* without sharing they are still connected through the join *)
+  Alcotest.(check (list (list int))) "one component (producer-consumer)"
+    [ [ 0; 1; 2 ] ]
+    (Candidates.groups ~input_sharing:false p2)
+
+(* --- Selection (Algorithm 2) ------------------------------------------------ *)
+
+let test_selection_budget () =
+  let p = mk_chain () in
+  let budget = { Selection.max_regs_per_thread = 63; max_shared_bytes = 1000 } in
+  (* estimate: each op costs 400 B shared -> only two fit per group *)
+  let estimate g =
+    { Selection.regs_per_thread = 10; shared_bytes = 400 * List.length g }
+  in
+  Alcotest.(check (list (list int))) "greedy split"
+    [ [ 0; 1 ]; [ 2 ] ]
+    (Selection.select ~plan:p ~estimate ~budget [ 0; 1; 2 ]);
+  (* everything fits -> one group *)
+  let estimate_small g =
+    { Selection.regs_per_thread = 10; shared_bytes = 10 * List.length g }
+  in
+  Alcotest.(check (list (list int))) "single group"
+    [ [ 0; 1; 2 ] ]
+    (Selection.select ~plan:p ~estimate:estimate_small ~budget [ 0; 1; 2 ]);
+  (* singletons always accepted even over budget *)
+  let estimate_huge _ =
+    { Selection.regs_per_thread = max_int; shared_bytes = max_int }
+  in
+  Alcotest.(check (list (list int))) "all singletons"
+    [ [ 0 ]; [ 1 ]; [ 2 ] ]
+    (Selection.select ~plan:p ~estimate:estimate_huge ~budget [ 0; 1; 2 ])
+
+let test_selection_convexity () =
+  (* two selects share an input but a SORT lies between them:
+     0 -> 1(sort) -> 2, with 0 and 2 also reading base0.
+     {0; 2} is an input-sharing component but is NOT convex. *)
+  let pb = Plan.builder () in
+  let b0 = Plan.base pb s3 in
+  let n0 = Plan.add pb (Op.Select Pred.True) [ b0 ] in
+  let n1 = Plan.add pb (Op.Sort { key_arity = 1 }) [ n0 ] in
+  let n2 = Plan.add pb (Op.Join { key_arity = 1 }) [ n1; b0 ] in
+  ignore n2;
+  let p = Plan.build pb in
+  Alcotest.(check bool) "non-convex detected" false (Selection.convex p [ 0; 2 ]);
+  Alcotest.(check bool) "chain convex" true (Selection.convex p [ 0; 1; 2 ]);
+  let budget =
+    { Selection.max_regs_per_thread = 63; max_shared_bytes = max_int }
+  in
+  let estimate _ = { Selection.regs_per_thread = 1; shared_bytes = 1 } in
+  (* selection must split {0; 2} despite the estimate fitting *)
+  Alcotest.(check (list (list int))) "convexity split"
+    [ [ 0 ]; [ 2 ] ]
+    (Selection.select ~plan:p ~estimate ~budget [ 0; 2 ])
+
+(* --- Reference evaluator ---------------------------------------------------- *)
+
+let test_reference_chain () =
+  let p = mk_chain () in
+  let st = Generator.make_state 3 in
+  let r = Generator.random_relation ~key_range:50 ~sorted_key_arity:1 st s3 ~count:100 in
+  let results = Reference.eval p [| r |] in
+  Alcotest.(check int) "selects keep everything" 100 (Relation.count results.(0));
+  (* self-join count: sum of squares of key multiplicities *)
+  let counts = Hashtbl.create 16 in
+  Relation.iter
+    (fun t ->
+      Hashtbl.replace counts t.(0)
+        (1 + Option.value (Hashtbl.find_opt counts t.(0)) ~default:0))
+    r;
+  let expected = Hashtbl.fold (fun _ c acc -> acc + (c * c)) counts 0 in
+  Alcotest.(check int) "self join size" expected (Relation.count results.(2))
+
+let suite =
+  [
+    ("pred types", `Quick, test_pred_types);
+    ("pred eval", `Quick, test_pred_eval);
+    ("op schema inference", `Quick, test_op_schemas);
+    ("plan construction", `Quick, test_plan);
+    ("dependence classes", `Quick, test_dependence);
+    ("candidates (Algorithm 1)", `Quick, test_candidates);
+    ("selection budget (Algorithm 2)", `Quick, test_selection_budget);
+    ("selection convexity", `Quick, test_selection_convexity);
+    ("reference evaluator", `Quick, test_reference_chain);
+  ]

@@ -1,0 +1,175 @@
+(* Runtime resilience paths: capacity retries, the degenerate-skew host
+   fallback, aggregation-table growth, implicit sorts at group boundaries
+   and buffer lifetime accounting. *)
+
+open Relation_lib
+open Qplan
+
+let i32 = Dtype.I32
+let s2 = Schema.make [ ("k", i32); ("v", i32) ]
+
+let test_skew_fallback () =
+  (* every row shares one key: the join's key run can never fit a shared
+     tile on the tiny device, so the runtime must fall back to the
+     host-modelled execution — and still be exact *)
+  let pb = Plan.builder () in
+  let a = Plan.base pb s2 in
+  let b = Plan.base pb s2 in
+  let _j = Plan.add pb (Op.Join { key_arity = 1 }) [ a; b ] in
+  let plan = Plan.build pb in
+  let rows = 400 in
+  let mk seed =
+    Relation.create s2 (List.init rows (fun i -> [| 7; (seed * 1000) + i |]))
+  in
+  let bases = [| mk 1; mk 2 |] in
+  let config =
+    {
+      Weaver.Config.default with
+      Weaver.Config.device = Gpu_sim.Device.tiny;
+      cta_threads = 16;
+      cap = 32;
+      min_cap = 8;
+      max_retries = 3;
+    }
+  in
+  let reference = Reference.eval_sinks plan bases in
+  let program = Weaver.Driver.compile ~config plan in
+  let result = Weaver.Driver.run program bases ~mode:Weaver.Runtime.Resident in
+  List.iter2
+    (fun (_, r) (_, g) ->
+      Alcotest.(check int) "cross product size" (rows * rows) (Relation.count r);
+      Alcotest.(check bool) "fallback exact" true (Relation.equal_multiset r g))
+    reference result.Weaver.Runtime.sinks;
+  (* the fallback charges a modelled pass *)
+  Alcotest.(check bool) "fallback kernel reported" true
+    (List.exists
+       (fun (lr : Gpu_sim.Executor.launch_report) ->
+         Astring_contains.contains lr.Gpu_sim.Executor.kernel_name
+           "skew_fallback")
+       result.Weaver.Runtime.metrics.Weaver.Metrics.reports)
+
+let test_aggregate_table_growth () =
+  (* more groups than the configured table: the runtime doubles and
+     retries, charging the failed attempts *)
+  let s = Schema.make [ ("g", i32); ("v", i32) ] in
+  let pb = Plan.builder () in
+  let b = Plan.base pb s in
+  let _agg =
+    Plan.add pb
+      (Op.Aggregate
+         {
+           group_by = [ 0 ];
+           aggs = [ { Op.fn = Op.Count; expr = Pred.Attr 0; agg_name = "n" } ];
+         })
+      [ b ]
+  in
+  let plan = Plan.build pb in
+  let rows = 600 in
+  let rel = Relation.create s (List.init rows (fun i -> [| i; i |])) in
+  (* 600 distinct groups, table starts at 64 *)
+  let config = { Weaver.Config.default with Weaver.Config.max_groups = 64 } in
+  let program = Weaver.Driver.compile ~config plan in
+  let result = Weaver.Driver.run program [| rel |] ~mode:Weaver.Runtime.Resident in
+  let _, got = List.hd result.Weaver.Runtime.sinks in
+  Alcotest.(check int) "all groups found" rows (Relation.count got);
+  Alcotest.(check bool) "retried" true
+    (result.Weaver.Runtime.metrics.Weaver.Metrics.retries > 0)
+
+let test_implicit_sort_charged () =
+  (* a PROJECT that reorders attributes between groups leaves its output
+     unsorted on the new key; the runtime must re-sort (and charge) before
+     the downstream JOIN *)
+  let s3 = Schema.make [ ("k", i32); ("x", i32); ("y", i32) ] in
+  let pb = Plan.builder () in
+  let a = Plan.base pb s3 in
+  let b = Plan.base pb s2 in
+  let p = Plan.add pb (Op.Project [ 1; 0 ]) [ a ] in
+  (* (x, k): new key = old attr 1 *)
+  let _j = Plan.add pb (Op.Join { key_arity = 1 }) [ p; b ] in
+  let plan = Plan.build pb in
+  let st = Generator.make_state 3 in
+  let ra =
+    Rel_ops.map s3
+      (fun t -> [| t.(0); t.(1) mod 50; t.(2) |])
+      (Generator.random_relation ~key_range:50 ~sorted_key_arity:1 st s3
+         ~count:300)
+  in
+  let rb =
+    Rel_ops.map s2
+      (fun t -> [| t.(0) mod 50; t.(1) |])
+      (Generator.random_relation ~key_range:50 st s2 ~count:200)
+  in
+  let rb = Relation.sort ~key_arity:1 rb in
+  let bases = [| ra; rb |] in
+  let reference = Reference.eval_sinks plan bases in
+  let program = Weaver.Driver.compile plan in
+  let result = Weaver.Driver.run program bases ~mode:Weaver.Runtime.Resident in
+  List.iter2
+    (fun (_, r) (_, g) ->
+      Alcotest.(check bool) "reordered-key join exact" true
+        (Relation.equal_multiset r g))
+    reference result.Weaver.Runtime.sinks;
+  Alcotest.(check bool) "implicit sort charged" true
+    (List.exists
+       (fun (lr : Gpu_sim.Executor.launch_report) ->
+         Astring_contains.contains lr.Gpu_sim.Executor.kernel_name
+           "implicit_sort")
+       result.Weaver.Runtime.metrics.Weaver.Metrics.reports)
+
+let test_resident_frees_intermediates () =
+  (* in Resident mode intermediate buffers are freed once their last
+     consumer ran: final live memory is inputs + sink only *)
+  let pb = Plan.builder () in
+  let b = Plan.base pb s2 in
+  let s1 = Plan.add pb (Op.Select Pred.True) [ b ] in
+  let s2n = Plan.add pb (Op.Select Pred.True) [ s1 ] in
+  let _s3 = Plan.add pb (Op.Select Pred.True) [ s2n ] in
+  let plan = Plan.build pb in
+  let st = Generator.make_state 4 in
+  let rel = Generator.random_relation ~sorted_key_arity:1 st s2 ~count:5_000 in
+  let program = Weaver.Driver.compile ~fuse:false plan in
+  let result = Weaver.Driver.run program [| rel |] ~mode:Weaver.Runtime.Resident in
+  let m = result.Weaver.Runtime.metrics in
+  (* peak must exceed 2x the input (some intermediate lived), but far less
+     than holding all three intermediates plus staging at once would *)
+  Alcotest.(check bool) "peak above input" true
+    (m.Weaver.Metrics.peak_global_bytes > Relation.bytes rel);
+  Alcotest.(check bool) "intermediates freed" true
+    (m.Weaver.Metrics.peak_global_bytes < 8 * Relation.bytes rel)
+
+let test_metrics_by_kernel () =
+  let w = Tpch.Patterns.pattern_a () in
+  let bases = w.Tpch.Patterns.gen ~seed:1 ~rows:5_000 in
+  let program = Weaver.Driver.compile w.Tpch.Patterns.plan in
+  let result = Weaver.Driver.run program bases ~mode:Weaver.Runtime.Resident in
+  let by = Weaver.Metrics.by_kernel result.Weaver.Runtime.metrics in
+  Alcotest.(check int) "four kernels" 4 (List.length by);
+  (* sorted by cycles descending *)
+  let cycles = List.map (fun (_, _, c, _) -> c) by in
+  Alcotest.(check bool) "descending" true
+    (List.sort (fun a b -> Float.compare b a) cycles = cycles);
+  let total = List.fold_left (fun a (_, _, c, _) -> a +. c) 0.0 by in
+  Alcotest.(check bool) "sums to kernel cycles" true
+    (Float.abs (total -. result.Weaver.Runtime.metrics.Weaver.Metrics.kernel_cycles)
+    < 1.0)
+
+let test_rewrites_applied_metric () =
+  let pb = Plan.builder () in
+  let b = Plan.base pb s2 in
+  let srt = Plan.add pb (Op.Sort { key_arity = 1 }) [ b ] in
+  let _s = Plan.add pb (Op.Select Pred.True) [ srt ] in
+  let plan = Plan.build pb in
+  let p' = Rewrite.optimize plan in
+  Alcotest.(check bool) "rewrite counted" true
+    (Rewrite.rewrites_applied plan p' > 0);
+  Alcotest.(check int) "identity distance" 0 (Rewrite.rewrites_applied plan plan)
+
+let suite =
+  [
+    ("degenerate-skew fallback", `Quick, test_skew_fallback);
+    ("aggregate table growth", `Quick, test_aggregate_table_growth);
+    ("implicit sort at group boundary", `Quick, test_implicit_sort_charged);
+    ("resident mode frees intermediates", `Quick, test_resident_frees_intermediates);
+    ("metrics by kernel", `Quick, test_metrics_by_kernel);
+    ("rewrites_applied", `Quick, test_rewrites_applied_metric);
+  ]

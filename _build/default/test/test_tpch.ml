@@ -1,0 +1,141 @@
+(* TPC-H workloads: generator sanity, patterns and the two real queries,
+   each validated against the reference evaluator, fused vs unfused. *)
+
+open Relation_lib
+
+let test_datagen () =
+  let db = Tpch.Datagen.generate ~seed:1 ~lineitems:2000 in
+  Alcotest.(check int) "lineitems" 2000 (Relation.count db.Tpch.Datagen.lineitem);
+  Alcotest.(check int) "orders" 500 (Relation.count db.Tpch.Datagen.orders);
+  Alcotest.(check bool) "lineitem sorted" true
+    (Relation.is_sorted ~key_arity:1 db.Tpch.Datagen.lineitem);
+  Alcotest.(check bool) "orders sorted" true
+    (Relation.is_sorted ~key_arity:1 db.Tpch.Datagen.orders);
+  (* determinism *)
+  let db2 = Tpch.Datagen.generate ~seed:1 ~lineitems:2000 in
+  Alcotest.(check bool) "deterministic" true
+    (Relation.equal_multiset db.Tpch.Datagen.lineitem db2.Tpch.Datagen.lineitem);
+  let db3 = Tpch.Datagen.generate ~seed:2 ~lineitems:2000 in
+  Alcotest.(check bool) "seed matters" false
+    (Relation.equal_multiset db.Tpch.Datagen.lineitem db3.Tpch.Datagen.lineitem)
+
+let run_workload (w : Tpch.Patterns.workload) ~rows =
+  let bases = w.Tpch.Patterns.gen ~seed:5 ~rows in
+  let reference = Qplan.Reference.eval_sinks w.Tpch.Patterns.plan bases in
+  let cmp =
+    Weaver.Driver.compare_fusion w.Tpch.Patterns.plan bases
+      ~mode:Weaver.Runtime.Resident
+  in
+  List.iter2
+    (fun (id1, r_ref) (id2, r_got) ->
+      Alcotest.(check int) "sink ids" id1 id2;
+      let s = Relation.schema r_ref in
+      let has_float =
+        List.exists
+          (fun j -> Dtype.is_float (Schema.dtype s j))
+          (List.init (Schema.arity s) Fun.id)
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s sink %d matches (%d tuples)" w.Tpch.Patterns.name
+           id1 (Relation.count r_ref))
+        true
+        (if has_float then Relation.approx_equal r_ref r_got
+         else Relation.equal_multiset r_ref r_got))
+    reference cmp.Weaver.Driver.fused.Weaver.Runtime.sinks;
+  cmp
+
+let test_patterns_correct () =
+  List.iter
+    (fun w -> ignore (run_workload w ~rows:1500))
+    (Tpch.Patterns.all ())
+
+let test_patterns_speedup () =
+  (* every producer-consumer pattern must get a computation speedup from
+     fusion at a decent size *)
+  List.iter
+    (fun (w : Tpch.Patterns.workload) ->
+      let cmp = run_workload w ~rows:4000 in
+      let s =
+        cmp.Weaver.Driver.unfused.Weaver.Runtime.metrics.Weaver.Metrics.kernel_cycles
+        /. cmp.Weaver.Driver.fused.Weaver.Runtime.metrics.Weaver.Metrics.kernel_cycles
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: fused faster (%.2fx)" w.Tpch.Patterns.name s)
+        true (s > 1.0))
+    (Tpch.Patterns.all ())
+
+let test_pattern_ab () =
+  (* the §5.1 combination: selects + 2 joins weave into one kernel *)
+  let w = Tpch.Patterns.pattern_ab () in
+  let cmp = run_workload w ~rows:2000 in
+  let groups = cmp.Weaver.Driver.fused_program.Weaver.Runtime.groups in
+  Alcotest.(check int) "one fused group" 1 (List.length groups);
+  Alcotest.(check int) "four operators woven" 4 (List.length (List.hd groups))
+
+let test_back_to_back () =
+  let w = Tpch.Patterns.back_to_back_selects ~selects:3 ~ratio:0.5 in
+  ignore (run_workload w ~rows:3000)
+
+let run_query (q : Tpch.Queries.query) ~lineitems =
+  let db = Tpch.Datagen.generate ~seed:3 ~lineitems in
+  let bases = q.Tpch.Queries.bind db in
+  let reference = Qplan.Reference.eval_sinks q.Tpch.Queries.plan bases in
+  let cmp =
+    Weaver.Driver.compare_fusion q.Tpch.Queries.plan bases
+      ~mode:Weaver.Runtime.Resident
+  in
+  List.iter2
+    (fun (_, r_ref) (_, r_got) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s matches reference (%d groups)" q.Tpch.Queries.qname
+           (Relation.count r_ref))
+        true
+        (Relation.approx_equal ~eps:1e-3 r_ref r_got))
+    reference cmp.Weaver.Driver.fused.Weaver.Runtime.sinks;
+  cmp
+
+let test_q1 () =
+  let cmp = run_query Tpch.Queries.q1 ~lineitems:4000 in
+  (* Q1's fusible part is the select+arith chain: exactly one fused group
+     of two thread-dependent operators *)
+  let groups = cmp.Weaver.Driver.fused_program.Weaver.Runtime.groups in
+  Alcotest.(check int) "one fused group" 1 (List.length groups);
+  Alcotest.(check int) "select+arith fused" 2 (List.length (List.hd groups))
+
+let test_q21 () =
+  let cmp = run_query Tpch.Queries.q21 ~lineitems:3000 in
+  (* the relational part (6 joins + selects + projects) weaves into a few
+     fused kernels; Algorithm 2's resource budget decides how many.  All
+     six joins must be inside fused groups, and the largest group must
+     carry several of them. *)
+  let groups = cmp.Weaver.Driver.fused_program.Weaver.Runtime.groups in
+  let join_count g =
+    List.length
+      (List.filter
+         (fun id ->
+           match
+             (Qplan.Plan.node cmp.Weaver.Driver.fused_program.Weaver.Runtime.plan
+                id)
+               .Qplan.Plan.kind
+           with
+           | Qplan.Op.Join _ -> true
+           | _ -> false)
+         g)
+  in
+  let total = List.fold_left (fun acc g -> acc + join_count g) 0 groups in
+  let biggest = List.fold_left (fun m g -> max m (join_count g)) 0 groups in
+  Alcotest.(check int) "all six joins are in fused groups" 6 total;
+  Alcotest.(check bool)
+    (Printf.sprintf "largest group carries >= 3 joins (got %d)" biggest)
+    true (biggest >= 3)
+
+let suite =
+  [
+    ("datagen", `Quick, test_datagen);
+    ("patterns vs reference", `Quick, test_patterns_correct);
+    ("patterns speed up", `Slow, test_patterns_speedup);
+    ("back-to-back selects", `Quick, test_back_to_back);
+    ("combined pattern a+b", `Quick, test_pattern_ab);
+    ("TPC-H Q1", `Slow, test_q1);
+    ("TPC-H Q21", `Slow, test_q21);
+  ]

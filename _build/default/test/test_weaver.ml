@@ -1,0 +1,325 @@
+(* End-to-end tests: plans executed on the simulated GPU, fused and
+   unfused, validated against the host reference evaluator. *)
+
+open Relation_lib
+open Qplan
+
+let i32 = Dtype.I32
+let schema4 =
+  Schema.make [ ("k", i32); ("a", i32); ("b", i32); ("c", i32) ]
+
+let gen = Generator.make_state 42
+
+let mk_rel ?(key_range = 0) st ~count schema =
+  let key_range = if key_range = 0 then max 1 (2 * count) else key_range in
+  Generator.random_relation ~key_range ~sorted_key_arity:1 st schema ~count
+
+let check_against_reference ?(mode = Weaver.Runtime.Resident) plan bases =
+  let reference = Reference.eval_sinks plan bases in
+  let cmp = Weaver.Driver.compare_fusion plan bases ~mode in
+  List.iter2
+    (fun (id_ref, r_ref) (id_got, r_got) ->
+      Alcotest.(check int) "sink id" id_ref id_got;
+      let s = Relation.schema r_ref in
+      let has_float =
+        List.exists
+          (fun j -> Dtype.is_float (Schema.dtype s j))
+          (List.init (Schema.arity s) Fun.id)
+      in
+      let same =
+        if has_float then Relation.approx_equal r_ref r_got
+        else Relation.equal_multiset r_ref r_got
+      in
+      if not same then begin
+        Format.printf "reference:@ %a@." Relation.pp r_ref;
+        Format.printf "got:@ %a@." Relation.pp r_got
+      end;
+      Alcotest.(check bool)
+        (Printf.sprintf "sink %d matches reference (%d tuples)" id_ref
+           (Relation.count r_ref))
+        true same)
+    reference cmp.Weaver.Driver.fused.Weaver.Runtime.sinks;
+  cmp
+
+let test_single_select () =
+  let pb = Plan.builder () in
+  let base = Plan.base pb schema4 in
+  let _sel =
+    Plan.add pb (Op.Select (Pred.Cmp (Pred.Lt, Pred.Attr 1, Pred.Int 500_000_000)))
+      [ base ]
+  in
+  let plan = Plan.build pb in
+  let rel = mk_rel gen ~count:1000 schema4 in
+  ignore (check_against_reference plan [| rel |])
+
+let test_select_chain () =
+  (* pattern (a): three SELECTs and a PROJECT back to back *)
+  let pb = Plan.builder () in
+  let base = Plan.base pb schema4 in
+  let s1 =
+    Plan.add pb (Op.Select (Pred.Cmp (Pred.Lt, Pred.Attr 1, Pred.Int 800_000_000)))
+      [ base ]
+  in
+  let s2 =
+    Plan.add pb (Op.Select (Pred.Cmp (Pred.Gt, Pred.Attr 2, Pred.Int 200_000_000)))
+      [ s1 ]
+  in
+  let s3 =
+    Plan.add pb (Op.Select (Pred.Cmp (Pred.Ne, Pred.Attr 3, Pred.Int 7)))
+      [ s2 ]
+  in
+  let _p = Plan.add pb (Op.Project [ 0; 1 ]) [ s3 ] in
+  let plan = Plan.build pb in
+  let rel = mk_rel gen ~count:2000 schema4 in
+  let cmp = check_against_reference plan [| rel |] in
+  (* the whole chain must fuse into one group *)
+  Alcotest.(check int) "one fused group" 1
+    (List.length cmp.Weaver.Driver.fused_program.Weaver.Runtime.groups);
+  (* fusion should win *)
+  let s =
+    Weaver.Driver.speedup
+      ~baseline:cmp.Weaver.Driver.unfused.Weaver.Runtime.metrics
+      ~improved:cmp.Weaver.Driver.fused.Weaver.Runtime.metrics
+  in
+  Alcotest.(check bool) (Printf.sprintf "fusion speeds up (%.2fx)" s) true
+    (s > 1.0)
+
+let test_join () =
+  let pb = Plan.builder () in
+  let l = Plan.base pb schema4 in
+  let r = Plan.base pb (Schema.make [ ("k", i32); ("x", i32) ]) in
+  let _j = Plan.add pb (Op.Join { key_arity = 1 }) [ l; r ] in
+  let plan = Plan.build pb in
+  let st = Generator.make_state 7 in
+  let lrel = mk_rel ~key_range:600 st ~count:800 schema4 in
+  let rrel =
+    mk_rel ~key_range:600 st ~count:500 (Schema.make [ ("k", i32); ("x", i32) ])
+  in
+  ignore (check_against_reference plan [| lrel; rrel |])
+
+let test_join_chain () =
+  (* pattern (b): two back-to-back JOINs *)
+  let s2 = Schema.make [ ("k", i32); ("x", i32) ] in
+  let s3 = Schema.make [ ("k", i32); ("y", i32) ] in
+  let pb = Plan.builder () in
+  let a = Plan.base pb schema4 in
+  let b = Plan.base pb s2 in
+  let c = Plan.base pb s3 in
+  let j1 = Plan.add pb (Op.Join { key_arity = 1 }) [ a; b ] in
+  let _j2 = Plan.add pb (Op.Join { key_arity = 1 }) [ j1; c ] in
+  let plan = Plan.build pb in
+  let st = Generator.make_state 11 in
+  let ra = mk_rel ~key_range:400 st ~count:600 schema4 in
+  let rb = mk_rel ~key_range:400 st ~count:400 s2 in
+  let rc = mk_rel ~key_range:400 st ~count:300 s3 in
+  let cmp = check_against_reference plan [| ra; rb; rc |] in
+  Alcotest.(check int) "one fused group" 1
+    (List.length cmp.Weaver.Driver.fused_program.Weaver.Runtime.groups)
+
+let test_select_join () =
+  (* pattern (c): selects feeding a join *)
+  let s2 = Schema.make [ ("k", i32); ("x", i32) ] in
+  let pb = Plan.builder () in
+  let a = Plan.base pb schema4 in
+  let b = Plan.base pb s2 in
+  let sa =
+    Plan.add pb (Op.Select (Pred.Cmp (Pred.Lt, Pred.Attr 1, Pred.Int 700_000_000)))
+      [ a ]
+  in
+  let sb =
+    Plan.add pb (Op.Select (Pred.Cmp (Pred.Gt, Pred.Attr 1, Pred.Int 100_000_000)))
+      [ b ]
+  in
+  let _j = Plan.add pb (Op.Join { key_arity = 1 }) [ sa; sb ] in
+  let plan = Plan.build pb in
+  let st = Generator.make_state 13 in
+  let ra = mk_rel ~key_range:500 st ~count:700 schema4 in
+  let rb = mk_rel ~key_range:500 st ~count:600 s2 in
+  ignore (check_against_reference plan [| ra; rb |])
+
+let test_input_sharing () =
+  (* pattern (d): two selects on the same input, separate outputs *)
+  let pb = Plan.builder () in
+  let base = Plan.base pb schema4 in
+  let _s1 =
+    Plan.add pb (Op.Select (Pred.Cmp (Pred.Lt, Pred.Attr 1, Pred.Int 300_000_000)))
+      [ base ]
+  in
+  let _s2 =
+    Plan.add pb (Op.Select (Pred.Cmp (Pred.Ge, Pred.Attr 2, Pred.Int 600_000_000)))
+      [ base ]
+  in
+  let plan = Plan.build pb in
+  let rel = mk_rel gen ~count:1500 schema4 in
+  let cmp = check_against_reference plan [| rel |] in
+  Alcotest.(check int) "input sharing fuses" 1
+    (List.length cmp.Weaver.Driver.fused_program.Weaver.Runtime.groups)
+
+let test_arith () =
+  (* pattern (e): arithmetic chain on floats *)
+  let s = Schema.make [ ("price", Dtype.F32); ("disc", Dtype.F32); ("tax", Dtype.F32) ] in
+  let pb = Plan.builder () in
+  let base = Plan.base pb s in
+  let e1 =
+    Plan.add pb
+      (Op.Arith
+         [
+           ("p1", Pred.Bin (Pred.Mul, Pred.Attr 0,
+                            Pred.Bin (Pred.Sub, Pred.F32 1.0, Pred.Attr 1)));
+           ("tax", Pred.Attr 2);
+         ])
+      [ base ]
+  in
+  let _e2 =
+    Plan.add pb
+      (Op.Arith
+         [
+           ("p2", Pred.Bin (Pred.Mul, Pred.Attr 0,
+                            Pred.Bin (Pred.Add, Pred.F32 1.0, Pred.Attr 1)));
+         ])
+      [ e1 ]
+  in
+  let plan = Plan.build pb in
+  let st = Generator.make_state 17 in
+  let rel = Generator.random_relation st s ~count:1200 in
+  ignore (check_against_reference plan [| rel |])
+
+let test_set_ops () =
+  let s = Schema.make [ ("k", i32); ("v", i32) ] in
+  List.iter
+    (fun kind ->
+      let pb = Plan.builder () in
+      let a = Plan.base pb s in
+      let b = Plan.base pb s in
+      let _op = Plan.add pb kind [ a; b ] in
+      let plan = Plan.build pb in
+      let st = Generator.make_state 23 in
+      let ra = mk_rel ~key_range:300 st ~count:400 s in
+      let rb = mk_rel ~key_range:300 st ~count:350 s in
+      ignore (check_against_reference plan [| ra; rb |]))
+    [
+      Op.Union { key_arity = 1 };
+      Op.Intersect { key_arity = 1 };
+      Op.Difference { key_arity = 1 };
+    ]
+
+let test_semi_anti_join () =
+  let s = Schema.make [ ("k", i32); ("v", i32) ] in
+  List.iter
+    (fun kind ->
+      let pb = Plan.builder () in
+      let a = Plan.base pb schema4 in
+      let b = Plan.base pb s in
+      let _op = Plan.add pb kind [ a; b ] in
+      let plan = Plan.build pb in
+      let st = Generator.make_state 41 in
+      let ra = mk_rel ~key_range:200 st ~count:500 schema4 in
+      let rb = mk_rel ~key_range:200 st ~count:150 s in
+      ignore (check_against_reference plan [| ra; rb |]))
+    [ Op.Semijoin { key_arity = 1 }; Op.Antijoin { key_arity = 1 } ]
+
+let test_product () =
+  let s = Schema.make [ ("k", i32); ("v", i32) ] in
+  let pb = Plan.builder () in
+  let a = Plan.base pb s in
+  let b = Plan.base pb s in
+  let _p = Plan.add pb Op.Product [ a; b ] in
+  let plan = Plan.build pb in
+  let st = Generator.make_state 29 in
+  let ra = mk_rel st ~count:60 s in
+  let rb = mk_rel st ~count:40 s in
+  ignore (check_against_reference plan [| ra; rb |])
+
+let test_sort_unique () =
+  let pb = Plan.builder () in
+  let base = Plan.base pb schema4 in
+  let srt = Plan.add pb (Op.Sort { key_arity = 2 }) [ base ] in
+  let _u = Plan.add pb (Op.Unique { key_arity = 1 }) [ srt ] in
+  let plan = Plan.build pb in
+  let st = Generator.make_state 31 in
+  (* deliberately unsorted input *)
+  let rel = Generator.random_relation ~key_range:200 st schema4 ~count:700 in
+  ignore (check_against_reference plan [| rel |])
+
+let test_aggregate () =
+  let s =
+    Schema.make
+      [ ("g", i32); ("v", i32); ("f", Dtype.F32) ]
+  in
+  let pb = Plan.builder () in
+  let base = Plan.base pb s in
+  let _agg =
+    Plan.add pb
+      (Op.Aggregate
+         {
+           group_by = [ 0 ];
+           aggs =
+             [
+               { Op.fn = Op.Sum; expr = Pred.Attr 1; agg_name = "sum_v" };
+               { Op.fn = Op.Count; expr = Pred.Attr 1; agg_name = "n" };
+               { Op.fn = Op.Min; expr = Pred.Attr 1; agg_name = "min_v" };
+               { Op.fn = Op.Max; expr = Pred.Attr 1; agg_name = "max_v" };
+               { Op.fn = Op.Avg; expr = Pred.Attr 2; agg_name = "avg_f" };
+             ];
+         })
+      [ base ]
+  in
+  let plan = Plan.build pb in
+  let st = Generator.make_state 37 in
+  let rel = Generator.random_relation ~key_range:12 st s ~count:900 in
+  ignore (check_against_reference plan [| rel |])
+
+let test_streamed_mode () =
+  let pb = Plan.builder () in
+  let base = Plan.base pb schema4 in
+  let s1 =
+    Plan.add pb (Op.Select (Pred.Cmp (Pred.Lt, Pred.Attr 1, Pred.Int 500_000_000)))
+      [ base ]
+  in
+  let _s2 =
+    Plan.add pb (Op.Select (Pred.Cmp (Pred.Gt, Pred.Attr 2, Pred.Int 500_000_000)))
+      [ s1 ]
+  in
+  let plan = Plan.build pb in
+  let rel = mk_rel gen ~count:1500 schema4 in
+  let cmp = check_against_reference ~mode:Weaver.Runtime.Streamed plan [| rel |] in
+  (* unfused must move strictly more PCIe bytes: it round-trips the
+     intermediate *)
+  let fb = cmp.Weaver.Driver.fused.Weaver.Runtime.metrics.Weaver.Metrics.pcie_bytes in
+  let ub = cmp.Weaver.Driver.unfused.Weaver.Runtime.metrics.Weaver.Metrics.pcie_bytes in
+  Alcotest.(check bool)
+    (Printf.sprintf "fused %d < unfused %d PCIe bytes" fb ub)
+    true (fb < ub)
+
+let test_empty_and_tiny () =
+  (* empty and single-tuple relations must flow through every path *)
+  let pb = Plan.builder () in
+  let base = Plan.base pb schema4 in
+  let s1 =
+    Plan.add pb (Op.Select (Pred.Cmp (Pred.Lt, Pred.Attr 1, Pred.Int 0)))
+      [ base ]
+  in
+  let _j = Plan.add pb (Op.Join { key_arity = 1 }) [ s1; base ] in
+  let plan = Plan.build pb in
+  let rel = mk_rel gen ~count:1 schema4 in
+  ignore (check_against_reference plan [| rel |]);
+  let rel0 = Relation.empty schema4 in
+  ignore (check_against_reference plan [| rel0 |])
+
+let suite =
+  [
+    ("single select", `Quick, test_single_select);
+    ("select chain (pattern a)", `Quick, test_select_chain);
+    ("join", `Quick, test_join);
+    ("join chain (pattern b)", `Quick, test_join_chain);
+    ("select + join (pattern c)", `Quick, test_select_join);
+    ("input sharing (pattern d)", `Quick, test_input_sharing);
+    ("arith chain (pattern e)", `Quick, test_arith);
+    ("set operators", `Quick, test_set_ops);
+    ("product", `Quick, test_product);
+    ("semijoin / antijoin on device", `Quick, test_semi_anti_join);
+    ("sort + unique", `Quick, test_sort_unique);
+    ("aggregate", `Quick, test_aggregate);
+    ("streamed mode PCIe", `Quick, test_streamed_mode);
+    ("empty and tiny relations", `Quick, test_empty_and_tiny);
+  ]
