@@ -1,0 +1,21 @@
+# Convenience entry points; everything is plain dune underneath.
+
+.PHONY: all build test bench-smoke check clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# Quick end-to-end smoke: reduced-size paper experiments, the bechamel
+# micro-benchmarks and the jobs=1 vs jobs=N interpreter comparison.
+bench-smoke: build
+	dune exec bench/main.exe -- --jobs 2 --json _build/bench-quick.json quick
+
+check: build test bench-smoke
+
+clean:
+	dune clean

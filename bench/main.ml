@@ -1,20 +1,71 @@
 (* Benchmark harness: regenerates every table and figure of the paper's
-   evaluation (§5) on the simulated GPU, then times the simulator itself
-   with bechamel micro-benchmarks.
+   evaluation (§5) on the simulated GPU, times the simulator itself with
+   bechamel micro-benchmarks, and measures the domain-parallel
+   interpreter's wall-clock speedup over sequential execution.
 
    Usage:
-     bench/main.exe                 run everything (default sizes)
-     bench/main.exe quick           run everything at reduced sizes
-     bench/main.exe fig16 q1 ...    run selected experiments
-     bench/main.exe bechamel        only the wall-clock micro-benchmarks *)
+     bench/main.exe [OPTS]                run everything (default sizes)
+     bench/main.exe [OPTS] quick          run everything at reduced sizes
+     bench/main.exe [OPTS] fig16 q1 ...   run selected experiments
+     bench/main.exe [OPTS] bechamel       only the wall-clock micro-benchmarks
+     bench/main.exe [OPTS] parallel       only the jobs=1 vs jobs=N comparison
+
+   Options:
+     --json FILE    also write every result as JSON rows
+                    [{"experiment":..., "metric":..., "value":...}, ...]
+     --jobs N       worker domains for the simulated kernel launches
+                    (default 4 for the parallel comparison, 1 elsewhere;
+                    0 = one per recommended core) *)
 
 let known = [ "table2"; "fig4"; "fig16"; "fig17"; "fig18"; "fig19"; "fig20";
               "fig21"; "table3"; "q1"; "q21"; "ablation-input-sharing";
               "ablation-rewriting"; "ablation-cta-threads";
-              "ablation-tile-capacity" ]
+              "ablation-tile-capacity"; "ablation-q21-semijoin";
+              "ablation-platforms" ]
 
-let run_experiments ~quick names =
-  let all = Harness.Experiments.all ~quick () @ Harness.Ablations.all ~quick () in
+(* --- JSON rows ------------------------------------------------------------- *)
+
+let json_rows : (string * string * float) list ref = ref []
+
+let record ~experiment ~metric value =
+  json_rows := (experiment, metric, value) :: !json_rows
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let write_json path =
+  let oc = open_out path in
+  output_string oc "[\n";
+  let rows = List.rev !json_rows in
+  List.iteri
+    (fun i (experiment, metric, value) ->
+      Printf.fprintf oc
+        "  {\"experiment\": \"%s\", \"metric\": \"%s\", \"value\": %.17g}%s\n"
+        (json_escape experiment) (json_escape metric) value
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  output_string oc "]\n";
+  close_out oc;
+  Printf.printf "\nwrote %d JSON rows to %s\n" (List.length rows) path
+
+(* --- paper experiments ------------------------------------------------------ *)
+
+let run_experiments ~quick ~jobs names =
+  let all =
+    Harness.Experiments.all ~quick ~jobs ()
+    @ Harness.Ablations.all ~quick ~jobs ()
+  in
   let wanted =
     match names with
     | [] -> all
@@ -32,18 +83,24 @@ let run_experiments ~quick names =
   List.iter
     (fun (name, outcome) ->
       Printf.printf "[%s]\n" name;
-      Harness.Report.print (outcome ()))
+      let o = outcome () in
+      List.iter
+        (fun (metric, value) -> record ~experiment:name ~metric value)
+        o.Harness.Report.headline;
+      Harness.Report.print o)
     wanted
 
 (* --- bechamel micro-benchmarks: wall-clock cost of the simulator ---------- *)
 
-let bechamel_suite () =
+let bechamel_suite ~jobs () =
   let open Bechamel in
-  let pattern_test (w : Tpch.Patterns.workload) ~rows =
+  let pattern_test ?(config = Weaver.Config.default) ?label
+      (w : Tpch.Patterns.workload) ~rows =
     let bases = w.Tpch.Patterns.gen ~seed:1 ~rows in
-    let program = Weaver.Driver.compile w.Tpch.Patterns.plan in
+    let program = Weaver.Driver.compile ~config w.Tpch.Patterns.plan in
+    let label = Option.value label ~default:w.Tpch.Patterns.name in
     Test.make
-      ~name:(Printf.sprintf "%s/%d" w.Tpch.Patterns.name rows)
+      ~name:(Printf.sprintf "%s/%d" label rows)
       (Staged.stage (fun () ->
            ignore (Weaver.Driver.run program bases ~mode:Weaver.Runtime.Resident)))
   in
@@ -64,12 +121,18 @@ let bechamel_suite () =
              (Weaver.Optimizer.optimize Weaver.Optimizer.O3
                 ks.Weaver.Codegen.compute)))
   in
+  let seq = Weaver.Config.with_jobs Weaver.Config.default 1 in
+  let par = Weaver.Config.with_jobs Weaver.Config.default jobs in
   let tests =
     Test.make_grouped ~name:"kernel_weaver"
       [
         pattern_test (Tpch.Patterns.pattern_a ()) ~rows:20_000;
         pattern_test (Tpch.Patterns.pattern_b ()) ~rows:10_000;
         pattern_test (Tpch.Patterns.pattern_e ()) ~rows:20_000;
+        pattern_test (Tpch.Patterns.pattern_a ()) ~rows:100_000 ~config:seq
+          ~label:"pattern-a-jobs1";
+        pattern_test (Tpch.Patterns.pattern_a ()) ~rows:100_000 ~config:par
+          ~label:(Printf.sprintf "pattern-a-jobs%d" par.Weaver.Config.jobs);
         compile_test;
         optimize_test;
       ]
@@ -90,19 +153,84 @@ let bechamel_suite () =
   Hashtbl.iter
     (fun name ols ->
       match Analyze.OLS.estimates ols with
-      | Some [ t ] -> Printf.printf "%-40s %14.0f ns\n" name t
+      | Some [ t ] ->
+          record ~experiment:"bechamel" ~metric:(name ^ " (ns)") t;
+          Printf.printf "%-40s %14.0f ns\n" name t
       | _ -> Printf.printf "%-40s (no estimate)\n" name)
     results
 
+(* --- sequential vs domain-parallel interpretation -------------------------- *)
+
+(* Direct wall-clock comparison of the same launch sequence interpreted
+   with jobs=1 and jobs=N worker domains.  Uses a multi-CTA workload so
+   the per-launch grid is wide enough to distribute. *)
+let parallel_comparison ~jobs ~quick () =
+  let jobs = (Weaver.Config.with_jobs Weaver.Config.default jobs).Weaver.Config.jobs in
+  let jobs = if jobs <= 1 then 4 else jobs in
+  let rows = if quick then 100_000 else 400_000 in
+  let w = Tpch.Patterns.pattern_a () in
+  let bases = w.Tpch.Patterns.gen ~seed:7 ~rows in
+  let time_with ~jobs =
+    let config = Weaver.Config.with_jobs Weaver.Config.default jobs in
+    let program = Weaver.Driver.compile ~config w.Tpch.Patterns.plan in
+    (* warm up (first run pays domain spawning and any lazy init) *)
+    ignore (Weaver.Driver.run program bases ~mode:Weaver.Runtime.Resident);
+    let best = ref infinity in
+    for _ = 1 to 3 do
+      let t0 = Unix.gettimeofday () in
+      ignore (Weaver.Driver.run program bases ~mode:Weaver.Runtime.Resident);
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt < !best then best := dt
+    done;
+    !best
+  in
+  let seq = time_with ~jobs:1 in
+  let par = time_with ~jobs in
+  let speedup = seq /. par in
+  let cores = Domain.recommended_domain_count () in
+  Printf.printf
+    "\n== parallel interpreter: %s/%d rows, jobs=1 vs jobs=%d (%d core%s) ==\n"
+    w.Tpch.Patterns.name rows jobs cores
+    (if cores = 1 then "" else "s");
+  Printf.printf "jobs=1   %8.3f s\njobs=%-3d %8.3f s\nspeedup  %7.2fx\n" seq
+    jobs par speedup;
+  if cores < 2 then
+    Printf.printf
+      "(single-core host: domains time-slice, so no speedup is possible; \
+       run on a multi-core machine to see the parallel win)\n";
+  record ~experiment:"parallel-speedup" ~metric:"seq_s" seq;
+  record ~experiment:"parallel-speedup" ~metric:"par_s" par;
+  record ~experiment:"parallel-speedup" ~metric:"jobs" (float_of_int jobs);
+  record ~experiment:"parallel-speedup" ~metric:"cores" (float_of_int cores);
+  record ~experiment:"parallel-speedup" ~metric:"speedup" speedup
+
+(* --- entry point ------------------------------------------------------------ *)
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  match args with
-  | [ "bechamel" ] -> bechamel_suite ()
-  | [ "quick" ] ->
-      run_experiments ~quick:true [];
-      bechamel_suite ()
+  let json_file = ref None in
+  let jobs = ref 1 in
+  let rec parse_opts acc = function
+    | "--json" :: file :: rest ->
+        json_file := Some file;
+        parse_opts acc rest
+    | "--jobs" :: n :: rest ->
+        (match int_of_string_opt n with
+        | Some n -> jobs := n
+        | None -> Printf.eprintf "--jobs: not an integer: %s\n" n);
+        parse_opts acc rest
+    | arg :: rest -> parse_opts (arg :: acc) rest
+    | [] -> List.rev acc
+  in
+  let words = parse_opts [] args in
+  let quick = List.mem "quick" words in
+  let words = List.filter (fun w -> w <> "quick") words in
+  (match words with
+  | [ "bechamel" ] -> bechamel_suite ~jobs:!jobs ()
+  | [ "parallel" ] -> parallel_comparison ~jobs:!jobs ~quick ()
   | [] ->
-      run_experiments ~quick:false [];
-      bechamel_suite ()
-  | names ->
-      run_experiments ~quick:false (List.filter (fun n -> n <> "quick") names)
+      run_experiments ~quick ~jobs:!jobs [];
+      parallel_comparison ~jobs:!jobs ~quick ();
+      bechamel_suite ~jobs:!jobs ()
+  | names -> run_experiments ~quick ~jobs:!jobs names);
+  Option.iter write_json !json_file

@@ -109,6 +109,14 @@ let streamed_arg =
   Arg.(value & flag & info [ "streamed" ]
          ~doc:"Stream every operator's data over PCIe (large-input mode)")
 
+let jobs_arg =
+  Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N"
+         ~doc:"Worker domains interpreting CTAs per kernel launch (1 = \
+               sequential, 0 = one per recommended core). Results are \
+               identical for any value; wall-clock is not.")
+
+let config_of_jobs jobs = Weaver.Config.with_jobs Weaver.Config.default jobs
+
 let compile_query path = Datalog.compile (read_file path)
 
 let bind_data q ~rows ~seed inputs =
@@ -160,12 +168,13 @@ let source_cmd =
 (* --- exec ------------------------------------------------------------------ *)
 
 let exec_cmd =
-  let run path rows inputs seed no_fuse o0 streamed =
+  let run path rows inputs seed no_fuse o0 streamed jobs =
     let q = compile_query path in
     let named = bind_data q ~rows ~seed inputs in
     let bases = Datalog.bind q named in
     let program =
-      Weaver.Driver.compile ~fuse:(not no_fuse)
+      Weaver.Driver.compile ~config:(config_of_jobs jobs)
+        ~fuse:(not no_fuse)
         ~opt:(if o0 then Weaver.Optimizer.O0 else Weaver.Optimizer.O3)
         q.Datalog.plan
     in
@@ -188,17 +197,18 @@ let exec_cmd =
     Term.(
       ret
         (const run $ query_arg $ rows_arg $ inputs_arg $ seed_arg $ fuse_arg
-       $ opt_arg $ streamed_arg))
+       $ opt_arg $ streamed_arg $ jobs_arg))
 
 (* --- profile ---------------------------------------------------------------- *)
 
 let profile_cmd =
-  let run path rows inputs seed no_fuse o0 =
+  let run path rows inputs seed no_fuse o0 jobs =
     let q = compile_query path in
     let named = bind_data q ~rows ~seed inputs in
     let bases = Datalog.bind q named in
     let program =
-      Weaver.Driver.compile ~fuse:(not no_fuse)
+      Weaver.Driver.compile ~config:(config_of_jobs jobs)
+        ~fuse:(not no_fuse)
         ~opt:(if o0 then Weaver.Optimizer.O0 else Weaver.Optimizer.O3)
         q.Datalog.plan
     in
@@ -228,7 +238,7 @@ total: %.3e cycles over %d launches (%d retries)
     Term.(
       ret
         (const run $ query_arg $ rows_arg $ inputs_arg $ seed_arg $ fuse_arg
-       $ opt_arg))
+       $ opt_arg $ jobs_arg))
 
 (* --- bench ------------------------------------------------------------------ *)
 
@@ -240,8 +250,12 @@ let bench_cmd =
   let quick_arg =
     Arg.(value & flag & info [ "quick" ] ~doc:"Reduced problem sizes")
   in
-  let run names quick =
-    let all = Harness.Experiments.all ~quick () @ Harness.Ablations.all ~quick () in
+  let run names quick jobs =
+    let jobs = (config_of_jobs jobs).Weaver.Config.jobs in
+    let all =
+      Harness.Experiments.all ~quick ~jobs ()
+      @ Harness.Ablations.all ~quick ~jobs ()
+    in
     let wanted =
       match names with
       | [] -> all
@@ -264,7 +278,7 @@ let bench_cmd =
   in
   Cmd.v
     (Cmd.info "bench" ~doc:"Regenerate the paper's tables and figures")
-    Term.(ret (const run $ names_arg $ quick_arg))
+    Term.(ret (const run $ names_arg $ quick_arg $ jobs_arg))
 
 let () =
   let doc = "Kernel Weaver: fused relational-algebra kernels on a simulated GPU" in

@@ -1,0 +1,20 @@
+(** A persistent pool of worker domains for parallel CTA execution.
+
+    Worker domains are spawned lazily on the first parallel {!run} and kept
+    parked between runs, so the per-launch cost of parallelism is a queue
+    push and a condition broadcast, not a domain spawn. The pool grows to
+    the largest [jobs] ever requested (capped at 64 workers). *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()], overridable with the
+    [WEAVER_JOBS] environment variable. Always at least 1. *)
+
+val run : jobs:int -> (int -> unit) -> unit
+(** [run ~jobs f] executes [f 0 .. f (jobs - 1)] concurrently — [f 0] on
+    the calling domain, the rest on pool workers — and returns when all
+    have finished. If any worker raised, the exception of the
+    lowest-indexed failing worker is re-raised (a deterministic choice).
+    [jobs <= 1] degenerates to a plain call of [f 0].
+
+    Intended for one submitter at a time (the interpreter); [f] must not
+    itself call [run] on the same pool. *)

@@ -17,6 +17,7 @@ type launch_report = {
 val launch :
   ?timing:Timing.params ->
   ?max_instructions:int ->
+  ?jobs:int ->
   Device.t ->
   Memory.t ->
   Kir.kernel ->
@@ -24,7 +25,9 @@ val launch :
   grid:int ->
   cta:int ->
   launch_report
-(** Execute one kernel launch. Raises [Interp.Runtime_error] on runtime
+(** Execute one kernel launch. [jobs] (default 1) is the number of worker
+    domains interpreting CTAs (see {!Interp.run}); results and stats are
+    identical for any value. Raises [Interp.Runtime_error] on runtime
     faults and [Invalid_argument] when the launch violates hard device
     limits (see {!Device.validate_launch}). *)
 

@@ -59,44 +59,82 @@ let exec_atomop op old v =
   | Atom_max -> max old v
   | Atom_exch -> v
 
+(* Lock stripes serializing concurrent global atomics. CTAs only contend on
+   the same word, and only through Atom, so a small striped set keeps the
+   read-modify-write sequences of different words mostly independent. *)
+let n_stripes = 64
+let atom_stripes = Array.init n_stripes (fun _ -> Mutex.create ())
+let stripe_of ~buf ~idx = ((buf * 131) + idx) land (n_stripes - 1)
+
 (* thread status *)
 let st_running = 0
 let st_at_bar = 1
 let st_done = 2
 
-let run ?(max_instructions = 2_000_000_000) ?profile mem (k : Kir.kernel)
-    ~params ~grid ~cta =
-  if Array.length params <> k.params then
-    fail "kernel %s expects %d params, got %d" k.kname k.params
-      (Array.length params);
-  if grid <= 0 || cta <= 0 then fail "empty launch of %s" k.kname;
-  let stats = Stats.create () in
-  let body = k.body in
-  let n_instr = Array.length body in
-  let labels = k.labels in
-  let budget = ref max_instructions in
-  (* small direct-mapped cache of buffer handle -> backing array *)
-  let cached_id = ref (-1) in
-  let cached_arr = ref [||] in
-  let buffer_data id =
-    if id = !cached_id then !cached_arr
-    else
+(* Two-entry MRU cache of buffer handle -> backing array, one per worker so
+   parallel workers never share it and ping-ponging between two handles
+   (e.g. a load loop alternating input and staging buffers) stays hits. *)
+let make_buffer_cache mem (k : Kir.kernel) =
+  let id0 = ref (-1) and arr0 = ref [||] in
+  let id1 = ref (-1) and arr1 = ref [||] in
+  fun id ->
+    if id = !id0 then !arr0
+    else if id = !id1 then begin
+      let a = !arr1 in
+      id1 := !id0;
+      arr1 := !arr0;
+      id0 := id;
+      arr0 := a;
+      a
+    end
+    else begin
       let arr =
         try Memory.data mem id
         with Not_found | Invalid_argument _ ->
           fail "kernel %s: invalid global buffer handle %d" k.kname id
       in
-      cached_id := id;
-      cached_arr := arr;
+      id1 := !id0;
+      arr1 := !arr0;
+      id0 := id;
+      arr0 := arr;
       arr
+    end
+
+let run ?(max_instructions = 2_000_000_000) ?profile ?(jobs = 1) mem
+    (k : Kir.kernel) ~params ~grid ~cta =
+  if Array.length params <> k.params then
+    fail "kernel %s expects %d params, got %d" k.kname k.params
+      (Array.length params);
+  if grid <= 0 || cta <= 0 then fail "empty launch of %s" k.kname;
+  let body = k.body in
+  let n_instr = Array.length body in
+  let labels = k.labels in
+  (* Each CTA gets an even slice of the instruction budget so infinite-loop
+     detection fires regardless of how CTAs are scheduled over workers. *)
+  let budget_slice = max 1 ((max_instructions + grid - 1) / grid) in
+  (* Per-worker scratch: one CTA's register file, shared memory and thread
+     bookkeeping, reused (and re-zeroed) across the CTAs a worker executes
+     so the interpreter does not churn the GC with per-CTA allocation. *)
+  let make_ctx () =
+    ( Array.make (max k.shared_words 1) 0,
+      Array.init cta (fun _ -> Array.make (max k.reg_count 1) 0),
+      Array.make cta 0,
+      Array.make cta st_running )
   in
-  for ctaid = 0 to grid - 1 do
-    let shared = Array.make (max k.shared_words 1) 0 in
-    let regs = Array.init cta (fun _ -> Array.make (max k.reg_count 1) 0) in
-    let pcs = Array.make cta 0 in
-    let status = Array.make cta st_running in
+  (* Execute one CTA to completion, charging events to [stats] and
+     [profile_counts] (both private to the calling worker). [locked]
+     selects the mutex-striped path for global atomics; CTA-private state
+     (registers, shared memory) never needs it. *)
+  let exec_cta ~(stats : Stats.t) ~profile_counts ~buffer_data ~ctx ~locked
+      ctaid =
+    let budget = ref budget_slice in
+    let shared, regs, pcs, status = ctx in
+    Array.fill shared 0 (Array.length shared) 0;
+    Array.fill pcs 0 cta 0;
+    Array.fill status 0 cta st_running;
     for tid = 0 to cta - 1 do
       let r = regs.(tid) in
+      Array.fill r 0 (Array.length r) 0;
       r.(Kir.reg_tid) <- tid;
       r.(Kir.reg_ctaid) <- ctaid;
       r.(Kir.reg_ntid) <- cta;
@@ -118,7 +156,7 @@ let run ?(max_instructions = 2_000_000_000) ?profile mem (k : Kir.kernel)
           fail "kernel %s: instruction budget exhausted (possible infinite loop)"
             k.kname;
         stats.Stats.instructions <- stats.Stats.instructions + 1;
-        (match profile with
+        (match profile_counts with
         | Some c -> c.(!pc) <- c.(!pc) + 1
         | None -> ());
         let ins = Array.unsafe_get body !pc in
@@ -186,13 +224,27 @@ let run ?(max_instructions = 2_000_000_000) ?profile mem (k : Kir.kernel)
             r.(dst) <- old;
             stats.Stats.atomics <- stats.Stats.atomics + 1
         | Atom { op; space = Global; dst; base; idx; src } ->
-            let arr = buffer_data (value base) in
+            let b = value base in
+            let arr = buffer_data b in
             let i = value idx in
             if i < 0 || i >= Array.length arr then
               fail "kernel %s: global atomic out of bounds (buffer %d, idx %d)"
-                k.kname (value base) i;
-            let old = arr.(i) in
-            arr.(i) <- exec_atomop op old (value src);
+                k.kname b i;
+            let old =
+              if locked then begin
+                let m = atom_stripes.(stripe_of ~buf:b ~idx:i) in
+                Mutex.lock m;
+                let old = arr.(i) in
+                arr.(i) <- exec_atomop op old (value src);
+                Mutex.unlock m;
+                old
+              end
+              else begin
+                let old = arr.(i) in
+                arr.(i) <- exec_atomop op old (value src);
+                old
+              end
+            in
             r.(dst) <- old;
             stats.Stats.atomics <- stats.Stats.atomics + 1
         | Br l ->
@@ -225,5 +277,84 @@ let run ?(max_instructions = 2_000_000_000) ?profile mem (k : Kir.kernel)
         if status.(tid) = st_at_bar then status.(tid) <- st_running
       done
     done
-  done;
-  stats
+  in
+  let jobs = max 1 (min jobs grid) in
+  if jobs = 1 then begin
+    let stats = Stats.create () in
+    let buffer_data = make_buffer_cache mem k in
+    let ctx = make_ctx () in
+    for ctaid = 0 to grid - 1 do
+      exec_cta ~stats ~profile_counts:profile ~buffer_data ~ctx ~locked:false
+        ctaid
+    done;
+    stats
+  end
+  else begin
+    (* Workers allocate their Stats/profile accumulators on their own
+       domain, publishing them here only on completion: accumulators
+       created by the main domain would sit on adjacent cache lines and
+       every interpreted instruction would false-share them. *)
+    let worker_stats = Array.make jobs None in
+    let worker_profiles = Array.make jobs [||] in
+    (* chunked self-scheduling over the CTA index space *)
+    let next = Atomic.make 0 in
+    let chunk = max 1 (grid / (jobs * 8)) in
+    (* A CTA that faults stops the launch; record the fault of the lowest
+       ctaid so the surfaced error (and any capacity-retry decision made on
+       its message) is identical to the sequential schedule's. *)
+    let first_error = Atomic.make None in
+    let record_error ctaid e =
+      let rec cas () =
+        let cur = Atomic.get first_error in
+        let keep =
+          match cur with None -> true | Some (c, _) -> ctaid < c
+        in
+        if keep && not (Atomic.compare_and_set first_error cur (Some (ctaid, e)))
+        then cas ()
+      in
+      cas ()
+    in
+    Domain_pool.run ~jobs (fun w ->
+        let stats = Stats.create () in
+        let profile_counts =
+          if profile = None then None else Some (Array.make (max 1 n_instr) 0)
+        in
+        let buffer_data = make_buffer_cache mem k in
+        let ctx = make_ctx () in
+        let rec loop () =
+          if Atomic.get first_error = None then begin
+            let start = Atomic.fetch_and_add next chunk in
+            if start < grid then begin
+              let stop = min grid (start + chunk) in
+              (try
+                 for ctaid = start to stop - 1 do
+                   exec_cta ~stats ~profile_counts ~buffer_data ~ctx
+                     ~locked:true ctaid
+                 done
+               with e -> record_error start e);
+              loop ()
+            end
+          end
+        in
+        loop ();
+        worker_stats.(w) <- Some stats;
+        match profile_counts with
+        | Some c -> worker_profiles.(w) <- c
+        | None -> ());
+    (* deterministic merges: worker-index order, and every counter is a sum
+       of per-CTA contributions, so totals are independent of which worker
+       executed which CTA *)
+    let stats = Stats.create () in
+    Array.iter
+      (function Some s -> Stats.add stats s | None -> ())
+      worker_stats;
+    (match profile with
+    | Some c ->
+        Array.iter
+          (fun wp -> Array.iteri (fun i v -> c.(i) <- c.(i) + v) wp)
+          worker_profiles
+    | None -> ());
+    match Atomic.get first_error with
+    | Some (_, e) -> raise e
+    | None -> stats
+  end

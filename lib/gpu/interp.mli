@@ -5,11 +5,19 @@
     arrived, execution resumes past the barrier. This is faithful to
     [__syncthreads] for the well-structured kernels the code generator
     emits. CTAs execute independently (their relative order is
-    unobservable for correct CUDA programs; we run them in index order).
+    unobservable for correct CUDA programs; sequentially we run them in
+    index order, and with [jobs > 1] they are spread over a persistent
+    {!Domain_pool} in chunked self-scheduled fashion).
 
     Every executed instruction bumps the {!Stats} counters. Determinism:
     given the same memory contents and parameters the interpreter is fully
-    deterministic, including atomics. *)
+    deterministic, and the parallel schedule returns bit-identical results
+    and stats to the sequential one — CTAs touch disjoint global regions
+    except through atomics (which are commutative for the operations the
+    code generator uses), and per-worker counters are summed, which is
+    order-independent. Global atomics take a mutex-striped path under
+    [jobs > 1]; registers and shared memory are CTA-private and stay
+    lock-free. See DESIGN.md "Parallel simulation". *)
 
 exception Runtime_error of string
 (** Raised on traps, out-of-bounds accesses, division by zero, invalid
@@ -18,6 +26,7 @@ exception Runtime_error of string
 val run :
   ?max_instructions:int ->
   ?profile:int array ->
+  ?jobs:int ->
   Memory.t ->
   Kir.kernel ->
   params:int array ->
@@ -27,6 +36,11 @@ val run :
 (** [run mem k ~params ~grid ~cta] executes kernel [k] with [grid] CTAs of
     [cta] threads and returns the dynamic event counts. [params] length
     must equal [k.params]. [max_instructions] (default [2_000_000_000])
-    bounds total executed instructions to catch runaway loops.
-    [profile], when given (length >= body length), receives one increment
-    per instruction execution (see {!Profiler}). *)
+    bounds executed instructions to catch runaway loops; each CTA gets an
+    even slice ([max_instructions / grid], rounded up) so detection fires
+    under any CTA schedule. [profile], when given (length >= body length),
+    receives one increment per instruction execution (see {!Profiler}).
+    [jobs] (default 1) is the number of worker domains executing CTAs;
+    it is clamped to [grid]. When a parallel run faults, the error of the
+    lowest faulting CTA index is surfaced — the same error a sequential
+    run would raise. *)

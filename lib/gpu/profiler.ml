@@ -1,9 +1,10 @@
 type t = { kernel : Kir.kernel; counts : int array; stats : Stats.t }
 
-let run ?max_instructions mem kernel ~params ~grid ~cta =
+let run ?max_instructions ?jobs mem kernel ~params ~grid ~cta =
   let counts = Array.make (max 1 (Kir.instr_count kernel)) 0 in
   let stats =
-    Interp.run ?max_instructions ~profile:counts mem kernel ~params ~grid ~cta
+    Interp.run ?max_instructions ?jobs ~profile:counts mem kernel ~params ~grid
+      ~cta
   in
   { kernel; counts; stats }
 

@@ -13,6 +13,7 @@ type t = {
 
 val run :
   ?max_instructions:int ->
+  ?jobs:int ->
   Memory.t ->
   Kir.kernel ->
   params:int array ->
@@ -21,7 +22,8 @@ val run :
   t
 (** Like {!Interp.run} but also counts how often each instruction
     executed (the interpreter is re-run under a counting shim; identical
-    semantics, deterministic). *)
+    semantics, deterministic — parallel runs keep per-worker count arrays
+    and sum them afterwards). *)
 
 val hot_spots : ?top:int -> t -> (int * int * Kir.instr) list
 (** The [top] (default 10) most-executed instructions as

@@ -66,6 +66,21 @@ let copy t =
   add c t;
   c
 
+let equal a b =
+  a.instructions = b.instructions
+  && a.alu_ops = b.alu_ops
+  && a.branches = b.branches
+  && a.global_loads = b.global_loads
+  && a.global_load_bytes = b.global_load_bytes
+  && a.global_stores = b.global_stores
+  && a.global_store_bytes = b.global_store_bytes
+  && a.shared_loads = b.shared_loads
+  && a.shared_load_bytes = b.shared_load_bytes
+  && a.shared_stores = b.shared_stores
+  && a.shared_store_bytes = b.shared_store_bytes
+  && a.atomics = b.atomics
+  && a.barrier_waits = b.barrier_waits
+
 let global_bytes t = t.global_load_bytes + t.global_store_bytes
 let shared_bytes t = t.shared_load_bytes + t.shared_store_bytes
 

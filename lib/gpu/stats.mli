@@ -32,6 +32,10 @@ val add : t -> t -> unit
 
 val copy : t -> t
 
+val equal : t -> t -> bool
+(** Field-wise equality — what the parallel-vs-sequential differential
+    tests assert on merged counters. *)
+
 val global_bytes : t -> int
 (** Total bytes moved to/from global memory. *)
 

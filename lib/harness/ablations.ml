@@ -3,20 +3,24 @@ open Qplan
 let cycles (r : Weaver.Runtime.result) =
   r.Weaver.Runtime.metrics.Weaver.Metrics.kernel_cycles
 
+(* like Experiments, every ablation takes a ?jobs worker-domain count for
+   the interpreter; results are job-count independent *)
+let base_config ~jobs = Weaver.Config.with_jobs Weaver.Config.default jobs
+
 let run ?config ?(fuse = true) plan bases =
   let program = Weaver.Driver.compile ?config ~fuse plan in
   Weaver.Driver.run program bases ~mode:Weaver.Runtime.Resident
 
-let input_sharing ?(rows = 150_000) () =
+let input_sharing ?(rows = 150_000) ?(jobs = 1) () =
   let w = Tpch.Patterns.pattern_d () in
   let bases = w.Tpch.Patterns.gen ~seed:31 ~rows in
   let with_sharing =
-    run ~config:{ Weaver.Config.default with Weaver.Config.input_sharing = true }
+    run ~config:{ (base_config ~jobs) with Weaver.Config.input_sharing = true }
       w.Tpch.Patterns.plan bases
   in
   let without =
     run
-      ~config:{ Weaver.Config.default with Weaver.Config.input_sharing = false }
+      ~config:{ (base_config ~jobs) with Weaver.Config.input_sharing = false }
       w.Tpch.Patterns.plan bases
   in
   let gb (r : Weaver.Runtime.result) =
@@ -42,7 +46,7 @@ let input_sharing ?(rows = 150_000) () =
     headline = [ ("input sharing speedup", speedup) ];
   }
 
-let plan_rewriting ?(rows = 150_000) () =
+let plan_rewriting ?(rows = 150_000) ?(jobs = 1) () =
   (* SELECT above a SORT above a SELECT: rewriting drops the top select
      below the sort, shrinking the sort and widening fusion *)
   let s3 =
@@ -69,8 +73,8 @@ let plan_rewriting ?(rows = 150_000) () =
     [| Relation_lib.Generator.random_relation ~key_range:(2 * rows)
          ~sorted_key_arity:1 st s3 ~count:rows |]
   in
-  let raw = run plan bases in
-  let rewritten = run (Rewrite.optimize plan) bases in
+  let raw = run ~config:(base_config ~jobs) plan bases in
+  let rewritten = run ~config:(base_config ~jobs) (Rewrite.optimize plan) bases in
   let speedup = cycles raw /. cycles rewritten in
   {
     Report.table =
@@ -119,31 +123,31 @@ let sweep_config ~title ~note ~mk_config ~values ~show ?(rows = 150_000)
       List.map (fun (v, c) -> (Printf.sprintf "cycles@%s" (show v), c)) results;
   }
 
-let cta_threads ?(rows = 150_000) () =
+let cta_threads ?(rows = 150_000) ?(jobs = 1) () =
   sweep_config ~rows
     ~title:"Ablation — threads per CTA (pattern a)"
     ~note:"the paper picks one kernel configuration that works well overall \
            (§4.1); this sweep shows the plateau"
-    ~mk_config:(fun t -> { Weaver.Config.default with Weaver.Config.cta_threads = t })
+    ~mk_config:(fun t -> { (base_config ~jobs) with Weaver.Config.cta_threads = t })
     ~values:[ 32; 64; 128; 256 ]
     ~show:string_of_int (Tpch.Patterns.pattern_a ())
 
-let tile_capacity ?(rows = 150_000) () =
+let tile_capacity ?(rows = 150_000) ?(jobs = 1) () =
   sweep_config ~rows
     ~title:"Ablation — partition slice capacity (pattern c)"
     ~note:"small slices waste launches and fixed overheads; large slices \
            blow shared memory and occupancy — the layout search picks \
            automatically (this sweep forces the seed)"
     ~mk_config:(fun c ->
-      { Weaver.Config.default with Weaver.Config.cap = c; min_cap = c })
+      { (base_config ~jobs) with Weaver.Config.cap = c; min_cap = c })
     ~values:[ 64; 128; 256; 512 ]
     ~show:string_of_int (Tpch.Patterns.pattern_c ())
 
-let semijoin_q21 ?(lineitems = 10_000) () =
+let semijoin_q21 ?(lineitems = 10_000) ?(jobs = 1) () =
   let db = Tpch.Datagen.generate ~seed:21 ~lineitems in
   (* provision the fan-out join's expansion as the q21 experiment does *)
   let config =
-    { Weaver.Config.default with Weaver.Config.join_expansion = 4 }
+    { (base_config ~jobs) with Weaver.Config.join_expansion = 4 }
   in
   let run_q (q : Tpch.Queries.query) =
     let bases = q.Tpch.Queries.bind db in
@@ -184,7 +188,7 @@ let semijoin_q21 ?(lineitems = 10_000) () =
       ];
   }
 
-let different_platform ?(rows = 100_000) () =
+let different_platform ?(rows = 100_000) ?(jobs = 1) () =
   (* §6 "Different Platform": the fusion benefit is not Fermi-specific —
      smaller data footprints and larger optimization scope also pay on a
      newer GPU and even on a CPU-style target (minus the PCIe benefits) *)
@@ -192,7 +196,7 @@ let different_platform ?(rows = 100_000) () =
   let bases = w.Tpch.Patterns.gen ~seed:63 ~rows in
   let speedup_on device cta_threads =
     let config =
-      { Weaver.Config.default with Weaver.Config.device; cta_threads }
+      { (base_config ~jobs) with Weaver.Config.device; cta_threads }
     in
     let c (fuse : bool) =
       let p = Weaver.Driver.compile ~config ~fuse w.Tpch.Patterns.plan in
@@ -226,14 +230,15 @@ let different_platform ?(rows = 100_000) () =
       [ ("fermi", fermi); ("kepler", kepler); ("cpu", cpu) ];
   }
 
-let all ?(quick = false) () =
+let all ?(quick = false) ?(jobs = 1) () =
   let rows = if quick then 30_000 else 150_000 in
   [
-    ("ablation-input-sharing", fun () -> input_sharing ~rows ());
-    ("ablation-rewriting", fun () -> plan_rewriting ~rows ());
-    ("ablation-cta-threads", fun () -> cta_threads ~rows ());
-    ("ablation-tile-capacity", fun () -> tile_capacity ~rows ());
+    ("ablation-input-sharing", fun () -> input_sharing ~rows ~jobs ());
+    ("ablation-rewriting", fun () -> plan_rewriting ~rows ~jobs ());
+    ("ablation-cta-threads", fun () -> cta_threads ~rows ~jobs ());
+    ("ablation-tile-capacity", fun () -> tile_capacity ~rows ~jobs ());
     ( "ablation-q21-semijoin",
-      fun () -> semijoin_q21 ~lineitems:(if quick then 5_000 else 10_000) () );
-    ("ablation-platforms", fun () -> different_platform ~rows ());
+      fun () ->
+        semijoin_q21 ~lineitems:(if quick then 5_000 else 10_000) ~jobs () );
+    ("ablation-platforms", fun () -> different_platform ~rows ~jobs ());
   ]

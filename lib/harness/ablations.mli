@@ -12,11 +12,11 @@
       exposing the occupancy / per-CTA-overhead trade-off the layout
       search navigates. *)
 
-val input_sharing : ?rows:int -> unit -> Report.outcome
-val semijoin_q21 : ?lineitems:int -> unit -> Report.outcome
-val different_platform : ?rows:int -> unit -> Report.outcome
-val plan_rewriting : ?rows:int -> unit -> Report.outcome
-val cta_threads : ?rows:int -> unit -> Report.outcome
-val tile_capacity : ?rows:int -> unit -> Report.outcome
+val input_sharing : ?rows:int -> ?jobs:int -> unit -> Report.outcome
+val semijoin_q21 : ?lineitems:int -> ?jobs:int -> unit -> Report.outcome
+val different_platform : ?rows:int -> ?jobs:int -> unit -> Report.outcome
+val plan_rewriting : ?rows:int -> ?jobs:int -> unit -> Report.outcome
+val cta_threads : ?rows:int -> ?jobs:int -> unit -> Report.outcome
+val tile_capacity : ?rows:int -> ?jobs:int -> unit -> Report.outcome
 
-val all : ?quick:bool -> unit -> (string * (unit -> Report.outcome)) list
+val all : ?quick:bool -> ?jobs:int -> unit -> (string * (unit -> Report.outcome)) list

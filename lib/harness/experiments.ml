@@ -6,9 +6,19 @@ let avg = function
   | [] -> 0.0
   | l -> List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l)
 
-let run_workload ?config ?opt (w : Tpch.Patterns.workload) ~rows ~mode ~seed =
+(* Every experiment takes ?jobs (default 1, i.e. sequential simulation):
+   the worker-domain count for CTA interpretation. Results are identical
+   for any value (asserted by the differential tests); only the harness's
+   wall-clock changes. *)
+let base_config ~jobs = Weaver.Config.with_jobs Weaver.Config.default jobs
+
+let run_workload ?config ?(jobs = 1) ?opt (w : Tpch.Patterns.workload) ~rows
+    ~mode ~seed =
+  let config =
+    match config with Some c -> c | None -> base_config ~jobs
+  in
   let bases = w.Tpch.Patterns.gen ~seed ~rows in
-  Weaver.Driver.compare_fusion ?config ?opt w.Tpch.Patterns.plan bases ~mode
+  Weaver.Driver.compare_fusion ~config ?opt w.Tpch.Patterns.plan bases ~mode
 
 let kernel_speedup (cmp : Weaver.Driver.comparison) =
   cmp.Weaver.Driver.unfused.Weaver.Runtime.metrics.Weaver.Metrics.kernel_cycles
@@ -18,12 +28,14 @@ let metrics_of (r : Weaver.Runtime.result) = r.Weaver.Runtime.metrics
 
 (* --- Fig. 4 -------------------------------------------------------------- *)
 
-let fig4 ?(sizes = [ 65_536; 131_072; 262_144; 524_288 ]) () =
+let fig4 ?(sizes = [ 65_536; 131_072; 262_144; 524_288 ]) ?(jobs = 1) () =
   let run selects =
     let w = Tpch.Patterns.back_to_back_selects ~selects ~ratio:0.5 in
     List.map
       (fun rows ->
-        let cmp = run_workload w ~rows ~mode:Weaver.Runtime.Resident ~seed:4 in
+        let cmp =
+          run_workload ~jobs w ~rows ~mode:Weaver.Runtime.Resident ~seed:4
+        in
         (rows, kernel_speedup cmp))
       sizes
   in
@@ -75,16 +87,18 @@ let table2 () =
 
 (* --- Figs. 16/17/18: small inputs, patterns (a)-(e) ----------------------- *)
 
-let pattern_runs ?config ?opt ~rows ~mode () =
+let pattern_runs ?config ?jobs ?opt ~rows ~mode () =
   List.map
-    (fun w -> (w, run_workload ?config ?opt w ~rows ~mode ~seed:16))
+    (fun w -> (w, run_workload ?config ?jobs ?opt w ~rows ~mode ~seed:16))
     (Tpch.Patterns.all ())
 
-let fig16 ?(rows = 200_000) () =
+let fig16 ?(rows = 200_000) ?(jobs = 1) () =
   (* the paper averages each pattern over a sweep of problem sizes *)
   let sizes = [ rows / 2; rows ] in
   let per_size =
-    List.map (fun r -> pattern_runs ~rows:r ~mode:Weaver.Runtime.Resident ()) sizes
+    List.map
+      (fun r -> pattern_runs ~jobs ~rows:r ~mode:Weaver.Runtime.Resident ())
+      sizes
   in
   let runs = List.hd per_size in
   let speedups =
@@ -115,8 +129,8 @@ let fig16 ?(rows = 200_000) () =
            runs speedups;
   }
 
-let fig17 ?(rows = 200_000) () =
-  let runs = pattern_runs ~rows ~mode:Weaver.Runtime.Resident () in
+let fig17 ?(rows = 200_000) ?(jobs = 1) () =
+  let runs = pattern_runs ~jobs ~rows ~mode:Weaver.Runtime.Resident () in
   let rows_t, reductions =
     List.split
       (List.map
@@ -149,8 +163,8 @@ let fig17 ?(rows = 200_000) () =
     headline = [ ("avg change", avg reductions) ];
   }
 
-let fig18 ?(rows = 200_000) () =
-  let runs = pattern_runs ~rows ~mode:Weaver.Runtime.Resident () in
+let fig18 ?(rows = 200_000) ?(jobs = 1) () =
+  let runs = pattern_runs ~jobs ~rows ~mode:Weaver.Runtime.Resident () in
   let rows_t, reductions =
     List.split
       (List.map
@@ -176,11 +190,14 @@ let fig18 ?(rows = 200_000) () =
 
 (* --- Fig. 19: optimizer impact -------------------------------------------- *)
 
-let fig19 ?(rows = 200_000) () =
+let fig19 ?(rows = 200_000) ?(jobs = 1) () =
   let one (w : Tpch.Patterns.workload) =
     let bases = w.Tpch.Patterns.gen ~seed:19 ~rows in
     let cycles ~fuse ~opt =
-      let p = Weaver.Driver.compile ~fuse ~opt w.Tpch.Patterns.plan in
+      let p =
+        Weaver.Driver.compile ~config:(base_config ~jobs) ~fuse ~opt
+          w.Tpch.Patterns.plan
+      in
       (metrics_of (Weaver.Driver.run p bases ~mode:Weaver.Runtime.Resident))
         .Weaver.Metrics.kernel_cycles
     in
@@ -214,12 +231,15 @@ let fig19 ?(rows = 200_000) () =
 
 (* --- Fig. 20: selectivity sweep ------------------------------------------- *)
 
-let fig20 ?(rows = 300_000) ?(ratios = [ 0.1; 0.3; 0.5; 0.7; 0.9 ]) () =
+let fig20 ?(rows = 300_000) ?(ratios = [ 0.1; 0.3; 0.5; 0.7; 0.9 ]) ?(jobs = 1)
+    () =
   let results =
     List.map
       (fun ratio ->
         let w = Tpch.Patterns.back_to_back_selects ~selects:2 ~ratio in
-        let cmp = run_workload w ~rows ~mode:Weaver.Runtime.Resident ~seed:20 in
+        let cmp =
+          run_workload ~jobs w ~rows ~mode:Weaver.Runtime.Resident ~seed:20
+        in
         (ratio, kernel_speedup cmp))
       ratios
   in
@@ -242,8 +262,8 @@ let fig20 ?(rows = 300_000) ?(ratios = [ 0.1; 0.3; 0.5; 0.7; 0.9 ]) () =
 
 (* --- Fig. 21: large inputs over PCIe -------------------------------------- *)
 
-let fig21 ?(rows = 200_000) () =
-  let runs = pattern_runs ~rows ~mode:Weaver.Runtime.Streamed () in
+let fig21 ?(rows = 200_000) ?(jobs = 1) () =
+  let runs = pattern_runs ~jobs ~rows ~mode:Weaver.Runtime.Streamed () in
   let per_pattern =
     List.map
       (fun ((w : Tpch.Patterns.workload), cmp) ->
@@ -411,35 +431,35 @@ let query_outcome ?config (q : Tpch.Queries.query) ~lineitems ~paper_note =
       ];
   }
 
-let q1 ?(lineitems = 200_000) () =
-  query_outcome Tpch.Queries.q1 ~lineitems
+let q1 ?(lineitems = 200_000) ?(jobs = 1) () =
+  query_outcome ~config:(base_config ~jobs) Tpch.Queries.q1 ~lineitems
     ~paper_note:"paper: 1.25x overall; SORT ~71% of time; 3.18x excluding SORT"
 
-let q21 ?(lineitems = 10_000) () =
+let q21 ?(lineitems = 10_000) ?(jobs = 1) () =
   (* Q21's one fan-out join needs a larger output budget; the runtime's
      per-segment retries discover it, and a deployment would provision it
      from fan-out statistics — either way only that join's tiles grow *)
   let config =
-    { Weaver.Config.default with Weaver.Config.join_expansion = 4 }
+    { (base_config ~jobs) with Weaver.Config.join_expansion = 4 }
   in
   query_outcome ~config Tpch.Queries.q21 ~lineitems
     ~paper_note:"paper: 1.22x overall (relational-centric)"
 
-let all ?(quick = false) () =
+let all ?(quick = false) ?(jobs = 1) () =
   let s = if quick then [ 16_384; 32_768 ] else [ 65_536; 131_072; 262_144; 524_288 ] in
   let r = if quick then 30_000 else 200_000 in
   let li1 = if quick then 30_000 else 200_000 in
   let li21 = if quick then 8_000 else 10_000 in
   [
     ("table2", fun () -> table2 ());
-    ("fig4", fun () -> fig4 ~sizes:s ());
-    ("fig16", fun () -> fig16 ~rows:r ());
-    ("fig17", fun () -> fig17 ~rows:r ());
-    ("fig18", fun () -> fig18 ~rows:r ());
-    ("fig19", fun () -> fig19 ~rows:(min r 100_000) ());
-    ("fig20", fun () -> fig20 ~rows:(if quick then 50_000 else 300_000) ());
-    ("fig21", fun () -> fig21 ~rows:r ());
+    ("fig4", fun () -> fig4 ~sizes:s ~jobs ());
+    ("fig16", fun () -> fig16 ~rows:r ~jobs ());
+    ("fig17", fun () -> fig17 ~rows:r ~jobs ());
+    ("fig18", fun () -> fig18 ~rows:r ~jobs ());
+    ("fig19", fun () -> fig19 ~rows:(min r 100_000) ~jobs ());
+    ("fig20", fun () -> fig20 ~rows:(if quick then 50_000 else 300_000) ~jobs ());
+    ("fig21", fun () -> fig21 ~rows:r ~jobs ());
     ("table3", fun () -> table3 ());
-    ("q1", fun () -> q1 ~lineitems:li1 ());
-    ("q21", fun () -> q21 ~lineitems:li21 ());
+    ("q1", fun () -> q1 ~lineitems:li1 ~jobs ());
+    ("q21", fun () -> q21 ~lineitems:li21 ~jobs ());
   ]

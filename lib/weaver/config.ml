@@ -14,6 +14,7 @@ type t = {
   input_sharing : bool;
   max_retries : int;
   selection_shared_fraction : float;
+  jobs : int;
 }
 
 let default =
@@ -31,7 +32,12 @@ let default =
     input_sharing = true;
     max_retries = 10;
     selection_shared_fraction = 1.0;
+    jobs = 1;
   }
+
+let with_jobs t jobs =
+  if jobs >= 1 then { t with jobs }
+  else { t with jobs = Gpu_sim.Domain_pool.default_jobs () }
 
 let budget t =
   {

@@ -28,10 +28,21 @@ type t = {
           exceeds this fraction of the per-CTA limit: groups that consume
           the whole budget run one CTA per SM and starve latency hiding
           (the paper's fused kernels use about half the 48 KB) *)
+  jobs : int;
+      (** worker domains executing CTAs per kernel launch (see
+          {!Gpu_sim.Interp.run}); 1 = sequential. Results and merged stats
+          are identical for any value — this is purely a simulator
+          wall-clock knob *)
 }
 
 val default : t
-(** Fermi C2050, default timing, 128 threads/CTA, 256-row tiles. *)
+(** Fermi C2050, default timing, 128 threads/CTA, 256-row tiles,
+    sequential interpretation ([jobs = 1]). *)
+
+val with_jobs : t -> int -> t
+(** [with_jobs t n] sets the CTA worker count; [n <= 0] means "auto"
+    ({!Gpu_sim.Domain_pool.default_jobs}, i.e. the machine's recommended
+    domain count unless [WEAVER_JOBS] overrides it). *)
 
 val budget : t -> Qplan.Selection.budget
 (** Algorithm 2's resource budget: the device register limit and

@@ -57,8 +57,9 @@ let device st = (config st).Config.device
 
 let launch st kernel ~params ~grid ~cta =
   let r =
-    Executor.launch ~timing:(config st).Config.timing (device st) st.mem kernel
-      ~params ~grid ~cta
+    Executor.launch ~timing:(config st).Config.timing
+      ~jobs:(config st).Config.jobs (device st) st.mem kernel ~params ~grid
+      ~cta
   in
   st.reports <- r :: st.reports;
   r

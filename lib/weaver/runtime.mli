@@ -19,6 +19,10 @@
     aggregation table filled) are retried with scaled capacities, up to
     [config.max_retries]; all attempts are charged.
 
+    Every kernel launch runs its CTAs on [config.jobs] worker domains
+    (see {!Gpu_sim.Interp.run}); results, stats and cycle counts are
+    independent of the job count.
+
     The runtime also enforces the skeletons' sorted-input invariant: when
     a keyed unit's input is not key-sorted (e.g. a PROJECT reordered
     attributes between groups), the relation is re-sorted and the cost of

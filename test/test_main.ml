@@ -15,4 +15,5 @@ let () =
       ("rewrite", Test_rewrite.suite);
       ("harness", Test_harness.suite);
       ("runtime-paths", Test_runtime_paths.suite);
+      ("parallel", Test_parallel.suite);
     ]
