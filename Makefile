@@ -11,9 +11,11 @@ test:
 	dune runtest
 
 # Quick end-to-end smoke: reduced-size paper experiments, the bechamel
-# micro-benchmarks and the jobs=1 vs jobs=N interpreter comparison.
+# micro-benchmarks, the jobs=1 vs jobs=N interpreter comparison and the
+# fault-injection chaos counters. --jobs 0 = auto, so the WEAVER_JOBS
+# environment variable (the CI matrix axis) picks the worker count.
 bench-smoke: build
-	dune exec bench/main.exe -- --jobs 2 --json _build/bench-quick.json quick
+	dune exec bench/main.exe -- --jobs 0 --json _build/bench-quick.json quick
 
 check: build test bench-smoke
 

@@ -9,6 +9,7 @@
      bench/main.exe [OPTS] fig16 q1 ...   run selected experiments
      bench/main.exe [OPTS] bechamel       only the wall-clock micro-benchmarks
      bench/main.exe [OPTS] parallel       only the jobs=1 vs jobs=N comparison
+     bench/main.exe [OPTS] chaos          recovery counters under injected faults
 
    Options:
      --json FILE    also write every result as JSON rows
@@ -159,6 +160,49 @@ let bechamel_suite ~jobs () =
       | _ -> Printf.printf "%-40s (no estimate)\n" name)
     results
 
+(* --- chaos: recovery counters under injected faults ------------------------ *)
+
+(* Runs representative workloads with deterministic fault schedules and
+   records the recovery counters (retries, fissions, demotions, faults
+   injected, leaked buffers) as JSON rows, so CI can track the
+   self-healing paths the same way it tracks cycle counts. *)
+let chaos ~jobs ~quick () =
+  let rows = if quick then 2_000 else 10_000 in
+  let base = Weaver.Config.with_jobs Weaver.Config.default jobs in
+  let run_one ~label ~faults ~mode (w : Tpch.Patterns.workload) =
+    let config = { base with Weaver.Config.faults = Some faults } in
+    let bases = w.Tpch.Patterns.gen ~seed:3 ~rows in
+    let program = Weaver.Driver.compile ~config w.Tpch.Patterns.plan in
+    let r = Weaver.Driver.run program bases ~mode in
+    let m = r.Weaver.Runtime.metrics in
+    let experiment = "chaos-" ^ label in
+    record ~experiment ~metric:"retries"
+      (float_of_int m.Weaver.Metrics.retries);
+    record ~experiment ~metric:"fissions"
+      (float_of_int m.Weaver.Metrics.fissions);
+    record ~experiment ~metric:"demotions"
+      (float_of_int m.Weaver.Metrics.demotions);
+    record ~experiment ~metric:"faults_injected"
+      (float_of_int m.Weaver.Metrics.faults_injected);
+    record ~experiment ~metric:"leaked_buffers"
+      (float_of_int (List.length m.Weaver.Metrics.leaks));
+    Printf.printf
+      "%-28s retries=%-3d fissions=%-3d demotions=%d injected=%d leaks=%d\n"
+      (Printf.sprintf "%s (%s)" label faults)
+      m.Weaver.Metrics.retries m.Weaver.Metrics.fissions
+      m.Weaver.Metrics.demotions m.Weaver.Metrics.faults_injected
+      (List.length m.Weaver.Metrics.leaks)
+  in
+  Printf.printf "\n== chaos: recovery counters under injected faults ==\n";
+  run_one ~label:"alloc-demote" ~faults:"alloc@1x4"
+    ~mode:Weaver.Runtime.Resident (Tpch.Patterns.pattern_a ());
+  run_one ~label:"transfer-retry" ~faults:"transfer@2x2"
+    ~mode:Weaver.Runtime.Streamed (Tpch.Patterns.pattern_b ());
+  run_one ~label:"launch-fission" ~faults:"launch@1x999"
+    ~mode:Weaver.Runtime.Resident (Tpch.Patterns.pattern_a ());
+  run_one ~label:"seeded" ~faults:"seed@7" ~mode:Weaver.Runtime.Resident
+    (Tpch.Patterns.pattern_e ())
+
 (* --- sequential vs domain-parallel interpretation -------------------------- *)
 
 (* Direct wall-clock comparison of the same launch sequence interpreted
@@ -228,9 +272,11 @@ let () =
   (match words with
   | [ "bechamel" ] -> bechamel_suite ~jobs:!jobs ()
   | [ "parallel" ] -> parallel_comparison ~jobs:!jobs ~quick ()
+  | [ "chaos" ] -> chaos ~jobs:!jobs ~quick ()
   | [] ->
       run_experiments ~quick ~jobs:!jobs [];
       parallel_comparison ~jobs:!jobs ~quick ();
+      chaos ~jobs:!jobs ~quick ();
       bechamel_suite ~jobs:!jobs ()
   | names -> run_experiments ~quick ~jobs:!jobs names);
   Option.iter write_json !json_file

@@ -115,7 +115,29 @@ let jobs_arg =
                sequential, 0 = one per recommended core). Results are \
                identical for any value; wall-clock is not.")
 
+let faults_arg =
+  Arg.(value & opt (some string) None
+       & info [ "faults" ] ~docv:"SPEC"
+           ~doc:"Fault-injection schedule for the simulated device, e.g. \
+                 $(b,alloc\\@2,launch\\@4) or $(b,seed\\@7x3) (see \
+                 Gpu_sim.Fault_inject). Overrides the WEAVER_FAULTS \
+                 environment variable.")
+
 let config_of_jobs jobs = Weaver.Config.with_jobs Weaver.Config.default jobs
+
+let config_of jobs faults =
+  { (config_of_jobs jobs) with Weaver.Config.faults }
+
+(* Command boundary: anything the recovery policies could not absorb
+   surfaces here as a typed fault; render it once and exit nonzero. *)
+let guard f =
+  try f () with
+  | Weaver.Runtime.Execution_error fault | Gpu_sim.Fault.Error fault ->
+      Printf.eprintf "weaver-cli: %s\n" (Gpu_sim.Fault.render fault);
+      exit 1
+  | Invalid_argument msg ->
+      Printf.eprintf "weaver-cli: %s\n" msg;
+      exit 1
 
 let compile_query path = Datalog.compile (read_file path)
 
@@ -138,12 +160,13 @@ let maybe_rewrite rw plan = if rw then Qplan.Rewrite.optimize plan else plan
 
 let plan_cmd =
   let run path rw =
-    let q = compile_query path in
-    let plan = maybe_rewrite rw q.Datalog.plan in
-    Format.printf "%a@." Qplan.Plan.pp plan;
-    let program = Weaver.Driver.compile plan in
-    print_string (Weaver.Driver.group_summary program);
-    `Ok ()
+    guard (fun () ->
+        let q = compile_query path in
+        let plan = maybe_rewrite rw q.Datalog.plan in
+        Format.printf "%a@." Qplan.Plan.pp plan;
+        let program = Weaver.Driver.compile plan in
+        print_string (Weaver.Driver.group_summary program);
+        `Ok ())
   in
   Cmd.v (Cmd.info "plan" ~doc:"Show the query plan and chosen fusion groups")
     Term.(ret (const run $ query_arg $ rewrite_arg))
@@ -152,14 +175,15 @@ let plan_cmd =
 
 let source_cmd =
   let run path no_fuse o0 =
-    let q = compile_query path in
-    let program =
-      Weaver.Driver.compile ~fuse:(not no_fuse)
-        ~opt:(if o0 then Weaver.Optimizer.O0 else Weaver.Optimizer.O3)
-        q.Datalog.plan
-    in
-    print_string (Weaver.Runtime.kernels_source program);
-    `Ok ()
+    guard (fun () ->
+        let q = compile_query path in
+        let program =
+          Weaver.Driver.compile ~fuse:(not no_fuse)
+            ~opt:(if o0 then Weaver.Optimizer.O0 else Weaver.Optimizer.O3)
+            q.Datalog.plan
+        in
+        print_string (Weaver.Runtime.kernels_source program);
+        `Ok ())
   in
   Cmd.v
     (Cmd.info "source" ~doc:"Emit CUDA-style source for all generated kernels")
@@ -168,28 +192,29 @@ let source_cmd =
 (* --- exec ------------------------------------------------------------------ *)
 
 let exec_cmd =
-  let run path rows inputs seed no_fuse o0 streamed jobs =
-    let q = compile_query path in
-    let named = bind_data q ~rows ~seed inputs in
-    let bases = Datalog.bind q named in
-    let program =
-      Weaver.Driver.compile ~config:(config_of_jobs jobs)
-        ~fuse:(not no_fuse)
-        ~opt:(if o0 then Weaver.Optimizer.O0 else Weaver.Optimizer.O3)
-        q.Datalog.plan
-    in
-    let mode =
-      if streamed then Weaver.Runtime.Streamed else Weaver.Runtime.Resident
-    in
-    let result = Weaver.Driver.run program bases ~mode in
-    let outputs = Datalog.outputs_of_sinks q result.Weaver.Runtime.sinks in
-    List.iter
-      (fun (name, rel) ->
-        Printf.printf "-- %s (%d tuples)\n" name (Relation.count rel);
-        print_csv rel)
-      outputs;
-    Format.printf "@.%a@." Weaver.Metrics.pp result.Weaver.Runtime.metrics;
-    `Ok ()
+  let run path rows inputs seed no_fuse o0 streamed jobs faults =
+    guard (fun () ->
+        let q = compile_query path in
+        let named = bind_data q ~rows ~seed inputs in
+        let bases = Datalog.bind q named in
+        let program =
+          Weaver.Driver.compile ~config:(config_of jobs faults)
+            ~fuse:(not no_fuse)
+            ~opt:(if o0 then Weaver.Optimizer.O0 else Weaver.Optimizer.O3)
+            q.Datalog.plan
+        in
+        let mode =
+          if streamed then Weaver.Runtime.Streamed else Weaver.Runtime.Resident
+        in
+        let result = Weaver.Driver.run program bases ~mode in
+        let outputs = Datalog.outputs_of_sinks q result.Weaver.Runtime.sinks in
+        List.iter
+          (fun (name, rel) ->
+            Printf.printf "-- %s (%d tuples)\n" name (Relation.count rel);
+            print_csv rel)
+          outputs;
+        Format.printf "@.%a@." Weaver.Metrics.pp result.Weaver.Runtime.metrics;
+        `Ok ())
   in
   Cmd.v
     (Cmd.info "exec"
@@ -197,40 +222,42 @@ let exec_cmd =
     Term.(
       ret
         (const run $ query_arg $ rows_arg $ inputs_arg $ seed_arg $ fuse_arg
-       $ opt_arg $ streamed_arg $ jobs_arg))
+       $ opt_arg $ streamed_arg $ jobs_arg $ faults_arg))
 
 (* --- profile ---------------------------------------------------------------- *)
 
 let profile_cmd =
-  let run path rows inputs seed no_fuse o0 jobs =
-    let q = compile_query path in
-    let named = bind_data q ~rows ~seed inputs in
-    let bases = Datalog.bind q named in
-    let program =
-      Weaver.Driver.compile ~config:(config_of_jobs jobs)
-        ~fuse:(not no_fuse)
-        ~opt:(if o0 then Weaver.Optimizer.O0 else Weaver.Optimizer.O3)
-        q.Datalog.plan
-    in
-    let result = Weaver.Driver.run program bases ~mode:Weaver.Runtime.Resident in
-    let m = result.Weaver.Runtime.metrics in
-    let total = m.Weaver.Metrics.kernel_cycles in
-    Printf.printf "%-32s %8s %12s %7s %12s %12s
-" "kernel" "launches"
-      "cycles" "share" "instructions" "global bytes";
-    List.iter
-      (fun (name, n, cycles, (s : Gpu_sim.Stats.t)) ->
-        Printf.printf "%-32s %8d %12.3e %6.1f%% %12d %12d
-" name n cycles
-          (100.0 *. cycles /. total)
-          s.Gpu_sim.Stats.instructions
-          (Gpu_sim.Stats.global_bytes s))
-      (Weaver.Metrics.by_kernel m);
-    Printf.printf "
-total: %.3e cycles over %d launches (%d retries)
-" total
-      m.Weaver.Metrics.launches m.Weaver.Metrics.retries;
-    `Ok ()
+  let run path rows inputs seed no_fuse o0 jobs faults =
+    guard (fun () ->
+        let q = compile_query path in
+        let named = bind_data q ~rows ~seed inputs in
+        let bases = Datalog.bind q named in
+        let program =
+          Weaver.Driver.compile ~config:(config_of jobs faults)
+            ~fuse:(not no_fuse)
+            ~opt:(if o0 then Weaver.Optimizer.O0 else Weaver.Optimizer.O3)
+            q.Datalog.plan
+        in
+        let result =
+          Weaver.Driver.run program bases ~mode:Weaver.Runtime.Resident
+        in
+        let m = result.Weaver.Runtime.metrics in
+        let total = m.Weaver.Metrics.kernel_cycles in
+        Printf.printf "%-32s %8s %12s %7s %12s %12s\n" "kernel" "launches"
+          "cycles" "share" "instructions" "global bytes";
+        List.iter
+          (fun (name, n, cycles, (s : Gpu_sim.Stats.t)) ->
+            Printf.printf "%-32s %8d %12.3e %6.1f%% %12d %12d\n" name n cycles
+              (100.0 *. cycles /. total)
+              s.Gpu_sim.Stats.instructions
+              (Gpu_sim.Stats.global_bytes s))
+          (Weaver.Metrics.by_kernel m);
+        Printf.printf
+          "\ntotal: %.3e cycles over %d launches (%d retries, %d fissions, \
+           %d demotions)\n"
+          total m.Weaver.Metrics.launches m.Weaver.Metrics.retries
+          m.Weaver.Metrics.fissions m.Weaver.Metrics.demotions;
+        `Ok ())
   in
   Cmd.v
     (Cmd.info "profile"
@@ -238,7 +265,7 @@ total: %.3e cycles over %d launches (%d retries)
     Term.(
       ret
         (const run $ query_arg $ rows_arg $ inputs_arg $ seed_arg $ fuse_arg
-       $ opt_arg $ jobs_arg))
+       $ opt_arg $ jobs_arg $ faults_arg))
 
 (* --- bench ------------------------------------------------------------------ *)
 
@@ -251,30 +278,31 @@ let bench_cmd =
     Arg.(value & flag & info [ "quick" ] ~doc:"Reduced problem sizes")
   in
   let run names quick jobs =
-    let jobs = (config_of_jobs jobs).Weaver.Config.jobs in
-    let all =
-      Harness.Experiments.all ~quick ~jobs ()
-      @ Harness.Ablations.all ~quick ~jobs ()
-    in
-    let wanted =
-      match names with
-      | [] -> all
-      | _ ->
-          List.filter_map
-            (fun n ->
-              match List.assoc_opt n all with
-              | Some o -> Some (n, o)
-              | None ->
-                  Printf.eprintf "unknown experiment: %s\n" n;
-                  None)
-            names
-    in
-    List.iter
-      (fun (name, o) ->
-        Printf.printf "[%s]\n" name;
-        Harness.Report.print (o ()))
-      wanted;
-    `Ok ()
+    guard (fun () ->
+        let jobs = (config_of_jobs jobs).Weaver.Config.jobs in
+        let all =
+          Harness.Experiments.all ~quick ~jobs ()
+          @ Harness.Ablations.all ~quick ~jobs ()
+        in
+        let wanted =
+          match names with
+          | [] -> all
+          | _ ->
+              List.filter_map
+                (fun n ->
+                  match List.assoc_opt n all with
+                  | Some o -> Some (n, o)
+                  | None ->
+                      Printf.eprintf "unknown experiment: %s\n" n;
+                      None)
+                names
+        in
+        List.iter
+          (fun (name, o) ->
+            Printf.printf "[%s]\n" name;
+            Harness.Report.print (o ()))
+          wanted;
+        `Ok ())
   in
   Cmd.v
     (Cmd.info "bench" ~doc:"Regenerate the paper's tables and figures")

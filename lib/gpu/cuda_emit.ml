@@ -132,7 +132,7 @@ let kernel_source (k : Kir.kernel) =
       | Brnz (c, l) -> line "  if (%s) goto L%d;" (operand c) l
       | Bar -> line "  __syncthreads();"
       | Ret -> line "  return;"
-      | Trap msg -> line "  __trap(); /* %s */" msg)
+      | Trap (f, _) -> line "  __trap(); /* %s */" (Fault.render f))
     k.body;
   line "}";
   Buffer.contents buf

@@ -18,6 +18,7 @@ val launch :
   ?timing:Timing.params ->
   ?max_instructions:int ->
   ?jobs:int ->
+  ?faults:Fault_inject.t ->
   Device.t ->
   Memory.t ->
   Kir.kernel ->
@@ -27,9 +28,12 @@ val launch :
   launch_report
 (** Execute one kernel launch. [jobs] (default 1) is the number of worker
     domains interpreting CTAs (see {!Interp.run}); results and stats are
-    identical for any value. Raises [Interp.Runtime_error] on runtime
-    faults and [Invalid_argument] when the launch violates hard device
-    limits (see {!Device.validate_launch}). *)
+    identical for any value. [faults] (default {!Fault_inject.none}) is
+    consulted after validation: a scheduled event makes this launch trap
+    with an injected capacity fault before any instruction executes.
+    Raises [Interp.Runtime_error] (= {!Fault.Error}) on runtime faults
+    and [Invalid_argument] when the launch violates hard device limits
+    (see {!Device.validate_launch}). *)
 
 val total_cycles : launch_report list -> float
 (** Sum of simulated total cycles over a sequence of launches. *)

@@ -1,0 +1,126 @@
+type capacity = Cap_input_tile | Cap_staging | Cap_groups
+[@@deriving show { with_path = false }, eq]
+
+type space = Global_space | Shared_space [@@deriving show { with_path = false }, eq]
+
+type direction = H2d | D2h [@@deriving show { with_path = false }, eq]
+
+type t =
+  | Capacity_trap of {
+      which : capacity;
+      kernel : string;
+      op : int option;
+      segment : int option;
+      input : int option;
+      needed : int option;
+      have : int;
+    }
+  | Out_of_bounds of {
+      kernel : string;
+      space : space;
+      buffer : int option;
+      index : int;
+      length : int;
+    }
+  | Div_by_zero of { kernel : string }
+  | Budget_exhausted of { kernel : string }
+  | Invalid_handle of { kernel : string; handle : int }
+  | Invalid_launch of { kernel : string; reason : string }
+  | Alloc_failure of {
+      label : string;
+      requested_bytes : int;
+      live_bytes : int;
+      capacity_bytes : int;
+      injected : bool;
+    }
+  | Transfer_failure of { direction : direction; bytes : int; injected : bool }
+  | Host_error of string
+  | Recovery_exhausted of { attempts : int; last : t }
+[@@deriving show { with_path = false }, eq]
+
+exception Error of t
+
+let raise_ t = raise (Error t)
+
+let capacity_trap ?(kernel = "") ?op ?segment ?input ?needed ~which ~have () =
+  Capacity_trap { which; kernel; op; segment; input; needed; have }
+
+let host_error fmt = Printf.ksprintf (fun s -> raise (Error (Host_error s))) fmt
+
+let set_kernel kname = function
+  | Capacity_trap c when c.kernel = "" -> Capacity_trap { c with kernel = kname }
+  | Out_of_bounds c when c.kernel = "" -> Out_of_bounds { c with kernel = kname }
+  | Div_by_zero { kernel = "" } -> Div_by_zero { kernel = kname }
+  | Budget_exhausted { kernel = "" } -> Budget_exhausted { kernel = kname }
+  | Invalid_handle c when c.kernel = "" -> Invalid_handle { c with kernel = kname }
+  | Invalid_launch c when c.kernel = "" -> Invalid_launch { c with kernel = kname }
+  | f -> f
+
+let set_needed needed = function
+  | Capacity_trap c -> Capacity_trap { c with needed = Some needed }
+  | f -> f
+
+let is_capacity = function Capacity_trap _ -> true | _ -> false
+
+let capacity_name = function
+  | Cap_input_tile -> "input tile"
+  | Cap_staging -> "staging"
+  | Cap_groups -> "group table"
+
+let space_name = function Global_space -> "global" | Shared_space -> "shared"
+let direction_name = function H2d -> "host-to-device" | D2h -> "device-to-host"
+
+let in_kernel = function "" -> "" | k -> Printf.sprintf " in kernel %s" k
+
+let rec render = function
+  | Capacity_trap { which; kernel; op; segment; input; needed; have } ->
+      let ctx =
+        String.concat ""
+          [
+            in_kernel kernel;
+            (match op with
+            | Some id -> Printf.sprintf " (operator %d)" id
+            | None -> "");
+            (match segment with
+            | Some s -> Printf.sprintf " (segment %d)" s
+            | None -> "");
+            (match input with
+            | Some i -> Printf.sprintf " (input %d)" i
+            | None -> "");
+          ]
+      in
+      let demand =
+        match needed with
+        | Some n -> Printf.sprintf "needed %d, have %d" n have
+        | None -> Printf.sprintf "capacity %d exceeded" have
+      in
+      Printf.sprintf "%s overflow%s: %s" (capacity_name which) ctx demand
+  | Out_of_bounds { kernel; space; buffer; index; length } ->
+      Printf.sprintf "%s access out of bounds%s%s: index %d, length %d"
+        (space_name space) (in_kernel kernel)
+        (match buffer with
+        | Some b -> Printf.sprintf " (buffer %d)" b
+        | None -> "")
+        index length
+  | Div_by_zero { kernel } -> "division by zero" ^ in_kernel kernel
+  | Budget_exhausted { kernel } ->
+      "instruction budget exhausted (possible infinite loop)" ^ in_kernel kernel
+  | Invalid_handle { kernel; handle } ->
+      Printf.sprintf "invalid global buffer handle %d%s" handle (in_kernel kernel)
+  | Invalid_launch { kernel; reason } ->
+      Printf.sprintf "invalid launch%s: %s" (in_kernel kernel) reason
+  | Alloc_failure { label; requested_bytes; live_bytes; capacity_bytes; injected }
+    ->
+      Printf.sprintf
+        "device allocation of %d bytes (%s) failed%s: %d of %d bytes live"
+        requested_bytes label
+        (if injected then " [injected]" else "")
+        live_bytes capacity_bytes
+  | Transfer_failure { direction; bytes; injected } ->
+      Printf.sprintf "PCIe %s transfer of %d bytes failed%s"
+        (direction_name direction) bytes
+        (if injected then " [injected]" else "")
+  | Host_error msg -> msg
+  | Recovery_exhausted { attempts; last } ->
+      Printf.sprintf "recovery exhausted after %d attempts; last fault: %s"
+        attempts (render last)

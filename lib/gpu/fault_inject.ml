@@ -1,0 +1,209 @@
+type site = Alloc | Launch | Transfer [@@deriving show { with_path = false }, eq]
+
+type event = {
+  site : site;
+  at : int;
+  count : int;
+  kind : Fault.capacity;
+}
+[@@deriving show { with_path = false }, eq]
+
+type t = {
+  enabled : bool;
+  events : event list;
+  mutable allocs : int;
+  mutable launches : int;
+  mutable transfers : int;
+  mutable injected_allocs : int;
+  mutable injected_launches : int;
+  mutable injected_transfers : int;
+}
+
+let none =
+  {
+    enabled = false;
+    events = [];
+    allocs = 0;
+    launches = 0;
+    transfers = 0;
+    injected_allocs = 0;
+    injected_launches = 0;
+    injected_transfers = 0;
+  }
+
+let create events =
+  {
+    enabled = events <> [];
+    events;
+    allocs = 0;
+    launches = 0;
+    transfers = 0;
+    injected_allocs = 0;
+    injected_launches = 0;
+    injected_transfers = 0;
+  }
+
+let allocs t = t.allocs
+let launches t = t.launches
+let transfers t = t.transfers
+let injected t = t.injected_allocs + t.injected_launches + t.injected_transfers
+
+let counters t =
+  [
+    ("allocs", t.allocs);
+    ("launches", t.launches);
+    ("transfers", t.transfers);
+    ("injected_allocs", t.injected_allocs);
+    ("injected_launches", t.injected_launches);
+    ("injected_transfers", t.injected_transfers);
+  ]
+
+let hits t site n =
+  List.exists
+    (fun e -> e.site = site && e.at <= n && n < e.at + e.count)
+    t.events
+
+let kind_at t site n =
+  match
+    List.find_opt
+      (fun e -> e.site = site && e.at <= n && n < e.at + e.count)
+      t.events
+  with
+  | Some e -> e.kind
+  | None -> Fault.Cap_staging
+
+(* --- schedule syntax -------------------------------------------------------
+
+   Comma/semicolon-separated events:
+     alloc@N[xC]            the Nth (1-based) allocation fails as device OOM,
+                            and the C-1 following ones too (default C=1)
+     launch@N[xC][:KIND]    the Nth kernel launch traps; KIND is one of
+                            staging (default), input, groups
+     transfer@N[xC]         the Nth PCIe transfer fails
+     seed@S[xC]             C pseudo-random events (default 3) derived
+                            deterministically from seed S
+   e.g. WEAVER_FAULTS="launch@3x2:groups,transfer@1,alloc@5" *)
+
+let parse_error fmt =
+  Printf.ksprintf (fun s -> invalid_arg ("WEAVER_FAULTS: " ^ s)) fmt
+
+let parse_kind = function
+  | "staging" -> Fault.Cap_staging
+  | "input" -> Fault.Cap_input_tile
+  | "groups" -> Fault.Cap_groups
+  | s -> parse_error "unknown trap kind %S (want staging|input|groups)" s
+
+(* deterministic 64-bit mix (splitmix64 finalizer) *)
+let mix x =
+  let x = Int64.of_int x in
+  let x = Int64.mul (Int64.logxor x (Int64.shift_right_logical x 30)) 0xbf58476d1ce4e5b9L in
+  let x = Int64.mul (Int64.logxor x (Int64.shift_right_logical x 27)) 0x94d049bb133111ebL in
+  Int64.to_int (Int64.logand (Int64.logxor x (Int64.shift_right_logical x 31)) 0x3FFFFFFFFFFFFFFFL)
+
+let of_seed ?(events = 3) seed =
+  List.init events (fun i ->
+      let h = mix ((seed * 1_000_003) + i) in
+      let site = match h mod 3 with 0 -> Alloc | 1 -> Launch | _ -> Transfer in
+      let kind =
+        match (h / 3) mod 3 with
+        | 0 -> Fault.Cap_staging
+        | 1 -> Fault.Cap_input_tile
+        | _ -> Fault.Cap_groups
+      in
+      (* small 1-based positions so schedules actually land inside short
+         runs; counts of 1-2 exercise consecutive-fault handling *)
+      { site; at = 1 + ((h / 9) mod 12); count = 1 + ((h / 108) mod 2); kind })
+
+let parse_event s =
+  match String.index_opt s '@' with
+  | None -> parse_error "event %S lacks '@' (want site@N)" s
+  | Some i ->
+      let site_s = String.sub s 0 i in
+      let rest = String.sub s (i + 1) (String.length s - i - 1) in
+      let rest, kind =
+        match String.index_opt rest ':' with
+        | None -> (rest, Fault.Cap_staging)
+        | Some j ->
+            ( String.sub rest 0 j,
+              parse_kind (String.sub rest (j + 1) (String.length rest - j - 1))
+            )
+      in
+      let at, count =
+        match String.index_opt rest 'x' with
+        | None -> (rest, 1)
+        | Some j -> (
+            let c = String.sub rest (j + 1) (String.length rest - j - 1) in
+            ( String.sub rest 0 j,
+              match int_of_string_opt c with
+              | Some c when c > 0 -> c
+              | _ -> parse_error "bad repeat count %S" c ))
+      in
+      let at =
+        match int_of_string_opt at with
+        | Some n when n > 0 -> n
+        | _ -> parse_error "bad event position %S (1-based)" at
+      in
+      let site =
+        match site_s with
+        | "alloc" -> Alloc
+        | "launch" -> Launch
+        | "transfer" -> Transfer
+        | "seed" -> Alloc (* unused: seed handled by caller *)
+        | s -> parse_error "unknown site %S (want alloc|launch|transfer|seed)" s
+      in
+      if site_s = "seed" then of_seed ~events:count at
+      else [ { site; at; count; kind } ]
+
+let of_spec spec =
+  String.split_on_char ','
+    (String.map (function ';' -> ',' | c -> c) spec)
+  |> List.map String.trim
+  |> List.filter (fun s -> s <> "")
+  |> List.concat_map parse_event
+  |> create
+
+let env_var = "WEAVER_FAULTS"
+
+let of_env () =
+  match Sys.getenv_opt env_var with
+  | Some s when String.trim s <> "" -> of_spec s
+  | _ -> none
+
+(* --- instrumentation hooks ------------------------------------------------- *)
+
+let on_alloc t ~label ~bytes ~live ~capacity =
+  if t.enabled then begin
+    t.allocs <- t.allocs + 1;
+    if hits t Alloc t.allocs then begin
+      t.injected_allocs <- t.injected_allocs + 1;
+      Fault.raise_
+        (Fault.Alloc_failure
+           {
+             label;
+             requested_bytes = bytes;
+             live_bytes = live;
+             capacity_bytes = capacity;
+             injected = true;
+           })
+    end
+  end
+
+let on_launch t ~kernel =
+  if t.enabled then begin
+    t.launches <- t.launches + 1;
+    if hits t Launch t.launches then begin
+      t.injected_launches <- t.injected_launches + 1;
+      Fault.raise_
+        (Fault.capacity_trap ~kernel ~which:(kind_at t Launch t.launches)
+           ~have:0 ())
+    end
+  end
+
+let on_transfer t ~direction ~bytes =
+  if t.enabled then begin
+    t.transfers <- t.transfers + 1;
+    if hits t Transfer t.transfers then begin
+      t.injected_transfers <- t.injected_transfers + 1;
+      Fault.raise_ (Fault.Transfer_failure { direction; bytes; injected = true })
+    end
+  end

@@ -1,0 +1,76 @@
+(** Deterministic fault injection for the simulated GPU stack.
+
+    A schedule is a list of one-shot (or short-window) events addressed by
+    global 1-based site counters: "the Nth {!Memory.alloc} fails as device
+    OOM", "the Nth kernel launch traps with a capacity fault", "the Nth
+    PCIe transfer fails". One injector instance is shared by the memory
+    manager, the executor and the PCIe ledger of a run, so its counters
+    span the whole run — including recovery re-execution, which is exactly
+    what makes schedules deterministic under retries.
+
+    The default instance {!none} is disabled and costs one branch per
+    site; nothing else in the simulator changes when no schedule is set.
+
+    Schedules come from code ({!create}, {!of_seed}) or from the
+    [WEAVER_FAULTS] environment variable / CLI [--faults] option
+    ({!of_spec}): comma-separated [site@N[xC][:KIND]] events, e.g.
+    ["launch@3x2:groups,transfer@1,alloc@5"], where [site] is
+    [alloc|launch|transfer], [N] the 1-based event position, [xC] an
+    optional run of C consecutive events, and [:KIND] (launches only) the
+    capacity fault to trap with ([staging] (default), [input], [groups]).
+    [seed@S[xC]] expands to C (default 3) pseudo-random events derived
+    deterministically from seed S. *)
+
+type site = Alloc | Launch | Transfer
+
+type event = {
+  site : site;
+  at : int;  (** 1-based position of the first faulting call *)
+  count : int;  (** consecutive calls that fault *)
+  kind : Fault.capacity;  (** launch traps: which capacity to blame *)
+}
+
+type t
+
+val none : t
+(** Disabled; counts nothing, injects nothing. The zero-cost default. *)
+
+val create : event list -> t
+(** Fresh injector (fresh counters) for the given schedule. *)
+
+val of_spec : string -> t
+(** Parse a schedule string (syntax above). Raises [Invalid_argument] on
+    malformed input. *)
+
+val of_seed : ?events:int -> int -> event list
+(** Deterministic pseudo-random schedule: same seed, same events. *)
+
+val of_env : unit -> t
+(** [of_spec] of [WEAVER_FAULTS] when set and non-empty, else {!none}. *)
+
+val env_var : string
+
+(* Counters, for assertions and metrics. *)
+
+val allocs : t -> int
+val launches : t -> int
+val transfers : t -> int
+
+val injected : t -> int
+(** Total faults injected so far, over all sites. *)
+
+val counters : t -> (string * int) list
+
+(* Hooks called by the instrumented modules. Each bumps the site counter
+   and raises {!Fault.Error} when the schedule names that call. *)
+
+val on_alloc : t -> label:string -> bytes:int -> live:int -> capacity:int -> unit
+val on_launch : t -> kernel:string -> unit
+val on_transfer : t -> direction:Fault.direction -> bytes:int -> unit
+
+val pp_site : Format.formatter -> site -> unit
+val show_site : site -> string
+val equal_site : site -> site -> bool
+val pp_event : Format.formatter -> event -> unit
+val show_event : event -> string
+val equal_event : event -> event -> bool

@@ -1,6 +1,8 @@
-exception Runtime_error of string
+exception Runtime_error = Fault.Error
 
-let fail fmt = Printf.ksprintf (fun s -> raise (Runtime_error s)) fmt
+(* raised with an empty [kernel] field; [run] fills it in (Fault.set_kernel)
+   when the fault crosses the launch boundary *)
+let div_zero () = Fault.raise_ (Fault.Div_by_zero { kernel = "" })
 
 let f32_of_bits v = Int32.float_of_bits (Int32.of_int v)
 let bits_of_f32 f = Int32.to_int (Int32.bits_of_float f) land 0xFFFFFFFF
@@ -10,8 +12,8 @@ let exec_binop op a b =
   | Add -> a + b
   | Sub -> a - b
   | Mul -> a * b
-  | Div -> if b = 0 then fail "division by zero" else a / b
-  | Rem -> if b = 0 then fail "remainder by zero" else a mod b
+  | Div -> if b = 0 then div_zero () else a / b
+  | Rem -> if b = 0 then div_zero () else a mod b
   | And -> a land b
   | Or -> a lor b
   | Xor -> a lxor b
@@ -91,7 +93,7 @@ let make_buffer_cache mem (k : Kir.kernel) =
       let arr =
         try Memory.data mem id
         with Not_found | Invalid_argument _ ->
-          fail "kernel %s: invalid global buffer handle %d" k.kname id
+          Fault.raise_ (Fault.Invalid_handle { kernel = k.kname; handle = id })
       in
       id1 := !id0;
       arr1 := !arr0;
@@ -102,10 +104,18 @@ let make_buffer_cache mem (k : Kir.kernel) =
 
 let run ?(max_instructions = 2_000_000_000) ?profile ?(jobs = 1) mem
     (k : Kir.kernel) ~params ~grid ~cta =
+  let invalid_launch reason =
+    Fault.raise_ (Fault.Invalid_launch { kernel = k.kname; reason })
+  in
   if Array.length params <> k.params then
-    fail "kernel %s expects %d params, got %d" k.kname k.params
-      (Array.length params);
-  if grid <= 0 || cta <= 0 then fail "empty launch of %s" k.kname;
+    invalid_launch
+      (Printf.sprintf "expects %d params, got %d" k.params (Array.length params));
+  if grid <= 0 || cta <= 0 then invalid_launch "empty launch";
+  let oob ~space ~buffer ~index ~length =
+    Fault.raise_
+      (Fault.Out_of_bounds
+         { kernel = k.kname; space; buffer; index; length })
+  in
   let body = k.body in
   let n_instr = Array.length body in
   let labels = k.labels in
@@ -150,11 +160,15 @@ let run ?(max_instructions = 2_000_000_000) ?profile ?(jobs = 1) mem
       let continue = ref true in
       while !continue do
         if !pc < 0 || !pc >= n_instr then
-          fail "kernel %s: pc %d out of range" k.kname !pc;
+          Fault.raise_
+            (Fault.Invalid_launch
+               {
+                 kernel = k.kname;
+                 reason = Printf.sprintf "pc %d out of range" !pc;
+               });
         decr budget;
         if !budget <= 0 then
-          fail "kernel %s: instruction budget exhausted (possible infinite loop)"
-            k.kname;
+          Fault.raise_ (Fault.Budget_exhausted { kernel = k.kname });
         stats.Stats.instructions <- stats.Stats.instructions + 1;
         (match profile_counts with
         | Some c -> c.(!pc) <- c.(!pc) + 1
@@ -181,16 +195,16 @@ let run ?(max_instructions = 2_000_000_000) ?profile ?(jobs = 1) mem
             let arr = buffer_data (value base) in
             let i = value idx in
             if i < 0 || i >= Array.length arr then
-              fail "kernel %s: global load out of bounds (buffer %d, idx %d/%d)"
-                k.kname (value base) i (Array.length arr);
+              oob ~space:Fault.Global_space ~buffer:(Some (value base)) ~index:i
+                ~length:(Array.length arr);
             r.(dst) <- Array.unsafe_get arr i;
             stats.Stats.global_loads <- stats.Stats.global_loads + 1;
             stats.Stats.global_load_bytes <- stats.Stats.global_load_bytes + width
         | Ld { space = Shared; dst; base; idx; width } ->
             let i = value base + value idx in
             if i < 0 || i >= Array.length shared then
-              fail "kernel %s: shared load out of bounds (idx %d/%d)" k.kname i
-                (Array.length shared);
+              oob ~space:Fault.Shared_space ~buffer:None ~index:i
+                ~length:(Array.length shared);
             r.(dst) <- Array.unsafe_get shared i;
             stats.Stats.shared_loads <- stats.Stats.shared_loads + 1;
             stats.Stats.shared_load_bytes <- stats.Stats.shared_load_bytes + width
@@ -198,9 +212,8 @@ let run ?(max_instructions = 2_000_000_000) ?profile ?(jobs = 1) mem
             let arr = buffer_data (value base) in
             let i = value idx in
             if i < 0 || i >= Array.length arr then
-              fail
-                "kernel %s: global store out of bounds (buffer %d, idx %d/%d)"
-                k.kname (value base) i (Array.length arr);
+              oob ~space:Fault.Global_space ~buffer:(Some (value base)) ~index:i
+                ~length:(Array.length arr);
             Array.unsafe_set arr i (value src);
             stats.Stats.global_stores <- stats.Stats.global_stores + 1;
             stats.Stats.global_store_bytes <-
@@ -208,8 +221,8 @@ let run ?(max_instructions = 2_000_000_000) ?profile ?(jobs = 1) mem
         | St { space = Shared; base; idx; src; width } ->
             let i = value base + value idx in
             if i < 0 || i >= Array.length shared then
-              fail "kernel %s: shared store out of bounds (idx %d/%d)" k.kname i
-                (Array.length shared);
+              oob ~space:Fault.Shared_space ~buffer:None ~index:i
+                ~length:(Array.length shared);
             Array.unsafe_set shared i (value src);
             stats.Stats.shared_stores <- stats.Stats.shared_stores + 1;
             stats.Stats.shared_store_bytes <-
@@ -217,8 +230,8 @@ let run ?(max_instructions = 2_000_000_000) ?profile ?(jobs = 1) mem
         | Atom { op; space = Shared; dst; base; idx; src } ->
             let i = value base + value idx in
             if i < 0 || i >= Array.length shared then
-              fail "kernel %s: shared atomic out of bounds (idx %d/%d)" k.kname
-                i (Array.length shared);
+              oob ~space:Fault.Shared_space ~buffer:None ~index:i
+                ~length:(Array.length shared);
             let old = shared.(i) in
             shared.(i) <- exec_atomop op old (value src);
             r.(dst) <- old;
@@ -228,8 +241,8 @@ let run ?(max_instructions = 2_000_000_000) ?profile ?(jobs = 1) mem
             let arr = buffer_data b in
             let i = value idx in
             if i < 0 || i >= Array.length arr then
-              fail "kernel %s: global atomic out of bounds (buffer %d, idx %d)"
-                k.kname b i;
+              oob ~space:Fault.Global_space ~buffer:(Some b) ~index:i
+                ~length:(Array.length arr);
             let old =
               if locked then begin
                 let m = atom_stripes.(stripe_of ~buf:b ~idx:i) in
@@ -264,7 +277,13 @@ let run ?(max_instructions = 2_000_000_000) ?profile ?(jobs = 1) mem
             status.(tid) <- st_done;
             decr live;
             continue := false
-        | Trap msg -> fail "kernel %s trapped: %s" k.kname msg
+        | Trap (f, needed) ->
+            let f =
+              match needed with
+              | Some n -> Fault.set_needed (value n) f
+              | None -> f
+            in
+            Fault.raise_ (Fault.set_kernel k.kname f)
       done;
       pcs.(tid) <- !pc
     in
@@ -278,15 +297,20 @@ let run ?(max_instructions = 2_000_000_000) ?profile ?(jobs = 1) mem
       done
     done
   in
+  (* faults raised below the launch boundary (e.g. Div_by_zero from
+     exec_binop) carry an empty kernel field; name them here *)
+  let named f = Fault.Error (Fault.set_kernel k.kname f) in
   let jobs = max 1 (min jobs grid) in
   if jobs = 1 then begin
     let stats = Stats.create () in
     let buffer_data = make_buffer_cache mem k in
     let ctx = make_ctx () in
-    for ctaid = 0 to grid - 1 do
-      exec_cta ~stats ~profile_counts:profile ~buffer_data ~ctx ~locked:false
-        ctaid
-    done;
+    (try
+       for ctaid = 0 to grid - 1 do
+         exec_cta ~stats ~profile_counts:profile ~buffer_data ~ctx ~locked:false
+           ctaid
+       done
+     with Fault.Error f -> raise (named f));
     stats
   end
   else begin
@@ -355,6 +379,7 @@ let run ?(max_instructions = 2_000_000_000) ?profile ?(jobs = 1) mem
           worker_profiles
     | None -> ());
     match Atomic.get first_error with
+    | Some (_, Fault.Error f) -> raise (named f)
     | Some (_, e) -> raise e
     | None -> stats
   end

@@ -19,9 +19,12 @@
     [jobs > 1]; registers and shared memory are CTA-private and stay
     lock-free. See DESIGN.md "Parallel simulation". *)
 
-exception Runtime_error of string
+exception Runtime_error of Fault.t
 (** Raised on traps, out-of-bounds accesses, division by zero, invalid
-    buffer handles or exceeding the instruction budget. *)
+    buffer handles or exceeding the instruction budget. This is a
+    rebinding of {!Fault.Error}: matching either name catches the same
+    exception, so recovery code can pattern-match on the typed payload
+    regardless of which module raised it. *)
 
 val run :
   ?max_instructions:int ->

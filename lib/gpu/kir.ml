@@ -55,7 +55,10 @@ type instr =
   | Brnz of operand * label
   | Bar
   | Ret
-  | Trap of string
+  | Trap of Fault.t * operand option
+      (* the operand, when present, is the observed demand that exceeded
+         the capacity; the interpreter substitutes its value into the
+         fault's [needed] field at trap time *)
 [@@deriving show, eq]
 
 type kernel = {
@@ -105,7 +108,8 @@ let used_operands = function
   | Ld { base; idx; _ } -> [ base; idx ]
   | St { base; idx; src; _ } -> [ base; idx; src ]
   | Atom { base; idx; src; _ } -> [ base; idx; src ]
-  | Br _ | Bar | Ret | Trap _ -> []
+  | Br _ | Bar | Ret | Trap (_, None) -> []
+  | Trap (_, Some n) -> [ n ]
   | Brz (c, _) | Brnz (c, _) -> [ c ]
 
 let pp_operand ppf = function
@@ -184,7 +188,9 @@ let pp_instr ppf =
   | Brnz (c, l) -> p "brnz %a, L%d" o c l
   | Bar -> p "bar.sync"
   | Ret -> p "ret"
-  | Trap msg -> p "trap \"%s\"" msg
+  | Trap (f, n) -> (
+      p "trap \"%s\"" (Fault.render f);
+      match n with Some x -> p " [needed=%a]" o x | None -> ())
 
 let pp_kernel ppf k =
   Format.fprintf ppf

@@ -79,7 +79,10 @@ type instr =
   | Brnz of operand * label  (** branch when non-zero *)
   | Bar  (** CTA-wide barrier; all live threads must reach it *)
   | Ret
-  | Trap of string  (** abort the launch with a runtime error *)
+  | Trap of Fault.t * operand option
+      (** abort the launch with a typed fault; the operand, when present,
+          is the observed demand substituted into the fault's [needed]
+          field at trap time (see {!Fault.set_needed}) *)
 [@@deriving show, eq]
 
 type kernel = {

@@ -8,6 +8,7 @@ type entry = {
 type t = {
   device : Device.t;
   entries : (int, entry) Hashtbl.t;
+  faults : Fault_inject.t;
   mutable next_id : int;
   mutable live_bytes : int;
   mutable peak_bytes : int;
@@ -15,10 +16,11 @@ type t = {
 
 type buffer = int
 
-let create device =
+let create ?(faults = Fault_inject.none) device =
   {
     device;
     entries = Hashtbl.create 64;
+    faults;
     next_id = 1;
     live_bytes = 0;
     peak_bytes = 0;
@@ -26,6 +28,8 @@ let create device =
 
 let alloc ?(label = "buf") t ~words ~bytes =
   if words < 0 || bytes < 0 then invalid_arg "Memory.alloc: negative size";
+  Fault_inject.on_alloc t.faults ~label ~bytes ~live:t.live_bytes
+    ~capacity:t.device.Device.global_mem_bytes;
   let id = t.next_id in
   t.next_id <- id + 1;
   Hashtbl.replace t.entries id
@@ -56,6 +60,11 @@ let bytes t b = (entry t b).bytes
 let label t b = (entry t b).label
 let is_live t b =
   match Hashtbl.find_opt t.entries b with Some e -> e.live | None -> false
+
+let live_buffers t =
+  Hashtbl.fold (fun id e acc -> if e.live then (id, e.label) :: acc else acc)
+    t.entries []
+  |> List.sort compare
 
 let live_bytes t = t.live_bytes
 let peak_bytes t = t.peak_bytes

@@ -11,12 +11,18 @@ type t
 type buffer = int
 (** Opaque buffer handle, passed to kernels as a parameter value. *)
 
-val create : Device.t -> t
+val create : ?faults:Fault_inject.t -> Device.t -> t
+(** [faults] (default {!Fault_inject.none}) is consulted on every
+    {!alloc}; a scheduled event makes the allocation raise
+    {!Fault.Error} with an [Alloc_failure] payload (simulated device
+    OOM). *)
 
 val alloc : ?label:string -> t -> words:int -> bytes:int -> buffer
 (** Allocate a buffer of [words] elements accounted as [bytes] bytes of
     device memory (supplied exactly because tuples mix attribute widths).
-    Raises [Invalid_argument] on a negative size. *)
+    Raises [Invalid_argument] on a negative size, and {!Fault.Error}
+    ([Alloc_failure]) when the fault injector schedules this call to
+    fail. *)
 
 val free : t -> buffer -> unit
 (** Release a buffer. Double frees raise [Invalid_argument]. *)
@@ -30,6 +36,12 @@ val words : t -> buffer -> int
 val bytes : t -> buffer -> int
 val label : t -> buffer -> string
 val is_live : t -> buffer -> bool
+
+val live_buffers : t -> (buffer * string) list
+(** Handles and labels of every currently-live buffer, sorted by handle.
+    Introspection for leak assertions: after a run releases its
+    materializations, anything left here beyond the base relations is a
+    leak. *)
 
 val live_bytes : t -> int
 (** Bytes currently allocated. *)

@@ -2,14 +2,15 @@ type direction = Host_to_device | Device_to_host
 
 type t = {
   device : Device.t;
+  faults : Fault_inject.t;
   mutable bytes_h2d : int;
   mutable bytes_d2h : int;
   mutable transfers : int;
   mutable seconds : float;
 }
 
-let create device =
-  { device; bytes_h2d = 0; bytes_d2h = 0; transfers = 0; seconds = 0.0 }
+let create ?(faults = Fault_inject.none) device =
+  { device; faults; bytes_h2d = 0; bytes_d2h = 0; transfers = 0; seconds = 0.0 }
 
 let transfer t dir ~bytes =
   if bytes < 0 then invalid_arg "Pcie.transfer: negative size";
@@ -23,6 +24,11 @@ let transfer t dir ~bytes =
     +. (float_of_int bytes /. (d.Device.pcie_bw_gbps *. 1e9))
   in
   t.seconds <- t.seconds +. duration;
+  (* a failed transfer still occupied the bus: charge it before raising *)
+  Fault_inject.on_transfer t.faults
+    ~direction:
+      (match dir with Host_to_device -> Fault.H2d | Device_to_host -> Fault.D2h)
+    ~bytes;
   duration
 
 let transfer_words t dir ~words ~width = transfer t dir ~bytes:(words * width)

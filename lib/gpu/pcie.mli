@@ -9,10 +9,16 @@ type direction = Host_to_device | Device_to_host
 
 type t
 
-val create : Device.t -> t
+val create : ?faults:Fault_inject.t -> Device.t -> t
+(** [faults] (default {!Fault_inject.none}) is consulted on every
+    {!transfer}; a scheduled event makes the transfer raise
+    {!Fault.Error} with a [Transfer_failure] payload. *)
 
 val transfer : t -> direction -> bytes:int -> float
-(** Record one transfer of [bytes]; returns its duration in seconds. *)
+(** Record one transfer of [bytes]; returns its duration in seconds.
+    When the fault injector schedules this call to fail, the traffic and
+    time are still charged (the bus was occupied) and {!Fault.Error}
+    ([Transfer_failure]) is raised. *)
 
 val transfer_words : t -> direction -> words:int -> width:int -> float
 (** Convenience: [transfer t dir ~bytes:(words * width)]. *)

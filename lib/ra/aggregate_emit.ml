@@ -164,7 +164,7 @@ let gcols_n lay = List.length lay.group_cols
 
 (* --- partial kernel ------------------------------------------------------ *)
 
-let emit_partial ~name lay ~max_groups ~stage_cap =
+let emit_partial ?op ~name lay ~max_groups ~stage_cap () =
   let b = Kir_builder.create ~name ~params:4 () in
   let open Kir_builder in
   let in_buf = param b 0
@@ -233,9 +233,12 @@ let emit_partial ~name lay ~max_groups ~stage_cap =
             (fun () ->
               let full = cmp b Kir.Ge (Reg size) (Imm max_groups) in
               if_ b (Reg full) (fun () ->
+                  let needed = bin b Kir.Add (Reg size) (Imm 1) in
                   emit b
                     (Kir.Trap
-                       (Printf.sprintf "overflow:groups capacity %d" max_groups)));
+                       ( Fault.capacity_trap ?op ~which:Fault.Cap_groups
+                           ~have:max_groups (),
+                         Some (Kir.Reg needed) )));
               init_row b lay ~table_base ~partial_ar ~gcols_n:gn
                 ~row:(Kir.Reg size) ~gvals ~values;
               bin_to b size Kir.Add (Reg size) (Imm 1)));
@@ -257,7 +260,7 @@ let emit_partial ~name lay ~max_groups ~stage_cap =
 
 (* --- final kernel -------------------------------------------------------- *)
 
-let emit_final ~name lay ~max_groups ~stage_cap =
+let emit_final ?op ~name lay ~max_groups ~stage_cap () =
   let b = Kir_builder.create ~name ~params:5 () in
   let open Kir_builder in
   let staging = param b 0
@@ -314,10 +317,12 @@ let emit_final ~name lay ~max_groups ~stage_cap =
                 (fun () ->
                   let full = cmp b Kir.Ge (Reg size) (Imm max_groups) in
                   if_ b (Reg full) (fun () ->
+                      let needed = bin b Kir.Add (Reg size) (Imm 1) in
                       emit b
                         (Kir.Trap
-                           (Printf.sprintf "overflow:groups capacity %d"
-                              max_groups)));
+                           ( Fault.capacity_trap ?op ~which:Fault.Cap_groups
+                               ~have:max_groups (),
+                             Some (Kir.Reg needed) )));
                   init_row b lay ~table_base ~partial_ar ~gcols_n:gn
                     ~row:(Kir.Reg size) ~gvals ~values;
                   bin_to b size Kir.Add (Reg size) (Imm 1))));

@@ -11,8 +11,9 @@
       result plus its row count.
 
     The group table is capped at [max_groups] entries; exceeding it traps
-    with an [overflow:groups] message (a real system would fall back to a
-    sort-based aggregation — we document the cap instead). Floating-point
+    with a typed [Cap_groups] capacity fault (a real system would fall
+    back to a sort-based aggregation — the runtime instead retries with a
+    grown table, then falls back to a host-side aggregation). Floating-point
     sums accumulate in f32, so cross-CTA merge order can differ from a
     sequential host sum in the last ulps; tests compare approximately. *)
 
@@ -33,10 +34,23 @@ val layout :
   Relation_lib.Schema.t -> group_by:int list -> aggs:Qplan.Op.agg list -> layout
 
 val emit_partial :
-  name:string -> layout -> max_groups:int -> stage_cap:int -> Kir.kernel
-(** Parameters: [0] input buffer, [1] bounds, [2] staging, [3] counts. *)
+  ?op:int ->
+  name:string ->
+  layout ->
+  max_groups:int ->
+  stage_cap:int ->
+  unit ->
+  Kir.kernel
+(** Parameters: [0] input buffer, [1] bounds, [2] staging, [3] counts.
+    [op], when given, tags capacity traps with the producing operator. *)
 
 val emit_final :
-  name:string -> layout -> max_groups:int -> stage_cap:int -> Kir.kernel
+  ?op:int ->
+  name:string ->
+  layout ->
+  max_groups:int ->
+  stage_cap:int ->
+  unit ->
+  Kir.kernel
 (** Parameters: [0] staging, [1] counts, [2] partial grid size, [3] output
     buffer, [4] output count (1 word). Launch with grid 1. *)

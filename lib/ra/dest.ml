@@ -2,13 +2,13 @@ open Gpu_sim
 open Relation_lib
 
 type t =
-  | To_tile of { tile : Tile.t; label : string }
+  | To_tile of { tile : Tile.t; segment : int option }
   | To_staging of {
       buf : Kir.operand;
       stage_cap : int;
       counts : Kir.operand;
       schema : Schema.t;
-      label : string;
+      segment : int option;
     }
 
 let schema = function
@@ -19,20 +19,26 @@ let cap = function
   | To_tile { tile; _ } -> tile.Tile.cap
   | To_staging { stage_cap; _ } -> stage_cap
 
-let bounds_check b ~pos ~cap ~what =
+let bounds_check b ~pos ~cap ~segment =
   let open Kir_builder in
   let over = cmp b Kir.Ge pos (Imm cap) in
   if_ b (Reg over) (fun () ->
-      emit b (Kir.Trap (Printf.sprintf "overflow:%s capacity %d" what cap)))
+      (* cold path: the observed demand (pos + 1) rides on the trap so the
+         runtime can size the retry instead of blindly doubling *)
+      let needed = bin b Kir.Add pos (Imm 1) in
+      emit b
+        (Kir.Trap
+           ( Fault.capacity_trap ?segment ~which:Fault.Cap_staging ~have:cap (),
+             Some (Kir.Reg needed) )))
 
 let write_row b t ~pos regs =
   let open Kir_builder in
   match t with
-  | To_tile { tile; label } ->
-      bounds_check b ~pos ~cap:tile.Tile.cap ~what:("tile " ^ label);
+  | To_tile { tile; segment } ->
+      bounds_check b ~pos ~cap:tile.Tile.cap ~segment;
       Tile.store_tuple b tile ~idx:pos regs
-  | To_staging { buf; stage_cap; schema; label; _ } ->
-      bounds_check b ~pos ~cap:stage_cap ~what:("staging " ^ label);
+  | To_staging { buf; stage_cap; schema; segment; _ } ->
+      bounds_check b ~pos ~cap:stage_cap ~segment;
       let ar = Schema.arity schema in
       let base_row = bin b Kir.Mul ctaid (Imm stage_cap) in
       let row = bin b Kir.Add (Reg base_row) pos in

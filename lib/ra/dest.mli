@@ -9,15 +9,16 @@
 open Gpu_sim
 
 type t =
-  | To_tile of { tile : Tile.t; label : string }
-      (** [label] names the segment in overflow traps so the runtime can
-          retry with only that segment's capacity scaled *)
+  | To_tile of { tile : Tile.t; segment : int option }
+      (** [segment] identifies the fused segment in overflow traps (a
+          typed {!Fault.Capacity_trap}) so the runtime can retry with
+          only that segment's capacity scaled *)
   | To_staging of {
       buf : Kir.operand;  (** staging buffer, [grid * stage_cap] rows *)
       stage_cap : int;  (** rows reserved per CTA *)
       counts : Kir.operand;  (** per-CTA row counts, [grid] words *)
       schema : Relation_lib.Schema.t;
-      label : string;
+      segment : int option;
     }
 
 val schema : t -> Relation_lib.Schema.t
@@ -28,8 +29,10 @@ val cap : t -> int
 val write_row :
   Kir_builder.t -> t -> pos:Kir.operand -> Kir.operand array -> unit
 (** Store a tuple at row [pos] of the destination (tile-relative or
-    CTA-slice-relative). Emits a bounds check that traps on overflow so
-    the runtime can retry with a larger staging factor. *)
+    CTA-slice-relative). Emits a bounds check that traps on overflow
+    with a typed [Cap_staging] fault (carrying the segment index and the
+    observed demand) so the runtime can retry with a larger staging
+    factor. *)
 
 val finalize : Kir_builder.t -> t -> total:Kir.operand -> unit
 (** Record the row count: the tile's count slot, or [counts[ctaid]] for

@@ -1,7 +1,7 @@
 open Gpu_sim
 open Relation_lib
 
-let emit_compute ~name ~schema ~key_arity ~cap ~stage_cap =
+let emit_compute ?op ~name ~schema ~key_arity ~cap ~stage_cap () =
   let b = Kir_builder.create ~name ~params:4 () in
   let open Kir_builder in
   let in_buf = param b 0
@@ -36,7 +36,8 @@ let emit_compute ~name ~schema ~key_arity ~cap ~stage_cap =
   if_ b (Reg over) (fun () ->
       emit b
         (Kir.Trap
-           (Printf.sprintf "overflow:input range exceeds capacity %d" cap)));
+           ( Fault.capacity_trap ?op ~which:Fault.Cap_input_tile ~have:cap (),
+             Some (Kir.Reg n) )));
   let load_key_at row =
     Array.init key_arity (fun j ->
         let word = bin b Kir.Mul row (Imm ar) in
@@ -61,8 +62,7 @@ let emit_compute ~name ~schema ~key_arity ~cap ~stage_cap =
   Emit_common.seq_scan_exclusive b ~base:flags_base ~n:(Reg n) ~total_slot;
   let total = ld b Kir.Shared ~base:(Imm total_slot) ~idx:(Imm 0) ~width:4 in
   let dest =
-    Dest.To_staging
-      { buf = staging; stage_cap; counts; schema; label = "unique" }
+    Dest.To_staging { buf = staging; stage_cap; counts; schema; segment = None }
   in
   for_range b ~start:(Reg start) ~stop:(Reg stop) ~step:(Imm 1) (fun i ->
       let pos = ld b Kir.Shared ~base:(Imm flags_base) ~idx:(Reg i) ~width:4 in

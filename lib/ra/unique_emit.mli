@@ -10,10 +10,14 @@
 open Gpu_sim
 
 val emit_compute :
+  ?op:int ->
   name:string ->
   schema:Relation_lib.Schema.t ->
   key_arity:int ->
   cap:int ->  (** max rows per CTA (flags scratch size) *)
   stage_cap:int ->
+  unit ->
   Kir.kernel
-(** Parameters: [0] input buffer, [1] bounds, [2] staging, [3] counts. *)
+(** Parameters: [0] input buffer, [1] bounds, [2] staging, [3] counts.
+    [op], when given, tags capacity traps with the producing operator id
+    so recovery can address this operator specifically. *)

@@ -60,8 +60,9 @@ let compute_kernel (config : Config.t) ~name (ir : Fusion.t) (lay : Layout.t) =
     if_ b (Reg over) (fun () ->
         emit b
           (Kir.Trap
-             (Printf.sprintf "overflow:input %d range exceeds capacity %d" i
-                lay.input_caps.(i))))
+             ( Fault.capacity_trap ~input:i ~which:Fault.Cap_input_tile
+                 ~have:lay.input_caps.(i) (),
+               Some (Kir.Reg c) )))
   done;
   let tile t = lay.tiles.(t) in
   let staging_dest ~si o =
@@ -71,7 +72,7 @@ let compute_kernel (config : Config.t) ~name (ir : Fusion.t) (lay : Layout.t) =
         stage_cap = lay.out_caps.(o);
         counts = counts o;
         schema = snd ir.outputs.(o);
-        label = Printf.sprintf "seg=%d" si;
+        segment = Some si;
       }
   in
   (* primary destination for a segment, and an optional tile->staging copy
@@ -79,8 +80,7 @@ let compute_kernel (config : Config.t) ~name (ir : Fusion.t) (lay : Layout.t) =
   let dest_of ~si (d : Fusion.dest) =
     match (d.to_tile, d.to_output) with
     | Some t, _ ->
-        ( Ra_lib.Dest.To_tile
-            { tile = tile t; label = Printf.sprintf "seg=%d" si },
+        ( Ra_lib.Dest.To_tile { tile = tile t; segment = Some si },
           d.to_output )
     | None, Some o -> (staging_dest ~si o, None)
     | None, None -> assert false
@@ -93,7 +93,9 @@ let compute_kernel (config : Config.t) ~name (ir : Fusion.t) (lay : Layout.t) =
     if_ b (Reg over) (fun () ->
         emit b
           (Kir.Trap
-             (Printf.sprintf "overflow:staging seg=%d capacity %d" si cap)));
+             ( Fault.capacity_trap ~segment:si ~which:Fault.Cap_staging
+                 ~have:cap (),
+               Some (Kir.Reg cnt) )));
     let row0 = bin b Kir.Mul ctaid (Imm cap) in
     Ra_lib.Emit_common.coop_copy_s2g b ~tile:tl ~count:(Reg cnt)
       ~buf:(staging o) ~dst_row:(Reg row0);

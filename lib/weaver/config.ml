@@ -13,8 +13,11 @@ type t = {
   max_grid : int;
   input_sharing : bool;
   max_retries : int;
+  alloc_retries : int;
+  transfer_retries : int;
   selection_shared_fraction : float;
   jobs : int;
+  faults : string option;
 }
 
 let default =
@@ -31,8 +34,11 @@ let default =
     max_grid = 4096;
     input_sharing = true;
     max_retries = 10;
+    alloc_retries = 3;
+    transfer_retries = 3;
     selection_shared_fraction = 1.0;
     jobs = 1;
+    faults = None;
   }
 
 let with_jobs t jobs =

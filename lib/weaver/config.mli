@@ -23,6 +23,10 @@ type t = {
   max_grid : int;  (** CTA-count ceiling per kernel *)
   input_sharing : bool;  (** enable the §4.4 input-dependence extension *)
   max_retries : int;  (** capacity-overflow retries before giving up *)
+  alloc_retries : int;
+      (** retries of a failed (injected) device allocation before the
+          runtime demotes a Resident run to Streamed *)
+  transfer_retries : int;  (** retries of a failed (injected) PCIe copy *)
   selection_shared_fraction : float;
       (** Algorithm 2 closes a group when its estimated shared memory
           exceeds this fraction of the per-CTA limit: groups that consume
@@ -33,6 +37,11 @@ type t = {
           {!Gpu_sim.Interp.run}); 1 = sequential. Results and merged stats
           are identical for any value — this is purely a simulator
           wall-clock knob *)
+  faults : string option;
+      (** fault-injection schedule (see {!Gpu_sim.Fault_inject.of_spec});
+          [None] (the default) disables injection at zero cost. The
+          [WEAVER_FAULTS] environment variable seeds runs that don't set
+          this field. *)
 }
 
 val default : t

@@ -87,7 +87,9 @@ let topo_units plan units =
       succs.(ui)
   done;
   if List.length !order <> n then
-    raise (Runtime.Execution_error "cyclic unit dependence (non-convex group)");
+    raise
+      (Runtime.Execution_error
+         (Gpu_sim.Fault.Host_error "cyclic unit dependence (non-convex group)"));
   List.rev_map (fun ui -> arr.(ui)) !order
 
 let compile ?(config = Config.default) ?(fuse = true) ?(opt = Optimizer.O3) plan
@@ -112,7 +114,8 @@ let compile ?(config = Config.default) ?(fuse = true) ?(opt = Optimizer.O3) plan
         | exception Fusion.Infeasible msg ->
             raise
               (Runtime.Execution_error
-                 (Printf.sprintf "group %s cannot be woven: %s" name msg)))
+                 (Gpu_sim.Fault.Host_error
+                    (Printf.sprintf "group %s cannot be woven: %s" name msg))))
       groups
   in
   let barrier_units = List.map (barrier_unit plan) (Candidates.barriers plan) in
@@ -151,7 +154,8 @@ let compare_fusion ?config ?opt plan bases ~mode =
   if not (results_agree fused.Runtime.sinks unfused.Runtime.sinks) then
     raise
       (Runtime.Execution_error
-         "fusion changed query results (fused and unfused sinks differ)");
+         (Gpu_sim.Fault.Host_error
+            "fusion changed query results (fused and unfused sinks differ)"));
   { fused; unfused; fused_program; unfused_program }
 
 let speedup ~baseline ~improved =

@@ -13,6 +13,10 @@ type t = {
   peak_global_bytes : int;
   stats : Stats.t;
   retries : int;
+  fissions : int;
+  demotions : int;
+  faults_injected : int;
+  leaks : (string * int) list;
 }
 
 let total_cycles t = t.kernel_cycles +. t.pcie_cycles
@@ -42,9 +46,14 @@ let by_kernel t =
 
 let pp ppf t =
   Format.fprintf ppf
-    "@[<v>launches: %d (%d retries)@ kernel cycles: %.3e (compute %.3e, \
-     memory %.3e)@ PCIe: %.3e s, %d bytes in %d transfers@ peak global \
-     memory: %d bytes@ %a@]"
-    t.launches t.retries t.kernel_cycles t.compute_cycles t.memory_cycles
-    t.pcie_seconds t.pcie_bytes t.pcie_transfers t.peak_global_bytes Stats.pp
-    t.stats
+    "@[<v>launches: %d (%d retries, %d fissions, %d demotions, %d faults \
+     injected)@ kernel cycles: %.3e (compute %.3e, memory %.3e)@ PCIe: %.3e \
+     s, %d bytes in %d transfers@ peak global memory: %d bytes@ %a@]"
+    t.launches t.retries t.fissions t.demotions t.faults_injected
+    t.kernel_cycles t.compute_cycles t.memory_cycles t.pcie_seconds
+    t.pcie_bytes t.pcie_transfers t.peak_global_bytes Stats.pp t.stats;
+  match t.leaks with
+  | [] -> ()
+  | leaks ->
+      Format.fprintf ppf "@ LEAKED buffers:";
+      List.iter (fun (l, b) -> Format.fprintf ppf " %s(%d)" l b) leaks

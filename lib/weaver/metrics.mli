@@ -20,6 +20,17 @@ type t = {
   peak_global_bytes : int;
   stats : Stats.t;  (** dynamic event totals over all launches *)
   retries : int;  (** capacity-overflow retries that occurred *)
+  fissions : int;
+      (** fusion groups split at runtime after exhausting capacity
+          retries (each split of one group counts once) *)
+  demotions : int;
+      (** Resident->Streamed demotions (0 or 1: demotion restarts the run
+          in Streamed mode after a device OOM) *)
+  faults_injected : int;  (** faults the injection schedule fired *)
+  leaks : (string * int) list;
+      (** buffers (label, bytes) still allocated at end of run beyond the
+          base-relation footprint — always [[]] unless the runtime has a
+          lifetime bug; surfaced so tests can assert on it *)
 }
 
 val total_cycles : t -> float

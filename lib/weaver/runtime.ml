@@ -24,15 +24,16 @@ type program = {
 
 type result = { sinks : (int * Relation.t) list; metrics : Metrics.t }
 
-exception Execution_error of string
+exception Execution_error of Fault.t
 
-let exec_error fmt = Printf.ksprintf (fun s -> raise (Execution_error s)) fmt
+let exec_error fmt =
+  Printf.ksprintf (fun s -> raise (Execution_error (Fault.Host_error s))) fmt
 
 (* --- per-run state -------------------------------------------------------- *)
 
 type mat = {
   schema : Schema.t;
-  mutable rows : int;
+  rows : int;
   mutable buf : Memory.buffer option;
   mutable host : Relation.t option;
   mutable remaining : int;  (** consuming units left (Resident freeing) *)
@@ -42,9 +43,11 @@ type st = {
   program : program;
   mem : Memory.t;
   pcie : Pcie.t;
+  faults : Fault_inject.t;
   mode : mode;
   mutable reports : Executor.launch_report list;  (** reversed *)
   mutable retries : int;
+  mutable fissions : int;
   base_mats : mat array;
   node_mats : mat option array;
   pending_extra : (int, int) Hashtbl.t;
@@ -58,11 +61,38 @@ let device st = (config st).Config.device
 let launch st kernel ~params ~grid ~cta =
   let r =
     Executor.launch ~timing:(config st).Config.timing
-      ~jobs:(config st).Config.jobs (device st) st.mem kernel ~params ~grid
-      ~cta
+      ~jobs:(config st).Config.jobs ~faults:st.faults (device st) st.mem kernel
+      ~params ~grid ~cta
   in
   st.reports <- r :: st.reports;
   r
+
+(* Policy: injected allocation and PCIe faults are transient — retry a
+   bounded number of times before escalating. A device OOM that survives
+   its retries escalates to Resident->Streamed demotion in [run]. *)
+let alloc_buf st ~label ~words ~bytes =
+  let rec go tries =
+    try Memory.alloc ~label st.mem ~words ~bytes
+    with
+    | Fault.Error (Fault.Alloc_failure { injected = true; _ })
+      when tries < (config st).Config.alloc_retries
+    ->
+      st.retries <- st.retries + 1;
+      go (tries + 1)
+  in
+  go 0
+
+let transfer st dir ~bytes =
+  let rec go tries =
+    try ignore (Pcie.transfer st.pcie dir ~bytes)
+    with
+    | Fault.Error (Fault.Transfer_failure { injected = true; _ })
+      when tries < (config st).Config.transfer_retries
+    ->
+      st.retries <- st.retries + 1;
+      go (tries + 1)
+  in
+  go 0
 
 let synth_report st name stats =
   let time =
@@ -90,7 +120,7 @@ let mat_of_source st = function
       | None -> exec_error "operator %d's result is not materialized yet" i)
 
 let alloc_rel st ~label ~rows ~schema =
-  Memory.alloc ~label st.mem
+  alloc_buf st ~label
     ~words:(max 1 (rows * Schema.arity schema))
     ~bytes:(rows * Schema.tuple_bytes schema)
 
@@ -106,9 +136,8 @@ let upload st (m : mat) =
       let b = alloc_rel st ~label:"input" ~rows:m.rows ~schema:m.schema in
       Array.blit (Relation.data rel) 0 (Memory.data st.mem b) 0
         (Array.length (Relation.data rel));
-      ignore
-        (Pcie.transfer st.pcie Pcie.Host_to_device ~bytes:(Relation.bytes rel));
       m.buf <- Some b;
+      transfer st Pcie.Host_to_device ~bytes:(Relation.bytes rel);
       b
 
 let device_view st (m : mat) =
@@ -124,8 +153,7 @@ let download st (m : mat) =
   | Some r -> r
   | None ->
       let rel = device_view st m in
-      ignore
-        (Pcie.transfer st.pcie Pcie.Device_to_host ~bytes:(Relation.bytes rel));
+      transfer st Pcie.Device_to_host ~bytes:(Relation.bytes rel);
       m.host <- Some rel;
       rel
 
@@ -186,30 +214,6 @@ let publish st op_id (m : mat) =
       free_device st m
   | Resident -> ()
 
-(* parse a "seg=<n>" marker out of an overflow trap message *)
-let seg_of_msg msg =
-  let n = String.length msg in
-  let rec find i =
-    if i + 4 > n then None
-    else if String.sub msg i 4 = "seg=" then
-      let rec digits j acc any =
-        if j < n && msg.[j] >= '0' && msg.[j] <= '9' then
-          digits (j + 1) ((acc * 10) + Char.code msg.[j] - 48) true
-        else if any then Some acc
-        else None
-      in
-      digits (i + 4) 0 false
-    else find (i + 1)
-  in
-  find 0
-
-let is_overflow msg = String.length msg > 0 &&
-  (let rec find i =
-     i + 9 <= String.length msg
-     && (String.sub msg i 9 = "overflow:" || find (i + 1))
-   in
-   find 0)
-
 (* how many units read a node's output (sinks get a sentinel so their
    buffers survive until the end of the run) *)
 let consumer_units_of st op_id =
@@ -246,20 +250,34 @@ let optimize_kernels st (ks : Codegen.kernels) =
   }
 
 (* Run the scan-then-gather tail for one output; returns the dense buffer
-   and its row count. *)
+   and its row count. The scratch offsets (and, when a launch faults
+   mid-way, the partially-written output) are released on every path so
+   retries never accumulate dead buffers. *)
 let scan_and_gather st ~name ~scan_k ~gather_k ~staging ~counts ~grid ~schema =
-  let offsets = Memory.alloc ~label:(name ^ "_offsets") st.mem
-      ~words:(grid + 1) ~bytes:(4 * (grid + 1))
+  let offsets =
+    alloc_buf st ~label:(name ^ "_offsets") ~words:(grid + 1)
+      ~bytes:(4 * (grid + 1))
   in
-  ignore (launch st scan_k ~params:[| counts; offsets; grid |] ~grid:1 ~cta:1);
-  let total = (Memory.data st.mem offsets).(grid) in
-  let out = alloc_rel st ~label:(name ^ "_out") ~rows:total ~schema in
-  ignore
-    (launch st gather_k
-       ~params:[| staging; counts; offsets; out |]
-       ~grid ~cta:(config st).Config.cta_threads);
-  Memory.free st.mem offsets;
-  (out, total)
+  match
+    ignore (launch st scan_k ~params:[| counts; offsets; grid |] ~grid:1 ~cta:1);
+    let total = (Memory.data st.mem offsets).(grid) in
+    let out = alloc_rel st ~label:(name ^ "_out") ~rows:total ~schema in
+    (try
+       ignore
+         (launch st gather_k
+            ~params:[| staging; counts; offsets; out |]
+            ~grid ~cta:(config st).Config.cta_threads)
+     with e ->
+       Memory.free st.mem out;
+       raise e);
+    (out, total)
+  with
+  | res ->
+      Memory.free st.mem offsets;
+      res
+  | exception e ->
+      Memory.free st.mem offsets;
+      raise e
 
 exception Needs_split of Config.t
 (* a capacity retry outgrew the shared budget: re-select with the grown
@@ -339,12 +357,16 @@ let rec exec_fused st ~name (ir : Fusion.t) =
       if List.length ir.op_ids >= 2 then raise (Needs_split cfg)
       else raise Fallback_needed
     in
+    let seg_expansion si =
+      Option.value (Hashtbl.find_opt seg_exp si)
+        ~default:cfg.Config.join_expansion
+    in
     let lay =
       (* a pinned capacity that no longer fits falls back to the search *)
-      match Layout.compute ?fixed_cap cfg plan ir with
+      match Layout.compute ?fixed_cap ~seg_expansion cfg plan ir with
       | lay -> lay
       | exception Fusion.Infeasible _ when fixed_cap <> None -> (
-          match Layout.compute cfg plan ir with
+          match Layout.compute ~seg_expansion cfg plan ir with
           | lay -> lay
           | exception Fusion.Infeasible _ -> infeasible ())
       | exception Fusion.Infeasible _ -> infeasible ()
@@ -385,12 +407,19 @@ let rec exec_fused st ~name (ir : Fusion.t) =
     let grid = clamp_grid st ~rows:driving_rows ~cap:lay.Layout.cap in
     let temps = ref [] in
     let temp b = temps := b :: !temps; b in
-    let free_temps () = List.iter (Memory.free st.mem) !temps; temps := [] in
+    (* on the trap path, already-gathered outputs are scratch too *)
+    let produced = ref [] in
+    let free_temps () =
+      List.iter (Memory.free st.mem) !temps;
+      temps := [];
+      List.iter (Memory.free st.mem) !produced;
+      produced := []
+    in
     try
       let bounds =
         Array.init n_in (fun i ->
             temp
-              (Memory.alloc ~label:(Printf.sprintf "%s_bounds%d" name i) st.mem
+              (alloc_buf st ~label:(Printf.sprintf "%s_bounds%d" name i)
                  ~words:(grid + 1) ~bytes:(4 * (grid + 1))))
       in
       let stagings =
@@ -398,14 +427,14 @@ let rec exec_fused st ~name (ir : Fusion.t) =
             let schema = snd ir.outputs.(o) in
             let rows = grid * lay.Layout.out_caps.(o) in
             temp
-              (Memory.alloc ~label:(Printf.sprintf "%s_staging%d" name o) st.mem
+              (alloc_buf st ~label:(Printf.sprintf "%s_staging%d" name o)
                  ~words:(max 1 (rows * Schema.arity schema))
                  ~bytes:(rows * Schema.tuple_bytes schema)))
       in
       let counts =
         Array.init n_out (fun o ->
             temp
-              (Memory.alloc ~label:(Printf.sprintf "%s_counts%d" name o) st.mem
+              (alloc_buf st ~label:(Printf.sprintf "%s_counts%d" name o)
                  ~words:grid ~bytes:(4 * grid)))
       in
       let part_params =
@@ -441,60 +470,56 @@ let rec exec_fused st ~name (ir : Fusion.t) =
                 ~gather_k:kernels.Codegen.gathers.(o)
                 ~staging:stagings.(o) ~counts:counts.(o) ~grid ~schema
             in
+            produced := buf :: !produced;
             (op_id, schema, buf, rows))
       in
+      produced := [];
       free_temps ();
       outs
-    with Interp.Runtime_error msg when is_overflow msg ->
+    with Interp.Runtime_error (Fault.Capacity_trap cap_fault) ->
       free_temps ();
       if tries >= (config st).Config.max_retries then
         if List.length ir.op_ids >= 2 then raise (Needs_split cfg)
         else raise Fallback_needed;
       st.retries <- st.retries + 1;
       (* scale the capacity the trap names *)
-      let contains sub =
-        let n = String.length msg and m = String.length sub in
-        let rec go i = i + m <= n && (String.sub msg i m = sub || go (i + 1)) in
-        go 0
-      in
-      if contains "overflow:groups" then
-        attempt ~fixed_cap:lay.Layout.cap
-          { cfg with Config.max_groups = cfg.Config.max_groups * 2 }
-          (tries + 1)
-      else if contains "overflow:input" then
-        (* a key range outgrew its tile: the binding constraint is the
-           longest key run, which is independent of the slice size — so
-           grow the slack factor faster than the capacity shrinks, keeping
-           total shared memory roughly flat while the absolute tile
-           capacity doubles each retry *)
-        attempt
-          ~fixed_cap:(max 8 (lay.Layout.cap / 2))
-          {
-            cfg with
-            Config.aux_factor = cfg.Config.aux_factor * 4;
-            broadcast_cap = cfg.Config.broadcast_cap * 2;
-          }
-          (tries + 1)
-      else begin
-        (* join/staging overflow: fan-out exceeded the expansion budget;
-           grow only the overflowing segment when the trap names one *)
-        (match seg_of_msg msg with
-        | Some si ->
-            let cur =
-              Option.value (Hashtbl.find_opt seg_exp si)
-                ~default:cfg.Config.join_expansion
-            in
-            Hashtbl.replace seg_exp si (cur * 2);
-            ()
-        | None -> ());
-        let cfg' =
-          match seg_of_msg msg with
-          | Some _ -> cfg
+      match cap_fault.which with
+      | Fault.Cap_groups ->
+          attempt ~fixed_cap:lay.Layout.cap
+            { cfg with Config.max_groups = cfg.Config.max_groups * 2 }
+            (tries + 1)
+      | Fault.Cap_input_tile ->
+          (* a key range outgrew its tile: the binding constraint is the
+             longest key run, which is independent of the slice size — so
+             grow the slack factor faster than the capacity shrinks, keeping
+             total shared memory roughly flat while the absolute tile
+             capacity doubles each retry *)
+          attempt
+            ~fixed_cap:(max 8 (lay.Layout.cap / 2))
+            {
+              cfg with
+              Config.aux_factor = cfg.Config.aux_factor * 4;
+              broadcast_cap = cfg.Config.broadcast_cap * 2;
+            }
+            (tries + 1)
+      | Fault.Cap_staging -> (
+          (* join/staging overflow: fan-out exceeded the expansion budget;
+             grow only the overflowing segment when the trap names one *)
+          match cap_fault.segment with
+          | Some si ->
+              let cur =
+                Option.value (Hashtbl.find_opt seg_exp si)
+                  ~default:cfg.Config.join_expansion
+              in
+              Hashtbl.replace seg_exp si (cur * 2);
+              attempt ~fixed_cap:lay.Layout.cap cfg (tries + 1)
           | None ->
-              { cfg with Config.join_expansion = cfg.Config.join_expansion * 2 }
-        in
-        attempt ~fixed_cap:lay.Layout.cap cfg' (tries + 1)
-      end
+              attempt ~fixed_cap:lay.Layout.cap
+                {
+                  cfg with
+                  Config.join_expansion = cfg.Config.join_expansion * 2;
+                }
+                (tries + 1))
   in
   match attempt (config st) 0 with
   | outs ->
@@ -517,30 +542,44 @@ let rec exec_fused st ~name (ir : Fusion.t) =
            (Array.map (fun (i : Fusion.input_info) -> i.source) ir.inputs))
   | exception Fallback_needed -> exec_fallback st ~name ir
   | exception Needs_split grown_cfg ->
-      (* split the group under the grown resource estimate and execute the
-         pieces; each piece retries (and may split again) independently *)
+      (* fission fallback: split the group under the grown resource
+         estimate and execute the pieces; each piece retries (and may
+         split again) independently *)
+      st.fissions <- st.fissions + 1;
       let subgroups =
         Selection.select ~plan
           ~estimate:(Layout.estimate grown_cfg plan)
           ~budget:(Config.budget grown_cfg) ir.op_ids
       in
       (* if re-selection keeps the group whole (its estimate was optimistic
-         where the observed data was not), fall back to singletons *)
+         where the observed data was not), halve it — binary fission walks
+         down to singletons only as far as the data demands *)
+      let halves ids =
+        let n = List.length ids in
+        let half = n / 2 in
+        [
+          List.filteri (fun i _ -> i < half) ids;
+          List.filteri (fun i _ -> i >= half) ids;
+        ]
+      in
       let subgroups =
-        if List.length subgroups <= 1 then List.map (fun id -> [ id ]) ir.op_ids
-        else subgroups
+        if List.length subgroups <= 1 then halves ir.op_ids else subgroups
       in
       (* consumer accounting: the static plan budgeted ONE consumption of
          each original input by this unit, and NONE of the intermediates
          now materialized between subgroups — credit the difference *)
+      let build_all groups =
+        try Some (List.map (fun g -> Fusion.build plan g) groups)
+        with Fusion.Infeasible _ -> None
+      in
       let sub_irs =
-        List.map
-          (fun g ->
-            match Fusion.build plan g with
-            | sub -> sub
-            | exception Fusion.Infeasible msg ->
-                exec_error "subgroup of %s cannot be woven: %s" name msg)
-          subgroups
+        match build_all subgroups with
+        | Some irs -> irs
+        | None -> (
+            (* a half that cannot be woven on its own: fall to singletons *)
+            match build_all (List.map (fun id -> [ id ]) ir.op_ids) with
+            | Some irs -> irs
+            | None -> exec_error "group %s cannot be split further" name)
       in
       let reads : (Plan.source, int) Hashtbl.t = Hashtbl.create 8 in
       List.iter
@@ -605,62 +644,87 @@ let exec_unique st ~op_id ~key_arity ~source =
   ignore (upload st m);
   ensure_sorted st m ~key_arity;
   let cfg = config st in
-  let cap = cfg.Config.cap in
-  let grid = clamp_grid st ~rows:m.rows ~cap in
   let name = Printf.sprintf "unique%d" op_id in
   let o = Optimizer.optimize st.program.opt in
-  let partition =
-    o
-      (Ra_lib.Partition_emit.emit ~name:(name ^ "_partition")
-         ~inputs:[ (Ra_lib.Partition_emit.Even, m.schema) ]
-         ~key_arity ~pivot:None ~cap)
+  (* the flags scratch (one shared word per row) bounds how far the slice
+     capacity can grow on retries *)
+  let max_cap =
+    max cfg.Config.cap (cfg.Config.device.Device.max_shared_mem_per_cta / 8)
   in
-  let compute =
-    o
-      (Ra_lib.Unique_emit.emit_compute ~name:(name ^ "_compute")
-         ~schema:m.schema ~key_arity ~cap ~stage_cap:cap)
+  let rec attempt cap tries =
+    let grid = clamp_grid st ~rows:m.rows ~cap in
+    let partition =
+      o
+        (Ra_lib.Partition_emit.emit ~name:(name ^ "_partition")
+           ~inputs:[ (Ra_lib.Partition_emit.Even, m.schema) ]
+           ~key_arity ~pivot:None ~cap)
+    in
+    let compute =
+      o
+        (Ra_lib.Unique_emit.emit_compute ~op:op_id ~name:(name ^ "_compute")
+           ~schema:m.schema ~key_arity ~cap ~stage_cap:cap ())
+    in
+    let scan_k =
+      o (Ra_lib.Gather_emit.emit_scan_offsets ~name:(name ^ "_scan"))
+    in
+    let gather_k =
+      o
+        (Ra_lib.Gather_emit.emit_gather ~name:(name ^ "_gather")
+           ~schema:m.schema ~stage_cap:cap)
+    in
+    let temps = ref [] in
+    let temp b = temps := b :: !temps; b in
+    let free_temps () = List.iter (Memory.free st.mem) !temps; temps := [] in
+    try
+      let bounds =
+        temp
+          (alloc_buf st ~label:(name ^ "_bounds") ~words:(grid + 1)
+             ~bytes:(4 * (grid + 1)))
+      in
+      let staging =
+        temp
+          (alloc_buf st ~label:(name ^ "_staging")
+             ~words:(max 1 (grid * cap * Schema.arity m.schema))
+             ~bytes:(grid * cap * Schema.tuple_bytes m.schema))
+      in
+      let counts =
+        temp (alloc_buf st ~label:(name ^ "_counts") ~words:grid ~bytes:(4 * grid))
+      in
+      let buf = Option.get m.buf in
+      ignore (launch st partition ~params:[| buf; m.rows; bounds |] ~grid ~cta:32);
+      ignore
+        (launch st compute
+           ~params:[| buf; bounds; staging; counts |]
+           ~grid ~cta:cfg.Config.cta_threads);
+      let out, rows =
+        scan_and_gather st ~name ~scan_k ~gather_k ~staging ~counts ~grid
+          ~schema:m.schema
+      in
+      free_temps ();
+      (out, rows)
+    with Interp.Runtime_error (Fault.Capacity_trap _) ->
+      free_temps ();
+      (* a key run outgrew the slice: double the slice until the flags
+         scratch no longer fits shared memory, then run host-side *)
+      let next = min (cap * 2) max_cap in
+      if next <= cap || tries >= cfg.Config.max_retries then
+        raise Fallback_needed;
+      st.retries <- st.retries + 1;
+      attempt next (tries + 1)
   in
-  let scan_k = o (Ra_lib.Gather_emit.emit_scan_offsets ~name:(name ^ "_scan")) in
-  let gather_k =
-    o
-      (Ra_lib.Gather_emit.emit_gather ~name:(name ^ "_gather") ~schema:m.schema
-         ~stage_cap:cap)
-  in
-  let bounds =
-    Memory.alloc ~label:(name ^ "_bounds") st.mem ~words:(grid + 1)
-      ~bytes:(4 * (grid + 1))
-  in
-  let staging =
-    Memory.alloc ~label:(name ^ "_staging") st.mem
-      ~words:(max 1 (grid * cap * Schema.arity m.schema))
-      ~bytes:(grid * cap * Schema.tuple_bytes m.schema)
-  in
-  let counts =
-    Memory.alloc ~label:(name ^ "_counts") st.mem ~words:grid ~bytes:(4 * grid)
-  in
-  let buf = Option.get m.buf in
-  ignore
-    (launch st partition ~params:[| buf; m.rows; bounds |] ~grid ~cta:32);
-  ignore
-    (launch st compute
-       ~params:[| buf; bounds; staging; counts |]
-       ~grid ~cta:cfg.Config.cta_threads);
-  let out, rows =
-    scan_and_gather st ~name ~scan_k ~gather_k ~staging ~counts ~grid
-      ~schema:m.schema
-  in
-  Memory.free st.mem bounds;
-  Memory.free st.mem staging;
-  Memory.free st.mem counts;
-  publish st op_id
-    {
-      schema = m.schema;
-      rows;
-      buf = Some out;
-      host = None;
-      remaining = consumer_units_of st op_id;
-    };
-  consume st [ source ]
+  match attempt cfg.Config.cap 0 with
+  | exception Fallback_needed ->
+      exec_fallback_node st ~name ~op_id ~consumed_sources:[ source ]
+  | out, rows ->
+      publish st op_id
+        {
+          schema = m.schema;
+          rows;
+          buf = Some out;
+          host = None;
+          remaining = consumer_units_of st op_id;
+        };
+      consume st [ source ]
 
 let exec_aggregate st ~op_id ~source ~(lay : Ra_lib.Aggregate_emit.layout) =
   let m = mat_of_source st source in
@@ -685,43 +749,49 @@ let exec_aggregate st ~op_id ~source ~(lay : Ra_lib.Aggregate_emit.layout) =
     in
     let partial =
       o
-        (Ra_lib.Aggregate_emit.emit_partial ~name:(name ^ "_partial") lay
-           ~max_groups ~stage_cap:max_groups)
+        (Ra_lib.Aggregate_emit.emit_partial ~op:op_id ~name:(name ^ "_partial")
+           lay ~max_groups ~stage_cap:max_groups ())
     in
     let final =
       o
-        (Ra_lib.Aggregate_emit.emit_final ~name:(name ^ "_final") lay
-           ~max_groups ~stage_cap:max_groups)
+        (Ra_lib.Aggregate_emit.emit_final ~op:op_id ~name:(name ^ "_final") lay
+           ~max_groups ~stage_cap:max_groups ())
     in
     let partial_ar = Schema.arity lay.Ra_lib.Aggregate_emit.partial_schema in
     let temps = ref [] in
     let temp b = temps := b :: !temps; b in
-    let free_temps () = List.iter (Memory.free st.mem) !temps; temps := [] in
+    (* the result buffer survives success but must not leak across retries *)
+    let result = ref None in
+    let free_temps () =
+      List.iter (Memory.free st.mem) !temps;
+      temps := [];
+      (match !result with Some b -> Memory.free st.mem b | None -> ());
+      result := None
+    in
     try
       let bounds =
         temp
-          (Memory.alloc ~label:(name ^ "_bounds") st.mem ~words:(grid + 1)
+          (alloc_buf st ~label:(name ^ "_bounds") ~words:(grid + 1)
              ~bytes:(4 * (grid + 1)))
       in
       let staging =
         temp
-          (Memory.alloc ~label:(name ^ "_staging") st.mem
+          (alloc_buf st ~label:(name ^ "_staging")
              ~words:(max 1 (grid * max_groups * partial_ar))
              ~bytes:
                (grid * max_groups
                * Schema.tuple_bytes lay.Ra_lib.Aggregate_emit.partial_schema))
       in
       let counts =
-        temp
-          (Memory.alloc ~label:(name ^ "_counts") st.mem ~words:grid
-             ~bytes:(4 * grid))
+        temp (alloc_buf st ~label:(name ^ "_counts") ~words:grid ~bytes:(4 * grid))
       in
       let out_schema = lay.Ra_lib.Aggregate_emit.out_schema in
       let out =
         alloc_rel st ~label:(name ^ "_out") ~rows:max_groups ~schema:out_schema
       in
+      result := Some out;
       let out_count =
-        temp (Memory.alloc ~label:(name ^ "_outcount") st.mem ~words:1 ~bytes:4)
+        temp (alloc_buf st ~label:(name ^ "_outcount") ~words:1 ~bytes:4)
       in
       let buf = Option.get m.buf in
       ignore (launch st partition ~params:[| buf; m.rows; bounds |] ~grid ~cta:32);
@@ -734,9 +804,10 @@ let exec_aggregate st ~op_id ~source ~(lay : Ra_lib.Aggregate_emit.layout) =
            ~params:[| staging; counts; grid; out; out_count |]
            ~grid:1 ~cta:1);
       let rows = (Memory.data st.mem out_count).(0) in
+      result := None;
       free_temps ();
       (out, rows, out_schema)
-    with Interp.Runtime_error msg when is_overflow msg ->
+    with Interp.Runtime_error (Fault.Capacity_trap _) ->
       free_temps ();
       let next = min (max_groups * 2) fit_cap in
       if next <= max_groups || tries >= cfg.Config.max_retries then
@@ -773,100 +844,157 @@ let run program bases ~mode =
       if not (Schema.equal (Relation.schema r) (Plan.base_schema program.plan i))
       then invalid_arg (Printf.sprintf "Runtime.run: base %d schema mismatch" i))
     bases;
-  let mem = Memory.create program.config.Config.device in
-  let pcie = Pcie.create program.config.Config.device in
-  let st =
-    {
-      program;
-      mem;
-      pcie;
-      mode;
-      reports = [];
-      retries = 0;
-      base_mats =
-        Array.map
-          (fun r ->
-            {
-              schema = Relation.schema r;
-              rows = Relation.count r;
-              buf = None;
-              host = Some r;
-              remaining = 0;
-            })
-          bases;
-      node_mats = Array.make (Plan.node_count program.plan) None;
-      pending_extra = Hashtbl.create 8;
-    }
+  let faults =
+    match program.config.Config.faults with
+    | Some spec -> Fault_inject.of_spec spec
+    | None -> Fault_inject.of_env ()
   in
-  (* base consumer counts *)
-  Array.iteri
-    (fun i (m : mat) ->
-      let src = Plan.Base i in
-      m.remaining <-
-        List.fold_left
-          (fun acc u ->
-            let srcs =
-              match u with
-              | U_fused { ir; _ } ->
-                  Array.to_list
-                    (Array.map (fun (x : Fusion.input_info) -> x.source) ir.inputs)
-              | U_sort { source; _ } | U_unique { source; _ }
-              | U_aggregate { source; _ } ->
-                  [ source ]
-            in
-            if List.exists (Plan.equal_source src) srcs then acc + 1 else acc)
-          0 program.units)
-    st.base_mats;
-  (* In Resident mode, upload every base once up front (the paper's small-
-     input protocol); Streamed uploads on demand. *)
-  (match mode with
-  | Resident -> Array.iter (fun m -> ignore (upload st m)) st.base_mats
-  | Streamed -> ());
-  List.iter
-    (fun u ->
-      match u with
-      | U_fused { name; ir } -> exec_fused st ~name ir
-      | U_sort { op_id; key_arity; source } ->
-          exec_sort st ~op_id ~key_arity ~source
-      | U_unique { op_id; key_arity; source } ->
-          exec_unique st ~op_id ~key_arity ~source
-      | U_aggregate { op_id; source; lay } ->
-          exec_aggregate st ~op_id ~source ~lay)
-    program.units;
-  let sinks =
-    List.map
-      (fun id ->
-        match st.node_mats.(id) with
-        | Some m -> (id, download st m)
-        | None -> exec_error "sink %d was never computed" id)
-      (Plan.sinks program.plan)
+  (* One injector and one PCIe ledger span the whole run, demotion
+     included: one-shot injected events do not refire on the demoted
+     attempt, and every attempt's traffic stays charged. *)
+  let pcie = Pcie.create ~faults program.config.Config.device in
+  (* counters survive a failed attempt so the demoted re-run charges it *)
+  let saved_reports = ref [] in
+  let saved_retries = ref 0 in
+  let saved_fissions = ref 0 in
+  let attempt ~mode ~demotions =
+    let mem = Memory.create ~faults program.config.Config.device in
+    let st =
+      {
+        program;
+        mem;
+        pcie;
+        faults;
+        mode;
+        reports = !saved_reports;
+        retries = !saved_retries;
+        fissions = !saved_fissions;
+        base_mats =
+          Array.map
+            (fun r ->
+              {
+                schema = Relation.schema r;
+                rows = Relation.count r;
+                buf = None;
+                host = Some r;
+                remaining = 0;
+              })
+            bases;
+        node_mats = Array.make (Plan.node_count program.plan) None;
+        pending_extra = Hashtbl.create 8;
+      }
+    in
+    try
+      (* base consumer counts *)
+      Array.iteri
+        (fun i (m : mat) ->
+          let src = Plan.Base i in
+          m.remaining <-
+            List.fold_left
+              (fun acc u ->
+                let srcs =
+                  match u with
+                  | U_fused { ir; _ } ->
+                      Array.to_list
+                        (Array.map
+                           (fun (x : Fusion.input_info) -> x.source)
+                           ir.inputs)
+                  | U_sort { source; _ } | U_unique { source; _ }
+                  | U_aggregate { source; _ } ->
+                      [ source ]
+                in
+                if List.exists (Plan.equal_source src) srcs then acc + 1
+                else acc)
+              0 program.units)
+        st.base_mats;
+      (* In Resident mode, upload every base once up front (the paper's
+         small-input protocol); Streamed uploads on demand. *)
+      (match mode with
+      | Resident -> Array.iter (fun m -> ignore (upload st m)) st.base_mats
+      | Streamed -> ());
+      List.iter
+        (fun u ->
+          match u with
+          | U_fused { name; ir } -> exec_fused st ~name ir
+          | U_sort { op_id; key_arity; source } ->
+              exec_sort st ~op_id ~key_arity ~source
+          | U_unique { op_id; key_arity; source } ->
+              exec_unique st ~op_id ~key_arity ~source
+          | U_aggregate { op_id; source; lay } ->
+              exec_aggregate st ~op_id ~source ~lay)
+        program.units;
+      let sinks =
+        List.map
+          (fun id ->
+            match st.node_mats.(id) with
+            | Some m -> (id, download st m)
+            | None -> exec_error "sink %d was never computed" id)
+          (Plan.sinks program.plan)
+      in
+      (* release every device materialization; whatever is still live in
+         the manager after that is a lifetime bug, surfaced as a leak *)
+      Array.iter (fun m -> free_device st m) st.base_mats;
+      Array.iter
+        (function Some m -> free_device st m | None -> ())
+        st.node_mats;
+      let leaks =
+        List.map
+          (fun (b, l) -> (l, Memory.bytes mem b))
+          (Memory.live_buffers mem)
+      in
+      let reports = List.rev st.reports in
+      let stats = Executor.sum_stats reports in
+      let metrics =
+        {
+          Metrics.reports;
+          launches = List.length reports;
+          kernel_cycles =
+            List.fold_left
+              (fun a r -> a +. r.Executor.time.Timing.total_cycles)
+              0.0 reports;
+          compute_cycles =
+            List.fold_left
+              (fun a r -> a +. r.Executor.time.Timing.compute_cycles)
+              0.0 reports;
+          memory_cycles =
+            List.fold_left
+              (fun a r -> a +. r.Executor.time.Timing.memory_cycles)
+              0.0 reports;
+          pcie_seconds = Pcie.total_seconds pcie;
+          pcie_cycles = Pcie.total_cycles pcie;
+          pcie_bytes = Pcie.total_bytes pcie;
+          pcie_transfers = Pcie.transfer_count pcie;
+          peak_global_bytes = Memory.peak_bytes mem;
+          stats;
+          retries = st.retries;
+          fissions = st.fissions;
+          demotions;
+          faults_injected = Fault_inject.injected faults;
+          leaks;
+        }
+      in
+      { sinks; metrics }
+    with e ->
+      saved_reports := st.reports;
+      saved_retries := st.retries;
+      saved_fissions := st.fissions;
+      raise e
   in
-  let reports = List.rev st.reports in
-  let stats = Executor.sum_stats reports in
-  let metrics =
-    {
-      Metrics.reports;
-      launches = List.length reports;
-      kernel_cycles =
-        List.fold_left (fun a r -> a +. r.Executor.time.Timing.total_cycles) 0.0 reports;
-      compute_cycles =
-        List.fold_left
-          (fun a r -> a +. r.Executor.time.Timing.compute_cycles)
-          0.0 reports;
-      memory_cycles =
-        List.fold_left
-          (fun a r -> a +. r.Executor.time.Timing.memory_cycles)
-          0.0 reports;
-      pcie_seconds = Pcie.total_seconds pcie;
-      pcie_cycles = Pcie.total_cycles pcie;
-      pcie_bytes = Pcie.total_bytes pcie;
-      pcie_transfers = Pcie.transfer_count pcie;
-      peak_global_bytes = Memory.peak_bytes mem;
-      stats;
-      retries = st.retries;
-    }
+  (* Policy order (see DESIGN.md "Fault model & recovery"): retries and
+     fission already happened inside the attempt; what escapes here is a
+     device OOM (demote a Resident run to Streamed and restart) or a
+     genuinely unrecoverable fault (fail with a typed payload). *)
+  let wrap ~attempts = function
+    | (Fault.Alloc_failure _ | Fault.Transfer_failure _ | Fault.Capacity_trap _)
+      as f ->
+        Fault.Recovery_exhausted { attempts; last = f }
+    | f -> f
   in
-  { sinks; metrics }
+  try attempt ~mode ~demotions:0 with
+  | Fault.Error (Fault.Alloc_failure _) when mode = Resident -> (
+      try attempt ~mode:Streamed ~demotions:1
+      with Fault.Error f -> raise (Execution_error (wrap ~attempts:2 f)))
+  | Fault.Error f -> raise (Execution_error (wrap ~attempts:1 f))
 
 let kernels_source program =
   let buf = Buffer.create 4096 in
@@ -891,20 +1019,20 @@ let kernels_source program =
             (Plan.node program.plan op_id).Plan.schema
           in
           add
-            (Ra_lib.Unique_emit.emit_compute
+            (Ra_lib.Unique_emit.emit_compute ~op:op_id
                ~name:(Printf.sprintf "unique%d_compute" op_id)
                ~schema ~key_arity ~cap:program.config.Config.cap
-               ~stage_cap:program.config.Config.cap)
+               ~stage_cap:program.config.Config.cap ())
       | U_aggregate { op_id; lay; _ } ->
           add
-            (Ra_lib.Aggregate_emit.emit_partial
+            (Ra_lib.Aggregate_emit.emit_partial ~op:op_id
                ~name:(Printf.sprintf "aggregate%d_partial" op_id)
                lay ~max_groups:program.config.Config.max_groups
-               ~stage_cap:program.config.Config.max_groups);
+               ~stage_cap:program.config.Config.max_groups ());
           add
-            (Ra_lib.Aggregate_emit.emit_final
+            (Ra_lib.Aggregate_emit.emit_final ~op:op_id
                ~name:(Printf.sprintf "aggregate%d_final" op_id)
                lay ~max_groups:program.config.Config.max_groups
-               ~stage_cap:program.config.Config.max_groups))
+               ~stage_cap:program.config.Config.max_groups ()))
     program.units;
   Buffer.contents buf

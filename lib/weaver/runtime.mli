@@ -14,10 +14,24 @@
       just before it runs and its outputs downloaded and freed right
       after, modelling data sets that exceed device memory.
 
-    Capacity overflows (a fused kernel traps because a join expanded past
-    its staging budget, a snapped key range outgrew its tile, or an
-    aggregation table filled) are retried with scaled capacities, up to
-    [config.max_retries]; all attempts are charged.
+    Fault recovery applies policies in a fixed order (see DESIGN.md,
+    "Fault model & recovery"); every attempt is charged:
+    - capacity overflows (a fused kernel traps because a join expanded
+      past its staging budget, a snapped key range outgrew its tile, or
+      an aggregation table filled) are retried with scaled capacities,
+      up to [config.max_retries];
+    - a fused group that exhausts its retries undergoes {b fission}: the
+      group is split (binary, down to singletons) and each part compiled
+      and run separately;
+    - injected transient faults (device allocation, PCIe transfer — see
+      {!Gpu_sim.Fault_inject}) are retried up to [config.alloc_retries] /
+      [config.transfer_retries];
+    - a persistent device OOM during a [Resident] run {b demotes} the run
+      to [Streamed] and restarts it (same PCIe ledger, same injection
+      schedule state), trading residency for footprint;
+    - anything still failing raises {!Execution_error} with a typed
+      {!Gpu_sim.Fault.t} payload ([Recovery_exhausted] when recovery was
+      attempted).
 
     Every kernel launch runs its CTAs on [config.jobs] worker domains
     (see {!Gpu_sim.Interp.run}); results, stats and cycle counts are
@@ -53,11 +67,14 @@ type program = {
 
 type result = { sinks : (int * Relation.t) list; metrics : Metrics.t }
 
-exception Execution_error of string
+exception Execution_error of Gpu_sim.Fault.t
+(** Raised for unrecoverable faults. Render the payload with
+    {!Gpu_sim.Fault.render}. *)
 
 val run : program -> Relation.t array -> mode:mode -> result
-(** Raises {!Execution_error} on unrecoverable faults (exhausted retries,
-    schema mismatches) and [Invalid_argument] on base-relation mismatch. *)
+(** Raises {!Execution_error} on unrecoverable faults (exhausted
+    recovery, schema mismatches as [Host_error]) and [Invalid_argument]
+    on base-relation count/schema mismatch. *)
 
 val kernels_source : program -> string
 (** CUDA-style source of every generated kernel (after the program's

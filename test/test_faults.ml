@@ -1,0 +1,376 @@
+(* Fault injection and self-healing runtime.
+
+   The core of this suite is a chaos differential: sweep dozens of seeded
+   fault schedules over the TPC-H micro-patterns and queries, in both
+   transfer modes and at both job counts, and require every recovered run
+   to produce sinks bit-identical to the fault-free run — with no device
+   buffer leaked on any path. Targeted schedules then pin down each
+   recovery policy (transient retry, fission, Resident->Streamed
+   demotion) and the unrecoverable paths (retry exhaustion in either
+   mode). Injector unit tests cover the spec grammar, counter semantics
+   and seeded-schedule determinism. *)
+
+open Relation_lib
+open Gpu_sim
+
+let par_jobs = 4
+
+(* --- workloads -------------------------------------------------------------- *)
+
+type wl = {
+  wname : string;
+  plan : Qplan.Plan.t;
+  bases : Relation.t array;
+  config : Weaver.Config.t;
+}
+
+let pattern_wl ?(rows = 1_200) (w : Tpch.Patterns.workload) =
+  {
+    wname = w.Tpch.Patterns.name;
+    plan = w.Tpch.Patterns.plan;
+    bases = w.Tpch.Patterns.gen ~seed:5 ~rows;
+    config = Weaver.Config.default;
+  }
+
+let query_wl ?(config = Weaver.Config.default) ~lineitems
+    (q : Tpch.Queries.query) =
+  let db = Tpch.Datagen.generate ~seed:77 ~lineitems in
+  {
+    wname = q.Tpch.Queries.qname;
+    plan = q.Tpch.Queries.plan;
+    bases = q.Tpch.Queries.bind db;
+    config;
+  }
+
+let workloads () =
+  [
+    pattern_wl (Tpch.Patterns.pattern_a ());
+    pattern_wl (Tpch.Patterns.pattern_b ());
+    pattern_wl (Tpch.Patterns.pattern_c ());
+    pattern_wl (Tpch.Patterns.pattern_d ());
+    pattern_wl (Tpch.Patterns.pattern_e ());
+    query_wl Tpch.Queries.q1 ~lineitems:1_200;
+    query_wl Tpch.Queries.q21 ~lineitems:800
+      ~config:
+        { Weaver.Config.default with Weaver.Config.join_expansion = 4 };
+  ]
+
+let run_wl wl ~mode ~jobs ~faults =
+  let config = Weaver.Config.with_jobs wl.config jobs in
+  let config = { config with Weaver.Config.faults } in
+  let program = Weaver.Driver.compile ~config wl.plan in
+  Weaver.Driver.run program wl.bases ~mode
+
+(* --- assertions ------------------------------------------------------------- *)
+
+let check_no_leaks ~what (r : Weaver.Runtime.result) =
+  Alcotest.(check (list (pair string int)))
+    (what ^ ": no leaked device buffers")
+    [] r.Weaver.Runtime.metrics.Weaver.Metrics.leaks
+
+let check_sinks ~what (expected : Weaver.Runtime.result)
+    (got : Weaver.Runtime.result) =
+  Alcotest.(check int)
+    (what ^ ": sink count")
+    (List.length expected.Weaver.Runtime.sinks)
+    (List.length got.Weaver.Runtime.sinks);
+  List.iter2
+    (fun (id1, rel1) (id2, rel2) ->
+      Alcotest.(check int) (what ^ ": sink id") id1 id2;
+      (* bit-identical, tuple order included: recovery must not even
+         reorder rows *)
+      Alcotest.(check (array int))
+        (Printf.sprintf "%s: sink %d data" what id1)
+        (Relation.data rel1) (Relation.data rel2))
+    expected.Weaver.Runtime.sinks got.Weaver.Runtime.sinks
+
+(* --- chaos differential sweep ----------------------------------------------- *)
+
+(* Each workload gets [seeds_per_wl] seeded schedules spread over
+   {Resident,Streamed} x jobs {1,4}; with 7 workloads this is 56 seeded
+   runs (>= 50). Every recovered run must match the fault-free baseline
+   for its mode bit-for-bit and leak nothing. of_seed events fault at
+   most 2 consecutive calls per site, which is within every retry budget,
+   so all these schedules must be survivable. *)
+let seeds_per_wl = 8
+
+let test_chaos_sweep wl () =
+  let baseline =
+    let tbl = Hashtbl.create 2 in
+    fun mode ->
+      match Hashtbl.find_opt tbl mode with
+      | Some r -> r
+      | None ->
+          let r = run_wl wl ~mode ~jobs:1 ~faults:None in
+          check_no_leaks ~what:(wl.wname ^ " fault-free") r;
+          Hashtbl.replace tbl mode r;
+          r
+  in
+  let total_injected = ref 0 in
+  for seed = 1 to seeds_per_wl do
+    let mode =
+      if seed mod 2 = 0 then Weaver.Runtime.Resident
+      else Weaver.Runtime.Streamed
+    in
+    let jobs = if seed mod 3 = 0 then par_jobs else 1 in
+    let what =
+      Printf.sprintf "%s seed=%d %s jobs=%d" wl.wname seed
+        (match mode with
+        | Weaver.Runtime.Resident -> "resident"
+        | Weaver.Runtime.Streamed -> "streamed")
+        jobs
+    in
+    let faults = Some (Printf.sprintf "seed@%d" seed) in
+    let r = run_wl wl ~mode ~jobs ~faults in
+    check_sinks ~what (baseline mode) r;
+    check_no_leaks ~what r;
+    total_injected :=
+      !total_injected
+      + r.Weaver.Runtime.metrics.Weaver.Metrics.faults_injected
+  done;
+  (* the sweep must actually exercise injection, not just parse specs *)
+  Alcotest.(check bool)
+    (wl.wname ^ ": some seeded schedule injected a fault")
+    true (!total_injected > 0)
+
+(* --- targeted recovery policies --------------------------------------------- *)
+
+(* transient PCIe fault while streaming: absorbed by transfer retries *)
+let test_transfer_retry () =
+  let wl = pattern_wl (Tpch.Patterns.pattern_b ()) in
+  let base = run_wl wl ~mode:Weaver.Runtime.Streamed ~jobs:1 ~faults:None in
+  let r =
+    run_wl wl ~mode:Weaver.Runtime.Streamed ~jobs:1
+      ~faults:(Some "transfer@2x2")
+  in
+  let m = r.Weaver.Runtime.metrics in
+  Alcotest.(check bool)
+    "transfer retries happened" true
+    (m.Weaver.Metrics.retries >= 2);
+  Alcotest.(check int) "faults injected" 2 m.Weaver.Metrics.faults_injected;
+  Alcotest.(check int) "no demotion" 0 m.Weaver.Metrics.demotions;
+  check_sinks ~what:"transfer retry" base r;
+  check_no_leaks ~what:"transfer retry" r
+
+(* a launch site that traps persistently: capacity retries exhaust, the
+   fused group fissions down to singletons and the host fallback finishes
+   the job — results unchanged *)
+let test_fission_fallback () =
+  let wl = pattern_wl (Tpch.Patterns.pattern_a ()) in
+  let base = run_wl wl ~mode:Weaver.Runtime.Resident ~jobs:1 ~faults:None in
+  let r =
+    run_wl wl ~mode:Weaver.Runtime.Resident ~jobs:1
+      ~faults:(Some "launch@1x999")
+  in
+  let m = r.Weaver.Runtime.metrics in
+  Alcotest.(check bool) "fissions happened" true (m.Weaver.Metrics.fissions >= 1);
+  Alcotest.(check bool) "retries happened" true (m.Weaver.Metrics.retries >= 1);
+  check_sinks ~what:"fission fallback" base r;
+  check_no_leaks ~what:"fission fallback" r
+
+(* persistent device OOM while resident: alloc retries exhaust, the run
+   demotes to Streamed and completes there *)
+let test_demotion () =
+  let wl = pattern_wl (Tpch.Patterns.pattern_a ()) in
+  let base = run_wl wl ~mode:Weaver.Runtime.Resident ~jobs:1 ~faults:None in
+  let r =
+    run_wl wl ~mode:Weaver.Runtime.Resident ~jobs:1 ~faults:(Some "alloc@1x4")
+  in
+  let m = r.Weaver.Runtime.metrics in
+  Alcotest.(check int) "demoted once" 1 m.Weaver.Metrics.demotions;
+  Alcotest.(check int) "alloc retries" 3 m.Weaver.Metrics.retries;
+  Alcotest.(check int) "faults injected" 4 m.Weaver.Metrics.faults_injected;
+  check_sinks ~what:"demotion" base r;
+  check_no_leaks ~what:"demotion" r
+
+(* --- unrecoverable paths ---------------------------------------------------- *)
+
+let expect_exhausted ~what f =
+  match f () with
+  | (_ : Weaver.Runtime.result) ->
+      Alcotest.fail (what ^ ": expected Execution_error")
+  | exception Weaver.Runtime.Execution_error (Fault.Recovery_exhausted _) -> ()
+  | exception Weaver.Runtime.Execution_error f ->
+      Alcotest.fail
+        (Printf.sprintf "%s: expected Recovery_exhausted, got %s" what
+           (Fault.render f))
+
+(* every alloc fails: retries, then demotion, then Streamed retries —
+   all exhausted *)
+let test_alloc_exhaustion_resident () =
+  let wl = pattern_wl (Tpch.Patterns.pattern_a ()) in
+  expect_exhausted ~what:"resident alloc exhaustion" (fun () ->
+      run_wl wl ~mode:Weaver.Runtime.Resident ~jobs:1
+        ~faults:(Some "alloc@1x999"))
+
+(* Streamed has no demotion left: alloc retries exhaust and the run fails *)
+let test_alloc_exhaustion_streamed () =
+  let wl = pattern_wl (Tpch.Patterns.pattern_b ()) in
+  expect_exhausted ~what:"streamed alloc exhaustion" (fun () ->
+      run_wl wl ~mode:Weaver.Runtime.Streamed ~jobs:1
+        ~faults:(Some "alloc@1x999"))
+
+let test_transfer_exhaustion () =
+  let wl = pattern_wl (Tpch.Patterns.pattern_a ()) in
+  expect_exhausted ~what:"transfer exhaustion" (fun () ->
+      run_wl wl ~mode:Weaver.Runtime.Streamed ~jobs:1
+        ~faults:(Some "transfer@1x999"))
+
+(* --- injector unit tests ---------------------------------------------------- *)
+
+let test_spec_parser () =
+  (* malformed specs are rejected loudly *)
+  let bad spec =
+    match Fault_inject.of_spec spec with
+    | (_ : Fault_inject.t) ->
+        Alcotest.fail ("should not parse: " ^ spec)
+    | exception Invalid_argument _ -> ()
+  in
+  bad "alloc";
+  bad "alloc@";
+  bad "alloc@0";
+  bad "frobnicate@3";
+  bad "launch@2:bogus";
+  bad "alloc@2x0";
+  (* well-formed specs parse; kinds apply to launches *)
+  List.iter
+    (fun s -> ignore (Fault_inject.of_spec s))
+    [
+      "alloc@1";
+      "launch@3x2:groups";
+      "launch@2:input";
+      "launch@2:staging";
+      "transfer@4,alloc@2x3";
+      "seed@9";
+      "seed@9x5";
+      " alloc@1 , transfer@2 ";
+    ];
+  (* seeded schedules are deterministic and well-formed *)
+  let e1 = Fault_inject.of_seed 42 and e2 = Fault_inject.of_seed 42 in
+  Alcotest.(check int) "same length" (List.length e1) (List.length e2);
+  List.iter2
+    (fun a b ->
+      Alcotest.(check bool) "same event" true (Fault_inject.equal_event a b))
+    e1 e2;
+  List.iter
+    (fun (e : Fault_inject.event) ->
+      Alcotest.(check bool) "at >= 1" true (e.Fault_inject.at >= 1);
+      Alcotest.(check bool) "count >= 1" true (e.Fault_inject.count >= 1))
+    e1;
+  Alcotest.(check int) "events count" 5
+    (List.length (Fault_inject.of_seed ~events:5 42))
+
+let test_injector_counters () =
+  let t =
+    Fault_inject.create
+      [
+        { Fault_inject.site = Fault_inject.Alloc; at = 2; count = 1;
+          kind = Fault.Cap_staging };
+        { Fault_inject.site = Fault_inject.Launch; at = 1; count = 2;
+          kind = Fault.Cap_groups };
+      ]
+  in
+  let alloc () =
+    Fault_inject.on_alloc t ~label:"x" ~bytes:64 ~live:0 ~capacity:1024
+  in
+  let launch () = Fault_inject.on_launch t ~kernel:"k" in
+  (* alloc 1 passes, alloc 2 is the injected OOM, alloc 3 passes *)
+  alloc ();
+  (match alloc () with
+  | () -> Alcotest.fail "alloc 2 should fail"
+  | exception
+      Fault.Error
+        (Fault.Alloc_failure { injected = true; requested_bytes = 64; _ }) ->
+      ());
+  alloc ();
+  Alcotest.(check int) "alloc counter" 3 (Fault_inject.allocs t);
+  (* launches 1 and 2 trap (count = 2) with the configured kind *)
+  (match launch () with
+  | () -> Alcotest.fail "launch 1 should trap"
+  | exception
+      Fault.Error
+        (Fault.Capacity_trap { which = Fault.Cap_groups; kernel = "k"; _ }) ->
+      ());
+  (match launch () with
+  | () -> Alcotest.fail "launch 2 should trap"
+  | exception Fault.Error (Fault.Capacity_trap _) -> ());
+  launch ();
+  Alcotest.(check int) "launch counter" 3 (Fault_inject.launches t);
+  Alcotest.(check int) "transfers untouched" 0 (Fault_inject.transfers t);
+  Alcotest.(check int) "injected total" 3 (Fault_inject.injected t);
+  (* the disabled default injects nothing and counts nothing *)
+  let n = Fault_inject.none in
+  Fault_inject.on_alloc n ~label:"x" ~bytes:1 ~live:0 ~capacity:1;
+  Fault_inject.on_launch n ~kernel:"k";
+  Fault_inject.on_transfer n ~direction:Fault.H2d ~bytes:1;
+  Alcotest.(check int) "none injects nothing" 0 (Fault_inject.injected n)
+
+(* --- memory introspection ---------------------------------------------------- *)
+
+let test_live_buffers () =
+  let mem = Memory.create Device.fermi_c2050 in
+  Alcotest.(check (list (pair int string))) "fresh manager" []
+    (Memory.live_buffers mem);
+  let a = Memory.alloc ~label:"a" mem ~words:8 ~bytes:32 in
+  let b = Memory.alloc ~label:"b" mem ~words:8 ~bytes:32 in
+  Alcotest.(check (list (pair int string)))
+    "two live" [ (a, "a"); (b, "b") ]
+    (List.sort compare (Memory.live_buffers mem));
+  Memory.free mem a;
+  Alcotest.(check (list (pair int string)))
+    "one live" [ (b, "b") ]
+    (Memory.live_buffers mem);
+  Memory.free mem b;
+  Alcotest.(check (list (pair int string))) "all freed" []
+    (Memory.live_buffers mem)
+
+(* --- rendered faults --------------------------------------------------------- *)
+
+let test_render () =
+  let contains ~needle s = Astring_contains.contains s needle in
+  let cap =
+    Fault.capacity_trap ~kernel:"k1" ~op:3 ~segment:1 ~needed:300
+      ~which:Fault.Cap_staging ~have:256 ()
+  in
+  let r = Fault.render cap in
+  Alcotest.(check bool) "mentions kernel" true (contains ~needle:"k1" r);
+  Alcotest.(check bool) "mentions have" true (contains ~needle:"256" r);
+  Alcotest.(check bool) "mentions needed" true (contains ~needle:"300" r);
+  let ex =
+    Fault.render
+      (Fault.Recovery_exhausted
+         {
+           attempts = 2;
+           last =
+             Fault.Alloc_failure
+               {
+                 label = "t";
+                 requested_bytes = 128;
+                 live_bytes = 0;
+                 capacity_bytes = 1024;
+                 injected = true;
+               };
+         })
+  in
+  Alcotest.(check bool) "exhausted mentions attempts" true
+    (contains ~needle:"2 attempts" ex);
+  Alcotest.(check bool) "exhausted carries last fault" true
+    (contains ~needle:"injected" ex)
+
+let suite =
+  let chaos wl =
+    (Printf.sprintf "chaos sweep %s" wl.wname, `Slow, test_chaos_sweep wl)
+  in
+  List.map chaos (workloads ())
+  @ [
+      ("transfer retry", `Quick, test_transfer_retry);
+      ("fission fallback", `Quick, test_fission_fallback);
+      ("resident->streamed demotion", `Quick, test_demotion);
+      ("alloc exhaustion (resident)", `Quick, test_alloc_exhaustion_resident);
+      ("alloc exhaustion (streamed)", `Quick, test_alloc_exhaustion_streamed);
+      ("transfer exhaustion", `Quick, test_transfer_exhaustion);
+      ("fault spec parser", `Quick, test_spec_parser);
+      ("injector counters", `Quick, test_injector_counters);
+      ("live buffer introspection", `Quick, test_live_buffers);
+      ("fault rendering", `Quick, test_render);
+    ]

@@ -136,7 +136,14 @@ let test_runtime_errors () =
   let k = Kir_builder.finish b in
   Alcotest.check_raises "oob store"
     (Interp.Runtime_error
-       "kernel oob: global store out of bounds (buffer 1, idx 99/4)")
+       (Fault.Out_of_bounds
+          {
+            kernel = "oob";
+            space = Fault.Global_space;
+            buffer = Some buf;
+            index = 99;
+            length = 4;
+          }))
     (fun () -> ignore (Interp.run mem k ~params:[| buf |] ~grid:1 ~cta:1));
   (* infinite loop hits the budget *)
   let b = Kir_builder.create ~name:"spin" ~params:0 () in

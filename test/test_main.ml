@@ -16,4 +16,5 @@ let () =
       ("harness", Test_harness.suite);
       ("runtime-paths", Test_runtime_paths.suite);
       ("parallel", Test_parallel.suite);
+      ("faults", Test_faults.suite);
     ]

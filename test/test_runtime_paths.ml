@@ -8,6 +8,13 @@ open Qplan
 let i32 = Dtype.I32
 let s2 = Schema.make [ ("k", i32); ("v", i32) ]
 
+(* every recovery/fallback path must return device memory to the manager:
+   a nonempty [leaks] field is a runtime lifetime bug *)
+let check_no_leaks ~what (r : Weaver.Runtime.result) =
+  Alcotest.(check (list (pair string int)))
+    (what ^ ": no leaked device buffers")
+    [] r.Weaver.Runtime.metrics.Weaver.Metrics.leaks
+
 let test_skew_fallback () =
   (* every row shares one key: the join's key run can never fit a shared
      tile on the tiny device, so the runtime must fall back to the
@@ -46,7 +53,8 @@ let test_skew_fallback () =
        (fun (lr : Gpu_sim.Executor.launch_report) ->
          Astring_contains.contains lr.Gpu_sim.Executor.kernel_name
            "skew_fallback")
-       result.Weaver.Runtime.metrics.Weaver.Metrics.reports)
+       result.Weaver.Runtime.metrics.Weaver.Metrics.reports);
+  check_no_leaks ~what:"skew fallback" result
 
 let test_aggregate_table_growth () =
   (* more groups than the configured table: the runtime doubles and
@@ -73,7 +81,80 @@ let test_aggregate_table_growth () =
   let _, got = List.hd result.Weaver.Runtime.sinks in
   Alcotest.(check int) "all groups found" rows (Relation.count got);
   Alcotest.(check bool) "retried" true
-    (result.Weaver.Runtime.metrics.Weaver.Metrics.retries > 0)
+    (result.Weaver.Runtime.metrics.Weaver.Metrics.retries > 0);
+  check_no_leaks ~what:"aggregate growth" result
+
+let test_capacity_exhaustion_falls_back () =
+  (* zero capacity retries allowed: the first overflow immediately
+     exhausts the retry policy and the runtime must go straight to the
+     host fallback — still exact, still leak-free *)
+  let s = Schema.make [ ("g", i32); ("v", i32) ] in
+  let pb = Plan.builder () in
+  let b = Plan.base pb s in
+  let _agg =
+    Plan.add pb
+      (Op.Aggregate
+         {
+           group_by = [ 0 ];
+           aggs = [ { Op.fn = Op.Count; expr = Pred.Attr 0; agg_name = "n" } ];
+         })
+      [ b ]
+  in
+  let plan = Plan.build pb in
+  let rows = 600 in
+  let rel = Relation.create s (List.init rows (fun i -> [| i; i |])) in
+  let config =
+    {
+      Weaver.Config.default with
+      Weaver.Config.max_groups = 8;
+      max_retries = 0;
+    }
+  in
+  let reference = Reference.eval_sinks plan [| rel |] in
+  let program = Weaver.Driver.compile ~config plan in
+  let result =
+    Weaver.Driver.run program [| rel |] ~mode:Weaver.Runtime.Resident
+  in
+  List.iter2
+    (fun (_, r) (_, g) ->
+      Alcotest.(check bool) "exhausted retry still exact" true
+        (Relation.equal_multiset r g))
+    reference result.Weaver.Runtime.sinks;
+  Alcotest.(check bool) "fallback kernel reported" true
+    (List.exists
+       (fun (lr : Gpu_sim.Executor.launch_report) ->
+         Astring_contains.contains lr.Gpu_sim.Executor.kernel_name "fallback")
+       result.Weaver.Runtime.metrics.Weaver.Metrics.reports);
+  check_no_leaks ~what:"capacity exhaustion" result
+
+let test_streamed_error_path () =
+  (* an unrecoverable device OOM mid-run in Streamed mode surfaces as a
+     typed Recovery_exhausted; the state is per-run, so an immediate
+     fault-free rerun of the same program succeeds *)
+  let w = Tpch.Patterns.pattern_b () in
+  let bases = w.Tpch.Patterns.gen ~seed:9 ~rows:1_000 in
+  let config =
+    { Weaver.Config.default with Weaver.Config.faults = Some "alloc@3x999" }
+  in
+  let program = Weaver.Driver.compile ~config w.Tpch.Patterns.plan in
+  (match Weaver.Driver.run program bases ~mode:Weaver.Runtime.Streamed with
+  | (_ : Weaver.Runtime.result) ->
+      Alcotest.fail "expected Execution_error in streamed mode"
+  | exception
+      Weaver.Runtime.Execution_error
+        (Gpu_sim.Fault.Recovery_exhausted
+           { last = Gpu_sim.Fault.Alloc_failure { injected = true; _ }; _ })
+    ->
+      ());
+  let clean = Weaver.Driver.compile w.Tpch.Patterns.plan in
+  let result = Weaver.Driver.run clean bases ~mode:Weaver.Runtime.Streamed in
+  let reference = Reference.eval_sinks w.Tpch.Patterns.plan bases in
+  List.iter2
+    (fun (_, r) (_, g) ->
+      Alcotest.(check bool) "rerun after error exact" true
+        (Relation.equal_multiset r g))
+    reference result.Weaver.Runtime.sinks;
+  check_no_leaks ~what:"rerun after streamed error" result
 
 let test_implicit_sort_charged () =
   (* a PROJECT that reorders attributes between groups leaves its output
@@ -114,7 +195,8 @@ let test_implicit_sort_charged () =
        (fun (lr : Gpu_sim.Executor.launch_report) ->
          Astring_contains.contains lr.Gpu_sim.Executor.kernel_name
            "implicit_sort")
-       result.Weaver.Runtime.metrics.Weaver.Metrics.reports)
+       result.Weaver.Runtime.metrics.Weaver.Metrics.reports);
+  check_no_leaks ~what:"implicit sort" result
 
 let test_resident_frees_intermediates () =
   (* in Resident mode intermediate buffers are freed once their last
@@ -135,7 +217,8 @@ let test_resident_frees_intermediates () =
   Alcotest.(check bool) "peak above input" true
     (m.Weaver.Metrics.peak_global_bytes > Relation.bytes rel);
   Alcotest.(check bool) "intermediates freed" true
-    (m.Weaver.Metrics.peak_global_bytes < 8 * Relation.bytes rel)
+    (m.Weaver.Metrics.peak_global_bytes < 8 * Relation.bytes rel);
+  check_no_leaks ~what:"resident intermediates" result
 
 let test_metrics_by_kernel () =
   let w = Tpch.Patterns.pattern_a () in
@@ -168,6 +251,8 @@ let suite =
   [
     ("degenerate-skew fallback", `Quick, test_skew_fallback);
     ("aggregate table growth", `Quick, test_aggregate_table_growth);
+    ("capacity exhaustion falls back", `Quick, test_capacity_exhaustion_falls_back);
+    ("streamed error path", `Quick, test_streamed_error_path);
     ("implicit sort at group boundary", `Quick, test_implicit_sort_charged);
     ("resident mode frees intermediates", `Quick, test_resident_frees_intermediates);
     ("metrics by kernel", `Quick, test_metrics_by_kernel);
