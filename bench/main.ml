@@ -10,6 +10,7 @@
      bench/main.exe [OPTS] bechamel       only the wall-clock micro-benchmarks
      bench/main.exe [OPTS] parallel       only the jobs=1 vs jobs=N comparison
      bench/main.exe [OPTS] chaos          recovery counters under injected faults
+     bench/main.exe [OPTS] service        multi-query service throughput/latency
 
    Options:
      --json FILE    also write every result as JSON rows
@@ -203,6 +204,79 @@ let chaos ~jobs ~quick () =
   run_one ~label:"seeded" ~faults:"seed@7" ~mode:Weaver.Runtime.Resident
     (Tpch.Patterns.pattern_e ())
 
+(* --- service: throughput/latency/shedding counters -------------------------- *)
+
+(* Drives a mixed batch through Weaver.Service: ordinary queries, one with
+   a zero deadline (guaranteed miss), one pre-cancelled, one under a fault
+   storm, and more requests than the queue admits — so every service
+   counter (throughput, p50/p95 latency, rejections, deadline misses,
+   cancellations) is exercised and lands in the JSON rows CI tracks. *)
+let service ~jobs ~quick () =
+  let rows = if quick then 2_000 else 10_000 in
+  let base = Weaver.Config.with_jobs Weaver.Config.default jobs in
+  let mk ?deadline_cycles ?cancel ?faults ~rid (w : Tpch.Patterns.workload) =
+    let config =
+      match faults with
+      | None -> base
+      | Some f -> { base with Weaver.Config.faults = Some f }
+    in
+    let bases = w.Tpch.Patterns.gen ~seed:5 ~rows in
+    let program = Weaver.Driver.compile ~config w.Tpch.Patterns.plan in
+    Weaver.Service.request ~rid ?deadline_cycles ?cancel program bases
+  in
+  let aborted = Gpu_sim.Cancel.create () in
+  Gpu_sim.Cancel.cancel aborted
+    (Gpu_sim.Fault.Cancelled { reason = "client abort (bench)" });
+  let normals =
+    List.concat_map
+      (fun w -> [ w (); w (); w () ])
+      [
+        (fun () -> Tpch.Patterns.pattern_a ());
+        (fun () -> Tpch.Patterns.pattern_b ());
+        (fun () -> Tpch.Patterns.pattern_e ());
+      ]
+  in
+  let requests =
+    List.mapi
+      (fun rid mkr -> mkr ~rid)
+      ([
+         (fun ~rid -> mk ~rid ~deadline_cycles:0.0 (Tpch.Patterns.pattern_a ()));
+         (fun ~rid -> mk ~rid ~cancel:aborted (Tpch.Patterns.pattern_b ()));
+         (fun ~rid -> mk ~rid ~faults:"seed@7" (Tpch.Patterns.pattern_e ()));
+       ]
+      @ List.map (fun w ~rid -> mk ~rid w) normals)
+  in
+  let config =
+    { Weaver.Service.default_config with Weaver.Service.queue_limit = 8 }
+  in
+  let _, stats = Weaver.Service.run_batch ~config requests in
+  Printf.printf "\n== service: throughput, latency, shedding ==\n";
+  Format.printf "%a@." Weaver.Service.pp_stats stats;
+  let e = "service" in
+  record ~experiment:e ~metric:"submitted"
+    (float_of_int stats.Weaver.Service.submitted);
+  record ~experiment:e ~metric:"completed"
+    (float_of_int stats.Weaver.Service.completed);
+  record ~experiment:e ~metric:"failed"
+    (float_of_int stats.Weaver.Service.failed);
+  record ~experiment:e ~metric:"rejected"
+    (float_of_int stats.Weaver.Service.rejected);
+  record ~experiment:e ~metric:"deadline_misses"
+    (float_of_int stats.Weaver.Service.deadline_misses);
+  record ~experiment:e ~metric:"cancelled"
+    (float_of_int stats.Weaver.Service.cancelled);
+  record ~experiment:e ~metric:"pre_demotions"
+    (float_of_int stats.Weaver.Service.pre_demotions);
+  record ~experiment:e ~metric:"breaker_trips"
+    (float_of_int stats.Weaver.Service.breaker_trips);
+  record ~experiment:e ~metric:"p50_latency_cycles"
+    stats.Weaver.Service.p50_latency_cycles;
+  record ~experiment:e ~metric:"p95_latency_cycles"
+    stats.Weaver.Service.p95_latency_cycles;
+  record ~experiment:e ~metric:"total_cycles" stats.Weaver.Service.total_cycles;
+  record ~experiment:e ~metric:"throughput_qps"
+    stats.Weaver.Service.throughput_qps
+
 (* --- sequential vs domain-parallel interpretation -------------------------- *)
 
 (* Direct wall-clock comparison of the same launch sequence interpreted
@@ -273,10 +347,12 @@ let () =
   | [ "bechamel" ] -> bechamel_suite ~jobs:!jobs ()
   | [ "parallel" ] -> parallel_comparison ~jobs:!jobs ~quick ()
   | [ "chaos" ] -> chaos ~jobs:!jobs ~quick ()
+  | [ "service" ] -> service ~jobs:!jobs ~quick ()
   | [] ->
       run_experiments ~quick ~jobs:!jobs [];
       parallel_comparison ~jobs:!jobs ~quick ();
       chaos ~jobs:!jobs ~quick ();
+      service ~jobs:!jobs ~quick ();
       bechamel_suite ~jobs:!jobs ()
   | names -> run_experiments ~quick ~jobs:!jobs names);
   Option.iter write_json !json_file

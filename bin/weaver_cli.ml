@@ -125,7 +125,37 @@ let faults_arg =
 
 let config_of_jobs jobs = Weaver.Config.with_jobs Weaver.Config.default jobs
 
+(* Exit codes (documented in README "Exit codes"):
+     0  success (including service rejections: backpressure is an answer)
+     1  unrecoverable runtime fault (recovery exhausted, compiler bug)
+     2  usage or parse error (bad flags, malformed --faults spec, bad CSV)
+     3  deadline miss or cancellation *)
+let exit_fault = 1
+let exit_usage = 2
+let exit_deadline = 3
+
+let usage_error fmt =
+  Printf.ksprintf
+    (fun msg ->
+      Printf.eprintf "weaver-cli: %s\n" msg;
+      exit exit_usage)
+    fmt
+
+let faults_usage =
+  "usage: site@N[xC][:KIND],... or seed@S[xC] — sites alloc|launch|transfer, \
+   kinds staging|input|groups (e.g. 'launch@3x2:groups,alloc@5')"
+
+let is_faults_spec_error msg =
+  String.length msg >= 13 && String.sub msg 0 13 = "WEAVER_FAULTS"
+
 let config_of jobs faults =
+  (* validate the injection spec at the CLI boundary: a typo should be a
+     one-line usage error (exit 2), not a backtrace from deep inside a run *)
+  (match faults with
+  | Some spec -> (
+      try ignore (Gpu_sim.Fault_inject.of_spec spec)
+      with Invalid_argument msg -> usage_error "%s\n  %s" msg faults_usage)
+  | None -> ());
   { (config_of_jobs jobs) with Weaver.Config.faults }
 
 (* Command boundary: anything the recovery policies could not absorb
@@ -134,10 +164,15 @@ let guard f =
   try f () with
   | Weaver.Runtime.Execution_error fault | Gpu_sim.Fault.Error fault ->
       Printf.eprintf "weaver-cli: %s\n" (Gpu_sim.Fault.render fault);
-      exit 1
-  | Invalid_argument msg ->
-      Printf.eprintf "weaver-cli: %s\n" msg;
-      exit 1
+      exit
+        (match fault with
+        | Gpu_sim.Fault.Deadline_exceeded _ | Gpu_sim.Fault.Cancelled _ ->
+            exit_deadline
+        | _ -> exit_fault)
+  | Invalid_argument msg when is_faults_spec_error msg ->
+      (* a malformed WEAVER_FAULTS environment spec parsed mid-run *)
+      usage_error "%s\n  %s" msg faults_usage
+  | Invalid_argument msg | Failure msg -> usage_error "%s" msg
 
 let compile_query path = Datalog.compile (read_file path)
 
@@ -308,7 +343,195 @@ let bench_cmd =
     (Cmd.info "bench" ~doc:"Regenerate the paper's tables and figures")
     Term.(ret (const run $ names_arg $ quick_arg $ jobs_arg))
 
+(* --- serve ------------------------------------------------------------------ *)
+
+let verdict_line (r : Weaver.Service.response) =
+  let mode =
+    match r.Weaver.Service.mode_used with
+    | Weaver.Runtime.Resident -> "resident"
+    | Weaver.Runtime.Streamed -> "streamed"
+  in
+  let placement =
+    if r.Weaver.Service.pre_demoted then mode ^ " (pre-demoted)" else mode
+  in
+  match r.Weaver.Service.verdict with
+  | Weaver.Service.Completed res ->
+      let rows =
+        List.fold_left
+          (fun a (_, rel) -> a + Relation.count rel)
+          0 res.Weaver.Runtime.sinks
+      in
+      Printf.sprintf "completed [%s]: %d sink rows, %.3e cycles" placement rows
+        (Weaver.Metrics.total_cycles res.Weaver.Runtime.metrics)
+  | Weaver.Service.Failed f ->
+      Printf.sprintf "failed [%s]: %s" placement
+        (Gpu_sim.Fault.render f.Weaver.Runtime.fault)
+  | Weaver.Service.Rejected (Weaver.Service.Queue_full { limit }) ->
+      Printf.sprintf "rejected: queue full (limit %d)" limit
+  | Weaver.Service.Rejected
+      (Weaver.Service.Over_capacity { footprint_bytes; capacity_bytes }) ->
+      Printf.sprintf "rejected: estimated footprint %d B exceeds device \
+                      memory %d B" footprint_bytes capacity_bytes
+
+let stats_json (s : Weaver.Service.stats) =
+  String.concat ""
+    [
+      "{\n";
+      Printf.sprintf "  \"submitted\": %d,\n" s.Weaver.Service.submitted;
+      Printf.sprintf "  \"admitted\": %d,\n" s.Weaver.Service.admitted;
+      Printf.sprintf "  \"rejected\": %d,\n" s.Weaver.Service.rejected;
+      Printf.sprintf "  \"completed\": %d,\n" s.Weaver.Service.completed;
+      Printf.sprintf "  \"failed\": %d,\n" s.Weaver.Service.failed;
+      Printf.sprintf "  \"deadline_misses\": %d,\n"
+        s.Weaver.Service.deadline_misses;
+      Printf.sprintf "  \"cancelled\": %d,\n" s.Weaver.Service.cancelled;
+      Printf.sprintf "  \"pre_demotions\": %d,\n" s.Weaver.Service.pre_demotions;
+      Printf.sprintf "  \"runtime_demotions\": %d,\n"
+        s.Weaver.Service.runtime_demotions;
+      Printf.sprintf "  \"breaker_trips\": %d,\n" s.Weaver.Service.breaker_trips;
+      Printf.sprintf "  \"p50_latency_cycles\": %.6e,\n"
+        s.Weaver.Service.p50_latency_cycles;
+      Printf.sprintf "  \"p95_latency_cycles\": %.6e,\n"
+        s.Weaver.Service.p95_latency_cycles;
+      Printf.sprintf "  \"total_cycles\": %.6e,\n" s.Weaver.Service.total_cycles;
+      Printf.sprintf "  \"throughput_qps\": %.6e,\n"
+        s.Weaver.Service.throughput_qps;
+      Printf.sprintf "  \"wall_seconds\": %.6f\n" s.Weaver.Service.wall_seconds;
+      "}";
+    ]
+
+let serve name ~doc =
+  let queries_arg =
+    Arg.(non_empty & pos_all file [] & info [] ~docv:"QUERY.dl"
+           ~doc:"Datalog query files; each becomes one request (repeatable \
+                 via --repeat)")
+  in
+  let repeat_arg =
+    Arg.(value & opt int 1 & info [ "repeat" ] ~docv:"N"
+           ~doc:"Submit each query N times")
+  in
+  let deadline_cycles_arg =
+    Arg.(value & opt (some float) None
+         & info [ "deadline-cycles" ] ~docv:"CYCLES"
+             ~doc:"Per-query budget in simulated cycles (kernel + PCIe); a \
+                   query over budget fails with a typed deadline fault")
+  in
+  let deadline_ms_arg =
+    Arg.(value & opt (some float) None
+         & info [ "deadline-ms" ] ~docv:"MS"
+             ~doc:"Per-query wall-clock watchdog in milliseconds")
+  in
+  let queue_arg =
+    Arg.(value
+         & opt int Weaver.Service.default_config.Weaver.Service.queue_limit
+         & info [ "queue-limit" ] ~docv:"N"
+             ~doc:"Bounded wait queue: submissions beyond the running query \
+                   plus N waiters are rejected (backpressure)")
+  in
+  let admit_arg =
+    Arg.(value
+         & opt float Weaver.Service.default_config.Weaver.Service.admit_fraction
+         & info [ "admit-fraction" ] ~docv:"F"
+             ~doc:"Resident footprint budget as a fraction of device memory; \
+                   estimates above it are admitted pre-demoted to Streamed")
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ]
+           ~doc:"Print the service statistics as JSON (per-request lines are \
+                 suppressed)")
+  in
+  let run files rows inputs seed repeat streamed jobs faults dcycles dms
+      queue_limit admit_fraction json =
+    guard (fun () ->
+        let base_cfg = config_of jobs faults in
+        let mode =
+          if streamed then Weaver.Runtime.Streamed else Weaver.Runtime.Resident
+        in
+        let requests =
+          List.concat_map
+            (fun path ->
+              let q = compile_query path in
+              let named = bind_data q ~rows ~seed inputs in
+              let bases = Datalog.bind q named in
+              let program =
+                Weaver.Driver.compile ~config:base_cfg q.Datalog.plan
+              in
+              List.init (max 1 repeat) (fun _ -> (path, program, bases)))
+            files
+          |> List.mapi (fun rid (path, program, bases) ->
+                 ( path,
+                   Weaver.Service.request ~rid ~mode
+                     ?deadline_cycles:dcycles
+                     ?wall_deadline_s:
+                       (Option.map (fun ms -> ms /. 1000.0) dms)
+                     program bases ))
+        in
+        let config =
+          {
+            Weaver.Service.default_config with
+            Weaver.Service.queue_limit;
+            admit_fraction;
+          }
+        in
+        let responses, stats =
+          Weaver.Service.run_batch ~config (List.map snd requests)
+        in
+        if json then print_endline (stats_json stats)
+        else begin
+          List.iter2
+            (fun (path, _) (r : Weaver.Service.response) ->
+              Printf.printf "request %d %s: %s\n" r.Weaver.Service.rid path
+                (verdict_line r))
+            requests responses;
+          Format.printf "%a@." Weaver.Service.pp_stats stats
+        end;
+        (* deadline misses and cancellations dominate rejections; any other
+           failure dominates both *)
+        let hard_failures =
+          stats.Weaver.Service.failed
+          - stats.Weaver.Service.deadline_misses
+          - stats.Weaver.Service.cancelled
+        in
+        if hard_failures > 0 then exit exit_fault
+        else if
+          stats.Weaver.Service.deadline_misses
+          + stats.Weaver.Service.cancelled > 0
+        then exit exit_deadline
+        else `Ok ())
+  in
+  Cmd.v (Cmd.info name ~doc)
+    Term.(
+      ret
+        (const run $ queries_arg $ rows_arg $ inputs_arg $ seed_arg
+       $ repeat_arg $ streamed_arg $ jobs_arg $ faults_arg
+       $ deadline_cycles_arg $ deadline_ms_arg $ queue_arg $ admit_arg
+       $ json_arg))
+
+let serve_cmd =
+  serve "serve"
+    ~doc:
+      "Run a batch of queries through the multi-query service (deadlines, \
+       admission control, overload shedding)"
+
+let batch_cmd =
+  serve "batch" ~doc:"Alias of serve: execute a batch of query requests"
+
 let () =
   let doc = "Kernel Weaver: fused relational-algebra kernels on a simulated GPU" in
   let info = Cmd.info "weaver-cli" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ plan_cmd; source_cmd; exec_cmd; profile_cmd; bench_cmd ]))
+  let code =
+    Cmd.eval
+      (Cmd.group info
+         [
+           plan_cmd;
+           source_cmd;
+           exec_cmd;
+           profile_cmd;
+           bench_cmd;
+           serve_cmd;
+           batch_cmd;
+         ])
+  in
+  (* cmdliner reports its own parse errors as Cmd.Exit.cli_error (124);
+     fold them into the documented usage exit code *)
+  exit (if code = Cmd.Exit.cli_error then exit_usage else code)

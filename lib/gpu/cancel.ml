@@ -1,0 +1,55 @@
+(* Cooperative cancellation tokens.
+
+   A token is a single atomic cell holding the fault that cancelled the
+   computation, if any, plus a list of host-side watchdog closures that are
+   consulted on every poll. The interpreter polls at per-CTA checkpoints
+   (the same granularity as the instruction-budget check), so a cancelled
+   kernel stops within one CTA chunk without any preemption machinery.
+
+   The inactive token [none] makes the un-cancellable path free: [poll] is
+   a single field read, and [cancel] is ignored (so shared code can call it
+   unconditionally). First cancel wins; later calls are no-ops, which keeps
+   the reported fault deterministic when a deadline and an explicit cancel
+   race. *)
+
+type t = {
+  cell : Fault.t option Atomic.t;
+  mutable watchdogs : (unit -> Fault.t option) list;
+  active : bool;
+}
+
+let none = { cell = Atomic.make None; watchdogs = []; active = false }
+
+let create () = { cell = Atomic.make None; watchdogs = []; active = true }
+
+let cancel t fault =
+  if t.active then ignore (Atomic.compare_and_set t.cell None (Some fault))
+
+let cancelled t = Atomic.get t.cell
+
+let add_watchdog t f =
+  if not t.active then
+    invalid_arg "Cancel.add_watchdog: inactive token (Cancel.none)";
+  t.watchdogs <- f :: t.watchdogs
+
+(* Watchdogs may run on any polling domain (interpreter workers poll too),
+   so they must tolerate concurrent calls; the registered list itself is
+   fixed before the run starts. *)
+let poll t =
+  match Atomic.get t.cell with
+  | Some _ as f -> f
+  | None ->
+      if t.watchdogs = [] then None
+      else
+        let rec scan = function
+          | [] -> Atomic.get t.cell
+          | w :: ws -> (
+              match w () with
+              | Some fault ->
+                  cancel t fault;
+                  Atomic.get t.cell
+              | None -> scan ws)
+        in
+        scan t.watchdogs
+
+let check t = match poll t with Some fault -> Fault.raise_ fault | None -> ()

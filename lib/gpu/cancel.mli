@@ -1,0 +1,42 @@
+(** Cooperative cancellation tokens for deadline enforcement and client
+    aborts.
+
+    A token carries at most one {!Fault.t} — the reason the computation
+    should stop. The interpreter and executor poll the token at the
+    per-CTA budget checkpoints; when it fires they raise {!Fault.Error}
+    with the stored fault, which flows through the normal fault taxonomy
+    (and is terminal: the runtime's recovery policies never retry a
+    {!Fault.Deadline_exceeded} or {!Fault.Cancelled}).
+
+    Tokens are write-once: the first {!cancel} wins and later calls are
+    no-ops, so the reported fault is deterministic even when a deadline
+    and an explicit abort race. *)
+
+type t
+
+val none : t
+(** The inactive token: {!poll} is a single atomic read returning [None],
+    {!cancel} is ignored. Default everywhere a [?cancel] parameter is
+    omitted, so un-cancellable runs pay (almost) nothing. *)
+
+val create : unit -> t
+(** A fresh active token, not yet cancelled. *)
+
+val cancel : t -> Fault.t -> unit
+(** Request cancellation with the given fault. First call wins; no-op on
+    {!none} and on already-cancelled tokens. Safe from any domain. *)
+
+val cancelled : t -> Fault.t option
+(** The stored fault, without running watchdogs. *)
+
+val add_watchdog : t -> (unit -> Fault.t option) -> unit
+(** Register a host-side closure consulted on every {!poll} until the
+    token fires (e.g. a wall-clock deadline check). Watchdogs run on the
+    polling domain; register them before handing the token to a run.
+    @raise Invalid_argument on {!none}. *)
+
+val poll : t -> Fault.t option
+(** The stored fault, running watchdogs first if none is stored yet. *)
+
+val check : t -> unit
+(** [poll] and raise {!Fault.Error} if the token has fired. *)

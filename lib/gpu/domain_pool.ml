@@ -41,7 +41,8 @@ let default_jobs () =
       | Some n when n >= 1 -> min max_jobs n
       | _ -> recommended)
 
-let run ~jobs f =
+let run ?(cancel = Cancel.none) ~jobs f =
+  Cancel.check cancel;
   if jobs <= 1 then f 0
   else begin
     let jobs = min jobs max_jobs in

@@ -9,12 +9,14 @@ val default_jobs : unit -> int
 (** [Domain.recommended_domain_count ()], overridable with the
     [WEAVER_JOBS] environment variable. Always at least 1. *)
 
-val run : jobs:int -> (int -> unit) -> unit
+val run : ?cancel:Cancel.t -> jobs:int -> (int -> unit) -> unit
 (** [run ~jobs f] executes [f 0 .. f (jobs - 1)] concurrently — [f 0] on
     the calling domain, the rest on pool workers — and returns when all
     have finished. If any worker raised, the exception of the
     lowest-indexed failing worker is re-raised (a deterministic choice).
-    [jobs <= 1] degenerates to a plain call of [f 0].
+    [jobs <= 1] degenerates to a plain call of [f 0]. A fired [cancel]
+    token makes [run] raise before dispatching any work; cancellation
+    mid-run is the job of the polls inside [f].
 
     Intended for one submitter at a time (the interpreter); [f] must not
     itself call [run] on the same pool. *)

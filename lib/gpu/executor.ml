@@ -8,8 +8,8 @@ type launch_report = {
   time : Timing.kernel_time;
 }
 
-let launch ?timing ?max_instructions ?jobs ?(faults = Fault_inject.none) device
-    mem (k : Kir.kernel) ~params ~grid ~cta =
+let launch ?timing ?max_instructions ?jobs ?(faults = Fault_inject.none)
+    ?(cancel = Cancel.none) device mem (k : Kir.kernel) ~params ~grid ~cta =
   (match
      Device.validate_launch device ~cta_threads:cta
        ~shared_bytes:k.shared_bytes ~regs_per_thread:k.regs_per_thread
@@ -17,8 +17,9 @@ let launch ?timing ?max_instructions ?jobs ?(faults = Fault_inject.none) device
   | Ok () -> ()
   | Error msg ->
       invalid_arg (Printf.sprintf "launch of %s rejected: %s" k.kname msg));
+  Cancel.check cancel;
   Fault_inject.on_launch faults ~kernel:k.kname;
-  let stats = Interp.run ?max_instructions ?jobs mem k ~params ~grid ~cta in
+  let stats = Interp.run ?max_instructions ?jobs ~cancel mem k ~params ~grid ~cta in
   let occupancy =
     Occupancy.occupancy device ~cta_threads:cta ~shared_bytes:k.shared_bytes
       ~regs_per_thread:k.regs_per_thread

@@ -19,6 +19,7 @@ val launch :
   ?max_instructions:int ->
   ?jobs:int ->
   ?faults:Fault_inject.t ->
+  ?cancel:Cancel.t ->
   Device.t ->
   Memory.t ->
   Kir.kernel ->
@@ -31,7 +32,9 @@ val launch :
     identical for any value. [faults] (default {!Fault_inject.none}) is
     consulted after validation: a scheduled event makes this launch trap
     with an injected capacity fault before any instruction executes.
-    Raises [Interp.Runtime_error] (= {!Fault.Error}) on runtime faults
+    [cancel] (default {!Cancel.none}) is checked before the launch and
+    polled per CTA during interpretation; a fired token aborts with its
+    stored fault. Raises [Interp.Runtime_error] (= {!Fault.Error}) on runtime faults
     and [Invalid_argument] when the launch violates hard device limits
     (see {!Device.validate_launch}). *)
 

@@ -5,6 +5,9 @@ type space = Global_space | Shared_space [@@deriving show { with_path = false },
 
 type direction = H2d | D2h [@@deriving show { with_path = false }, eq]
 
+type deadline_kind = Deadline_cycles | Deadline_wall
+[@@deriving show { with_path = false }, eq]
+
 type t =
   | Capacity_trap of {
       which : capacity;
@@ -35,6 +38,8 @@ type t =
     }
   | Transfer_failure of { direction : direction; bytes : int; injected : bool }
   | Host_error of string
+  | Deadline_exceeded of { kind : deadline_kind; limit : float; spent : float }
+  | Cancelled of { reason : string }
   | Recovery_exhausted of { attempts : int; last : t }
 [@@deriving show { with_path = false }, eq]
 
@@ -121,6 +126,15 @@ let rec render = function
         (direction_name direction) bytes
         (if injected then " [injected]" else "")
   | Host_error msg -> msg
+  | Deadline_exceeded { kind = Deadline_cycles; limit; spent } ->
+      Printf.sprintf
+        "deadline exceeded: %.0f simulated cycles spent of a %.0f-cycle budget"
+        spent limit
+  | Deadline_exceeded { kind = Deadline_wall; limit; spent } ->
+      Printf.sprintf
+        "deadline exceeded: %.3f s wall clock spent of a %.3f s budget" spent
+        limit
+  | Cancelled { reason } -> Printf.sprintf "cancelled: %s" reason
   | Recovery_exhausted { attempts; last } ->
       Printf.sprintf "recovery exhausted after %d attempts; last fault: %s"
         attempts (render last)

@@ -22,6 +22,11 @@
     - [Transfer_failure]: a PCIe copy failed (injected transient).
       Recoverable by retrying the transfer.
     - [Host_error]: host-side planning/runtime invariant violations.
+    - [Deadline_exceeded]: a per-query budget (simulated cycles or wall
+      clock) ran out; raised cooperatively via {!Cancel} tokens. Terminal:
+      never retried.
+    - [Cancelled]: the query was cancelled from outside (service shutdown,
+      client abort). Terminal: never retried.
     - [Recovery_exhausted]: every applicable policy was tried. *)
 
 type capacity = Cap_input_tile | Cap_staging | Cap_groups
@@ -29,6 +34,8 @@ type capacity = Cap_input_tile | Cap_staging | Cap_groups
 type space = Global_space | Shared_space
 
 type direction = H2d | D2h
+
+type deadline_kind = Deadline_cycles | Deadline_wall
 
 type t =
   | Capacity_trap of {
@@ -60,6 +67,8 @@ type t =
     }
   | Transfer_failure of { direction : direction; bytes : int; injected : bool }
   | Host_error of string
+  | Deadline_exceeded of { kind : deadline_kind; limit : float; spent : float }
+  | Cancelled of { reason : string }
   | Recovery_exhausted of { attempts : int; last : t }
 
 exception Error of t
@@ -109,3 +118,7 @@ val equal_space : space -> space -> bool
 val pp_direction : Format.formatter -> direction -> unit
 val show_direction : direction -> string
 val equal_direction : direction -> direction -> bool
+
+val pp_deadline_kind : Format.formatter -> deadline_kind -> unit
+val show_deadline_kind : deadline_kind -> string
+val equal_deadline_kind : deadline_kind -> deadline_kind -> bool

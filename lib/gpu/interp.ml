@@ -102,8 +102,8 @@ let make_buffer_cache mem (k : Kir.kernel) =
       arr
     end
 
-let run ?(max_instructions = 2_000_000_000) ?profile ?(jobs = 1) mem
-    (k : Kir.kernel) ~params ~grid ~cta =
+let run ?(max_instructions = 2_000_000_000) ?profile ?(jobs = 1)
+    ?(cancel = Cancel.none) mem (k : Kir.kernel) ~params ~grid ~cta =
   let invalid_launch reason =
     Fault.raise_ (Fault.Invalid_launch { kernel = k.kname; reason })
   in
@@ -307,6 +307,9 @@ let run ?(max_instructions = 2_000_000_000) ?profile ?(jobs = 1) mem
     let ctx = make_ctx () in
     (try
        for ctaid = 0 to grid - 1 do
+         (* same checkpoint cadence as the per-CTA budget slice: a fired
+            token stops the launch before the next CTA starts *)
+         Cancel.check cancel;
          exec_cta ~stats ~profile_counts:profile ~buffer_data ~ctx ~locked:false
            ctaid
        done
@@ -338,7 +341,7 @@ let run ?(max_instructions = 2_000_000_000) ?profile ?(jobs = 1) mem
       in
       cas ()
     in
-    Domain_pool.run ~jobs (fun w ->
+    Domain_pool.run ~cancel ~jobs (fun w ->
         let stats = Stats.create () in
         let profile_counts =
           if profile = None then None else Some (Array.make (max 1 n_instr) 0)
@@ -352,6 +355,9 @@ let run ?(max_instructions = 2_000_000_000) ?profile ?(jobs = 1) mem
               let stop = min grid (start + chunk) in
               (try
                  for ctaid = start to stop - 1 do
+                   (* cancellation checkpoint: workers stop within one CTA
+                      of the token firing, mid-chunk included *)
+                   Cancel.check cancel;
                    exec_cta ~stats ~profile_counts ~buffer_data ~ctx
                      ~locked:true ctaid
                  done

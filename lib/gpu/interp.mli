@@ -30,6 +30,7 @@ val run :
   ?max_instructions:int ->
   ?profile:int array ->
   ?jobs:int ->
+  ?cancel:Cancel.t ->
   Memory.t ->
   Kir.kernel ->
   params:int array ->
@@ -46,4 +47,6 @@ val run :
     [jobs] (default 1) is the number of worker domains executing CTAs;
     it is clamped to [grid]. When a parallel run faults, the error of the
     lowest faulting CTA index is surfaced — the same error a sequential
-    run would raise. *)
+    run would raise. [cancel] (default {!Cancel.none}) is polled at the
+    per-CTA checkpoints on every worker; a fired token aborts the launch
+    with its stored fault within one CTA. *)

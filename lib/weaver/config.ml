@@ -18,6 +18,8 @@ type t = {
   selection_shared_fraction : float;
   jobs : int;
   faults : string option;
+  deadline_cycles : float option;
+  wall_deadline_s : float option;
 }
 
 let default =
@@ -39,6 +41,8 @@ let default =
     selection_shared_fraction = 1.0;
     jobs = 1;
     faults = None;
+    deadline_cycles = None;
+    wall_deadline_s = None;
   }
 
 let with_jobs t jobs =

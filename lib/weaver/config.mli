@@ -42,6 +42,19 @@ type t = {
           [None] (the default) disables injection at zero cost. The
           [WEAVER_FAULTS] environment variable seeds runs that don't set
           this field. *)
+  deadline_cycles : float option;
+      (** per-query budget in simulated cycles (kernel + PCIe, the
+          {!Metrics.t.total_cycles} currency). The runtime checks the
+          budget at launch/transfer checkpoints and fails the query with
+          {!Gpu_sim.Fault.Deadline_exceeded} once spent cycles exceed it
+          (strictly; a budget of exactly the run's cost never fires). A
+          non-positive budget fires at the first checkpoint. Deterministic:
+          depends only on the cost model, never on the host clock. *)
+  wall_deadline_s : float option;
+      (** wall-clock watchdog in seconds, measured from run start. Coarse
+          host-side protection against pathological simulations; checked
+          at the same checkpoints plus per-CTA via the {!Gpu_sim.Cancel}
+          token. Non-deterministic by nature. *)
 }
 
 val default : t

@@ -23,7 +23,11 @@ val compile :
     [Runtime.Execution_error] if some group cannot be planned at all. *)
 
 val run :
-  Runtime.program -> Relation.t array -> mode:Runtime.mode -> Runtime.result
+  ?cancel:Gpu_sim.Cancel.t ->
+  Runtime.program ->
+  Relation.t array ->
+  mode:Runtime.mode ->
+  Runtime.result
 (** Alias of {!Runtime.run}. *)
 
 type comparison = {

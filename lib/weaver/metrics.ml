@@ -19,6 +19,32 @@ type t = {
   leaks : (string * int) list;
 }
 
+let collect ~reports ~pcie ~peak_global_bytes ~retries ~fissions ~demotions
+    ~faults_injected ~leaks =
+  let sum f =
+    List.fold_left
+      (fun a (r : Executor.launch_report) -> a +. f r.Executor.time)
+      0.0 reports
+  in
+  {
+    reports;
+    launches = List.length reports;
+    kernel_cycles = sum (fun t -> t.Timing.total_cycles);
+    compute_cycles = sum (fun t -> t.Timing.compute_cycles);
+    memory_cycles = sum (fun t -> t.Timing.memory_cycles);
+    pcie_seconds = Pcie.total_seconds pcie;
+    pcie_cycles = Pcie.total_cycles pcie;
+    pcie_bytes = Pcie.total_bytes pcie;
+    pcie_transfers = Pcie.transfer_count pcie;
+    peak_global_bytes;
+    stats = Executor.sum_stats reports;
+    retries;
+    fissions;
+    demotions;
+    faults_injected;
+    leaks;
+  }
+
 let total_cycles t = t.kernel_cycles +. t.pcie_cycles
 
 let seconds device t = Timing.cycles_to_seconds device (total_cycles t)

@@ -33,6 +33,21 @@ type t = {
           lifetime bug; surfaced so tests can assert on it *)
 }
 
+val collect :
+  reports:Executor.launch_report list ->
+  pcie:Pcie.t ->
+  peak_global_bytes:int ->
+  retries:int ->
+  fissions:int ->
+  demotions:int ->
+  faults_injected:int ->
+  leaks:(string * int) list ->
+  t
+(** Derive a metrics record from a run's raw evidence: [reports] must be
+    in launch order; cycle sums, launch count and event totals are
+    computed here. Used for both completed runs and the partial metrics
+    attached to a {!Runtime.failure}. *)
+
 val total_cycles : t -> float
 (** Kernel + PCIe cycles: the paper's end-to-end time (Fig. 21). *)
 

@@ -24,6 +24,12 @@ type program = {
 
 type result = { sinks : (int * Relation.t) list; metrics : Metrics.t }
 
+type failure = { fault : Fault.t; partial : Metrics.t }
+(* what a failed run still owes its caller: the typed fault plus the
+   metrics accumulated up to the failure point (cycles spent, faults
+   injected, and — crucially for the service layer's isolation guarantee —
+   the leak list, which must be empty even on the failure path) *)
+
 exception Execution_error of Fault.t
 
 let exec_error fmt =
@@ -44,8 +50,10 @@ type st = {
   mem : Memory.t;
   pcie : Pcie.t;
   faults : Fault_inject.t;
+  cancel : Cancel.t;
   mode : mode;
   mutable reports : Executor.launch_report list;  (** reversed *)
+  mutable kernel_cycles : float;  (** running sum over [reports] *)
   mutable retries : int;
   mutable fissions : int;
   base_mats : mat array;
@@ -58,13 +66,34 @@ type st = {
 let config st = st.program.config
 let device st = (config st).Config.device
 
+(* The per-query budget checkpoint: polls the cancellation token (client
+   aborts, wall-clock watchdog) and compares simulated cycles spent so far
+   against the deadline. Called after every launch, synthetic report and
+   PCIe transfer — the same places simulated time advances — so the check
+   is deterministic for cycle deadlines: it depends only on the cost
+   model, never on the host clock. Strictly greater-than, so a budget of
+   exactly the run's cost completes; a non-positive budget fires at the
+   first checkpoint. *)
+let check_budget st =
+  Cancel.check st.cancel;
+  match (config st).Config.deadline_cycles with
+  | None -> ()
+  | Some limit ->
+      let spent = st.kernel_cycles +. Pcie.total_cycles st.pcie in
+      if spent > limit || limit <= 0.0 then
+        Fault.raise_
+          (Fault.Deadline_exceeded
+             { kind = Fault.Deadline_cycles; limit; spent })
+
 let launch st kernel ~params ~grid ~cta =
   let r =
     Executor.launch ~timing:(config st).Config.timing
-      ~jobs:(config st).Config.jobs ~faults:st.faults (device st) st.mem kernel
-      ~params ~grid ~cta
+      ~jobs:(config st).Config.jobs ~faults:st.faults ~cancel:st.cancel
+      (device st) st.mem kernel ~params ~grid ~cta
   in
   st.reports <- r :: st.reports;
+  st.kernel_cycles <- st.kernel_cycles +. r.Executor.time.Timing.total_cycles;
+  check_budget st;
   r
 
 (* Policy: injected allocation and PCIe faults are transient — retry a
@@ -92,7 +121,8 @@ let transfer st dir ~bytes =
       st.retries <- st.retries + 1;
       go (tries + 1)
   in
-  go 0
+  go 0;
+  check_budget st
 
 let synth_report st name stats =
   let time =
@@ -110,7 +140,9 @@ let synth_report st name stats =
       time;
     }
   in
-  st.reports <- r :: st.reports
+  st.reports <- r :: st.reports;
+  st.kernel_cycles <- st.kernel_cycles +. time.Timing.total_cycles;
+  check_budget st
 
 let mat_of_source st = function
   | Plan.Base i -> st.base_mats.(i)
@@ -476,7 +508,18 @@ let rec exec_fused st ~name (ir : Fusion.t) =
       produced := [];
       free_temps ();
       outs
-    with Interp.Runtime_error (Fault.Capacity_trap cap_fault) ->
+    with
+    (* anything that is not a capacity retry (deadline, cancellation, an
+       injected fault that escaped its own retries) aborts the attempt;
+       scratch must still be released so the failure path leaks nothing *)
+    | e
+      when not
+             (match e with
+             | Interp.Runtime_error (Fault.Capacity_trap _) -> true
+             | _ -> false) ->
+        free_temps ();
+        raise e
+    | Interp.Runtime_error (Fault.Capacity_trap cap_fault) ->
       free_temps ();
       if tries >= (config st).Config.max_retries then
         if List.length ir.op_ids >= 2 then raise (Needs_split cfg)
@@ -522,24 +565,34 @@ let rec exec_fused st ~name (ir : Fusion.t) =
                 (tries + 1))
   in
   match attempt (config st) 0 with
-  | outs ->
-      (* publish outputs, then release inputs *)
-      Array.iter
-        (fun (op_id, schema, buf, rows) ->
-          let m =
-            {
-              schema;
-              rows;
-              buf = Some buf;
-              host = None;
-              remaining = consumer_units_of st op_id;
-            }
-          in
-          publish st op_id m)
-        outs;
-      consume st
-        (Array.to_list
-           (Array.map (fun (i : Fusion.input_info) -> i.source) ir.inputs))
+  | outs -> (
+      (* publish outputs, then release inputs. If publishing itself fails
+         (a Streamed download's transfer fault, a deadline at a transfer
+         checkpoint), outputs not yet adopted by a mat are freed here —
+         published ones are the run-level cleanup's responsibility. *)
+      try
+        Array.iter
+          (fun (op_id, schema, buf, rows) ->
+            let m =
+              {
+                schema;
+                rows;
+                buf = Some buf;
+                host = None;
+                remaining = consumer_units_of st op_id;
+              }
+            in
+            publish st op_id m)
+          outs;
+        consume st
+          (Array.to_list
+             (Array.map (fun (i : Fusion.input_info) -> i.source) ir.inputs))
+      with e ->
+        Array.iter
+          (fun (op_id, _, buf, _) ->
+            if st.node_mats.(op_id) = None then Memory.free st.mem buf)
+          outs;
+        raise e)
   | exception Fallback_needed -> exec_fallback st ~name ir
   | exception Needs_split grown_cfg ->
       (* fission fallback: split the group under the grown resource
@@ -620,15 +673,21 @@ let exec_sort st ~op_id ~key_arity ~source =
   let m = mat_of_source st source in
   ignore (upload st m);
   let out = alloc_rel st ~label:"sort_out" ~rows:m.rows ~schema:m.schema in
-  Array.blit
-    (Memory.data st.mem (Option.get m.buf))
-    0 (Memory.data st.mem out) 0
-    (m.rows * Schema.arity m.schema);
-  Ra_lib.Sort_model.sort_host st.mem ~buf:out ~rows:m.rows ~schema:m.schema
-    ~key_arity;
-  List.iteri
-    (fun i s -> synth_report st (Printf.sprintf "sort%d_pass%d" op_id i) s)
-    (Ra_lib.Sort_model.synthetic_stats ~rows:m.rows ~schema:m.schema);
+  (* the synthetic passes hit budget checkpoints; release [out] if one
+     fires before the result is adopted by a mat *)
+  (try
+     Array.blit
+       (Memory.data st.mem (Option.get m.buf))
+       0 (Memory.data st.mem out) 0
+       (m.rows * Schema.arity m.schema);
+     Ra_lib.Sort_model.sort_host st.mem ~buf:out ~rows:m.rows ~schema:m.schema
+       ~key_arity;
+     List.iteri
+       (fun i s -> synth_report st (Printf.sprintf "sort%d_pass%d" op_id i) s)
+       (Ra_lib.Sort_model.synthetic_stats ~rows:m.rows ~schema:m.schema)
+   with e ->
+     Memory.free st.mem out;
+     raise e);
   publish st op_id
     {
       schema = m.schema;
@@ -702,7 +761,15 @@ let exec_unique st ~op_id ~key_arity ~source =
       in
       free_temps ();
       (out, rows)
-    with Interp.Runtime_error (Fault.Capacity_trap _) ->
+    with
+    | e
+      when not
+             (match e with
+             | Interp.Runtime_error (Fault.Capacity_trap _) -> true
+             | _ -> false) ->
+        free_temps ();
+        raise e
+    | Interp.Runtime_error (Fault.Capacity_trap _) ->
       free_temps ();
       (* a key run outgrew the slice: double the slice until the flags
          scratch no longer fits shared memory, then run host-side *)
@@ -807,7 +874,15 @@ let exec_aggregate st ~op_id ~source ~(lay : Ra_lib.Aggregate_emit.layout) =
       result := None;
       free_temps ();
       (out, rows, out_schema)
-    with Interp.Runtime_error (Fault.Capacity_trap _) ->
+    with
+    | e
+      when not
+             (match e with
+             | Interp.Runtime_error (Fault.Capacity_trap _) -> true
+             | _ -> false) ->
+        free_temps ();
+        raise e
+    | Interp.Runtime_error (Fault.Capacity_trap _) ->
       free_temps ();
       let next = min (max_groups * 2) fit_cap in
       if next <= max_groups || tries >= cfg.Config.max_retries then
@@ -819,8 +894,14 @@ let exec_aggregate st ~op_id ~source ~(lay : Ra_lib.Aggregate_emit.layout) =
   | exception Fallback_needed ->
       exec_fallback_node st ~name ~op_id ~consumed_sources:[ source ]
   | out, rows, out_schema ->
-  (* shrink the result to its actual size *)
-  let dense = alloc_rel st ~label:(name ^ "_dense") ~rows ~schema:out_schema in
+  (* shrink the result to its actual size; [out] is unowned until the
+     dense copy exists, so free it if the shrink allocation fails *)
+  let dense =
+    try alloc_rel st ~label:(name ^ "_dense") ~rows ~schema:out_schema
+    with e ->
+      Memory.free st.mem out;
+      raise e
+  in
   Array.blit (Memory.data st.mem out) 0 (Memory.data st.mem dense) 0
     (rows * Schema.arity out_schema);
   Memory.free st.mem out;
@@ -836,7 +917,7 @@ let exec_aggregate st ~op_id ~source ~(lay : Ra_lib.Aggregate_emit.layout) =
 
 (* --- top level ------------------------------------------------------------ *)
 
-let run program bases ~mode =
+let run_result ?(cancel = Cancel.none) program bases ~mode =
   if Array.length bases <> Plan.base_count program.plan then
     invalid_arg "Runtime.run: wrong number of base relations";
   Array.iteri
@@ -844,6 +925,26 @@ let run program bases ~mode =
       if not (Schema.equal (Relation.schema r) (Plan.base_schema program.plan i))
       then invalid_arg (Printf.sprintf "Runtime.run: base %d schema mismatch" i))
     bases;
+  (* The wall-clock watchdog rides on the cancellation token so it is
+     polled per CTA too, not only at host checkpoints. An explicit token
+     from the caller is reused; otherwise deadline-bearing configs get a
+     private one. The weaver layer owns the clock — gpu_sim stays free of
+     Unix. *)
+  let cancel =
+    match program.config.Config.wall_deadline_s with
+    | None -> cancel
+    | Some limit ->
+        let t = if cancel == Cancel.none then Cancel.create () else cancel in
+        let t0 = Unix.gettimeofday () in
+        Cancel.add_watchdog t (fun () ->
+            let spent = Unix.gettimeofday () -. t0 in
+            if spent > limit || limit <= 0.0 then
+              Some
+                (Fault.Deadline_exceeded
+                   { kind = Fault.Deadline_wall; limit; spent })
+            else None);
+        t
+  in
   let faults =
     match program.config.Config.faults with
     | Some spec -> Fault_inject.of_spec spec
@@ -855,8 +956,10 @@ let run program bases ~mode =
   let pcie = Pcie.create ~faults program.config.Config.device in
   (* counters survive a failed attempt so the demoted re-run charges it *)
   let saved_reports = ref [] in
+  let saved_cycles = ref 0.0 in
   let saved_retries = ref 0 in
   let saved_fissions = ref 0 in
+  let last_mem = ref None in
   let attempt ~mode ~demotions =
     let mem = Memory.create ~faults program.config.Config.device in
     let st =
@@ -865,8 +968,10 @@ let run program bases ~mode =
         mem;
         pcie;
         faults;
+        cancel;
         mode;
         reports = !saved_reports;
+        kernel_cycles = !saved_cycles;
         retries = !saved_retries;
         fissions = !saved_fissions;
         base_mats =
@@ -885,6 +990,9 @@ let run program bases ~mode =
       }
     in
     try
+      (* a non-positive deadline (or an already-fired token) fails the run
+         before any work, including the base uploads *)
+      check_budget st;
       (* base consumer counts *)
       Array.iteri
         (fun i (m : mat) ->
@@ -942,43 +1050,43 @@ let run program bases ~mode =
           (fun (b, l) -> (l, Memory.bytes mem b))
           (Memory.live_buffers mem)
       in
-      let reports = List.rev st.reports in
-      let stats = Executor.sum_stats reports in
       let metrics =
-        {
-          Metrics.reports;
-          launches = List.length reports;
-          kernel_cycles =
-            List.fold_left
-              (fun a r -> a +. r.Executor.time.Timing.total_cycles)
-              0.0 reports;
-          compute_cycles =
-            List.fold_left
-              (fun a r -> a +. r.Executor.time.Timing.compute_cycles)
-              0.0 reports;
-          memory_cycles =
-            List.fold_left
-              (fun a r -> a +. r.Executor.time.Timing.memory_cycles)
-              0.0 reports;
-          pcie_seconds = Pcie.total_seconds pcie;
-          pcie_cycles = Pcie.total_cycles pcie;
-          pcie_bytes = Pcie.total_bytes pcie;
-          pcie_transfers = Pcie.transfer_count pcie;
-          peak_global_bytes = Memory.peak_bytes mem;
-          stats;
-          retries = st.retries;
-          fissions = st.fissions;
-          demotions;
-          faults_injected = Fault_inject.injected faults;
-          leaks;
-        }
+        Metrics.collect ~reports:(List.rev st.reports) ~pcie
+          ~peak_global_bytes:(Memory.peak_bytes mem) ~retries:st.retries
+          ~fissions:st.fissions ~demotions
+          ~faults_injected:(Fault_inject.injected faults) ~leaks
       in
       { sinks; metrics }
     with e ->
       saved_reports := st.reports;
+      saved_cycles := st.kernel_cycles;
       saved_retries := st.retries;
       saved_fissions := st.fissions;
+      (* failure-path cleanup: every materialization is released so a
+         cancelled or deadline-missed query leaves the (simulated) device
+         empty — anything still live afterwards is a genuine lifetime bug
+         and shows up in the partial metrics' leak list *)
+      Array.iter (fun m -> free_device st m) st.base_mats;
+      Array.iter
+        (function Some m -> free_device st m | None -> ())
+        st.node_mats;
+      last_mem := Some mem;
       raise e
+  in
+  let partial ~demotions =
+    let leaks, peak =
+      match !last_mem with
+      | Some mem ->
+          ( List.map
+              (fun (b, l) -> (l, Memory.bytes mem b))
+              (Memory.live_buffers mem),
+            Memory.peak_bytes mem )
+      | None -> ([], 0)
+    in
+    Metrics.collect ~reports:(List.rev !saved_reports) ~pcie
+      ~peak_global_bytes:peak ~retries:!saved_retries
+      ~fissions:!saved_fissions ~demotions
+      ~faults_injected:(Fault_inject.injected faults) ~leaks
   in
   (* Policy order (see DESIGN.md "Fault model & recovery"): retries and
      fission already happened inside the attempt; what escapes here is a
@@ -990,11 +1098,23 @@ let run program bases ~mode =
         Fault.Recovery_exhausted { attempts; last = f }
     | f -> f
   in
-  try attempt ~mode ~demotions:0 with
-  | Fault.Error (Fault.Alloc_failure _) when mode = Resident -> (
-      try attempt ~mode:Streamed ~demotions:1
-      with Fault.Error f -> raise (Execution_error (wrap ~attempts:2 f)))
-  | Fault.Error f -> raise (Execution_error (wrap ~attempts:1 f))
+  (* Deadline_exceeded and Cancelled are terminal by construction: [wrap]
+     passes them through unwrapped, and demotion keys on Alloc_failure
+     only — a query over budget must stop, not restart in Streamed mode. *)
+  match attempt ~mode ~demotions:0 with
+  | r -> Ok r
+  | exception Fault.Error (Fault.Alloc_failure _) when mode = Resident -> (
+      match attempt ~mode:Streamed ~demotions:1 with
+      | r -> Ok r
+      | exception Fault.Error f ->
+          Error { fault = wrap ~attempts:2 f; partial = partial ~demotions:1 })
+  | exception Fault.Error f ->
+      Error { fault = wrap ~attempts:1 f; partial = partial ~demotions:0 }
+
+let run ?cancel program bases ~mode =
+  match run_result ?cancel program bases ~mode with
+  | Ok r -> r
+  | Error { fault; _ } -> raise (Execution_error fault)
 
 let kernels_source program =
   let buf = Buffer.create 4096 in

@@ -67,14 +67,41 @@ type program = {
 
 type result = { sinks : (int * Relation.t) list; metrics : Metrics.t }
 
+type failure = { fault : Gpu_sim.Fault.t; partial : Metrics.t }
+(** A failed run: the typed fault plus the metrics accumulated up to the
+    failure point — cycles are charged, injected faults counted, and
+    [partial.leaks] is the post-cleanup live-buffer list (always [[]]
+    unless the runtime has a lifetime bug; the service layer's isolation
+    tests assert on it). *)
+
 exception Execution_error of Gpu_sim.Fault.t
 (** Raised for unrecoverable faults. Render the payload with
     {!Gpu_sim.Fault.render}. *)
 
-val run : program -> Relation.t array -> mode:mode -> result
+val run_result :
+  ?cancel:Gpu_sim.Cancel.t ->
+  program ->
+  Relation.t array ->
+  mode:mode ->
+  (result, failure) Stdlib.result
+(** Like {!run}, but failures come back as values carrying partial
+    metrics instead of an exception. [cancel] (default
+    {!Gpu_sim.Cancel.none}) is polled per CTA and at every host
+    checkpoint; a fired token fails the run with its stored fault
+    (typically {!Gpu_sim.Fault.Cancelled}). Deadlines from the program's
+    config ([deadline_cycles], [wall_deadline_s]) are enforced here:
+    cycle deadlines deterministically at launch/transfer checkpoints,
+    wall deadlines via a watchdog installed on the token. Both are
+    terminal — never retried, never demoted. Still raises
+    [Invalid_argument] on base-relation count/schema mismatch (caller
+    bugs, not query faults). *)
+
+val run :
+  ?cancel:Gpu_sim.Cancel.t -> program -> Relation.t array -> mode:mode -> result
 (** Raises {!Execution_error} on unrecoverable faults (exhausted
-    recovery, schema mismatches as [Host_error]) and [Invalid_argument]
-    on base-relation count/schema mismatch. *)
+    recovery, schema mismatches as [Host_error], missed deadlines,
+    cancellation) and [Invalid_argument] on base-relation count/schema
+    mismatch. *)
 
 val kernels_source : program -> string
 (** CUDA-style source of every generated kernel (after the program's

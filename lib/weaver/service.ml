@@ -1,0 +1,383 @@
+open Gpu_sim
+open Relation_lib
+open Qplan
+
+(* --- requests ------------------------------------------------------------- *)
+
+type deadline = { cycles : float option; wall_s : float option }
+
+type request = {
+  rid : int;
+  program : Runtime.program;
+  bases : Relation.t array;
+  mode : Runtime.mode;
+  deadline : deadline;
+  cancel : Cancel.t option;
+}
+
+let request ?deadline_cycles ?wall_deadline_s ?cancel ?(mode = Runtime.Resident)
+    ~rid program bases =
+  {
+    rid;
+    program;
+    bases;
+    mode;
+    deadline = { cycles = deadline_cycles; wall_s = wall_deadline_s };
+    cancel;
+  }
+
+(* --- verdicts ------------------------------------------------------------- *)
+
+type rejection =
+  | Queue_full of { limit : int }
+  | Over_capacity of { footprint_bytes : int; capacity_bytes : int }
+
+type verdict =
+  | Completed of Runtime.result
+  | Failed of Runtime.failure
+  | Rejected of rejection
+
+type response = {
+  rid : int;
+  verdict : verdict;
+  mode_used : Runtime.mode;
+  pre_demoted : bool;
+  footprint_bytes : int;
+  latency_cycles : float;
+}
+
+type config = {
+  queue_limit : int;
+  admit_fraction : float;
+  breaker_window : int;
+  breaker_threshold : int;
+  breaker_cooldown : int;
+}
+
+let default_config =
+  {
+    queue_limit = 16;
+    admit_fraction = 0.5;
+    breaker_window = 8;
+    breaker_threshold = 3;
+    breaker_cooldown = 4;
+  }
+
+type stats = {
+  submitted : int;
+  admitted : int;
+  rejected : int;
+  completed : int;
+  failed : int;
+  deadline_misses : int;
+  cancelled : int;
+  pre_demotions : int;
+  runtime_demotions : int;
+  breaker_trips : int;
+  p50_latency_cycles : float;
+  p95_latency_cycles : float;
+  total_cycles : float;
+  throughput_qps : float;
+  wall_seconds : float;
+}
+
+(* --- admission: footprint estimation --------------------------------------
+
+   The admission gate reuses the planner's cardinality assumptions (the
+   same join_expansion / max_groups knobs Layout budgets with) to bound a
+   query's device-memory demand BEFORE running it. It deliberately
+   over-approximates: joins are budgeted at full expansion, filters at
+   unit selectivity — admission must be safe, not tight. *)
+
+let estimate_node_rows cfg plan bases =
+  let base_rows = Array.map Relation.count bases in
+  let node_rows = Array.make (Plan.node_count plan) 0 in
+  let rows_of = function
+    | Plan.Base i -> base_rows.(i)
+    | Plan.Node i -> node_rows.(i)
+  in
+  List.iter
+    (fun (n : Plan.node) ->
+      let r =
+        match (n.Plan.kind, n.Plan.inputs) with
+        | ( ( Op.Select _ | Op.Project _ | Op.Arith _ | Op.Sort _
+            | Op.Unique _ ),
+            [ s ] ) ->
+            rows_of s
+        | Op.Join _, [ l; r ] ->
+            max (rows_of l) (rows_of r) * cfg.Config.join_expansion
+        | (Op.Semijoin _ | Op.Antijoin _), [ l; _ ] -> rows_of l
+        | (Op.Intersect _ | Op.Difference _), [ l; _ ] -> rows_of l
+        | Op.Product, [ l; r ] -> rows_of l * rows_of r
+        | Op.Union _, [ l; r ] -> rows_of l + rows_of r
+        | Op.Aggregate _, [ s ] -> min (rows_of s) cfg.Config.max_groups
+        | _, inputs -> List.fold_left (fun a s -> a + rows_of s) 0 inputs
+      in
+      node_rows.(n.Plan.id) <- max 1 r)
+    (Plan.nodes plan);
+  (base_rows, node_rows)
+
+let bytes_of_source plan base_rows node_rows src =
+  let rows =
+    match src with
+    | Plan.Base i -> base_rows.(i)
+    | Plan.Node i -> node_rows.(i)
+  in
+  rows * Schema.tuple_bytes (Plan.schema_of plan src)
+
+(* Resident: every base and every intermediate may be live at once (the
+   runtime frees aggressively, but admission budgets the worst case).
+   Streamed: only one unit's inputs and outputs are device-resident at a
+   time — the footprint is the largest working set. *)
+let footprints (program : Runtime.program) bases =
+  let cfg = program.Runtime.config in
+  let plan = program.Runtime.plan in
+  let base_rows, node_rows = estimate_node_rows cfg plan bases in
+  let bos = bytes_of_source plan base_rows node_rows in
+  let resident =
+    Array.to_list (Array.mapi (fun i _ -> bos (Plan.Base i)) bases)
+    @ List.map (fun (n : Plan.node) -> bos (Plan.Node n.Plan.id)) (Plan.nodes plan)
+    |> List.fold_left ( + ) 0
+  in
+  let unit_io u =
+    let ins, outs =
+      match u with
+      | Runtime.U_fused { ir; _ } ->
+          ( Array.to_list
+              (Array.map (fun (i : Fusion.input_info) -> i.source) ir.inputs),
+            Array.to_list (Array.map fst ir.outputs) )
+      | Runtime.U_sort { op_id; source; _ }
+      | Runtime.U_unique { op_id; source; _ }
+      | Runtime.U_aggregate { op_id; source; _ } ->
+          ([ source ], [ op_id ])
+    in
+    List.fold_left (fun a s -> a + bos s) 0 ins
+    + List.fold_left (fun a id -> a + bos (Plan.Node id)) 0 outs
+  in
+  let streamed =
+    List.fold_left (fun a u -> max a (unit_io u)) 0 program.Runtime.units
+  in
+  (resident, streamed)
+
+(* --- circuit breakers ------------------------------------------------------
+
+   One breaker per fault site. A breaker watches the last [breaker_window]
+   executions touching its site; [breaker_threshold] failures inside the
+   window trip it for [breaker_cooldown] admissions. While the memory or
+   capacity breaker is open, new Resident queries are admitted pre-demoted
+   to Streamed — shedding device-memory pressure instead of letting every
+   queued query re-discover the same OOM. *)
+
+type site = Site_memory | Site_capacity | Site_transfer
+
+let rec site_of_fault = function
+  | Fault.Alloc_failure _ -> Some Site_memory
+  | Fault.Capacity_trap _ -> Some Site_capacity
+  | Fault.Transfer_failure _ -> Some Site_transfer
+  | Fault.Recovery_exhausted { last; _ } -> site_of_fault last
+  | _ -> None
+
+type breaker = {
+  mutable window : bool list;  (** newest first; [true] = failure *)
+  mutable open_for : int;  (** admissions until the breaker half-closes *)
+  mutable trips : int;
+}
+
+let record cfg b failed =
+  b.window <- failed :: b.window;
+  if List.length b.window > cfg.breaker_window then
+    b.window <-
+      List.filteri (fun i _ -> i < cfg.breaker_window) b.window;
+  let failures = List.length (List.filter Fun.id b.window) in
+  if b.open_for = 0 && failures >= cfg.breaker_threshold then begin
+    b.trips <- b.trips + 1;
+    b.open_for <- cfg.breaker_cooldown;
+    b.window <- []
+  end
+
+let is_open b = b.open_for > 0
+
+let tick_cooldown b = if b.open_for > 0 then b.open_for <- b.open_for - 1
+
+(* --- the batch front end --------------------------------------------------- *)
+
+let percentile sorted p =
+  match Array.length sorted with
+  | 0 -> 0.0
+  | n ->
+      let rank =
+        int_of_float (ceil (p /. 100.0 *. float_of_int n)) - 1
+      in
+      sorted.(max 0 (min (n - 1) rank))
+
+let run_batch ?(config = default_config) requests =
+  let t_wall0 = Unix.gettimeofday () in
+  let breakers =
+    List.map
+      (fun site -> (site, { window = []; open_for = 0; trips = 0 }))
+      [ Site_memory; Site_capacity; Site_transfer ]
+  in
+  let breaker site = List.assq site breakers in
+  (* the service clock: cumulative simulated cycles across the batch (one
+     device, queries run back to back; arrival is t=0 for the whole batch,
+     so a query's latency is the clock when it finishes) *)
+  let clock = ref 0.0 in
+  let sim_seconds = ref 0.0 in
+  let submitted = ref 0 and admitted = ref 0 and rejected = ref 0 in
+  let completed = ref 0 and failed = ref 0 in
+  let deadline_misses = ref 0 and cancelled = ref 0 in
+  let pre_demotions = ref 0 and runtime_demotions = ref 0 in
+  let latencies = ref [] in
+  let respond (r : request) verdict ~mode_used ~pre_demoted ~footprint_bytes =
+    {
+      rid = r.rid;
+      verdict;
+      mode_used;
+      pre_demoted;
+      footprint_bytes;
+      latency_cycles = !clock;
+    }
+  in
+  let execute queue_index r =
+    incr submitted;
+    (* backpressure: one query is running, at most [queue_limit] wait *)
+    if queue_index > config.queue_limit then begin
+      incr rejected;
+      respond r
+        (Rejected (Queue_full { limit = config.queue_limit }))
+        ~mode_used:r.mode ~pre_demoted:false ~footprint_bytes:0
+    end
+    else begin
+      let resident_b, streamed_b = footprints r.program r.bases in
+      let capacity =
+        r.program.Runtime.config.Config.device.Device.global_mem_bytes
+      in
+      let budget =
+        int_of_float (config.admit_fraction *. float_of_int capacity)
+      in
+      let shedding =
+        is_open (breaker Site_memory) || is_open (breaker Site_capacity)
+      in
+      List.iter (fun (_, b) -> tick_cooldown b) breakers;
+      let mode, pre_demoted =
+        match r.mode with
+        | Runtime.Streamed -> (Runtime.Streamed, false)
+        | Runtime.Resident when resident_b > budget || shedding ->
+            (Runtime.Streamed, true)
+        | Runtime.Resident -> (Runtime.Resident, false)
+      in
+      let footprint_bytes =
+        match mode with Runtime.Resident -> resident_b | Runtime.Streamed -> streamed_b
+      in
+      if streamed_b > capacity then begin
+        (* not even one working set fits: no mode can run this *)
+        incr rejected;
+        respond r
+          (Rejected
+             (Over_capacity
+                { footprint_bytes = streamed_b; capacity_bytes = capacity }))
+          ~mode_used:mode ~pre_demoted ~footprint_bytes
+      end
+      else begin
+        incr admitted;
+        if pre_demoted then incr pre_demotions;
+        (* per-request deadline overrides ride on the program config; a
+           request without its own deadline keeps the program's *)
+        let cfg0 = r.program.Runtime.config in
+        let cfg1 =
+          {
+            cfg0 with
+            Config.deadline_cycles =
+              (match r.deadline.cycles with
+              | Some _ as d -> d
+              | None -> cfg0.Config.deadline_cycles);
+            wall_deadline_s =
+              (match r.deadline.wall_s with
+              | Some _ as d -> d
+              | None -> cfg0.Config.wall_deadline_s);
+          }
+        in
+        let program = { r.program with Runtime.config = cfg1 } in
+        let cancel = Option.value r.cancel ~default:Cancel.none in
+        let device = cfg1.Config.device in
+        match Runtime.run_result ~cancel program r.bases ~mode with
+        | Ok res ->
+            incr completed;
+            let cycles = Metrics.total_cycles res.Runtime.metrics in
+            clock := !clock +. cycles;
+            sim_seconds :=
+              !sim_seconds +. Timing.cycles_to_seconds device cycles;
+            latencies := !clock :: !latencies;
+            runtime_demotions :=
+              !runtime_demotions + res.Runtime.metrics.Metrics.demotions;
+            (* a run that only survived by demoting itself is memory
+               pressure too: charge the memory breaker *)
+            List.iter
+              (fun (site, b) ->
+                record config b
+                  (site = Site_memory
+                  && res.Runtime.metrics.Metrics.demotions > 0))
+              breakers;
+            respond r (Completed res) ~mode_used:mode ~pre_demoted
+              ~footprint_bytes
+        | Error f ->
+            incr failed;
+            let cycles = Metrics.total_cycles f.Runtime.partial in
+            clock := !clock +. cycles;
+            sim_seconds :=
+              !sim_seconds +. Timing.cycles_to_seconds device cycles;
+            runtime_demotions :=
+              !runtime_demotions + f.Runtime.partial.Metrics.demotions;
+            (match f.Runtime.fault with
+            | Fault.Deadline_exceeded _ -> incr deadline_misses
+            | Fault.Cancelled _ -> incr cancelled
+            | _ -> ());
+            (match site_of_fault f.Runtime.fault with
+            | Some s ->
+                List.iter
+                  (fun (site, b) -> record config b (site = s))
+                  breakers
+            | None -> ());
+            respond r (Failed f) ~mode_used:mode ~pre_demoted
+              ~footprint_bytes
+      end
+    end
+  in
+  let responses = List.mapi execute requests in
+  let sorted = Array.of_list (List.rev !latencies) in
+  Array.sort Float.compare sorted;
+  let wall_seconds = Unix.gettimeofday () -. t_wall0 in
+  let stats =
+    {
+      submitted = !submitted;
+      admitted = !admitted;
+      rejected = !rejected;
+      completed = !completed;
+      failed = !failed;
+      deadline_misses = !deadline_misses;
+      cancelled = !cancelled;
+      pre_demotions = !pre_demotions;
+      runtime_demotions = !runtime_demotions;
+      breaker_trips =
+        List.fold_left (fun a (_, b) -> a + b.trips) 0 breakers;
+      p50_latency_cycles = percentile sorted 50.0;
+      p95_latency_cycles = percentile sorted 95.0;
+      total_cycles = !clock;
+      throughput_qps =
+        (if !sim_seconds > 0.0 then float_of_int !completed /. !sim_seconds
+         else 0.0);
+      wall_seconds;
+    }
+  in
+  (responses, stats)
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "@[<v>submitted %d: %d admitted (%d pre-demoted), %d rejected@ completed \
+     %d, failed %d (%d deadline misses, %d cancelled)@ demotions at run time: \
+     %d; breaker trips: %d@ latency cycles: p50 %.0f, p95 %.0f@ throughput: \
+     %.1f q/s over %.3e simulated cycles (%.3f s wall)@]"
+    s.submitted s.admitted s.pre_demotions s.rejected s.completed s.failed
+    s.deadline_misses s.cancelled s.runtime_demotions s.breaker_trips
+    s.p50_latency_cycles s.p95_latency_cycles s.throughput_qps s.total_cycles
+    s.wall_seconds

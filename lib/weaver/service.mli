@@ -1,0 +1,117 @@
+(** Multi-query service front end: deadlines, admission control, overload
+    shedding.
+
+    {!run_batch} drives a batch of compiled queries through
+    {!Runtime.run_result} on one simulated device, adding the robustness
+    layer a production server needs on top of per-query recovery (see
+    DESIGN.md §9 "Service layer"):
+
+    - {b Isolation}: every query gets its own memory manager, PCIe ledger
+      and fault-injection state. One query's fault, missed deadline or
+      cancellation never perturbs another's result — service-batch outputs
+      are bit-identical to solo runs.
+    - {b Deadlines}: per-request budgets in simulated cycles (enforced
+      deterministically at the runtime's launch/transfer checkpoints) and
+      wall-clock seconds (a {!Gpu_sim.Cancel} watchdog polled per CTA).
+      A missed deadline fails that query with
+      {!Gpu_sim.Fault.Deadline_exceeded} and zero leaked buffers.
+    - {b Admission control}: a query's device-memory footprint is
+      estimated from base cardinalities and the planner's expansion
+      budgets before it runs. Resident queries whose estimate exceeds
+      [admit_fraction] of device memory are admitted pre-demoted to
+      Streamed; queries whose single largest working set cannot fit at
+      all are rejected with {!Over_capacity}. The wait queue is bounded:
+      beyond [queue_limit] waiting requests, submissions are rejected
+      with {!Queue_full} (backpressure, never unbounded buffering).
+    - {b Overload shedding}: per-site circuit breakers (memory, capacity,
+      PCIe) watch recent failures; a tripped memory/capacity breaker
+      pre-demotes subsequent admissions to Streamed for a cooldown
+      period instead of letting each queued query rediscover the same
+      pressure. *)
+
+open Gpu_sim
+open Relation_lib
+
+type deadline = { cycles : float option; wall_s : float option }
+
+type request = {
+  rid : int;  (** caller-chosen id, echoed in the response *)
+  program : Runtime.program;
+  bases : Relation.t array;
+  mode : Runtime.mode;  (** requested placement; admission may demote *)
+  deadline : deadline;
+  cancel : Cancel.t option;
+      (** client-side abort handle; cancel it (with {!Fault.Cancelled})
+          from another domain or a watchdog to stop the query *)
+}
+
+val request :
+  ?deadline_cycles:float ->
+  ?wall_deadline_s:float ->
+  ?cancel:Cancel.t ->
+  ?mode:Runtime.mode ->
+  rid:int ->
+  Runtime.program ->
+  Relation.t array ->
+  request
+(** Default mode is [Resident]; omitted deadlines inherit whatever the
+    program's own config carries. *)
+
+type rejection =
+  | Queue_full of { limit : int }
+  | Over_capacity of { footprint_bytes : int; capacity_bytes : int }
+
+type verdict =
+  | Completed of Runtime.result
+  | Failed of Runtime.failure
+      (** typed fault + partial metrics; [partial.leaks] is always [[]] *)
+  | Rejected of rejection  (** never executed; zero cycles charged *)
+
+type response = {
+  rid : int;
+  verdict : verdict;
+  mode_used : Runtime.mode;
+  pre_demoted : bool;  (** admission downgraded a Resident request *)
+  footprint_bytes : int;  (** admission's estimate for [mode_used] *)
+  latency_cycles : float;
+      (** service clock (cumulative simulated cycles, arrival = 0) when
+          this query left the system *)
+}
+
+type config = {
+  queue_limit : int;  (** max requests waiting behind the running one *)
+  admit_fraction : float;
+      (** Resident footprint budget as a fraction of device memory *)
+  breaker_window : int;  (** executions a breaker remembers *)
+  breaker_threshold : int;  (** failures in the window that trip it *)
+  breaker_cooldown : int;  (** admissions an open breaker sheds for *)
+}
+
+val default_config : config
+(** queue 16, admit 0.5, window 8, threshold 3, cooldown 4. *)
+
+type stats = {
+  submitted : int;
+  admitted : int;
+  rejected : int;
+  completed : int;
+  failed : int;
+  deadline_misses : int;
+  cancelled : int;
+  pre_demotions : int;  (** admission-time Resident->Streamed downgrades *)
+  runtime_demotions : int;  (** OOM-driven demotions inside the runtime *)
+  breaker_trips : int;
+  p50_latency_cycles : float;
+  p95_latency_cycles : float;
+  total_cycles : float;  (** simulated cycles the whole batch consumed *)
+  throughput_qps : float;  (** completed queries per simulated second *)
+  wall_seconds : float;  (** host wall clock for the whole batch *)
+}
+
+val run_batch : ?config:config -> request list -> response list * stats
+(** Execute a batch (all requests arrive at time zero, in list order) and
+    return one response per request, positionally, plus aggregate
+    statistics. Queries run sequentially on the simulated device; latency
+    percentiles are over completed queries. *)
+
+val pp_stats : Format.formatter -> stats -> unit

@@ -216,6 +216,108 @@ let test_transfer_exhaustion () =
       run_wl wl ~mode:Weaver.Runtime.Streamed ~jobs:1
         ~faults:(Some "transfer@1x999"))
 
+(* --- cancellation under fault schedules -------------------------------------- *)
+
+(* Cancellation racing the recovery machinery: batches of three queries
+   where the middle one carries a seeded fault schedule AND a watchdog
+   that cancels it after a seed-dependent number of polls. Whatever wins
+   the race — completion, or cancellation landing mid-recovery — the
+   middle query must leak nothing, and its siblings must stay
+   bit-identical to their solo runs. Late cancellations (huge poll
+   budget) must not fire at all. *)
+let test_cancel_under_faults () =
+  let a = pattern_wl (Tpch.Patterns.pattern_a ())
+  and b = pattern_wl (Tpch.Patterns.pattern_c ())
+  and c = pattern_wl (Tpch.Patterns.pattern_e ()) in
+  let compile ?faults wl =
+    let config = { wl.config with Weaver.Config.faults } in
+    Weaver.Driver.compile ~config wl.plan
+  in
+  let prog_a = compile a and prog_c = compile c in
+  List.iter
+    (fun mode ->
+      let base_a = Weaver.Driver.run prog_a a.bases ~mode in
+      let base_c = Weaver.Driver.run prog_c c.bases ~mode in
+      let base_b = Weaver.Driver.run (compile b) b.bases ~mode in
+      for seed = 1 to 4 do
+        let what = Printf.sprintf "cancel-under-faults seed=%d" seed in
+        (* cancel after 1, 10, 100 polls; seed 4 sets a budget no run
+           reaches, so the token must stay quiet *)
+        let budget =
+          if seed = 4 then max_int
+          else int_of_float (10.0 ** float_of_int (seed - 1))
+        in
+        let tok = Gpu_sim.Cancel.create () in
+        let polls = Atomic.make 0 in
+        Gpu_sim.Cancel.add_watchdog tok (fun () ->
+            if Atomic.fetch_and_add polls 1 >= budget then
+              Some (Fault.Cancelled { reason = what })
+            else None);
+        let prog_b = compile ~faults:(Printf.sprintf "seed@%d" seed) b in
+        let middle =
+          Weaver.Runtime.run_result ~cancel:tok prog_b b.bases ~mode
+        in
+        (* siblings run on the same host right after — solo equality is
+           the isolation guarantee *)
+        let ra = Weaver.Driver.run prog_a a.bases ~mode in
+        let rc = Weaver.Driver.run prog_c c.bases ~mode in
+        check_sinks ~what:(what ^ " sibling a") base_a ra;
+        check_no_leaks ~what:(what ^ " sibling a") ra;
+        check_sinks ~what:(what ^ " sibling c") base_c rc;
+        check_no_leaks ~what:(what ^ " sibling c") rc;
+        match middle with
+        | Ok r ->
+            if seed = 4 then
+              Alcotest.(check bool)
+                (what ^ ": huge budget never cancels")
+                true
+                (Gpu_sim.Cancel.cancelled tok = None);
+            check_sinks ~what base_b r;
+            check_no_leaks ~what r
+        | Error f ->
+            (match f.Weaver.Runtime.fault with
+            | Fault.Cancelled _ -> ()
+            | other ->
+                Alcotest.fail
+                  (Printf.sprintf "%s: expected Cancelled, got %s" what
+                     (Fault.render other)));
+            Alcotest.(check (list (pair string int)))
+              (what ^ ": cancelled run leaks nothing")
+              []
+              f.Weaver.Runtime.partial.Weaver.Metrics.leaks
+      done)
+    [ Weaver.Runtime.Resident; Weaver.Runtime.Streamed ]
+
+(* a fault that exhausts recovery mid-batch must also clean up fully and
+   leave siblings untouched *)
+let test_exhaustion_under_batch () =
+  let a = pattern_wl (Tpch.Patterns.pattern_a ())
+  and b = pattern_wl (Tpch.Patterns.pattern_b ()) in
+  let prog_a = Weaver.Driver.compile ~config:a.config a.plan in
+  let base_a = Weaver.Driver.run prog_a a.bases ~mode:Weaver.Runtime.Resident in
+  let prog_b =
+    Weaver.Driver.compile
+      ~config:{ b.config with Weaver.Config.faults = Some "alloc@1x999" }
+      b.plan
+  in
+  (match
+     Weaver.Runtime.run_result prog_b b.bases ~mode:Weaver.Runtime.Streamed
+   with
+  | Ok _ -> Alcotest.fail "exhaustion expected"
+  | Error f ->
+      (match f.Weaver.Runtime.fault with
+      | Fault.Recovery_exhausted _ -> ()
+      | other ->
+          Alcotest.fail ("expected Recovery_exhausted, got " ^ Fault.render other));
+      Alcotest.(check (list (pair string int)))
+        "exhausted run leaks nothing" []
+        f.Weaver.Runtime.partial.Weaver.Metrics.leaks;
+      Alcotest.(check bool) "partial counters saw the retries" true
+        (f.Weaver.Runtime.partial.Weaver.Metrics.retries > 0));
+  let ra = Weaver.Driver.run prog_a a.bases ~mode:Weaver.Runtime.Resident in
+  check_sinks ~what:"sibling after exhaustion" base_a ra;
+  check_no_leaks ~what:"sibling after exhaustion" ra
+
 (* --- injector unit tests ---------------------------------------------------- *)
 
 let test_spec_parser () =
@@ -369,6 +471,8 @@ let suite =
       ("alloc exhaustion (resident)", `Quick, test_alloc_exhaustion_resident);
       ("alloc exhaustion (streamed)", `Quick, test_alloc_exhaustion_streamed);
       ("transfer exhaustion", `Quick, test_transfer_exhaustion);
+      ("cancellation under fault schedules", `Slow, test_cancel_under_faults);
+      ("exhaustion mid-batch cleans up", `Quick, test_exhaustion_under_batch);
       ("fault spec parser", `Quick, test_spec_parser);
       ("injector counters", `Quick, test_injector_counters);
       ("live buffer introspection", `Quick, test_live_buffers);

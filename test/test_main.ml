@@ -17,4 +17,5 @@ let () =
       ("runtime-paths", Test_runtime_paths.suite);
       ("parallel", Test_parallel.suite);
       ("faults", Test_faults.suite);
+      ("service", Test_service.suite);
     ]

@@ -264,6 +264,45 @@ let prop_tiny_device =
              large for its shared memory) — that is not a soundness bug *)
           true)
 
+let prop_deadlines_sound =
+  (* deadline soundness, both directions: a budget strictly above the
+     measured solo cost must never fire (the run completes, answers
+     unchanged), and a zero budget must always fire — with the typed
+     deadline fault and not a single leaked device buffer *)
+  QCheck.Test.make ~name:"deadline fires iff budget insufficient" ~count:40
+    arb_seed (fun seed ->
+      let { plan; bases; desc } = build_random (seed + 17_000_000) in
+      let program = Weaver.Driver.compile plan in
+      let solo = Weaver.Driver.run program bases ~mode:Weaver.Runtime.Resident in
+      let t = Weaver.Metrics.total_cycles solo.Weaver.Runtime.metrics in
+      let batch deadline =
+        Weaver.Service.run_batch
+          [
+            Weaver.Service.request ~deadline_cycles:deadline ~rid:0 program
+              bases;
+          ]
+      in
+      (match batch (t +. 1.0) with
+      | [ { Weaver.Service.verdict = Weaver.Service.Completed r; _ } ], _ ->
+          if
+            not (results_match solo.Weaver.Runtime.sinks r.Weaver.Runtime.sinks)
+          then
+            QCheck.Test.fail_reportf "sufficient-deadline answer changed: %s"
+              desc
+      | _ ->
+          QCheck.Test.fail_reportf "deadline above solo cost fired: %s" desc);
+      match batch 0.0 with
+      | [ { Weaver.Service.verdict = Weaver.Service.Failed f; _ } ], _ -> (
+          match f.Weaver.Runtime.fault with
+          | Gpu_sim.Fault.Deadline_exceeded _ ->
+              if f.Weaver.Runtime.partial.Weaver.Metrics.leaks <> [] then
+                QCheck.Test.fail_reportf "zero-deadline run leaked: %s" desc
+              else true
+          | other ->
+              QCheck.Test.fail_reportf "zero deadline raised %s: %s"
+                (Gpu_sim.Fault.render other) desc)
+      | _ -> QCheck.Test.fail_reportf "zero deadline did not fail: %s" desc)
+
 let suite =
   List.map QCheck_alcotest.to_alcotest
     [
@@ -271,4 +310,5 @@ let suite =
       prop_streamed_matches_resident;
       prop_opt_levels_agree;
       prop_tiny_device;
+      prop_deadlines_sound;
     ]

@@ -1,0 +1,317 @@
+(* Service layer: admission control, deadlines, cancellation, shedding.
+
+   The invariants under test mirror DESIGN.md §9: (1) batch execution is
+   perfectly isolated — every completed query's sinks are bit-identical
+   to a solo run of the same program; (2) deadlines and cancellations
+   fail only their own query, with typed faults and zero leaked device
+   buffers; (3) admission control rejects (queue overflow, over
+   capacity) or pre-demotes (footprint over budget, open breaker)
+   before spending any simulated cycles; (4) the aggregate statistics
+   are internally consistent. *)
+
+open Relation_lib
+open Gpu_sim
+
+type wl = { program : Weaver.Runtime.program; bases : Relation.t array }
+
+let wl ?(rows = 700) ?(config = Weaver.Config.default)
+    (w : Tpch.Patterns.workload) =
+  {
+    program = Weaver.Driver.compile ~config w.Tpch.Patterns.plan;
+    bases = w.Tpch.Patterns.gen ~seed:11 ~rows;
+  }
+
+let solo ?(mode = Weaver.Runtime.Resident) w =
+  Weaver.Driver.run w.program w.bases ~mode
+
+let req ?deadline_cycles ?wall_deadline_s ?cancel ?mode ~rid w =
+  Weaver.Service.request ?deadline_cycles ?wall_deadline_s ?cancel ?mode ~rid
+    w.program w.bases
+
+let check_sinks ~what (expected : Weaver.Runtime.result)
+    (got : Weaver.Runtime.result) =
+  Alcotest.(check int)
+    (what ^ ": sink count")
+    (List.length expected.Weaver.Runtime.sinks)
+    (List.length got.Weaver.Runtime.sinks);
+  List.iter2
+    (fun (id1, rel1) (id2, rel2) ->
+      Alcotest.(check int) (what ^ ": sink id") id1 id2;
+      Alcotest.(check (array int))
+        (Printf.sprintf "%s: sink %d data" what id1)
+        (Relation.data rel1) (Relation.data rel2))
+    expected.Weaver.Runtime.sinks got.Weaver.Runtime.sinks
+
+let completed ~what (r : Weaver.Service.response) =
+  match r.Weaver.Service.verdict with
+  | Weaver.Service.Completed res -> res
+  | Weaver.Service.Failed f ->
+      Alcotest.fail
+        (Printf.sprintf "%s: unexpectedly failed: %s" what
+           (Fault.render f.Weaver.Runtime.fault))
+  | Weaver.Service.Rejected _ ->
+      Alcotest.fail (what ^ ": unexpectedly rejected")
+
+let failed ~what (r : Weaver.Service.response) =
+  match r.Weaver.Service.verdict with
+  | Weaver.Service.Failed f -> f
+  | Weaver.Service.Completed _ ->
+      Alcotest.fail (what ^ ": unexpectedly completed")
+  | Weaver.Service.Rejected _ ->
+      Alcotest.fail (what ^ ": unexpectedly rejected")
+
+let check_partial_clean ~what (f : Weaver.Runtime.failure) =
+  Alcotest.(check (list (pair string int)))
+    (what ^ ": failure leaks nothing")
+    [] f.Weaver.Runtime.partial.Weaver.Metrics.leaks
+
+(* --- isolation: a batch is bit-identical to solo runs ----------------------- *)
+
+let test_batch_isolation () =
+  let ws =
+    [
+      wl (Tpch.Patterns.pattern_a ());
+      wl (Tpch.Patterns.pattern_b ());
+      wl (Tpch.Patterns.pattern_e ());
+    ]
+  in
+  let baselines = List.map solo ws in
+  let reqs = List.mapi (fun i w -> req ~rid:(100 + i) w) ws in
+  let responses, stats = Weaver.Service.run_batch reqs in
+  List.iteri
+    (fun i (r, base) ->
+      let what = Printf.sprintf "batch query %d" i in
+      Alcotest.(check int) (what ^ ": rid echoed") (100 + i)
+        r.Weaver.Service.rid;
+      Alcotest.(check bool) (what ^ ": not demoted") false
+        r.Weaver.Service.pre_demoted;
+      check_sinks ~what base (completed ~what r))
+    (List.combine responses baselines);
+  Alcotest.(check int) "submitted" 3 stats.Weaver.Service.submitted;
+  Alcotest.(check int) "admitted" 3 stats.Weaver.Service.admitted;
+  Alcotest.(check int) "completed" 3 stats.Weaver.Service.completed;
+  Alcotest.(check int) "failed" 0 stats.Weaver.Service.failed;
+  Alcotest.(check int) "rejected" 0 stats.Weaver.Service.rejected;
+  Alcotest.(check bool) "p95 >= p50 > 0" true
+    (stats.Weaver.Service.p95_latency_cycles
+     >= stats.Weaver.Service.p50_latency_cycles
+    && stats.Weaver.Service.p50_latency_cycles > 0.0);
+  Alcotest.(check bool) "positive throughput" true
+    (stats.Weaver.Service.throughput_qps > 0.0);
+  (* the batch clock is the sum of per-query consumption *)
+  let sum =
+    List.fold_left
+      (fun acc (r : Weaver.Service.response) ->
+        match r.Weaver.Service.verdict with
+        | Weaver.Service.Completed res ->
+            acc +. Weaver.Metrics.total_cycles res.Weaver.Runtime.metrics
+        | _ -> acc)
+      0.0 responses
+  in
+  Alcotest.(check bool) "clock = sum of query cycles" true
+    (Float.abs (sum -. stats.Weaver.Service.total_cycles) < 1e-6)
+
+(* --- deadlines and cancellation --------------------------------------------- *)
+
+let test_zero_cycle_deadline () =
+  let w = wl (Tpch.Patterns.pattern_a ()) in
+  let responses, stats =
+    Weaver.Service.run_batch [ req ~deadline_cycles:0.0 ~rid:1 w ]
+  in
+  let f = failed ~what:"zero deadline" (List.hd responses) in
+  (match f.Weaver.Runtime.fault with
+  | Fault.Deadline_exceeded { kind = Fault.Deadline_cycles; _ } -> ()
+  | other ->
+      Alcotest.fail ("expected cycle deadline, got " ^ Fault.render other));
+  check_partial_clean ~what:"zero deadline" f;
+  Alcotest.(check int) "one deadline miss" 1
+    stats.Weaver.Service.deadline_misses;
+  Alcotest.(check int) "counted as failed" 1 stats.Weaver.Service.failed
+
+let test_zero_wall_deadline () =
+  let w = wl (Tpch.Patterns.pattern_b ()) in
+  let responses, stats =
+    Weaver.Service.run_batch [ req ~wall_deadline_s:0.0 ~rid:2 w ]
+  in
+  let f = failed ~what:"zero wall deadline" (List.hd responses) in
+  (match f.Weaver.Runtime.fault with
+  | Fault.Deadline_exceeded { kind = Fault.Deadline_wall; _ } -> ()
+  | other ->
+      Alcotest.fail ("expected wall deadline, got " ^ Fault.render other));
+  check_partial_clean ~what:"zero wall deadline" f;
+  Alcotest.(check int) "one deadline miss" 1
+    stats.Weaver.Service.deadline_misses
+
+let test_pre_cancelled () =
+  let w = wl (Tpch.Patterns.pattern_e ()) in
+  let tok = Cancel.create () in
+  Cancel.cancel tok (Fault.Cancelled { reason = "client abort (test)" });
+  let responses, stats =
+    Weaver.Service.run_batch [ req ~cancel:tok ~rid:3 w ]
+  in
+  let f = failed ~what:"pre-cancelled" (List.hd responses) in
+  (match f.Weaver.Runtime.fault with
+  | Fault.Cancelled { reason } ->
+      Alcotest.(check string) "reason carried" "client abort (test)" reason
+  | other -> Alcotest.fail ("expected Cancelled, got " ^ Fault.render other));
+  check_partial_clean ~what:"pre-cancelled" f;
+  Alcotest.(check int) "one cancellation" 1 stats.Weaver.Service.cancelled;
+  Alcotest.(check int) "no deadline miss" 0
+    stats.Weaver.Service.deadline_misses
+
+(* a failing query must not perturb its batch neighbours *)
+let test_failure_isolated () =
+  let a = wl (Tpch.Patterns.pattern_a ())
+  and b = wl (Tpch.Patterns.pattern_b ()) in
+  let base_a = solo a and base_b = solo b in
+  let responses, stats =
+    Weaver.Service.run_batch
+      [
+        req ~rid:0 a;
+        req ~deadline_cycles:0.0 ~rid:1 b;
+        req ~rid:2 b;
+      ]
+  in
+  (match responses with
+  | [ ra; rf; rb ] ->
+      check_sinks ~what:"sibling before" base_a (completed ~what:"before" ra);
+      check_partial_clean ~what:"middle" (failed ~what:"middle" rf);
+      check_sinks ~what:"sibling after" base_b (completed ~what:"after" rb)
+  | _ -> Alcotest.fail "expected 3 responses");
+  Alcotest.(check int) "completed" 2 stats.Weaver.Service.completed;
+  Alcotest.(check int) "failed" 1 stats.Weaver.Service.failed
+
+(* --- admission control ------------------------------------------------------- *)
+
+let test_queue_full () =
+  let w = wl (Tpch.Patterns.pattern_a ()) in
+  let base = solo w in
+  let config =
+    { Weaver.Service.default_config with Weaver.Service.queue_limit = 1 }
+  in
+  let reqs = List.init 4 (fun i -> req ~rid:i w) in
+  let responses, stats = Weaver.Service.run_batch ~config reqs in
+  List.iteri
+    (fun i (r : Weaver.Service.response) ->
+      if i <= 1 then
+        check_sinks
+          ~what:(Printf.sprintf "admitted %d" i)
+          base
+          (completed ~what:(Printf.sprintf "admitted %d" i) r)
+      else
+        match r.Weaver.Service.verdict with
+        | Weaver.Service.Rejected (Weaver.Service.Queue_full { limit }) ->
+            Alcotest.(check int) "limit echoed" 1 limit;
+            Alcotest.(check bool) "rejected at arrival time" true
+              (r.Weaver.Service.latency_cycles
+              <= stats.Weaver.Service.total_cycles)
+        | _ -> Alcotest.fail (Printf.sprintf "request %d should be shed" i))
+    responses;
+  Alcotest.(check int) "two rejections" 2 stats.Weaver.Service.rejected;
+  Alcotest.(check int) "two completions" 2 stats.Weaver.Service.completed
+
+let test_admission_pre_demotes () =
+  let w = wl (Tpch.Patterns.pattern_b ()) in
+  let base = solo ~mode:Weaver.Runtime.Streamed w in
+  let config =
+    { Weaver.Service.default_config with Weaver.Service.admit_fraction = 0.0 }
+  in
+  let responses, stats =
+    Weaver.Service.run_batch ~config
+      [ req ~mode:Weaver.Runtime.Resident ~rid:7 w ]
+  in
+  let r = List.hd responses in
+  Alcotest.(check bool) "pre-demoted" true r.Weaver.Service.pre_demoted;
+  (match r.Weaver.Service.mode_used with
+  | Weaver.Runtime.Streamed -> ()
+  | Weaver.Runtime.Resident -> Alcotest.fail "should run Streamed");
+  check_sinks ~what:"demoted run" base (completed ~what:"demoted run" r);
+  Alcotest.(check int) "counted" 1 stats.Weaver.Service.pre_demotions;
+  Alcotest.(check bool) "footprint estimated" true
+    (r.Weaver.Service.footprint_bytes > 0)
+
+let test_over_capacity_rejected () =
+  (* a base relation far larger than the tiny device's 16 MB: even one
+     Streamed working set cannot fit, so admission must refuse before
+     spending a single simulated cycle *)
+  let config =
+    {
+      Weaver.Config.default with
+      Weaver.Config.device = Device.tiny;
+      cta_threads = 16;
+      cap = 32;
+      min_cap = 8;
+      broadcast_cap = 256;
+      max_groups = 64;
+    }
+  in
+  let w = wl ~rows:3_000_000 ~config (Tpch.Patterns.pattern_b ()) in
+  let responses, stats = Weaver.Service.run_batch [ req ~rid:9 w ] in
+  (match (List.hd responses).Weaver.Service.verdict with
+  | Weaver.Service.Rejected
+      (Weaver.Service.Over_capacity { footprint_bytes; capacity_bytes }) ->
+      Alcotest.(check int) "capacity is the device's"
+        Device.tiny.Device.global_mem_bytes capacity_bytes;
+      Alcotest.(check bool) "footprint over capacity" true
+        (footprint_bytes > capacity_bytes)
+  | _ -> Alcotest.fail "expected Over_capacity rejection");
+  Alcotest.(check int) "rejected" 1 stats.Weaver.Service.rejected;
+  Alcotest.(check bool) "no cycles spent" true
+    (stats.Weaver.Service.total_cycles = 0.0)
+
+(* --- overload shedding: circuit breakers ------------------------------------- *)
+
+let test_breaker_sheds () =
+  let failing =
+    wl
+      ~config:
+        {
+          Weaver.Config.default with
+          Weaver.Config.faults = Some "alloc@1x999";
+        }
+      (Tpch.Patterns.pattern_a ())
+  in
+  let healthy = wl (Tpch.Patterns.pattern_a ()) in
+  let base = solo ~mode:Weaver.Runtime.Streamed healthy in
+  let config =
+    {
+      Weaver.Service.default_config with
+      Weaver.Service.breaker_window = 4;
+      breaker_threshold = 2;
+      breaker_cooldown = 3;
+    }
+  in
+  let responses, stats =
+    Weaver.Service.run_batch ~config
+      [
+        req ~rid:0 failing;
+        req ~rid:1 failing;
+        req ~mode:Weaver.Runtime.Resident ~rid:2 healthy;
+      ]
+  in
+  (match responses with
+  | [ r0; r1; r2 ] ->
+      check_partial_clean ~what:"oom 0" (failed ~what:"oom 0" r0);
+      check_partial_clean ~what:"oom 1" (failed ~what:"oom 1" r1);
+      (* the two memory exhaustions trip the breaker; the healthy query
+         is admitted pre-demoted to Streamed and still answers right *)
+      Alcotest.(check bool) "shed to Streamed" true
+        r2.Weaver.Service.pre_demoted;
+      check_sinks ~what:"shed query" base (completed ~what:"shed query" r2)
+  | _ -> Alcotest.fail "expected 3 responses");
+  Alcotest.(check bool) "breaker tripped" true
+    (stats.Weaver.Service.breaker_trips >= 1);
+  Alcotest.(check int) "two failures" 2 stats.Weaver.Service.failed
+
+let suite =
+  [
+    ("batch isolation vs solo runs", `Quick, test_batch_isolation);
+    ("zero cycle deadline", `Quick, test_zero_cycle_deadline);
+    ("zero wall deadline", `Quick, test_zero_wall_deadline);
+    ("pre-cancelled token", `Quick, test_pre_cancelled);
+    ("failure does not perturb siblings", `Quick, test_failure_isolated);
+    ("bounded queue rejects overflow", `Quick, test_queue_full);
+    ("admission pre-demotes big residents", `Quick, test_admission_pre_demotes);
+    ("over-capacity requests rejected", `Quick, test_over_capacity_rejected);
+    ("tripped breaker sheds to Streamed", `Quick, test_breaker_sheds);
+  ]
