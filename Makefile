@@ -1,6 +1,6 @@
 # Convenience entry points; everything is plain dune underneath.
 
-.PHONY: all build test bench-smoke check clean
+.PHONY: all build test analyze bench-smoke check clean
 
 all: build
 
@@ -17,7 +17,12 @@ test:
 bench-smoke: build
 	dune exec bench/main.exe -- --jobs 0 --json _build/bench-quick.json quick
 
-check: build test bench-smoke
+# Static-analysis gate over every golden workload (micro-patterns
+# (a)-(e), ab, Q1, Q21): exits nonzero on any gating diagnostic.
+analyze: build
+	dune exec bin/weaver_cli.exe -- analyze all > _build/analyze.json
+
+check: build test analyze bench-smoke
 
 clean:
 	dune clean

@@ -101,6 +101,10 @@ let fuse_arg =
 let opt_arg =
   Arg.(value & flag & info [ "O0" ] ~doc:"Disable KIR optimization")
 
+let no_analyze_arg =
+  Arg.(value & flag & info [ "no-analyze" ]
+         ~doc:"Skip the static-analysis gate on woven kernels")
+
 let rewrite_arg =
   Arg.(value & flag & info [ "rewrite" ]
          ~doc:"Apply the plan rewriter (operator rescheduling) first")
@@ -227,14 +231,16 @@ let source_cmd =
 (* --- exec ------------------------------------------------------------------ *)
 
 let exec_cmd =
-  let run path rows inputs seed no_fuse o0 streamed jobs faults =
+  let run path rows inputs seed no_fuse o0 no_analyze streamed jobs faults =
     guard (fun () ->
         let q = compile_query path in
         let named = bind_data q ~rows ~seed inputs in
         let bases = Datalog.bind q named in
+        let config =
+          { (config_of jobs faults) with Weaver.Config.analyze = not no_analyze }
+        in
         let program =
-          Weaver.Driver.compile ~config:(config_of jobs faults)
-            ~fuse:(not no_fuse)
+          Weaver.Driver.compile ~config ~fuse:(not no_fuse)
             ~opt:(if o0 then Weaver.Optimizer.O0 else Weaver.Optimizer.O3)
             q.Datalog.plan
         in
@@ -257,7 +263,7 @@ let exec_cmd =
     Term.(
       ret
         (const run $ query_arg $ rows_arg $ inputs_arg $ seed_arg $ fuse_arg
-       $ opt_arg $ streamed_arg $ jobs_arg $ faults_arg))
+       $ opt_arg $ no_analyze_arg $ streamed_arg $ jobs_arg $ faults_arg))
 
 (* --- profile ---------------------------------------------------------------- *)
 
@@ -342,6 +348,86 @@ let bench_cmd =
   Cmd.v
     (Cmd.info "bench" ~doc:"Regenerate the paper's tables and figures")
     Term.(ret (const run $ names_arg $ quick_arg $ jobs_arg))
+
+(* --- analyze ---------------------------------------------------------------- *)
+
+let analyze_cmd =
+  let targets_arg =
+    Arg.(value & pos_all string [ "all" ] & info [] ~docv:"TARGET"
+           ~doc:"Datalog query files (*.dl) or built-in golden workloads: \
+                 $(b,a b c d e ab q1 q21), or $(b,all) for the whole golden \
+                 set (the default)")
+  in
+  let builtin name =
+    let pat w = [ (w.Tpch.Patterns.name, w.Tpch.Patterns.plan) ] in
+    let query (q : Tpch.Queries.query) = [ (q.qname, q.plan) ] in
+    match name with
+    | "a" -> Some (pat (Tpch.Patterns.pattern_a ()))
+    | "b" -> Some (pat (Tpch.Patterns.pattern_b ()))
+    | "c" -> Some (pat (Tpch.Patterns.pattern_c ()))
+    | "d" -> Some (pat (Tpch.Patterns.pattern_d ()))
+    | "e" -> Some (pat (Tpch.Patterns.pattern_e ()))
+    | "ab" -> Some (pat (Tpch.Patterns.pattern_ab ()))
+    | "q1" -> Some (query Tpch.Queries.q1)
+    | "q21" -> Some (query Tpch.Queries.q21)
+    | "all" ->
+        Some
+          (List.concat_map pat
+             (Tpch.Patterns.all () @ [ Tpch.Patterns.pattern_ab () ])
+          @ query Tpch.Queries.q1 @ query Tpch.Queries.q21)
+    | _ -> None
+  in
+  let run targets no_fuse =
+    guard (fun () ->
+        let plans =
+          List.concat_map
+            (fun t ->
+              match builtin t with
+              | Some ps -> ps
+              | None when Sys.file_exists t ->
+                  [ (Filename.basename t, (compile_query t).Datalog.plan) ]
+              | None ->
+                  usage_error
+                    "unknown target '%s' (not a built-in workload or an \
+                     existing .dl file)"
+                    t)
+            targets
+        in
+        let gating = ref 0 in
+        print_endline "[";
+        List.iteri
+          (fun i (name, plan) ->
+            if i > 0 then print_endline "  ,";
+            let program = Weaver.Driver.compile ~fuse:(not no_fuse) plan in
+            let reports = Weaver.Runtime.analyze_program program in
+            Printf.printf "  {\"query\": \"%s\", \"kernels\": [\n" name;
+            List.iteri
+              (fun j r ->
+                gating :=
+                  !gating + List.length (Weaver_analysis.Analysis.gating r);
+                Printf.printf "    %s%s\n"
+                  (Weaver_analysis.Analysis.report_json r)
+                  (if j < List.length reports - 1 then "," else ""))
+              reports;
+            print_endline "  ]}")
+          plans;
+        print_endline "]";
+        if !gating > 0 then begin
+          Printf.eprintf
+            "weaver-cli: static analysis found %d gating diagnostic%s\n"
+            !gating
+            (if !gating = 1 then "" else "s");
+          exit exit_fault
+        end;
+        `Ok ())
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Run the static-analysis suite (barrier divergence, shared-memory \
+          races, resource certification, def-use hygiene) over every woven \
+          kernel and print JSON diagnostics; exits 1 on any error or warning")
+    Term.(ret (const run $ targets_arg $ fuse_arg))
 
 (* --- serve ------------------------------------------------------------------ *)
 
@@ -527,6 +613,7 @@ let () =
            source_cmd;
            exec_cmd;
            profile_cmd;
+           analyze_cmd;
            bench_cmd;
            serve_cmd;
            batch_cmd;

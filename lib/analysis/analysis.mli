@@ -1,0 +1,28 @@
+(** Orchestrator: run every checker over a kernel and collect a report.
+
+    The four analyses — barrier divergence, shared-memory races,
+    resource certification, def-use hygiene — all ride on the same CFG,
+    reaching-definitions, liveness, uniformity, and symbolic-expression
+    infrastructure, built once per kernel. *)
+
+type region = Resources.region = { base : int; words : int }
+
+type report = {
+  kname : string;
+  diags : Diag.t list;  (** sorted, errors first *)
+  certificate : Resources.certificate;
+  instrs : int;
+}
+
+val analyze :
+  ?regions:region list -> ?expected_regs:int -> Gpu_sim.Kir.kernel -> report
+(** [regions] describes the shared-memory layout the optimizer budgeted
+    (checked against the kernel's [shared_words]); [expected_regs] is
+    the register budget the fusion decision assumed (typically
+    [regs_per_thread]). Both default to "don't check". *)
+
+val gating : report -> Diag.t list
+(** The diagnostics that fail the gate (errors and warnings; hints are
+    advisory). *)
+
+val report_json : report -> string

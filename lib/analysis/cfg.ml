@@ -1,0 +1,252 @@
+open Gpu_sim
+
+type block = {
+  id : int;
+  first : int;
+  last : int;
+  succs : int list;
+  preds : int list;
+  traps : bool;
+}
+
+type t = {
+  k : Kir.kernel;
+  blocks : block array;
+  blk_of : int array;
+  reach : bool array;
+  preach : bool array;
+  psuccs_ : int list array;
+  ipd : int array;  (* pruned immediate post-dominator; nblocks = virtual exit *)
+  barfree : Dataflow.Bits.t array;  (* per block: blocks reachable bar-free *)
+}
+
+let kernel t = t.k
+let nblocks t = Array.length t.blocks
+let block t b = t.blocks.(b)
+let block_of t i = t.blk_of.(i)
+let reachable t b = t.reach.(b)
+let preachable t b = t.preach.(b)
+let psuccs t b = t.psuccs_.(b)
+
+(* Branch target as a body position; None when the label or its position
+   is out of range (the analyzer must not crash on invalid kernels). *)
+let target_pos (k : Kir.kernel) l =
+  if l < 0 || l >= Array.length k.labels then None
+  else
+    let p = k.labels.(l) in
+    if p < 0 || p >= Array.length k.body then None else Some p
+
+let dfs nb start_ok succs =
+  let seen = Array.make (max nb 1) false in
+  let rec go b =
+    if b < nb && not seen.(b) then begin
+      seen.(b) <- true;
+      List.iter go (succs b)
+    end
+  in
+  if nb > 0 && start_ok then go 0;
+  seen
+
+let build (k : Kir.kernel) =
+  let n = Array.length k.body in
+  let leaders = Array.make (max n 1) false in
+  if n > 0 then leaders.(0) <- true;
+  Array.iteri
+    (fun i (ins : Kir.instr) ->
+      let fall () = if i + 1 < n then leaders.(i + 1) <- true in
+      match ins with
+      | Br l | Brz (_, l) | Brnz (_, l) ->
+          (match target_pos k l with Some p -> leaders.(p) <- true | None -> ());
+          fall ()
+      | Bar | Ret | Trap _ -> fall ()
+      | _ -> ())
+    k.body;
+  let starts = ref [] in
+  for i = n - 1 downto 0 do
+    if leaders.(i) then starts := i :: !starts
+  done;
+  let starts = Array.of_list !starts in
+  let nb = Array.length starts in
+  let blk_of = Array.make (max n 1) 0 in
+  let bounds =
+    Array.mapi
+      (fun bi first ->
+        let last = if bi + 1 < nb then starts.(bi + 1) - 1 else n - 1 in
+        for i = first to last do
+          blk_of.(i) <- bi
+        done;
+        (first, last))
+      starts
+  in
+  let succs_of (_, last) =
+    let fall () = if last + 1 < n then [ blk_of.(last + 1) ] else [] in
+    let tgt l = match target_pos k l with Some p -> [ blk_of.(p) ] | None -> [] in
+    match k.body.(last) with
+    | Kir.Br l -> tgt l
+    | Kir.Brz (_, l) | Kir.Brnz (_, l) ->
+        let t = tgt l and f = fall () in
+        t @ List.filter (fun b -> not (List.mem b t)) f
+    | Kir.Ret | Kir.Trap _ -> []
+    | _ -> fall ()
+  in
+  let succs = Array.map succs_of bounds in
+  let preds = Array.make nb [] in
+  Array.iteri (fun b ss -> List.iter (fun s -> preds.(s) <- b :: preds.(s)) ss) succs;
+  let blocks =
+    Array.mapi
+      (fun bi (first, last) ->
+        {
+          id = bi;
+          first;
+          last;
+          succs = succs.(bi);
+          preds = List.rev preds.(bi);
+          traps = (match k.body.(last) with Kir.Trap _ -> true | _ -> false);
+        })
+      bounds
+  in
+  let reach = dfs nb (nb > 0) (fun b -> blocks.(b).succs) in
+  let psuccs_ =
+    Array.map
+      (fun b ->
+        if b.traps then [] else List.filter (fun s -> not (blocks.(s).traps)) b.succs)
+      blocks
+  in
+  let preach = dfs nb (nb > 0 && not blocks.(0).traps) (fun b -> psuccs_.(b)) in
+  (* Post-dominator sets on the pruned graph, with a virtual exit [nb]
+     succeeding every pruned-exit block; sets are over nb+1 nodes. *)
+  let full () =
+    let s = Dataflow.Bits.create (nb + 1) in
+    for i = 0 to nb do
+      Dataflow.Bits.set s i
+    done;
+    s
+  in
+  let pdom = Array.init (nb + 1) (fun _ -> full ()) in
+  let vexit = Dataflow.Bits.create (nb + 1) in
+  Dataflow.Bits.set vexit nb;
+  pdom.(nb) <- vexit;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for b = nb - 1 downto 0 do
+      if preach.(b) then begin
+        let ss = match psuccs_.(b) with [] -> [ nb ] | ss -> ss in
+        let acc = full () in
+        List.iter (fun s -> ignore (Dataflow.Bits.inter_into ~dst:acc pdom.(s))) ss;
+        Dataflow.Bits.set acc b;
+        if not (Dataflow.Bits.equal acc pdom.(b)) then begin
+          pdom.(b) <- acc;
+          changed := true
+        end
+      end
+    done
+  done;
+  let ipd =
+    Array.init nb (fun b ->
+        if not preach.(b) then -1
+        else begin
+          (* the immediate post-dominator is the strict post-dominator
+             with the largest own pdom set (they form a chain) *)
+          let best = ref nb and best_sz = ref (-1) in
+          Dataflow.Bits.iter
+            (fun p ->
+              if p <> b then begin
+                let sz = Dataflow.Bits.count pdom.(p) in
+                if sz > !best_sz then begin
+                  best := p;
+                  best_sz := sz
+                end
+              end)
+            pdom.(b);
+          !best
+        end)
+  in
+  (* Bar-free reachability on the full graph: edges out of a
+     Bar-terminated block cross the barrier and are dropped. *)
+  let bar_term b = match k.body.(blocks.(b).last) with Kir.Bar -> true | _ -> false in
+  let barfree =
+    Array.init nb (fun b0 ->
+        let s = Dataflow.Bits.create nb in
+        let rec go b =
+          if not (Dataflow.Bits.get s b) then begin
+            Dataflow.Bits.set s b;
+            if not (bar_term b) then List.iter go blocks.(b).succs
+          end
+        in
+        go b0;
+        s)
+  in
+  { k; blocks; blk_of; reach; preach; psuccs_; ipd; barfree }
+
+let cond_target t b =
+  let blk = t.blocks.(b) in
+  match t.k.body.(blk.last) with
+  | Kir.Brz (_, l) | Kir.Brnz (_, l) -> (
+      match target_pos t.k l with Some p -> Some t.blk_of.(p) | None -> None)
+  | _ -> None
+
+(* Blocks reachable from [s] along pruned edges without entering [stop]. *)
+let region t ~stop s =
+  let nb = nblocks t in
+  let seen = Array.make (max nb 1) false in
+  let rec go b =
+    if b <> stop && not seen.(b) then begin
+      seen.(b) <- true;
+      List.iter go t.psuccs_.(b)
+    end
+  in
+  if s <> stop then go s;
+  seen
+
+let influence t b =
+  if not t.preach.(b) then []
+  else
+    match t.psuccs_.(b) with
+    | _ :: _ :: _ as ss ->
+        let stop = t.ipd.(b) in
+        let acc = Array.make (nblocks t) false in
+        List.iter
+          (fun s ->
+            let r = region t ~stop s in
+            Array.iteri (fun i v -> if v then acc.(i) <- true) r)
+          ss;
+        let out = ref [] in
+        Array.iteri (fun i v -> if v then out := i :: !out) acc;
+        List.rev !out
+    | _ -> []
+
+let one_sided t b =
+  if not t.preach.(b) then None
+  else
+    let blk = t.blocks.(b) in
+    match (t.k.body.(blk.last), t.psuccs_.(b), cond_target t b) with
+    | ((Kir.Brz _ | Kir.Brnz _), [ s1; s2 ], Some tgt) when s1 <> s2 ->
+        let fall = if s1 = tgt then s2 else s1 in
+        let stop = t.ipd.(b) in
+        let rt = region t ~stop tgt and rf = region t ~stop fall in
+        let diff a bo =
+          let out = ref [] in
+          Array.iteri (fun i v -> if v && not bo.(i) then out := i :: !out) a;
+          List.rev !out
+        in
+        let tgt_only = diff rt rf and fall_only = diff rf rt in
+        let nonzero, zero =
+          match t.k.body.(blk.last) with
+          | Kir.Brz _ -> (fall_only, tgt_only)
+          | _ -> (tgt_only, fall_only)
+        in
+        Some (nonzero, zero)
+    | _ -> None
+
+let may_concurrent t a b =
+  Dataflow.Bits.get t.barfree.(a) b || Dataflow.Bits.get t.barfree.(b) a
+
+let iter_instrs t f =
+  Array.iter
+    (fun blk ->
+      if t.reach.(blk.id) then
+        for i = blk.first to blk.last do
+          f i t.k.body.(i)
+        done)
+    t.blocks

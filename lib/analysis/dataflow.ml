@@ -1,0 +1,91 @@
+module Bits = struct
+  type t = { words : Bytes.t; n : int }
+
+  let create n = { words = Bytes.make ((n + 7) / 8) '\000'; n }
+  let length t = t.n
+
+  let set t i =
+    Bytes.set t.words (i lsr 3)
+      (Char.chr (Char.code (Bytes.get t.words (i lsr 3)) lor (1 lsl (i land 7))))
+
+  let clear t i =
+    Bytes.set t.words (i lsr 3)
+      (Char.chr (Char.code (Bytes.get t.words (i lsr 3)) land lnot (1 lsl (i land 7)) land 0xff))
+
+  let get t i = Char.code (Bytes.get t.words (i lsr 3)) land (1 lsl (i land 7)) <> 0
+  let copy t = { words = Bytes.copy t.words; n = t.n }
+  let equal a b = Bytes.equal a.words b.words
+
+  let union_into ~dst src =
+    let changed = ref false in
+    for w = 0 to Bytes.length dst.words - 1 do
+      let d = Char.code (Bytes.get dst.words w) in
+      let u = d lor Char.code (Bytes.get src.words w) in
+      if u <> d then begin
+        changed := true;
+        Bytes.set dst.words w (Char.chr u)
+      end
+    done;
+    !changed
+
+  let inter_into ~dst src =
+    let changed = ref false in
+    for w = 0 to Bytes.length dst.words - 1 do
+      let d = Char.code (Bytes.get dst.words w) in
+      let u = d land Char.code (Bytes.get src.words w) in
+      if u <> d then begin
+        changed := true;
+        Bytes.set dst.words w (Char.chr u)
+      end
+    done;
+    !changed
+
+  let iter f t =
+    for i = 0 to t.n - 1 do
+      if get t i then f i
+    done
+
+  let count t =
+    let c = ref 0 in
+    iter (fun _ -> incr c) t;
+    !c
+end
+
+let solve ~nblocks ~direction ~succs ~preds ~boundary ~transfer =
+  let nbits = Bits.length boundary in
+  let in_ = Array.init nblocks (fun _ -> Bits.create nbits) in
+  let out = Array.init nblocks (fun _ -> Bits.create nbits) in
+  (* forward: join over preds into in_, transfer to out.
+     backward: we store the "entry fact" in [in_] and the propagated fact
+     in [out] with the roles of succs/preds swapped; callers read the pair
+     as documented in the mli. *)
+  let join_edges, prop_from, prop_to =
+    match direction with
+    | `Forward -> (preds, out, in_)
+    | `Backward -> (succs, in_, out)
+  in
+  let is_boundary b =
+    match direction with
+    | `Forward -> b = 0
+    | `Backward -> succs b = []
+  in
+  let step b =
+    let acc = Bits.create nbits in
+    if is_boundary b then ignore (Bits.union_into ~dst:acc boundary);
+    List.iter (fun p -> ignore (Bits.union_into ~dst:acc prop_from.(p))) (join_edges b);
+    prop_to.(b) <- acc;
+    let res = transfer b acc in
+    if Bits.equal res prop_from.(b) then false
+    else begin
+      prop_from.(b) <- res;
+      true
+    end
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for b = 0 to nblocks - 1 do
+      if step b then changed := true
+    done
+  done;
+  (in_, out)

@@ -1,0 +1,38 @@
+(** Bit-set facts and a worklist solver shared by every dataflow pass. *)
+
+module Bits : sig
+  type t
+
+  val create : int -> t
+  (** All-zero set over [n] bit positions. *)
+
+  val length : t -> int
+  val set : t -> int -> unit
+  val clear : t -> int -> unit
+  val get : t -> int -> bool
+  val copy : t -> t
+  val equal : t -> t -> bool
+
+  val union_into : dst:t -> t -> bool
+  (** [dst <- dst ∪ src]; returns [true] if [dst] changed. *)
+
+  val inter_into : dst:t -> t -> bool
+  (** [dst <- dst ∩ src]; returns [true] if [dst] changed. *)
+
+  val iter : (int -> unit) -> t -> unit
+  val count : t -> int
+end
+
+val solve :
+  nblocks:int ->
+  direction:[ `Forward | `Backward ] ->
+  succs:(int -> int list) ->
+  preds:(int -> int list) ->
+  boundary:Bits.t ->
+  transfer:(int -> Bits.t -> Bits.t) ->
+  Bits.t array * Bits.t array
+(** Union-join fixpoint. Returns [(in_, out)] per block, where for
+    [`Forward] [in_.(b) = ∪ out.(pred)] (block 0 additionally joins
+    [boundary]) and [out.(b) = transfer b in_.(b)]; [`Backward] mirrors
+    this over successors, with exit blocks (no successors) joining
+    [boundary]. *)

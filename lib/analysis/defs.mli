@@ -1,0 +1,23 @@
+(** Reaching definitions over a KIR CFG.
+
+    Bit [i < n] is the definition made by instruction [i]; bit [n + r]
+    is a pseudo-definition of register [r] live at kernel entry. The
+    entry pseudo-definition of a special or parameter register carries a
+    real value; for any other register it stands for "never written". *)
+
+type t
+
+val compute : Cfg.t -> t
+val cfg : t -> Cfg.t
+
+val def_sites : t -> int -> int list
+(** Instruction indices defining a register, ascending. *)
+
+val initialized : t -> int -> bool
+(** The register holds a defined value at kernel entry (special or
+    parameter register). *)
+
+val reaching : t -> at:int -> int -> int list * bool
+(** Definitions of a register reaching instruction [at] (before it
+    executes): real definition sites, ascending, and whether the entry
+    pseudo-definition also reaches. *)

@@ -1,0 +1,33 @@
+(** Analyzer diagnostics.
+
+    [Error] and [Warn] gate execution (a woven kernel carrying either is
+    rejected by the runtime); [Hint] is advisory only — it never fails
+    the gate and is excluded from "zero diagnostics" assertions. *)
+
+type severity = Error | Warn | Hint
+
+type t = {
+  severity : severity;
+  pass : string;  (** "divergence" | "race" | "resource" | "hygiene" *)
+  at : int;  (** instruction index the diagnostic anchors to, or -1 *)
+  message : string;
+}
+
+val severity_name : severity -> string
+val gating : t -> bool
+
+val make :
+  severity:severity ->
+  pass:string ->
+  at:int ->
+  ('a, unit, string, t) format4 ->
+  'a
+
+val compare : t -> t -> int
+(** Errors first, then warnings, then hints; ties by position. *)
+
+val to_string : t -> string
+(** One line: [[severity] pass@at: message]. *)
+
+val to_json : t -> string
+(** A JSON object with severity/pass/at/message fields. *)

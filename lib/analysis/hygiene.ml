@@ -1,0 +1,32 @@
+open Gpu_sim
+
+let analyze cfg defs live =
+  let diags = ref [] in
+  Cfg.iter_instrs cfg (fun i ins ->
+      List.iter
+        (function
+          | Kir.Imm _ -> ()
+          | Kir.Reg r ->
+              if not (Defs.initialized defs r) then begin
+                let sites, entry = Defs.reaching defs ~at:i r in
+                if entry then
+                  if sites = [] then
+                    diags :=
+                      Diag.make ~severity:Diag.Error ~pass:"hygiene" ~at:i
+                        "register r%d read at %d but never written" r i
+                      :: !diags
+                  else
+                    diags :=
+                      Diag.make ~severity:Diag.Warn ~pass:"hygiene" ~at:i
+                        "register r%d may be read uninitialized at %d" r i
+                      :: !diags
+              end)
+        (Kir.used_operands ins));
+  List.iter
+    (fun i ->
+      diags :=
+        Diag.make ~severity:Diag.Hint ~pass:"hygiene" ~at:i
+          "definition at %d is never used (dead store)" i
+        :: !diags)
+    (Live.dead_defs live defs);
+  List.rev !diags

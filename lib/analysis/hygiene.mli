@@ -1,0 +1,6 @@
+(** Def-use hygiene: uninitialized-register reads (error when no real
+    definition can reach, warning when only some paths define the
+    register) and dead stores — definitions that reach no use (hints:
+    they are waste, not bugs, and the optimizer's DCE removes them). *)
+
+val analyze : Cfg.t -> Defs.t -> Live.t -> Diag.t list

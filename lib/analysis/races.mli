@@ -1,0 +1,20 @@
+(** Shared-memory race detection.
+
+    Within each barrier-delimited phase (pairs of accesses not
+    separated by a [Bar] on every path), flags write/write and
+    read/write pairs that distinct threads may issue to the same
+    shared-memory word. Addresses are compared symbolically in
+    [scale * core + offset] form ({!Sym.norm}); accesses whose cores
+    certify disjointness across threads — own-range slices, positions
+    read from an exclusive-scan slot, merge position+rank sums, and
+    own×bound products — are accepted, matching the communication
+    patterns the emitters weave. Distinct static base addresses are
+    assumed to name distinct arrays (in-bounds is the resource
+    checker's and the trap guards' job); anything unrecognized falls
+    back to a conservative may-race warning, and a pair that provably
+    collides (equal constant or uniform addresses from more than one
+    thread) is a definite-race error. Accesses guarded by the same
+    [tid == u] singleton context are issued by one thread and cannot
+    race with themselves. *)
+
+val analyze : Cfg.t -> Sym.t -> Diag.t list

@@ -1,0 +1,54 @@
+open Gpu_sim
+
+type region = { base : int; words : int }
+
+type certificate = { max_live_regs : int; max_live_at : int; max_shared_addr : int }
+
+let analyze cfg sym live ~regions ~expected_regs =
+  let k = Cfg.kernel cfg in
+  let diags = ref [] in
+  let push d = diags := d :: !diags in
+  let max_addr = ref (-1) in
+  (* statically-constant shared accesses must land inside the kernel's
+     declared window *)
+  Cfg.iter_instrs cfg (fun i ins ->
+      match ins with
+      | Kir.Ld { space = Kir.Shared; base; idx; _ }
+      | Kir.St { space = Kir.Shared; base; idx; _ }
+      | Kir.Atom { space = Kir.Shared; base; idx; _ } -> (
+          let bn = Sym.operand sym ~at:i base in
+          match bn.Sym.sh with
+          | Sym.Const b -> (
+              let lin = Sym.norm (Sym.operand sym ~at:i idx) in
+              match lin.Sym.core with
+              | None ->
+                  let addr = b + lin.Sym.off in
+                  if addr > !max_addr then max_addr := addr;
+                  if addr < 0 || addr >= k.Kir.shared_words then
+                    push
+                      (Diag.make ~severity:Diag.Error ~pass:"resource" ~at:i
+                         "shared access at constant word %d outside declared \
+                          shared_words %d"
+                         addr k.Kir.shared_words)
+              | Some _ -> if b > !max_addr then max_addr := b)
+          | _ -> ())
+      | _ -> ());
+  List.iter
+    (fun r ->
+      let hi = r.base + r.words - 1 in
+      if r.words > 0 && hi > !max_addr then max_addr := hi;
+      if r.base < 0 || r.base + r.words > k.Kir.shared_words then
+        push
+          (Diag.make ~severity:Diag.Error ~pass:"resource" ~at:(-1)
+             "layout region [%d, %d) exceeds declared shared_words %d" r.base
+             (r.base + r.words) k.Kir.shared_words))
+    regions;
+  let allocatable r = r >= Kir.special_regs + k.Kir.params in
+  let width, at = Live.max_live live ~counted:allocatable in
+  (match expected_regs with
+  | Some budget when width > budget ->
+      push
+        (Diag.make ~severity:Diag.Error ~pass:"resource" ~at
+           "%d registers live at %d but the fusion budget assumed %d" width at budget)
+  | _ -> ());
+  (List.rev !diags, { max_live_regs = width; max_live_at = at; max_shared_addr = !max_addr })

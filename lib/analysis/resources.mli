@@ -1,0 +1,29 @@
+(** Resource certification: the kernel's true footprints versus the
+    budgets the optimizer's Algorithm 2 decided fusion on.
+
+    The register footprint is the maximum number of simultaneously-live
+    {e allocatable} registers (special registers and parameters live in
+    dedicated spaces and are not counted, matching how the interpreter
+    charges [regs_per_thread]). The shared footprint combines every
+    statically-constant access address with the extents of the layout
+    regions supplied by the caller. *)
+
+type region = { base : int; words : int }
+
+type certificate = {
+  max_live_regs : int;
+  max_live_at : int;
+  max_shared_addr : int;  (** highest word index provably touched; -1 if none *)
+}
+
+val analyze :
+  Cfg.t ->
+  Sym.t ->
+  Live.t ->
+  regions:region list ->
+  expected_regs:int option ->
+  Diag.t list * certificate
+(** Errors when a constant shared access lands outside
+    [0, shared_words), when a layout region does not fit the declared
+    [shared_words], or when the live-register footprint exceeds
+    [expected_regs]. *)

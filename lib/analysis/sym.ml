@@ -1,0 +1,420 @@
+open Gpu_sim
+
+type loop = {
+  lid : int;
+  var : int;
+  head : int;
+  init_site : int;
+  inc_site : int;
+  step : int;
+  mutable own : bool;
+}
+
+type node = { nid : int; sh : shape }
+
+and shape =
+  | Const of int
+  | Tid
+  | Ctaid
+  | Ntid
+  | Nctaid
+  | Param of int
+  | Bin of Kir.binop * node * node
+  | Un of Kir.unop * node
+  | Cmp of Kir.cmp * node * node
+  | Sel of node * node * node
+  | SLd of { base : int option; idx : node }
+  | GLd of { site : int; base : node; idx : node }
+  | AtomR of { site : int }
+  | LoopVar of loop
+  | Ind of { site : int; init : node; step : int }
+  | Opaque of { reg : int; at : int }
+
+type t = {
+  cfg_ : Cfg.t;
+  defs : Defs.t;
+  uni : Uniform.t;
+  mutable loops_ : loop list;
+  loop_by_var : (int, loop) Hashtbl.t;
+  loop_nodes : (int, node) Hashtbl.t;  (* lid -> LoopVar node *)
+  loop_bounds : (int, node * node) Hashtbl.t;  (* lid -> start, stop *)
+  memo : (int, node) Hashtbl.t;  (* def site -> node *)
+  consts : (int, node) Hashtbl.t;
+  visiting : (int, unit) Hashtbl.t;
+  umemo : (int, bool) Hashtbl.t;
+  mutable next : int;
+}
+
+let loops t = t.loops_
+
+let own_range t lid = Hashtbl.find_opt t.loop_bounds lid
+
+let mk t sh =
+  let nid = t.next in
+  t.next <- t.next + 1;
+  { nid; sh }
+
+let const t c =
+  match Hashtbl.find_opt t.consts c with
+  | Some n -> n
+  | None ->
+      let n = mk t (Const c) in
+      Hashtbl.replace t.consts c n;
+      n
+
+let same a b =
+  a.nid = b.nid || match (a.sh, b.sh) with Const x, Const y -> x = y | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Counted-loop recognition: the exact Kir_builder.for_range shape     *)
+(*   head-1: Mov v start | head: Cmp Lt c v stop | head+1: Brz c exit  *)
+(*   back-1: Bin Add v v step | back: Br head                          *)
+(* with v defined nowhere else.                                        *)
+(* ------------------------------------------------------------------ *)
+let recognize_loops t =
+  let k = Cfg.kernel t.cfg_ in
+  let body = k.Kir.body in
+  let n = Array.length body in
+  let next_lid = ref 0 in
+  for i = 0 to n - 1 do
+    match body.(i) with
+    | Kir.Br l
+      when l >= 0
+           && l < Array.length k.Kir.labels
+           && k.Kir.labels.(l) >= 1
+           && k.Kir.labels.(l) <= i - 2 -> (
+        let h = k.Kir.labels.(l) in
+        match (body.(h - 1), body.(h), body.(h + 1), body.(i - 1)) with
+        | ( Kir.Mov (v0, _start),
+            Kir.Cmp (Kir.Lt, c, Kir.Reg v, _stop),
+            Kir.Brz (Kir.Reg c', _),
+            Kir.Bin (Kir.Add, v1, Kir.Reg v2, Kir.Imm step) )
+          when v0 = v && v1 = v && v2 = v && c = c'
+               && Defs.def_sites t.defs v = [ h - 1; i - 1 ]
+               && not (Hashtbl.mem t.loop_by_var v) ->
+            let lp =
+              {
+                lid = !next_lid;
+                var = v;
+                head = h;
+                init_site = h - 1;
+                inc_site = i - 1;
+                step;
+                own = false;
+              }
+            in
+            incr next_lid;
+            t.loops_ <- lp :: t.loops_;
+            Hashtbl.replace t.loop_by_var v lp
+        | _ -> ())
+    | _ -> ()
+  done;
+  t.loops_ <- List.rev t.loops_
+
+let rec operand t ~at (op : Kir.operand) =
+  match op with
+  | Kir.Imm c -> const t c
+  | Kir.Reg r -> (
+      let sites, entry = Defs.reaching t.defs ~at r in
+      match Hashtbl.find_opt t.loop_by_var r with
+      | Some lp
+        when (not entry) && sites <> []
+             && List.for_all (fun s -> s = lp.init_site || s = lp.inc_site) sites -> (
+          match Hashtbl.find_opt t.loop_nodes lp.lid with
+          | Some n -> n
+          | None ->
+              let n = mk t (LoopVar lp) in
+              Hashtbl.replace t.loop_nodes lp.lid n;
+              n)
+      | _ -> (
+          match (sites, entry) with
+          | [], true when Defs.initialized t.defs r ->
+              if r = Kir.reg_tid then mk_special t Tid
+              else if r = Kir.reg_ctaid then mk_special t Ctaid
+              else if r = Kir.reg_ntid then mk_special t Ntid
+              else if r = Kir.reg_nctaid then mk_special t Nctaid
+              else mk_special t (Param (r - Kir.special_regs))
+          | [ d ], false -> of_def t d
+          | [ d1; d2 ], false -> (
+              match induction t r d1 d2 with
+              | Some n -> n
+              | None -> mk t (Opaque { reg = r; at }))
+          | _ -> mk t (Opaque { reg = r; at })))
+
+(* specials/params hash-consed through the consts table's namespace:
+   keyed by a tag well below any plausible immediate *)
+and mk_special t sh =
+  let key =
+    match sh with
+    | Tid -> -1_000_001
+    | Ctaid -> -1_000_002
+    | Ntid -> -1_000_003
+    | Nctaid -> -1_000_004
+    | Param i -> -1_000_010 - i
+    | _ -> assert false
+  in
+  match Hashtbl.find_opt t.consts key with
+  | Some n -> n
+  | None ->
+      let n = mk t sh in
+      Hashtbl.replace t.consts key n;
+      n
+
+and of_def t d =
+  match Hashtbl.find_opt t.memo d with
+  | Some n -> n
+  | None ->
+      if Hashtbl.mem t.visiting d then mk t (Opaque { reg = -1; at = d })
+      else begin
+        Hashtbl.replace t.visiting d ();
+        let k = Cfg.kernel t.cfg_ in
+        let n =
+          match k.Kir.body.(d) with
+          | Kir.Mov (_, op) -> operand t ~at:d op
+          | Kir.Bin (op, _, a, b) -> mk t (Bin (op, operand t ~at:d a, operand t ~at:d b))
+          | Kir.Un (op, _, a) -> mk t (Un (op, operand t ~at:d a))
+          | Kir.Cmp (c, _, a, b) -> mk t (Cmp (c, operand t ~at:d a, operand t ~at:d b))
+          | Kir.Sel (_, c, a, b) ->
+              mk t (Sel (operand t ~at:d c, operand t ~at:d a, operand t ~at:d b))
+          | Kir.Ld { space = Kir.Shared; base; idx; _ } ->
+              let bn = operand t ~at:d base in
+              let base = match bn.sh with Const c -> Some c | _ -> None in
+              mk t (SLd { base; idx = operand t ~at:d idx })
+          | Kir.Ld { space = Kir.Global; base; idx; _ } ->
+              mk t (GLd { site = d; base = operand t ~at:d base; idx = operand t ~at:d idx })
+          | Kir.Atom _ -> mk t (AtomR { site = d })
+          | _ -> mk t (Opaque { reg = -1; at = d })
+        in
+        Hashtbl.remove t.visiting d;
+        Hashtbl.replace t.memo d n;
+        n
+      end
+
+and induction t r d1 d2 =
+  (* init/increment pairs: one site adds a constant to the register
+     itself, the other supplies the initial value (a Mov or a load —
+     the emitters seed cursors straight from scan slots) *)
+  let k = Cfg.kernel t.cfg_ in
+  let inc_step i =
+    match k.Kir.body.(i) with
+    | Kir.Bin (Kir.Add, r', Kir.Reg r'', Kir.Imm s) when r' = r && r'' = r -> Some s
+    | Kir.Bin (Kir.Add, r', Kir.Imm s, Kir.Reg r'') when r' = r && r'' = r -> Some s
+    | _ -> None
+  in
+  let pick m i =
+    match inc_step i with
+    | Some step when inc_step m = None -> (
+        match Kir.defined_reg k.Kir.body.(m) with
+        | Some r' when r' = r -> (
+            let init = of_def t m in
+            match init.sh with
+            | Opaque _ -> None
+            | _ -> Some (mk t (Ind { site = m; init; step })))
+        | _ -> None)
+    | _ -> None
+  in
+  match pick d1 d2 with Some n -> Some n | None -> pick d2 d1
+
+(* ------------------------------------------------------------------ *)
+(* Uniformity of a resolved tree                                      *)
+(* ------------------------------------------------------------------ *)
+let rec uniform t n =
+  match Hashtbl.find_opt t.umemo n.nid with
+  | Some u -> u
+  | None ->
+      (* break bound-expression cycles conservatively *)
+      Hashtbl.replace t.umemo n.nid false;
+      let u =
+        match n.sh with
+        | Const _ | Ctaid | Ntid | Nctaid | Param _ -> true
+        | Tid -> false
+        | Bin (_, a, b) | Cmp (_, a, b) -> uniform t a && uniform t b
+        | Un (_, a) -> uniform t a
+        | Sel (c, a, b) -> uniform t c && uniform t a && uniform t b
+        | SLd { idx; _ } -> uniform t idx
+        | GLd { base; idx; _ } -> uniform t base && uniform t idx
+        | AtomR _ | Ind _ | Opaque _ -> false
+        | LoopVar lp -> (
+            match Hashtbl.find_opt t.loop_bounds lp.lid with
+            | Some (start, stop) -> uniform t start && uniform t stop
+            | None -> false)
+      in
+      Hashtbl.replace t.umemo n.nid u;
+      u
+
+(* ------------------------------------------------------------------ *)
+(* Own-range recognition over the loop set                            *)
+(* ------------------------------------------------------------------ *)
+let recognize_own t =
+  let k = Cfg.kernel t.cfg_ in
+  List.iter
+    (fun lp ->
+      let start_op =
+        match k.Kir.body.(lp.init_site) with Kir.Mov (_, op) -> op | _ -> assert false
+      in
+      let stop_op =
+        match k.Kir.body.(lp.head) with Kir.Cmp (_, _, _, op) -> op | _ -> assert false
+      in
+      let start_n = operand t ~at:lp.init_site start_op in
+      let stop_n = operand t ~at:lp.head stop_op in
+      Hashtbl.replace t.loop_bounds lp.lid (start_n, stop_n);
+      if lp.step = 1 then begin
+        let chunk_of n =
+          match n.sh with
+          | Bin (Kir.Mul, { sh = Tid; _ }, ch) | Bin (Kir.Mul, ch, { sh = Tid; _ }) ->
+              Some ch
+          | _ -> None
+        in
+        match (start_n.sh, stop_n.sh) with
+        | Bin (Kir.Min, s0, cnt), Bin (Kir.Min, e0, cnt') when same cnt cnt' -> (
+            match (chunk_of s0, e0.sh) with
+            | Some ch, Bin (Kir.Add, s, ch') when same s start_n && same ch ch' ->
+                if uniform t ch && uniform t cnt then lp.own <- true
+            | Some ch, Bin (Kir.Add, ch', s) when same s start_n && same ch ch' ->
+                if uniform t ch && uniform t cnt then lp.own <- true
+            | _ -> ())
+        | _ -> ()
+      end)
+    t.loops_
+
+let create cfg_ defs uni =
+  let t =
+    {
+      cfg_;
+      defs;
+      uni;
+      loops_ = [];
+      loop_by_var = Hashtbl.create 8;
+      loop_nodes = Hashtbl.create 8;
+      loop_bounds = Hashtbl.create 8;
+      memo = Hashtbl.create 64;
+      consts = Hashtbl.create 32;
+      visiting = Hashtbl.create 8;
+      umemo = Hashtbl.create 64;
+      next = 0;
+    }
+  in
+  recognize_loops t;
+  recognize_own t;
+  ignore t.uni;
+  t
+
+(* ------------------------------------------------------------------ *)
+(* Affine normalization: scale * core + off                           *)
+(* ------------------------------------------------------------------ *)
+type lin = { scale : int; core : node option; off : int }
+
+let const_of n = match n.sh with Const c -> Some c | _ -> None
+
+let rec norm n =
+  match n.sh with
+  | Const c -> { scale = 1; core = None; off = c }
+  | Bin (Kir.Add, a, b) -> (
+      match (const_of a, const_of b) with
+      | Some ca, _ ->
+          let l = norm b in
+          { l with off = l.off + ca }
+      | _, Some cb ->
+          let l = norm a in
+          { l with off = l.off + cb }
+      | None, None -> { scale = 1; core = Some n; off = 0 })
+  | Bin (Kir.Sub, a, b) -> (
+      match const_of b with
+      | Some cb ->
+          let l = norm a in
+          { l with off = l.off - cb }
+      | None -> { scale = 1; core = Some n; off = 0 })
+  | Bin (Kir.Mul, a, b) -> (
+      match (const_of a, const_of b) with
+      | Some ca, _ ->
+          let l = norm b in
+          { scale = l.scale * ca; core = l.core; off = l.off * ca }
+      | _, Some cb ->
+          let l = norm a in
+          { scale = l.scale * cb; core = l.core; off = l.off * cb }
+      | None, None -> { scale = 1; core = Some n; off = 0 })
+  | _ -> { scale = 1; core = Some n; off = 0 }
+
+(* ------------------------------------------------------------------ *)
+(* Core classification for the race detector                          *)
+(* ------------------------------------------------------------------ *)
+type core_class =
+  | CConst
+  | CTid
+  | COwn of int
+  | CScanPos of int
+  | CPosRank of int * int
+  | CProd of int * node
+  | CUnif of node
+  | CVar
+
+let own_slot idx =
+  match norm idx with
+  | { scale = 1; core = Some m; off = 0 } -> (
+      match m.sh with LoopVar lp -> lp.own | _ -> false)
+  | _ -> false
+
+let scan_pos_of n =
+  match n.sh with
+  | SLd { base = Some p; idx } when own_slot idx -> Some p
+  | Ind { init = { sh = SLd { base = Some p; idx }; _ }; step = 1; _ } when own_slot idx ->
+      Some p
+  | _ -> None
+
+let rank_of n =
+  match n.sh with
+  | Sel (_, { sh = SLd { base = Some r; _ }; _ }, _) -> Some r
+  | Sel (_, _, { sh = SLd { base = Some r; _ }; _ }) -> Some r
+  | _ -> None
+
+let classify t core =
+  match core with
+  | None -> CConst
+  | Some n -> (
+      let default () = if uniform t n then CUnif n else CVar in
+      match n.sh with
+      | Tid -> CTid
+      | LoopVar lp when lp.own -> COwn lp.lid
+      | _ -> (
+          match scan_pos_of n with
+          | Some p -> CScanPos p
+          | None -> (
+              match n.sh with
+              | Bin (Kir.Add, a, b) -> (
+                  let pr =
+                    match (scan_pos_of a, rank_of b) with
+                    | Some p, Some r -> Some (p, r)
+                    | _ -> (
+                        match (scan_pos_of b, rank_of a) with
+                        | Some p, Some r -> Some (p, r)
+                        | _ -> None)
+                  in
+                  match pr with
+                  | Some (p, r) -> CPosRank (p, r)
+                  | None -> (
+                      (* outer-own × uniform-bound + inner loop *)
+                      let outer_own x =
+                        match x.sh with
+                        | Bin (Kir.Mul, { sh = LoopVar lo; _ }, u)
+                          when lo.own && uniform t u ->
+                            Some (lo, u)
+                        | Bin (Kir.Mul, u, { sh = LoopVar lo; _ })
+                          when lo.own && uniform t u ->
+                            Some (lo, u)
+                        | _ -> None
+                      in
+                      let prod x y =
+                        match (outer_own x, y.sh) with
+                        | Some (lo, u), LoopVar li when li.step = 1 -> (
+                            match Hashtbl.find_opt t.loop_bounds li.lid with
+                            | Some (start, stop)
+                              when const_of start = Some 0 && same stop u ->
+                                Some (CProd (lo.lid, u))
+                            | _ -> None)
+                        | _ -> None
+                      in
+                      match prod a b with
+                      | Some c -> c
+                      | None -> (
+                          match prod b a with Some c -> c | None -> default ())))
+              | _ -> default ())))

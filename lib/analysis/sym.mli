@@ -1,0 +1,85 @@
+(** Symbolic def-chain expressions over KIR values.
+
+    A register use is resolved through reaching definitions into an
+    expression tree: a unique reaching definition is expanded
+    recursively (memoized per definition site, so two uses of the same
+    definition share one physically-equal node); recognized counted
+    loops become [LoopVar]; two-definition init/increment registers
+    become [Ind]; anything else is [Opaque]. On top of the trees the
+    module recognizes the emitters' {e own-range} loops
+    ([min(tid*chunk, count) .. min(start+chunk, count))], the
+    partition of a domain into per-thread slices that makes cooperative
+    writes race-free), normalizes shared-address expressions into
+    [scale * core + offset] form, and classifies the [core] for the
+    race detector. *)
+
+type loop = {
+  lid : int;
+  var : int;  (** loop-variable register *)
+  head : int;  (** position of the bound [Cmp] *)
+  init_site : int;
+  inc_site : int;
+  step : int;
+  mutable own : bool;  (** iterates this thread's own-range slice *)
+}
+
+type node = private { nid : int; sh : shape }
+
+and shape =
+  | Const of int
+  | Tid
+  | Ctaid
+  | Ntid
+  | Nctaid
+  | Param of int
+  | Bin of Gpu_sim.Kir.binop * node * node
+  | Un of Gpu_sim.Kir.unop * node
+  | Cmp of Gpu_sim.Kir.cmp * node * node
+  | Sel of node * node * node
+  | SLd of { base : int option; idx : node }
+      (** shared-memory load; [base] when statically constant *)
+  | GLd of { site : int; base : node; idx : node }
+  | AtomR of { site : int }
+  | LoopVar of loop
+  | Ind of { site : int; init : node; step : int }
+  | Opaque of { reg : int; at : int }
+
+type t
+
+val create : Cfg.t -> Defs.t -> Uniform.t -> t
+val loops : t -> loop list
+
+val own_range : t -> int -> (node * node) option
+(** Start/stop bound trees of a recognized loop (by lid). Two own-range
+    loops with [same] bounds slice the domain identically. *)
+
+val operand : t -> at:int -> Gpu_sim.Kir.operand -> node
+(** Resolve an operand as observed by instruction [at]. *)
+
+val same : node -> node -> bool
+(** Physical/derived equality: same definition site or equal constants. *)
+
+val uniform : t -> node -> bool
+(** The value is provably the same across all threads ([Opaque], [Ind],
+    and atomics are conservatively varying; loads from uniform
+    addresses are uniform under the broadcast assumption). *)
+
+type lin = { scale : int; core : node option; off : int }
+(** [scale * core + off]; [core = None] means the constant [off]. *)
+
+val norm : node -> lin
+
+type core_class =
+  | CConst  (** statically-constant address *)
+  | CTid  (** the raw thread id — distinct per thread by definition *)
+  | COwn of int  (** own-range loop variable (lid) *)
+  | CScanPos of int
+      (** position read from an exclusive-scan slot of region [base] *)
+  | CPosRank of int * int
+      (** scan position from one region plus a searched rank from
+          another — the merge-path write index *)
+  | CProd of int * node  (** outer own lid × uniform inner bound *)
+  | CUnif of node  (** uniform but otherwise unknown *)
+  | CVar  (** may-alias fallback *)
+
+val classify : t -> node option -> core_class

@@ -41,6 +41,7 @@ type t =
   | Deadline_exceeded of { kind : deadline_kind; limit : float; spent : float }
   | Cancelled of { reason : string }
   | Recovery_exhausted of { attempts : int; last : t }
+  | Static_rejected of { kernel : string; count : int; first : string }
 [@@deriving show { with_path = false }, eq]
 
 exception Error of t
@@ -138,3 +139,9 @@ let rec render = function
   | Recovery_exhausted { attempts; last } ->
       Printf.sprintf "recovery exhausted after %d attempts; last fault: %s"
         attempts (render last)
+  | Static_rejected { kernel; count; first } ->
+      Printf.sprintf
+        "static analysis rejected kernel '%s': %d gating diagnostic%s; first: %s"
+        kernel count
+        (if count = 1 then "" else "s")
+        first

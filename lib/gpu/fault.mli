@@ -70,6 +70,9 @@ type t =
   | Deadline_exceeded of { kind : deadline_kind; limit : float; spent : float }
   | Cancelled of { reason : string }
   | Recovery_exhausted of { attempts : int; last : t }
+  | Static_rejected of { kernel : string; count : int; first : string }
+      (** the static-analysis gate refused to launch a woven kernel;
+          [first] is the highest-severity diagnostic, rendered *)
 
 exception Error of t
 (** The one fault-carrying exception of the GPU layer.

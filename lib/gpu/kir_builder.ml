@@ -98,7 +98,12 @@ let new_label b =
   b.next_label <- l + 1;
   l
 
-let place b l = b.label_pos <- (l, b.body_len) :: b.label_pos
+let place b l =
+  if List.mem_assoc l b.label_pos then
+    invalid_arg
+      (Printf.sprintf "Kir_builder.place: label L%d already placed in %s" l
+         b.name);
+  b.label_pos <- (l, b.body_len) :: b.label_pos
 let br b l = emit b (Kir.Br l)
 let brz b c l = emit b (Kir.Brz (c, l))
 let brnz b c l = emit b (Kir.Brnz (c, l))

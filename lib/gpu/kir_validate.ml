@@ -8,7 +8,7 @@ let check (k : Kir.kernel) =
       err "instruction %d: branch to unknown label L%d" at l
     else
       let target = k.labels.(l) in
-      if target < 0 || target > n then
+      if target < 0 || target >= n then
         err "instruction %d: label L%d resolves out of bounds (%d)" at l target
   in
   let check_reg at r =
@@ -22,6 +22,17 @@ let check (k : Kir.kernel) =
   let check_width at w =
     if w <> 4 && w <> 8 then err "instruction %d: access width %d not 4 or 8" at w
   in
+  let check_shared at base idx =
+    (* a fully-constant shared address is decidable right here; anything
+       involving a register is left to the dataflow analyses *)
+    match (base, idx) with
+    | Kir.Imm b, Kir.Imm i ->
+        let w = b + i in
+        if w < 0 || w >= k.shared_words then
+          err "instruction %d: constant shared access at word %d outside [0, %d)"
+            at w k.shared_words
+    | _ -> ()
+  in
   Array.iteri
     (fun at ins ->
       (match Kir.defined_reg ins with
@@ -30,9 +41,63 @@ let check (k : Kir.kernel) =
       List.iter (check_operand at) (Kir.used_operands ins);
       match ins with
       | Kir.Br l | Kir.Brz (_, l) | Kir.Brnz (_, l) -> check_label at l
-      | Kir.Ld { width; _ } | Kir.St { width; _ } -> check_width at width
+      | Kir.Ld { space; base; idx; width; _ } ->
+          check_width at width;
+          if space = Kir.Shared then check_shared at base idx
+      | Kir.St { space; base; idx; width; _ } ->
+          check_width at width;
+          if space = Kir.Shared then check_shared at base idx
+      | Kir.Atom { space; base; idx; _ } ->
+          if space = Kir.Shared then check_shared at base idx
       | _ -> ())
     k.body;
+  (* The structural checks below assume every branch target resolves inside
+     the body, so only run them once the per-instruction pass is clean. *)
+  if !errors = [] && n > 0 then begin
+    (* two distinct labels that both serve as backward-branch (loop head)
+       targets must not share a placement; coinciding loop heads mean two
+       loops were woven on top of each other *)
+    let backward = Array.make (Array.length k.labels) false in
+    Array.iteri
+      (fun at ins ->
+        match ins with
+        | Kir.Br l | Kir.Brz (_, l) | Kir.Brnz (_, l) ->
+            if k.labels.(l) <= at then backward.(l) <- true
+        | _ -> ())
+      k.body;
+    Array.iteri
+      (fun l1 b1 ->
+        if b1 then
+          for l2 = l1 + 1 to Array.length k.labels - 1 do
+            if backward.(l2) && k.labels.(l1) = k.labels.(l2) then
+              err "labels L%d and L%d are both loop heads placed at %d" l1 l2
+                k.labels.(l1)
+          done)
+      backward;
+    (* a branch sitting in unreachable code is dead-code residue whose
+       target is arbitrary; reject it rather than keep a bogus CFG edge *)
+    let reachable = Array.make n false in
+    let rec visit at =
+      if at < n && not reachable.(at) then begin
+        reachable.(at) <- true;
+        match k.body.(at) with
+        | Kir.Br l -> visit k.labels.(l)
+        | Kir.Brz (_, l) | Kir.Brnz (_, l) ->
+            visit k.labels.(l);
+            visit (at + 1)
+        | Kir.Ret | Kir.Trap _ -> ()
+        | _ -> visit (at + 1)
+      end
+    in
+    visit 0;
+    Array.iteri
+      (fun at ins ->
+        match ins with
+        | (Kir.Br _ | Kir.Brz _ | Kir.Brnz _) when not reachable.(at) ->
+            err "instruction %d: branch in unreachable code" at
+        | _ -> ())
+      k.body
+  end;
   match !errors with [] -> Ok () | es -> Error (List.rev es)
 
 let check_exn k =

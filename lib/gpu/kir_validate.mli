@@ -6,9 +6,16 @@
 
 val check : Kir.kernel -> (unit, string list) result
 (** [check k] returns [Error msgs] listing every violation found:
-    - a branch target that is not a placed label or is out of bounds,
+    - a branch target that is not a placed label or resolves outside the
+      body (the builder always terminates kernels with [Ret], so even a
+      label placed "at the end" lands on a real instruction),
     - a register (read or written) outside [0, reg_count),
     - a memory access width other than 4 or 8 bytes,
+    - a statically-constant [Shared] access (immediate base and index)
+      at a word outside [0, shared_words),
+    - two distinct loop-head labels (targets of backward branches)
+      placed at the same instruction,
+    - a branch instruction in unreachable code,
     - an empty body. *)
 
 val check_exn : Kir.kernel -> unit

@@ -445,6 +445,101 @@ let q21 ?(lineitems = 10_000) ?(jobs = 1) () =
   query_outcome ~config Tpch.Queries.q21 ~lineitems
     ~paper_note:"paper: 1.22x overall (relational-centric)"
 
+(* --- static-analysis gate ------------------------------------------------ *)
+
+let analysis () =
+  let targets =
+    List.map
+      (fun (w : Tpch.Patterns.workload) -> (w.Tpch.Patterns.name, w.Tpch.Patterns.plan))
+      (Tpch.Patterns.all ())
+    @ [
+        ("q1", Tpch.Queries.q1.Tpch.Queries.plan);
+        ("q21", Tpch.Queries.q21.Tpch.Queries.plan);
+      ]
+  in
+  let per =
+    List.map
+      (fun (name, plan) ->
+        let program = Weaver.Driver.compile plan in
+        let t0 = Sys.time () in
+        let reports = Weaver.Runtime.analyze_program program in
+        let ms = (Sys.time () -. t0) *. 1000.0 in
+        let count sev =
+          List.fold_left
+            (fun acc (r : Weaver_analysis.Analysis.report) ->
+              acc
+              + List.length
+                  (List.filter
+                     (fun (d : Weaver_analysis.Diag.t) ->
+                       d.Weaver_analysis.Diag.severity = sev)
+                     r.Weaver_analysis.Analysis.diags))
+            0 reports
+        in
+        let instrs =
+          List.fold_left
+            (fun acc (r : Weaver_analysis.Analysis.report) ->
+              acc + r.Weaver_analysis.Analysis.instrs)
+            0 reports
+        in
+        ( name,
+          List.length reports,
+          instrs,
+          count Weaver_analysis.Diag.Error,
+          count Weaver_analysis.Diag.Warn,
+          count Weaver_analysis.Diag.Hint,
+          ms ))
+      targets
+  in
+  let tot f = List.fold_left (fun a r -> a + f r) 0 per in
+  let errors = tot (fun (_, _, _, e, _, _, _) -> e)
+  and warns = tot (fun (_, _, _, _, w, _, _) -> w)
+  and total_ms =
+    List.fold_left (fun a (_, _, _, _, _, _, ms) -> a +. ms) 0.0 per
+  in
+  {
+    Report.table =
+      {
+        title =
+          "Static analysis — gate diagnostics and pass runtime per workload";
+        header =
+          [ "workload"; "kernels"; "instrs"; "errors"; "warnings"; "hints"; "ms" ];
+        rows =
+          List.map
+            (fun (name, ks, instrs, e, w, h, ms) ->
+              [
+                name;
+                string_of_int ks;
+                string_of_int instrs;
+                string_of_int e;
+                string_of_int w;
+                string_of_int h;
+                Printf.sprintf "%.1f" ms;
+              ])
+            per
+          @ [
+              [
+                "total";
+                string_of_int (tot (fun (_, k, _, _, _, _, _) -> k));
+                string_of_int (tot (fun (_, _, i, _, _, _, _) -> i));
+                string_of_int errors;
+                string_of_int warns;
+                string_of_int (tot (fun (_, _, _, _, _, h, _) -> h));
+                Printf.sprintf "%.1f" total_ms;
+              ];
+            ];
+        notes =
+          [
+            "errors + warnings gate kernel launch (expected 0 on golden plans)";
+            "hints are advisory (dead stores)";
+          ];
+      };
+    headline =
+      [
+        ("gating diagnostics", float_of_int (errors + warns));
+        ("analysis ms", total_ms);
+      ];
+  }
+
 let all ?(quick = false) ?(jobs = 1) () =
   let s = if quick then [ 16_384; 32_768 ] else [ 65_536; 131_072; 262_144; 524_288 ] in
   let r = if quick then 30_000 else 200_000 in
@@ -462,4 +557,5 @@ let all ?(quick = false) ?(jobs = 1) () =
     ("table3", fun () -> table3 ());
     ("q1", fun () -> q1 ~lineitems:li1 ~jobs ());
     ("q21", fun () -> q21 ~lineitems:li21 ~jobs ());
+    ("analysis", fun () -> analysis ());
   ]

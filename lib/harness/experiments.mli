@@ -50,6 +50,11 @@ val q1 : ?lineitems:int -> ?jobs:int -> unit -> Report.outcome
 val q21 : ?lineitems:int -> ?jobs:int -> unit -> Report.outcome
 (** TPC-H Q21: overall speedup. Paper: 1.22x. *)
 
+val analysis : unit -> Report.outcome
+(** Static-analysis gate over the golden set (patterns (a)-(e), Q1,
+    Q21): per-workload kernel/diagnostic counts and pass runtime. Pure
+    compile + analyze; runs nothing on the device. *)
+
 val all : ?quick:bool -> ?jobs:int -> unit -> (string * (unit -> Report.outcome)) list
 (** Every experiment as a lazy thunk, keyed by its figure/table id —
     forcing one entry runs only that experiment. [quick] shrinks sizes

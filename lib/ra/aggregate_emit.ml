@@ -398,4 +398,6 @@ let emit_final ?op ~name lay ~max_groups ~stage_cap () =
                 ~width:(Schema.attr_bytes lay.out_schema j))
             all);
       st b Kir.Global ~base:out_count ~idx:(Imm 0) ~src:(Reg size) ~width:4);
-  finish b
+  (* the finalize loop keeps every group column and finalized aggregate
+     live simultaneously, so the budget scales with the row arity *)
+  finish ~regs_per_thread:(min 63 (17 + partial_ar + gn)) b

@@ -20,6 +20,7 @@ type t = {
   faults : string option;
   deadline_cycles : float option;
   wall_deadline_s : float option;
+  analyze : bool;
 }
 
 let default =
@@ -43,6 +44,7 @@ let default =
     faults = None;
     deadline_cycles = None;
     wall_deadline_s = None;
+    analyze = true;
   }
 
 let with_jobs t jobs =

@@ -55,6 +55,13 @@ type t = {
           host-side protection against pathological simulations; checked
           at the same checkpoints plus per-CTA via the {!Gpu_sim.Cancel}
           token. Non-deterministic by nature. *)
+  analyze : bool;
+      (** run the static-analysis gate ({!Weaver_analysis}) over every
+          woven kernel before it launches: barrier divergence, shared
+          races, resource certification, def-use hygiene. A gating
+          diagnostic fails the query with
+          {!Gpu_sim.Fault.Static_rejected}. On by default; turn off to
+          benchmark codegen without the certification cost. *)
 }
 
 val default : t

@@ -328,6 +328,29 @@ let dce (k : Kir.kernel) =
           incr removed
       | _ -> ())
     k.body;
+  (* unreachable-code elimination: folding a constant branch strands the
+     untaken arm, including its terminating branch; drop everything the
+     entry can no longer reach *)
+  let reachable = Array.make (max n 1) false in
+  let rec visit i =
+    if i < n && not reachable.(i) then begin
+      reachable.(i) <- true;
+      match k.body.(i) with
+      | Kir.Br l -> visit k.labels.(l)
+      | Kir.Brz (_, l) | Kir.Brnz (_, l) ->
+          visit k.labels.(l);
+          visit (i + 1)
+      | Kir.Ret | Kir.Trap _ -> ()
+      | _ -> visit (i + 1)
+    end
+  in
+  if n > 0 then visit 0;
+  for i = 0 to n - 1 do
+    if keep.(i) && not reachable.(i) then begin
+      keep.(i) <- false;
+      incr removed
+    end
+  done;
   if !removed = 0 then (k, false)
   else begin
     (* compact the body and remap label targets *)

@@ -281,6 +281,72 @@ let optimize_kernels st (ks : Codegen.kernels) =
     gathers = Array.map o ks.Codegen.gathers;
   }
 
+(* ---- static-analysis gate: woven KIR is certified before it runs ---- *)
+
+(* The shared-memory regions the layout budgeted for a fused compute
+   kernel, so the analyzer can cross-check extents against the kernel's
+   declared shared_words. The per-segment scratch regions overlay one
+   arena; duplicate bases keep the widest extent. *)
+let layout_regions (lay : Layout.t) ~n_in =
+  let r base words = { Weaver_analysis.Analysis.base; words } in
+  let tile (t : Ra_lib.Tile.t) =
+    [ r t.Ra_lib.Tile.base (t.Ra_lib.Tile.cap * Ra_lib.Tile.arity t); r t.Ra_lib.Tile.cnt 1 ]
+  in
+  let seg = function
+    | Layout.S_none -> []
+    | Layout.S_pipe { flags; scratch; total } ->
+        (r flags scratch.Ra_lib.Tile.cap :: tile scratch) @ [ r total 1 ]
+    | Layout.S_counts { counts; curs; total } ->
+        [ r counts (curs - counts); r curs (total - curs); r total 1 ]
+    | Layout.S_union { counts_l; counts_r; total_l; total_r } ->
+        [
+          r counts_l (counts_r - counts_l);
+          r counts_r (total_l - counts_r);
+          r total_l 1;
+          r total_r 1;
+        ]
+  in
+  let all =
+    List.concat_map tile (Array.to_list lay.Layout.tiles)
+    @ List.concat_map seg (Array.to_list lay.Layout.seg_scratch)
+    @ [ r lay.Layout.shared_words (2 * n_in) ]
+  in
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (reg : Weaver_analysis.Analysis.region) ->
+      match Hashtbl.find_opt tbl reg.Weaver_analysis.Analysis.base with
+      | Some w when w >= reg.Weaver_analysis.Analysis.words -> ()
+      | _ ->
+          Hashtbl.replace tbl reg.Weaver_analysis.Analysis.base
+            reg.Weaver_analysis.Analysis.words)
+    all;
+  Hashtbl.fold (fun base words acc -> r base words :: acc) tbl []
+
+let analyze_kernel ?(regions = []) (k : Kir.kernel) =
+  Weaver_analysis.Analysis.analyze ~regions ~expected_regs:k.Kir.regs_per_thread k
+
+let gate_kernel st ?regions k =
+  if (config st).Config.analyze then begin
+    let report = analyze_kernel ?regions k in
+    match Weaver_analysis.Analysis.gating report with
+    | [] -> ()
+    | d :: _ as ds ->
+        raise
+          (Fault.Error
+             (Fault.Static_rejected
+                {
+                  kernel = k.Kir.kname;
+                  count = List.length ds;
+                  first = Weaver_analysis.Diag.to_string d;
+                }))
+  end
+
+let gate_fused st ~n_in (lay : Layout.t) (ks : Codegen.kernels) =
+  gate_kernel st ks.Codegen.partition;
+  gate_kernel st ~regions:(layout_regions lay ~n_in) ks.Codegen.compute;
+  Array.iter (gate_kernel st) ks.Codegen.scans;
+  Array.iter (gate_kernel st) ks.Codegen.gathers
+
 (* Run the scan-then-gather tail for one output; returns the dense buffer
    and its row count. The scratch offsets (and, when a launch faults
    mid-way, the partially-written output) are released on every path so
@@ -420,7 +486,9 @@ let rec exec_fused st ~name (ir : Fusion.t) =
           Some !best
     in
     let kernels =
-      optimize_kernels st (Codegen.generate ?pivot cfg ~name ir lay)
+      let raw = Codegen.generate ?pivot cfg ~name ir lay in
+      gate_fused st ~n_in lay raw;
+      optimize_kernels st raw
     in
     let driving_rows =
       (* enough CTAs that the pivot's slices AND every even input's slices
@@ -712,22 +780,26 @@ let exec_unique st ~op_id ~key_arity ~source =
   in
   let rec attempt cap tries =
     let grid = clamp_grid st ~rows:m.rows ~cap in
+    let certify k =
+      gate_kernel st k;
+      o k
+    in
     let partition =
-      o
+      certify
         (Ra_lib.Partition_emit.emit ~name:(name ^ "_partition")
            ~inputs:[ (Ra_lib.Partition_emit.Even, m.schema) ]
            ~key_arity ~pivot:None ~cap)
     in
     let compute =
-      o
+      certify
         (Ra_lib.Unique_emit.emit_compute ~op:op_id ~name:(name ^ "_compute")
            ~schema:m.schema ~key_arity ~cap ~stage_cap:cap ())
     in
     let scan_k =
-      o (Ra_lib.Gather_emit.emit_scan_offsets ~name:(name ^ "_scan"))
+      certify (Ra_lib.Gather_emit.emit_scan_offsets ~name:(name ^ "_scan"))
     in
     let gather_k =
-      o
+      certify
         (Ra_lib.Gather_emit.emit_gather ~name:(name ^ "_gather")
            ~schema:m.schema ~stage_cap:cap)
     in
@@ -808,19 +880,23 @@ let exec_aggregate st ~op_id ~source ~(lay : Ra_lib.Aggregate_emit.layout) =
   let rec attempt max_groups tries =
     let slice = cfg.Config.cap * 8 in
     let grid = clamp_grid st ~rows:m.rows ~cap:slice in
+    let certify k =
+      gate_kernel st k;
+      o k
+    in
     let partition =
-      o
+      certify
         (Ra_lib.Partition_emit.emit ~name:(name ^ "_partition")
            ~inputs:[ (Ra_lib.Partition_emit.Even, m.schema) ]
            ~key_arity:1 ~pivot:None ~cap:slice)
     in
     let partial =
-      o
+      certify
         (Ra_lib.Aggregate_emit.emit_partial ~op:op_id ~name:(name ^ "_partial")
            lay ~max_groups ~stage_cap:max_groups ())
     in
     let final =
-      o
+      certify
         (Ra_lib.Aggregate_emit.emit_final ~op:op_id ~name:(name ^ "_final") lay
            ~max_groups ~stage_cap:max_groups ())
     in
@@ -1156,3 +1232,43 @@ let kernels_source program =
                ~stage_cap:program.config.Config.max_groups ()))
     program.units;
   Buffer.contents buf
+
+let analyze_program program =
+  let reports = ref [] in
+  let add ?regions k =
+    reports := analyze_kernel ?regions k :: !reports
+  in
+  List.iter
+    (fun u ->
+      match u with
+      | U_fused { name; ir } ->
+          let lay = Layout.compute program.config program.plan ir in
+          let ks = Codegen.generate program.config ~name ir lay in
+          add ks.Codegen.partition;
+          add ~regions:(layout_regions lay ~n_in:(Array.length ir.Fusion.inputs))
+            ks.Codegen.compute;
+          Array.iter add ks.Codegen.scans;
+          Array.iter add ks.Codegen.gathers
+      | U_sort _ ->
+          (* modelled multi-pass merge sort: no woven KIR to certify *)
+          ()
+      | U_unique { op_id; key_arity; source = _ } ->
+          let schema = (Plan.node program.plan op_id).Plan.schema in
+          add
+            (Ra_lib.Unique_emit.emit_compute ~op:op_id
+               ~name:(Printf.sprintf "unique%d_compute" op_id)
+               ~schema ~key_arity ~cap:program.config.Config.cap
+               ~stage_cap:program.config.Config.cap ())
+      | U_aggregate { op_id; lay; _ } ->
+          add
+            (Ra_lib.Aggregate_emit.emit_partial ~op:op_id
+               ~name:(Printf.sprintf "aggregate%d_partial" op_id)
+               lay ~max_groups:program.config.Config.max_groups
+               ~stage_cap:program.config.Config.max_groups ());
+          add
+            (Ra_lib.Aggregate_emit.emit_final ~op:op_id
+               ~name:(Printf.sprintf "aggregate%d_final" op_id)
+               lay ~max_groups:program.config.Config.max_groups
+               ~stage_cap:program.config.Config.max_groups ()))
+    program.units;
+  List.rev !reports

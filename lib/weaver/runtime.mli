@@ -106,3 +106,19 @@ val run :
 val kernels_source : program -> string
 (** CUDA-style source of every generated kernel (after the program's
     optimization level), for inspection — the Fig. 15 view. *)
+
+val analyze_program :
+  program -> Weaver_analysis.Analysis.report list
+(** Run the static-analysis suite over every woven kernel of the
+    program, exactly as the execution gate does: on the unoptimized KIR
+    (the contract codegen must honor — O3 then only rewrites what was
+    already certified), with the fused compute kernel checked against
+    its layout's shared-memory regions and each kernel's register
+    budget. Sort units have no woven KIR and are skipped. Pure: builds
+    kernels but executes nothing. *)
+
+val analyze_kernel :
+  ?regions:Weaver_analysis.Analysis.region list ->
+  Gpu_sim.Kir.kernel ->
+  Weaver_analysis.Analysis.report
+(** One kernel through the same suite, budgeting [regs_per_thread]. *)

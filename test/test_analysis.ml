@@ -1,0 +1,287 @@
+(* The static-analysis gate: Kir_validate's structural rejections, each
+   analyzer pass catching a hand-seeded defect, and the flip side — every
+   kernel the weaver actually produces (goldens and random plans alike)
+   must clear the gate with zero gating diagnostics. *)
+
+open Gpu_sim
+
+let raw_kernel ?(reg_count = 8) ?(shared_words = 0) ?(labels = [||]) body =
+  {
+    Kir.kname = "t";
+    params = 0;
+    reg_count;
+    regs_per_thread = 8;
+    shared_words;
+    shared_bytes = shared_words * 4;
+    body;
+    labels;
+  }
+
+let contains s needle =
+  let n = String.length needle and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = needle || go (i + 1)) in
+  go 0
+
+let expect_invalid what k needle =
+  match Kir_validate.check k with
+  | Ok () -> Alcotest.failf "%s: expected a validation error" what
+  | Error msgs ->
+      let hit = List.exists (fun m -> contains m needle) msgs in
+      if not hit then
+        Alcotest.failf "%s: no message mentions %S in: %s" what needle
+          (String.concat "; " msgs)
+
+(* ---- Kir_validate error paths ---- *)
+
+let test_validate_label_past_end () =
+  let k = raw_kernel ~labels:[| 2 |] [| Kir.Br 0; Kir.Ret |] in
+  expect_invalid "label at n" k "resolves out of bounds"
+
+let test_validate_const_shared_oob () =
+  let k =
+    raw_kernel ~shared_words:4
+      [|
+        Kir.St
+          { space = Kir.Shared; base = Kir.Imm 0; idx = Kir.Imm 4;
+            src = Kir.Imm 1; width = 4 };
+        Kir.Ret;
+      |]
+  in
+  expect_invalid "constant shared store" k "constant shared access";
+  let k =
+    raw_kernel ~shared_words:4
+      [|
+        Kir.Ld
+          { space = Kir.Shared; dst = 5; base = Kir.Imm 3; idx = Kir.Imm 1;
+            width = 4 };
+        Kir.Ret;
+      |]
+  in
+  expect_invalid "constant shared load" k "constant shared access"
+
+let test_validate_duplicate_loop_heads () =
+  let k =
+    raw_kernel ~labels:[| 0; 0 |]
+      [|
+        Kir.Bin (Kir.Add, 5, Kir.Reg 5, Kir.Imm 1);
+        Kir.Brz (Kir.Reg 5, 0);
+        Kir.Brnz (Kir.Reg 5, 1);
+        Kir.Ret;
+      |]
+  in
+  expect_invalid "duplicate loop heads" k "both loop heads"
+
+let test_validate_unreachable_branch () =
+  let k = raw_kernel ~labels:[| 0 |] [| Kir.Ret; Kir.Br 0 |] in
+  expect_invalid "unreachable branch" k "unreachable code"
+
+let test_validate_clean_kernel () =
+  let b = Kir_builder.create ~name:"ok" ~params:1 () in
+  let base = Kir_builder.alloc_shared b ~words:2 ~bytes:8 in
+  Kir_builder.for_range b ~start:(Kir.Imm 0) ~stop:(Kir.Imm 2) ~step:(Kir.Imm 1)
+    (fun i ->
+      Kir_builder.st b Kir.Shared ~base ~idx:(Kir.Reg i) ~src:(Kir.Reg i)
+        ~width:4);
+  (match Kir_validate.check (Kir_builder.finish b) with
+  | Ok () -> ()
+  | Error msgs -> Alcotest.failf "clean kernel rejected: %s" (String.concat "; " msgs))
+
+let test_builder_double_place () =
+  let b = Kir_builder.create ~name:"dup" ~params:0 () in
+  let l = Kir_builder.new_label b in
+  Kir_builder.place b l;
+  match Kir_builder.place b l with
+  | () -> Alcotest.fail "second placement of the same label must raise"
+  | exception Invalid_argument _ -> ()
+
+(* ---- analyzer passes on hand-built defective kernels ---- *)
+
+let gating_passes k =
+  Weaver_analysis.Analysis.gating (Weaver.Runtime.analyze_kernel k)
+  |> List.map (fun d -> d.Weaver_analysis.Diag.pass)
+
+let expect_pass what k pass =
+  let passes = gating_passes k in
+  if not (List.mem pass passes) then
+    Alcotest.failf "%s: expected a gating %S diagnostic, got [%s]" what pass
+      (String.concat "; " passes)
+
+let test_divergent_barrier () =
+  let b = Kir_builder.create ~name:"divbar" ~params:0 () in
+  let c = Kir_builder.cmp b Kir.Lt Kir_builder.tid (Kir.Imm 1) in
+  Kir_builder.if_ b (Kir.Reg c) (fun () -> Kir_builder.bar b);
+  expect_pass "tid-guarded barrier" (Kir_builder.finish b) "divergence"
+
+let test_shared_race () =
+  let b = Kir_builder.create ~name:"race" ~params:0 () in
+  let base = Kir_builder.alloc_shared b ~words:1 ~bytes:4 in
+  Kir_builder.st b Kir.Shared ~base ~idx:(Kir.Imm 0) ~src:Kir_builder.tid
+    ~width:4;
+  expect_pass "all threads store one word" (Kir_builder.finish b) "race"
+
+let test_no_race_when_tid_indexed () =
+  let b = Kir_builder.create ~name:"perthread" ~params:0 () in
+  let base = Kir_builder.alloc_shared b ~words:1024 ~bytes:4096 in
+  Kir_builder.st b Kir.Shared ~base ~idx:Kir_builder.tid ~src:(Kir.Imm 7)
+    ~width:4;
+  let r = Weaver.Runtime.analyze_kernel (Kir_builder.finish b) in
+  Alcotest.(check int)
+    "tid-sliced store is race-free" 0
+    (List.length
+       (List.filter
+          (fun d -> d.Weaver_analysis.Diag.pass = "race")
+          (Weaver_analysis.Analysis.gating r)))
+
+let test_uninitialized_read () =
+  let b = Kir_builder.create ~name:"uninit" ~params:0 () in
+  let r = Kir_builder.fresh b in
+  ignore (Kir_builder.bin b Kir.Add (Kir.Reg r) (Kir.Imm 1));
+  expect_pass "never-written register read" (Kir_builder.finish b) "hygiene"
+
+let test_dead_store_hint () =
+  let b = Kir_builder.create ~name:"dead" ~params:0 () in
+  let r = Kir_builder.mov b (Kir.Imm 42) in
+  ignore r;
+  let report = Weaver.Runtime.analyze_kernel (Kir_builder.finish b) in
+  (* advisory only: a dead store is a hint and must not gate *)
+  Alcotest.(check int)
+    "dead store does not gate" 0
+    (List.length (Weaver_analysis.Analysis.gating report));
+  let hints =
+    List.filter
+      (fun d -> d.Weaver_analysis.Diag.severity = Weaver_analysis.Diag.Hint)
+      report.Weaver_analysis.Analysis.diags
+  in
+  Alcotest.(check bool) "dead store reported as hint" true (hints <> [])
+
+(* ---- seeded defects in a real woven kernel ---- *)
+
+let fused_compute () =
+  let w = Tpch.Patterns.pattern_b () in
+  let program = Weaver.Driver.compile w.Tpch.Patterns.plan in
+  let rec find = function
+    | Weaver.Runtime.U_fused { name; ir } :: _ ->
+        let lay =
+          Weaver.Layout.compute program.Weaver.Runtime.config
+            program.Weaver.Runtime.plan ir
+        in
+        let ks =
+          Weaver.Codegen.generate program.Weaver.Runtime.config ~name ir lay
+        in
+        ks.Weaver.Codegen.compute
+    | _ :: rest -> find rest
+    | [] -> Alcotest.fail "pattern (b) produced no fused unit"
+  in
+  find program.Weaver.Runtime.units
+
+let test_defect_deleted_bar () =
+  let k = fused_compute () in
+  let dropped = ref false in
+  let body =
+    Array.map
+      (fun i ->
+        if (not !dropped) && i = Kir.Bar then begin
+          dropped := true;
+          Kir.Mov (k.Kir.reg_count - 1, Kir.Imm 0)
+        end
+        else i)
+      k.Kir.body
+  in
+  Alcotest.(check bool) "kernel had a barrier to delete" true !dropped;
+  let defective = { k with Kir.body } in
+  if Weaver_analysis.Analysis.gating (Weaver.Runtime.analyze_kernel defective) = []
+  then Alcotest.fail "deleting a barrier must produce a gating diagnostic"
+
+let test_defect_shrunk_shared () =
+  let k = fused_compute () in
+  let defective = { k with Kir.shared_words = k.Kir.shared_words - 2 } in
+  expect_pass "shrunk shared_words" defective "resource"
+
+let test_defect_shrunk_regs () =
+  let k = fused_compute () in
+  let defective = { k with Kir.regs_per_thread = 2 } in
+  expect_pass "understated register budget" defective "resource"
+
+(* ---- the flip side: everything the weaver produces is clean ---- *)
+
+let check_program_clean what plan =
+  let program = Weaver.Driver.compile plan in
+  List.iter
+    (fun (r : Weaver_analysis.Analysis.report) ->
+      match Weaver_analysis.Analysis.gating r with
+      | [] -> ()
+      | d :: _ ->
+          Alcotest.failf "%s/%s: unexpected gating diagnostic: %s" what
+            r.Weaver_analysis.Analysis.kname
+            (Weaver_analysis.Diag.to_string d))
+    (Weaver.Runtime.analyze_program program)
+
+let test_goldens_clean () =
+  List.iter
+    (fun (w : Tpch.Patterns.workload) ->
+      check_program_clean w.Tpch.Patterns.name w.Tpch.Patterns.plan)
+    (Tpch.Patterns.all ());
+  List.iter
+    (fun (q : Tpch.Queries.query) ->
+      check_program_clean q.Tpch.Queries.qname q.Tpch.Queries.plan)
+    [ Tpch.Queries.q1; Tpch.Queries.q21 ]
+
+let test_certificate_within_budget () =
+  let k = fused_compute () in
+  let r = Weaver.Runtime.analyze_kernel k in
+  let c = r.Weaver_analysis.Analysis.certificate in
+  Alcotest.(check bool)
+    "live registers within Algorithm-2 budget" true
+    (c.Weaver_analysis.Resources.max_live_regs <= k.Kir.regs_per_thread);
+  Alcotest.(check bool)
+    "shared footprint within declaration" true
+    (c.Weaver_analysis.Resources.max_shared_addr < k.Kir.shared_words)
+
+let prop_gate_clean =
+  QCheck.Test.make ~name:"woven random plans pass the gate" ~count:40
+    (QCheck.make ~print:string_of_int QCheck.Gen.(int_bound 100_000))
+    (fun seed ->
+      let { Test_property.plan; desc; _ } = Test_property.build_random seed in
+      let program = Weaver.Driver.compile plan in
+      List.for_all
+        (fun r ->
+          match Weaver_analysis.Analysis.gating r with
+          | [] -> true
+          | d :: _ ->
+              QCheck.Test.fail_reportf "%s gated on %s: %s" desc
+                r.Weaver_analysis.Analysis.kname
+                (Weaver_analysis.Diag.to_string d))
+        (Weaver.Runtime.analyze_program program))
+
+let suite =
+  [
+    Alcotest.test_case "validate: label past end" `Quick
+      test_validate_label_past_end;
+    Alcotest.test_case "validate: constant shared OOB" `Quick
+      test_validate_const_shared_oob;
+    Alcotest.test_case "validate: duplicate loop heads" `Quick
+      test_validate_duplicate_loop_heads;
+    Alcotest.test_case "validate: unreachable branch" `Quick
+      test_validate_unreachable_branch;
+    Alcotest.test_case "validate: clean kernel accepted" `Quick
+      test_validate_clean_kernel;
+    Alcotest.test_case "builder: double label placement" `Quick
+      test_builder_double_place;
+    Alcotest.test_case "divergent barrier flagged" `Quick test_divergent_barrier;
+    Alcotest.test_case "same-word shared race flagged" `Quick test_shared_race;
+    Alcotest.test_case "tid-sliced store race-free" `Quick
+      test_no_race_when_tid_indexed;
+    Alcotest.test_case "uninitialized read flagged" `Quick
+      test_uninitialized_read;
+    Alcotest.test_case "dead store is advisory" `Quick test_dead_store_hint;
+    Alcotest.test_case "seeded defect: deleted barrier" `Quick
+      test_defect_deleted_bar;
+    Alcotest.test_case "seeded defect: shrunk shared_words" `Quick
+      test_defect_shrunk_shared;
+    Alcotest.test_case "seeded defect: understated registers" `Quick
+      test_defect_shrunk_regs;
+    Alcotest.test_case "golden workloads gate clean" `Slow test_goldens_clean;
+    Alcotest.test_case "certificate within budgets" `Quick
+      test_certificate_within_budget;
+    QCheck_alcotest.to_alcotest prop_gate_clean;
+  ]

@@ -12,6 +12,7 @@ let () =
       ("datalog", Test_datalog.suite);
       ("tpch", Test_tpch.suite);
       ("property", Test_property.suite);
+      ("analysis", Test_analysis.suite);
       ("rewrite", Test_rewrite.suite);
       ("harness", Test_harness.suite);
       ("runtime-paths", Test_runtime_paths.suite);
