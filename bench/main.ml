@@ -11,6 +11,8 @@
      bench/main.exe [OPTS] parallel       only the jobs=1 vs jobs=N comparison
      bench/main.exe [OPTS] chaos          recovery counters under injected faults
      bench/main.exe [OPTS] service        multi-query service throughput/latency
+     bench/main.exe [OPTS] obs            tracer overhead: disabled vs recorder
+                                          vs full event retention
 
    Options:
      --json FILE    also write every result as JSON rows
@@ -249,10 +251,25 @@ let service ~jobs ~quick () =
   let config =
     { Weaver.Service.default_config with Weaver.Service.queue_limit = 8 }
   in
-  let _, stats = Weaver.Service.run_batch ~config requests in
+  let registry = Weaver_obs.Registry.create () in
+  let _, stats = Weaver.Service.run_batch ~config ~registry requests in
   Printf.printf "\n== service: throughput, latency, shedding ==\n";
   Format.printf "%a@." Weaver.Service.pp_stats stats;
+  (* the registry's fixed-bucket histogram derives the same quantiles the
+     service computes exactly — report both so drift is visible in CI *)
+  let hq q =
+    Option.value ~default:0.0
+      (Weaver_obs.Registry.quantile registry "weaver_service_latency_cycles" q)
+  in
+  Printf.printf "histogram-derived latency: p50 %.0f, p95 %.0f cycles\n"
+    (hq 0.5) (hq 0.95);
   let e = "service" in
+  record ~experiment:e ~metric:"p50_latency_hist_cycles" (hq 0.5);
+  record ~experiment:e ~metric:"p95_latency_hist_cycles" (hq 0.95);
+  record ~experiment:e ~metric:"queue_wait_p95_hist_cycles"
+    (Option.value ~default:0.0
+       (Weaver_obs.Registry.quantile registry "weaver_service_queue_wait_cycles"
+          0.95));
   record ~experiment:e ~metric:"submitted"
     (float_of_int stats.Weaver.Service.submitted);
   record ~experiment:e ~metric:"completed"
@@ -276,6 +293,60 @@ let service ~jobs ~quick () =
   record ~experiment:e ~metric:"total_cycles" stats.Weaver.Service.total_cycles;
   record ~experiment:e ~metric:"throughput_qps"
     stats.Weaver.Service.throughput_qps
+
+(* --- obs: tracer overhead --------------------------------------------------- *)
+
+(* Times the same run three ways: with the tracer disabled (Trace.none,
+   the default for every entry point), with a recorder-only tracer (the
+   flight-recorder ring but no event retention — the always-on CLI mode),
+   and with full event retention. The disabled path is the product
+   baseline; DESIGN.md budgets the recorder at <2% over it. *)
+let obs ~jobs ~quick () =
+  let rows = if quick then 20_000 else 100_000 in
+  let w = Tpch.Patterns.pattern_a () in
+  let bases = w.Tpch.Patterns.gen ~seed:11 ~rows in
+  let config = Weaver.Config.with_jobs Weaver.Config.default jobs in
+  let program = Weaver.Driver.compile ~config w.Tpch.Patterns.plan in
+  let time_with mk_trace =
+    (* warm up, then min of 3: the simulator dominates, so the minimum is
+       the least-noisy estimate of the instrumentation cost *)
+    ignore
+      (Weaver.Runtime.run ~trace:(mk_trace ()) program bases
+         ~mode:Weaver.Runtime.Resident);
+    let best = ref infinity in
+    for _ = 1 to 3 do
+      let trace = mk_trace () in
+      let t0 = Unix.gettimeofday () in
+      ignore
+        (Weaver.Runtime.run ~trace program bases ~mode:Weaver.Runtime.Resident);
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt < !best then best := dt
+    done;
+    !best
+  in
+  let disabled = time_with (fun () -> Weaver_obs.Trace.none) in
+  let recorder = time_with (fun () -> Weaver_obs.Trace.create ~events:false ()) in
+  let full = time_with (fun () -> Weaver_obs.Trace.create ()) in
+  let events =
+    let trace = Weaver_obs.Trace.create () in
+    ignore
+      (Weaver.Runtime.run ~trace program bases ~mode:Weaver.Runtime.Resident);
+    Weaver_obs.Trace.event_count trace
+  in
+  let pct over base = 100.0 *. (over -. base) /. base in
+  Printf.printf "\n== obs: tracer overhead (%s/%d rows, min of 3) ==\n"
+    w.Tpch.Patterns.name rows;
+  Printf.printf
+    "disabled %8.4f s\nrecorder %8.4f s  (%+.2f%%)\nfull     %8.4f s  \
+     (%+.2f%%, %d events)\n"
+    disabled recorder (pct recorder disabled) full (pct full disabled) events;
+  let e = "obs" in
+  record ~experiment:e ~metric:"disabled_s" disabled;
+  record ~experiment:e ~metric:"recorder_s" recorder;
+  record ~experiment:e ~metric:"full_s" full;
+  record ~experiment:e ~metric:"recorder_overhead_pct" (pct recorder disabled);
+  record ~experiment:e ~metric:"full_overhead_pct" (pct full disabled);
+  record ~experiment:e ~metric:"events" (float_of_int events)
 
 (* --- sequential vs domain-parallel interpretation -------------------------- *)
 
@@ -348,11 +419,13 @@ let () =
   | [ "parallel" ] -> parallel_comparison ~jobs:!jobs ~quick ()
   | [ "chaos" ] -> chaos ~jobs:!jobs ~quick ()
   | [ "service" ] -> service ~jobs:!jobs ~quick ()
+  | [ "obs" ] -> obs ~jobs:!jobs ~quick ()
   | [] ->
       run_experiments ~quick ~jobs:!jobs [];
       parallel_comparison ~jobs:!jobs ~quick ();
       chaos ~jobs:!jobs ~quick ();
       service ~jobs:!jobs ~quick ();
+      obs ~jobs:!jobs ~quick ();
       bechamel_suite ~jobs:!jobs ()
   | names -> run_experiments ~quick ~jobs:!jobs names);
   Option.iter write_json !json_file

@@ -5,6 +5,8 @@
      source  <query.dl>             emit CUDA-style source of all kernels
      exec    <query.dl> [opts]      run a Datalog query (CSV or random data)
      profile <query.dl> [opts]      per-kernel time/traffic breakdown
+     trace   [target ...] [opts]    run workloads under the tracer, emit
+                                    Chrome trace JSON / Prometheus metrics
      bench   [experiment ...]       regenerate the paper's tables/figures *)
 
 open Cmdliner
@@ -16,6 +18,11 @@ let read_file path =
   let s = really_input_string ic n in
   close_in ic;
   s
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
 
 (* --- CSV relations --------------------------------------------------------- *)
 
@@ -162,12 +169,23 @@ let config_of jobs faults =
   | None -> ());
   { (config_of_jobs jobs) with Weaver.Config.faults }
 
+let trail_suffix = function
+  | [] -> ""
+  | t -> Printf.sprintf " (recent: %s)" (String.concat "; " t)
+
 (* Command boundary: anything the recovery policies could not absorb
-   surfaces here as a typed fault; render it once and exit nonzero. *)
-let guard f =
+   surfaces here as a typed fault; render it once — with the flight
+   recorder's last few spans when a tracer saw the run — and exit
+   nonzero. *)
+let guard ?recorder f =
   try f () with
   | Weaver.Runtime.Execution_error fault | Gpu_sim.Fault.Error fault ->
-      Printf.eprintf "weaver-cli: %s\n" (Gpu_sim.Fault.render fault);
+      let trail =
+        match recorder with
+        | Some tr -> trail_suffix (Weaver_obs.Trace.trail tr)
+        | None -> ""
+      in
+      Printf.eprintf "weaver-cli: %s%s\n" (Gpu_sim.Fault.render fault) trail;
       exit
         (match fault with
         | Gpu_sim.Fault.Deadline_exceeded _ | Gpu_sim.Fault.Cancelled _ ->
@@ -232,7 +250,10 @@ let source_cmd =
 
 let exec_cmd =
   let run path rows inputs seed no_fuse o0 no_analyze streamed jobs faults =
-    guard (fun () ->
+    (* a recorder-only tracer (no event retention) so an unrecoverable
+       fault's report carries the last few things the runtime did *)
+    let recorder = Weaver_obs.Trace.create ~events:false () in
+    guard ~recorder (fun () ->
         let q = compile_query path in
         let named = bind_data q ~rows ~seed inputs in
         let bases = Datalog.bind q named in
@@ -247,7 +268,7 @@ let exec_cmd =
         let mode =
           if streamed then Weaver.Runtime.Streamed else Weaver.Runtime.Resident
         in
-        let result = Weaver.Driver.run program bases ~mode in
+        let result = Weaver.Driver.run ~trace:recorder program bases ~mode in
         let outputs = Datalog.outputs_of_sinks q result.Weaver.Runtime.sinks in
         List.iter
           (fun (name, rel) ->
@@ -269,7 +290,8 @@ let exec_cmd =
 
 let profile_cmd =
   let run path rows inputs seed no_fuse o0 jobs faults =
-    guard (fun () ->
+    let recorder = Weaver_obs.Trace.create ~events:false () in
+    guard ~recorder (fun () ->
         let q = compile_query path in
         let named = bind_data q ~rows ~seed inputs in
         let bases = Datalog.bind q named in
@@ -280,7 +302,8 @@ let profile_cmd =
             q.Datalog.plan
         in
         let result =
-          Weaver.Driver.run program bases ~mode:Weaver.Runtime.Resident
+          Weaver.Driver.run ~trace:recorder program bases
+            ~mode:Weaver.Runtime.Resident
         in
         let m = result.Weaver.Runtime.metrics in
         let total = m.Weaver.Metrics.kernel_cycles in
@@ -429,6 +452,138 @@ let analyze_cmd =
           kernel and print JSON diagnostics; exits 1 on any error or warning")
     Term.(ret (const run $ targets_arg $ fuse_arg))
 
+(* --- trace ------------------------------------------------------------------ *)
+
+let trace_out_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace-out" ] ~docv:"FILE"
+           ~doc:"Write the Chrome trace-event JSON here (load it in \
+                 chrome://tracing or https://ui.perfetto.dev). Default: \
+                 standard output.")
+
+let metrics_out_arg =
+  Arg.(value & opt (some string) None
+       & info [ "metrics-out" ] ~docv:"FILE"
+           ~doc:"Write a Prometheus text-exposition metrics dump here")
+
+let trace_cmd =
+  let targets_arg =
+    Arg.(value & pos_all string [ "q1" ] & info [] ~docv:"TARGET"
+           ~doc:"Datalog query files (*.dl) or built-in golden workloads: \
+                 $(b,a b c d e ab q1 q21), or $(b,all) (default: $(b,q1))")
+  in
+  let wall_arg =
+    Arg.(value & flag & info [ "wall" ]
+           ~doc:"Include wall-clock worker lanes in the export (these are \
+                 scheduling-dependent, so the JSON is no longer \
+                 byte-reproducible across --jobs settings)")
+  in
+  let builtin ~rows ~seed name =
+    let pat (w : Tpch.Patterns.workload) =
+      [ (w.Tpch.Patterns.name, w.Tpch.Patterns.plan,
+         w.Tpch.Patterns.gen ~seed ~rows) ]
+    in
+    let query (q : Tpch.Queries.query) =
+      let db = Tpch.Datagen.generate ~seed ~lineitems:rows in
+      [ (q.Tpch.Queries.qname, q.Tpch.Queries.plan, q.Tpch.Queries.bind db) ]
+    in
+    match name with
+    | "a" -> Some (pat (Tpch.Patterns.pattern_a ()))
+    | "b" -> Some (pat (Tpch.Patterns.pattern_b ()))
+    | "c" -> Some (pat (Tpch.Patterns.pattern_c ()))
+    | "d" -> Some (pat (Tpch.Patterns.pattern_d ()))
+    | "e" -> Some (pat (Tpch.Patterns.pattern_e ()))
+    | "ab" -> Some (pat (Tpch.Patterns.pattern_ab ()))
+    | "q1" -> Some (query Tpch.Queries.q1)
+    | "q21" -> Some (query Tpch.Queries.q21)
+    | "all" ->
+        Some
+          (List.concat_map pat
+             (Tpch.Patterns.all () @ [ Tpch.Patterns.pattern_ab () ])
+          @ query Tpch.Queries.q1 @ query Tpch.Queries.q21)
+    | _ -> None
+  in
+  let run targets rows inputs seed no_fuse o0 streamed jobs faults wall
+      trace_out metrics_out =
+    (* the full tracer: events retained for export, wall clock attached so
+       worker lanes exist when --wall asks for them *)
+    let trace = Weaver_obs.Trace.create ~clock:Unix.gettimeofday () in
+    guard ~recorder:trace (fun () ->
+        let workloads =
+          List.concat_map
+            (fun t ->
+              match builtin ~rows ~seed t with
+              | Some ws -> ws
+              | None when Sys.file_exists t ->
+                  let q = compile_query t in
+                  let named = bind_data q ~rows ~seed inputs in
+                  [ (Filename.basename t, q.Datalog.plan, Datalog.bind q named) ]
+              | None ->
+                  usage_error
+                    "unknown target '%s' (not a built-in workload or an \
+                     existing .dl file)"
+                    t)
+            targets
+        in
+        let config = config_of jobs faults in
+        let mode =
+          if streamed then Weaver.Runtime.Streamed else Weaver.Runtime.Resident
+        in
+        let failures = ref [] in
+        List.iter
+          (fun (name, plan, bases) ->
+            let program =
+              Weaver.Driver.compile ~config ~fuse:(not no_fuse)
+                ~opt:(if o0 then Weaver.Optimizer.O0 else Weaver.Optimizer.O3)
+                ~trace plan
+            in
+            match Weaver.Runtime.run_result ~trace program bases ~mode with
+            | Ok res ->
+                Printf.eprintf "weaver-cli: %s: ok, %.3e cycles\n" name
+                  (Weaver.Metrics.total_cycles res.Weaver.Runtime.metrics)
+            | Error f ->
+                failures := f.Weaver.Runtime.fault :: !failures;
+                Printf.eprintf "weaver-cli: %s: %s%s\n" name
+                  (Gpu_sim.Fault.render f.Weaver.Runtime.fault)
+                  (trail_suffix f.Weaver.Runtime.trail))
+          workloads;
+        (* the trace is written even when a workload faulted: a trace of
+           the failure is exactly what the flight recorder is for *)
+        let json = Weaver_obs.Chrome.export ~wall trace in
+        (match trace_out with
+        | Some path -> write_file path json
+        | None -> print_string json);
+        (match metrics_out with
+        | Some path ->
+            let reg = Weaver_obs.Registry.create () in
+            Weaver_obs.Registry.observe_trace reg trace;
+            write_file path (Weaver_obs.Registry.prometheus reg)
+        | None -> ());
+        let deadline_only =
+          List.for_all
+            (function
+              | Gpu_sim.Fault.Deadline_exceeded _ | Gpu_sim.Fault.Cancelled _ ->
+                  true
+              | _ -> false)
+            !failures
+        in
+        match !failures with
+        | [] -> `Ok ()
+        | _ -> exit (if deadline_only then exit_deadline else exit_fault))
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run workloads under the span tracer and export a Chrome \
+          trace-event JSON timeline (compile, analysis gate, kernel \
+          launches, PCIe transfers, recovery events) plus an optional \
+          Prometheus metrics dump")
+    Term.(
+      ret
+        (const run $ targets_arg $ rows_arg $ inputs_arg $ seed_arg $ fuse_arg
+       $ opt_arg $ streamed_arg $ jobs_arg $ faults_arg $ wall_arg
+       $ trace_out_arg $ metrics_out_arg))
+
 (* --- serve ------------------------------------------------------------------ *)
 
 let verdict_line (r : Weaver.Service.response) =
@@ -450,8 +605,9 @@ let verdict_line (r : Weaver.Service.response) =
       Printf.sprintf "completed [%s]: %d sink rows, %.3e cycles" placement rows
         (Weaver.Metrics.total_cycles res.Weaver.Runtime.metrics)
   | Weaver.Service.Failed f ->
-      Printf.sprintf "failed [%s]: %s" placement
+      Printf.sprintf "failed [%s]: %s%s" placement
         (Gpu_sim.Fault.render f.Weaver.Runtime.fault)
+        (trail_suffix f.Weaver.Runtime.trail)
   | Weaver.Service.Rejected (Weaver.Service.Queue_full { limit }) ->
       Printf.sprintf "rejected: queue full (limit %d)" limit
   | Weaver.Service.Rejected
@@ -527,7 +683,7 @@ let serve name ~doc =
                  suppressed)")
   in
   let run files rows inputs seed repeat streamed jobs faults dcycles dms
-      queue_limit admit_fraction json =
+      queue_limit admit_fraction json trace_out metrics_out =
     guard (fun () ->
         let base_cfg = config_of jobs faults in
         let mode =
@@ -559,9 +715,29 @@ let serve name ~doc =
             admit_fraction;
           }
         in
-        let responses, stats =
-          Weaver.Service.run_batch ~config (List.map snd requests)
+        let trace =
+          match trace_out with
+          | Some _ -> Weaver_obs.Trace.create ~clock:Unix.gettimeofday ()
+          | None -> Weaver_obs.Trace.none
         in
+        let registry =
+          match metrics_out with
+          | Some _ -> Some (Weaver_obs.Registry.create ())
+          | None -> None
+        in
+        let responses, stats =
+          Weaver.Service.run_batch ~config ~trace ?registry
+            (List.map snd requests)
+        in
+        (match trace_out with
+        | Some path -> write_file path (Weaver_obs.Chrome.export trace)
+        | None -> ());
+        (match (metrics_out, registry) with
+        | Some path, Some reg ->
+            if Weaver_obs.Trace.active trace then
+              Weaver_obs.Registry.observe_trace reg trace;
+            write_file path (Weaver_obs.Registry.prometheus reg)
+        | _ -> ());
         if json then print_endline (stats_json stats)
         else begin
           List.iter2
@@ -591,7 +767,7 @@ let serve name ~doc =
         (const run $ queries_arg $ rows_arg $ inputs_arg $ seed_arg
        $ repeat_arg $ streamed_arg $ jobs_arg $ faults_arg
        $ deadline_cycles_arg $ deadline_ms_arg $ queue_arg $ admit_arg
-       $ json_arg))
+       $ json_arg $ trace_out_arg $ metrics_out_arg))
 
 let serve_cmd =
   serve "serve"
@@ -614,6 +790,7 @@ let () =
            exec_cmd;
            profile_cmd;
            analyze_cmd;
+           trace_cmd;
            bench_cmd;
            serve_cmd;
            batch_cmd;

@@ -34,24 +34,46 @@ let divergence cfg uni =
   done;
   List.rev !diags
 
-let analyze ?(regions = []) ?expected_regs (k : Kir.kernel) =
-  let cfg = Cfg.build k in
-  let defs = Defs.compute cfg in
-  let live = Live.compute cfg in
-  let uni = Uniform.compute cfg in
-  let sym = Sym.create cfg defs uni in
-  let diags =
-    divergence cfg uni
-    @ Races.analyze cfg sym
-    @ Hygiene.analyze cfg defs live
+let analyze ?(regions = []) ?expected_regs ?(trace = Weaver_obs.Trace.none)
+    (k : Kir.kernel) =
+  (* The gate is host-side work outside the cost model, so its span has
+     zero simulated duration; it still timestamps when in the pipeline
+     each kernel was certified and carries the diagnostic count. *)
+  let module T = Weaver_obs.Trace in
+  let sp =
+    if T.active trace then T.span trace ~lane:T.Gate ("gate:" ^ k.Kir.kname)
+    else T.no_span
   in
-  let rdiags, certificate = Resources.analyze cfg sym live ~regions ~expected_regs in
-  {
-    kname = k.Kir.kname;
-    diags = List.sort Diag.compare (diags @ rdiags);
-    certificate;
-    instrs = Array.length k.Kir.body;
-  }
+  let report =
+    let cfg = Cfg.build k in
+    let defs = Defs.compute cfg in
+    let live = Live.compute cfg in
+    let uni = Uniform.compute cfg in
+    let sym = Sym.create cfg defs uni in
+    let diags =
+      divergence cfg uni
+      @ Races.analyze cfg sym
+      @ Hygiene.analyze cfg defs live
+    in
+    let rdiags, certificate =
+      Resources.analyze cfg sym live ~regions ~expected_regs
+    in
+    {
+      kname = k.Kir.kname;
+      diags = List.sort Diag.compare (diags @ rdiags);
+      certificate;
+      instrs = Array.length k.Kir.body;
+    }
+  in
+  (if T.active trace then
+     let args =
+       if T.recording trace then
+         [ ("instrs", T.Int report.instrs);
+           ("diags", T.Int (List.length report.diags)) ]
+       else []
+     in
+     T.close trace sp ~args);
+  report
 
 let gating r = List.filter Diag.gating r.diags
 

@@ -15,11 +15,17 @@ type report = {
 }
 
 val analyze :
-  ?regions:region list -> ?expected_regs:int -> Gpu_sim.Kir.kernel -> report
+  ?regions:region list ->
+  ?expected_regs:int ->
+  ?trace:Weaver_obs.Trace.t ->
+  Gpu_sim.Kir.kernel ->
+  report
 (** [regions] describes the shared-memory layout the optimizer budgeted
     (checked against the kernel's [shared_words]); [expected_regs] is
     the register budget the fusion decision assumed (typically
-    [regs_per_thread]). Both default to "don't check". *)
+    [regs_per_thread]). Both default to "don't check". [trace] (default
+    [Trace.none]) gets a zero-duration Gate-lane span per analyzed
+    kernel carrying instruction and diagnostic counts. *)
 
 val gating : report -> Diag.t list
 (** The diagnostics that fail the gate (errors and warnings; hints are

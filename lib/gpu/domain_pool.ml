@@ -41,8 +41,18 @@ let default_jobs () =
       | Some n when n >= 1 -> min max_jobs n
       | _ -> recommended)
 
-let run ?(cancel = Cancel.none) ~jobs f =
+let run ?(cancel = Cancel.none) ?(trace = Weaver_obs.Trace.none) ~jobs f =
   Cancel.check cancel;
+  (* Per-worker wall-clock debug spans. They are inherently
+     jobs-dependent, so the tracer keeps them on wall-only Worker lanes
+     that the deterministic export excludes. *)
+  let f =
+    let module T = Weaver_obs.Trace in
+    if T.recording trace && T.has_clock trace then fun w ->
+      let s = T.wall_span trace ~lane:(T.Worker w) "interp" in
+      Fun.protect ~finally:(fun () -> T.close trace s) (fun () -> f w)
+    else f
+  in
   if jobs <= 1 then f 0
   else begin
     let jobs = min jobs max_jobs in

@@ -9,7 +9,8 @@ val default_jobs : unit -> int
 (** [Domain.recommended_domain_count ()], overridable with the
     [WEAVER_JOBS] environment variable. Always at least 1. *)
 
-val run : ?cancel:Cancel.t -> jobs:int -> (int -> unit) -> unit
+val run :
+  ?cancel:Cancel.t -> ?trace:Weaver_obs.Trace.t -> jobs:int -> (int -> unit) -> unit
 (** [run ~jobs f] executes [f 0 .. f (jobs - 1)] concurrently — [f 0] on
     the calling domain, the rest on pool workers — and returns when all
     have finished. If any worker raised, the exception of the

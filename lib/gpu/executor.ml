@@ -8,8 +8,29 @@ type launch_report = {
   time : Timing.kernel_time;
 }
 
+module T = Weaver_obs.Trace
+
+(* Top instruction counts folded into the launch span, so a trace subsumes
+   the standalone profiler view. Counts are bit-identical across worker
+   counts (the per-worker profiles merge deterministically), so these args
+   never break trace determinism. *)
+let hot_args (k : Kir.kernel) counts =
+  let indexed = Array.to_list (Array.mapi (fun i c -> (i, c)) counts) in
+  let sorted = List.stable_sort (fun (_, a) (_, b) -> Int.compare b a) indexed in
+  let rec take n = function
+    | (i, c) :: rest when n > 0 && c > 0 ->
+        (i, c) :: take (n - 1) rest
+    | _ -> []
+  in
+  List.mapi
+    (fun rank (i, c) ->
+      ( Printf.sprintf "hot%d" rank,
+        T.Str (Format.asprintf "%dx pc%d %a" c i Kir.pp_instr k.Kir.body.(i)) ))
+    (take 3 sorted)
+
 let launch ?timing ?max_instructions ?jobs ?(faults = Fault_inject.none)
-    ?(cancel = Cancel.none) device mem (k : Kir.kernel) ~params ~grid ~cta =
+    ?(cancel = Cancel.none) ?(trace = T.none) device mem (k : Kir.kernel)
+    ~params ~grid ~cta =
   (match
      Device.validate_launch device ~cta_threads:cta
        ~shared_bytes:k.shared_bytes ~regs_per_thread:k.regs_per_thread
@@ -18,18 +39,66 @@ let launch ?timing ?max_instructions ?jobs ?(faults = Fault_inject.none)
   | Error msg ->
       invalid_arg (Printf.sprintf "launch of %s rejected: %s" k.kname msg));
   Cancel.check cancel;
-  Fault_inject.on_launch faults ~kernel:k.kname;
-  let stats = Interp.run ?max_instructions ?jobs ~cancel mem k ~params ~grid ~cta in
-  let occupancy =
-    Occupancy.occupancy device ~cta_threads:cta ~shared_bytes:k.shared_bytes
-      ~regs_per_thread:k.regs_per_thread
+  let sp =
+    if T.active trace then
+      T.span trace ~lane:T.Kernel k.kname
+        ~args:
+          (if T.recording trace then [ ("grid", T.Int grid); ("cta", T.Int cta) ]
+           else [])
+    else T.no_span
   in
-  let limiting_resource =
-    Occupancy.limiting_resource device ~cta_threads:cta
-      ~shared_bytes:k.shared_bytes ~regs_per_thread:k.regs_per_thread
-  in
-  let time = Timing.kernel_time ?params:timing device ~occupancy stats in
-  { kernel_name = k.kname; grid; cta; occupancy; limiting_resource; stats; time }
+  (try Fault_inject.on_launch faults ~kernel:k.kname
+   with e ->
+     if T.active trace then begin
+       T.instant trace ~lane:T.Kernel "launch_fault";
+       T.close trace sp
+     end;
+     raise e);
+  match
+    let profile =
+      if T.recording trace then Some (Array.make (max 1 (Kir.instr_count k)) 0)
+      else None
+    in
+    let stats =
+      Interp.run ?max_instructions ?jobs ?profile ~cancel ~trace mem k ~params
+        ~grid ~cta
+    in
+    let occupancy =
+      Occupancy.occupancy device ~cta_threads:cta ~shared_bytes:k.shared_bytes
+        ~regs_per_thread:k.regs_per_thread
+    in
+    let limiting_resource =
+      Occupancy.limiting_resource device ~cta_threads:cta
+        ~shared_bytes:k.shared_bytes ~regs_per_thread:k.regs_per_thread
+    in
+    let time = Timing.kernel_time ?params:timing device ~occupancy stats in
+    (profile, { kernel_name = k.kname; grid; cta; occupancy; limiting_resource; stats; time })
+  with
+  | exception e ->
+      if T.active trace then begin
+        (match e with
+        | Fault.Error f ->
+            T.instant trace ~lane:T.Kernel "trap"
+              ~args:
+                (if T.recording trace then [ ("detail", T.Str (Fault.render f)) ]
+                 else [])
+        | _ -> ());
+        T.close trace sp
+      end;
+      raise e
+  | profile, report ->
+      if T.active trace then begin
+        T.advance trace report.time.Timing.total_cycles;
+        let args =
+          if T.recording trace then
+            ("occupancy", T.Float report.occupancy)
+            :: ("instructions", T.Int report.stats.Stats.instructions)
+            :: (match profile with Some c -> hot_args k c | None -> [])
+          else []
+        in
+        T.close trace sp ~args
+      end;
+      report
 
 let total_cycles reports =
   List.fold_left (fun acc r -> acc +. r.time.Timing.total_cycles) 0.0 reports

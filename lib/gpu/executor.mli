@@ -20,6 +20,7 @@ val launch :
   ?jobs:int ->
   ?faults:Fault_inject.t ->
   ?cancel:Cancel.t ->
+  ?trace:Weaver_obs.Trace.t ->
   Device.t ->
   Memory.t ->
   Kir.kernel ->
@@ -34,9 +35,13 @@ val launch :
     with an injected capacity fault before any instruction executes.
     [cancel] (default {!Cancel.none}) is checked before the launch and
     polled per CTA during interpretation; a fired token aborts with its
-    stored fault. Raises [Interp.Runtime_error] (= {!Fault.Error}) on runtime faults
-    and [Invalid_argument] when the launch violates hard device limits
-    (see {!Device.validate_launch}). *)
+    stored fault. [trace] (default [Trace.none]) gets one Kernel-lane span
+    per launch — closed with occupancy, instruction count and the top
+    hot-spot instruction counts when the tracer records events, and closed
+    with a fault instant when the launch traps — and its simulated clock
+    advances by the launch's total cycles. Raises [Interp.Runtime_error]
+    (= {!Fault.Error}) on runtime faults and [Invalid_argument] when the
+    launch violates hard device limits (see {!Device.validate_launch}). *)
 
 val total_cycles : launch_report list -> float
 (** Sum of simulated total cycles over a sequence of launches. *)

@@ -103,7 +103,8 @@ let make_buffer_cache mem (k : Kir.kernel) =
     end
 
 let run ?(max_instructions = 2_000_000_000) ?profile ?(jobs = 1)
-    ?(cancel = Cancel.none) mem (k : Kir.kernel) ~params ~grid ~cta =
+    ?(cancel = Cancel.none) ?(trace = Weaver_obs.Trace.none) mem
+    (k : Kir.kernel) ~params ~grid ~cta =
   let invalid_launch reason =
     Fault.raise_ (Fault.Invalid_launch { kernel = k.kname; reason })
   in
@@ -303,17 +304,20 @@ let run ?(max_instructions = 2_000_000_000) ?profile ?(jobs = 1)
   let jobs = max 1 (min jobs grid) in
   if jobs = 1 then begin
     let stats = Stats.create () in
-    let buffer_data = make_buffer_cache mem k in
-    let ctx = make_ctx () in
-    (try
-       for ctaid = 0 to grid - 1 do
-         (* same checkpoint cadence as the per-CTA budget slice: a fired
-            token stops the launch before the next CTA starts *)
-         Cancel.check cancel;
-         exec_cta ~stats ~profile_counts:profile ~buffer_data ~ctx ~locked:false
-           ctaid
-       done
-     with Fault.Error f -> raise (named f));
+    (* routed through the pool's sequential shortcut (it runs the body on
+       this domain) so the worker-0 wall lane exists at any jobs count *)
+    Domain_pool.run ~cancel ~trace ~jobs:1 (fun _ ->
+        let buffer_data = make_buffer_cache mem k in
+        let ctx = make_ctx () in
+        try
+          for ctaid = 0 to grid - 1 do
+            (* same checkpoint cadence as the per-CTA budget slice: a fired
+               token stops the launch before the next CTA starts *)
+            Cancel.check cancel;
+            exec_cta ~stats ~profile_counts:profile ~buffer_data ~ctx
+              ~locked:false ctaid
+          done
+        with Fault.Error f -> raise (named f));
     stats
   end
   else begin
@@ -341,7 +345,7 @@ let run ?(max_instructions = 2_000_000_000) ?profile ?(jobs = 1)
       in
       cas ()
     in
-    Domain_pool.run ~cancel ~jobs (fun w ->
+    Domain_pool.run ~cancel ~trace ~jobs (fun w ->
         let stats = Stats.create () in
         let profile_counts =
           if profile = None then None else Some (Array.make (max 1 n_instr) 0)

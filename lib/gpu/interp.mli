@@ -31,6 +31,7 @@ val run :
   ?profile:int array ->
   ?jobs:int ->
   ?cancel:Cancel.t ->
+  ?trace:Weaver_obs.Trace.t ->
   Memory.t ->
   Kir.kernel ->
   params:int array ->
@@ -49,4 +50,7 @@ val run :
     lowest faulting CTA index is surfaced — the same error a sequential
     run would raise. [cancel] (default {!Cancel.none}) is polled at the
     per-CTA checkpoints on every worker; a fired token aborts the launch
-    with its stored fault within one CTA. *)
+    with its stored fault within one CTA. [trace] (default [Trace.none])
+    adds wall-clock-only Worker-lane spans around each worker's CTA chunk
+    when the tracer records events and has a wall clock; the simulated
+    timeline is untouched (the executor owns the launch span). *)

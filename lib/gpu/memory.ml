@@ -9,6 +9,7 @@ type t = {
   device : Device.t;
   entries : (int, entry) Hashtbl.t;
   faults : Fault_inject.t;
+  trace : Weaver_obs.Trace.t;
   mutable next_id : int;
   mutable live_bytes : int;
   mutable peak_bytes : int;
@@ -16,11 +17,13 @@ type t = {
 
 type buffer = int
 
-let create ?(faults = Fault_inject.none) device =
+let create ?(faults = Fault_inject.none) ?(trace = Weaver_obs.Trace.none)
+    device =
   {
     device;
     entries = Hashtbl.create 64;
     faults;
+    trace;
     next_id = 1;
     live_bytes = 0;
     peak_bytes = 0;
@@ -28,14 +31,20 @@ let create ?(faults = Fault_inject.none) device =
 
 let alloc ?(label = "buf") t ~words ~bytes =
   if words < 0 || bytes < 0 then invalid_arg "Memory.alloc: negative size";
-  Fault_inject.on_alloc t.faults ~label ~bytes ~live:t.live_bytes
-    ~capacity:t.device.Device.global_mem_bytes;
+  (try
+     Fault_inject.on_alloc t.faults ~label ~bytes ~live:t.live_bytes
+       ~capacity:t.device.Device.global_mem_bytes
+   with e ->
+     Weaver_obs.Trace.instant t.trace ~lane:Weaver_obs.Trace.Mem "alloc_fault";
+     raise e);
   let id = t.next_id in
   t.next_id <- id + 1;
   Hashtbl.replace t.entries id
     { data = Array.make (max words 1) 0; bytes; label; live = true };
   t.live_bytes <- t.live_bytes + bytes;
   if t.live_bytes > t.peak_bytes then t.peak_bytes <- t.live_bytes;
+  Weaver_obs.Trace.counter t.trace ~lane:Weaver_obs.Trace.Mem "device_bytes"
+    (float_of_int t.live_bytes);
   id
 
 let entry t b =
@@ -47,7 +56,9 @@ let free t b =
   let e = entry t b in
   if not e.live then invalid_arg "Memory.free: buffer already freed";
   e.live <- false;
-  t.live_bytes <- t.live_bytes - e.bytes
+  t.live_bytes <- t.live_bytes - e.bytes;
+  Weaver_obs.Trace.counter t.trace ~lane:Weaver_obs.Trace.Mem "device_bytes"
+    (float_of_int t.live_bytes)
 
 let data t b =
   let e = entry t b in

@@ -11,11 +11,13 @@ type t
 type buffer = int
 (** Opaque buffer handle, passed to kernels as a parameter value. *)
 
-val create : ?faults:Fault_inject.t -> Device.t -> t
+val create : ?faults:Fault_inject.t -> ?trace:Weaver_obs.Trace.t -> Device.t -> t
 (** [faults] (default {!Fault_inject.none}) is consulted on every
     {!alloc}; a scheduled event makes the allocation raise
     {!Fault.Error} with an [Alloc_failure] payload (simulated device
-    OOM). *)
+    OOM). [trace] (default [Trace.none]) gets a Mem-lane [device_bytes]
+    counter sample after every alloc/free and an [alloc_fault] instant
+    when the injector fails an allocation. *)
 
 val alloc : ?label:string -> t -> words:int -> bytes:int -> buffer
 (** Allocate a buffer of [words] elements accounted as [bytes] bytes of

@@ -3,14 +3,24 @@ type direction = Host_to_device | Device_to_host
 type t = {
   device : Device.t;
   faults : Fault_inject.t;
+  trace : Weaver_obs.Trace.t;
   mutable bytes_h2d : int;
   mutable bytes_d2h : int;
   mutable transfers : int;
   mutable seconds : float;
 }
 
-let create ?(faults = Fault_inject.none) device =
-  { device; faults; bytes_h2d = 0; bytes_d2h = 0; transfers = 0; seconds = 0.0 }
+let create ?(faults = Fault_inject.none) ?(trace = Weaver_obs.Trace.none)
+    device =
+  {
+    device;
+    faults;
+    trace;
+    bytes_h2d = 0;
+    bytes_d2h = 0;
+    transfers = 0;
+    seconds = 0.0;
+  }
 
 let transfer t dir ~bytes =
   if bytes < 0 then invalid_arg "Pcie.transfer: negative size";
@@ -24,11 +34,32 @@ let transfer t dir ~bytes =
     +. (float_of_int bytes /. (d.Device.pcie_bw_gbps *. 1e9))
   in
   t.seconds <- t.seconds +. duration;
+  (* the PCIe ledger owns transfer time, so it advances the tracer clock;
+     a span is emitted even for a transfer about to fail (it occupied the
+     bus either way) *)
+  let module T = Weaver_obs.Trace in
+  (if T.active t.trace then begin
+     let name =
+       match dir with Host_to_device -> "h2d" | Device_to_host -> "d2h"
+     in
+     let sp =
+       T.span t.trace ~lane:T.Pcie name
+         ~args:(if T.recording t.trace then [ ("bytes", T.Int bytes) ] else [])
+     in
+     T.advance t.trace (duration *. d.Device.clock_ghz *. 1e9);
+     T.close t.trace sp
+   end);
   (* a failed transfer still occupied the bus: charge it before raising *)
-  Fault_inject.on_transfer t.faults
-    ~direction:
-      (match dir with Host_to_device -> Fault.H2d | Device_to_host -> Fault.D2h)
-    ~bytes;
+  (try
+     Fault_inject.on_transfer t.faults
+       ~direction:
+         (match dir with
+         | Host_to_device -> Fault.H2d
+         | Device_to_host -> Fault.D2h)
+       ~bytes
+   with e ->
+     T.instant t.trace ~lane:T.Pcie "transfer_fault";
+     raise e);
   duration
 
 let transfer_words t dir ~words ~width = transfer t dir ~bytes:(words * width)

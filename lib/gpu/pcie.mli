@@ -9,10 +9,13 @@ type direction = Host_to_device | Device_to_host
 
 type t
 
-val create : ?faults:Fault_inject.t -> Device.t -> t
+val create : ?faults:Fault_inject.t -> ?trace:Weaver_obs.Trace.t -> Device.t -> t
 (** [faults] (default {!Fault_inject.none}) is consulted on every
     {!transfer}; a scheduled event makes the transfer raise
-    {!Fault.Error} with a [Transfer_failure] payload. *)
+    {!Fault.Error} with a [Transfer_failure] payload. [trace] (default
+    [Trace.none]) gets one Pcie-lane span per transfer (its simulated
+    clock advances by the transfer cycles) and a [transfer_fault] instant
+    when the injector fails one. *)
 
 val transfer : t -> direction -> bytes:int -> float
 (** Record one transfer of [bytes]; returns its duration in seconds.

@@ -1,0 +1,13 @@
+(** Chrome trace-event JSON export (chrome://tracing, Perfetto).
+
+    The export carries the deterministic simulated-cycle lanes by
+    default: timestamps are simulated cycles (rendered as microseconds so
+    the viewers display them), one thread per {!Trace.lane}, events
+    stably sorted by (cycle, lane, name) — the output is byte-identical
+    across worker counts for the same workload. With [~wall:true] a
+    second process carries wall-clock lanes (host + interpreter workers),
+    which are nondeterministic and excluded by default. *)
+
+val export : ?wall:bool -> Trace.t -> string
+(** [export t] renders [{"traceEvents":[...]}] JSON. Returns an
+    empty-event document for a disabled or event-less tracer. *)

@@ -1,0 +1,168 @@
+(* Metrics registry. Families live in one hashtable; the Prometheus dump
+   sorts by name so output is deterministic regardless of touch order. *)
+
+type histogram = {
+  bounds : float array;  (* ascending upper bounds, excluding +Inf *)
+  counts : int array;  (* per-bucket (non-cumulative); last = +Inf *)
+  mutable sum : float;
+  mutable n : int;
+  mutable maxv : float;
+}
+
+type family = Counter of float ref | Gauge of float ref | Histogram of histogram
+
+type t = (string, family) Hashtbl.t
+
+let create () : t = Hashtbl.create 32
+
+let default_buckets =
+  (* 256, 512, ..., 2^42: covers one-warp launches up to batch-scale
+     simulated-cycle latencies with ~2x resolution. *)
+  List.init 35 (fun i -> Float.of_int (1 lsl (8 + i)))
+
+let counter t name =
+  match Hashtbl.find_opt t name with
+  | Some (Counter r) -> r
+  | Some _ -> invalid_arg ("Registry: " ^ name ^ " is not a counter")
+  | None ->
+      let r = ref 0. in
+      Hashtbl.add t name (Counter r);
+      r
+
+let inc ?(by = 1.) t name =
+  let r = counter t name in
+  r := !r +. by
+
+let set_gauge t name v =
+  match Hashtbl.find_opt t name with
+  | Some (Gauge r) -> r := v
+  | Some _ -> invalid_arg ("Registry: " ^ name ^ " is not a gauge")
+  | None -> Hashtbl.add t name (Gauge (ref v))
+
+let histogram ?(buckets = default_buckets) t name =
+  match Hashtbl.find_opt t name with
+  | Some (Histogram h) -> h
+  | Some _ -> invalid_arg ("Registry: " ^ name ^ " is not a histogram")
+  | None ->
+      let bounds = Array.of_list buckets in
+      Array.iteri
+        (fun i b -> if i > 0 && b <= bounds.(i - 1) then invalid_arg "Registry: buckets must ascend")
+        bounds;
+      let h =
+        { bounds; counts = Array.make (Array.length bounds + 1) 0; sum = 0.; n = 0; maxv = neg_infinity }
+      in
+      Hashtbl.add t name (Histogram h);
+      h
+
+let bucket_index h v =
+  let rec go i = if i >= Array.length h.bounds || v <= h.bounds.(i) then i else go (i + 1) in
+  go 0
+
+let observe ?buckets t name v =
+  let h = histogram ?buckets t name in
+  let i = bucket_index h v in
+  h.counts.(i) <- h.counts.(i) + 1;
+  h.sum <- h.sum +. v;
+  h.n <- h.n + 1;
+  if v > h.maxv then h.maxv <- v
+
+let counter_value t name =
+  match Hashtbl.find_opt t name with Some (Counter r) -> !r | _ -> 0.
+
+let gauge_value t name =
+  match Hashtbl.find_opt t name with Some (Gauge r) -> !r | _ -> 0.
+
+let find_histogram t name =
+  match Hashtbl.find_opt t name with Some (Histogram h) -> Some h | _ -> None
+
+let histogram_count t name =
+  match find_histogram t name with Some h -> h.n | None -> 0
+
+let histogram_sum t name =
+  match find_histogram t name with Some h -> h.sum | None -> 0.
+
+let quantile t name q =
+  match find_histogram t name with
+  | None -> None
+  | Some h when h.n = 0 -> None
+  | Some h ->
+      let rank = q *. Float.of_int h.n in
+      let rec go i seen =
+        if i >= Array.length h.counts then Some h.maxv
+        else
+          let seen' = seen + h.counts.(i) in
+          if Float.of_int seen' >= rank && h.counts.(i) > 0 then
+            if i >= Array.length h.bounds then Some h.maxv
+            else
+              (* linear interpolation inside bucket (lo, hi] *)
+              let lo = if i = 0 then 0. else h.bounds.(i - 1) in
+              let hi = h.bounds.(i) in
+              let frac = (rank -. Float.of_int seen) /. Float.of_int h.counts.(i) in
+              Some (Float.min h.maxv (lo +. (Float.max 0. (Float.min 1. frac) *. (hi -. lo))))
+          else go (i + 1) seen'
+      in
+      go 0 0
+
+(* Prometheus float rendering: integral values without the fraction. *)
+let pnum v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%g" v
+
+let prometheus t =
+  let buf = Buffer.create 1024 in
+  let families = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t [] in
+  let families = List.sort (fun (a, _) (b, _) -> String.compare a b) families in
+  List.iter
+    (fun (name, fam) ->
+      match fam with
+      | Counter r ->
+          Buffer.add_string buf (Printf.sprintf "# TYPE %s counter\n%s %s\n" name name (pnum !r))
+      | Gauge r ->
+          Buffer.add_string buf (Printf.sprintf "# TYPE %s gauge\n%s %s\n" name name (pnum !r))
+      | Histogram h ->
+          Buffer.add_string buf (Printf.sprintf "# TYPE %s histogram\n" name);
+          let cum = ref 0 in
+          Array.iteri
+            (fun i c ->
+              cum := !cum + c;
+              if i < Array.length h.bounds then
+                Buffer.add_string buf
+                  (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" name (pnum h.bounds.(i)) !cum)
+              else
+                Buffer.add_string buf (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" name !cum))
+            h.counts;
+          Buffer.add_string buf (Printf.sprintf "%s_sum %s\n" name (pnum h.sum));
+          Buffer.add_string buf (Printf.sprintf "%s_count %d\n" name h.n))
+    families;
+  Buffer.contents buf
+
+let observe_trace t tr =
+  let peak_bytes = ref 0. in
+  List.iter
+    (fun (e : Trace.event) ->
+      match (e.kind, e.lane) with
+      | Trace.Span, Trace.Kernel ->
+          inc t "weaver_launches_total";
+          observe t "weaver_kernel_cycles" e.dur
+      | Trace.Span, Trace.Pcie ->
+          inc t "weaver_pcie_transfers_total";
+          observe t "weaver_pcie_cycles" e.dur;
+          List.iter
+            (fun (k, v) ->
+              match (k, v) with
+              | "bytes", Trace.Int b -> inc ~by:(Float.of_int b) t "weaver_pcie_bytes_total"
+              | _ -> ())
+            e.args
+      | Trace.Instant, _ -> (
+          match e.name with
+          | "capacity_retry" | "alloc_retry" | "transfer_retry" -> inc t "weaver_retries_total"
+          | "fission" -> inc t "weaver_fissions_total"
+          | "demotion" -> inc t "weaver_demotions_total"
+          | "alloc_fault" | "launch_fault" | "transfer_fault" ->
+              inc t "weaver_faults_injected_total"
+          | _ -> ())
+      | Trace.Counter, Trace.Mem ->
+          if e.dur > !peak_bytes then peak_bytes := e.dur
+      | _ -> ())
+    (Trace.events tr);
+  if !peak_bytes > 0. then set_gauge t "weaver_device_bytes_peak" !peak_bytes

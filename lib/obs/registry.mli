@@ -1,0 +1,50 @@
+(** Metrics registry: counters, gauges and fixed-bucket histograms with a
+    Prometheus text-exposition dump.
+
+    Histograms use a fixed ascending bucket ladder (plus an implicit
+    [+Inf] bucket) so p50/p95/p99 are derivable by linear interpolation
+    within a bucket; the [+Inf] bucket reports the maximum observed
+    sample so the top quantile never extrapolates past reality. *)
+
+type t
+
+val create : unit -> t
+
+val inc : ?by:float -> t -> string -> unit
+(** Increment counter [name] (created on first use, [by] defaults 1). *)
+
+val set_gauge : t -> string -> float -> unit
+
+val observe : ?buckets:float list -> t -> string -> float -> unit
+(** Observe a histogram sample. [buckets] (ascending upper bounds, used
+    only on first touch of [name]) defaults to {!default_buckets}. *)
+
+val default_buckets : float list
+(** Powers of two from 256 to 2^42 — suits simulated-cycle latencies. *)
+
+val counter_value : t -> string -> float
+(** 0. when absent. *)
+
+val gauge_value : t -> string -> float
+
+val quantile : t -> string -> float -> float option
+(** [quantile t name q] with [q] in [0,1]: linear interpolation within
+    the bucket holding rank [q*n]; the overflow bucket yields the max
+    observed sample. [None] when the histogram is absent or empty. *)
+
+val histogram_count : t -> string -> int
+val histogram_sum : t -> string -> float
+
+val prometheus : t -> string
+(** Text exposition: [# TYPE] headers, cumulative [_bucket{le="..."}]
+    lines with a final [+Inf], [_sum]/[_count]; families sorted by name
+    so dumps are deterministic. *)
+
+val observe_trace : t -> Trace.t -> unit
+(** Fold a trace into standard metrics: [weaver_launches_total] and the
+    [weaver_kernel_cycles] histogram from Kernel-lane spans,
+    [weaver_pcie_transfers_total]/[weaver_pcie_bytes_total] from Pcie
+    spans, [weaver_retries_total]/[weaver_fissions_total]/
+    [weaver_demotions_total]/[weaver_faults_injected_total] from Host
+    instants, and the [weaver_device_bytes] gauge from the Mem counter
+    peak. *)

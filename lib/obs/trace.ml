@@ -1,0 +1,287 @@
+(* Span/event tracer. See trace.mli for the model.
+
+   The disabled handle [none] mirrors [Cancel.none]: one shared record
+   with [active = false]; every entry point checks that flag first and
+   returns without allocating. The active tracer keeps a growable event
+   array (appends under a mutex: worker wall spans arrive from several
+   domains) plus a small flight-recorder ring of (cycles, lane, name)
+   triples that survives even when the event list is disabled. *)
+
+type lane =
+  | Driver
+  | Gate
+  | Host
+  | Kernel
+  | Pcie
+  | Mem
+  | Queue
+  | Service
+  | Worker of int
+
+type value = Int of int | Float of float | Str of string
+
+type kind = Span | Wall | Instant | Counter
+
+type ev = {
+  e_lane : lane;
+  e_name : string;
+  e_kind : kind;
+  e_cycles : float;
+  mutable e_dur : float;
+  e_wall : float;
+  mutable e_wall_dur : float;
+  mutable e_args : (string * value) list;
+  mutable e_closed : bool;
+}
+
+type event = {
+  lane : lane;
+  name : string;
+  kind : kind;
+  cycles : float;
+  dur : float;
+  wall : float;
+  wall_dur : float;
+  args : (string * value) list;
+  closed : bool;
+}
+
+type t = {
+  active : bool;
+  keep_events : bool;
+  clock : (unit -> float) option;
+  wall0 : float;
+  lock : Mutex.t;
+  mutable now : float;  (* simulated cycles *)
+  mutable evs : ev array;
+  mutable n : int;
+  ring : (float * lane * string) array;
+  mutable ring_n : int;  (* total ring appends, monotone *)
+}
+
+type span = int
+
+let no_span = -1
+
+let none =
+  {
+    active = false;
+    keep_events = false;
+    clock = None;
+    wall0 = 0.;
+    lock = Mutex.create ();
+    now = 0.;
+    evs = [||];
+    n = 0;
+    ring = [||];
+    ring_n = 0;
+  }
+
+let dummy_ev =
+  {
+    e_lane = Host;
+    e_name = "";
+    e_kind = Instant;
+    e_cycles = 0.;
+    e_dur = 0.;
+    e_wall = 0.;
+    e_wall_dur = 0.;
+    e_args = [];
+    e_closed = true;
+  }
+
+let create ?clock ?(ring = 32) ?(events = true) () =
+  let wall0 = match clock with Some f -> f () | None -> 0. in
+  {
+    active = true;
+    keep_events = events;
+    clock;
+    wall0;
+    lock = Mutex.create ();
+    now = 0.;
+    evs = (if events then Array.make 256 dummy_ev else [||]);
+    n = 0;
+    ring = (if ring > 0 then Array.make ring (0., Host, "") else [||]);
+    ring_n = 0;
+  }
+
+let active t = t.active
+let recording t = t.active && t.keep_events
+let has_clock t = t.active && t.clock <> None
+let cycles t = t.now
+let advance t d = if t.active && d > 0. then t.now <- t.now +. d
+let wall_now t = match t.clock with Some f -> f () -. t.wall0 | None -> 0.
+
+(* Append under the lock; returns the event index or [no_span] when the
+   event list is off. Spans and instants also land in the ring. *)
+let push t ev =
+  Mutex.lock t.lock;
+  let idx =
+    if not t.keep_events then no_span
+    else begin
+      if t.n = Array.length t.evs then begin
+        let bigger = Array.make (2 * Array.length t.evs) dummy_ev in
+        Array.blit t.evs 0 bigger 0 t.n;
+        t.evs <- bigger
+      end;
+      t.evs.(t.n) <- ev;
+      let i = t.n in
+      t.n <- i + 1;
+      i
+    end
+  in
+  (match ev.e_kind with
+  | Span | Instant ->
+      let cap = Array.length t.ring in
+      if cap > 0 then begin
+        t.ring.(t.ring_n mod cap) <- (ev.e_cycles, ev.e_lane, ev.e_name);
+        t.ring_n <- t.ring_n + 1
+      end
+  | Wall | Counter -> ());
+  Mutex.unlock t.lock;
+  idx
+
+let span t ~lane ?start ?(args = []) name =
+  if not t.active then no_span
+  else
+    let c = match start with Some c -> c | None -> t.now in
+    push t
+      {
+        e_lane = lane;
+        e_name = name;
+        e_kind = Span;
+        e_cycles = c;
+        e_dur = 0.;
+        e_wall = wall_now t;
+        e_wall_dur = 0.;
+        e_args = args;
+        e_closed = false;
+      }
+
+let wall_span t ~lane ?(args = []) name =
+  if not (recording t) then no_span
+  else
+    push t
+      {
+        e_lane = lane;
+        e_name = name;
+        e_kind = Wall;
+        e_cycles = t.now;
+        e_dur = 0.;
+        e_wall = wall_now t;
+        e_wall_dur = 0.;
+        e_args = args;
+        e_closed = false;
+      }
+
+let close t ?(args = []) s =
+  if t.active && s >= 0 && s < t.n then begin
+    Mutex.lock t.lock;
+    let ev = t.evs.(s) in
+    ev.e_dur <- Float.max 0. (t.now -. ev.e_cycles);
+    ev.e_wall_dur <- Float.max 0. (wall_now t -. ev.e_wall);
+    if args <> [] then ev.e_args <- ev.e_args @ args;
+    ev.e_closed <- true;
+    Mutex.unlock t.lock
+  end
+
+let with_span t ~lane ?args name f =
+  if not t.active then f ()
+  else begin
+    let s = span t ~lane ?args name in
+    match f () with
+    | v ->
+        close t s;
+        v
+    | exception e ->
+        close t s;
+        raise e
+  end
+
+let instant t ~lane ?(args = []) name =
+  if t.active then
+    ignore
+      (push t
+         {
+           e_lane = lane;
+           e_name = name;
+           e_kind = Instant;
+           e_cycles = t.now;
+           e_dur = 0.;
+           e_wall = wall_now t;
+           e_wall_dur = 0.;
+           e_args = args;
+           e_closed = true;
+         })
+
+let counter t ~lane name v =
+  if recording t then
+    ignore
+      (push t
+         {
+           e_lane = lane;
+           e_name = name;
+           e_kind = Counter;
+           e_cycles = t.now;
+           e_dur = v;
+           e_wall = wall_now t;
+           e_wall_dur = 0.;
+           e_args = [];
+           e_closed = true;
+         })
+
+let events t =
+  if not (recording t) then []
+  else begin
+    Mutex.lock t.lock;
+    let out = ref [] in
+    for i = t.n - 1 downto 0 do
+      let e = t.evs.(i) in
+      out :=
+        {
+          lane = e.e_lane;
+          name = e.e_name;
+          kind = e.e_kind;
+          cycles = e.e_cycles;
+          dur = e.e_dur;
+          wall = e.e_wall;
+          wall_dur = e.e_wall_dur;
+          args = e.e_args;
+          closed = e.e_closed;
+        }
+        :: !out
+    done;
+    Mutex.unlock t.lock;
+    !out
+  end
+
+let event_count t = t.n
+
+let lane_name = function
+  | Driver -> "driver"
+  | Gate -> "analysis"
+  | Host -> "runtime"
+  | Kernel -> "kernel"
+  | Pcie -> "pcie"
+  | Mem -> "memory"
+  | Queue -> "queue"
+  | Service -> "service"
+  | Worker i -> "worker" ^ string_of_int i
+
+let trail ?(limit = 16) t =
+  let cap = Array.length t.ring in
+  if (not t.active) || cap = 0 || t.ring_n = 0 then []
+  else begin
+    Mutex.lock t.lock;
+    let avail = min t.ring_n cap in
+    let take = min limit avail in
+    let out = ref [] in
+    for k = 0 to take - 1 do
+      (* oldest of the last [take], walking forward to newest *)
+      let pos = (t.ring_n - take + k) mod cap in
+      let c, lane, name = t.ring.(pos) in
+      out := Printf.sprintf "%s:%s@%.0f" (lane_name lane) name c :: !out
+    done;
+    Mutex.unlock t.lock;
+    List.rev !out
+  end

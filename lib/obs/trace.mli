@@ -1,0 +1,121 @@
+(** Span/event tracer with a zero-cost disabled handle.
+
+    A [Trace.t] is threaded through the stack the same way [Cancel.t] is:
+    every layer takes an optional tracer defaulting to {!none}, and [none]
+    is a single inactive record so the disabled path costs one field read
+    and no allocation.
+
+    Timestamps are dual: every event carries the tracer's own
+    simulated-cycle clock (advanced explicitly by the sites that know the
+    duration — the executor after a launch, the PCIe ledger after a
+    transfer) and a wall-clock offset sampled from an injected [clock]
+    function. The simulated timeline is deterministic across worker
+    counts; the wall timeline is debug-only. [gpu_sim] stays free of
+    [Unix]: callers inject [Unix.gettimeofday] from the CLI layer. *)
+
+(** Timeline lane an event belongs to. Lanes map to Chrome trace-event
+    threads; [Worker] lanes are wall-clock-only debug lanes. *)
+type lane =
+  | Driver  (** plan compilation: fusion, optimizer, codegen *)
+  | Gate  (** static-analysis gate *)
+  | Host  (** runtime orchestration: weave units, retries, recovery *)
+  | Kernel  (** kernel launches (real and modelled) *)
+  | Pcie  (** host<->device transfers *)
+  | Mem  (** device-memory counters and allocation faults *)
+  | Queue  (** service queue wait (spans may overlap: one per request) *)
+  | Service  (** per-request service lifecycle *)
+  | Worker of int  (** interpreter CTA worker (wall clock only) *)
+
+(** Argument payload value attached to an event. *)
+type value = Int of int | Float of float | Str of string
+
+type kind =
+  | Span  (** simulated-cycle duration event *)
+  | Wall  (** wall-clock duration event (Worker lanes) *)
+  | Instant  (** point event, enters the flight recorder *)
+  | Counter  (** sampled value (e.g. live device bytes) *)
+
+(** Read-only view of a recorded event. *)
+type event = {
+  lane : lane;
+  name : string;
+  kind : kind;
+  cycles : float;  (** simulated-cycle start timestamp *)
+  dur : float;  (** simulated-cycle duration ([Span]) or value ([Counter]) *)
+  wall : float;  (** wall-clock start, seconds since tracer creation *)
+  wall_dur : float;  (** wall-clock duration in seconds *)
+  args : (string * value) list;
+  closed : bool;
+}
+
+type t
+
+(** Open-span handle. [no_span] is the inactive sentinel; {!close} on it
+    is a no-op. *)
+type span = int
+
+val no_span : span
+
+val none : t
+(** The disabled tracer: every operation is a cheap no-op and nothing
+    is ever allocated or recorded. *)
+
+val create : ?clock:(unit -> float) -> ?ring:int -> ?events:bool -> unit -> t
+(** [create ()] makes an active tracer. [clock] supplies wall time in
+    seconds (default: none, all wall fields stay [0.]). [ring] bounds the
+    flight recorder (default 32 entries; [0] disables it). [events:false]
+    yields a flight-recorder-only tracer: spans and instants feed the ring
+    but no event list is kept — the cheap always-on mode used by the CLI
+    so fault reports carry context even without [--trace-out]. *)
+
+val active : t -> bool
+(** [active t] is [false] only for {!none}. *)
+
+val recording : t -> bool
+(** [recording t] holds when [t] keeps a full event list (so it is worth
+    building expensive argument payloads). *)
+
+val has_clock : t -> bool
+(** [has_clock t] holds when wall-clock sampling is available (so
+    wall-only worker lanes are worth emitting). *)
+
+val cycles : t -> float
+(** Current simulated-cycle timestamp of the tracer's clock. *)
+
+val advance : t -> float -> unit
+(** [advance t d] moves the simulated clock forward by [d] cycles.
+    Only the site that accounts for a duration may advance: the executor
+    for kernel time, the PCIe ledger for transfer time, the runtime for
+    modelled (synthesized) reports. *)
+
+val span : t -> lane:lane -> ?start:float -> ?args:(string * value) list -> string -> span
+(** Open a simulated-cycle span at the current clock (or [start]).
+    Returns {!no_span} when the tracer is disabled or event-less. *)
+
+val wall_span : t -> lane:lane -> ?args:(string * value) list -> string -> span
+(** Open a wall-clock-only span (Worker lanes). *)
+
+val close : t -> ?args:(string * value) list -> span -> unit
+(** Close a span at the current clock, appending [args] to its payload. *)
+
+val with_span : t -> lane:lane -> ?args:(string * value) list -> string -> (unit -> 'a) -> 'a
+(** [with_span t ~lane name f] runs [f] inside a span, closing it even
+    when [f] raises. *)
+
+val instant : t -> lane:lane -> ?args:(string * value) list -> string -> unit
+(** Record a point event (retry, fission, demotion, injected fault...).
+    Instants always enter the flight recorder. *)
+
+val counter : t -> lane:lane -> string -> float -> unit
+(** Record a sampled counter value (e.g. live device bytes). *)
+
+val events : t -> event list
+(** All recorded events in emission order. *)
+
+val event_count : t -> int
+
+val trail : ?limit:int -> t -> string list
+(** Flight recorder: the last [limit] (default 16) span/instant entries,
+    oldest first, rendered ["lane:name@cycles"]. Empty for {!none}. *)
+
+val lane_name : lane -> string

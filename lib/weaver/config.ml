@@ -21,6 +21,9 @@ type t = {
   deadline_cycles : float option;
   wall_deadline_s : float option;
   analyze : bool;
+  trace : bool;
+  trace_out : string option;
+  metrics_out : string option;
 }
 
 let default =
@@ -45,6 +48,9 @@ let default =
     deadline_cycles = None;
     wall_deadline_s = None;
     analyze = true;
+    trace = false;
+    trace_out = None;
+    metrics_out = None;
   }
 
 let with_jobs t jobs =

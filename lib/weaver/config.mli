@@ -62,6 +62,17 @@ type t = {
           diagnostic fails the query with
           {!Gpu_sim.Fault.Static_rejected}. On by default; turn off to
           benchmark codegen without the certification cost. *)
+  trace : bool;
+      (** collect a full span/event trace ({!Weaver_obs.Trace}) for the
+          run or batch. Off by default: the disabled tracer is the
+          zero-cost [Trace.none] handle. *)
+  trace_out : string option;
+      (** where to write the Chrome trace-event JSON export
+          ({!Weaver_obs.Chrome}); implies [trace]. Owned by the
+          CLI/service boundary — the runtime itself never does IO. *)
+  metrics_out : string option;
+      (** where to write the Prometheus text dump of the metrics registry
+          ({!Weaver_obs.Registry}); implies [trace]. *)
 }
 
 val default : t

@@ -92,8 +92,10 @@ let topo_units plan units =
          (Gpu_sim.Fault.Host_error "cyclic unit dependence (non-convex group)"));
   List.rev_map (fun ui -> arr.(ui)) !order
 
-let compile ?(config = Config.default) ?(fuse = true) ?(opt = Optimizer.O3) plan
-    =
+let compile ?(config = Config.default) ?(fuse = true) ?(opt = Optimizer.O3)
+    ?(trace = Weaver_obs.Trace.none) plan =
+  Weaver_obs.Trace.with_span trace ~lane:Weaver_obs.Trace.Driver "compile"
+  @@ fun () ->
   let groups =
     if fuse then
       Candidates.groups ~input_sharing:config.Config.input_sharing plan

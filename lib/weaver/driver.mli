@@ -17,13 +17,17 @@ val compile :
   ?config:Config.t ->
   ?fuse:bool ->
   ?opt:Optimizer.level ->
+  ?trace:Weaver_obs.Trace.t ->
   Plan.t ->
   Runtime.program
 (** Defaults: [Config.default], [fuse:true], [opt:O3]. Raises
-    [Runtime.Execution_error] if some group cannot be planned at all. *)
+    [Runtime.Execution_error] if some group cannot be planned at all.
+    [trace] (default [Trace.none]) gets one Driver-lane [compile] span
+    over candidate search, selection and weaving. *)
 
 val run :
   ?cancel:Gpu_sim.Cancel.t ->
+  ?trace:Weaver_obs.Trace.t ->
   Runtime.program ->
   Relation.t array ->
   mode:Runtime.mode ->

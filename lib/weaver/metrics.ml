@@ -17,10 +17,12 @@ type t = {
   demotions : int;
   faults_injected : int;
   leaks : (string * int) list;
+  queue_wait_cycles : float;
+  service : bool;
 }
 
-let collect ~reports ~pcie ~peak_global_bytes ~retries ~fissions ~demotions
-    ~faults_injected ~leaks =
+let collect ?(queue_wait_cycles = 0.0) ?(service = false) ~reports ~pcie
+    ~peak_global_bytes ~retries ~fissions ~demotions ~faults_injected ~leaks () =
   let sum f =
     List.fold_left
       (fun a (r : Executor.launch_report) -> a +. f r.Executor.time)
@@ -43,9 +45,33 @@ let collect ~reports ~pcie ~peak_global_bytes ~retries ~fissions ~demotions
     demotions;
     faults_injected;
     leaks;
+    queue_wait_cycles;
+    service;
   }
 
 let total_cycles t = t.kernel_cycles +. t.pcie_cycles
+
+(* Scalar equality over everything except the per-launch report list,
+   whose stats are already summed into [stats]: two runs with identical
+   scalars and event totals are the same run for differential tests. *)
+let equal a b =
+  a.launches = b.launches
+  && Float.equal a.kernel_cycles b.kernel_cycles
+  && Float.equal a.compute_cycles b.compute_cycles
+  && Float.equal a.memory_cycles b.memory_cycles
+  && Float.equal a.pcie_seconds b.pcie_seconds
+  && Float.equal a.pcie_cycles b.pcie_cycles
+  && a.pcie_bytes = b.pcie_bytes
+  && a.pcie_transfers = b.pcie_transfers
+  && a.peak_global_bytes = b.peak_global_bytes
+  && Stats.equal a.stats b.stats
+  && a.retries = b.retries
+  && a.fissions = b.fissions
+  && a.demotions = b.demotions
+  && a.faults_injected = b.faults_injected
+  && a.leaks = b.leaks
+  && Float.equal a.queue_wait_cycles b.queue_wait_cycles
+  && Bool.equal a.service b.service
 
 let seconds device t = Timing.cycles_to_seconds device (total_cycles t)
 
@@ -78,6 +104,8 @@ let pp ppf t =
     t.launches t.retries t.fissions t.demotions t.faults_injected
     t.kernel_cycles t.compute_cycles t.memory_cycles t.pcie_seconds
     t.pcie_bytes t.pcie_transfers t.peak_global_bytes Stats.pp t.stats;
+  if t.service then
+    Format.fprintf ppf "@ queue wait: %.0f cycles" t.queue_wait_cycles;
   match t.leaks with
   | [] -> ()
   | leaks ->

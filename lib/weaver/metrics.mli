@@ -31,9 +31,17 @@ type t = {
       (** buffers (label, bytes) still allocated at end of run beyond the
           base-relation footprint — always [[]] unless the runtime has a
           lifetime bug; surfaced so tests can assert on it *)
+  queue_wait_cycles : float;
+      (** simulated cycles the request spent queued before execution
+          started; 0 outside the service layer *)
+  service : bool;
+      (** whether this run went through {!Service} (and so
+          [queue_wait_cycles] is meaningful) *)
 }
 
 val collect :
+  ?queue_wait_cycles:float ->
+  ?service:bool ->
   reports:Executor.launch_report list ->
   pcie:Pcie.t ->
   peak_global_bytes:int ->
@@ -42,6 +50,7 @@ val collect :
   demotions:int ->
   faults_injected:int ->
   leaks:(string * int) list ->
+  unit ->
   t
 (** Derive a metrics record from a run's raw evidence: [reports] must be
     in launch order; cycle sums, launch count and event totals are
@@ -50,6 +59,13 @@ val collect :
 
 val total_cycles : t -> float
 (** Kernel + PCIe cycles: the paper's end-to-end time (Fig. 21). *)
+
+val equal : t -> t -> bool
+(** Scalar equality: every field except the per-launch [reports] list
+    (whose event totals are compared through [stats]). This is the
+    "observably identical run" relation the differential tests use —
+    in particular, a traced run must compare [equal] to an untraced
+    one. *)
 
 val seconds : Device.t -> t -> float
 

@@ -24,11 +24,13 @@ type program = {
 
 type result = { sinks : (int * Relation.t) list; metrics : Metrics.t }
 
-type failure = { fault : Fault.t; partial : Metrics.t }
+type failure = { fault : Fault.t; partial : Metrics.t; trail : string list }
 (* what a failed run still owes its caller: the typed fault plus the
    metrics accumulated up to the failure point (cycles spent, faults
    injected, and — crucially for the service layer's isolation guarantee —
-   the leak list, which must be empty even on the failure path) *)
+   the leak list, which must be empty even on the failure path) and the
+   flight recorder's last events, so the one-line fault report carries
+   context ([] when the caller passed no tracer) *)
 
 exception Execution_error of Fault.t
 
@@ -51,6 +53,7 @@ type st = {
   pcie : Pcie.t;
   faults : Fault_inject.t;
   cancel : Cancel.t;
+  trace : Weaver_obs.Trace.t;
   mode : mode;
   mutable reports : Executor.launch_report list;  (** reversed *)
   mutable kernel_cycles : float;  (** running sum over [reports] *)
@@ -89,7 +92,7 @@ let launch st kernel ~params ~grid ~cta =
   let r =
     Executor.launch ~timing:(config st).Config.timing
       ~jobs:(config st).Config.jobs ~faults:st.faults ~cancel:st.cancel
-      (device st) st.mem kernel ~params ~grid ~cta
+      ~trace:st.trace (device st) st.mem kernel ~params ~grid ~cta
   in
   st.reports <- r :: st.reports;
   st.kernel_cycles <- st.kernel_cycles +. r.Executor.time.Timing.total_cycles;
@@ -107,6 +110,7 @@ let alloc_buf st ~label ~words ~bytes =
       when tries < (config st).Config.alloc_retries
     ->
       st.retries <- st.retries + 1;
+      Weaver_obs.Trace.instant st.trace ~lane:Weaver_obs.Trace.Host "alloc_retry";
       go (tries + 1)
   in
   go 0
@@ -119,6 +123,8 @@ let transfer st dir ~bytes =
       when tries < (config st).Config.transfer_retries
     ->
       st.retries <- st.retries + 1;
+      Weaver_obs.Trace.instant st.trace ~lane:Weaver_obs.Trace.Host
+        "transfer_retry";
       go (tries + 1)
   in
   go 0;
@@ -142,6 +148,17 @@ let synth_report st name stats =
   in
   st.reports <- r :: st.reports;
   st.kernel_cycles <- st.kernel_cycles +. time.Timing.total_cycles;
+  (* modelled work (host-side sorts, fallbacks) gets a Kernel-lane span
+     too; the runtime owns its clock advance since no executor ran *)
+  let module T = Weaver_obs.Trace in
+  (if T.active st.trace then begin
+     let sp =
+       T.span st.trace ~lane:T.Kernel name
+         ~args:(if T.recording st.trace then [ ("modelled", T.Int 1) ] else [])
+     in
+     T.advance st.trace time.Timing.total_cycles;
+     T.close st.trace sp
+   end);
   check_budget st
 
 let mat_of_source st = function
@@ -322,12 +339,13 @@ let layout_regions (lay : Layout.t) ~n_in =
     all;
   Hashtbl.fold (fun base words acc -> r base words :: acc) tbl []
 
-let analyze_kernel ?(regions = []) (k : Kir.kernel) =
-  Weaver_analysis.Analysis.analyze ~regions ~expected_regs:k.Kir.regs_per_thread k
+let analyze_kernel ?(regions = []) ?trace (k : Kir.kernel) =
+  Weaver_analysis.Analysis.analyze ?trace ~regions
+    ~expected_regs:k.Kir.regs_per_thread k
 
 let gate_kernel st ?regions k =
   if (config st).Config.analyze then begin
-    let report = analyze_kernel ?regions k in
+    let report = analyze_kernel ?regions ~trace:st.trace k in
     match Weaver_analysis.Analysis.gating report with
     | [] -> ()
     | d :: _ as ds ->
@@ -390,6 +408,8 @@ exception Fallback_needed
    it executes host-side and is charged one full streaming pass, like the
    modelled SORT — a real system would switch algorithms there. *)
 let exec_fallback_node st ~name ~op_id ~consumed_sources =
+  Weaver_obs.Trace.instant st.trace ~lane:Weaver_obs.Trace.Host "host_fallback"
+    ~args:[ ("unit", Weaver_obs.Trace.Str name) ];
   let plan = st.program.plan in
   let node = Plan.node plan op_id in
   let rels =
@@ -437,6 +457,9 @@ let exec_fallback st ~name (ir : Fusion.t) =
          (Array.map (fun (i : Fusion.input_info) -> i.source) ir.inputs))
 
 let rec exec_fused st ~name (ir : Fusion.t) =
+  Weaver_obs.Trace.with_span st.trace ~lane:Weaver_obs.Trace.Host
+    ("weave:" ^ name)
+  @@ fun () ->
   let plan = st.program.plan in
   let n_in = Array.length ir.inputs in
   let n_out = Array.length ir.outputs in
@@ -593,6 +616,10 @@ let rec exec_fused st ~name (ir : Fusion.t) =
         if List.length ir.op_ids >= 2 then raise (Needs_split cfg)
         else raise Fallback_needed;
       st.retries <- st.retries + 1;
+      Weaver_obs.Trace.instant st.trace ~lane:Weaver_obs.Trace.Host
+        "capacity_retry"
+        ~args:
+          [ ("which", Weaver_obs.Trace.Str (Fault.show_capacity cap_fault.which)) ];
       (* scale the capacity the trap names *)
       match cap_fault.which with
       | Fault.Cap_groups ->
@@ -667,6 +694,8 @@ let rec exec_fused st ~name (ir : Fusion.t) =
          estimate and execute the pieces; each piece retries (and may
          split again) independently *)
       st.fissions <- st.fissions + 1;
+      Weaver_obs.Trace.instant st.trace ~lane:Weaver_obs.Trace.Host "fission"
+        ~args:[ ("group", Weaver_obs.Trace.Str name) ];
       let subgroups =
         Selection.select ~plan
           ~estimate:(Layout.estimate grown_cfg plan)
@@ -738,6 +767,9 @@ let rec exec_fused st ~name (ir : Fusion.t) =
 (* --- kernel-dependence units ---------------------------------------------- *)
 
 let exec_sort st ~op_id ~key_arity ~source =
+  Weaver_obs.Trace.with_span st.trace ~lane:Weaver_obs.Trace.Host
+    (Printf.sprintf "sort%d" op_id)
+  @@ fun () ->
   let m = mat_of_source st source in
   ignore (upload st m);
   let out = alloc_rel st ~label:"sort_out" ~rows:m.rows ~schema:m.schema in
@@ -767,6 +799,9 @@ let exec_sort st ~op_id ~key_arity ~source =
   consume st [ source ]
 
 let exec_unique st ~op_id ~key_arity ~source =
+  Weaver_obs.Trace.with_span st.trace ~lane:Weaver_obs.Trace.Host
+    (Printf.sprintf "unique%d" op_id)
+  @@ fun () ->
   let m = mat_of_source st source in
   ignore (upload st m);
   ensure_sorted st m ~key_arity;
@@ -849,6 +884,8 @@ let exec_unique st ~op_id ~key_arity ~source =
       if next <= cap || tries >= cfg.Config.max_retries then
         raise Fallback_needed;
       st.retries <- st.retries + 1;
+      Weaver_obs.Trace.instant st.trace ~lane:Weaver_obs.Trace.Host
+        "capacity_retry";
       attempt next (tries + 1)
   in
   match attempt cfg.Config.cap 0 with
@@ -866,6 +903,9 @@ let exec_unique st ~op_id ~key_arity ~source =
       consume st [ source ]
 
 let exec_aggregate st ~op_id ~source ~(lay : Ra_lib.Aggregate_emit.layout) =
+  Weaver_obs.Trace.with_span st.trace ~lane:Weaver_obs.Trace.Host
+    (Printf.sprintf "aggregate%d" op_id)
+  @@ fun () ->
   let m = mat_of_source st source in
   ignore (upload st m);
   let cfg = config st in
@@ -964,6 +1004,8 @@ let exec_aggregate st ~op_id ~source ~(lay : Ra_lib.Aggregate_emit.layout) =
       if next <= max_groups || tries >= cfg.Config.max_retries then
         raise Fallback_needed;
       st.retries <- st.retries + 1;
+      Weaver_obs.Trace.instant st.trace ~lane:Weaver_obs.Trace.Host
+        "capacity_retry";
       attempt next (tries + 1)
   in
   match attempt (min cfg.Config.max_groups fit_cap) 0 with
@@ -993,7 +1035,8 @@ let exec_aggregate st ~op_id ~source ~(lay : Ra_lib.Aggregate_emit.layout) =
 
 (* --- top level ------------------------------------------------------------ *)
 
-let run_result ?(cancel = Cancel.none) program bases ~mode =
+let run_result ?(cancel = Cancel.none) ?(trace = Weaver_obs.Trace.none) program
+    bases ~mode =
   if Array.length bases <> Plan.base_count program.plan then
     invalid_arg "Runtime.run: wrong number of base relations";
   Array.iteri
@@ -1029,7 +1072,7 @@ let run_result ?(cancel = Cancel.none) program bases ~mode =
   (* One injector and one PCIe ledger span the whole run, demotion
      included: one-shot injected events do not refire on the demoted
      attempt, and every attempt's traffic stays charged. *)
-  let pcie = Pcie.create ~faults program.config.Config.device in
+  let pcie = Pcie.create ~faults ~trace program.config.Config.device in
   (* counters survive a failed attempt so the demoted re-run charges it *)
   let saved_reports = ref [] in
   let saved_cycles = ref 0.0 in
@@ -1037,7 +1080,7 @@ let run_result ?(cancel = Cancel.none) program bases ~mode =
   let saved_fissions = ref 0 in
   let last_mem = ref None in
   let attempt ~mode ~demotions =
-    let mem = Memory.create ~faults program.config.Config.device in
+    let mem = Memory.create ~faults ~trace program.config.Config.device in
     let st =
       {
         program;
@@ -1045,6 +1088,7 @@ let run_result ?(cancel = Cancel.none) program bases ~mode =
         pcie;
         faults;
         cancel;
+        trace;
         mode;
         reports = !saved_reports;
         kernel_cycles = !saved_cycles;
@@ -1064,6 +1108,20 @@ let run_result ?(cancel = Cancel.none) program bases ~mode =
         node_mats = Array.make (Plan.node_count program.plan) None;
         pending_extra = Hashtbl.create 8;
       }
+    in
+    let module T = Weaver_obs.Trace in
+    let run_sp =
+      if T.active trace then
+        T.span trace ~lane:T.Host "run"
+          ~args:
+            [
+              ( "mode",
+                T.Str
+                  (match mode with
+                  | Resident -> "resident"
+                  | Streamed -> "streamed") );
+            ]
+      else T.no_span
     in
     try
       (* a non-positive deadline (or an already-fired token) fails the run
@@ -1130,10 +1188,12 @@ let run_result ?(cancel = Cancel.none) program bases ~mode =
         Metrics.collect ~reports:(List.rev st.reports) ~pcie
           ~peak_global_bytes:(Memory.peak_bytes mem) ~retries:st.retries
           ~fissions:st.fissions ~demotions
-          ~faults_injected:(Fault_inject.injected faults) ~leaks
+          ~faults_injected:(Fault_inject.injected faults) ~leaks ()
       in
+      T.close trace run_sp;
       { sinks; metrics }
     with e ->
+      T.close trace run_sp;
       saved_reports := st.reports;
       saved_cycles := st.kernel_cycles;
       saved_retries := st.retries;
@@ -1162,7 +1222,7 @@ let run_result ?(cancel = Cancel.none) program bases ~mode =
     Metrics.collect ~reports:(List.rev !saved_reports) ~pcie
       ~peak_global_bytes:peak ~retries:!saved_retries
       ~fissions:!saved_fissions ~demotions
-      ~faults_injected:(Fault_inject.injected faults) ~leaks
+      ~faults_injected:(Fault_inject.injected faults) ~leaks ()
   in
   (* Policy order (see DESIGN.md "Fault model & recovery"): retries and
      fission already happened inside the attempt; what escapes here is a
@@ -1180,15 +1240,26 @@ let run_result ?(cancel = Cancel.none) program bases ~mode =
   match attempt ~mode ~demotions:0 with
   | r -> Ok r
   | exception Fault.Error (Fault.Alloc_failure _) when mode = Resident -> (
+      Weaver_obs.Trace.instant trace ~lane:Weaver_obs.Trace.Host "demotion";
       match attempt ~mode:Streamed ~demotions:1 with
       | r -> Ok r
       | exception Fault.Error f ->
-          Error { fault = wrap ~attempts:2 f; partial = partial ~demotions:1 })
+          Error
+            {
+              fault = wrap ~attempts:2 f;
+              partial = partial ~demotions:1;
+              trail = Weaver_obs.Trace.trail trace;
+            })
   | exception Fault.Error f ->
-      Error { fault = wrap ~attempts:1 f; partial = partial ~demotions:0 }
+      Error
+        {
+          fault = wrap ~attempts:1 f;
+          partial = partial ~demotions:0;
+          trail = Weaver_obs.Trace.trail trace;
+        }
 
-let run ?cancel program bases ~mode =
-  match run_result ?cancel program bases ~mode with
+let run ?cancel ?trace program bases ~mode =
+  match run_result ?cancel ?trace program bases ~mode with
   | Ok r -> r
   | Error { fault; _ } -> raise (Execution_error fault)
 

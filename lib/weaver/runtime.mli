@@ -67,12 +67,19 @@ type program = {
 
 type result = { sinks : (int * Relation.t) list; metrics : Metrics.t }
 
-type failure = { fault : Gpu_sim.Fault.t; partial : Metrics.t }
+type failure = {
+  fault : Gpu_sim.Fault.t;
+  partial : Metrics.t;
+  trail : string list;
+}
 (** A failed run: the typed fault plus the metrics accumulated up to the
     failure point — cycles are charged, injected faults counted, and
     [partial.leaks] is the post-cleanup live-buffer list (always [[]]
     unless the runtime has a lifetime bug; the service layer's isolation
-    tests assert on it). *)
+    tests assert on it). [trail] is the flight recorder's last events
+    ({!Weaver_obs.Trace.trail}) when the caller passed a tracer, [[]]
+    otherwise — rendered after the one-line fault report so a failure
+    comes with its recent-history context. *)
 
 exception Execution_error of Gpu_sim.Fault.t
 (** Raised for unrecoverable faults. Render the payload with
@@ -80,6 +87,7 @@ exception Execution_error of Gpu_sim.Fault.t
 
 val run_result :
   ?cancel:Gpu_sim.Cancel.t ->
+  ?trace:Weaver_obs.Trace.t ->
   program ->
   Relation.t array ->
   mode:mode ->
@@ -94,10 +102,24 @@ val run_result :
     wall deadlines via a watchdog installed on the token. Both are
     terminal — never retried, never demoted. Still raises
     [Invalid_argument] on base-relation count/schema mismatch (caller
-    bugs, not query faults). *)
+    bugs, not query faults).
+
+    [trace] (default [Trace.none], zero cost) observes the whole run:
+    Host-lane spans per execution unit and per attempt, Kernel-lane spans
+    per launch (executor-owned) and per modelled report, Pcie/Mem-lane
+    events from the ledger and the allocator, Gate-lane spans from the
+    static-analysis gate, and instants for every recovery action
+    (capacity/alloc/transfer retries, fission, demotion, host fallback,
+    injected faults). The simulated-cycle timeline is deterministic: for
+    a fixed workload it is bit-identical across [jobs] values. *)
 
 val run :
-  ?cancel:Gpu_sim.Cancel.t -> program -> Relation.t array -> mode:mode -> result
+  ?cancel:Gpu_sim.Cancel.t ->
+  ?trace:Weaver_obs.Trace.t ->
+  program ->
+  Relation.t array ->
+  mode:mode ->
+  result
 (** Raises {!Execution_error} on unrecoverable faults (exhausted
     recovery, schema mismatches as [Host_error], missed deadlines,
     cancellation) and [Invalid_argument] on base-relation count/schema
@@ -119,6 +141,7 @@ val analyze_program :
 
 val analyze_kernel :
   ?regions:Weaver_analysis.Analysis.region list ->
+  ?trace:Weaver_obs.Trace.t ->
   Gpu_sim.Kir.kernel ->
   Weaver_analysis.Analysis.report
 (** One kernel through the same suite, budgeting [regs_per_thread]. *)

@@ -183,6 +183,13 @@ type breaker = {
   mutable trips : int;
 }
 
+let site_name = function
+  | Site_memory -> "memory"
+  | Site_capacity -> "capacity"
+  | Site_transfer -> "transfer"
+
+(* Returns [true] iff this observation tripped the breaker, so the caller
+   can emit the trip on its trace/registry. *)
 let record cfg b failed =
   b.window <- failed :: b.window;
   if List.length b.window > cfg.breaker_window then
@@ -192,8 +199,10 @@ let record cfg b failed =
   if b.open_for = 0 && failures >= cfg.breaker_threshold then begin
     b.trips <- b.trips + 1;
     b.open_for <- cfg.breaker_cooldown;
-    b.window <- []
+    b.window <- [];
+    true
   end
+  else false
 
 let is_open b = b.open_for > 0
 
@@ -210,14 +219,33 @@ let percentile sorted p =
       in
       sorted.(max 0 (min (n - 1) rank))
 
-let run_batch ?(config = default_config) requests =
+let run_batch ?(config = default_config) ?(trace = Weaver_obs.Trace.none)
+    ?registry requests =
+  let module T = Weaver_obs.Trace in
+  let module R = Weaver_obs.Registry in
   let t_wall0 = Unix.gettimeofday () in
+  (* arrival time of the whole batch on the tracer's simulated clock; the
+     runtime advances that clock as queries execute, so a request's
+     Queue-lane span stretches from here to the moment it starts *)
+  let t_arrival = T.cycles trace in
+  let reg_inc name = Option.iter (fun r -> R.inc r name) registry in
+  let reg_observe name v = Option.iter (fun r -> R.observe r name v) registry in
   let breakers =
     List.map
       (fun site -> (site, { window = []; open_for = 0; trips = 0 }))
       [ Site_memory; Site_capacity; Site_transfer ]
   in
   let breaker site = List.assq site breakers in
+  let observe_breakers failed_site =
+    List.iter
+      (fun (site, b) ->
+        if record config b (failed_site = Some site) then begin
+          reg_inc "weaver_service_breaker_trips_total";
+          T.instant trace ~lane:T.Service "breaker_trip"
+            ~args:[ ("site", T.Str (site_name site)) ]
+        end)
+      breakers
+  in
   (* the service clock: cumulative simulated cycles across the batch (one
      device, queries run back to back; arrival is t=0 for the whole batch,
      so a query's latency is the clock when it finishes) *)
@@ -238,11 +266,15 @@ let run_batch ?(config = default_config) requests =
       latency_cycles = !clock;
     }
   in
-  let execute queue_index r =
+  let execute queue_index (r : request) =
     incr submitted;
+    reg_inc "weaver_service_submitted_total";
     (* backpressure: one query is running, at most [queue_limit] wait *)
     if queue_index > config.queue_limit then begin
       incr rejected;
+      reg_inc "weaver_service_rejected_total";
+      T.instant trace ~lane:T.Service "reject"
+        ~args:[ ("rid", T.Int r.rid); ("why", T.Str "queue_full") ];
       respond r
         (Rejected (Queue_full { limit = config.queue_limit }))
         ~mode_used:r.mode ~pre_demoted:false ~footprint_bytes:0
@@ -272,6 +304,9 @@ let run_batch ?(config = default_config) requests =
       if streamed_b > capacity then begin
         (* not even one working set fits: no mode can run this *)
         incr rejected;
+        reg_inc "weaver_service_rejected_total";
+        T.instant trace ~lane:T.Service "reject"
+          ~args:[ ("rid", T.Int r.rid); ("why", T.Str "over_capacity") ];
         respond r
           (Rejected
              (Over_capacity
@@ -280,7 +315,18 @@ let run_batch ?(config = default_config) requests =
       end
       else begin
         incr admitted;
-        if pre_demoted then incr pre_demotions;
+        reg_inc "weaver_service_admitted_total";
+        Option.iter
+          (fun reg ->
+            R.set_gauge reg "weaver_service_queue_depth"
+              (float_of_int queue_index))
+          registry;
+        if pre_demoted then begin
+          incr pre_demotions;
+          reg_inc "weaver_service_pre_demotions_total";
+          T.instant trace ~lane:T.Service "pre_demotion"
+            ~args:[ ("rid", T.Int r.rid) ]
+        end;
         (* per-request deadline overrides ride on the program config; a
            request without its own deadline keeps the program's *)
         let cfg0 = r.program.Runtime.config in
@@ -300,28 +346,67 @@ let run_batch ?(config = default_config) requests =
         let program = { r.program with Runtime.config = cfg1 } in
         let cancel = Option.value r.cancel ~default:Cancel.none in
         let device = cfg1.Config.device in
-        match Runtime.run_result ~cancel program r.bases ~mode with
+        (* everything before this point was waiting behind earlier
+           queries: one Queue-lane span from batch arrival to start *)
+        let queue_wait_cycles = !clock in
+        (let qs =
+           T.span trace ~lane:T.Queue ~start:t_arrival
+             (Printf.sprintf "wait:rid%d" r.rid)
+         in
+         T.close trace qs);
+        reg_observe "weaver_service_queue_wait_cycles" queue_wait_cycles;
+        (* even when the caller passed no tracer, run each query over a
+           recorder-only tracer so a failure still carries its trail *)
+        let rtrace =
+          if T.active trace then trace else T.create ~events:false ()
+        in
+        let ss = T.span trace ~lane:T.Service (Printf.sprintf "rid%d" r.rid) in
+        let close_service verdict =
+          let args =
+            if T.recording trace then
+              [
+                ("verdict", T.Str verdict);
+                ( "mode",
+                  T.Str
+                    (match mode with
+                    | Runtime.Resident -> "resident"
+                    | Runtime.Streamed -> "streamed") );
+              ]
+            else []
+          in
+          T.close trace ss ~args
+        in
+        let stamp (m : Metrics.t) =
+          { m with Metrics.queue_wait_cycles; service = true }
+        in
+        match Runtime.run_result ~cancel ~trace:rtrace program r.bases ~mode with
         | Ok res ->
+            let res =
+              { res with Runtime.metrics = stamp res.Runtime.metrics }
+            in
             incr completed;
+            reg_inc "weaver_service_completed_total";
             let cycles = Metrics.total_cycles res.Runtime.metrics in
             clock := !clock +. cycles;
             sim_seconds :=
               !sim_seconds +. Timing.cycles_to_seconds device cycles;
             latencies := !clock :: !latencies;
+            reg_observe "weaver_service_latency_cycles" !clock;
             runtime_demotions :=
               !runtime_demotions + res.Runtime.metrics.Metrics.demotions;
             (* a run that only survived by demoting itself is memory
                pressure too: charge the memory breaker *)
-            List.iter
-              (fun (site, b) ->
-                record config b
-                  (site = Site_memory
-                  && res.Runtime.metrics.Metrics.demotions > 0))
-              breakers;
+            observe_breakers
+              (if res.Runtime.metrics.Metrics.demotions > 0 then
+                 Some Site_memory
+               else None);
+            close_service "completed";
             respond r (Completed res) ~mode_used:mode ~pre_demoted
               ~footprint_bytes
         | Error f ->
+            let f = { f with Runtime.partial = stamp f.Runtime.partial } in
             incr failed;
+            reg_inc "weaver_service_failed_total";
             let cycles = Metrics.total_cycles f.Runtime.partial in
             clock := !clock +. cycles;
             sim_seconds :=
@@ -329,15 +414,21 @@ let run_batch ?(config = default_config) requests =
             runtime_demotions :=
               !runtime_demotions + f.Runtime.partial.Metrics.demotions;
             (match f.Runtime.fault with
-            | Fault.Deadline_exceeded _ -> incr deadline_misses
-            | Fault.Cancelled _ -> incr cancelled
+            | Fault.Deadline_exceeded _ ->
+                incr deadline_misses;
+                reg_inc "weaver_service_deadline_misses_total";
+                T.instant trace ~lane:T.Service "deadline_miss"
+                  ~args:[ ("rid", T.Int r.rid) ]
+            | Fault.Cancelled _ ->
+                incr cancelled;
+                reg_inc "weaver_service_cancelled_total";
+                T.instant trace ~lane:T.Service "cancelled"
+                  ~args:[ ("rid", T.Int r.rid) ]
             | _ -> ());
             (match site_of_fault f.Runtime.fault with
-            | Some s ->
-                List.iter
-                  (fun (site, b) -> record config b (site = s))
-                  breakers
+            | Some s -> observe_breakers (Some s)
             | None -> ());
+            close_service "failed";
             respond r (Failed f) ~mode_used:mode ~pre_demoted
               ~footprint_bytes
       end
@@ -369,6 +460,10 @@ let run_batch ?(config = default_config) requests =
       wall_seconds;
     }
   in
+  Option.iter
+    (fun reg ->
+      R.set_gauge reg "weaver_service_throughput_qps" stats.throughput_qps)
+    registry;
   (responses, stats)
 
 let pp_stats ppf s =

@@ -108,10 +108,34 @@ type stats = {
   wall_seconds : float;  (** host wall clock for the whole batch *)
 }
 
-val run_batch : ?config:config -> request list -> response list * stats
+val run_batch :
+  ?config:config ->
+  ?trace:Weaver_obs.Trace.t ->
+  ?registry:Weaver_obs.Registry.t ->
+  request list ->
+  response list * stats
 (** Execute a batch (all requests arrive at time zero, in list order) and
     return one response per request, positionally, plus aggregate
     statistics. Queries run sequentially on the simulated device; latency
-    percentiles are over completed queries. *)
+    percentiles are over completed queries.
+
+    [trace] (default {!Weaver_obs.Trace.none}) observes the batch: one
+    Queue-lane span per admitted request from batch arrival to execution
+    start, one Service-lane span per execution (verdict and mode in its
+    args), and Service-lane instants for rejections, pre-demotions,
+    breaker trips, deadline misses and cancellations — on top of
+    everything the runtime itself traces. Even without a caller trace,
+    each query runs over a private recorder-only tracer so a {!Failed}
+    verdict always carries a flight-recorder [trail].
+
+    [registry] (when given) accumulates service metrics: counters
+    [weaver_service_{submitted,admitted,rejected,completed,failed,
+    deadline_misses,cancelled,pre_demotions,breaker_trips}_total],
+    histograms [weaver_service_latency_cycles] (completed queries) and
+    [weaver_service_queue_wait_cycles], and gauges
+    [weaver_service_queue_depth] / [weaver_service_throughput_qps].
+
+    Completed and Failed metrics come back stamped with
+    [Metrics.queue_wait_cycles] and [Metrics.service = true]. *)
 
 val pp_stats : Format.formatter -> stats -> unit

@@ -19,4 +19,5 @@ let () =
       ("parallel", Test_parallel.suite);
       ("faults", Test_faults.suite);
       ("service", Test_service.suite);
+      ("obs", Test_obs.suite);
     ]

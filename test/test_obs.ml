@@ -1,0 +1,442 @@
+(* Observability layer: the disabled tracer is observably free, traced
+   runs produce well-formed span trees and deterministic Chrome exports,
+   the flight recorder survives to the failure report, and the metrics
+   registry agrees with the runtime's own Metrics. *)
+
+open Relation_lib
+module T = Weaver_obs.Trace
+module Reg = Weaver_obs.Registry
+
+type wl = {
+  name : string;
+  plan : Qplan.Plan.t;
+  bases : Relation.t array;
+}
+
+let pattern ?(rows = 600) (w : Tpch.Patterns.workload) =
+  {
+    name = w.Tpch.Patterns.name;
+    plan = w.Tpch.Patterns.plan;
+    bases = w.Tpch.Patterns.gen ~seed:17 ~rows;
+  }
+
+let query ?(rows = 400) (q : Tpch.Queries.query) =
+  let db = Tpch.Datagen.generate ~seed:17 ~lineitems:rows in
+  { name = q.Tpch.Queries.qname; plan = q.Tpch.Queries.plan;
+    bases = q.Tpch.Queries.bind db }
+
+let golden () =
+  List.map pattern
+    (Tpch.Patterns.all () @ [ Tpch.Patterns.pattern_ab () ])
+  @ [ query Tpch.Queries.q1; query Tpch.Queries.q21 ]
+
+let run_traced ?(config = Weaver.Config.default) ?(mode = Weaver.Runtime.Resident)
+    ~trace w =
+  let program = Weaver.Driver.compile ~config ~trace w.plan in
+  Weaver.Runtime.run ~trace program w.bases ~mode
+
+(* --- the disabled tracer is free ------------------------------------------- *)
+
+let test_none_allocates_nothing () =
+  (* Every entry point on [Trace.none] must return before touching the
+     heap. [Gc.minor_words] itself boxes a float, so loop many emissions
+     and require the total allocation to stay a small constant. *)
+  let iters = 10_000 in
+  let before = Gc.minor_words () in
+  for _ = 1 to iters do
+    T.instant T.none ~lane:T.Host "x";
+    let s = T.span T.none ~lane:T.Kernel "k" in
+    T.advance T.none 10.0;
+    T.close T.none s;
+    T.counter T.none ~lane:T.Mem "bytes" 1.0;
+    ignore (T.cycles T.none)
+  done;
+  let words = Gc.minor_words () -. before in
+  Alcotest.(check bool)
+    (Printf.sprintf "disabled path allocation (%.0f words for %d iters)" words
+       iters)
+    true
+    (words < 512.0);
+  Alcotest.(check (list string)) "none has no trail" [] (T.trail T.none);
+  Alcotest.(check int) "none records nothing" 0 (T.event_count T.none)
+
+let test_tracing_changes_no_results () =
+  (* differential: Trace.none vs recorder-only vs full event retention
+     must leave results and metrics bit-identical *)
+  let w = pattern (Tpch.Patterns.pattern_c ()) in
+  let plain = run_traced ~trace:T.none w in
+  let recorder = run_traced ~trace:(T.create ~events:false ()) w in
+  let full = run_traced ~trace:(T.create ()) w in
+  List.iter2
+    (fun (i1, r1) (i2, r2) ->
+      Alcotest.(check int) "sink id" i1 i2;
+      Alcotest.(check (array int)) "sink data" (Relation.data r1)
+        (Relation.data r2))
+    plain.Weaver.Runtime.sinks full.Weaver.Runtime.sinks;
+  Alcotest.(check bool) "metrics: none = recorder" true
+    (Weaver.Metrics.equal plain.Weaver.Runtime.metrics
+       recorder.Weaver.Runtime.metrics);
+  Alcotest.(check bool) "metrics: none = full" true
+    (Weaver.Metrics.equal plain.Weaver.Runtime.metrics
+       full.Weaver.Runtime.metrics)
+
+(* --- span-tree well-formedness --------------------------------------------- *)
+
+(* Lanes driven by the simulated clock, where spans reflect the strictly
+   sequential execution order and must nest or be disjoint. Queue and
+   Service lanes intentionally overlap (every request's wait starts at
+   batch arrival), and Worker lanes are wall-clock-only. *)
+let sequential_lane = function
+  | T.Driver | T.Gate | T.Host | T.Kernel | T.Pcie | T.Mem -> true
+  | T.Queue | T.Service | T.Worker _ -> false
+
+let check_well_formed ~what trace =
+  let evs = T.events trace in
+  Alcotest.(check bool) (what ^ ": has events") true (evs <> []);
+  List.iter
+    (fun (e : T.event) ->
+      Alcotest.(check bool) (what ^ ": named") true (e.T.name <> "");
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: %s closed" what e.T.name)
+        true
+        (match e.T.kind with T.Span | T.Wall -> e.T.closed | _ -> true);
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: %s nonneg (start %.0f dur %.0f)" what e.T.name
+           e.T.cycles e.T.dur)
+        true
+        (e.T.cycles >= 0.0 && e.T.dur >= 0.0))
+    evs;
+  (* no two spans on a sequential lane partially overlap *)
+  let spans =
+    List.filter
+      (fun (e : T.event) -> e.T.kind = T.Span && sequential_lane e.T.lane)
+      evs
+  in
+  let overlap (a : T.event) (b : T.event) =
+    a.T.lane = b.T.lane
+    && a.T.cycles < b.T.cycles
+    && b.T.cycles < a.T.cycles +. a.T.dur
+    && a.T.cycles +. a.T.dur < b.T.cycles +. b.T.dur
+  in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          if overlap a b then
+            Alcotest.failf "%s: spans %s and %s partially overlap on lane %s"
+              what a.T.name b.T.name (T.lane_name a.T.lane))
+        spans)
+    spans
+
+let test_span_trees () =
+  List.iter
+    (fun w ->
+      let trace = T.create () in
+      ignore (run_traced ~trace w);
+      check_well_formed ~what:w.name trace;
+      (* the pipeline's landmarks are all present *)
+      let names = List.map (fun (e : T.event) -> e.T.name) (T.events trace) in
+      List.iter
+        (fun n ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: has %s event" w.name n)
+            true (List.mem n names))
+        [ "compile"; "run" ];
+      Alcotest.(check bool)
+        (w.name ^ ": has a gate span")
+        true
+        (List.exists
+           (fun (e : T.event) -> e.T.lane = T.Gate && e.T.kind = T.Span)
+           (T.events trace));
+      Alcotest.(check bool)
+        (w.name ^ ": has a kernel span")
+        true
+        (List.exists
+           (fun (e : T.event) -> e.T.lane = T.Kernel && e.T.kind = T.Span)
+           (T.events trace)))
+    (golden ())
+
+let test_streamed_covers_pcie () =
+  let w = pattern (Tpch.Patterns.pattern_b ()) in
+  let trace = T.create () in
+  let r = run_traced ~trace ~mode:Weaver.Runtime.Streamed w in
+  let pcie_spans =
+    List.filter
+      (fun (e : T.event) -> e.T.lane = T.Pcie && e.T.kind = T.Span)
+      (T.events trace)
+  in
+  Alcotest.(check int) "one span per PCIe transfer"
+    r.Weaver.Runtime.metrics.Weaver.Metrics.pcie_transfers
+    (List.length pcie_spans);
+  let traced_bytes =
+    List.fold_left
+      (fun acc (e : T.event) ->
+        match List.assoc_opt "bytes" e.T.args with
+        | Some (T.Int b) -> acc + b
+        | _ -> acc)
+      0 pcie_spans
+  in
+  Alcotest.(check int) "span args account every byte"
+    r.Weaver.Runtime.metrics.Weaver.Metrics.pcie_bytes traced_bytes
+
+(* --- exporter determinism --------------------------------------------------- *)
+
+let export_with ~jobs w =
+  let config = Weaver.Config.with_jobs Weaver.Config.default jobs in
+  (* a wall clock is attached, so worker wall-spans ARE recorded; the
+     default export must still exclude them *)
+  let trace = T.create ~clock:Unix.gettimeofday () in
+  ignore (run_traced ~config ~trace w);
+  Weaver_obs.Chrome.export trace
+
+let test_export_deterministic_across_jobs () =
+  let w = pattern (Tpch.Patterns.pattern_a ()) in
+  let j1 = export_with ~jobs:1 w in
+  let j4 = export_with ~jobs:4 w in
+  Alcotest.(check string) "chrome export byte-identical jobs=1 vs jobs=4" j1 j4
+
+let json_balanced s =
+  (* cheap structural check: braces/brackets balance outside strings *)
+  let depth = ref 0 and in_str = ref false and esc = ref false and ok = ref true in
+  String.iter
+    (fun c ->
+      if !esc then esc := false
+      else if !in_str then begin
+        if c = '\\' then esc := true else if c = '"' then in_str := false
+      end
+      else
+        match c with
+        | '"' -> in_str := true
+        | '{' | '[' -> incr depth
+        | '}' | ']' ->
+            decr depth;
+            if !depth < 0 then ok := false
+        | _ -> ())
+    s;
+  !ok && !depth = 0 && not !in_str
+
+let test_export_shape () =
+  let w = query Tpch.Queries.q1 in
+  let trace = T.create ~clock:Unix.gettimeofday () in
+  ignore (run_traced ~trace w);
+  let check_one label json =
+    Alcotest.(check bool) (label ^ ": starts with traceEvents") true
+      (String.length json > 16 && String.sub json 0 16 = {|{"traceEvents":[|});
+    Alcotest.(check bool) (label ^ ": balanced") true (json_balanced json)
+  in
+  check_one "default" (Weaver_obs.Chrome.export trace);
+  let wall = Weaver_obs.Chrome.export ~wall:true trace in
+  check_one "wall" wall;
+  (* the wall export is a superset: worker lanes only exist there *)
+  Alcotest.(check bool) "wall export is larger" true
+    (String.length wall > String.length (Weaver_obs.Chrome.export trace))
+
+(* --- flight recorder --------------------------------------------------------- *)
+
+let test_flight_recorder_on_fault () =
+  let w = pattern (Tpch.Patterns.pattern_a ()) in
+  let config =
+    { Weaver.Config.default with Weaver.Config.faults = Some "alloc@1x99" }
+  in
+  let trace = T.create ~events:false () in
+  let program = Weaver.Driver.compile ~config ~trace w.plan in
+  match
+    Weaver.Runtime.run_result ~trace program w.bases
+      ~mode:Weaver.Runtime.Streamed
+  with
+  | Ok _ -> Alcotest.fail "expected the fault storm to exhaust recovery"
+  | Error f ->
+      Alcotest.(check bool) "trail is populated" true
+        (f.Weaver.Runtime.trail <> []);
+      Alcotest.(check bool) "trail names the alloc fault" true
+        (List.exists
+           (fun line ->
+             Astring_contains.contains line "alloc_fault"
+             || Astring_contains.contains line "alloc_retry")
+           f.Weaver.Runtime.trail)
+
+let test_flight_recorder_on_deadline () =
+  let w = pattern (Tpch.Patterns.pattern_b ()) in
+  let config =
+    { Weaver.Config.default with Weaver.Config.deadline_cycles = Some 1.0 }
+  in
+  let trace = T.create ~events:false () in
+  let program = Weaver.Driver.compile ~config ~trace w.plan in
+  match
+    Weaver.Runtime.run_result ~trace program w.bases
+      ~mode:Weaver.Runtime.Resident
+  with
+  | Ok _ -> Alcotest.fail "expected a deadline miss"
+  | Error f ->
+      (match f.Weaver.Runtime.fault with
+      | Gpu_sim.Fault.Deadline_exceeded _ -> ()
+      | fault ->
+          Alcotest.failf "expected Deadline_exceeded, got %s"
+            (Gpu_sim.Fault.render fault));
+      Alcotest.(check bool) "deadline trail is populated" true
+        (f.Weaver.Runtime.trail <> [])
+
+let test_trail_is_bounded () =
+  let trace = T.create ~ring:4 ~events:false () in
+  for i = 1 to 100 do
+    T.instant trace ~lane:T.Host (Printf.sprintf "i%d" i)
+  done;
+  let trail = T.trail trace in
+  Alcotest.(check int) "ring keeps the last 4" 4 (List.length trail);
+  Alcotest.(check bool) "oldest-first ends at the newest" true
+    (match List.rev trail with
+    | newest :: _ -> Astring_contains.contains newest "i100"
+    | [] -> false)
+
+(* --- metrics registry -------------------------------------------------------- *)
+
+let test_registry_matches_metrics () =
+  let w = query Tpch.Queries.q1 in
+  let trace = T.create () in
+  let r = run_traced ~trace ~mode:Weaver.Runtime.Streamed w in
+  let m = r.Weaver.Runtime.metrics in
+  let reg = Reg.create () in
+  Reg.observe_trace reg trace;
+  Alcotest.(check (float 0.0)) "launch counter = metrics.launches"
+    (float_of_int m.Weaver.Metrics.launches)
+    (Reg.counter_value reg "weaver_launches_total");
+  Alcotest.(check (float 0.0)) "transfer counter = metrics.pcie_transfers"
+    (float_of_int m.Weaver.Metrics.pcie_transfers)
+    (Reg.counter_value reg "weaver_pcie_transfers_total");
+  Alcotest.(check (float 0.0)) "byte counter = metrics.pcie_bytes"
+    (float_of_int m.Weaver.Metrics.pcie_bytes)
+    (Reg.counter_value reg "weaver_pcie_bytes_total");
+  Alcotest.(check int) "kernel histogram count = launches"
+    m.Weaver.Metrics.launches
+    (Reg.histogram_count reg "weaver_kernel_cycles");
+  Alcotest.(check (float 1e-6)) "kernel histogram sum = kernel cycles"
+    m.Weaver.Metrics.kernel_cycles
+    (Reg.histogram_sum reg "weaver_kernel_cycles")
+
+let test_quantiles_and_prometheus () =
+  let reg = Reg.create () in
+  for i = 1 to 1000 do
+    Reg.observe reg "lat" (float_of_int i)
+  done;
+  Reg.inc reg "hits_total";
+  Reg.inc ~by:2.0 reg "hits_total";
+  Reg.set_gauge reg "depth" 7.0;
+  let q p =
+    match Reg.quantile reg "lat" p with
+    | Some v -> v
+    | None -> Alcotest.fail "quantile absent"
+  in
+  Alcotest.(check bool) "p50 <= p95 <= p99 <= max" true
+    (q 0.5 <= q 0.95 && q 0.95 <= q 0.99 && q 0.99 <= 1000.0);
+  Alcotest.(check bool) "p50 in the right ballpark" true
+    (q 0.5 >= 256.0 && q 0.5 <= 1024.0);
+  let dump = Reg.prometheus reg in
+  let lines = String.split_on_char '\n' dump in
+  (* every sample line is "name[{labels}] number"; bucket lines are
+     cumulative and end at _count *)
+  let bucket_counts = ref [] in
+  List.iter
+    (fun line ->
+      if line <> "" && line.[0] <> '#' then begin
+        match String.rindex_opt line ' ' with
+        | None -> Alcotest.failf "unparseable line: %s" line
+        | Some i -> (
+            let v = String.sub line (i + 1) (String.length line - i - 1) in
+            match float_of_string_opt v with
+            | None -> Alcotest.failf "not a number: %s" line
+            | Some f ->
+                if
+                  String.length line >= 11
+                  && String.sub line 0 11 = "lat_bucket{"
+                then bucket_counts := f :: !bucket_counts)
+      end)
+    lines;
+  (match !bucket_counts with
+  | [] -> Alcotest.fail "no bucket lines in the dump"
+  | newest :: rest ->
+      Alcotest.(check (float 0.0)) "+Inf bucket = count" 1000.0 newest;
+      ignore rest;
+      Alcotest.(check bool) "buckets are cumulative" true
+        (let sorted = List.rev !bucket_counts in
+         let rec mono = function
+           | a :: (b :: _ as t) -> a <= b && mono t
+           | _ -> true
+         in
+         mono sorted));
+  Alcotest.(check bool) "dump mentions every family" true
+    (List.for_all
+       (fun needle -> Astring_contains.contains dump needle)
+       [ "# TYPE lat histogram"; "# TYPE hits_total counter";
+         "# TYPE depth gauge"; "lat_sum"; "lat_count"; "depth 7" ])
+
+let test_service_registry () =
+  let mk rid w =
+    let wl = pattern w in
+    let program = Weaver.Driver.compile wl.plan in
+    Weaver.Service.request ~rid program wl.bases
+  in
+  let reqs =
+    [ mk 0 (Tpch.Patterns.pattern_a ()); mk 1 (Tpch.Patterns.pattern_b ());
+      mk 2 (Tpch.Patterns.pattern_e ()) ]
+  in
+  let registry = Reg.create () in
+  let trace = T.create () in
+  let responses, stats = Weaver.Service.run_batch ~trace ~registry reqs in
+  Alcotest.(check (float 0.0)) "completed counter"
+    (float_of_int stats.Weaver.Service.completed)
+    (Reg.counter_value registry "weaver_service_completed_total");
+  Alcotest.(check int) "latency histogram count"
+    stats.Weaver.Service.completed
+    (Reg.histogram_count registry "weaver_service_latency_cycles");
+  (* histogram-derived quantiles bracket the exact ones *)
+  (match Reg.quantile registry "weaver_service_latency_cycles" 0.95 with
+  | Some p95 ->
+      Alcotest.(check bool) "hist p95 >= exact p50" true
+        (p95 >= stats.Weaver.Service.p50_latency_cycles)
+  | None -> Alcotest.fail "no latency histogram");
+  (* every response's metrics carry service provenance *)
+  List.iter
+    (fun (r : Weaver.Service.response) ->
+      match r.Weaver.Service.verdict with
+      | Weaver.Service.Completed res ->
+          Alcotest.(check bool) "stamped as service" true
+            res.Weaver.Runtime.metrics.Weaver.Metrics.service
+      | _ -> Alcotest.fail "expected completion")
+    responses;
+  (* the batch trace has one Queue wait and one Service span per request *)
+  let count lane kind =
+    List.length
+      (List.filter
+         (fun (e : T.event) -> e.T.lane = lane && e.T.kind = kind)
+         (T.events trace))
+  in
+  Alcotest.(check int) "one queue wait per request" 3 (count T.Queue T.Span);
+  Alcotest.(check int) "one service span per request" 3
+    (count T.Service T.Span)
+
+let suite =
+  [
+    Alcotest.test_case "disabled tracer allocates nothing" `Quick
+      test_none_allocates_nothing;
+    Alcotest.test_case "tracing changes no results or metrics" `Quick
+      test_tracing_changes_no_results;
+    Alcotest.test_case "span trees well-formed on golden set" `Slow
+      test_span_trees;
+    Alcotest.test_case "streamed trace covers every PCIe transfer" `Quick
+      test_streamed_covers_pcie;
+    Alcotest.test_case "chrome export deterministic across jobs" `Quick
+      test_export_deterministic_across_jobs;
+    Alcotest.test_case "chrome export shape" `Quick test_export_shape;
+    Alcotest.test_case "flight recorder on fault storm" `Quick
+      test_flight_recorder_on_fault;
+    Alcotest.test_case "flight recorder on deadline miss" `Quick
+      test_flight_recorder_on_deadline;
+    Alcotest.test_case "flight recorder ring is bounded" `Quick
+      test_trail_is_bounded;
+    Alcotest.test_case "registry agrees with runtime metrics" `Quick
+      test_registry_matches_metrics;
+    Alcotest.test_case "quantiles and prometheus exposition" `Quick
+      test_quantiles_and_prometheus;
+    Alcotest.test_case "service populates registry and lanes" `Quick
+      test_service_registry;
+  ]
