@@ -11,6 +11,8 @@
      bench/main.exe [OPTS] parallel       only the jobs=1 vs jobs=N comparison
      bench/main.exe [OPTS] chaos          recovery counters under injected faults
      bench/main.exe [OPTS] service        multi-query service throughput/latency
+     bench/main.exe [OPTS] overload       goodput curve under fault storms at
+                                          0.5x/1x/2x/4x of admit capacity
      bench/main.exe [OPTS] obs            tracer overhead: disabled vs recorder
                                           vs full event retention
 
@@ -294,6 +296,133 @@ let service ~jobs ~quick () =
   record ~experiment:e ~metric:"throughput_qps"
     stats.Weaver.Service.throughput_qps
 
+(* --- overload: goodput under fault storms at increasing offered load -------- *)
+
+(* Sweeps offered load at 0.5x/1x/2x/4x of the service's admit capacity
+   (queue_limit + 1 — the running query plus the bounded queue) while
+   every request carries a decorrelated probabilistic fault storm, a
+   retry-token budget and a deadline; hedging is armed. Records the
+   goodput curve (completed queries per simulated second) plus every
+   degradation counter, and asserts the overload invariants: recovery
+   never spends more tokens than the budget allows and no path — hedge
+   losers included — leaks a device buffer. *)
+let overload ~jobs ~quick () =
+  let rows = if quick then 1_000 else 4_000 in
+  let base = Weaver.Config.with_jobs Weaver.Config.default jobs in
+  let w = Tpch.Patterns.pattern_a () in
+  let bases = w.Tpch.Patterns.gen ~seed:11 ~rows in
+  (* calibrate the deadline from one clean solo run: generous enough to
+     finish, tight enough that storm-induced recovery can exhaust it *)
+  let solo =
+    let program = Weaver.Driver.compile ~config:base w.Tpch.Patterns.plan in
+    let r = Weaver.Driver.run program bases ~mode:Weaver.Runtime.Resident in
+    Weaver.Metrics.total_cycles r.Weaver.Runtime.metrics
+  in
+  let deadline = 3.0 *. solo in
+  let retry_budget = 8 in
+  let storm_rate = 0.05 in
+  let queue_limit = 8 in
+  let capacity = queue_limit + 1 in
+  let service_config =
+    {
+      Weaver.Service.default_config with
+      Weaver.Service.queue_limit;
+      hedge_quantile = Some 0.95;
+    }
+  in
+  Printf.printf
+    "\n== overload: goodput vs offered load under a %.0f%% fault storm ==\n\
+     (%s/%d rows, solo cost %.3e cycles, deadline %.3e, retry budget %d, \
+     capacity %d)\n"
+    (storm_rate *. 100.0) w.Tpch.Patterns.name rows solo deadline retry_budget
+    capacity;
+  List.iter
+    (fun load_factor ->
+      let n =
+        max 1 (int_of_float (load_factor *. float_of_int capacity +. 0.5))
+      in
+      let requests =
+        List.init n (fun rid ->
+            (* each request carries its own rate seed so the storms are
+               decorrelated: retries that rescue one request don't line
+               up with every other request's faults *)
+            let faults =
+              Printf.sprintf "rseed@%d,alloc%%%g,launch%%%g,transfer%%%g"
+                (100 + rid) storm_rate storm_rate storm_rate
+            in
+            let config =
+              {
+                base with
+                Weaver.Config.faults = Some faults;
+                retry_budget = Some retry_budget;
+              }
+            in
+            let program =
+              Weaver.Driver.compile ~config w.Tpch.Patterns.plan
+            in
+            Weaver.Service.request ~rid ~deadline_cycles:deadline program
+              bases)
+      in
+      let responses, stats =
+        Weaver.Service.run_batch ~config:service_config requests
+      in
+      (* overload invariants, on every response including hedge losers *)
+      let leaks = ref 0 and over_budget = ref 0 in
+      let check (m : Weaver.Metrics.t) =
+        leaks := !leaks + List.length m.Weaver.Metrics.leaks;
+        if
+          m.Weaver.Metrics.retries + m.Weaver.Metrics.fissions
+          + m.Weaver.Metrics.demotions
+          > retry_budget
+        then incr over_budget
+      in
+      List.iter
+        (fun (r : Weaver.Service.response) ->
+          match r.Weaver.Service.verdict with
+          | Weaver.Service.Completed res -> check res.Weaver.Runtime.metrics
+          | Weaver.Service.Failed f -> check f.Weaver.Runtime.partial
+          | Weaver.Service.Rejected _ -> ())
+        responses;
+      if !leaks > 0 then failwith "overload: leaked device buffers";
+      if !over_budget > 0 then
+        failwith "overload: recovery exceeded its token budget";
+      let e = Printf.sprintf "overload-%gx" load_factor in
+      let goodput = stats.Weaver.Service.throughput_qps in
+      Printf.printf
+        "%4.1fx load (%2d requests): goodput %10.1f q/s  completed=%-2d \
+         failed=%-2d rejected=%-2d (shed %d) misses=%-2d vetoes=%-2d \
+         hedges=%d/%d brownouts=%d sheds=%d\n"
+        load_factor n goodput stats.Weaver.Service.completed
+        stats.Weaver.Service.failed stats.Weaver.Service.rejected
+        stats.Weaver.Service.shed_rejections
+        stats.Weaver.Service.deadline_misses stats.Weaver.Service.budget_vetoes
+        stats.Weaver.Service.hedge_wins stats.Weaver.Service.hedges
+        stats.Weaver.Service.brownout_entries stats.Weaver.Service.shed_entries;
+      record ~experiment:e ~metric:"offered" (float_of_int n);
+      record ~experiment:e ~metric:"goodput_qps" goodput;
+      record ~experiment:e ~metric:"completed"
+        (float_of_int stats.Weaver.Service.completed);
+      record ~experiment:e ~metric:"failed"
+        (float_of_int stats.Weaver.Service.failed);
+      record ~experiment:e ~metric:"rejected"
+        (float_of_int stats.Weaver.Service.rejected);
+      record ~experiment:e ~metric:"shed_rejections"
+        (float_of_int stats.Weaver.Service.shed_rejections);
+      record ~experiment:e ~metric:"deadline_misses"
+        (float_of_int stats.Weaver.Service.deadline_misses);
+      record ~experiment:e ~metric:"budget_vetoes"
+        (float_of_int stats.Weaver.Service.budget_vetoes);
+      record ~experiment:e ~metric:"hedges"
+        (float_of_int stats.Weaver.Service.hedges);
+      record ~experiment:e ~metric:"hedge_wins"
+        (float_of_int stats.Weaver.Service.hedge_wins);
+      record ~experiment:e ~metric:"brownout_entries"
+        (float_of_int stats.Weaver.Service.brownout_entries);
+      record ~experiment:e ~metric:"shed_entries"
+        (float_of_int stats.Weaver.Service.shed_entries);
+      record ~experiment:e ~metric:"leaked_buffers" (float_of_int !leaks))
+    [ 0.5; 1.0; 2.0; 4.0 ]
+
 (* --- obs: tracer overhead --------------------------------------------------- *)
 
 (* Times the same run three ways: with the tracer disabled (Trace.none,
@@ -419,12 +548,14 @@ let () =
   | [ "parallel" ] -> parallel_comparison ~jobs:!jobs ~quick ()
   | [ "chaos" ] -> chaos ~jobs:!jobs ~quick ()
   | [ "service" ] -> service ~jobs:!jobs ~quick ()
+  | [ "overload" ] -> overload ~jobs:!jobs ~quick ()
   | [ "obs" ] -> obs ~jobs:!jobs ~quick ()
   | [] ->
       run_experiments ~quick ~jobs:!jobs [];
       parallel_comparison ~jobs:!jobs ~quick ();
       chaos ~jobs:!jobs ~quick ();
       service ~jobs:!jobs ~quick ();
+      overload ~jobs:!jobs ~quick ();
       obs ~jobs:!jobs ~quick ();
       bechamel_suite ~jobs:!jobs ()
   | names -> run_experiments ~quick ~jobs:!jobs names);

@@ -153,8 +153,10 @@ let usage_error fmt =
     fmt
 
 let faults_usage =
-  "usage: site@N[xC][:KIND],... or seed@S[xC] — sites alloc|launch|transfer, \
-   kinds staging|input|groups (e.g. 'launch@3x2:groups,alloc@5')"
+  "usage: site@N[xC][:KIND], site@N..M[:KIND], site%P[@N..M][:KIND], \
+   rseed@S or seed@S[xC], comma-separated — sites alloc|launch|transfer, \
+   kinds staging|input|groups, 0 < P <= 1 (e.g. \
+   'launch@3x2:groups,alloc@5' or 'rseed@7,alloc%0.05@10..')"
 
 let is_faults_spec_error msg =
   String.length msg >= 13 && String.sub msg 0 13 = "WEAVER_FAULTS"
@@ -188,7 +190,10 @@ let guard ?recorder f =
       Printf.eprintf "weaver-cli: %s%s\n" (Gpu_sim.Fault.render fault) trail;
       exit
         (match fault with
-        | Gpu_sim.Fault.Deadline_exceeded _ | Gpu_sim.Fault.Cancelled _ ->
+        | Gpu_sim.Fault.Deadline_exceeded _ | Gpu_sim.Fault.Cancelled _
+        | Gpu_sim.Fault.Budget_vetoed
+            { reason = Gpu_sim.Fault.Deadline_too_close _; _ } ->
+            (* a deadline-cost veto is a deadline miss discovered early *)
             exit_deadline
         | _ -> exit_fault)
   | Invalid_argument msg when is_faults_spec_error msg ->
@@ -562,7 +567,9 @@ let trace_cmd =
         let deadline_only =
           List.for_all
             (function
-              | Gpu_sim.Fault.Deadline_exceeded _ | Gpu_sim.Fault.Cancelled _ ->
+              | Gpu_sim.Fault.Deadline_exceeded _ | Gpu_sim.Fault.Cancelled _
+              | Gpu_sim.Fault.Budget_vetoed
+                  { reason = Gpu_sim.Fault.Deadline_too_close _; _ } ->
                   true
               | _ -> false)
             !failures
@@ -595,6 +602,9 @@ let verdict_line (r : Weaver.Service.response) =
   let placement =
     if r.Weaver.Service.pre_demoted then mode ^ " (pre-demoted)" else mode
   in
+  let placement =
+    if r.Weaver.Service.hedged then placement ^ ", hedged" else placement
+  in
   match r.Weaver.Service.verdict with
   | Weaver.Service.Completed res ->
       let rows =
@@ -614,6 +624,8 @@ let verdict_line (r : Weaver.Service.response) =
       (Weaver.Service.Over_capacity { footprint_bytes; capacity_bytes }) ->
       Printf.sprintf "rejected: estimated footprint %d B exceeds device \
                       memory %d B" footprint_bytes capacity_bytes
+  | Weaver.Service.Rejected (Weaver.Service.Overloaded { level }) ->
+      Printf.sprintf "rejected: service overloaded (%s)" level
 
 let stats_json (s : Weaver.Service.stats) =
   String.concat ""
@@ -622,15 +634,28 @@ let stats_json (s : Weaver.Service.stats) =
       Printf.sprintf "  \"submitted\": %d,\n" s.Weaver.Service.submitted;
       Printf.sprintf "  \"admitted\": %d,\n" s.Weaver.Service.admitted;
       Printf.sprintf "  \"rejected\": %d,\n" s.Weaver.Service.rejected;
+      Printf.sprintf "  \"queue_rejections\": %d,\n"
+        s.Weaver.Service.queue_rejections;
+      Printf.sprintf "  \"capacity_rejections\": %d,\n"
+        s.Weaver.Service.capacity_rejections;
+      Printf.sprintf "  \"shed_rejections\": %d,\n"
+        s.Weaver.Service.shed_rejections;
       Printf.sprintf "  \"completed\": %d,\n" s.Weaver.Service.completed;
       Printf.sprintf "  \"failed\": %d,\n" s.Weaver.Service.failed;
       Printf.sprintf "  \"deadline_misses\": %d,\n"
         s.Weaver.Service.deadline_misses;
       Printf.sprintf "  \"cancelled\": %d,\n" s.Weaver.Service.cancelled;
+      Printf.sprintf "  \"budget_vetoes\": %d,\n" s.Weaver.Service.budget_vetoes;
       Printf.sprintf "  \"pre_demotions\": %d,\n" s.Weaver.Service.pre_demotions;
       Printf.sprintf "  \"runtime_demotions\": %d,\n"
         s.Weaver.Service.runtime_demotions;
       Printf.sprintf "  \"breaker_trips\": %d,\n" s.Weaver.Service.breaker_trips;
+      Printf.sprintf "  \"hedges\": %d,\n" s.Weaver.Service.hedges;
+      Printf.sprintf "  \"hedge_wins\": %d,\n" s.Weaver.Service.hedge_wins;
+      Printf.sprintf "  \"hedge_losses\": %d,\n" s.Weaver.Service.hedge_losses;
+      Printf.sprintf "  \"brownout_entries\": %d,\n"
+        s.Weaver.Service.brownout_entries;
+      Printf.sprintf "  \"shed_entries\": %d,\n" s.Weaver.Service.shed_entries;
       Printf.sprintf "  \"p50_latency_cycles\": %.6e,\n"
         s.Weaver.Service.p50_latency_cycles;
       Printf.sprintf "  \"p95_latency_cycles\": %.6e,\n"
@@ -677,15 +702,66 @@ let serve name ~doc =
              ~doc:"Resident footprint budget as a fraction of device memory; \
                    estimates above it are admitted pre-demoted to Streamed")
   in
+  let retry_budget_arg =
+    Arg.(value & opt (some int) None
+         & info [ "retry-budget" ] ~docv:"N"
+             ~doc:"Per-request recovery token budget: every retry, fission \
+                   split or demotion spends one token; exhaustion (or an \
+                   action that cannot finish before the deadline) fails the \
+                   query fast with a typed budget-veto fault")
+  in
+  let hedge_arg =
+    Arg.(value & opt (some float) None
+         & info [ "hedge-quantile" ] ~docv:"Q"
+             ~doc:"Hedged launches: cancel a primary execution that overruns \
+                   this latency quantile (e.g. 0.95) of completed \
+                   executions and issue a speculative Streamed backup; \
+                   first completion wins")
+  in
+  let hedge_min_arg =
+    Arg.(value
+         & opt int
+             Weaver.Service.default_config.Weaver.Service.hedge_min_samples
+         & info [ "hedge-min-samples" ] ~docv:"N"
+             ~doc:"Completed executions required before hedging arms")
+  in
+  let brownout_threshold_arg =
+    Arg.(value
+         & opt int
+             Weaver.Service.default_config.Weaver.Service.brownout_threshold
+         & info [ "brownout-threshold" ] ~docv:"N"
+             ~doc:"Pressure marks in the sliding window that force Streamed \
+                   placement and disable hedging (Brownout)")
+  in
+  let shed_threshold_arg =
+    Arg.(value
+         & opt int Weaver.Service.default_config.Weaver.Service.shed_threshold
+         & info [ "shed-threshold" ] ~docv:"N"
+             ~doc:"Pressure marks in the sliding window that reject new \
+                   admissions outright (Shed)")
+  in
+  let brownout_cooldown_arg =
+    Arg.(value
+         & opt int
+             Weaver.Service.default_config.Weaver.Service.brownout_cooldown
+         & info [ "brownout-cooldown" ] ~docv:"N"
+             ~doc:"Clean completions needed to recover from Brownout; also \
+                   the number of admissions a Shed episode rejects before \
+                   probing again")
+  in
   let json_arg =
     Arg.(value & flag & info [ "json" ]
            ~doc:"Print the service statistics as JSON (per-request lines are \
                  suppressed)")
   in
   let run files rows inputs seed repeat streamed jobs faults dcycles dms
-      queue_limit admit_fraction json trace_out metrics_out =
+      queue_limit admit_fraction retry_budget hedge_quantile hedge_min_samples
+      brownout_threshold shed_threshold brownout_cooldown json trace_out
+      metrics_out =
     guard (fun () ->
-        let base_cfg = config_of jobs faults in
+        let base_cfg =
+          { (config_of jobs faults) with Weaver.Config.retry_budget }
+        in
         let mode =
           if streamed then Weaver.Runtime.Streamed else Weaver.Runtime.Resident
         in
@@ -708,11 +784,20 @@ let serve name ~doc =
                        (Option.map (fun ms -> ms /. 1000.0) dms)
                      program bases ))
         in
+        (match hedge_quantile with
+        | Some q when q <= 0.0 || q >= 1.0 ->
+            usage_error "bad --hedge-quantile %g (want 0 < Q < 1)" q
+        | _ -> ());
         let config =
           {
             Weaver.Service.default_config with
             Weaver.Service.queue_limit;
             admit_fraction;
+            hedge_quantile;
+            hedge_min_samples;
+            brownout_threshold;
+            shed_threshold;
+            brownout_cooldown;
           }
         in
         let trace =
@@ -767,7 +852,9 @@ let serve name ~doc =
         (const run $ queries_arg $ rows_arg $ inputs_arg $ seed_arg
        $ repeat_arg $ streamed_arg $ jobs_arg $ faults_arg
        $ deadline_cycles_arg $ deadline_ms_arg $ queue_arg $ admit_arg
-       $ json_arg $ trace_out_arg $ metrics_out_arg))
+       $ retry_budget_arg $ hedge_arg $ hedge_min_arg $ brownout_threshold_arg
+       $ shed_threshold_arg $ brownout_cooldown_arg $ json_arg $ trace_out_arg
+       $ metrics_out_arg))
 
 let serve_cmd =
   serve "serve"

@@ -8,6 +8,11 @@ type direction = H2d | D2h [@@deriving show { with_path = false }, eq]
 type deadline_kind = Deadline_cycles | Deadline_wall
 [@@deriving show { with_path = false }, eq]
 
+type budget_reason =
+  | Tokens_exhausted of { budget : int; spent : int }
+  | Deadline_too_close of { estimated : float; remaining : float }
+[@@deriving show { with_path = false }, eq]
+
 type t =
   | Capacity_trap of {
       which : capacity;
@@ -38,6 +43,7 @@ type t =
     }
   | Transfer_failure of { direction : direction; bytes : int; injected : bool }
   | Host_error of string
+  | Budget_vetoed of { action : string; reason : budget_reason }
   | Deadline_exceeded of { kind : deadline_kind; limit : float; spent : float }
   | Cancelled of { reason : string }
   | Recovery_exhausted of { attempts : int; last : t }
@@ -127,6 +133,16 @@ let rec render = function
         (direction_name direction) bytes
         (if injected then " [injected]" else "")
   | Host_error msg -> msg
+  | Budget_vetoed { action; reason = Tokens_exhausted { budget; spent } } ->
+      Printf.sprintf
+        "recovery budget exhausted: %s vetoed after %d of %d retry tokens spent"
+        action spent budget
+  | Budget_vetoed { action; reason = Deadline_too_close { estimated; remaining } }
+    ->
+      Printf.sprintf
+        "recovery vetoed: %s estimated at %.0f cycles but only %.0f remain \
+         before the deadline"
+        action estimated remaining
   | Deadline_exceeded { kind = Deadline_cycles; limit; spent } ->
       Printf.sprintf
         "deadline exceeded: %.0f simulated cycles spent of a %.0f-cycle budget"

@@ -22,6 +22,12 @@
     - [Transfer_failure]: a PCIe copy failed (injected transient).
       Recoverable by retrying the transfer.
     - [Host_error]: host-side planning/runtime invariant violations.
+    - [Budget_vetoed]: the runtime's recovery controller refused to start
+      a retry/fission/demotion attempt — either the per-request retry
+      token budget ran out ([Tokens_exhausted]) or the attempt's cost
+      estimate cannot finish inside the remaining deadline budget
+      ([Deadline_too_close]). Fail-fast by construction: terminal, never
+      retried.
     - [Deadline_exceeded]: a per-query budget (simulated cycles or wall
       clock) ran out; raised cooperatively via {!Cancel} tokens. Terminal:
       never retried.
@@ -36,6 +42,12 @@ type space = Global_space | Shared_space
 type direction = H2d | D2h
 
 type deadline_kind = Deadline_cycles | Deadline_wall
+
+type budget_reason =
+  | Tokens_exhausted of { budget : int; spent : int }
+      (** the per-request retry token budget ran out *)
+  | Deadline_too_close of { estimated : float; remaining : float }
+      (** the attempt's cost estimate exceeds the remaining cycle budget *)
 
 type t =
   | Capacity_trap of {
@@ -67,6 +79,8 @@ type t =
     }
   | Transfer_failure of { direction : direction; bytes : int; injected : bool }
   | Host_error of string
+  | Budget_vetoed of { action : string; reason : budget_reason }
+      (** recovery refused to start [action]; see {!budget_reason} *)
   | Deadline_exceeded of { kind : deadline_kind; limit : float; spent : float }
   | Cancelled of { reason : string }
   | Recovery_exhausted of { attempts : int; last : t }
@@ -125,3 +139,7 @@ val equal_direction : direction -> direction -> bool
 val pp_deadline_kind : Format.formatter -> deadline_kind -> unit
 val show_deadline_kind : deadline_kind -> string
 val equal_deadline_kind : deadline_kind -> deadline_kind -> bool
+
+val pp_budget_reason : Format.formatter -> budget_reason -> unit
+val show_budget_reason : budget_reason -> string
+val equal_budget_reason : budget_reason -> budget_reason -> bool

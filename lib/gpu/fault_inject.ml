@@ -8,9 +8,20 @@ type event = {
 }
 [@@deriving show { with_path = false }, eq]
 
+type rule = {
+  rsite : site;
+  rate : float;
+  rseed : int;
+  first : int;
+  last : int option;
+  rkind : Fault.capacity;
+}
+[@@deriving show { with_path = false }, eq]
+
 type t = {
   enabled : bool;
   events : event list;
+  rules : rule list;
   mutable allocs : int;
   mutable launches : int;
   mutable transfers : int;
@@ -23,6 +34,7 @@ let none =
   {
     enabled = false;
     events = [];
+    rules = [];
     allocs = 0;
     launches = 0;
     transfers = 0;
@@ -31,10 +43,11 @@ let none =
     injected_transfers = 0;
   }
 
-let create events =
+let create ?(rules = []) events =
   {
-    enabled = events <> [];
+    enabled = events <> [] || rules <> [];
     events;
+    rules;
     allocs = 0;
     launches = 0;
     transfers = 0;
@@ -42,6 +55,9 @@ let create events =
     injected_launches = 0;
     injected_transfers = 0;
   }
+
+let events t = t.events
+let rules t = t.rules
 
 let allocs t = t.allocs
 let launches t = t.launches
@@ -58,31 +74,59 @@ let counters t =
     ("injected_transfers", t.injected_transfers);
   ]
 
+(* deterministic 64-bit mix (splitmix64 finalizer) *)
+let mix x =
+  let x = Int64.of_int x in
+  let x = Int64.mul (Int64.logxor x (Int64.shift_right_logical x 30)) 0xbf58476d1ce4e5b9L in
+  let x = Int64.mul (Int64.logxor x (Int64.shift_right_logical x 27)) 0x94d049bb133111ebL in
+  Int64.to_int (Int64.logand (Int64.logxor x (Int64.shift_right_logical x 31)) 0x3FFFFFFFFFFFFFFFL)
+
+let site_code = function Alloc -> 0 | Launch -> 1 | Transfer -> 2
+
+(* A rule fires on the nth call iff the call is inside the rule's window
+   and the hash of (seed, site, n) lands under the rate. Depends only on
+   the schedule and the 1-based site counter — bit-deterministic across
+   runs, retries and worker counts. *)
+let rule_fires r site n =
+  r.rsite = site && n >= r.first
+  && (match r.last with None -> true | Some m -> n <= m)
+  &&
+  let h = mix ((((r.rseed * 1_000_003) + site_code site) * 65_599) + n) in
+  float_of_int (h mod 1_048_576) < r.rate *. 1_048_576.0
+
+let event_hits e site n = e.site = site && e.at <= n && n < e.at + e.count
+
 let hits t site n =
-  List.exists
-    (fun e -> e.site = site && e.at <= n && n < e.at + e.count)
-    t.events
+  List.exists (fun e -> event_hits e site n) t.events
+  || List.exists (fun r -> rule_fires r site n) t.rules
 
 let kind_at t site n =
-  match
-    List.find_opt
-      (fun e -> e.site = site && e.at <= n && n < e.at + e.count)
-      t.events
-  with
+  match List.find_opt (fun e -> event_hits e site n) t.events with
   | Some e -> e.kind
-  | None -> Fault.Cap_staging
+  | None -> (
+      match List.find_opt (fun r -> rule_fires r site n) t.rules with
+      | Some r -> r.rkind
+      | None -> Fault.Cap_staging)
 
 (* --- schedule syntax -------------------------------------------------------
 
-   Comma/semicolon-separated events:
+   Comma/semicolon-separated entries:
      alloc@N[xC]            the Nth (1-based) allocation fails as device OOM,
                             and the C-1 following ones too (default C=1)
      launch@N[xC][:KIND]    the Nth kernel launch traps; KIND is one of
                             staging (default), input, groups
      transfer@N[xC]         the Nth PCIe transfer fails
+     site@N..M[:KIND]       window form: every call from the Nth to the Mth
+                            (inclusive) faults — sugar for site@Nx(M-N+1)
+     site%P[@N..M][:KIND]   probabilistic rate: each call fails with
+                            probability P (0 < P <= 1), decided by a
+                            deterministic hash of (rate seed, site,
+                            counter); an optional @N..M window bounds it
+     rseed@S                set the rate seed for subsequent %-rules
+                            (default 1); same spec, same faults — always
      seed@S[xC]             C pseudo-random events (default 3) derived
                             deterministically from seed S
-   e.g. WEAVER_FAULTS="launch@3x2:groups,transfer@1,alloc@5" *)
+   e.g. WEAVER_FAULTS="launch@3x2:groups,transfer@1..4,rseed@7,alloc%0.05" *)
 
 let parse_error fmt =
   Printf.ksprintf (fun s -> invalid_arg ("WEAVER_FAULTS: " ^ s)) fmt
@@ -92,13 +136,6 @@ let parse_kind = function
   | "input" -> Fault.Cap_input_tile
   | "groups" -> Fault.Cap_groups
   | s -> parse_error "unknown trap kind %S (want staging|input|groups)" s
-
-(* deterministic 64-bit mix (splitmix64 finalizer) *)
-let mix x =
-  let x = Int64.of_int x in
-  let x = Int64.mul (Int64.logxor x (Int64.shift_right_logical x 30)) 0xbf58476d1ce4e5b9L in
-  let x = Int64.mul (Int64.logxor x (Int64.shift_right_logical x 27)) 0x94d049bb133111ebL in
-  Int64.to_int (Int64.logand (Int64.logxor x (Int64.shift_right_logical x 31)) 0x3FFFFFFFFFFFFFFFL)
 
 let of_seed ?(events = 3) seed =
   List.init events (fun i ->
@@ -114,53 +151,160 @@ let of_seed ?(events = 3) seed =
          runs; counts of 1-2 exercise consecutive-fault handling *)
       { site; at = 1 + ((h / 9) mod 12); count = 1 + ((h / 108) mod 2); kind })
 
-let parse_event s =
-  match String.index_opt s '@' with
-  | None -> parse_error "event %S lacks '@' (want site@N)" s
+let split_kind rest =
+  match String.index_opt rest ':' with
+  | None -> (rest, Fault.Cap_staging)
+  | Some j ->
+      ( String.sub rest 0 j,
+        parse_kind (String.sub rest (j + 1) (String.length rest - j - 1)) )
+
+let parse_pos what s =
+  match int_of_string_opt s with
+  | Some n when n > 0 -> n
+  | _ -> parse_error "bad %s %S (1-based)" what s
+
+(* "N" -> (N, 1); "NxC" -> (N, C); "N..M" -> (N, M-N+1) *)
+let parse_at_count rest =
+  match String.index_opt rest '.' with
+  | Some i when i + 1 < String.length rest && rest.[i + 1] = '.' ->
+      let at = parse_pos "window start" (String.sub rest 0 i) in
+      let m =
+        parse_pos "window end"
+          (String.sub rest (i + 2) (String.length rest - i - 2))
+      in
+      if m < at then parse_error "empty window %S (want N..M with N <= M)" rest;
+      (at, m - at + 1)
+  | Some _ -> parse_error "bad event position %S (1-based)" rest
+  | None -> (
+      match String.index_opt rest 'x' with
+      | None -> (parse_pos "event position" rest, 1)
+      | Some j -> (
+          let c = String.sub rest (j + 1) (String.length rest - j - 1) in
+          ( parse_pos "event position" (String.sub rest 0 j),
+            match int_of_string_opt c with
+            | Some c when c > 0 -> c
+            | _ -> parse_error "bad repeat count %S" c )))
+
+let parse_site s =
+  match s with
+  | "alloc" -> Alloc
+  | "launch" -> Launch
+  | "transfer" -> Transfer
+  | s ->
+      parse_error "unknown site %S (want alloc|launch|transfer|seed|rseed)" s
+
+type entry =
+  | Entry_events of event list
+  | Entry_rule of (int -> rule)  (* awaiting the running rate seed *)
+  | Entry_rate_seed of int
+
+let parse_entry s =
+  match String.index_opt s '%' with
   | Some i ->
-      let site_s = String.sub s 0 i in
+      (* site%P[@N..M][:KIND] — probabilistic rate rule *)
+      let rsite = parse_site (String.sub s 0 i) in
       let rest = String.sub s (i + 1) (String.length s - i - 1) in
-      let rest, kind =
-        match String.index_opt rest ':' with
-        | None -> (rest, Fault.Cap_staging)
+      let rest, rkind = split_kind rest in
+      let rate_s, window =
+        match String.index_opt rest '@' with
+        | None -> (rest, None)
         | Some j ->
             ( String.sub rest 0 j,
-              parse_kind (String.sub rest (j + 1) (String.length rest - j - 1))
-            )
+              Some (String.sub rest (j + 1) (String.length rest - j - 1)) )
       in
-      let at, count =
-        match String.index_opt rest 'x' with
-        | None -> (rest, 1)
-        | Some j -> (
-            let c = String.sub rest (j + 1) (String.length rest - j - 1) in
-            ( String.sub rest 0 j,
-              match int_of_string_opt c with
-              | Some c when c > 0 -> c
-              | _ -> parse_error "bad repeat count %S" c ))
+      let rate =
+        match float_of_string_opt rate_s with
+        | Some p when p > 0.0 && p <= 1.0 -> p
+        | _ -> parse_error "bad fault rate %S (want 0 < P <= 1)" rate_s
       in
-      let at =
-        match int_of_string_opt at with
-        | Some n when n > 0 -> n
-        | _ -> parse_error "bad event position %S (1-based)" at
+      let first, last =
+        match window with
+        | None -> (1, None)
+        | Some w -> (
+            match String.index_opt w '.' with
+            | Some i when i + 1 < String.length w && w.[i + 1] = '.' ->
+                let n = parse_pos "window start" (String.sub w 0 i) in
+                let m_s = String.sub w (i + 2) (String.length w - i - 2) in
+                if m_s = "" then (n, None)
+                else
+                  let m = parse_pos "window end" m_s in
+                  if m < n then
+                    parse_error "empty window %S (want N..M with N <= M)" w;
+                  (n, Some m)
+            | _ ->
+                parse_error "bad rate window %S (want @N..M or @N..)" w)
       in
-      let site =
-        match site_s with
-        | "alloc" -> Alloc
-        | "launch" -> Launch
-        | "transfer" -> Transfer
-        | "seed" -> Alloc (* unused: seed handled by caller *)
-        | s -> parse_error "unknown site %S (want alloc|launch|transfer|seed)" s
-      in
-      if site_s = "seed" then of_seed ~events:count at
-      else [ { site; at; count; kind } ]
+      Entry_rule (fun rseed -> { rsite; rate; rseed; first; last; rkind })
+  | None -> (
+      match String.index_opt s '@' with
+      | None -> parse_error "event %S lacks '@' (want site@N)" s
+      | Some i ->
+          let site_s = String.sub s 0 i in
+          let rest = String.sub s (i + 1) (String.length s - i - 1) in
+          let rest, kind = split_kind rest in
+          if site_s = "rseed" then
+            Entry_rate_seed (parse_pos "rate seed" rest)
+          else
+            let at, count = parse_at_count rest in
+            if site_s = "seed" then Entry_events (of_seed ~events:count at)
+            else Entry_events [ { site = parse_site site_s; at; count; kind } ])
 
 let of_spec spec =
-  String.split_on_char ','
-    (String.map (function ';' -> ',' | c -> c) spec)
-  |> List.map String.trim
-  |> List.filter (fun s -> s <> "")
-  |> List.concat_map parse_event
-  |> create
+  let entries =
+    String.split_on_char ','
+      (String.map (function ';' -> ',' | c -> c) spec)
+    |> List.map String.trim
+    |> List.filter (fun s -> s <> "")
+    |> List.map parse_entry
+  in
+  let rate_seed = ref 1 in
+  let events = ref [] and rules = ref [] in
+  List.iter
+    (function
+      | Entry_rate_seed s -> rate_seed := s
+      | Entry_rule mk -> rules := mk !rate_seed :: !rules
+      | Entry_events es -> events := List.rev_append es !events)
+    entries;
+  create ~rules:(List.rev !rules) (List.rev !events)
+
+let site_name = function
+  | Alloc -> "alloc"
+  | Launch -> "launch"
+  | Transfer -> "transfer"
+
+let kind_suffix = function
+  | Fault.Cap_staging -> ""
+  | Fault.Cap_input_tile -> ":input"
+  | Fault.Cap_groups -> ":groups"
+
+let to_spec t =
+  let event_spec e =
+    if e.count = 1 then
+      Printf.sprintf "%s@%d%s" (site_name e.site) e.at (kind_suffix e.kind)
+    else
+      Printf.sprintf "%s@%d..%d%s" (site_name e.site) e.at
+        (e.at + e.count - 1) (kind_suffix e.kind)
+  in
+  let running = ref 1 in
+  let rule_spec r =
+    let prefix =
+      if r.rseed = !running then ""
+      else begin
+        running := r.rseed;
+        Printf.sprintf "rseed@%d," r.rseed
+      end
+    in
+    let window =
+      match (r.first, r.last) with
+      | 1, None -> ""
+      | n, None -> Printf.sprintf "@%d.." n
+      | n, Some m -> Printf.sprintf "@%d..%d" n m
+    in
+    Printf.sprintf "%s%s%%%.12g%s%s" prefix (site_name r.rsite) r.rate window
+      (kind_suffix r.rkind)
+  in
+  String.concat ","
+    (List.map event_spec t.events @ List.map rule_spec t.rules)
 
 let env_var = "WEAVER_FAULTS"
 

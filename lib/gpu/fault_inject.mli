@@ -18,8 +18,17 @@
     [alloc|launch|transfer], [N] the 1-based event position, [xC] an
     optional run of C consecutive events, and [:KIND] (launches only) the
     capacity fault to trap with ([staging] (default), [input], [groups]).
+    [site@N..M[:KIND]] is window sugar for [site@Nx(M-N+1)].
     [seed@S[xC]] expands to C (default 3) pseudo-random events derived
-    deterministically from seed S. *)
+    deterministically from seed S.
+
+    Storms use probabilistic {e rate rules}: [site%P[@N..M][:KIND]] fails
+    each call at that site with probability [P] (0 < P <= 1), decided by a
+    splitmix64 hash of (rate seed, site, call counter) — the same spec
+    always injects the same faults, under retries, recovery and any worker
+    count. [rseed@S] sets the rate seed (default 1) for subsequent
+    %-rules, so distinct requests can carry decorrelated storms of the
+    same rate. An open window [@N..] bounds a rule from below only. *)
 
 type site = Alloc | Launch | Transfer
 
@@ -30,17 +39,35 @@ type event = {
   kind : Fault.capacity;  (** launch traps: which capacity to blame *)
 }
 
+type rule = {
+  rsite : site;
+  rate : float;  (** per-call fault probability, 0 < rate <= 1 *)
+  rseed : int;  (** decorrelation seed for the hash (rseed@S, default 1) *)
+  first : int;  (** 1-based first call the rule considers *)
+  last : int option;  (** inclusive last call; [None] = unbounded *)
+  rkind : Fault.capacity;  (** launch traps: which capacity to blame *)
+}
+(** A probabilistic-rate schedule entry ([site%P]); seed-deterministic. *)
+
 type t
 
 val none : t
 (** Disabled; counts nothing, injects nothing. The zero-cost default. *)
 
-val create : event list -> t
+val create : ?rules:rule list -> event list -> t
 (** Fresh injector (fresh counters) for the given schedule. *)
 
 val of_spec : string -> t
 (** Parse a schedule string (syntax above). Raises [Invalid_argument] on
     malformed input. *)
+
+val to_spec : t -> string
+(** Canonical spec string for the schedule: [of_spec (to_spec t)] has the
+    same events and rules as [t] (windows print as [N..M], rate seeds as
+    [rseed@S] prefixes). Counters are not part of the rendering. *)
+
+val events : t -> event list
+val rules : t -> rule list
 
 val of_seed : ?events:int -> int -> event list
 (** Deterministic pseudo-random schedule: same seed, same events. *)
@@ -74,3 +101,6 @@ val equal_site : site -> site -> bool
 val pp_event : Format.formatter -> event -> unit
 val show_event : event -> string
 val equal_event : event -> event -> bool
+val pp_rule : Format.formatter -> rule -> unit
+val show_rule : rule -> string
+val equal_rule : rule -> rule -> bool

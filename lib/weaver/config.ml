@@ -15,6 +15,7 @@ type t = {
   max_retries : int;
   alloc_retries : int;
   transfer_retries : int;
+  retry_budget : int option;
   selection_shared_fraction : float;
   jobs : int;
   faults : string option;
@@ -42,6 +43,7 @@ let default =
     max_retries = 10;
     alloc_retries = 3;
     transfer_retries = 3;
+    retry_budget = None;
     selection_shared_fraction = 1.0;
     jobs = 1;
     faults = None;

@@ -27,6 +27,19 @@ type t = {
       (** retries of a failed (injected) device allocation before the
           runtime demotes a Resident run to Streamed *)
   transfer_retries : int;  (** retries of a failed (injected) PCIe copy *)
+  retry_budget : int option;
+      (** per-request recovery token budget. Every recovery action — a
+          capacity/alloc/transfer retry, a fission split, a
+          Resident->Streamed demotion — spends one token; when the budget
+          is exhausted the next action is vetoed with a typed
+          {!Gpu_sim.Fault.Budget_vetoed} ([Tokens_exhausted]) instead of
+          burning more device cycles. When a [deadline_cycles] budget is
+          also set, recovery additionally vetoes any action whose cost
+          estimate (the cycles the failed attempt consumed) cannot finish
+          before the deadline ([Deadline_too_close]) — fail fast rather
+          than start work that is doomed to miss. [None] (the default)
+          disables token accounting; the per-site retry caps above still
+          apply. *)
   selection_shared_fraction : float;
       (** Algorithm 2 closes a group when its estimated shared memory
           exceeds this fraction of the per-CTA limit: groups that consume

@@ -59,6 +59,7 @@ type st = {
   mutable kernel_cycles : float;  (** running sum over [reports] *)
   mutable retries : int;
   mutable fissions : int;
+  mutable budget_spent : int;  (** recovery tokens consumed (see below) *)
   base_mats : mat array;
   node_mats : mat option array;
   pending_extra : (int, int) Hashtbl.t;
@@ -88,6 +89,48 @@ let check_budget st =
           (Fault.Deadline_exceeded
              { kind = Fault.Deadline_cycles; limit; spent })
 
+let spent_cycles st = st.kernel_cycles +. Pcie.total_cycles st.pcie
+
+(* The recovery checkpoint, consulted before every recovery action (an
+   alloc/transfer/capacity retry, a fission split, a demotion restart).
+   Three gates, in order:
+   1. First-cancel-wins: a cancellation that has already landed on the
+      token beats both the fault being recovered and any budget decision —
+      recovery must never race past a client abort or watchdog.
+   2. Token budget ([Config.retry_budget]): each action spends one token;
+      an empty purse vetoes the action with a typed fault.
+   3. Deadline-cost veto: with both a budget and a cycle deadline set, an
+      action whose estimate (the cycles the failed attempt just consumed —
+      the best deterministic predictor of the next attempt) exceeds the
+      remaining cycle budget is vetoed: fail fast instead of starting work
+      that is doomed to miss.
+   All three depend only on the cost model and the schedule, never on the
+   host clock, so vetoes are bit-deterministic. *)
+let spend_recovery_token st ~action ~estimate =
+  (match Cancel.cancelled st.cancel with
+  | Some f -> Fault.raise_ f
+  | None -> ());
+  match (config st).Config.retry_budget with
+  | None -> ()
+  | Some budget ->
+      let veto reason =
+        Weaver_obs.Trace.instant st.trace ~lane:Weaver_obs.Trace.Host
+          "budget_veto"
+          ~args:[ ("action", Weaver_obs.Trace.Str action) ];
+        Fault.raise_ (Fault.Budget_vetoed { action; reason })
+      in
+      if st.budget_spent >= budget then
+        veto (Fault.Tokens_exhausted { budget; spent = st.budget_spent });
+      (match (config st).Config.deadline_cycles with
+      | Some limit ->
+          let remaining = limit -. spent_cycles st in
+          if estimate > remaining then
+            veto
+              (Fault.Deadline_too_close
+                 { estimated = estimate; remaining = Float.max remaining 0.0 })
+      | None -> ());
+      st.budget_spent <- st.budget_spent + 1
+
 let launch st kernel ~params ~grid ~cta =
   let r =
     Executor.launch ~timing:(config st).Config.timing
@@ -109,6 +152,7 @@ let alloc_buf st ~label ~words ~bytes =
     | Fault.Error (Fault.Alloc_failure { injected = true; _ })
       when tries < (config st).Config.alloc_retries
     ->
+      spend_recovery_token st ~action:"allocation retry" ~estimate:0.0;
       st.retries <- st.retries + 1;
       Weaver_obs.Trace.instant st.trace ~lane:Weaver_obs.Trace.Host "alloc_retry";
       go (tries + 1)
@@ -122,6 +166,7 @@ let transfer st dir ~bytes =
     | Fault.Error (Fault.Transfer_failure { injected = true; _ })
       when tries < (config st).Config.transfer_retries
     ->
+      spend_recovery_token st ~action:"transfer retry" ~estimate:0.0;
       st.retries <- st.retries + 1;
       Weaver_obs.Trace.instant st.trace ~lane:Weaver_obs.Trace.Host
         "transfer_retry";
@@ -473,7 +518,11 @@ let rec exec_fused st ~name (ir : Fusion.t) =
       if info.spec <> Ra_lib.Partition_emit.Even || info.sort_arity > 1 then
         ensure_sorted st in_mats.(i) ~key_arity:info.sort_arity)
     ir.inputs;
+  (* cycles at unit entry: the fission estimate is everything this unit
+     burned across its failed attempts *)
+  let unit_t0 = spent_cycles st in
   let rec attempt ?fixed_cap cfg tries =
+    let attempt_t0 = spent_cycles st in
     let infeasible () =
       if List.length ir.op_ids >= 2 then raise (Needs_split cfg)
       else raise Fallback_needed
@@ -615,6 +664,8 @@ let rec exec_fused st ~name (ir : Fusion.t) =
       if tries >= (config st).Config.max_retries then
         if List.length ir.op_ids >= 2 then raise (Needs_split cfg)
         else raise Fallback_needed;
+      spend_recovery_token st ~action:"capacity retry"
+        ~estimate:(spent_cycles st -. attempt_t0);
       st.retries <- st.retries + 1;
       Weaver_obs.Trace.instant st.trace ~lane:Weaver_obs.Trace.Host
         "capacity_retry"
@@ -693,6 +744,8 @@ let rec exec_fused st ~name (ir : Fusion.t) =
       (* fission fallback: split the group under the grown resource
          estimate and execute the pieces; each piece retries (and may
          split again) independently *)
+      spend_recovery_token st ~action:"fission"
+        ~estimate:(spent_cycles st -. unit_t0);
       st.fissions <- st.fissions + 1;
       Weaver_obs.Trace.instant st.trace ~lane:Weaver_obs.Trace.Host "fission"
         ~args:[ ("group", Weaver_obs.Trace.Str name) ];
@@ -814,6 +867,7 @@ let exec_unique st ~op_id ~key_arity ~source =
     max cfg.Config.cap (cfg.Config.device.Device.max_shared_mem_per_cta / 8)
   in
   let rec attempt cap tries =
+    let attempt_t0 = spent_cycles st in
     let grid = clamp_grid st ~rows:m.rows ~cap in
     let certify k =
       gate_kernel st k;
@@ -883,6 +937,8 @@ let exec_unique st ~op_id ~key_arity ~source =
       let next = min (cap * 2) max_cap in
       if next <= cap || tries >= cfg.Config.max_retries then
         raise Fallback_needed;
+      spend_recovery_token st ~action:"capacity retry"
+        ~estimate:(spent_cycles st -. attempt_t0);
       st.retries <- st.retries + 1;
       Weaver_obs.Trace.instant st.trace ~lane:Weaver_obs.Trace.Host
         "capacity_retry";
@@ -918,6 +974,7 @@ let exec_aggregate st ~op_id ~source ~(lay : Ra_lib.Aggregate_emit.layout) =
       / max 1 (Schema.tuple_bytes lay.Ra_lib.Aggregate_emit.partial_schema))
   in
   let rec attempt max_groups tries =
+    let attempt_t0 = spent_cycles st in
     let slice = cfg.Config.cap * 8 in
     let grid = clamp_grid st ~rows:m.rows ~cap:slice in
     let certify k =
@@ -1003,6 +1060,8 @@ let exec_aggregate st ~op_id ~source ~(lay : Ra_lib.Aggregate_emit.layout) =
       let next = min (max_groups * 2) fit_cap in
       if next <= max_groups || tries >= cfg.Config.max_retries then
         raise Fallback_needed;
+      spend_recovery_token st ~action:"capacity retry"
+        ~estimate:(spent_cycles st -. attempt_t0);
       st.retries <- st.retries + 1;
       Weaver_obs.Trace.instant st.trace ~lane:Weaver_obs.Trace.Host
         "capacity_retry";
@@ -1078,6 +1137,7 @@ let run_result ?(cancel = Cancel.none) ?(trace = Weaver_obs.Trace.none) program
   let saved_cycles = ref 0.0 in
   let saved_retries = ref 0 in
   let saved_fissions = ref 0 in
+  let saved_budget = ref 0 in
   let last_mem = ref None in
   let attempt ~mode ~demotions =
     let mem = Memory.create ~faults ~trace program.config.Config.device in
@@ -1094,6 +1154,7 @@ let run_result ?(cancel = Cancel.none) ?(trace = Weaver_obs.Trace.none) program
         kernel_cycles = !saved_cycles;
         retries = !saved_retries;
         fissions = !saved_fissions;
+        budget_spent = !saved_budget;
         base_mats =
           Array.map
             (fun r ->
@@ -1198,6 +1259,7 @@ let run_result ?(cancel = Cancel.none) ?(trace = Weaver_obs.Trace.none) program
       saved_cycles := st.kernel_cycles;
       saved_retries := st.retries;
       saved_fissions := st.fissions;
+      saved_budget := st.budget_spent;
       (* failure-path cleanup: every materialization is released so a
          cancelled or deadline-missed query leaves the (simulated) device
          empty — anything still live afterwards is a genuine lifetime bug
@@ -1234,26 +1296,93 @@ let run_result ?(cancel = Cancel.none) ?(trace = Weaver_obs.Trace.none) program
         Fault.Recovery_exhausted { attempts; last = f }
     | f -> f
   in
+  (* First-cancel-wins (the documented race rule, see DESIGN.md §13): a
+     cancellation that landed on the token before a fault surfaces here
+     wins — the batch/CLI boundary reports Cancelled (exit 3), not the
+     fault (exit 1). Only the already-set cell is consulted (no watchdog
+     poll), so the decision is deterministic: it depends on what the run
+     itself observed, never on a last-moment host-clock read. *)
+  let surface f =
+    match f with
+    | Fault.Cancelled _ | Fault.Deadline_exceeded _ -> f
+    | f -> ( match Cancel.cancelled cancel with Some c -> c | None -> f)
+  in
+  (* Demotion is a recovery action too: it restarts the whole query in
+     Streamed mode, so it passes the same budget gates as a retry. The
+     cost estimate is everything the failed Resident attempt burned. *)
+  let demotion_veto () =
+    match Cancel.cancelled cancel with
+    | Some f -> Some f
+    | None -> (
+        match program.config.Config.retry_budget with
+        | None -> None
+        | Some budget ->
+            if !saved_budget >= budget then
+              Some
+                (Fault.Budget_vetoed
+                   {
+                     action = "demotion";
+                     reason =
+                       Fault.Tokens_exhausted { budget; spent = !saved_budget };
+                   })
+            else
+              let spent = !saved_cycles +. Pcie.total_cycles pcie in
+              let vetoed =
+                match program.config.Config.deadline_cycles with
+                | Some limit when spent > limit -. spent ->
+                    Some
+                      (Fault.Budget_vetoed
+                         {
+                           action = "demotion";
+                           reason =
+                             Fault.Deadline_too_close
+                               {
+                                 estimated = spent;
+                                 remaining = Float.max (limit -. spent) 0.0;
+                               };
+                         })
+                | _ -> None
+              in
+              if vetoed = None then saved_budget := !saved_budget + 1;
+              vetoed)
+  in
   (* Deadline_exceeded and Cancelled are terminal by construction: [wrap]
      passes them through unwrapped, and demotion keys on Alloc_failure
-     only — a query over budget must stop, not restart in Streamed mode. *)
+     only — a query over budget must stop, not restart in Streamed mode.
+     Budget_vetoed is terminal the same way: not wrapped, never demoted. *)
   match attempt ~mode ~demotions:0 with
   | r -> Ok r
   | exception Fault.Error (Fault.Alloc_failure _) when mode = Resident -> (
-      Weaver_obs.Trace.instant trace ~lane:Weaver_obs.Trace.Host "demotion";
-      match attempt ~mode:Streamed ~demotions:1 with
-      | r -> Ok r
-      | exception Fault.Error f ->
+      match demotion_veto () with
+      | Some veto ->
+          (if Weaver_obs.Trace.active trace then
+             match veto with
+             | Fault.Budget_vetoed { action; _ } ->
+                 Weaver_obs.Trace.instant trace ~lane:Weaver_obs.Trace.Host
+                   "budget_veto"
+                   ~args:[ ("action", Weaver_obs.Trace.Str action) ]
+             | _ -> ());
           Error
             {
-              fault = wrap ~attempts:2 f;
-              partial = partial ~demotions:1;
+              fault = veto;
+              partial = partial ~demotions:0;
               trail = Weaver_obs.Trace.trail trace;
-            })
+            }
+      | None -> (
+          Weaver_obs.Trace.instant trace ~lane:Weaver_obs.Trace.Host "demotion";
+          match attempt ~mode:Streamed ~demotions:1 with
+          | r -> Ok r
+          | exception Fault.Error f ->
+              Error
+                {
+                  fault = wrap ~attempts:2 (surface f);
+                  partial = partial ~demotions:1;
+                  trail = Weaver_obs.Trace.trail trace;
+                }))
   | exception Fault.Error f ->
       Error
         {
-          fault = wrap ~attempts:1 f;
+          fault = wrap ~attempts:1 (surface f);
           partial = partial ~demotions:0;
           trail = Weaver_obs.Trace.trail trace;
         }

@@ -60,6 +60,10 @@ val request :
 type rejection =
   | Queue_full of { limit : int }
   | Over_capacity of { footprint_bytes : int; capacity_bytes : int }
+  | Overloaded of { level : string }
+      (** the degradation-ladder controller was in its [Shed] state when
+          this request reached admission (see DESIGN.md §13); the request
+          was never executed *)
 
 type verdict =
   | Completed of Runtime.result
@@ -72,6 +76,9 @@ type response = {
   verdict : verdict;
   mode_used : Runtime.mode;
   pre_demoted : bool;  (** admission downgraded a Resident request *)
+  hedged : bool;
+      (** a speculative Streamed backup launch produced this verdict after
+          the primary overran the hedge latency quantile *)
   footprint_bytes : int;  (** admission's estimate for [mode_used] *)
   latency_cycles : float;
       (** service clock (cumulative simulated cycles, arrival = 0) when
@@ -85,22 +92,60 @@ type config = {
   breaker_window : int;  (** executions a breaker remembers *)
   breaker_threshold : int;  (** failures in the window that trip it *)
   breaker_cooldown : int;  (** admissions an open breaker sheds for *)
+  hedge_quantile : float option;
+      (** when set (e.g. [Some 0.95]), a primary execution whose elapsed
+          cycles exceed this quantile of the batch's completed-execution
+          history is cancelled and hedged with a speculative Streamed
+          backup; first completion wins, the loser's buffers are freed.
+          [None] (the default) disables hedging. Hedging is also
+          suspended while the degradation ladder is above Normal. *)
+  hedge_min_samples : int;
+      (** completed executions required before the hedge quantile is
+          considered meaningful; earlier requests never hedge *)
+  brownout_window : int;
+      (** admission/completion outcomes the degradation-ladder controller
+          remembers when scoring pressure *)
+  brownout_threshold : int;
+      (** pressure marks in the window that escalate Normal -> Brownout
+          (force Streamed admissions, disable hedging) *)
+  shed_threshold : int;
+      (** pressure marks in the window that escalate to Shed (reject
+          admissions with {!Overloaded}) *)
+  brownout_cooldown : int;
+      (** hysteresis: consecutive clean completions needed to step
+          Brownout back down to Normal, and the number of admissions a
+          Shed episode rejects before probing at Brownout again *)
 }
 
 val default_config : config
-(** queue 16, admit 0.5, window 8, threshold 3, cooldown 4. *)
+(** queue 16, admit 0.5, breaker window 8 / threshold 3 / cooldown 4,
+    hedging off (min samples 4), brownout window 8 / threshold 3 / shed
+    threshold 6 / cooldown 3. *)
 
 type stats = {
   submitted : int;
   admitted : int;
   rejected : int;
+  queue_rejections : int;  (** {!Queue_full} share of [rejected] *)
+  capacity_rejections : int;  (** {!Over_capacity} share of [rejected] *)
+  shed_rejections : int;  (** {!Overloaded} share of [rejected] *)
   completed : int;
   failed : int;
   deadline_misses : int;
   cancelled : int;
+  budget_vetoes : int;
+      (** failures carrying {!Gpu_sim.Fault.Budget_vetoed} (recovery
+          stopped by the token budget or the deadline-cost veto).
+          [Deadline_too_close] vetoes are also counted in
+          [deadline_misses]: they are deadline misses discovered early. *)
   pre_demotions : int;  (** admission-time Resident->Streamed downgrades *)
   runtime_demotions : int;  (** OOM-driven demotions inside the runtime *)
   breaker_trips : int;
+  hedges : int;  (** speculative backup launches issued *)
+  hedge_wins : int;  (** hedges whose backup completed the request *)
+  hedge_losses : int;  (** hedges whose backup also failed *)
+  brownout_entries : int;  (** Normal -> Brownout ladder escalations *)
+  shed_entries : int;  (** escalations into Shed *)
   p50_latency_cycles : float;
   p95_latency_cycles : float;
   total_cycles : float;  (** simulated cycles the whole batch consumed *)
@@ -130,10 +175,16 @@ val run_batch :
 
     [registry] (when given) accumulates service metrics: counters
     [weaver_service_{submitted,admitted,rejected,completed,failed,
-    deadline_misses,cancelled,pre_demotions,breaker_trips}_total],
-    histograms [weaver_service_latency_cycles] (completed queries) and
+    deadline_misses,cancelled,pre_demotions,breaker_trips}_total], the
+    dedicated rejection counters
+    [weaver_service_rejected_{queue_full,over_capacity,shed}_total], the
+    overload counters [weaver_service_{budget_vetoes,hedges,hedge_wins,
+    hedge_losses,brownout_transitions}_total], histograms
+    [weaver_service_latency_cycles] (completed queries),
+    [weaver_service_exec_cycles] (per-execution device cycles) and
     [weaver_service_queue_wait_cycles], and gauges
-    [weaver_service_queue_depth] / [weaver_service_throughput_qps].
+    [weaver_service_queue_depth], [weaver_service_throughput_qps] and
+    [weaver_service_brownout_level] (0 = Normal, 1 = Brownout, 2 = Shed).
 
     Completed and Failed metrics come back stamped with
     [Metrics.queue_wait_cycles] and [Metrics.service = true]. *)

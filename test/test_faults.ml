@@ -318,6 +318,174 @@ let test_exhaustion_under_batch () =
   check_sinks ~what:"sibling after exhaustion" base_a ra;
   check_no_leaks ~what:"sibling after exhaustion" ra
 
+(* --- deadline vs injected fault: the first-cancel-wins rule ------------------ *)
+
+(* A deadline and a persistent injected fault racing to end the same run
+   map to different CLI exit codes (3 vs 1), so the winner must be
+   deterministic. The rule (DESIGN.md §13): faults are ordered by the
+   simulated execution, and the first terminal fault to land wins — a
+   non-positive deadline fires at the run's first checkpoint, before any
+   injected site is reached; a deadline that still has budget when
+   recovery exhausts loses to the exhaustion. Pinned in both directions. *)
+let test_deadline_fault_race () =
+  let wl = pattern_wl (Tpch.Patterns.pattern_b ()) in
+  let run ~deadline =
+    let config =
+      {
+        wl.config with
+        Weaver.Config.faults = Some "transfer@1x999";
+        deadline_cycles = Some deadline;
+      }
+    in
+    let program = Weaver.Driver.compile ~config wl.plan in
+    Weaver.Runtime.run_result program wl.bases ~mode:Weaver.Runtime.Streamed
+  in
+  (match run ~deadline:0.0 with
+  | Ok _ -> Alcotest.fail "race: expected a failure"
+  | Error f -> (
+      match f.Weaver.Runtime.fault with
+      | Fault.Deadline_exceeded _ ->
+          Alcotest.(check (list (pair string int)))
+            "deadline winner leaks nothing" []
+            f.Weaver.Runtime.partial.Weaver.Metrics.leaks
+      | other ->
+          Alcotest.fail
+            ("zero deadline must win the race, got " ^ Fault.render other)));
+  match run ~deadline:1e18 with
+  | Ok _ -> Alcotest.fail "race: expected exhaustion"
+  | Error f -> (
+      match f.Weaver.Runtime.fault with
+      | Fault.Recovery_exhausted _ ->
+          Alcotest.(check (list (pair string int)))
+            "exhaustion winner leaks nothing" []
+            f.Weaver.Runtime.partial.Weaver.Metrics.leaks
+      | other ->
+          Alcotest.fail
+            ("slack deadline must lose the race, got " ^ Fault.render other))
+
+(* a client cancellation that lands while recovery is still grinding must
+   surface as Cancelled — never as the recovery fault it interrupted *)
+let test_cancel_beats_recovery () =
+  let wl = pattern_wl (Tpch.Patterns.pattern_a ()) in
+  let tok = Cancel.create () in
+  let polls = Atomic.make 0 in
+  Cancel.add_watchdog tok (fun () ->
+      if Atomic.fetch_and_add polls 1 >= 3 then
+        Some (Fault.Cancelled { reason = "client abort (test)" })
+      else None);
+  let config =
+    { wl.config with Weaver.Config.faults = Some "launch@1x999" }
+  in
+  let program = Weaver.Driver.compile ~config wl.plan in
+  match
+    Weaver.Runtime.run_result ~cancel:tok program wl.bases
+      ~mode:Weaver.Runtime.Resident
+  with
+  | Ok _ -> Alcotest.fail "cancellation expected"
+  | Error f -> (
+      match f.Weaver.Runtime.fault with
+      | Fault.Cancelled _ ->
+          Alcotest.(check (list (pair string int)))
+            "cancelled mid-recovery leaks nothing" []
+            f.Weaver.Runtime.partial.Weaver.Metrics.leaks
+      | other ->
+          Alcotest.fail ("expected Cancelled, got " ^ Fault.render other))
+
+(* --- storm soak: probabilistic schedules under a token budget ---------------- *)
+
+(* Sweeps a matrix of workloads x modes x storm rates x rate seeds, every
+   run under a recovery token budget, and replays each run: outcomes must
+   be bit-deterministic, survivors must match the fault-free baseline
+   exactly, recovery must never spend more tokens than the budget allows,
+   and no path may leak a device buffer. *)
+let test_storm_soak () =
+  let budget = 8 in
+  let tokens (m : Weaver.Metrics.t) =
+    m.Weaver.Metrics.retries + m.Weaver.Metrics.fissions
+    + m.Weaver.Metrics.demotions
+  in
+  let survivors = ref 0 and casualties = ref 0 and injected = ref 0 in
+  List.iter
+    (fun wl ->
+      List.iter
+        (fun mode ->
+          let baseline = run_wl wl ~mode ~jobs:1 ~faults:None in
+          List.iter
+            (fun rate ->
+              List.iter
+                (fun rseed ->
+                  let what =
+                    Printf.sprintf "storm %s %s rate=%g rseed=%d" wl.wname
+                      (match mode with
+                      | Weaver.Runtime.Resident -> "resident"
+                      | Weaver.Runtime.Streamed -> "streamed")
+                      rate rseed
+                  in
+                  let faults =
+                    Printf.sprintf
+                      "rseed@%d,alloc%%%g,launch%%%g,transfer%%%g" rseed rate
+                      rate rate
+                  in
+                  let config =
+                    {
+                      wl.config with
+                      Weaver.Config.faults = Some faults;
+                      retry_budget = Some budget;
+                    }
+                  in
+                  let program = Weaver.Driver.compile ~config wl.plan in
+                  let once () =
+                    Weaver.Runtime.run_result program wl.bases ~mode
+                  in
+                  match (once (), once ()) with
+                  | Ok a, Ok b ->
+                      incr survivors;
+                      injected :=
+                        !injected
+                        + a.Weaver.Runtime.metrics
+                            .Weaver.Metrics.faults_injected;
+                      check_sinks ~what baseline a;
+                      check_sinks ~what:(what ^ " replay") a b;
+                      check_no_leaks ~what a;
+                      Alcotest.(check bool)
+                        (what ^ ": tokens within budget")
+                        true
+                        (tokens a.Weaver.Runtime.metrics <= budget)
+                  | Error a, Error b ->
+                      incr casualties;
+                      injected :=
+                        !injected
+                        + a.Weaver.Runtime.partial
+                            .Weaver.Metrics.faults_injected;
+                      Alcotest.(check bool)
+                        (what ^ ": same fault on replay")
+                        true
+                        (Fault.equal a.Weaver.Runtime.fault
+                           b.Weaver.Runtime.fault);
+                      Alcotest.(check (list (pair string int)))
+                        (what ^ ": failure leaks nothing")
+                        [] a.Weaver.Runtime.partial.Weaver.Metrics.leaks;
+                      Alcotest.(check bool)
+                        (what ^ ": tokens within budget")
+                        true
+                        (tokens a.Weaver.Runtime.partial <= budget)
+                  | _ ->
+                      Alcotest.fail
+                        (what ^ ": survival itself was nondeterministic"))
+                [ 1; 2 ])
+            [ 0.02; 0.05 ])
+        [ Weaver.Runtime.Resident; Weaver.Runtime.Streamed ])
+    [
+      pattern_wl (Tpch.Patterns.pattern_a ());
+      pattern_wl (Tpch.Patterns.pattern_b ());
+      pattern_wl (Tpch.Patterns.pattern_e ());
+    ];
+  Alcotest.(check bool) "storms injected faults" true (!injected > 0);
+  Alcotest.(check bool) "some storm was survivable" true (!survivors > 0);
+  (* both branches must be exercised for the soak to mean anything; the
+     rates are chosen so the 24-run matrix always produces casualties *)
+  ignore !casualties
+
 (* --- injector unit tests ---------------------------------------------------- *)
 
 let test_spec_parser () =
@@ -361,6 +529,111 @@ let test_spec_parser () =
     e1;
   Alcotest.(check int) "events count" 5
     (List.length (Fault_inject.of_seed ~events:5 42))
+
+(* --- storm grammar: windows, rates, round-trip ------------------------------- *)
+
+let test_storm_grammar () =
+  let bad spec =
+    match Fault_inject.of_spec spec with
+    | (_ : Fault_inject.t) -> Alcotest.fail ("should not parse: " ^ spec)
+    | exception Invalid_argument _ -> ()
+  in
+  (* malformed rates and windows are one-line usage errors, not runtime
+     surprises *)
+  bad "alloc%";
+  bad "alloc%0";
+  bad "alloc%1.5";
+  bad "alloc%-0.25";
+  bad "alloc%zzz";
+  bad "alloc@5..3";
+  bad "alloc%0.5@5..3";
+  bad "rseed@";
+  bad "rseed@x";
+  bad "seed%0.5";
+  (* window sugar: site@N..M is site@Nx(M-N+1) *)
+  (match Fault_inject.events (Fault_inject.of_spec "alloc@3..5") with
+  | [ e ] ->
+      Alcotest.(check int) "window at" 3 e.Fault_inject.at;
+      Alcotest.(check int) "window count" 3 e.Fault_inject.count
+  | es -> Alcotest.fail (Printf.sprintf "one event expected, got %d" (List.length es)));
+  (* rate rules: probability, optional window, kind, running rate seed *)
+  (match
+     Fault_inject.rules
+       (Fault_inject.of_spec "launch%0.25@2..9:groups,rseed@7,alloc%0.5@10..")
+   with
+  | [ l; a ] ->
+      Alcotest.(check (float 1e-9)) "launch rate" 0.25 l.Fault_inject.rate;
+      Alcotest.(check int) "launch first" 2 l.Fault_inject.first;
+      Alcotest.(check (option int)) "launch last" (Some 9) l.Fault_inject.last;
+      Alcotest.(check bool) "launch kind" true
+        (l.Fault_inject.rkind = Fault.Cap_groups);
+      Alcotest.(check int) "default rate seed" 1 l.Fault_inject.rseed;
+      Alcotest.(check (float 1e-9)) "alloc rate" 0.5 a.Fault_inject.rate;
+      Alcotest.(check int) "rseed@ applies to later rules" 7
+        a.Fault_inject.rseed;
+      Alcotest.(check int) "open window first" 10 a.Fault_inject.first;
+      Alcotest.(check (option int)) "open window last" None a.Fault_inject.last
+  | rs -> Alcotest.fail (Printf.sprintf "two rules expected, got %d" (List.length rs)));
+  (* canonical printer round-trips every grammar form *)
+  List.iter
+    (fun spec ->
+      let t = Fault_inject.of_spec spec in
+      let t' = Fault_inject.of_spec (Fault_inject.to_spec t) in
+      Alcotest.(check bool)
+        (Printf.sprintf "round-trip events of %S (via %S)" spec
+           (Fault_inject.to_spec t))
+        true
+        (List.for_all2 Fault_inject.equal_event (Fault_inject.events t)
+           (Fault_inject.events t'));
+      Alcotest.(check bool)
+        (Printf.sprintf "round-trip rules of %S" spec)
+        true
+        (List.for_all2 Fault_inject.equal_rule (Fault_inject.rules t)
+           (Fault_inject.rules t')))
+    [
+      "alloc@1";
+      "launch@3x2:groups";
+      "alloc@3..5";
+      "transfer@2..2";
+      "alloc%0.05";
+      "launch%0.125:input";
+      "rseed@9,alloc%0.5@4..8,transfer%0.25@3..";
+      "alloc@2,rseed@3,launch%1,rseed@4,launch%0.75";
+      "seed@7x2";
+    ]
+
+(* a full-rate rule with a window is a deterministic oracle: exactly the
+   windowed calls fail, everything else passes *)
+let test_storm_window_semantics () =
+  let t = Fault_inject.of_spec "alloc%1@2..3" in
+  let failing = ref [] in
+  for i = 1 to 6 do
+    match Fault_inject.on_alloc t ~label:"x" ~bytes:8 ~live:0 ~capacity:64 with
+    | () -> ()
+    | exception Fault.Error (Fault.Alloc_failure { injected = true; _ }) ->
+        failing := i :: !failing
+  done;
+  Alcotest.(check (list int)) "window calls fail" [ 2; 3 ] (List.rev !failing)
+
+(* the same rate spec replays the same faults, a different rate seed
+   decorrelates them *)
+let test_storm_determinism () =
+  let pattern spec =
+    let t = Fault_inject.of_spec spec in
+    List.init 200 (fun i ->
+        ignore i;
+        match
+          Fault_inject.on_alloc t ~label:"x" ~bytes:8 ~live:0 ~capacity:64
+        with
+        | () -> false
+        | exception Fault.Error _ -> true)
+  in
+  let p1 = pattern "alloc%0.2" in
+  Alcotest.(check (list bool)) "same spec, same storm" p1 (pattern "alloc%0.2");
+  Alcotest.(check bool) "storm actually fired" true (List.mem true p1);
+  Alcotest.(check bool) "storm is not total" true (List.mem false p1);
+  Alcotest.(check bool) "different rate seed decorrelates" true
+    (p1 <> pattern "rseed@2,alloc%0.2")
 
 let test_injector_counters () =
   let t =
@@ -474,6 +747,13 @@ let suite =
       ("cancellation under fault schedules", `Slow, test_cancel_under_faults);
       ("exhaustion mid-batch cleans up", `Quick, test_exhaustion_under_batch);
       ("fault spec parser", `Quick, test_spec_parser);
+      ("storm grammar (rates, windows, round-trip)", `Quick, test_storm_grammar);
+      ("storm window semantics", `Quick, test_storm_window_semantics);
+      ("storm determinism", `Quick, test_storm_determinism);
+      ("deadline vs fault race is deterministic", `Quick,
+       test_deadline_fault_race);
+      ("cancellation beats recovery", `Quick, test_cancel_beats_recovery);
+      ("storm soak under token budget", `Slow, test_storm_soak);
       ("injector counters", `Quick, test_injector_counters);
       ("live buffer introspection", `Quick, test_live_buffers);
       ("fault rendering", `Quick, test_render);

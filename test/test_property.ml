@@ -303,6 +303,103 @@ let prop_deadlines_sound =
                 (Gpu_sim.Fault.render other) desc)
       | _ -> QCheck.Test.fail_reportf "zero deadline did not fail: %s" desc)
 
+let prop_budget_bounded =
+  (* the retry-budget invariant: whatever a fault storm does to a run,
+     recovery spends at most [budget] tokens (retries + fissions +
+     demotions), and no outcome leaks a device buffer *)
+  QCheck.Test.make ~name:"recovery tokens never exceed the budget" ~count:40
+    arb_seed (fun seed ->
+      let { plan; bases; desc } = build_random (seed + 23_000_000) in
+      let budget = seed mod 6 in
+      let config =
+        {
+          Weaver.Config.default with
+          Weaver.Config.faults =
+            Some
+              (Printf.sprintf "rseed@%d,alloc%%0.1,launch%%0.1,transfer%%0.1"
+                 (1 + (seed mod 97)));
+          retry_budget = Some budget;
+        }
+      in
+      let program = Weaver.Driver.compile ~config plan in
+      let tokens (m : Weaver.Metrics.t) =
+        m.Weaver.Metrics.retries + m.Weaver.Metrics.fissions
+        + m.Weaver.Metrics.demotions
+      in
+      match
+        Weaver.Runtime.run_result program bases ~mode:Weaver.Runtime.Resident
+      with
+      | Ok r ->
+          if tokens r.Weaver.Runtime.metrics > budget then
+            QCheck.Test.fail_reportf "budget %d exceeded on success: %s" budget
+              desc
+          else if r.Weaver.Runtime.metrics.Weaver.Metrics.leaks <> [] then
+            QCheck.Test.fail_reportf "storm survivor leaked: %s" desc
+          else true
+      | Error f ->
+          if tokens f.Weaver.Runtime.partial > budget then
+            QCheck.Test.fail_reportf "budget %d exceeded on failure: %s" budget
+              desc
+          else if f.Weaver.Runtime.partial.Weaver.Metrics.leaks <> [] then
+            QCheck.Test.fail_reportf "storm failure leaked: %s" desc
+          else true)
+
+let prop_deadline_veto_sound =
+  (* the deadline-cost veto: recovery must never start an attempt whose
+     estimate exceeds the remaining deadline budget. Evidence: every
+     Deadline_too_close veto carries estimate > remaining, and the run's
+     spent cycles at veto time are still within the deadline — the fast
+     failure fired INSTEAD of the doomed attempt, not after it *)
+  QCheck.Test.make ~name:"vetoed attempts never start past the deadline"
+    ~count:40 arb_seed (fun seed ->
+      let { plan; bases; desc } = build_random (seed + 29_000_000) in
+      let program0 = Weaver.Driver.compile plan in
+      let solo = Weaver.Driver.run program0 bases ~mode:Weaver.Runtime.Resident in
+      let t = Weaver.Metrics.total_cycles solo.Weaver.Runtime.metrics in
+      let deadline = (0.5 *. t) +. 1.0 in
+      let config =
+        {
+          Weaver.Config.default with
+          Weaver.Config.faults =
+            Some
+              (Printf.sprintf "rseed@%d,alloc%%0.15,launch%%0.15,transfer%%0.15"
+                 (1 + (seed mod 89)));
+          retry_budget = Some 4;
+          deadline_cycles = Some deadline;
+        }
+      in
+      let program = Weaver.Driver.compile ~config plan in
+      match
+        Weaver.Runtime.run_result program bases ~mode:Weaver.Runtime.Resident
+      with
+      | Ok r ->
+          if r.Weaver.Runtime.metrics.Weaver.Metrics.leaks <> [] then
+            QCheck.Test.fail_reportf "survivor leaked: %s" desc
+          else true
+      | Error f -> (
+          if f.Weaver.Runtime.partial.Weaver.Metrics.leaks <> [] then
+            QCheck.Test.fail_reportf "failure leaked: %s" desc
+          else
+            match f.Weaver.Runtime.fault with
+            | Gpu_sim.Fault.Budget_vetoed
+                {
+                  reason =
+                    Gpu_sim.Fault.Deadline_too_close { estimated; remaining };
+                  _;
+                } ->
+                if estimated <= remaining then
+                  QCheck.Test.fail_reportf
+                    "veto with estimate %.0f <= remaining %.0f: %s" estimated
+                    remaining desc
+                else if
+                  Weaver.Metrics.total_cycles f.Weaver.Runtime.partial
+                  > deadline
+                then
+                  QCheck.Test.fail_reportf
+                    "veto fired after overshooting the deadline: %s" desc
+                else true
+            | _ -> true))
+
 let suite =
   List.map QCheck_alcotest.to_alcotest
     [
@@ -311,4 +408,6 @@ let suite =
       prop_opt_levels_agree;
       prop_tiny_device;
       prop_deadlines_sound;
+      prop_budget_bounded;
+      prop_deadline_veto_sound;
     ]

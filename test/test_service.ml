@@ -303,6 +303,180 @@ let test_breaker_sheds () =
     (stats.Weaver.Service.breaker_trips >= 1);
   Alcotest.(check int) "two failures" 2 stats.Weaver.Service.failed
 
+(* --- degradation ladder: Normal -> Brownout -> Shed -> recovery -------------- *)
+
+(* Drives the three-level controller through a full cycle with failing
+   then healthy requests (DESIGN.md §13). Breakers are parked (huge
+   threshold) so only the ladder is under test: two failures brown the
+   service out, a third sheds it; Shed rejects exactly [brownout_cooldown]
+   admissions with a typed Overloaded verdict, then probes at Brownout;
+   clean completions step it back to Normal. *)
+let test_brownout_ladder () =
+  let healthy = wl (Tpch.Patterns.pattern_a ()) in
+  let broken =
+    wl
+      ~config:
+        { Weaver.Config.default with Weaver.Config.faults = Some "alloc@1x999" }
+      (Tpch.Patterns.pattern_a ())
+  in
+  let base_res = solo healthy in
+  let base_str = solo ~mode:Weaver.Runtime.Streamed healthy in
+  let config =
+    {
+      Weaver.Service.default_config with
+      Weaver.Service.queue_limit = 50;
+      breaker_threshold = 99;
+      brownout_threshold = 2;
+      shed_threshold = 3;
+      brownout_cooldown = 2;
+    }
+  in
+  let reqs =
+    List.mapi
+      (fun rid w -> req ~rid w)
+      [ broken; broken; broken; healthy; healthy; healthy; healthy; healthy ]
+  in
+  let responses, stats = Weaver.Service.run_batch ~config reqs in
+  let r = Array.of_list responses in
+  (* rids 0-2 fail (the third already pre-demoted by Brownout) *)
+  List.iter
+    (fun i ->
+      let what = Printf.sprintf "ladder rid %d" i in
+      check_partial_clean ~what (failed ~what r.(i)))
+    [ 0; 1; 2 ];
+  Alcotest.(check bool) "rid 2 admitted under Brownout runs Streamed" true
+    r.(2).Weaver.Service.pre_demoted;
+  (* rids 3-4 arrive while Shed holds: typed rejection, nothing ran *)
+  List.iter
+    (fun i ->
+      match r.(i).Weaver.Service.verdict with
+      | Weaver.Service.Rejected (Weaver.Service.Overloaded { level }) ->
+          Alcotest.(check string)
+            (Printf.sprintf "rid %d shed level" i)
+            "shed" level
+      | _ -> Alcotest.fail (Printf.sprintf "rid %d: Overloaded expected" i))
+    [ 3; 4 ];
+  (* rids 5-6 probe at Brownout: pre-demoted, bit-identical to streamed *)
+  List.iter
+    (fun i ->
+      let what = Printf.sprintf "ladder rid %d" i in
+      Alcotest.(check bool) (what ^ ": probe runs Streamed") true
+        r.(i).Weaver.Service.pre_demoted;
+      check_sinks ~what base_str (completed ~what r.(i)))
+    [ 5; 6 ];
+  (* two clean completions recover the service: rid 7 runs Resident *)
+  let what = "ladder rid 7" in
+  Alcotest.(check bool) (what ^ ": recovered to Normal") false
+    r.(7).Weaver.Service.pre_demoted;
+  check_sinks ~what base_res (completed ~what r.(7));
+  Alcotest.(check int) "brownout entries (initial + shed probe)" 2
+    stats.Weaver.Service.brownout_entries;
+  Alcotest.(check int) "shed entries" 1 stats.Weaver.Service.shed_entries;
+  Alcotest.(check int) "shed rejections" 2 stats.Weaver.Service.shed_rejections;
+  Alcotest.(check int) "rejected total" 2 stats.Weaver.Service.rejected;
+  Alcotest.(check int) "completed" 3 stats.Weaver.Service.completed;
+  Alcotest.(check int) "failed" 3 stats.Weaver.Service.failed
+
+(* --- hedged launches --------------------------------------------------------- *)
+
+(* Warm the latency history with small queries, then submit one much
+   bigger query: its primary Resident attempt overruns the hedge cap
+   (the 50th percentile of the small costs), is declared the loser, and
+   the Streamed backup completes with sinks bit-identical to a solo
+   streamed run. Everything is simulated cycles, so the hedge decision
+   is deterministic. *)
+let hedge_config =
+  {
+    Weaver.Service.default_config with
+    Weaver.Service.queue_limit = 50;
+    hedge_quantile = Some 0.5;
+    hedge_min_samples = 2;
+  }
+
+let test_hedge_win () =
+  let small = wl ~rows:200 (Tpch.Patterns.pattern_a ()) in
+  let big = wl ~rows:2_500 (Tpch.Patterns.pattern_b ()) in
+  let base_big_str = solo ~mode:Weaver.Runtime.Streamed big in
+  let reqs =
+    [ req ~rid:0 small; req ~rid:1 small; req ~rid:2 big ]
+  in
+  let responses, stats = Weaver.Service.run_batch ~config:hedge_config reqs in
+  let rbig = List.nth responses 2 in
+  Alcotest.(check bool) "big query was hedged" true
+    rbig.Weaver.Service.hedged;
+  let res = completed ~what:"hedged big query" rbig in
+  check_sinks ~what:"hedge backup result" base_big_str res;
+  Alcotest.(check (list (pair string int)))
+    "hedge winner leaks nothing" [] res.Weaver.Runtime.metrics.Weaver.Metrics.leaks;
+  Alcotest.(check int) "one hedge issued" 1 stats.Weaver.Service.hedges;
+  Alcotest.(check int) "hedge won" 1 stats.Weaver.Service.hedge_wins;
+  Alcotest.(check int) "no hedge losses" 0 stats.Weaver.Service.hedge_losses;
+  (* the small queries never hedge: history was below hedge_min_samples *)
+  List.iter
+    (fun i ->
+      Alcotest.(check bool)
+        (Printf.sprintf "small %d unhedged" i)
+        false
+        (List.nth responses i).Weaver.Service.hedged)
+    [ 0; 1 ]
+
+(* A hedge whose backup ALSO runs out of deadline is a hedge loss: the
+   request fails with the backup's typed deadline fault, still leak-free.
+   The deadline is set between the hedge cap (one small-run cost) and
+   the big query's real cost, so the primary loses to the cap and the
+   backup loses to what remains of the deadline. *)
+let test_hedge_loss_leak_free () =
+  let small = wl ~rows:200 (Tpch.Patterns.pattern_a ()) in
+  let big = wl ~rows:2_500 (Tpch.Patterns.pattern_b ()) in
+  let small_cost =
+    Weaver.Metrics.total_cycles (solo small).Weaver.Runtime.metrics
+  in
+  let reqs =
+    [
+      req ~rid:0 small;
+      req ~rid:1 small;
+      req ~rid:2 ~deadline_cycles:(1.5 *. small_cost) big;
+    ]
+  in
+  let responses, stats = Weaver.Service.run_batch ~config:hedge_config reqs in
+  let rbig = List.nth responses 2 in
+  Alcotest.(check bool) "big query was hedged" true
+    rbig.Weaver.Service.hedged;
+  let f = failed ~what:"hedge loss" rbig in
+  (match f.Weaver.Runtime.fault with
+  | Fault.Deadline_exceeded _ -> ()
+  | other ->
+      Alcotest.fail ("expected Deadline_exceeded, got " ^ Fault.render other));
+  check_partial_clean ~what:"hedge loss" f;
+  Alcotest.(check int) "one hedge issued" 1 stats.Weaver.Service.hedges;
+  Alcotest.(check int) "no hedge wins" 0 stats.Weaver.Service.hedge_wins;
+  Alcotest.(check int) "hedge lost" 1 stats.Weaver.Service.hedge_losses;
+  Alcotest.(check int) "counted as a deadline miss" 1
+    stats.Weaver.Service.deadline_misses
+
+(* --- dedicated rejection counters -------------------------------------------- *)
+
+let test_rejection_counters () =
+  let w = wl (Tpch.Patterns.pattern_a ()) in
+  let config =
+    { Weaver.Service.default_config with Weaver.Service.queue_limit = 1 }
+  in
+  let reqs = List.init 4 (fun rid -> req ~rid w) in
+  let registry = Weaver_obs.Registry.create () in
+  let _, stats = Weaver.Service.run_batch ~config ~registry reqs in
+  Alcotest.(check int) "queue rejections" 2
+    stats.Weaver.Service.queue_rejections;
+  Alcotest.(check int) "capacity rejections" 0
+    stats.Weaver.Service.capacity_rejections;
+  Alcotest.(check int) "shed rejections" 0
+    stats.Weaver.Service.shed_rejections;
+  let dump = Weaver_obs.Registry.prometheus registry in
+  let has needle = Astring_contains.contains dump needle in
+  Alcotest.(check bool) "prometheus has queue-full counter" true
+    (has "weaver_service_rejected_queue_full_total 2");
+  Alcotest.(check bool) "prometheus has over-capacity counter" true
+    (has "weaver_service_rejected_over_capacity_total 0")
+
 let suite =
   [
     ("batch isolation vs solo runs", `Quick, test_batch_isolation);
@@ -314,4 +488,8 @@ let suite =
     ("admission pre-demotes big residents", `Quick, test_admission_pre_demotes);
     ("over-capacity requests rejected", `Quick, test_over_capacity_rejected);
     ("tripped breaker sheds to Streamed", `Quick, test_breaker_sheds);
+    ("degradation ladder full cycle", `Quick, test_brownout_ladder);
+    ("hedged launch wins", `Quick, test_hedge_win);
+    ("hedge loss stays leak-free", `Quick, test_hedge_loss_leak_free);
+    ("dedicated rejection counters", `Quick, test_rejection_counters);
   ]
