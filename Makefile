@@ -1,6 +1,6 @@
 # Convenience entry points; everything is plain dune underneath.
 
-.PHONY: all build test analyze bench-smoke check clean
+.PHONY: all build test analyze bench-smoke soak check clean
 
 all: build
 
@@ -16,6 +16,15 @@ test:
 # environment variable (the CI matrix axis) picks the worker count.
 bench-smoke: build
 	dune exec bench/main.exe -- --jobs 0 --json _build/bench-quick.json quick
+
+# Robustness soak: seeded flip storms across the three integrity
+# postures (no-integrity / verify / verify+checkpoint; detection,
+# rollback and replay-savings counters) plus the goodput-under-storm
+# overload sweep. Both assert their invariants (zero leaks, bounded
+# budgets, 100%/0% detection split) and exit nonzero on violation.
+soak: build
+	dune exec bench/main.exe -- --jobs 0 --json _build/soak-integrity.json quick integrity
+	dune exec bench/main.exe -- --jobs 0 --json _build/soak-overload.json quick overload
 
 # Static-analysis gate over every golden workload (micro-patterns
 # (a)-(e), ab, Q1, Q21): exits nonzero on any gating diagnostic.

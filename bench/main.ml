@@ -13,6 +13,9 @@
      bench/main.exe [OPTS] service        multi-query service throughput/latency
      bench/main.exe [OPTS] overload       goodput curve under fault storms at
                                           0.5x/1x/2x/4x of admit capacity
+     bench/main.exe [OPTS] integrity      corruption-storm sweep: detection
+                                          rate, goodput and replay cycles for
+                                          no-integrity / verify / verify+ckpt
      bench/main.exe [OPTS] obs            tracer overhead: disabled vs recorder
                                           vs full event retention
 
@@ -420,8 +423,139 @@ let overload ~jobs ~quick () =
         (float_of_int stats.Weaver.Service.brownout_entries);
       record ~experiment:e ~metric:"shed_entries"
         (float_of_int stats.Weaver.Service.shed_entries);
-      record ~experiment:e ~metric:"leaked_buffers" (float_of_int !leaks))
+      record ~experiment:e ~metric:"leaked_buffers" (float_of_int !leaks);
+      (* wall-clock-sensitive consumers (hedge timing) degrade on one
+         core the same way the parallel comparison does — annotate *)
+      let cores = Domain.recommended_domain_count () in
+      record ~experiment:e ~metric:"cores" (float_of_int cores);
+      record ~experiment:e ~metric:"degenerate"
+        (if cores < 2 then 1.0 else 0.0))
     [ 0.5; 1.0; 2.0; 4.0 ]
+
+(* --- integrity: detection and checkpointed recovery under flip storms ------- *)
+
+(* Sweeps seeded bit-flip storm rates across the three integrity
+   postures — no-integrity (certificates recorded, never verified),
+   verify (typed Data_corrupted faults, whole-query restart is the only
+   recovery), verify+ckpt (rollback to the last verified checkpoint) —
+   and records per cell the detection rate (corruptions caught per flip
+   injected), completion count, mean cycles, and the replay accounting:
+   [replayed_cycles] is work actually re-executed after rollbacks,
+   [saved_replay_cycles] is work a full restart would have repeated but
+   the checkpoint ledger made unnecessary. The headline derived rows:
+   replay_reduction_pct (saved / (saved + replayed), the checkpoint win
+   over restart-from-scratch) and, at rate 0, overhead_pct against the
+   no-integrity baseline (the fault-free cost of the defense). *)
+let integrity ~jobs ~quick () =
+  let lineitems = if quick then 2_000 else 8_000 in
+  let runs = if quick then 6 else 10 in
+  let base = Weaver.Config.with_jobs Weaver.Config.default jobs in
+  let q = Tpch.Queries.q21 in
+  let db = Tpch.Datagen.generate ~seed:13 ~lineitems in
+  let bases = q.Tpch.Queries.bind db in
+  let variants =
+    [ ("no-integrity", false, false);
+      ("verify", true, false);
+      ("verify-ckpt", true, true) ]
+  in
+  let rates = [ 0.0; 0.02; 0.05 ] in
+  Printf.printf
+    "\n== integrity: flip-storm detection and checkpointed recovery ==\n\
+     (%s/%d lineitems, %d runs per cell, Streamed, alloc+launch+transfer \
+     flip storms)\n"
+    q.Tpch.Queries.qname lineitems runs;
+  let baseline = ref nan in
+  List.iter
+    (fun rate ->
+      List.iter
+        (fun (vname, integ, ckpt) ->
+          let completed = ref 0 and flips = ref 0 and corruptions = ref 0 in
+          let rollbacks = ref 0 and leaks = ref 0 in
+          let cycles = ref 0.0 and replayed = ref 0.0 and saved = ref 0.0 in
+          for i = 1 to runs do
+            let faults =
+              if rate = 0.0 then None
+              else
+                (* decorrelate runs: each gets its own rate seed; the storm
+                   covers all three instrumented sites so flips land
+                   throughout the run, not only at kernel launches *)
+                Some
+                  (Printf.sprintf
+                     "rseed@%d,alloc%%%g:flip,launch%%%g:flip,transfer%%%g:flip"
+                     (200 + i) rate rate rate)
+            in
+            let config =
+              {
+                base with
+                Weaver.Config.faults;
+                integrity = integ;
+                checkpoint = ckpt;
+              }
+            in
+            let program = Weaver.Driver.compile ~config q.Tpch.Queries.plan in
+            let m =
+              match
+                (* Streamed: segment outputs cross PCIe at publish anyway,
+                   so checkpointing them is free — the posture where the
+                   ledger shines. Resident checkpointing is rationed by
+                   the runtime's pay-for-itself rule instead. *)
+                Weaver.Runtime.run_result program bases
+                  ~mode:Weaver.Runtime.Streamed
+              with
+              | Ok r ->
+                  incr completed;
+                  r.Weaver.Runtime.metrics
+              | Error f -> f.Weaver.Runtime.partial
+            in
+            (* the storm is flip-only, so every injected fault is a flip *)
+            flips := !flips + m.Weaver.Metrics.faults_injected;
+            corruptions := !corruptions + m.Weaver.Metrics.corruptions;
+            rollbacks := !rollbacks + m.Weaver.Metrics.rollbacks;
+            leaks := !leaks + List.length m.Weaver.Metrics.leaks;
+            cycles := !cycles +. Weaver.Metrics.total_cycles m;
+            replayed := !replayed +. m.Weaver.Metrics.replayed_cycles;
+            saved := !saved +. m.Weaver.Metrics.saved_replay_cycles
+          done;
+          if !leaks > 0 then failwith "integrity: leaked device buffers";
+          let avg_cycles = !cycles /. float_of_int runs in
+          let detection =
+            if !flips = 0 then 1.0
+            else float_of_int !corruptions /. float_of_int !flips
+          in
+          let reduction =
+            if !saved +. !replayed <= 0.0 then 0.0
+            else 100.0 *. !saved /. (!saved +. !replayed)
+          in
+          if rate = 0.0 && not integ then baseline := avg_cycles;
+          let overhead =
+            if rate = 0.0 && Float.is_nan !baseline = false then
+              100.0 *. (avg_cycles -. !baseline) /. !baseline
+            else 0.0
+          in
+          let e = Printf.sprintf "integrity-%s-%gpct" vname (100.0 *. rate) in
+          Printf.printf
+            "%-24s rate %4.1f%%: completed %d/%d, flips=%-3d detected=%-3d \
+             (%.0f%%) rollbacks=%-2d replayed %.2e saved %.2e (%.0f%% \
+             reduction)%s\n"
+            vname (100.0 *. rate) !completed runs !flips !corruptions
+            (100.0 *. detection) !rollbacks !replayed !saved reduction
+            (if rate = 0.0 && integ then
+               Printf.sprintf "  overhead %+.2f%%" overhead
+             else "");
+          record ~experiment:e ~metric:"completed" (float_of_int !completed);
+          record ~experiment:e ~metric:"flips_injected" (float_of_int !flips);
+          record ~experiment:e ~metric:"corruptions_detected"
+            (float_of_int !corruptions);
+          record ~experiment:e ~metric:"detection_rate" detection;
+          record ~experiment:e ~metric:"rollbacks" (float_of_int !rollbacks);
+          record ~experiment:e ~metric:"avg_cycles" avg_cycles;
+          record ~experiment:e ~metric:"replayed_cycles" !replayed;
+          record ~experiment:e ~metric:"saved_replay_cycles" !saved;
+          record ~experiment:e ~metric:"replay_reduction_pct" reduction;
+          record ~experiment:e ~metric:"leaked_buffers" (float_of_int !leaks);
+          if rate = 0.0 then record ~experiment:e ~metric:"overhead_pct" overhead)
+        variants)
+    rates
 
 (* --- obs: tracer overhead --------------------------------------------------- *)
 
@@ -520,7 +654,12 @@ let parallel_comparison ~jobs ~quick () =
   record ~experiment:"parallel-speedup" ~metric:"par_s" par;
   record ~experiment:"parallel-speedup" ~metric:"jobs" (float_of_int jobs);
   record ~experiment:"parallel-speedup" ~metric:"cores" (float_of_int cores);
-  record ~experiment:"parallel-speedup" ~metric:"speedup" speedup
+  record ~experiment:"parallel-speedup" ~metric:"speedup" speedup;
+  (* on a single-core host domains time-slice, so the speedup number is
+     meaningless — flag it so dashboards and CI can exclude the row
+     instead of alerting on a "regression" *)
+  record ~experiment:"parallel-speedup" ~metric:"degenerate"
+    (if cores < 2 then 1.0 else 0.0)
 
 (* --- entry point ------------------------------------------------------------ *)
 
@@ -549,6 +688,7 @@ let () =
   | [ "chaos" ] -> chaos ~jobs:!jobs ~quick ()
   | [ "service" ] -> service ~jobs:!jobs ~quick ()
   | [ "overload" ] -> overload ~jobs:!jobs ~quick ()
+  | [ "integrity" ] -> integrity ~jobs:!jobs ~quick ()
   | [ "obs" ] -> obs ~jobs:!jobs ~quick ()
   | [] ->
       run_experiments ~quick ~jobs:!jobs [];
@@ -556,6 +696,7 @@ let () =
       chaos ~jobs:!jobs ~quick ();
       service ~jobs:!jobs ~quick ();
       overload ~jobs:!jobs ~quick ();
+      integrity ~jobs:!jobs ~quick ();
       obs ~jobs:!jobs ~quick ();
       bechamel_suite ~jobs:!jobs ()
   | names -> run_experiments ~quick ~jobs:!jobs names);

@@ -134,16 +134,38 @@ let faults_arg =
                  Gpu_sim.Fault_inject). Overrides the WEAVER_FAULTS \
                  environment variable.")
 
+let no_integrity_arg =
+  Arg.(value & flag & info [ "no-integrity" ]
+         ~doc:"Disable integrity-certificate verification. Certificates \
+               are still recorded at PCIe boundaries and segment outputs, \
+               but mismatches (e.g. injected bit flips) go undetected.")
+
+let checkpoint_arg =
+  Arg.(value & flag & info [ "checkpoint" ]
+         ~doc:"Snapshot verified segment outputs into a host-side ledger \
+               so recovery can roll back to the last checkpoint and replay \
+               only the suffix instead of restarting the whole query")
+
+let ckpt_frac_arg =
+  Arg.(value
+       & opt float Weaver.Config.default.Weaver.Config.checkpoint_budget_frac
+       & info [ "checkpoint-budget-frac" ] ~docv:"F"
+           ~doc:"Checkpoint-ledger budget as a fraction of device memory; \
+                 the oldest entries are evicted once the ledger outgrows it")
+
 let config_of_jobs jobs = Weaver.Config.with_jobs Weaver.Config.default jobs
 
 (* Exit codes (documented in README "Exit codes"):
      0  success (including service rejections: backpressure is an answer)
      1  unrecoverable runtime fault (recovery exhausted, compiler bug)
      2  usage or parse error (bad flags, malformed --faults spec, bad CSV)
-     3  deadline miss or cancellation *)
+     3  deadline miss or cancellation
+     4  data corruption (an integrity certificate mismatched and recovery
+        could not mask it) *)
 let exit_fault = 1
 let exit_usage = 2
 let exit_deadline = 3
+let exit_corrupt = 4
 
 let usage_error fmt =
   Printf.ksprintf
@@ -155,8 +177,8 @@ let usage_error fmt =
 let faults_usage =
   "usage: site@N[xC][:KIND], site@N..M[:KIND], site%P[@N..M][:KIND], \
    rseed@S or seed@S[xC], comma-separated — sites alloc|launch|transfer, \
-   kinds staging|input|groups, 0 < P <= 1 (e.g. \
-   'launch@3x2:groups,alloc@5' or 'rseed@7,alloc%0.05@10..')"
+   kinds staging|input|groups|flip, 0 < P <= 1 (e.g. \
+   'launch@3x2:groups,alloc@5' or 'rseed@7,launch%0.05:flip')"
 
 let is_faults_spec_error msg =
   String.length msg >= 13 && String.sub msg 0 13 = "WEAVER_FAULTS"
@@ -171,9 +193,35 @@ let config_of jobs faults =
   | None -> ());
   { (config_of_jobs jobs) with Weaver.Config.faults }
 
+let with_integrity cfg ~no_integrity ~checkpoint ~ckpt_frac =
+  if ckpt_frac <= 0.0 || ckpt_frac > 1.0 then
+    usage_error "bad --checkpoint-budget-frac %g (want 0 < F <= 1)" ckpt_frac;
+  {
+    cfg with
+    Weaver.Config.integrity = not no_integrity;
+    checkpoint;
+    checkpoint_budget_frac = ckpt_frac;
+  }
+
 let trail_suffix = function
   | [] -> ""
   | t -> Printf.sprintf " (recent: %s)" (String.concat "; " t)
+
+(* Which exit code a surfaced fault maps to. A deadline-cost veto is a
+   deadline miss discovered early; a corruption that recovery could not
+   mask — bare or as the last fault of an exhausted recovery — gets its
+   own code so storm harnesses can tell silent-data-corruption defenses
+   fired from ordinary hard faults. *)
+let fault_exit = function
+  | Gpu_sim.Fault.Deadline_exceeded _ | Gpu_sim.Fault.Cancelled _
+  | Gpu_sim.Fault.Budget_vetoed
+      { reason = Gpu_sim.Fault.Deadline_too_close _; _ } ->
+      exit_deadline
+  | Gpu_sim.Fault.Data_corrupted _
+  | Gpu_sim.Fault.Recovery_exhausted
+      { last = Gpu_sim.Fault.Data_corrupted _; _ } ->
+      exit_corrupt
+  | _ -> exit_fault
 
 (* Command boundary: anything the recovery policies could not absorb
    surfaces here as a typed fault; render it once — with the flight
@@ -188,14 +236,7 @@ let guard ?recorder f =
         | None -> ""
       in
       Printf.eprintf "weaver-cli: %s%s\n" (Gpu_sim.Fault.render fault) trail;
-      exit
-        (match fault with
-        | Gpu_sim.Fault.Deadline_exceeded _ | Gpu_sim.Fault.Cancelled _
-        | Gpu_sim.Fault.Budget_vetoed
-            { reason = Gpu_sim.Fault.Deadline_too_close _; _ } ->
-            (* a deadline-cost veto is a deadline miss discovered early *)
-            exit_deadline
-        | _ -> exit_fault)
+      exit (fault_exit fault)
   | Invalid_argument msg when is_faults_spec_error msg ->
       (* a malformed WEAVER_FAULTS environment spec parsed mid-run *)
       usage_error "%s\n  %s" msg faults_usage
@@ -254,7 +295,8 @@ let source_cmd =
 (* --- exec ------------------------------------------------------------------ *)
 
 let exec_cmd =
-  let run path rows inputs seed no_fuse o0 no_analyze streamed jobs faults =
+  let run path rows inputs seed no_fuse o0 no_analyze streamed jobs faults
+      no_integrity checkpoint ckpt_frac =
     (* a recorder-only tracer (no event retention) so an unrecoverable
        fault's report carries the last few things the runtime did *)
     let recorder = Weaver_obs.Trace.create ~events:false () in
@@ -263,7 +305,10 @@ let exec_cmd =
         let named = bind_data q ~rows ~seed inputs in
         let bases = Datalog.bind q named in
         let config =
-          { (config_of jobs faults) with Weaver.Config.analyze = not no_analyze }
+          with_integrity ~no_integrity ~checkpoint ~ckpt_frac
+            { (config_of jobs faults) with
+              Weaver.Config.analyze = not no_analyze
+            }
         in
         let program =
           Weaver.Driver.compile ~config ~fuse:(not no_fuse)
@@ -289,7 +334,8 @@ let exec_cmd =
     Term.(
       ret
         (const run $ query_arg $ rows_arg $ inputs_arg $ seed_arg $ fuse_arg
-       $ opt_arg $ no_analyze_arg $ streamed_arg $ jobs_arg $ faults_arg))
+       $ opt_arg $ no_analyze_arg $ streamed_arg $ jobs_arg $ faults_arg
+       $ no_integrity_arg $ checkpoint_arg $ ckpt_frac_arg))
 
 (* --- profile ---------------------------------------------------------------- *)
 
@@ -508,8 +554,8 @@ let trace_cmd =
           @ query Tpch.Queries.q1 @ query Tpch.Queries.q21)
     | _ -> None
   in
-  let run targets rows inputs seed no_fuse o0 streamed jobs faults wall
-      trace_out metrics_out =
+  let run targets rows inputs seed no_fuse o0 streamed jobs faults
+      no_integrity checkpoint ckpt_frac wall trace_out metrics_out =
     (* the full tracer: events retained for export, wall clock attached so
        worker lanes exist when --wall asks for them *)
     let trace = Weaver_obs.Trace.create ~clock:Unix.gettimeofday () in
@@ -530,7 +576,10 @@ let trace_cmd =
                     t)
             targets
         in
-        let config = config_of jobs faults in
+        let config =
+          with_integrity ~no_integrity ~checkpoint ~ckpt_frac
+            (config_of jobs faults)
+        in
         let mode =
           if streamed then Weaver.Runtime.Streamed else Weaver.Runtime.Resident
         in
@@ -564,19 +613,16 @@ let trace_cmd =
             Weaver_obs.Registry.observe_trace reg trace;
             write_file path (Weaver_obs.Registry.prometheus reg)
         | None -> ());
-        let deadline_only =
-          List.for_all
-            (function
-              | Gpu_sim.Fault.Deadline_exceeded _ | Gpu_sim.Fault.Cancelled _
-              | Gpu_sim.Fault.Budget_vetoed
-                  { reason = Gpu_sim.Fault.Deadline_too_close _; _ } ->
-                  true
-              | _ -> false)
-            !failures
-        in
+        (* severity across workloads: any ordinary hard fault dominates,
+           then corruption, then deadline misses/cancellations *)
+        let codes = List.map fault_exit !failures in
         match !failures with
         | [] -> `Ok ()
-        | _ -> exit (if deadline_only then exit_deadline else exit_fault))
+        | _ ->
+            exit
+              (if List.mem exit_fault codes then exit_fault
+               else if List.mem exit_corrupt codes then exit_corrupt
+               else exit_deadline))
   in
   Cmd.v
     (Cmd.info "trace"
@@ -588,8 +634,9 @@ let trace_cmd =
     Term.(
       ret
         (const run $ targets_arg $ rows_arg $ inputs_arg $ seed_arg $ fuse_arg
-       $ opt_arg $ streamed_arg $ jobs_arg $ faults_arg $ wall_arg
-       $ trace_out_arg $ metrics_out_arg))
+       $ opt_arg $ streamed_arg $ jobs_arg $ faults_arg $ no_integrity_arg
+       $ checkpoint_arg $ ckpt_frac_arg $ wall_arg $ trace_out_arg
+       $ metrics_out_arg))
 
 (* --- serve ------------------------------------------------------------------ *)
 
@@ -656,6 +703,11 @@ let stats_json (s : Weaver.Service.stats) =
       Printf.sprintf "  \"brownout_entries\": %d,\n"
         s.Weaver.Service.brownout_entries;
       Printf.sprintf "  \"shed_entries\": %d,\n" s.Weaver.Service.shed_entries;
+      Printf.sprintf "  \"corruptions_detected\": %d,\n"
+        s.Weaver.Service.corruptions_detected;
+      Printf.sprintf "  \"rollbacks\": %d,\n" s.Weaver.Service.rollbacks;
+      Printf.sprintf "  \"checkpoints_taken\": %d,\n"
+        s.Weaver.Service.checkpoints_taken;
       Printf.sprintf "  \"p50_latency_cycles\": %.6e,\n"
         s.Weaver.Service.p50_latency_cycles;
       Printf.sprintf "  \"p95_latency_cycles\": %.6e,\n"
@@ -754,13 +806,14 @@ let serve name ~doc =
            ~doc:"Print the service statistics as JSON (per-request lines are \
                  suppressed)")
   in
-  let run files rows inputs seed repeat streamed jobs faults dcycles dms
-      queue_limit admit_fraction retry_budget hedge_quantile hedge_min_samples
-      brownout_threshold shed_threshold brownout_cooldown json trace_out
-      metrics_out =
+  let run files rows inputs seed repeat streamed jobs faults no_integrity
+      checkpoint ckpt_frac dcycles dms queue_limit admit_fraction retry_budget
+      hedge_quantile hedge_min_samples brownout_threshold shed_threshold
+      brownout_cooldown json trace_out metrics_out =
     guard (fun () ->
         let base_cfg =
-          { (config_of jobs faults) with Weaver.Config.retry_budget }
+          with_integrity ~no_integrity ~checkpoint ~ckpt_frac
+            { (config_of jobs faults) with Weaver.Config.retry_budget }
         in
         let mode =
           if streamed then Weaver.Runtime.Streamed else Weaver.Runtime.Resident
@@ -832,14 +885,27 @@ let serve name ~doc =
             requests responses;
           Format.printf "%a@." Weaver.Service.pp_stats stats
         end;
-        (* deadline misses and cancellations dominate rejections; any other
-           failure dominates both *)
+        (* deadline misses and cancellations dominate rejections;
+           unmasked corruption dominates those; any other hard failure
+           dominates everything *)
+        let corrupt_failures =
+          List.length
+            (List.filter
+               (fun (r : Weaver.Service.response) ->
+                 match r.Weaver.Service.verdict with
+                 | Weaver.Service.Failed f ->
+                     fault_exit f.Weaver.Runtime.fault = exit_corrupt
+                 | _ -> false)
+               responses)
+        in
         let hard_failures =
           stats.Weaver.Service.failed
           - stats.Weaver.Service.deadline_misses
           - stats.Weaver.Service.cancelled
+          - corrupt_failures
         in
         if hard_failures > 0 then exit exit_fault
+        else if corrupt_failures > 0 then exit exit_corrupt
         else if
           stats.Weaver.Service.deadline_misses
           + stats.Weaver.Service.cancelled > 0
@@ -850,7 +916,8 @@ let serve name ~doc =
     Term.(
       ret
         (const run $ queries_arg $ rows_arg $ inputs_arg $ seed_arg
-       $ repeat_arg $ streamed_arg $ jobs_arg $ faults_arg
+       $ repeat_arg $ streamed_arg $ jobs_arg $ faults_arg $ no_integrity_arg
+       $ checkpoint_arg $ ckpt_frac_arg
        $ deadline_cycles_arg $ deadline_ms_arg $ queue_arg $ admit_arg
        $ retry_budget_arg $ hedge_arg $ hedge_min_arg $ brownout_threshold_arg
        $ shed_threshold_arg $ brownout_cooldown_arg $ json_arg $ trace_out_arg

@@ -42,6 +42,12 @@ type t =
       injected : bool;
     }
   | Transfer_failure of { direction : direction; bytes : int; injected : bool }
+  | Data_corrupted of {
+      buffer : int;
+      expected : int;
+      got : int;
+      site : string;
+    }
   | Host_error of string
   | Budget_vetoed of { action : string; reason : budget_reason }
   | Deadline_exceeded of { kind : deadline_kind; limit : float; spent : float }
@@ -132,6 +138,11 @@ let rec render = function
       Printf.sprintf "PCIe %s transfer of %d bytes failed%s"
         (direction_name direction) bytes
         (if injected then " [injected]" else "")
+  | Data_corrupted { buffer; expected; got; site } ->
+      Printf.sprintf
+        "data corruption detected in buffer %d at %s: checksum %#x expected, \
+         %#x observed"
+        buffer site expected got
   | Host_error msg -> msg
   | Budget_vetoed { action; reason = Tokens_exhausted { budget; spent } } ->
       Printf.sprintf

@@ -78,6 +78,17 @@ type t =
       injected : bool;
     }
   | Transfer_failure of { direction : direction; bytes : int; injected : bool }
+  | Data_corrupted of {
+      buffer : int;  (** the buffer handle whose certificate mismatched *)
+      expected : int;  (** the recorded FNV-1a integrity certificate *)
+      got : int;  (** the checksum observed at the verification site *)
+      site : string;  (** where verification fired (d2h, publish, ...) *)
+    }
+      (** An integrity certificate mismatch: a buffer's contents changed
+          between certification (PCIe boundary or segment-output adoption)
+          and a verification site — silent data corruption made loud.
+          Recoverable: the runtime rolls back to the last verified
+          checkpoint and replays the suffix. *)
   | Host_error of string
   | Budget_vetoed of { action : string; reason : budget_reason }
       (** recovery refused to start [action]; see {!budget_reason} *)

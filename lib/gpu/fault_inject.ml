@@ -1,10 +1,13 @@
 type site = Alloc | Launch | Transfer [@@deriving show { with_path = false }, eq]
 
+type kind = Trap of Fault.capacity | Flip
+[@@deriving show { with_path = false }, eq]
+
 type event = {
   site : site;
   at : int;
   count : int;
-  kind : Fault.capacity;
+  kind : kind;
 }
 [@@deriving show { with_path = false }, eq]
 
@@ -14,7 +17,7 @@ type rule = {
   rseed : int;
   first : int;
   last : int option;
-  rkind : Fault.capacity;
+  rkind : kind;
 }
 [@@deriving show { with_path = false }, eq]
 
@@ -28,6 +31,10 @@ type t = {
   mutable injected_allocs : int;
   mutable injected_launches : int;
   mutable injected_transfers : int;
+  mutable injected_flips : int;
+  mutable corruptor : (int -> bool) option;
+      (* registered by the memory manager: applies a seeded bit flip to a
+         live certified buffer, returning whether one was applied *)
 }
 
 let none =
@@ -41,6 +48,8 @@ let none =
     injected_allocs = 0;
     injected_launches = 0;
     injected_transfers = 0;
+    injected_flips = 0;
+    corruptor = None;
   }
 
 let create ?(rules = []) events =
@@ -54,7 +63,11 @@ let create ?(rules = []) events =
     injected_allocs = 0;
     injected_launches = 0;
     injected_transfers = 0;
+    injected_flips = 0;
+    corruptor = None;
   }
+
+let set_corruptor t f = if t.enabled then t.corruptor <- Some f
 
 let events t = t.events
 let rules t = t.rules
@@ -62,7 +75,11 @@ let rules t = t.rules
 let allocs t = t.allocs
 let launches t = t.launches
 let transfers t = t.transfers
-let injected t = t.injected_allocs + t.injected_launches + t.injected_transfers
+let injected t =
+  t.injected_allocs + t.injected_launches + t.injected_transfers
+  + t.injected_flips
+
+let injected_flips t = t.injected_flips
 
 let counters t =
   [
@@ -72,6 +89,7 @@ let counters t =
     ("injected_allocs", t.injected_allocs);
     ("injected_launches", t.injected_launches);
     ("injected_transfers", t.injected_transfers);
+    ("injected_flips", t.injected_flips);
   ]
 
 (* deterministic 64-bit mix (splitmix64 finalizer) *)
@@ -106,7 +124,7 @@ let kind_at t site n =
   | None -> (
       match List.find_opt (fun r -> rule_fires r site n) t.rules with
       | Some r -> r.rkind
-      | None -> Fault.Cap_staging)
+      | None -> Trap Fault.Cap_staging)
 
 (* --- schedule syntax -------------------------------------------------------
 
@@ -131,11 +149,13 @@ let kind_at t site n =
 let parse_error fmt =
   Printf.ksprintf (fun s -> invalid_arg ("WEAVER_FAULTS: " ^ s)) fmt
 
-let parse_kind = function
-  | "staging" -> Fault.Cap_staging
-  | "input" -> Fault.Cap_input_tile
-  | "groups" -> Fault.Cap_groups
-  | s -> parse_error "unknown trap kind %S (want staging|input|groups)" s
+let parse_kind s =
+  match String.lowercase_ascii s with
+  | "staging" -> Trap Fault.Cap_staging
+  | "input" -> Trap Fault.Cap_input_tile
+  | "groups" -> Trap Fault.Cap_groups
+  | "flip" -> Flip
+  | _ -> parse_error "unknown trap kind %S (want staging|input|groups|flip)" s
 
 let of_seed ?(events = 3) seed =
   List.init events (fun i ->
@@ -143,9 +163,9 @@ let of_seed ?(events = 3) seed =
       let site = match h mod 3 with 0 -> Alloc | 1 -> Launch | _ -> Transfer in
       let kind =
         match (h / 3) mod 3 with
-        | 0 -> Fault.Cap_staging
-        | 1 -> Fault.Cap_input_tile
-        | _ -> Fault.Cap_groups
+        | 0 -> Trap Fault.Cap_staging
+        | 1 -> Trap Fault.Cap_input_tile
+        | _ -> Trap Fault.Cap_groups
       in
       (* small 1-based positions so schedules actually land inside short
          runs; counts of 1-2 exercise consecutive-fault handling *)
@@ -153,7 +173,7 @@ let of_seed ?(events = 3) seed =
 
 let split_kind rest =
   match String.index_opt rest ':' with
-  | None -> (rest, Fault.Cap_staging)
+  | None -> (rest, Trap Fault.Cap_staging)
   | Some j ->
       ( String.sub rest 0 j,
         parse_kind (String.sub rest (j + 1) (String.length rest - j - 1)) )
@@ -273,9 +293,10 @@ let site_name = function
   | Transfer -> "transfer"
 
 let kind_suffix = function
-  | Fault.Cap_staging -> ""
-  | Fault.Cap_input_tile -> ":input"
-  | Fault.Cap_groups -> ":groups"
+  | Trap Fault.Cap_staging -> ""
+  | Trap Fault.Cap_input_tile -> ":input"
+  | Trap Fault.Cap_groups -> ":groups"
+  | Flip -> ":flip"
 
 let to_spec t =
   let event_spec e =
@@ -315,39 +336,57 @@ let of_env () =
 
 (* --- instrumentation hooks ------------------------------------------------- *)
 
+(* A firing [:flip] schedule entry corrupts data in place instead of
+   raising: the registered corruptor (the memory manager) flips one bit of
+   one word of one live certified buffer, all chosen by a splitmix64 hash
+   of (site, call counter) — silent by construction, deterministic by the
+   same argument as every other injection. Counted only when a flip
+   actually landed (no certified buffer is live, no corruption). *)
+let fire_flip t site n =
+  match t.corruptor with
+  | None -> ()
+  | Some apply ->
+      let h = mix ((((site_code site + 7) * 1_000_003) + n) * 65_599) in
+      if apply h then t.injected_flips <- t.injected_flips + 1
+
 let on_alloc t ~label ~bytes ~live ~capacity =
   if t.enabled then begin
     t.allocs <- t.allocs + 1;
-    if hits t Alloc t.allocs then begin
-      t.injected_allocs <- t.injected_allocs + 1;
-      Fault.raise_
-        (Fault.Alloc_failure
-           {
-             label;
-             requested_bytes = bytes;
-             live_bytes = live;
-             capacity_bytes = capacity;
-             injected = true;
-           })
-    end
+    if hits t Alloc t.allocs then
+      match kind_at t Alloc t.allocs with
+      | Flip -> fire_flip t Alloc t.allocs
+      | Trap _ ->
+          t.injected_allocs <- t.injected_allocs + 1;
+          Fault.raise_
+            (Fault.Alloc_failure
+               {
+                 label;
+                 requested_bytes = bytes;
+                 live_bytes = live;
+                 capacity_bytes = capacity;
+                 injected = true;
+               })
   end
 
 let on_launch t ~kernel =
   if t.enabled then begin
     t.launches <- t.launches + 1;
-    if hits t Launch t.launches then begin
-      t.injected_launches <- t.injected_launches + 1;
-      Fault.raise_
-        (Fault.capacity_trap ~kernel ~which:(kind_at t Launch t.launches)
-           ~have:0 ())
-    end
+    if hits t Launch t.launches then
+      match kind_at t Launch t.launches with
+      | Flip -> fire_flip t Launch t.launches
+      | Trap which ->
+          t.injected_launches <- t.injected_launches + 1;
+          Fault.raise_ (Fault.capacity_trap ~kernel ~which ~have:0 ())
   end
 
 let on_transfer t ~direction ~bytes =
   if t.enabled then begin
     t.transfers <- t.transfers + 1;
-    if hits t Transfer t.transfers then begin
-      t.injected_transfers <- t.injected_transfers + 1;
-      Fault.raise_ (Fault.Transfer_failure { direction; bytes; injected = true })
-    end
+    if hits t Transfer t.transfers then
+      match kind_at t Transfer t.transfers with
+      | Flip -> fire_flip t Transfer t.transfers
+      | Trap _ ->
+          t.injected_transfers <- t.injected_transfers + 1;
+          Fault.raise_
+            (Fault.Transfer_failure { direction; bytes; injected = true })
   end

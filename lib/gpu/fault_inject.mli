@@ -16,9 +16,11 @@
     ({!of_spec}): comma-separated [site@N[xC][:KIND]] events, e.g.
     ["launch@3x2:groups,transfer@1,alloc@5"], where [site] is
     [alloc|launch|transfer], [N] the 1-based event position, [xC] an
-    optional run of C consecutive events, and [:KIND] (launches only) the
-    capacity fault to trap with ([staging] (default), [input], [groups]).
-    [site@N..M[:KIND]] is window sugar for [site@Nx(M-N+1)].
+    optional run of C consecutive events, and [:KIND] what the firing call
+    does: for launches, the capacity fault to trap with ([staging]
+    (default), [input], [groups]); for any site, [flip] corrupts data in
+    place (a seeded bit flip on a live certified buffer) instead of
+    raising. [site@N..M[:KIND]] is window sugar for [site@Nx(M-N+1)].
     [seed@S[xC]] expands to C (default 3) pseudo-random events derived
     deterministically from seed S.
 
@@ -32,11 +34,20 @@
 
 type site = Alloc | Launch | Transfer
 
+type kind =
+  | Trap of Fault.capacity
+      (** raise the site's typed fault (launch traps blame the capacity) *)
+  | Flip
+      (** [:flip] — corrupt data in place instead of raising: one seeded
+          bit flip applied to one live certified buffer via the registered
+          {!set_corruptor} callback. Silent by construction; only integrity
+          verification can catch it. *)
+
 type event = {
   site : site;
   at : int;  (** 1-based position of the first faulting call *)
   count : int;  (** consecutive calls that fault *)
-  kind : Fault.capacity;  (** launch traps: which capacity to blame *)
+  kind : kind;  (** what the firing call does (default [Trap Cap_staging]) *)
 }
 
 type rule = {
@@ -45,7 +56,7 @@ type rule = {
   rseed : int;  (** decorrelation seed for the hash (rseed@S, default 1) *)
   first : int;  (** 1-based first call the rule considers *)
   last : int option;  (** inclusive last call; [None] = unbounded *)
-  rkind : Fault.capacity;  (** launch traps: which capacity to blame *)
+  rkind : kind;  (** what the firing call does (default [Trap Cap_staging]) *)
 }
 (** A probabilistic-rate schedule entry ([site%P]); seed-deterministic. *)
 
@@ -84,9 +95,26 @@ val launches : t -> int
 val transfers : t -> int
 
 val injected : t -> int
-(** Total faults injected so far, over all sites. *)
+(** Total faults injected so far, over all sites — bit flips included. *)
+
+val injected_flips : t -> int
+(** Bit flips actually applied so far (a [:flip] firing with no live
+    certified buffer to target corrupts nothing and is not counted). *)
 
 val counters : t -> (string * int) list
+
+val set_corruptor : t -> (int -> bool) -> unit
+(** Register the flip applicator (the memory manager does this at
+    creation): given the firing site's placement hash, flip one bit of one
+    word of one live certified buffer and return [true], or return [false]
+    when no target exists. Registration on a disabled injector is a no-op;
+    the latest registration wins, which is what a runtime that creates a
+    fresh memory manager per recovery attempt needs. *)
+
+val mix : int -> int
+(** The splitmix64 finalizer used for every seeded decision (rate rules,
+    flip placement), masked to a non-negative 62-bit value. Exposed so
+    collaborating modules derive sub-choices from the same family. *)
 
 (* Hooks called by the instrumented modules. Each bumps the site counter
    and raises {!Fault.Error} when the schedule names that call. *)
@@ -98,6 +126,9 @@ val on_transfer : t -> direction:Fault.direction -> bytes:int -> unit
 val pp_site : Format.formatter -> site -> unit
 val show_site : site -> string
 val equal_site : site -> site -> bool
+val pp_kind : Format.formatter -> kind -> unit
+val show_kind : kind -> string
+val equal_kind : kind -> kind -> bool
 val pp_event : Format.formatter -> event -> unit
 val show_event : event -> string
 val equal_event : event -> event -> bool

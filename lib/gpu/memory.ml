@@ -3,6 +3,9 @@ type entry = {
   bytes : int;
   label : string;
   mutable live : bool;
+  mutable cert : int option;
+      (* FNV-1a integrity certificate over the buffer's words, recorded at
+         PCIe boundaries and segment-output adoption (see Runtime) *)
 }
 
 type t = {
@@ -17,17 +20,67 @@ type t = {
 
 type buffer = int
 
+(* FNV-1a over the buffer's 63-bit words, each folded in as 8 octets.
+   Cheap, word-granular and order-sensitive: any single bit flip changes
+   the digest. Masked to a non-negative OCaml int. *)
+let checksum_words (data : int array) =
+  let prime = 0x100000001b3L in
+  let h = ref 0xcbf29ce484222325L in
+  for i = 0 to Array.length data - 1 do
+    let w = ref (Int64.of_int data.(i)) in
+    for _ = 0 to 7 do
+      h := Int64.mul (Int64.logxor !h (Int64.logand !w 0xffL)) prime;
+      w := Int64.shift_right_logical !w 8
+    done
+  done;
+  Int64.to_int (Int64.logand !h 0x3FFFFFFFFFFFFFFFL)
+
+(* The corruptor the fault injector's [:flip] kind calls: pick one live
+   *certified* buffer (the high-stakes data at rest that crossed a
+   materialization boundary — staging scratch is never targeted, so every
+   flip is detectable by certificate verification), then one word and one
+   bit, all from the firing site's hash. Deterministic: depends only on
+   the hash and the sorted set of certified handles. *)
+let apply_flip t h =
+  let targets =
+    Hashtbl.fold
+      (fun id e acc -> if e.live && e.cert <> None then id :: acc else acc)
+      t.entries []
+    |> List.sort compare
+  in
+  match targets with
+  | [] -> false
+  | _ ->
+      let id = List.nth targets (h mod List.length targets) in
+      let e = Hashtbl.find t.entries id in
+      let h2 = Fault_inject.mix (h lxor 0x5bd1e995) in
+      let word = h2 mod Array.length e.data in
+      let bit = Fault_inject.mix (h2 + 1) mod 62 in
+      e.data.(word) <- e.data.(word) lxor (1 lsl bit);
+      Weaver_obs.Trace.instant t.trace ~lane:Weaver_obs.Trace.Mem "bit_flip"
+        ~args:
+          [
+            ("buffer", Weaver_obs.Trace.Int id);
+            ("word", Weaver_obs.Trace.Int word);
+            ("bit", Weaver_obs.Trace.Int bit);
+          ];
+      true
+
 let create ?(faults = Fault_inject.none) ?(trace = Weaver_obs.Trace.none)
     device =
-  {
-    device;
-    entries = Hashtbl.create 64;
-    faults;
-    trace;
-    next_id = 1;
-    live_bytes = 0;
-    peak_bytes = 0;
-  }
+  let t =
+    {
+      device;
+      entries = Hashtbl.create 64;
+      faults;
+      trace;
+      next_id = 1;
+      live_bytes = 0;
+      peak_bytes = 0;
+    }
+  in
+  Fault_inject.set_corruptor faults (apply_flip t);
+  t
 
 let alloc ?(label = "buf") t ~words ~bytes =
   if words < 0 || bytes < 0 then invalid_arg "Memory.alloc: negative size";
@@ -40,7 +93,7 @@ let alloc ?(label = "buf") t ~words ~bytes =
   let id = t.next_id in
   t.next_id <- id + 1;
   Hashtbl.replace t.entries id
-    { data = Array.make (max words 1) 0; bytes; label; live = true };
+    { data = Array.make (max words 1) 0; bytes; label; live = true; cert = None };
   t.live_bytes <- t.live_bytes + bytes;
   if t.live_bytes > t.peak_bytes then t.peak_bytes <- t.live_bytes;
   Weaver_obs.Trace.counter t.trace ~lane:Weaver_obs.Trace.Mem "device_bytes"
@@ -74,6 +127,41 @@ let is_live t b =
 
 let live_buffers t =
   Hashtbl.fold (fun id e acc -> if e.live then (id, e.label) :: acc else acc)
+    t.entries []
+  |> List.sort compare
+
+let checksum t b = checksum_words (entry t b).data
+
+let certify t b =
+  let e = entry t b in
+  if not e.live then invalid_arg "Memory.certify: buffer is dead";
+  e.cert <- Some (checksum_words e.data)
+
+let cert t b = (entry t b).cert
+
+let verify t b ~site =
+  let e = entry t b in
+  match e.cert with
+  | None -> ()
+  | Some expected ->
+      let got = checksum_words e.data in
+      if got <> expected then begin
+        Weaver_obs.Trace.instant t.trace ~lane:Weaver_obs.Trace.Mem
+          "corruption_detected"
+          ~args:
+            [
+              ("buffer", Weaver_obs.Trace.Int b);
+              ("site", Weaver_obs.Trace.Str site);
+            ];
+        Fault.raise_ (Fault.Data_corrupted { buffer = b; expected; got; site })
+      end
+
+let mismatches t =
+  Hashtbl.fold
+    (fun id e acc ->
+      match e.cert with
+      | Some c when e.live && checksum_words e.data <> c -> id :: acc
+      | _ -> acc)
     t.entries []
   |> List.sort compare
 

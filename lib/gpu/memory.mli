@@ -45,6 +45,36 @@ val live_buffers : t -> (buffer * string) list
     materializations, anything left here beyond the base relations is a
     leak. *)
 
+(* Integrity certificates (silent-data-corruption defense). A buffer may
+   carry an FNV-1a digest of its words, recorded by the runtime at PCIe
+   transfer boundaries and at segment-output adoption; verification
+   recomputes the digest and raises a typed fault on mismatch. The fault
+   injector's [:flip] kind targets only certified buffers (the data at
+   rest whose corruption would otherwise silently poison every downstream
+   operator), so every injected flip is detectable. *)
+
+val checksum : t -> buffer -> int
+(** FNV-1a digest over the buffer's current words (padding included). *)
+
+val certify : t -> buffer -> unit
+(** Record the buffer's current digest as its integrity certificate.
+    Re-certify after any legitimate in-place rewrite (e.g. an implicit
+    sort), or verification will blame the rewrite. Raises
+    [Invalid_argument] on a dead buffer. *)
+
+val cert : t -> buffer -> int option
+(** The recorded certificate, if any. *)
+
+val verify : t -> buffer -> site:string -> unit
+(** Recompute the digest and compare against the certificate; a mismatch
+    raises {!Fault.Error} with [Data_corrupted] naming [site]. No-op on an
+    uncertified buffer. *)
+
+val mismatches : t -> buffer list
+(** Every live certified buffer whose current digest mismatches its
+    certificate, sorted by handle — the sweep behind "count every
+    outstanding flip when one is detected". *)
+
 val live_bytes : t -> int
 (** Bytes currently allocated. *)
 

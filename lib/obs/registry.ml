@@ -160,6 +160,12 @@ let observe_trace t tr =
           | "demotion" -> inc t "weaver_demotions_total"
           | "alloc_fault" | "launch_fault" | "transfer_fault" ->
               inc t "weaver_faults_injected_total"
+          | "bit_flip" -> inc t "weaver_bit_flips_total"
+          | "corruption_detected" -> inc t "weaver_corruptions_detected_total"
+          | "rollback" -> inc t "weaver_rollbacks_total"
+          | "checkpoint" -> inc t "weaver_checkpoints_total"
+          | "checkpoint_hit" -> inc t "weaver_checkpoint_hits_total"
+          | "checkpoint_evict" -> inc t "weaver_checkpoints_evicted_total"
           | _ -> ())
       | Trace.Counter, Trace.Mem ->
           if e.dur > !peak_bytes then peak_bytes := e.dur

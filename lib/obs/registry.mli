@@ -46,5 +46,9 @@ val observe_trace : t -> Trace.t -> unit
     [weaver_pcie_transfers_total]/[weaver_pcie_bytes_total] from Pcie
     spans, [weaver_retries_total]/[weaver_fissions_total]/
     [weaver_demotions_total]/[weaver_faults_injected_total] from Host
-    instants, and the [weaver_device_bytes] gauge from the Mem counter
-    peak. *)
+    instants, the integrity family ([weaver_bit_flips_total] and
+    [weaver_corruptions_detected_total] from Mem-lane instants,
+    [weaver_rollbacks_total]/[weaver_checkpoints_total]/
+    [weaver_checkpoint_hits_total]/[weaver_checkpoints_evicted_total] from
+    Host instants), and the [weaver_device_bytes] gauge from the Mem
+    counter peak. *)

@@ -22,6 +22,9 @@ type t = {
   deadline_cycles : float option;
   wall_deadline_s : float option;
   analyze : bool;
+  integrity : bool;
+  checkpoint : bool;
+  checkpoint_budget_frac : float;
   trace : bool;
   trace_out : string option;
   metrics_out : string option;
@@ -50,6 +53,9 @@ let default =
     deadline_cycles = None;
     wall_deadline_s = None;
     analyze = true;
+    integrity = true;
+    checkpoint = false;
+    checkpoint_budget_frac = 0.5;
     trace = false;
     trace_out = None;
     metrics_out = None;

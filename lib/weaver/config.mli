@@ -75,6 +75,28 @@ type t = {
           diagnostic fails the query with
           {!Gpu_sim.Fault.Static_rejected}. On by default; turn off to
           benchmark codegen without the certification cost. *)
+  integrity : bool;
+      (** verify buffer integrity certificates (FNV-1a digests recorded at
+          PCIe transfer boundaries and at segment-output adoption) at
+          every downstream use and release; a mismatch fails the attempt
+          with {!Gpu_sim.Fault.Data_corrupted} and enters recovery instead
+          of silently propagating garbage. On by default — certificates
+          are always *recorded* (so injected [:flip] corruption lands on
+          the same buffers either way); this flag gates only the
+          verification. *)
+  checkpoint : bool;
+      (** snapshot every verified segment output (host-side copy +
+          certificate) into a bounded checkpoint ledger, and on a
+          recoverable fault resume from the ledger — re-executing only
+          the suffix after the last verified checkpoint — instead of
+          restarting the whole fused chain. The rollback rung sits ahead
+          of full-restart recovery and charges the [retry_budget] token
+          gate only for the replayed suffix. Off by default. *)
+  checkpoint_budget_frac : float;
+      (** checkpoint ledger size budget as a fraction of device memory
+          (the same footprint currency the service's admission estimate
+          uses). Oldest snapshots are evicted first when the ledger
+          overflows; a snapshot larger than the whole budget is skipped. *)
   trace : bool;
       (** collect a full span/event trace ({!Weaver_obs.Trace}) for the
           run or batch. Off by default: the disabled tracer is the

@@ -16,13 +16,23 @@ type t = {
   fissions : int;
   demotions : int;
   faults_injected : int;
+  corruptions : int;
+  rollbacks : int;
+  checkpoints : int;
+  checkpoint_hits : int;
+  checkpoints_evicted : int;
+  replayed_cycles : float;
+  saved_replay_cycles : float;
   leaks : (string * int) list;
   queue_wait_cycles : float;
   service : bool;
 }
 
-let collect ?(queue_wait_cycles = 0.0) ?(service = false) ~reports ~pcie
-    ~peak_global_bytes ~retries ~fissions ~demotions ~faults_injected ~leaks () =
+let collect ?(queue_wait_cycles = 0.0) ?(service = false) ?(corruptions = 0)
+    ?(rollbacks = 0) ?(checkpoints = 0) ?(checkpoint_hits = 0)
+    ?(checkpoints_evicted = 0) ?(replayed_cycles = 0.0)
+    ?(saved_replay_cycles = 0.0) ~reports ~pcie ~peak_global_bytes ~retries
+    ~fissions ~demotions ~faults_injected ~leaks () =
   let sum f =
     List.fold_left
       (fun a (r : Executor.launch_report) -> a +. f r.Executor.time)
@@ -44,6 +54,13 @@ let collect ?(queue_wait_cycles = 0.0) ?(service = false) ~reports ~pcie
     fissions;
     demotions;
     faults_injected;
+    corruptions;
+    rollbacks;
+    checkpoints;
+    checkpoint_hits;
+    checkpoints_evicted;
+    replayed_cycles;
+    saved_replay_cycles;
     leaks;
     queue_wait_cycles;
     service;
@@ -69,6 +86,13 @@ let equal a b =
   && a.fissions = b.fissions
   && a.demotions = b.demotions
   && a.faults_injected = b.faults_injected
+  && a.corruptions = b.corruptions
+  && a.rollbacks = b.rollbacks
+  && a.checkpoints = b.checkpoints
+  && a.checkpoint_hits = b.checkpoint_hits
+  && a.checkpoints_evicted = b.checkpoints_evicted
+  && Float.equal a.replayed_cycles b.replayed_cycles
+  && Float.equal a.saved_replay_cycles b.saved_replay_cycles
   && a.leaks = b.leaks
   && Float.equal a.queue_wait_cycles b.queue_wait_cycles
   && Bool.equal a.service b.service
@@ -104,6 +128,15 @@ let pp ppf t =
     t.launches t.retries t.fissions t.demotions t.faults_injected
     t.kernel_cycles t.compute_cycles t.memory_cycles t.pcie_seconds
     t.pcie_bytes t.pcie_transfers t.peak_global_bytes Stats.pp t.stats;
+  if
+    t.corruptions > 0 || t.rollbacks > 0 || t.checkpoints > 0
+    || t.checkpoints_evicted > 0
+  then
+    Format.fprintf ppf
+      "@ integrity: %d corruptions detected, %d rollbacks, %d checkpoints (%d \
+       hits, %d evicted), %.0f cycles replayed, %.0f saved"
+      t.corruptions t.rollbacks t.checkpoints t.checkpoint_hits
+      t.checkpoints_evicted t.replayed_cycles t.saved_replay_cycles;
   if t.service then
     Format.fprintf ppf "@ queue wait: %.0f cycles" t.queue_wait_cycles;
   match t.leaks with

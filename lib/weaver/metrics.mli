@@ -27,6 +27,24 @@ type t = {
       (** Resident->Streamed demotions (0 or 1: demotion restarts the run
           in Streamed mode after a device OOM) *)
   faults_injected : int;  (** faults the injection schedule fired *)
+  corruptions : int;
+      (** certificate mismatches detected by integrity verification; every
+          outstanding mismatch is swept and counted when the first one is
+          caught, so for flip-only storms this equals the flips injected *)
+  rollbacks : int;
+      (** recoveries that resumed from the checkpoint ledger instead of
+          restarting the whole run *)
+  checkpoints : int;  (** verified segment outputs snapshotted *)
+  checkpoint_hits : int;
+      (** operator results restored from the ledger during replay (one per
+          restored op per recovery attempt) *)
+  checkpoints_evicted : int;
+      (** snapshots dropped (oldest-first) to respect the ledger budget *)
+  replayed_cycles : float;
+      (** cycles re-spent re-executing work a fault destroyed *)
+  saved_replay_cycles : float;
+      (** cycles the checkpoint ledger avoided re-spending: the prefix of
+          each failed attempt that restore covered *)
   leaks : (string * int) list;
       (** buffers (label, bytes) still allocated at end of run beyond the
           base-relation footprint — always [[]] unless the runtime has a
@@ -42,6 +60,13 @@ type t = {
 val collect :
   ?queue_wait_cycles:float ->
   ?service:bool ->
+  ?corruptions:int ->
+  ?rollbacks:int ->
+  ?checkpoints:int ->
+  ?checkpoint_hits:int ->
+  ?checkpoints_evicted:int ->
+  ?replayed_cycles:float ->
+  ?saved_replay_cycles:float ->
   reports:Executor.launch_report list ->
   pcie:Pcie.t ->
   peak_global_bytes:int ->

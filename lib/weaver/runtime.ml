@@ -47,6 +47,26 @@ type mat = {
   mutable remaining : int;  (** consuming units left (Resident freeing) *)
 }
 
+(* The checkpoint ledger: verified segment outputs snapshotted host-side at
+   publish time, so a recoverable fault can resume from the last verified
+   boundary instead of restarting the whole fused chain. Lives outside the
+   per-attempt state (like the saved_* counters) — entries survive failed
+   attempts; that is the whole point. Bounded by a fraction of device
+   memory (the admission footprint currency), oldest evicted first. *)
+type ckpt = {
+  ck_on : bool;
+  ck_budget : int;  (** bytes; ledger high-water mark *)
+  mutable ck_entries : (int * Relation.t * int) list;
+      (** (op_id, host snapshot, bytes), oldest first *)
+  mutable ck_bytes : int;
+  mutable ck_taken : int;
+  mutable ck_hits : int;
+  mutable ck_evicted : int;
+  mutable ck_last_spent : float;
+      (** absolute spent cycles at the newest snapshot — the boundary the
+          replay-savings accounting credits *)
+}
+
 type st = {
   program : program;
   mem : Memory.t;
@@ -60,6 +80,12 @@ type st = {
   mutable retries : int;
   mutable fissions : int;
   mutable budget_spent : int;  (** recovery tokens consumed (see below) *)
+  mutable corruptions : int;
+      (** certificate mismatches detected (swept per attempt) *)
+  ckpt : ckpt;
+  restored : (int, unit) Hashtbl.t;
+      (** op ids restored from the ledger this attempt; units whose every
+          output is here are skipped (and must not count as consumers) *)
   base_mats : mat array;
   node_mats : mat option array;
   pending_extra : (int, int) Hashtbl.t;
@@ -218,6 +244,17 @@ let alloc_rel st ~label ~rows ~schema =
     ~words:(max 1 (rows * Schema.arity schema))
     ~bytes:(rows * Schema.tuple_bytes schema)
 
+(* Integrity checkpoint: recompute a materialization's digest against its
+   certificate. Certificates are recorded unconditionally (so injected
+   corruption lands on the same buffers whether or not anyone is looking);
+   only this verification is gated on [Config.integrity] — turning it off
+   is the "silent corruption" control. *)
+let check_mat st (m : mat) ~site =
+  if (config st).Config.integrity then
+    match m.buf with
+    | Some b when Memory.is_live st.mem b -> Memory.verify st.mem b ~site
+    | _ -> ()
+
 let upload st (m : mat) =
   match m.buf with
   | Some b -> b
@@ -232,6 +269,9 @@ let upload st (m : mat) =
         (Array.length (Relation.data rel));
       m.buf <- Some b;
       transfer st Pcie.Host_to_device ~bytes:(Relation.bytes rel);
+      (* certify at the PCIe boundary: from here until release, any bit
+         that changes outside a recertified rewrite is corruption *)
+      Memory.certify st.mem b;
       b
 
 let device_view st (m : mat) =
@@ -246,6 +286,7 @@ let download st (m : mat) =
   match m.host with
   | Some r -> r
   | None ->
+      check_mat st m ~site:"download";
       let rel = device_view st m in
       transfer st Pcie.Device_to_host ~bytes:(Relation.bytes rel);
       m.host <- Some rel;
@@ -261,13 +302,18 @@ let free_device st (m : mat) =
 (* Enforce the skeletons' sorted-input invariant; re-sorting is charged as
    a modelled SORT (the query planner would have inserted one). *)
 let ensure_sorted st (m : mat) ~key_arity =
+  (* verify first: a flip that landed since certification must not be
+     laundered into a freshly recertified "sorted" rewrite *)
+  check_mat st m ~site:"sort_invariant";
   let rel = device_view st m in
   if not (Relation.is_sorted ~key_arity rel) then begin
     let sorted = Relation.sort ~key_arity rel in
     (match m.buf with
     | Some b ->
         Array.blit (Relation.data sorted) 0 (Memory.data st.mem b) 0
-          (Array.length (Relation.data sorted))
+          (Array.length (Relation.data sorted));
+        (* legitimate in-place rewrite: recertify *)
+        Memory.certify st.mem b
     | None -> ());
     if m.host <> None then m.host <- Some sorted;
     List.iteri
@@ -278,12 +324,17 @@ let ensure_sorted st (m : mat) ~key_arity =
 let clamp_grid st ~rows ~cap =
   max 1 (min (config st).Config.max_grid ((rows + cap - 1) / cap))
 
+(* verify-before-free: a flip must be caught while its buffer is still
+   live, or the release would silently retire the evidence. This is the
+   last verification a buffer sees, so any corruption the launches missed
+   (injected after the post-launch input check) is detected here. *)
 let consume st sources =
   match st.mode with
   | Streamed ->
       List.iter
         (fun src ->
           let m = mat_of_source st src in
+          check_mat st m ~site:"consume";
           ignore (download st m);
           free_device st m)
         sources
@@ -292,8 +343,73 @@ let consume st sources =
         (fun src ->
           let m = mat_of_source st src in
           m.remaining <- m.remaining - 1;
-          if m.remaining <= 0 then free_device st m)
+          if m.remaining <= 0 then begin
+            check_mat st m ~site:"release";
+            free_device st m
+          end)
         sources
+
+(* Fault-free checkpointing overhead cap: in Resident mode a snapshot
+   charges a real D2H, so one is taken only when that cost is within this
+   fraction of the progress made since the last snapshot. Summed over a
+   run the telescoping bound keeps total snapshot traffic under the same
+   fraction of total cycles — the "pays for itself" rule. *)
+let ckpt_overhead_bound = 0.04
+
+(* Snapshot a just-verified segment output into the checkpoint ledger: a
+   host copy (via [download], so the D2H cost is charged honestly — and in
+   Streamed mode, where publish downloads anyway, the snapshot is free)
+   plus its byte footprint against the ledger budget. An entry larger than
+   the whole budget is not taken; a Resident entry whose D2H would exceed
+   [ckpt_overhead_bound] of the progress since the last snapshot is
+   deferred (a later, larger prefix will absorb it); otherwise the oldest
+   entries are evicted until the ledger fits. *)
+let snapshot st op_id (m : mat) =
+  let ck = st.ckpt in
+  if ck.ck_on then begin
+    let bytes = max 0 (m.rows * Schema.tuple_bytes m.schema) in
+    let affordable =
+      match st.mode with
+      | Streamed -> true (* publish downloads anyway: the snapshot is free *)
+      | Resident ->
+          let d = device st in
+          let d2h_cycles =
+            ((d.Device.pcie_latency_us *. 1e-6)
+            +. (float_of_int bytes /. (d.Device.pcie_bw_gbps *. 1e9)))
+            *. d.Device.clock_ghz *. 1e9
+          in
+          d2h_cycles
+          <= ckpt_overhead_bound *. (spent_cycles st -. ck.ck_last_spent)
+    in
+    if bytes <= ck.ck_budget && affordable then begin
+      let rel = download st m in
+      (match List.find_opt (fun (i, _, _) -> i = op_id) ck.ck_entries with
+      | Some (_, _, b) ->
+          ck.ck_entries <- List.filter (fun (i, _, _) -> i <> op_id) ck.ck_entries;
+          ck.ck_bytes <- ck.ck_bytes - b
+      | None -> ());
+      ck.ck_entries <- ck.ck_entries @ [ (op_id, rel, bytes) ];
+      ck.ck_bytes <- ck.ck_bytes + bytes;
+      ck.ck_taken <- ck.ck_taken + 1;
+      ck.ck_last_spent <- spent_cycles st;
+      Weaver_obs.Trace.instant st.trace ~lane:Weaver_obs.Trace.Host "checkpoint"
+        ~args:
+          [
+            ("op", Weaver_obs.Trace.Int op_id);
+            ("bytes", Weaver_obs.Trace.Int bytes);
+          ];
+      while ck.ck_bytes > ck.ck_budget do
+        match ck.ck_entries with
+        | (_, _, b) :: rest ->
+            ck.ck_entries <- rest;
+            ck.ck_bytes <- ck.ck_bytes - b;
+            ck.ck_evicted <- ck.ck_evicted + 1;
+            Weaver_obs.Trace.instant st.trace ~lane:Weaver_obs.Trace.Host
+              "checkpoint_evict"
+        | [] -> ck.ck_bytes <- 0
+      done
+    end
+  end
 
 let publish st op_id (m : mat) =
   (match Hashtbl.find_opt st.pending_extra op_id with
@@ -301,12 +417,27 @@ let publish st op_id (m : mat) =
       m.remaining <- m.remaining + extra;
       Hashtbl.remove st.pending_extra op_id
   | None -> ());
+  (* segment-output adoption is a certification boundary *)
+  (match m.buf with Some b -> Memory.certify st.mem b | None -> ());
   st.node_mats.(op_id) <- Some m;
+  snapshot st op_id m;
   match st.mode with
   | Streamed ->
       ignore (download st m);
       free_device st m
   | Resident -> ()
+
+let unit_outputs = function
+  | U_fused { ir; _ } -> List.map fst (Array.to_list ir.Fusion.outputs)
+  | U_sort { op_id; _ } | U_unique { op_id; _ } | U_aggregate { op_id; _ } ->
+      [ op_id ]
+
+(* a unit whose every output was restored from the checkpoint ledger does
+   not run on a replay attempt — and must not count as a consumer either *)
+let unit_skipped st u =
+  match unit_outputs u with
+  | [] -> false
+  | outs -> List.for_all (Hashtbl.mem st.restored) outs
 
 (* how many units read a node's output (sinks get a sentinel so their
    buffers survive until the end of the run) *)
@@ -317,16 +448,18 @@ let consumer_units_of st op_id =
   let count =
     List.fold_left
       (fun acc u ->
-        let srcs =
-          match u with
-          | U_fused { ir; _ } ->
-              Array.to_list
-                (Array.map (fun (i : Fusion.input_info) -> i.source) ir.inputs)
-          | U_sort { source; _ } | U_unique { source; _ }
-          | U_aggregate { source; _ } ->
-              [ source ]
-        in
-        if uses_source srcs then acc + 1 else acc)
+        if unit_skipped st u then acc
+        else
+          let srcs =
+            match u with
+            | U_fused { ir; _ } ->
+                Array.to_list
+                  (Array.map (fun (i : Fusion.input_info) -> i.source) ir.inputs)
+            | U_sort { source; _ } | U_unique { source; _ }
+            | U_aggregate { source; _ } ->
+                [ source ]
+          in
+          if uses_source srcs then acc + 1 else acc)
       0 st.program.units
   in
   if List.exists (Int.equal op_id) (Plan.sinks st.program.plan) then count + 1
@@ -459,7 +592,10 @@ let exec_fallback_node st ~name ~op_id ~consumed_sources =
   let node = Plan.node plan op_id in
   let rels =
     List.map
-      (fun src -> device_view st (mat_of_source st src))
+      (fun src ->
+        let m = mat_of_source st src in
+        check_mat st m ~site:(name ^ "_fallback");
+        device_view st m)
       node.Plan.inputs
   in
   let out = Reference.eval_kind node.Plan.kind rels in
@@ -645,6 +781,13 @@ let rec exec_fused st ~name (ir : Fusion.t) =
             produced := buf :: !produced;
             (op_id, schema, buf, rows))
       in
+      (* post-launch input verification: injection hooks fire before the
+         interpreter reads, so inputs that verify clean here were clean for
+         every kernel of this unit — a corrupted input means the attempt's
+         outputs cannot be trusted and must not be published *)
+      Array.iter
+        (fun (mm : mat) -> check_mat st mm ~site:(name ^ "_inputs"))
+        in_mats;
       produced := [];
       free_temps ();
       outs
@@ -829,6 +972,9 @@ let exec_sort st ~op_id ~key_arity ~source =
   (* the synthetic passes hit budget checkpoints; release [out] if one
      fires before the result is adopted by a mat *)
   (try
+     (* the [out] allocation was an injection point: verify the input just
+        before its bits are copied host-side *)
+     check_mat st m ~site:(Printf.sprintf "sort%d_input" op_id);
      Array.blit
        (Memory.data st.mem (Option.get m.buf))
        0 (Memory.data st.mem out) 0
@@ -920,6 +1066,11 @@ let exec_unique st ~op_id ~key_arity ~source =
         scan_and_gather st ~name ~scan_k ~gather_k ~staging ~counts ~grid
           ~schema:m.schema
       in
+      (* post-launch input verification (see exec_fused) *)
+      (try check_mat st m ~site:(name ^ "_input")
+       with e ->
+         Memory.free st.mem out;
+         raise e);
       free_temps ();
       (out, rows)
     with
@@ -1044,6 +1195,9 @@ let exec_aggregate st ~op_id ~source ~(lay : Ra_lib.Aggregate_emit.layout) =
            ~params:[| staging; counts; grid; out; out_count |]
            ~grid:1 ~cta:1);
       let rows = (Memory.data st.mem out_count).(0) in
+      (* post-launch input verification (see exec_fused); on failure
+         [free_temps] below releases the result buffer too *)
+      check_mat st m ~site:(name ^ "_input");
       result := None;
       free_temps ();
       (out, rows, out_schema)
@@ -1138,8 +1292,28 @@ let run_result ?(cancel = Cancel.none) ?(trace = Weaver_obs.Trace.none) program
   let saved_retries = ref 0 in
   let saved_fissions = ref 0 in
   let saved_budget = ref 0 in
+  let saved_corruptions = ref 0 in
+  let replayed = ref 0.0 in
+  let saved_replay = ref 0.0 in
   let last_mem = ref None in
-  let attempt ~mode ~demotions =
+  (* the checkpoint ledger spans every attempt of the run — entries taken
+     by a failed attempt are exactly what the next attempt resumes from *)
+  let ckpt =
+    {
+      ck_on = program.config.Config.checkpoint;
+      ck_budget =
+        int_of_float
+          (program.config.Config.checkpoint_budget_frac
+          *. float_of_int program.config.Config.device.Device.global_mem_bytes);
+      ck_entries = [];
+      ck_bytes = 0;
+      ck_taken = 0;
+      ck_hits = 0;
+      ck_evicted = 0;
+      ck_last_spent = 0.0;
+    }
+  in
+  let attempt ~mode ~demotions ~rollbacks =
     let mem = Memory.create ~faults ~trace program.config.Config.device in
     let st =
       {
@@ -1155,6 +1329,9 @@ let run_result ?(cancel = Cancel.none) ?(trace = Weaver_obs.Trace.none) program
         retries = !saved_retries;
         fissions = !saved_fissions;
         budget_spent = !saved_budget;
+        corruptions = !saved_corruptions;
+        ckpt;
+        restored = Hashtbl.create 8;
         base_mats =
           Array.map
             (fun r ->
@@ -1188,26 +1365,60 @@ let run_result ?(cancel = Cancel.none) ?(trace = Weaver_obs.Trace.none) program
       (* a non-positive deadline (or an already-fired token) fails the run
          before any work, including the base uploads *)
       check_budget st;
-      (* base consumer counts *)
+      (* Restore from the checkpoint ledger: a unit whose every output has
+         a verified snapshot is skipped this attempt; its results come
+         back as host-only mats, re-uploaded on demand. The two-pass shape
+         matters: every restored op must be marked before any consumer
+         count is computed, since counts filter skipped units. *)
+      let ledgered = Hashtbl.create 8 in
+      List.iter
+        (fun (op_id, rel, _) -> Hashtbl.replace ledgered op_id rel)
+        ckpt.ck_entries;
+      List.iter
+        (fun u ->
+          let outs = unit_outputs u in
+          if outs <> [] && List.for_all (Hashtbl.mem ledgered) outs then
+            List.iter (fun op_id -> Hashtbl.replace st.restored op_id ()) outs)
+        program.units;
+      Hashtbl.iter
+        (fun op_id () ->
+          let rel = Hashtbl.find ledgered op_id in
+          st.node_mats.(op_id) <-
+            Some
+              {
+                schema = Relation.schema rel;
+                rows = Relation.count rel;
+                buf = None;
+                host = Some rel;
+                remaining = consumer_units_of st op_id;
+              };
+          ckpt.ck_hits <- ckpt.ck_hits + 1;
+          Weaver_obs.Trace.instant trace ~lane:Weaver_obs.Trace.Host
+            "checkpoint_hit"
+            ~args:[ ("op", Weaver_obs.Trace.Int op_id) ])
+        st.restored;
+      (* base consumer counts (skip-aware: a restored unit reads nothing) *)
       Array.iteri
         (fun i (m : mat) ->
           let src = Plan.Base i in
           m.remaining <-
             List.fold_left
               (fun acc u ->
-                let srcs =
-                  match u with
-                  | U_fused { ir; _ } ->
-                      Array.to_list
-                        (Array.map
-                           (fun (x : Fusion.input_info) -> x.source)
-                           ir.inputs)
-                  | U_sort { source; _ } | U_unique { source; _ }
-                  | U_aggregate { source; _ } ->
-                      [ source ]
-                in
-                if List.exists (Plan.equal_source src) srcs then acc + 1
-                else acc)
+                if unit_skipped st u then acc
+                else
+                  let srcs =
+                    match u with
+                    | U_fused { ir; _ } ->
+                        Array.to_list
+                          (Array.map
+                             (fun (x : Fusion.input_info) -> x.source)
+                             ir.inputs)
+                    | U_sort { source; _ } | U_unique { source; _ }
+                    | U_aggregate { source; _ } ->
+                        [ source ]
+                  in
+                  if List.exists (Plan.equal_source src) srcs then acc + 1
+                  else acc)
               0 program.units)
         st.base_mats;
       (* In Resident mode, upload every base once up front (the paper's
@@ -1217,14 +1428,15 @@ let run_result ?(cancel = Cancel.none) ?(trace = Weaver_obs.Trace.none) program
       | Streamed -> ());
       List.iter
         (fun u ->
-          match u with
-          | U_fused { name; ir } -> exec_fused st ~name ir
-          | U_sort { op_id; key_arity; source } ->
-              exec_sort st ~op_id ~key_arity ~source
-          | U_unique { op_id; key_arity; source } ->
-              exec_unique st ~op_id ~key_arity ~source
-          | U_aggregate { op_id; source; lay } ->
-              exec_aggregate st ~op_id ~source ~lay)
+          if not (unit_skipped st u) then
+            match u with
+            | U_fused { name; ir } -> exec_fused st ~name ir
+            | U_sort { op_id; key_arity; source } ->
+                exec_sort st ~op_id ~key_arity ~source
+            | U_unique { op_id; key_arity; source } ->
+                exec_unique st ~op_id ~key_arity ~source
+            | U_aggregate { op_id; source; lay } ->
+                exec_aggregate st ~op_id ~source ~lay)
         program.units;
       let sinks =
         List.map
@@ -1234,6 +1446,14 @@ let run_result ?(cancel = Cancel.none) ?(trace = Weaver_obs.Trace.none) program
             | None -> exec_error "sink %d was never computed" id)
           (Plan.sinks program.plan)
       in
+      (* Final integrity sweep, while every materialization is still live:
+         a flip that landed after its buffer's last verification (e.g. on a
+         sink whose host copy was already cached) is still detected and
+         counted here — but the outputs no longer depend on the device
+         copy, so the run stands rather than raising. *)
+      (if program.config.Config.integrity then
+         st.corruptions <-
+           st.corruptions + List.length (Memory.mismatches st.mem));
       (* release every device materialization; whatever is still live in
          the manager after that is a lifetime bug, surfaced as a leak *)
       Array.iter (fun m -> free_device st m) st.base_mats;
@@ -1249,17 +1469,28 @@ let run_result ?(cancel = Cancel.none) ?(trace = Weaver_obs.Trace.none) program
         Metrics.collect ~reports:(List.rev st.reports) ~pcie
           ~peak_global_bytes:(Memory.peak_bytes mem) ~retries:st.retries
           ~fissions:st.fissions ~demotions
-          ~faults_injected:(Fault_inject.injected faults) ~leaks ()
+          ~faults_injected:(Fault_inject.injected faults) ~leaks
+          ~corruptions:st.corruptions ~rollbacks ~checkpoints:ckpt.ck_taken
+          ~checkpoint_hits:ckpt.ck_hits ~checkpoints_evicted:ckpt.ck_evicted
+          ~replayed_cycles:!replayed ~saved_replay_cycles:!saved_replay ()
       in
       T.close trace run_sp;
       { sinks; metrics }
     with e ->
       T.close trace run_sp;
+      (* sweep before the cleanup frees retire the evidence: every
+         outstanding mismatch — the one that raised (if corruption is what
+         killed the attempt) and any concurrent flips — is counted exactly
+         once, here *)
+      (if program.config.Config.integrity then
+         st.corruptions <-
+           st.corruptions + List.length (Memory.mismatches st.mem));
       saved_reports := st.reports;
       saved_cycles := st.kernel_cycles;
       saved_retries := st.retries;
       saved_fissions := st.fissions;
       saved_budget := st.budget_spent;
+      saved_corruptions := st.corruptions;
       (* failure-path cleanup: every materialization is released so a
          cancelled or deadline-missed query leaves the (simulated) device
          empty — anything still live afterwards is a genuine lifetime bug
@@ -1271,7 +1502,7 @@ let run_result ?(cancel = Cancel.none) ?(trace = Weaver_obs.Trace.none) program
       last_mem := Some mem;
       raise e
   in
-  let partial ~demotions =
+  let partial ~demotions ~rollbacks =
     let leaks, peak =
       match !last_mem with
       | Some mem ->
@@ -1284,15 +1515,18 @@ let run_result ?(cancel = Cancel.none) ?(trace = Weaver_obs.Trace.none) program
     Metrics.collect ~reports:(List.rev !saved_reports) ~pcie
       ~peak_global_bytes:peak ~retries:!saved_retries
       ~fissions:!saved_fissions ~demotions
-      ~faults_injected:(Fault_inject.injected faults) ~leaks ()
+      ~faults_injected:(Fault_inject.injected faults) ~leaks
+      ~corruptions:!saved_corruptions ~rollbacks ~checkpoints:ckpt.ck_taken
+      ~checkpoint_hits:ckpt.ck_hits ~checkpoints_evicted:ckpt.ck_evicted
+      ~replayed_cycles:!replayed ~saved_replay_cycles:!saved_replay ()
   in
   (* Policy order (see DESIGN.md "Fault model & recovery"): retries and
      fission already happened inside the attempt; what escapes here is a
      device OOM (demote a Resident run to Streamed and restart) or a
      genuinely unrecoverable fault (fail with a typed payload). *)
   let wrap ~attempts = function
-    | (Fault.Alloc_failure _ | Fault.Transfer_failure _ | Fault.Capacity_trap _)
-      as f ->
+    | ( Fault.Alloc_failure _ | Fault.Transfer_failure _
+      | Fault.Capacity_trap _ | Fault.Data_corrupted _ ) as f ->
         Fault.Recovery_exhausted { attempts; last = f }
     | f -> f
   in
@@ -1307,10 +1541,14 @@ let run_result ?(cancel = Cancel.none) ?(trace = Weaver_obs.Trace.none) program
     | Fault.Cancelled _ | Fault.Deadline_exceeded _ -> f
     | f -> ( match Cancel.cancelled cancel with Some c -> c | None -> f)
   in
-  (* Demotion is a recovery action too: it restarts the whole query in
-     Streamed mode, so it passes the same budget gates as a retry. The
-     cost estimate is everything the failed Resident attempt burned. *)
-  let demotion_veto () =
+  (* A run-level restart (rollback to the last checkpoint, or a
+     Resident->Streamed demotion) is a recovery action too: it passes the
+     same budget gates as a retry. [estimate] is what the restart is
+     expected to cost — for a demotion the whole query so far, for a
+     rollback only the suffix after the last verified checkpoint, which is
+     the point of checkpointing: the deadline veto is re-judged against
+     the shorter remaining work. *)
+  let restart_veto ~action ~estimate =
     match Cancel.cancelled cancel with
     | Some f -> Some f
     | None -> (
@@ -1321,7 +1559,7 @@ let run_result ?(cancel = Cancel.none) ?(trace = Weaver_obs.Trace.none) program
               Some
                 (Fault.Budget_vetoed
                    {
-                     action = "demotion";
+                     action;
                      reason =
                        Fault.Tokens_exhausted { budget; spent = !saved_budget };
                    })
@@ -1329,15 +1567,15 @@ let run_result ?(cancel = Cancel.none) ?(trace = Weaver_obs.Trace.none) program
               let spent = !saved_cycles +. Pcie.total_cycles pcie in
               let vetoed =
                 match program.config.Config.deadline_cycles with
-                | Some limit when spent > limit -. spent ->
+                | Some limit when estimate > limit -. spent ->
                     Some
                       (Fault.Budget_vetoed
                          {
-                           action = "demotion";
+                           action;
                            reason =
                              Fault.Deadline_too_close
                                {
-                                 estimated = spent;
+                                 estimated = estimate;
                                  remaining = Float.max (limit -. spent) 0.0;
                                };
                          })
@@ -1346,46 +1584,92 @@ let run_result ?(cancel = Cancel.none) ?(trace = Weaver_obs.Trace.none) program
               if vetoed = None then saved_budget := !saved_budget + 1;
               vetoed)
   in
-  (* Deadline_exceeded and Cancelled are terminal by construction: [wrap]
-     passes them through unwrapped, and demotion keys on Alloc_failure
-     only — a query over budget must stop, not restart in Streamed mode.
-     Budget_vetoed is terminal the same way: not wrapped, never demoted. *)
-  match attempt ~mode ~demotions:0 with
-  | r -> Ok r
-  | exception Fault.Error (Fault.Alloc_failure _) when mode = Resident -> (
-      match demotion_veto () with
-      | Some veto ->
-          (if Weaver_obs.Trace.active trace then
-             match veto with
-             | Fault.Budget_vetoed { action; _ } ->
-                 Weaver_obs.Trace.instant trace ~lane:Weaver_obs.Trace.Host
-                   "budget_veto"
-                   ~args:[ ("action", Weaver_obs.Trace.Str action) ]
-             | _ -> ());
+  let emit_veto veto =
+    if Weaver_obs.Trace.active trace then
+      match veto with
+      | Fault.Budget_vetoed { action; _ } ->
+          Weaver_obs.Trace.instant trace ~lane:Weaver_obs.Trace.Host
+            "budget_veto"
+            ~args:[ ("action", Weaver_obs.Trace.Str action) ]
+      | _ -> ()
+  in
+  (* the faults the rollback rung is willing to absorb: transient
+     infrastructure faults plus detected corruption. Deadline_exceeded,
+     Cancelled and Budget_vetoed stay terminal by construction. *)
+  let recoverable = function
+    | Fault.Alloc_failure _ | Fault.Transfer_failure _ | Fault.Capacity_trap _
+    | Fault.Data_corrupted _ ->
+        true
+    | _ -> false
+  in
+  (* The recovery drive loop. Ladder order per attempt outcome:
+     1. rollback — resume from the checkpoint ledger (checkpointing on, the
+        fault recoverable, and progress: past the free first rollback, the
+        ledger must have grown since the last one, or replaying the same
+        suffix would fail the same way forever);
+     2. demotion — a Resident device OOM restarts Streamed (and still
+        restores whatever the ledger holds);
+     3. fail with a typed, attempt-counted fault.
+     Replay accounting: of the cycles the failed attempt burned, the part
+     before the newest checkpoint is charged to [saved_replay] (the ledger
+     saved re-spending it), the rest to [replayed]. *)
+  let rec drive ~mode ~demotions ~rollbacks ~last_taken =
+    let t0 = !saved_cycles +. Pcie.total_cycles pcie in
+    match attempt ~mode ~demotions ~rollbacks with
+    | r -> Ok r
+    | exception Fault.Error f -> (
+        let fail_spent = !saved_cycles +. Pcie.total_cycles pcie in
+        let lost = Float.max 0.0 (fail_spent -. t0) in
+        let fail fault =
           Error
             {
-              fault = veto;
-              partial = partial ~demotions:0;
+              fault;
+              partial = partial ~demotions ~rollbacks;
               trail = Weaver_obs.Trace.trail trace;
             }
-      | None -> (
-          Weaver_obs.Trace.instant trace ~lane:Weaver_obs.Trace.Host "demotion";
-          match attempt ~mode:Streamed ~demotions:1 with
-          | r -> Ok r
-          | exception Fault.Error f ->
-              Error
-                {
-                  fault = wrap ~attempts:2 (surface f);
-                  partial = partial ~demotions:1;
-                  trail = Weaver_obs.Trace.trail trace;
-                }))
-  | exception Fault.Error f ->
-      Error
-        {
-          fault = wrap ~attempts:1 (surface f);
-          partial = partial ~demotions:0;
-          trail = Weaver_obs.Trace.trail trace;
-        }
+        in
+        let can_rollback =
+          ckpt.ck_on && recoverable f
+          && rollbacks < program.config.Config.max_retries
+          && (rollbacks = 0 || ckpt.ck_taken > last_taken)
+        in
+        if can_rollback then begin
+          let covered =
+            Float.max 0.0 (Float.min lost (ckpt.ck_last_spent -. t0))
+          in
+          let suffix = lost -. covered in
+          match restart_veto ~action:"rollback" ~estimate:suffix with
+          | Some veto ->
+              emit_veto veto;
+              fail veto
+          | None ->
+              replayed := !replayed +. suffix;
+              saved_replay := !saved_replay +. covered;
+              Weaver_obs.Trace.instant trace ~lane:Weaver_obs.Trace.Host
+                "rollback"
+                ~args:
+                  [ ("restored", Weaver_obs.Trace.Int (List.length ckpt.ck_entries)) ];
+              drive ~mode ~demotions ~rollbacks:(rollbacks + 1)
+                ~last_taken:ckpt.ck_taken
+        end
+        else
+          match f with
+          | Fault.Alloc_failure _ when mode = Resident -> (
+              let spent_now = !saved_cycles +. Pcie.total_cycles pcie in
+              match restart_veto ~action:"demotion" ~estimate:spent_now with
+              | Some veto ->
+                  emit_veto veto;
+                  fail veto
+              | None ->
+                  replayed := !replayed +. lost;
+                  Weaver_obs.Trace.instant trace ~lane:Weaver_obs.Trace.Host
+                    "demotion";
+                  drive ~mode:Streamed ~demotions:(demotions + 1) ~rollbacks
+                    ~last_taken:ckpt.ck_taken)
+          | f ->
+              fail (wrap ~attempts:(1 + demotions + rollbacks) (surface f)))
+  in
+  drive ~mode ~demotions:0 ~rollbacks:0 ~last_taken:0
 
 let run ?cancel ?trace program bases ~mode =
   match run_result ?cancel ?trace program bases ~mode with

@@ -29,6 +29,16 @@
     - a persistent device OOM during a [Resident] run {b demotes} the run
       to [Streamed] and restarts it (same PCIe ledger, same injection
       schedule state), trading residency for footprint;
+    - with [config.checkpoint], verified segment outputs are snapshotted
+      into a budget-bounded host ledger and a recoverable fault —
+      including detected corruption ({!Gpu_sim.Fault.Data_corrupted},
+      the integrity layer: buffers are certified at PCIe boundaries and
+      segment-output adoption, verified before their data is trusted
+      when [config.integrity] is on) — {b rolls back} to the last
+      verified checkpoint and replays only the suffix, charging
+      [Metrics.replayed_cycles] and crediting
+      [Metrics.saved_replay_cycles]. Without the ledger, detected
+      corruption is terminal: there is no safe prefix to resume from;
     - anything still failing raises {!Execution_error} with a typed
       {!Gpu_sim.Fault.t} payload ([Recovery_exhausted] when recovery was
       attempted).

@@ -13,10 +13,12 @@ type request = {
   mode : Runtime.mode;
   deadline : deadline;
   cancel : Cancel.t option;
+  integrity : bool option;
+  checkpoint : bool option;
 }
 
 let request ?deadline_cycles ?wall_deadline_s ?cancel ?(mode = Runtime.Resident)
-    ~rid program bases =
+    ?integrity ?checkpoint ~rid program bases =
   {
     rid;
     program;
@@ -24,6 +26,8 @@ let request ?deadline_cycles ?wall_deadline_s ?cancel ?(mode = Runtime.Resident)
     mode;
     deadline = { cycles = deadline_cycles; wall_s = wall_deadline_s };
     cancel;
+    integrity;
+    checkpoint;
   }
 
 (* --- verdicts ------------------------------------------------------------- *)
@@ -97,6 +101,9 @@ type stats = {
   hedge_losses : int;
   brownout_entries : int;
   shed_entries : int;
+  corruptions_detected : int;
+  rollbacks : int;
+  checkpoints_taken : int;
   p50_latency_cycles : float;
   p95_latency_cycles : float;
   total_cycles : float;
@@ -309,6 +316,9 @@ let run_batch ?(config = default_config) ?(trace = Weaver_obs.Trace.none)
           "weaver_service_hedge_wins_total";
           "weaver_service_hedge_losses_total";
           "weaver_service_brownout_transitions_total";
+          "weaver_service_corruptions_detected_total";
+          "weaver_service_rollbacks_total";
+          "weaver_service_checkpoints_total";
         ])
     registry;
   let breakers =
@@ -345,6 +355,23 @@ let run_batch ?(config = default_config) ?(trace = Weaver_obs.Trace.none)
   let budget_vetoes = ref 0 in
   let pre_demotions = ref 0 and runtime_demotions = ref 0 in
   let hedges = ref 0 and hedge_wins = ref 0 and hedge_losses = ref 0 in
+  let corruptions = ref 0 and rollbacks = ref 0 and checkpoints_taken = ref 0 in
+  (* integrity/rollback aggregates ride on the per-run metrics of both
+     completed and failed executions *)
+  let account_integrity (m : Metrics.t) =
+    corruptions := !corruptions + m.Metrics.corruptions;
+    rollbacks := !rollbacks + m.Metrics.rollbacks;
+    checkpoints_taken := !checkpoints_taken + m.Metrics.checkpoints;
+    Option.iter
+      (fun reg ->
+        R.inc ~by:(float_of_int m.Metrics.corruptions) reg
+          "weaver_service_corruptions_detected_total";
+        R.inc ~by:(float_of_int m.Metrics.rollbacks) reg
+          "weaver_service_rollbacks_total";
+        R.inc ~by:(float_of_int m.Metrics.checkpoints) reg
+          "weaver_service_checkpoints_total")
+      registry
+  in
   let latencies = ref [] in
   (* per-request execution costs of completed queries, for the hedging
      threshold. Kept exactly (not bucketed) so the hedge decision is
@@ -525,6 +552,14 @@ let run_batch ?(config = default_config) ?(trace = Weaver_obs.Trace.none)
               (match r.deadline.wall_s with
               | Some _ as d -> d
               | None -> cfg0.Config.wall_deadline_s);
+            integrity =
+              Option.value r.integrity ~default:cfg0.Config.integrity;
+            checkpoint =
+              (* the degradation ladder sheds the checkpoint ledger's
+                 host-memory and PCIe cost before it sheds work: above
+                 Normal, checkpointing is off regardless of the request *)
+              (if ctl.level <> Normal then false
+               else Option.value r.checkpoint ~default:cfg0.Config.checkpoint);
           }
         in
         let cancel = Option.value r.cancel ~default:Cancel.none in
@@ -673,6 +708,7 @@ let run_batch ?(config = default_config) ?(trace = Weaver_obs.Trace.none)
             reg_observe "weaver_service_latency_cycles" !clock;
             runtime_demotions :=
               !runtime_demotions + res.Runtime.metrics.Metrics.demotions;
+            account_integrity res.Runtime.metrics;
             (* a run that only survived by demoting itself is memory
                pressure too: charge the memory breaker *)
             let trips =
@@ -694,6 +730,7 @@ let run_batch ?(config = default_config) ?(trace = Weaver_obs.Trace.none)
             charge cycles;
             runtime_demotions :=
               !runtime_demotions + f.Runtime.partial.Metrics.demotions;
+            account_integrity f.Runtime.partial;
             (match f.Runtime.fault with
             | Fault.Deadline_exceeded _ ->
                 incr deadline_misses;
@@ -759,6 +796,9 @@ let run_batch ?(config = default_config) ?(trace = Weaver_obs.Trace.none)
       hedge_losses = !hedge_losses;
       brownout_entries = ctl.brownout_entries;
       shed_entries = ctl.shed_entries;
+      corruptions_detected = !corruptions;
+      rollbacks = !rollbacks;
+      checkpoints_taken = !checkpoints_taken;
       p50_latency_cycles = percentile sorted 50.0;
       p95_latency_cycles = percentile sorted 95.0;
       total_cycles = !clock;
@@ -780,11 +820,13 @@ let pp_stats ppf s =
      %d capacity, %d shed)@ completed %d, failed %d (%d deadline misses, %d \
      cancelled, %d budget vetoes)@ demotions at run time: %d; breaker trips: \
      %d@ hedges: %d issued, %d won, %d lost; brownouts: %d, sheds: %d@ \
+     integrity: %d corruptions detected, %d rollbacks, %d checkpoints@ \
      latency cycles: p50 %.0f, p95 %.0f@ throughput: %.1f q/s over %.3e \
      simulated cycles (%.3f s wall)@]"
     s.submitted s.admitted s.pre_demotions s.rejected s.queue_rejections
     s.capacity_rejections s.shed_rejections s.completed s.failed
     s.deadline_misses s.cancelled s.budget_vetoes s.runtime_demotions
     s.breaker_trips s.hedges s.hedge_wins s.hedge_losses s.brownout_entries
-    s.shed_entries s.p50_latency_cycles s.p95_latency_cycles s.throughput_qps
+    s.shed_entries s.corruptions_detected s.rollbacks s.checkpoints_taken
+    s.p50_latency_cycles s.p95_latency_cycles s.throughput_qps
     s.total_cycles s.wall_seconds

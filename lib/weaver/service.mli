@@ -43,6 +43,14 @@ type request = {
   cancel : Cancel.t option;
       (** client-side abort handle; cancel it (with {!Fault.Cancelled})
           from another domain or a watchdog to stop the query *)
+  integrity : bool option;
+      (** per-request override of {!Config.t.integrity}; [None] inherits
+          the program config *)
+  checkpoint : bool option;
+      (** per-request override of {!Config.t.checkpoint}; [None] inherits
+          the program config. The degradation ladder force-disables
+          checkpointing while above Normal — the ledger's host-memory and
+          PCIe cost is shed before work is. *)
 }
 
 val request :
@@ -50,6 +58,8 @@ val request :
   ?wall_deadline_s:float ->
   ?cancel:Cancel.t ->
   ?mode:Runtime.mode ->
+  ?integrity:bool ->
+  ?checkpoint:bool ->
   rid:int ->
   Runtime.program ->
   Relation.t array ->
@@ -146,6 +156,11 @@ type stats = {
   hedge_losses : int;  (** hedges whose backup also failed *)
   brownout_entries : int;  (** Normal -> Brownout ladder escalations *)
   shed_entries : int;  (** escalations into Shed *)
+  corruptions_detected : int;
+      (** certificate mismatches caught across all executions (completed
+          and failed) *)
+  rollbacks : int;  (** checkpoint-resumed recoveries across the batch *)
+  checkpoints_taken : int;  (** ledger snapshots across the batch *)
   p50_latency_cycles : float;
   p95_latency_cycles : float;
   total_cycles : float;  (** simulated cycles the whole batch consumed *)
@@ -179,7 +194,9 @@ val run_batch :
     dedicated rejection counters
     [weaver_service_rejected_{queue_full,over_capacity,shed}_total], the
     overload counters [weaver_service_{budget_vetoes,hedges,hedge_wins,
-    hedge_losses,brownout_transitions}_total], histograms
+    hedge_losses,brownout_transitions}_total], the integrity counters
+    [weaver_service_{corruptions_detected,rollbacks,checkpoints}_total],
+    histograms
     [weaver_service_latency_cycles] (completed queries),
     [weaver_service_exec_cycles] (per-execution device cycles) and
     [weaver_service_queue_wait_cycles], and gauges

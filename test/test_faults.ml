@@ -566,7 +566,7 @@ let test_storm_grammar () =
       Alcotest.(check int) "launch first" 2 l.Fault_inject.first;
       Alcotest.(check (option int)) "launch last" (Some 9) l.Fault_inject.last;
       Alcotest.(check bool) "launch kind" true
-        (l.Fault_inject.rkind = Fault.Cap_groups);
+        (l.Fault_inject.rkind = Fault_inject.Trap Fault.Cap_groups);
       Alcotest.(check int) "default rate seed" 1 l.Fault_inject.rseed;
       Alcotest.(check (float 1e-9)) "alloc rate" 0.5 a.Fault_inject.rate;
       Alcotest.(check int) "rseed@ applies to later rules" 7
@@ -600,6 +600,11 @@ let test_storm_grammar () =
       "rseed@9,alloc%0.5@4..8,transfer%0.25@3..";
       "alloc@2,rseed@3,launch%1,rseed@4,launch%0.75";
       "seed@7x2";
+      "launch@2:flip";
+      "alloc@3x2:flip";
+      "transfer%0.05:flip";
+      "rseed@11,launch%0.25@2..9:flip,alloc%0.5:flip";
+      "launch@1:flip,launch%0.125@4..:groups,transfer@2:flip";
     ]
 
 (* a full-rate rule with a window is a deterministic oracle: exactly the
@@ -640,9 +645,9 @@ let test_injector_counters () =
     Fault_inject.create
       [
         { Fault_inject.site = Fault_inject.Alloc; at = 2; count = 1;
-          kind = Fault.Cap_staging };
+          kind = Fault_inject.Trap Fault.Cap_staging };
         { Fault_inject.site = Fault_inject.Launch; at = 1; count = 2;
-          kind = Fault.Cap_groups };
+          kind = Fault_inject.Trap Fault.Cap_groups };
       ]
   in
   let alloc () =
@@ -732,11 +737,217 @@ let test_render () =
   Alcotest.(check bool) "exhausted carries last fault" true
     (contains ~needle:"injected" ex)
 
+(* --- corruption storms and checkpointed recovery ----------------------------- *)
+
+(* Flip storms are the silent-corruption chaos differential: a seeded bit
+   flip lands on a live certified buffer mid-run; with integrity
+   verification on and the checkpoint ledger enabled the run must detect
+   every landed flip, recover (rollback or restart), and still produce
+   sinks bit-identical to the fault-free run — leaking nothing. *)
+let run_flip wl ~mode ~jobs ~faults =
+  let config = Weaver.Config.with_jobs wl.config jobs in
+  let config =
+    { config with Weaver.Config.faults; Weaver.Config.checkpoint = true }
+  in
+  let program = Weaver.Driver.compile ~config wl.plan in
+  Weaver.Driver.run program wl.bases ~mode
+
+let test_flip_recovery wl () =
+  let baseline =
+    let tbl = Hashtbl.create 2 in
+    fun mode ->
+      match Hashtbl.find_opt tbl mode with
+      | Some r -> r
+      | None ->
+          let r = run_flip wl ~mode ~jobs:1 ~faults:None in
+          check_no_leaks ~what:(wl.wname ^ " flip-free") r;
+          Alcotest.(check int)
+            (wl.wname ^ ": fault-free run detects nothing")
+            0 r.Weaver.Runtime.metrics.Weaver.Metrics.corruptions;
+          Hashtbl.replace tbl mode r;
+          r
+  in
+  let landed = ref 0 in
+  List.iter
+    (fun (mode, jobs) ->
+      let what =
+        Printf.sprintf "%s flip %s jobs=%d" wl.wname
+          (match mode with
+          | Weaver.Runtime.Resident -> "resident"
+          | Weaver.Runtime.Streamed -> "streamed")
+          jobs
+      in
+      let r = run_flip wl ~mode ~jobs ~faults:(Some "launch@2:flip") in
+      check_sinks ~what (baseline mode) r;
+      check_no_leaks ~what r;
+      let m = r.Weaver.Runtime.metrics in
+      (* every flip that landed was caught by a certificate mismatch *)
+      Alcotest.(check int)
+        (what ^ ": corruptions = flips landed")
+        m.Weaver.Metrics.faults_injected m.Weaver.Metrics.corruptions;
+      landed := !landed + m.Weaver.Metrics.faults_injected)
+    [
+      (Weaver.Runtime.Resident, 1);
+      (Weaver.Runtime.Streamed, 1);
+      (Weaver.Runtime.Resident, par_jobs);
+      (Weaver.Runtime.Streamed, par_jobs);
+    ];
+  (* the storm must actually corrupt something somewhere, or this test
+     would pass vacuously *)
+  Alcotest.(check bool)
+    (wl.wname ^ ": some flip landed")
+    true (!landed > 0)
+
+(* the control: the same flip with verification off is silent — it lands
+   (certification is unconditional) but nothing detects it. The run either
+   completes poisoned or crashes on garbage; either way, zero detections
+   and zero leaks. *)
+let test_integrity_off_control () =
+  let wl = pattern_wl (Tpch.Patterns.pattern_b ()) in
+  let run ~integrity =
+    (* checkpointing rides along on the verify-on leg: rollback is the
+       only recovery rung for detected corruption. It is irrelevant on the
+       verify-off leg (nothing ever detects, so nothing ever rolls back). *)
+    let config =
+      {
+        wl.config with
+        Weaver.Config.integrity;
+        Weaver.Config.checkpoint = integrity;
+        Weaver.Config.faults = Some "launch@2:flip";
+      }
+    in
+    let program = Weaver.Driver.compile ~config wl.plan in
+    Weaver.Runtime.run_result program wl.bases ~mode:Weaver.Runtime.Resident
+  in
+  (match run ~integrity:true with
+  | Ok r ->
+      let m = r.Weaver.Runtime.metrics in
+      Alcotest.(check bool)
+        "verify-on: flip landed" true
+        (m.Weaver.Metrics.faults_injected > 0);
+      Alcotest.(check int)
+        "verify-on: every flip detected" m.Weaver.Metrics.faults_injected
+        m.Weaver.Metrics.corruptions
+  | Error f ->
+      Alcotest.fail
+        ("verify-on run should recover: "
+        ^ Fault.render f.Weaver.Runtime.fault));
+  match run ~integrity:false with
+  | Ok r ->
+      let m = r.Weaver.Runtime.metrics in
+      Alcotest.(check bool)
+        "verify-off: flip still landed" true
+        (m.Weaver.Metrics.faults_injected > 0);
+      Alcotest.(check int)
+        "verify-off: nothing detected" 0 m.Weaver.Metrics.corruptions;
+      Alcotest.(check (list (pair string int)))
+        "verify-off: no leaks" [] m.Weaver.Metrics.leaks
+  | Error f ->
+      (* poisoned intermediate data may legitimately crash the interpreter;
+         what it must never do is get DETECTED with verification off *)
+      let m = f.Weaver.Runtime.partial in
+      Alcotest.(check int)
+        "verify-off crash: nothing detected" 0 m.Weaver.Metrics.corruptions;
+      Alcotest.(check (list (pair string int)))
+        "verify-off crash: no leaks" [] m.Weaver.Metrics.leaks
+
+(* a flip landing after checkpoints exist: recovery must resume from the
+   ledger (checkpoint hits, replay savings), not restart from scratch *)
+let test_rollback_resume () =
+  let wl = query_wl Tpch.Queries.q1 ~lineitems:1_200 in
+  let run ~faults =
+    let config =
+      { wl.config with Weaver.Config.faults; Weaver.Config.checkpoint = true }
+    in
+    let program = Weaver.Driver.compile ~config wl.plan in
+    Weaver.Driver.run program wl.bases ~mode:Weaver.Runtime.Streamed
+  in
+  let clean = run ~faults:None in
+  let r = run ~faults:(Some "launch@6:flip") in
+  check_sinks ~what:"rollback resume" clean r;
+  check_no_leaks ~what:"rollback resume" r;
+  let m = r.Weaver.Runtime.metrics in
+  Alcotest.(check bool) "flip landed" true (m.Weaver.Metrics.faults_injected > 0);
+  Alcotest.(check int)
+    "flip detected" m.Weaver.Metrics.faults_injected
+    m.Weaver.Metrics.corruptions;
+  Alcotest.(check int) "exactly one rollback" 1 m.Weaver.Metrics.rollbacks;
+  Alcotest.(check bool)
+    "checkpoints were taken" true
+    (m.Weaver.Metrics.checkpoints > 0);
+  Alcotest.(check bool)
+    "the ledger restored finished work" true
+    (m.Weaver.Metrics.checkpoint_hits > 0);
+  Alcotest.(check bool)
+    "replay savings accounted" true
+    (m.Weaver.Metrics.saved_replay_cycles > 0.0);
+  Alcotest.(check bool)
+    "replayed cycles accounted" true
+    (m.Weaver.Metrics.replayed_cycles > 0.0)
+
+(* a starved ledger budget evicts oldest snapshots but never breaks
+   correctness: recovery still produces bit-identical sinks *)
+let test_checkpoint_eviction () =
+  let wl = query_wl Tpch.Queries.q1 ~lineitems:1_200 in
+  let run ~faults =
+    let config =
+      {
+        wl.config with
+        Weaver.Config.faults;
+        Weaver.Config.checkpoint = true;
+        Weaver.Config.checkpoint_budget_frac = 2e-5;
+      }
+    in
+    let program = Weaver.Driver.compile ~config wl.plan in
+    Weaver.Driver.run program wl.bases ~mode:Weaver.Runtime.Streamed
+  in
+  let clean = run ~faults:None in
+  Alcotest.(check bool)
+    "starved budget evicts snapshots" true
+    (clean.Weaver.Runtime.metrics.Weaver.Metrics.checkpoints_evicted > 0);
+  let r = run ~faults:(Some "launch@6:flip") in
+  check_sinks ~what:"eviction recovery" clean r;
+  check_no_leaks ~what:"eviction recovery" r;
+  let m = r.Weaver.Runtime.metrics in
+  Alcotest.(check int)
+    "flip detected despite evictions" m.Weaver.Metrics.faults_injected
+    m.Weaver.Metrics.corruptions;
+  Alcotest.(check bool)
+    "recovery still happened" true
+    (m.Weaver.Metrics.rollbacks > 0)
+
+(* persistent flips with no checkpoint ledger: the rollback/restart ladder
+   runs out and surfaces the typed corruption fault, leak-free *)
+let test_flip_exhaustion () =
+  let wl = pattern_wl (Tpch.Patterns.pattern_b ()) in
+  let config =
+    { wl.config with Weaver.Config.faults = Some "launch%1:flip" }
+  in
+  let program = Weaver.Driver.compile ~config wl.plan in
+  match
+    Weaver.Runtime.run_result program wl.bases ~mode:Weaver.Runtime.Resident
+  with
+  | Ok _ -> Alcotest.fail "a total flip storm should not complete"
+  | Error f ->
+      (match f.Weaver.Runtime.fault with
+      | Fault.Recovery_exhausted { last = Fault.Data_corrupted _; _ } -> ()
+      | other ->
+          Alcotest.fail
+            ("expected Recovery_exhausted{Data_corrupted}: "
+            ^ Fault.render other));
+      Alcotest.(check (list (pair string int)))
+        "exhausted flip storm leaks nothing" []
+        f.Weaver.Runtime.partial.Weaver.Metrics.leaks
+
 let suite =
   let chaos wl =
     (Printf.sprintf "chaos sweep %s" wl.wname, `Slow, test_chaos_sweep wl)
   in
+  let flips wl =
+    (Printf.sprintf "flip storm %s" wl.wname, `Slow, test_flip_recovery wl)
+  in
   List.map chaos (workloads ())
+  @ List.map flips (workloads ())
   @ [
       ("transfer retry", `Quick, test_transfer_retry);
       ("fission fallback", `Quick, test_fission_fallback);
@@ -757,4 +968,12 @@ let suite =
       ("injector counters", `Quick, test_injector_counters);
       ("live buffer introspection", `Quick, test_live_buffers);
       ("fault rendering", `Quick, test_render);
+      ("integrity-off silent-corruption control", `Quick,
+       test_integrity_off_control);
+      ("rollback resumes from the checkpoint ledger", `Quick,
+       test_rollback_resume);
+      ("checkpoint eviction under a starved budget", `Quick,
+       test_checkpoint_eviction);
+      ("persistent flips exhaust recovery leak-free", `Quick,
+       test_flip_exhaustion);
     ]

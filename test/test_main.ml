@@ -18,6 +18,7 @@ let () =
       ("runtime-paths", Test_runtime_paths.suite);
       ("parallel", Test_parallel.suite);
       ("faults", Test_faults.suite);
+      ("integrity", Test_integrity.suite);
       ("service", Test_service.suite);
       ("obs", Test_obs.suite);
     ]

@@ -400,6 +400,72 @@ let prop_deadline_veto_sound =
                 else true
             | _ -> true))
 
+let prop_storm_spec_roundtrip =
+  (* the canonical printer is total over the storm grammar: for ANY
+     schedule — one-shot events, windows, rate rules, decorrelation
+     seeds, every kind including :flip — [of_spec (to_spec t)] preserves
+     the events and rules exactly. Rates are drawn from k/64 so the
+     decimal rendering is exact and equality is not a float accident. *)
+  let open Gpu_sim in
+  let gen_storm =
+    QCheck.Gen.(
+      let site =
+        oneofl
+          [ Fault_inject.Alloc; Fault_inject.Launch; Fault_inject.Transfer ]
+      in
+      let kind =
+        oneofl
+          [
+            Fault_inject.Trap Fault.Cap_staging;
+            Fault_inject.Trap Fault.Cap_input_tile;
+            Fault_inject.Trap Fault.Cap_groups;
+            Fault_inject.Flip;
+          ]
+      in
+      let event =
+        map2
+          (fun (s, k) (at, count) ->
+            { Fault_inject.site = s; at; count; kind = k })
+          (pair site kind)
+          (pair (int_range 1 50) (int_range 1 4))
+      in
+      let rule =
+        map2
+          (fun (s, k) ((num, rseed), (first, len)) ->
+            {
+              Fault_inject.rsite = s;
+              rate = float_of_int num /. 64.0;
+              rseed;
+              first;
+              last = (if len = 0 then None else Some (first + len - 1));
+              rkind = k;
+            })
+          (pair site kind)
+          (pair
+             (pair (int_range 1 64) (int_range 1 99))
+             (pair (int_range 1 30) (int_range 0 10)))
+      in
+      pair (list_size (int_range 0 5) event) (list_size (int_range 0 5) rule))
+  in
+  let arb =
+    QCheck.make gen_storm ~print:(fun (events, rules) ->
+        if events = [] && rules = [] then "<empty>"
+        else Fault_inject.to_spec (Fault_inject.create ~rules events))
+  in
+  QCheck.Test.make ~name:"storm spec printer round-trips" ~count:300 arb
+    (fun (events, rules) ->
+      if events = [] && rules = [] then true
+      else
+        let t = Fault_inject.create ~rules events in
+        let spec = Fault_inject.to_spec t in
+        let t' = Fault_inject.of_spec spec in
+        if not (List.equal Fault_inject.equal_event events (Fault_inject.events t'))
+        then QCheck.Test.fail_reportf "events mangled via %S" spec
+        else if
+          not (List.equal Fault_inject.equal_rule rules (Fault_inject.rules t'))
+        then QCheck.Test.fail_reportf "rules mangled via %S" spec
+        else true)
+
 let suite =
   List.map QCheck_alcotest.to_alcotest
     [
@@ -410,4 +476,5 @@ let suite =
       prop_deadlines_sound;
       prop_budget_bounded;
       prop_deadline_veto_sound;
+      prop_storm_spec_roundtrip;
     ]
