@@ -1,6 +1,6 @@
 # Convenience entry points; everything is plain dune underneath.
 
-.PHONY: all build test analyze bench-smoke soak check clean
+.PHONY: all build test analyze bench-smoke soak explain check clean
 
 all: build
 
@@ -31,7 +31,19 @@ soak: build
 analyze: build
 	dune exec bin/weaver_cli.exe -- analyze all > _build/analyze.json
 
-check: build test analyze bench-smoke
+# Per-operator EXPLAIN ANALYZE over the same golden set: the
+# cost-attribution table (cycles, roofline, fusion counterfactual) in
+# both text and JSON form. The renderer checks the conservation law per
+# query; the grep asserts it held for all 8 goldens and nothing printed
+# VIOLATED.
+explain: build
+	dune exec bin/weaver_cli.exe -- explain all > _build/explain.txt
+	dune exec bin/weaver_cli.exe -- explain all --json > _build/explain.json
+	@test "$$(grep -c 'conservation: exact' _build/explain.txt)" -eq 8
+	@! grep -q 'conservation: VIOLATED' _build/explain.txt
+	@echo "explain: conservation exact on all 8 golden workloads"
+
+check: build test analyze explain bench-smoke
 
 clean:
 	dune clean

@@ -27,7 +27,8 @@
                     0 = one per recommended core) *)
 
 let known = [ "table2"; "fig4"; "fig16"; "fig17"; "fig18"; "fig19"; "fig20";
-              "fig21"; "table3"; "q1"; "q21"; "ablation-input-sharing";
+              "fig21"; "table3"; "q1"; "q21"; "analysis"; "attrib";
+              "ablation-input-sharing";
               "ablation-rewriting"; "ablation-cta-threads";
               "ablation-tile-capacity"; "ablation-q21-semijoin";
               "ablation-platforms" ]

@@ -153,6 +153,12 @@ let ckpt_frac_arg =
            ~doc:"Checkpoint-ledger budget as a fraction of device memory; \
                  the oldest entries are evicted once the ledger outgrows it")
 
+let flight_ring_arg =
+  Arg.(value & opt int 32
+       & info [ "flight-ring" ] ~docv:"N"
+           ~doc:"Flight-recorder ring size: how many recent spans/instants \
+                 a fault report can replay (0 disables the recorder)")
+
 let config_of_jobs jobs = Weaver.Config.with_jobs Weaver.Config.default jobs
 
 (* Exit codes (documented in README "Exit codes"):
@@ -232,7 +238,13 @@ let guard ?recorder f =
   | Weaver.Runtime.Execution_error fault | Gpu_sim.Fault.Error fault ->
       let trail =
         match recorder with
-        | Some tr -> trail_suffix (Weaver_obs.Trace.trail tr)
+        | Some tr -> (
+            match Weaver_obs.Trace.trail tr with
+            | [] -> ""
+            | ts ->
+                Printf.sprintf " (recent, flight ring %d: %s)"
+                  (Weaver_obs.Trace.ring_capacity tr)
+                  (String.concat "; " ts))
         | None -> ""
       in
       Printf.eprintf "weaver-cli: %s%s\n" (Gpu_sim.Fault.render fault) trail;
@@ -296,10 +308,12 @@ let source_cmd =
 
 let exec_cmd =
   let run path rows inputs seed no_fuse o0 no_analyze streamed jobs faults
-      no_integrity checkpoint ckpt_frac =
+      no_integrity checkpoint ckpt_frac flight_ring =
+    if flight_ring < 0 then
+      usage_error "bad --flight-ring %d (want N >= 0)" flight_ring;
     (* a recorder-only tracer (no event retention) so an unrecoverable
        fault's report carries the last few things the runtime did *)
-    let recorder = Weaver_obs.Trace.create ~events:false () in
+    let recorder = Weaver_obs.Trace.create ~ring:flight_ring ~events:false () in
     guard ~recorder (fun () ->
         let q = compile_query path in
         let named = bind_data q ~rows ~seed inputs in
@@ -335,13 +349,15 @@ let exec_cmd =
       ret
         (const run $ query_arg $ rows_arg $ inputs_arg $ seed_arg $ fuse_arg
        $ opt_arg $ no_analyze_arg $ streamed_arg $ jobs_arg $ faults_arg
-       $ no_integrity_arg $ checkpoint_arg $ ckpt_frac_arg))
+       $ no_integrity_arg $ checkpoint_arg $ ckpt_frac_arg $ flight_ring_arg))
 
 (* --- profile ---------------------------------------------------------------- *)
 
 let profile_cmd =
-  let run path rows inputs seed no_fuse o0 jobs faults =
-    let recorder = Weaver_obs.Trace.create ~events:false () in
+  let run path rows inputs seed no_fuse o0 jobs faults flight_ring =
+    if flight_ring < 0 then
+      usage_error "bad --flight-ring %d (want N >= 0)" flight_ring;
+    let recorder = Weaver_obs.Trace.create ~ring:flight_ring ~events:false () in
     guard ~recorder (fun () ->
         let q = compile_query path in
         let named = bind_data q ~rows ~seed inputs in
@@ -380,14 +396,16 @@ let profile_cmd =
     Term.(
       ret
         (const run $ query_arg $ rows_arg $ inputs_arg $ seed_arg $ fuse_arg
-       $ opt_arg $ jobs_arg $ faults_arg))
+       $ opt_arg $ jobs_arg $ faults_arg $ flight_ring_arg))
 
 (* --- bench ------------------------------------------------------------------ *)
 
 let bench_cmd =
   let names_arg =
     Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT"
-           ~doc:"table2 fig4 fig16 fig17 fig18 fig19 fig20 fig21 table3 q1 q21")
+           ~doc:
+             "table2 fig4 fig16 fig17 fig18 fig19 fig20 fig21 table3 q1 q21 \
+              analysis attrib")
   in
   let quick_arg =
     Arg.(value & flag & info [ "quick" ] ~doc:"Reduced problem sizes")
@@ -503,6 +521,226 @@ let analyze_cmd =
           kernel and print JSON diagnostics; exits 1 on any error or warning")
     Term.(ret (const run $ targets_arg $ fuse_arg))
 
+(* --- golden workloads -------------------------------------------------------
+   Shared by trace and explain: built-in data-carrying workloads (the
+   fusion-pattern goldens plus the two TPC-H queries). *)
+
+let golden_workloads ~rows ~seed name =
+  let pat (w : Tpch.Patterns.workload) =
+    [ (w.Tpch.Patterns.name, w.Tpch.Patterns.plan,
+       w.Tpch.Patterns.gen ~seed ~rows) ]
+  in
+  let query (q : Tpch.Queries.query) =
+    let db = Tpch.Datagen.generate ~seed ~lineitems:rows in
+    [ (q.Tpch.Queries.qname, q.Tpch.Queries.plan, q.Tpch.Queries.bind db) ]
+  in
+  match name with
+  | "a" -> Some (pat (Tpch.Patterns.pattern_a ()))
+  | "b" -> Some (pat (Tpch.Patterns.pattern_b ()))
+  | "c" -> Some (pat (Tpch.Patterns.pattern_c ()))
+  | "d" -> Some (pat (Tpch.Patterns.pattern_d ()))
+  | "e" -> Some (pat (Tpch.Patterns.pattern_e ()))
+  | "ab" -> Some (pat (Tpch.Patterns.pattern_ab ()))
+  | "q1" -> Some (query Tpch.Queries.q1)
+  | "q21" -> Some (query Tpch.Queries.q21)
+  | "all" ->
+      Some
+        (List.concat_map pat
+           (Tpch.Patterns.all () @ [ Tpch.Patterns.pattern_ab () ])
+        @ query Tpch.Queries.q1 @ query Tpch.Queries.q21)
+  | _ -> None
+
+let resolve_workloads ~rows ~seed ~inputs targets =
+  List.concat_map
+    (fun t ->
+      match golden_workloads ~rows ~seed t with
+      | Some ws -> ws
+      | None when Sys.file_exists t ->
+          let q = compile_query t in
+          let named = bind_data q ~rows ~seed inputs in
+          [ (Filename.basename t, q.Datalog.plan, Datalog.bind q named) ]
+      | None ->
+          usage_error
+            "unknown target '%s' (not a built-in workload or an existing \
+             .dl file)"
+            t)
+    targets
+
+(* --- explain ----------------------------------------------------------------
+
+   EXPLAIN ANALYZE for the simulated device: run the workload with the
+   attribution ledger on, then render the plan tree and a per-operator
+   table — attributed cycles, share, roofline class, memory traffic —
+   plus the fusion counterfactual (what materializing each fused group's
+   internal edges would have cost). *)
+
+let json_str s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let explain_cmd =
+  let module A = Weaver_obs.Attrib in
+  let targets_arg =
+    Arg.(value & pos_all string [ "q1" ] & info [] ~docv:"TARGET"
+           ~doc:"Datalog query files (*.dl) or built-in golden workloads: \
+                 $(b,a b c d e ab q1 q21), or $(b,all) (default: $(b,q1))")
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ]
+           ~doc:"Emit the per-operator attribution report as JSON")
+  in
+  let op_name plan op =
+    if op = A.overhead_op then "overhead"
+    else if op >= 0 && op < Qplan.Plan.node_count plan then
+      Qplan.Op.name (Qplan.Plan.node plan op).Qplan.Plan.kind
+    else string_of_int op
+  in
+  let render_text name plan (m : Weaver.Metrics.t) =
+    let a = Weaver.Metrics.attribution m in
+    let rows = A.rows a in
+    let total = A.fold_cycles a in
+    Printf.printf "-- %s\n" name;
+    Format.printf "%a@." Qplan.Plan.pp plan;
+    Printf.printf "%4s  %-12s %8s %12s %7s  %-15s %12s\n" "op" "operator"
+      "launches" "cycles" "share" "roofline" "global bytes";
+    List.iter
+      (fun (r : A.row) ->
+        let cycles = A.cycles_of_units r.A.units in
+        Printf.printf "%4s  %-12s %8d %12.3e %6.1f%%  %-15s %12d\n"
+          (if r.A.op = A.overhead_op then "-" else string_of_int r.A.op)
+          (op_name plan r.A.op) r.A.launches cycles
+          (if total > 0.0 then 100.0 *. cycles /. total else 0.0)
+          (A.roofline_name (A.classify r))
+          r.A.global_bytes)
+      rows;
+    Printf.printf
+      "attributed %.6e of %.6e kernel cycles (conservation: %s)\n" total
+      m.Weaver.Metrics.kernel_cycles
+      (if A.conserved a && total = m.Weaver.Metrics.kernel_cycles then
+         "exact"
+       else "VIOLATED");
+    (match m.Weaver.Metrics.counterfactuals with
+    | [] -> ()
+    | cfs ->
+        print_endline "fusion counterfactual (unfused materialization):";
+        List.iter
+          (fun (cf : A.counterfactual) ->
+            Printf.printf
+              "  group %s (ops %s): %d internal edges, ~%d rows, %d \
+               intermediate bytes, %d PCIe round-trips avoided\n"
+              cf.A.cf_group
+              (String.concat "," (List.map string_of_int cf.A.cf_ops))
+              cf.A.cf_edges cf.A.cf_rows cf.A.cf_bytes cf.A.cf_round_trips)
+          cfs;
+        Printf.printf "  total avoided: %d intermediate bytes, %d PCIe \
+                       round-trips\n"
+          (List.fold_left (fun acc (cf : A.counterfactual) ->
+               acc + cf.A.cf_bytes) 0 cfs)
+          (List.fold_left (fun acc (cf : A.counterfactual) ->
+               acc + cf.A.cf_round_trips) 0 cfs));
+    print_newline ()
+  in
+  let render_json name plan (m : Weaver.Metrics.t) =
+    let a = Weaver.Metrics.attribution m in
+    let total = A.fold_cycles a in
+    let op_obj (r : A.row) =
+      let cycles = A.cycles_of_units r.A.units in
+      Printf.sprintf
+        "{\"op\": %d, \"operator\": %s, \"launches\": %d, \"cycles\": \
+         %.6e, \"share\": %.6f, \"roofline\": %s, \"instructions\": %d, \
+         \"global_bytes\": %d, \"shared_accesses\": %d, \"atomics\": %d, \
+         \"barriers\": %d}"
+        r.A.op
+        (json_str (op_name plan r.A.op))
+        r.A.launches cycles
+        (if total > 0.0 then cycles /. total else 0.0)
+        (json_str (A.roofline_name (A.classify r)))
+        r.A.instructions r.A.global_bytes r.A.shared_accesses r.A.atomics
+        r.A.barriers
+    in
+    let cf_obj (cf : A.counterfactual) =
+      Printf.sprintf
+        "{\"group\": %s, \"ops\": [%s], \"edges\": %d, \"rows\": %d, \
+         \"intermediate_bytes\": %d, \"pcie_round_trips\": %d}"
+        (json_str cf.A.cf_group)
+        (String.concat ", " (List.map string_of_int cf.A.cf_ops))
+        cf.A.cf_edges cf.A.cf_rows cf.A.cf_bytes cf.A.cf_round_trips
+    in
+    let cfs = m.Weaver.Metrics.counterfactuals in
+    Printf.sprintf
+      "{\"query\": %s,\n   \"kernel_cycles\": %.6e,\n   \
+       \"attributed_cycles\": %.6e,\n   \"conserved\": %b,\n   \
+       \"operators\": [\n     %s\n   ],\n   \"counterfactuals\": [\n     \
+       %s\n   ],\n   \"avoided_intermediate_bytes\": %d,\n   \
+       \"avoided_pcie_round_trips\": %d}"
+      (json_str name) m.Weaver.Metrics.kernel_cycles total
+      (A.conserved a && total = m.Weaver.Metrics.kernel_cycles)
+      (String.concat ",\n     " (List.map op_obj (A.rows a)))
+      (String.concat ",\n     " (List.map cf_obj cfs))
+      (List.fold_left (fun acc (cf : A.counterfactual) -> acc + cf.A.cf_bytes)
+         0 cfs)
+      (List.fold_left (fun acc (cf : A.counterfactual) ->
+           acc + cf.A.cf_round_trips)
+         0 cfs)
+  in
+  let run targets rows inputs seed no_fuse o0 streamed jobs faults json =
+    guard (fun () ->
+        let workloads = resolve_workloads ~rows ~seed ~inputs targets in
+        let config =
+          { (config_of jobs faults) with Weaver.Config.attrib = true }
+        in
+        let mode =
+          if streamed then Weaver.Runtime.Streamed else Weaver.Runtime.Resident
+        in
+        let reports =
+          List.map
+            (fun (name, plan, bases) ->
+              let program =
+                Weaver.Driver.compile ~config ~fuse:(not no_fuse)
+                  ~opt:(if o0 then Weaver.Optimizer.O0 else Weaver.Optimizer.O3)
+                  plan
+              in
+              let result = Weaver.Driver.run program bases ~mode in
+              (name, plan, result.Weaver.Runtime.metrics))
+            workloads
+        in
+        if json then begin
+          print_endline "[";
+          List.iteri
+            (fun i (name, plan, m) ->
+              Printf.printf "  %s%s\n" (render_json name plan m)
+                (if i < List.length reports - 1 then "," else ""))
+            reports;
+          print_endline "]"
+        end
+        else
+          List.iter (fun (name, plan, m) -> render_text name plan m) reports;
+        `Ok ())
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "EXPLAIN ANALYZE: run a workload with operator-level cost \
+          attribution and print the plan plus per-operator cycles, \
+          roofline class, memory traffic and the fusion counterfactual \
+          (intermediate bytes and PCIe round-trips fusion avoided)")
+    Term.(
+      ret
+        (const run $ targets_arg $ rows_arg $ inputs_arg $ seed_arg $ fuse_arg
+       $ opt_arg $ streamed_arg $ jobs_arg $ faults_arg $ json_arg))
+
 (* --- trace ------------------------------------------------------------------ *)
 
 let trace_out_arg =
@@ -517,6 +755,73 @@ let metrics_out_arg =
        & info [ "metrics-out" ] ~docv:"FILE"
            ~doc:"Write a Prometheus text-exposition metrics dump here")
 
+(* Lane filtering: the CSV names match Trace.lane_name; "worker" selects
+   every per-worker wall lane at once. *)
+let known_lanes =
+  [ "driver"; "analysis"; "runtime"; "kernel"; "pcie"; "memory"; "queue";
+    "service"; "attrib"; "worker" ]
+
+let lanes_arg =
+  Arg.(value & opt (some string) None
+       & info [ "lanes" ] ~docv:"CSV"
+           ~doc:"Keep only these timeline lanes in the export \
+                 (comma-separated): $(b,driver analysis runtime kernel pcie \
+                 memory queue service attrib worker)")
+
+let lane_filter spec =
+  match spec with
+  | None -> fun _ -> true
+  | Some s ->
+      let wanted =
+        String.split_on_char ',' s
+        |> List.map String.trim
+        |> List.filter (fun w -> w <> "")
+      in
+      if wanted = [] then usage_error "empty --lanes filter";
+      List.iter
+        (fun w ->
+          if not (List.mem w known_lanes) then
+            usage_error "unknown lane '%s' (want one of: %s)" w
+              (String.concat " " known_lanes))
+        wanted;
+      fun lane ->
+        let n = Weaver_obs.Trace.lane_name lane in
+        List.exists
+          (fun w ->
+            w = n
+            || (w = "worker" && String.length n > 6
+                && String.sub n 0 6 = "worker"))
+          wanted
+
+(* Per-lane span/instant counts of the (filtered) trace, one stderr line
+   per lane in lane order, so --lanes users can see what each lane holds
+   before opening the JSON in a viewer. *)
+let lane_summary trace keep =
+  let tbl = Hashtbl.create 8 in
+  let order = ref [] in
+  List.iter
+    (fun (e : Weaver_obs.Trace.event) ->
+      if keep e.Weaver_obs.Trace.lane then begin
+        let key = Weaver_obs.Trace.lane_name e.Weaver_obs.Trace.lane in
+        if not (Hashtbl.mem tbl key) then order := key :: !order;
+        let spans, instants =
+          Option.value ~default:(0, 0) (Hashtbl.find_opt tbl key)
+        in
+        match e.Weaver_obs.Trace.kind with
+        | Weaver_obs.Trace.Span | Weaver_obs.Trace.Wall ->
+            Hashtbl.replace tbl key (spans + 1, instants)
+        | Weaver_obs.Trace.Instant ->
+            Hashtbl.replace tbl key (spans, instants + 1)
+        | Weaver_obs.Trace.Counter -> ()
+      end)
+    (Weaver_obs.Trace.events trace);
+  List.iter
+    (fun key ->
+      let spans, instants = Hashtbl.find tbl key in
+      Printf.eprintf "weaver-cli: lane %-8s %5d spans, %5d instants\n" key
+        spans instants)
+    (List.rev !order)
+
 let trace_cmd =
   let targets_arg =
     Arg.(value & pos_all string [ "q1" ] & info [] ~docv:"TARGET"
@@ -529,53 +834,19 @@ let trace_cmd =
                  scheduling-dependent, so the JSON is no longer \
                  byte-reproducible across --jobs settings)")
   in
-  let builtin ~rows ~seed name =
-    let pat (w : Tpch.Patterns.workload) =
-      [ (w.Tpch.Patterns.name, w.Tpch.Patterns.plan,
-         w.Tpch.Patterns.gen ~seed ~rows) ]
-    in
-    let query (q : Tpch.Queries.query) =
-      let db = Tpch.Datagen.generate ~seed ~lineitems:rows in
-      [ (q.Tpch.Queries.qname, q.Tpch.Queries.plan, q.Tpch.Queries.bind db) ]
-    in
-    match name with
-    | "a" -> Some (pat (Tpch.Patterns.pattern_a ()))
-    | "b" -> Some (pat (Tpch.Patterns.pattern_b ()))
-    | "c" -> Some (pat (Tpch.Patterns.pattern_c ()))
-    | "d" -> Some (pat (Tpch.Patterns.pattern_d ()))
-    | "e" -> Some (pat (Tpch.Patterns.pattern_e ()))
-    | "ab" -> Some (pat (Tpch.Patterns.pattern_ab ()))
-    | "q1" -> Some (query Tpch.Queries.q1)
-    | "q21" -> Some (query Tpch.Queries.q21)
-    | "all" ->
-        Some
-          (List.concat_map pat
-             (Tpch.Patterns.all () @ [ Tpch.Patterns.pattern_ab () ])
-          @ query Tpch.Queries.q1 @ query Tpch.Queries.q21)
-    | _ -> None
-  in
   let run targets rows inputs seed no_fuse o0 streamed jobs faults
-      no_integrity checkpoint ckpt_frac wall trace_out metrics_out =
+      no_integrity checkpoint ckpt_frac wall trace_out metrics_out lanes
+      flight_ring =
+    if flight_ring < 0 then
+      usage_error "bad --flight-ring %d (want N >= 0)" flight_ring;
+    let keep = lane_filter lanes in
     (* the full tracer: events retained for export, wall clock attached so
        worker lanes exist when --wall asks for them *)
-    let trace = Weaver_obs.Trace.create ~clock:Unix.gettimeofday () in
+    let trace =
+      Weaver_obs.Trace.create ~clock:Unix.gettimeofday ~ring:flight_ring ()
+    in
     guard ~recorder:trace (fun () ->
-        let workloads =
-          List.concat_map
-            (fun t ->
-              match builtin ~rows ~seed t with
-              | Some ws -> ws
-              | None when Sys.file_exists t ->
-                  let q = compile_query t in
-                  let named = bind_data q ~rows ~seed inputs in
-                  [ (Filename.basename t, q.Datalog.plan, Datalog.bind q named) ]
-              | None ->
-                  usage_error
-                    "unknown target '%s' (not a built-in workload or an \
-                     existing .dl file)"
-                    t)
-            targets
-        in
+        let workloads = resolve_workloads ~rows ~seed ~inputs targets in
         let config =
           with_integrity ~no_integrity ~checkpoint ~ckpt_frac
             (config_of jobs faults)
@@ -603,10 +874,11 @@ let trace_cmd =
           workloads;
         (* the trace is written even when a workload faulted: a trace of
            the failure is exactly what the flight recorder is for *)
-        let json = Weaver_obs.Chrome.export ~wall trace in
+        let json = Weaver_obs.Chrome.export ~wall ~lanes:keep trace in
         (match trace_out with
         | Some path -> write_file path json
         | None -> print_string json);
+        lane_summary trace keep;
         (match metrics_out with
         | Some path ->
             let reg = Weaver_obs.Registry.create () in
@@ -636,7 +908,7 @@ let trace_cmd =
         (const run $ targets_arg $ rows_arg $ inputs_arg $ seed_arg $ fuse_arg
        $ opt_arg $ streamed_arg $ jobs_arg $ faults_arg $ no_integrity_arg
        $ checkpoint_arg $ ckpt_frac_arg $ wall_arg $ trace_out_arg
-       $ metrics_out_arg))
+       $ metrics_out_arg $ lanes_arg $ flight_ring_arg))
 
 (* --- serve ------------------------------------------------------------------ *)
 
@@ -809,7 +1081,9 @@ let serve name ~doc =
   let run files rows inputs seed repeat streamed jobs faults no_integrity
       checkpoint ckpt_frac dcycles dms queue_limit admit_fraction retry_budget
       hedge_quantile hedge_min_samples brownout_threshold shed_threshold
-      brownout_cooldown json trace_out metrics_out =
+      brownout_cooldown json trace_out metrics_out flight_ring =
+    if flight_ring < 0 then
+      usage_error "bad --flight-ring %d (want N >= 0)" flight_ring;
     guard (fun () ->
         let base_cfg =
           with_integrity ~no_integrity ~checkpoint ~ckpt_frac
@@ -855,7 +1129,9 @@ let serve name ~doc =
         in
         let trace =
           match trace_out with
-          | Some _ -> Weaver_obs.Trace.create ~clock:Unix.gettimeofday ()
+          | Some _ ->
+              Weaver_obs.Trace.create ~clock:Unix.gettimeofday
+                ~ring:flight_ring ()
           | None -> Weaver_obs.Trace.none
         in
         let registry =
@@ -921,7 +1197,7 @@ let serve name ~doc =
        $ deadline_cycles_arg $ deadline_ms_arg $ queue_arg $ admit_arg
        $ retry_budget_arg $ hedge_arg $ hedge_min_arg $ brownout_threshold_arg
        $ shed_threshold_arg $ brownout_cooldown_arg $ json_arg $ trace_out_arg
-       $ metrics_out_arg))
+       $ metrics_out_arg $ flight_ring_arg))
 
 let serve_cmd =
   serve "serve"
@@ -943,6 +1219,7 @@ let () =
            source_cmd;
            exec_cmd;
            profile_cmd;
+           explain_cmd;
            analyze_cmd;
            trace_cmd;
            bench_cmd;

@@ -70,6 +70,7 @@ type kernel = {
   shared_bytes : int;
   body : instr array;
   labels : int array;
+  prov : int list array;
 }
 
 let special_regs = 4
@@ -89,6 +90,15 @@ let is_float_cmp = function
   | Eq | Ne | Lt | Le | Gt | Ge -> false
 
 let instr_count k = Array.length k.body
+
+let no_prov = [||]
+
+let prov_at k pc =
+  if pc >= 0 && pc < Array.length k.prov then k.prov.(pc) else []
+
+let retag ops k =
+  let ops = List.sort_uniq compare ops in
+  { k with prov = Array.make (Array.length k.body) ops }
 
 let defined_reg = function
   | Mov (d, _)

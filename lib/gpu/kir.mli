@@ -96,6 +96,13 @@ type kernel = {
   shared_bytes : int;  (** accounted shared bytes per CTA (occupancy) *)
   body : instr array;
   labels : int array;  (** label id -> instruction index *)
+  prov : int list array;
+      (** per-instruction provenance: the sorted plan-operator ids each
+          instruction was emitted for ([[]] = infrastructure such as
+          preambles, tile bookkeeping or the trailing [Ret]). Parallel to
+          [body]; optimizer passes preserve the alignment (DCE compacts,
+          folding unions). May be shorter than [body] for hand-built
+          kernels — read through {!prov_at}. *)
 }
 
 val special_regs : int
@@ -113,6 +120,19 @@ val is_float_binop : binop -> bool
 val is_float_cmp : cmp -> bool
 
 val instr_count : kernel -> int
+
+val no_prov : int list array
+(** The empty provenance array: every instruction reads as infrastructure
+    through {!prov_at}. For hand-built kernel literals in tests. *)
+
+val prov_at : kernel -> int -> int list
+(** Provenance set of the instruction at [pc]; [[]] when untagged or out
+    of range (tolerates provenance arrays shorter than the body). *)
+
+val retag : int list -> kernel -> kernel
+(** [retag ops k]: a copy of [k] whose every instruction is attributed to
+    [ops] (sorted, deduplicated). Used for single-operator kernels emitted
+    by skeletons that do not thread provenance through the builder. *)
 
 val defined_reg : instr -> reg option
 (** The register written by an instruction, if any. *)

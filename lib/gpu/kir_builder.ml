@@ -8,6 +8,8 @@ type t = {
   mutable shared_bytes : int;
   mutable body_rev : Kir.instr list;
   mutable body_len : int;
+  mutable cur_ops : int list;  (** provenance stamped on emitted instrs *)
+  mutable prov_rev : int list list;
 }
 
 let create ?(name = "kernel") ~params () =
@@ -21,7 +23,23 @@ let create ?(name = "kernel") ~params () =
     shared_bytes = 0;
     body_rev = [];
     body_len = 0;
+    cur_ops = [];
+    prov_rev = [];
   }
+
+let set_ops b ops = b.cur_ops <- List.sort_uniq compare ops
+let current_ops b = b.cur_ops
+
+let with_ops b ops f =
+  let saved = b.cur_ops in
+  set_ops b ops;
+  match f () with
+  | r ->
+      b.cur_ops <- saved;
+      r
+  | exception e ->
+      b.cur_ops <- saved;
+      raise e
 
 let fresh b =
   let r = b.next_reg in
@@ -46,6 +64,7 @@ let alloc_shared b ~words ~bytes =
 
 let emit b ins =
   b.body_rev <- ins :: b.body_rev;
+  b.prov_rev <- b.cur_ops :: b.prov_rev;
   b.body_len <- b.body_len + 1
 
 let mov_to b r a = emit b (Kir.Mov (r, a))
@@ -144,9 +163,12 @@ let for_range b ~start ~stop ~step f =
   place b exit
 
 let finish ?regs_per_thread b =
-  (* kernels always terminate; add a final Ret so fallthrough is safe *)
+  (* kernels always terminate; add a final Ret so fallthrough is safe —
+     it belongs to no operator *)
+  b.cur_ops <- [];
   ret b;
   let body = Array.of_list (List.rev b.body_rev) in
+  let prov = Array.of_list (List.rev b.prov_rev) in
   let labels = Array.make b.next_label (-1) in
   List.iter (fun (l, pos) -> labels.(l) <- pos) b.label_pos;
   Array.iteri
@@ -170,4 +192,5 @@ let finish ?regs_per_thread b =
     shared_bytes = b.shared_bytes;
     body;
     labels;
+    prov;
   }

@@ -36,6 +36,23 @@ val alloc_shared : t -> words:int -> bytes:int -> Kir.operand
 
 val emit : t -> Kir.instr -> unit
 
+(** {2 Operator provenance}
+
+    Instructions are stamped with the current provenance set (the plan
+    operator ids they are emitted for); the default, [[]], reads as
+    infrastructure. Cost attribution folds per-instruction execution
+    counts back onto these ids. *)
+
+val set_ops : t -> int list -> unit
+(** Set the provenance stamped on subsequently emitted instructions
+    (sorted and deduplicated). *)
+
+val current_ops : t -> int list
+
+val with_ops : t -> int list -> (unit -> 'a) -> 'a
+(** Run an emitter with the given provenance, restoring the previous set
+    afterwards (also on exceptions). *)
+
 (** {2 Value-producing emitters} *)
 
 val mov : t -> Kir.operand -> Kir.reg

@@ -19,6 +19,7 @@ let lane_ids = function
   | Trace.Mem -> (sim_pid, 6)
   | Trace.Queue -> (sim_pid, 7)
   | Trace.Service -> (sim_pid, 8)
+  | Trace.Attrib -> (sim_pid, 9)
   | Trace.Worker w -> (wall_pid, 1 + w)
 
 let json_escape s =
@@ -81,10 +82,12 @@ let event_json (e : Trace.event) =
       Printf.sprintf "{\"name\":\"%s\",\"ph\":\"C\",\"ts\":%s,%s,\"args\":{\"%s\":%s}}"
         name (num e.cycles) common name (num e.dur)
 
-let export ?(wall = false) t =
+let export ?(wall = false) ?(lanes = fun _ -> true) t =
   let evs =
     List.filter
-      (fun (e : Trace.event) -> match e.kind with Trace.Wall -> wall | _ -> true)
+      (fun (e : Trace.event) ->
+        lanes e.lane
+        && match e.kind with Trace.Wall -> wall | _ -> true)
       (Trace.events t)
   in
   (* Stable sort by (timestamp, pid, tid, name): emission order breaks

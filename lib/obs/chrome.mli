@@ -8,6 +8,8 @@
     second process carries wall-clock lanes (host + interpreter workers),
     which are nondeterministic and excluded by default. *)
 
-val export : ?wall:bool -> Trace.t -> string
+val export : ?wall:bool -> ?lanes:(Trace.lane -> bool) -> Trace.t -> string
 (** [export t] renders [{"traceEvents":[...]}] JSON. Returns an
-    empty-event document for a disabled or event-less tracer. *)
+    empty-event document for a disabled or event-less tracer. [lanes]
+    keeps only events whose lane satisfies the predicate (default: all);
+    lane metadata is emitted only for lanes that survive the filter. *)

@@ -1,5 +1,11 @@
 (* Metrics registry. Families live in one hashtable; the Prometheus dump
-   sorts by name so output is deterministic regardless of touch order. *)
+   sorts by name so output is deterministic regardless of touch order.
+
+   A family key is either a bare name ([weaver_launches_total]) or a
+   labeled series ([weaver_op_cycles{op="3"}], built with {!labeled} so
+   label values are escaped exactly once). The exposition splits the key
+   back apart so histogram suffixes land on the metric name, not after
+   the label set. *)
 
 type histogram = {
   bounds : float array;  (* ascending upper bounds, excluding +Inf *)
@@ -11,9 +17,93 @@ type histogram = {
 
 type family = Counter of float ref | Gauge of float ref | Histogram of histogram
 
-type t = (string, family) Hashtbl.t
+type t = {
+  fams : (string, family) Hashtbl.t;
+  help : (string, string) Hashtbl.t;  (* keyed by base name, no labels *)
+}
 
-let create () : t = Hashtbl.create 32
+(* Exposition-format escaping (Prometheus text format 0.0.4): label
+   values escape backslash, double-quote and newline; HELP text escapes
+   backslash and newline only. *)
+let escape_label_value s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let escape_help s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let labeled name labels =
+  match labels with
+  | [] -> name
+  | _ ->
+      let pairs =
+        List.map
+          (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (escape_label_value v))
+          labels
+      in
+      Printf.sprintf "%s{%s}" name (String.concat "," pairs)
+
+(* [base_name "a{x=\"1\"}"] = ["a"]; the label body (without braces) is
+   re-attached by the dump after any _bucket/_sum/_count suffix. *)
+let base_name key =
+  match String.index_opt key '{' with
+  | None -> key
+  | Some i -> String.sub key 0 i
+
+let label_body key =
+  match String.index_opt key '{' with
+  | None -> None
+  | Some i ->
+      let stop = String.rindex key '}' in
+      Some (String.sub key (i + 1) (stop - i - 1))
+
+(* Help strings for every family the library itself emits, so a scrape of
+   a freshly pre-registered registry is fully self-describing. *)
+let default_help =
+  [
+    ("weaver_launches_total", "Kernel launches recorded on the Kernel lane.");
+    ("weaver_kernel_cycles", "Simulated kernel duration in cycles.");
+    ("weaver_pcie_transfers_total", "Host/device PCIe transfers.");
+    ("weaver_pcie_cycles", "Simulated PCIe transfer duration in cycles.");
+    ("weaver_pcie_bytes_total", "Bytes moved over the simulated PCIe link.");
+    ("weaver_retries_total", "Recovery retries (capacity, alloc, transfer).");
+    ("weaver_fissions_total", "Fused groups split after capacity overflow.");
+    ("weaver_demotions_total", "Resident plans demoted to streamed execution.");
+    ("weaver_faults_injected_total", "Faults injected by the seeded fault plan.");
+    ("weaver_bit_flips_total", "Device bit flips injected by the fault plan.");
+    ( "weaver_corruptions_detected_total",
+      "Output-certificate mismatches caught by the integrity gate." );
+    ("weaver_rollbacks_total", "Checkpoint rollbacks taken after corruption.");
+    ("weaver_checkpoints_total", "Checkpoints written to the host ledger.");
+    ("weaver_checkpoint_hits_total", "Restarts served from a checkpoint.");
+    ("weaver_checkpoints_evicted_total", "Checkpoints evicted from the ledger.");
+    ("weaver_device_bytes_peak", "Peak device memory in use, bytes.");
+    ( "weaver_op_cycles",
+      "Attributed simulated cycles per plan operator per request." );
+  ]
+
+let create () : t =
+  let t = { fams = Hashtbl.create 32; help = Hashtbl.create 32 } in
+  List.iter (fun (k, v) -> Hashtbl.replace t.help k v) default_help;
+  t
+
+let set_help t name help = Hashtbl.replace t.help (base_name name) help
 
 let default_buckets =
   (* 256, 512, ..., 2^42: covers one-warp launches up to batch-scale
@@ -21,12 +111,12 @@ let default_buckets =
   List.init 35 (fun i -> Float.of_int (1 lsl (8 + i)))
 
 let counter t name =
-  match Hashtbl.find_opt t name with
+  match Hashtbl.find_opt t.fams name with
   | Some (Counter r) -> r
   | Some _ -> invalid_arg ("Registry: " ^ name ^ " is not a counter")
   | None ->
       let r = ref 0. in
-      Hashtbl.add t name (Counter r);
+      Hashtbl.add t.fams name (Counter r);
       r
 
 let inc ?(by = 1.) t name =
@@ -34,13 +124,13 @@ let inc ?(by = 1.) t name =
   r := !r +. by
 
 let set_gauge t name v =
-  match Hashtbl.find_opt t name with
+  match Hashtbl.find_opt t.fams name with
   | Some (Gauge r) -> r := v
   | Some _ -> invalid_arg ("Registry: " ^ name ^ " is not a gauge")
-  | None -> Hashtbl.add t name (Gauge (ref v))
+  | None -> Hashtbl.add t.fams name (Gauge (ref v))
 
 let histogram ?(buckets = default_buckets) t name =
-  match Hashtbl.find_opt t name with
+  match Hashtbl.find_opt t.fams name with
   | Some (Histogram h) -> h
   | Some _ -> invalid_arg ("Registry: " ^ name ^ " is not a histogram")
   | None ->
@@ -51,8 +141,10 @@ let histogram ?(buckets = default_buckets) t name =
       let h =
         { bounds; counts = Array.make (Array.length bounds + 1) 0; sum = 0.; n = 0; maxv = neg_infinity }
       in
-      Hashtbl.add t name (Histogram h);
+      Hashtbl.add t.fams name (Histogram h);
       h
+
+let declare_histogram ?buckets t name = ignore (histogram ?buckets t name)
 
 let bucket_index h v =
   let rec go i = if i >= Array.length h.bounds || v <= h.bounds.(i) then i else go (i + 1) in
@@ -67,13 +159,13 @@ let observe ?buckets t name v =
   if v > h.maxv then h.maxv <- v
 
 let counter_value t name =
-  match Hashtbl.find_opt t name with Some (Counter r) -> !r | _ -> 0.
+  match Hashtbl.find_opt t.fams name with Some (Counter r) -> !r | _ -> 0.
 
 let gauge_value t name =
-  match Hashtbl.find_opt t name with Some (Gauge r) -> !r | _ -> 0.
+  match Hashtbl.find_opt t.fams name with Some (Gauge r) -> !r | _ -> 0.
 
 let find_histogram t name =
-  match Hashtbl.find_opt t name with Some (Histogram h) -> Some h | _ -> None
+  match Hashtbl.find_opt t.fams name with Some (Histogram h) -> Some h | _ -> None
 
 let histogram_count t name =
   match find_histogram t name with Some h -> h.n | None -> 0
@@ -110,31 +202,104 @@ let pnum v =
 
 let prometheus t =
   let buf = Buffer.create 1024 in
-  let families = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t [] in
-  let families = List.sort (fun (a, _) (b, _) -> String.compare a b) families in
+  let families = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.fams [] in
+  (* sort by (base, full key): all series of one family are adjacent, so
+     the HELP/TYPE header is emitted exactly once per family *)
+  let families =
+    List.sort
+      (fun (a, _) (b, _) ->
+        match String.compare (base_name a) (base_name b) with
+        | 0 -> String.compare a b
+        | c -> c)
+      families
+  in
+  let last_base = ref "" in
+  let header base kind =
+    if base <> !last_base then begin
+      last_base := base;
+      (* every family gets a HELP line: curated text when registered
+         (see default_help / set_help), a visible placeholder otherwise *)
+      let h =
+        match Hashtbl.find_opt t.help base with
+        | Some h -> h
+        | None -> "No help registered."
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "# HELP %s %s\n" base (escape_help h));
+      Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" base kind)
+    end
+  in
+  (* [series base suffix extra labels] renders e.g.
+     base_bucket{op="3",le="256"} — suffix before the label set *)
+  let series base suffix extra_labels key_labels =
+    let labels =
+      match (key_labels, extra_labels) with
+      | None, [] -> ""
+      | None, e -> "{" ^ String.concat "," e ^ "}"
+      | Some body, [] -> "{" ^ body ^ "}"
+      | Some body, e -> "{" ^ body ^ "," ^ String.concat "," e ^ "}"
+    in
+    base ^ suffix ^ labels
+  in
   List.iter
-    (fun (name, fam) ->
+    (fun (key, fam) ->
+      let base = base_name key in
+      let labels = label_body key in
       match fam with
       | Counter r ->
-          Buffer.add_string buf (Printf.sprintf "# TYPE %s counter\n%s %s\n" name name (pnum !r))
+          header base "counter";
+          Buffer.add_string buf
+            (Printf.sprintf "%s %s\n" (series base "" [] labels) (pnum !r))
       | Gauge r ->
-          Buffer.add_string buf (Printf.sprintf "# TYPE %s gauge\n%s %s\n" name name (pnum !r))
+          header base "gauge";
+          Buffer.add_string buf
+            (Printf.sprintf "%s %s\n" (series base "" [] labels) (pnum !r))
       | Histogram h ->
-          Buffer.add_string buf (Printf.sprintf "# TYPE %s histogram\n" name);
+          header base "histogram";
           let cum = ref 0 in
           Array.iteri
             (fun i c ->
               cum := !cum + c;
-              if i < Array.length h.bounds then
-                Buffer.add_string buf
-                  (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" name (pnum h.bounds.(i)) !cum)
-              else
-                Buffer.add_string buf (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" name !cum))
+              let le =
+                if i < Array.length h.bounds then pnum h.bounds.(i) else "+Inf"
+              in
+              Buffer.add_string buf
+                (Printf.sprintf "%s %d\n"
+                   (series base "_bucket"
+                      [ Printf.sprintf "le=\"%s\"" le ]
+                      labels)
+                   !cum))
             h.counts;
-          Buffer.add_string buf (Printf.sprintf "%s_sum %s\n" name (pnum h.sum));
-          Buffer.add_string buf (Printf.sprintf "%s_count %d\n" name h.n))
+          Buffer.add_string buf
+            (Printf.sprintf "%s %s\n" (series base "_sum" [] labels) (pnum h.sum));
+          Buffer.add_string buf
+            (Printf.sprintf "%s %d\n" (series base "_count" [] labels) h.n))
     families;
   Buffer.contents buf
+
+(* Touch every standard trace-derived family at zero so a scrape taken
+   before any traffic still exposes the full schema (dashboards alert on
+   absent series, not just zero ones). *)
+let pre_register t =
+  List.iter
+    (fun n -> inc ~by:0. t n)
+    [
+      "weaver_launches_total";
+      "weaver_pcie_transfers_total";
+      "weaver_pcie_bytes_total";
+      "weaver_retries_total";
+      "weaver_fissions_total";
+      "weaver_demotions_total";
+      "weaver_faults_injected_total";
+      "weaver_bit_flips_total";
+      "weaver_corruptions_detected_total";
+      "weaver_rollbacks_total";
+      "weaver_checkpoints_total";
+      "weaver_checkpoint_hits_total";
+      "weaver_checkpoints_evicted_total";
+    ];
+  declare_histogram t "weaver_kernel_cycles";
+  declare_histogram t "weaver_pcie_cycles"
 
 let observe_trace t tr =
   let peak_bytes = ref 0. in

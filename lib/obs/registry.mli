@@ -4,11 +4,34 @@
     Histograms use a fixed ascending bucket ladder (plus an implicit
     [+Inf] bucket) so p50/p95/p99 are derivable by linear interpolation
     within a bucket; the [+Inf] bucket reports the maximum observed
-    sample so the top quantile never extrapolates past reality. *)
+    sample so the top quantile never extrapolates past reality.
+
+    Family keys may carry a label set, built with {!labeled} so values
+    are escaped per the exposition format; the dump re-splits the key so
+    histogram [_bucket]/[_sum]/[_count] suffixes attach to the metric
+    name, not after the braces. *)
 
 type t
 
 val create : unit -> t
+
+val escape_label_value : string -> string
+(** Exposition-format escaping for label values: backslash, double
+    quote and newline. *)
+
+val labeled : string -> (string * string) list -> string
+(** [labeled name [(k, v); ...]] builds the registry key
+    [name{k="v",...}] with each value escaped. [labeled name []] is
+    [name]. *)
+
+val set_help : t -> string -> string -> unit
+(** Attach a [# HELP] line to a family ([name] may be a labeled key; the
+    help is stored against its base name). Standard [weaver_*] families
+    ship with help text already. *)
+
+val pre_register : t -> unit
+(** Touch every standard trace-derived family at zero so a scrape taken
+    before any traffic still exposes the full schema. *)
 
 val inc : ?by:float -> t -> string -> unit
 (** Increment counter [name] (created on first use, [by] defaults 1). *)
@@ -18,6 +41,10 @@ val set_gauge : t -> string -> float -> unit
 val observe : ?buckets:float list -> t -> string -> float -> unit
 (** Observe a histogram sample. [buckets] (ascending upper bounds, used
     only on first touch of [name]) defaults to {!default_buckets}. *)
+
+val declare_histogram : ?buckets:float list -> t -> string -> unit
+(** Create an empty histogram family so it appears in the dump with zero
+    count before the first observation. *)
 
 val default_buckets : float list
 (** Powers of two from 256 to 2^42 — suits simulated-cycle latencies. *)
@@ -36,7 +63,8 @@ val histogram_count : t -> string -> int
 val histogram_sum : t -> string -> float
 
 val prometheus : t -> string
-(** Text exposition: [# TYPE] headers, cumulative [_bucket{le="..."}]
+(** Text exposition: one [# HELP]/[# TYPE] header per family (labeled
+    series share their family's header), cumulative [_bucket{le="..."}]
     lines with a final [+Inf], [_sum]/[_count]; families sorted by name
     so dumps are deterministic. *)
 

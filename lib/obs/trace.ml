@@ -16,6 +16,7 @@ type lane =
   | Mem
   | Queue
   | Service
+  | Attrib
   | Worker of int
 
 type value = Int of int | Float of float | Str of string
@@ -266,7 +267,10 @@ let lane_name = function
   | Mem -> "memory"
   | Queue -> "queue"
   | Service -> "service"
+  | Attrib -> "attrib"
   | Worker i -> "worker" ^ string_of_int i
+
+let ring_capacity t = Array.length t.ring
 
 let trail ?(limit = 16) t =
   let cap = Array.length t.ring in

@@ -24,6 +24,7 @@ type lane =
   | Mem  (** device-memory counters and allocation faults *)
   | Queue  (** service queue wait (spans may overlap: one per request) *)
   | Service  (** per-request service lifecycle *)
+  | Attrib  (** per-operator cost attribution summaries *)
   | Worker of int  (** interpreter CTA worker (wall clock only) *)
 
 (** Argument payload value attached to an event. *)
@@ -117,5 +118,9 @@ val event_count : t -> int
 val trail : ?limit:int -> t -> string list
 (** Flight recorder: the last [limit] (default 16) span/instant entries,
     oldest first, rendered ["lane:name@cycles"]. Empty for {!none}. *)
+
+val ring_capacity : t -> int
+(** Configured flight-recorder ring size ([0] for {!none} or a tracer
+    created with [~ring:0]). *)
 
 val lane_name : lane -> string

@@ -51,14 +51,23 @@ let load_input_tuple b input ~idx =
    elimination collapses the reloads, which is the fusion-enlarges-
    optimization-scope effect of Fig. 19.  On a failed filter, branch to
    [invalid].  Returns the final attribute operands. *)
-let apply_steps b ~invalid ~input ~idx schema0 steps =
+let apply_steps b ~invalid ~input ~idx ?step_ops schema0 steps =
   let open Kir_builder in
   (* where the current tuple lives: still at the source, or in registers *)
   let fetch = function
     | None -> load_input_tuple b input ~idx
     | Some ops -> ops
   in
-  let apply (schema, loc) step =
+  (* provenance: stamp each stage's instructions with its own plan
+     operator id when the caller supplies the per-step mapping *)
+  let stamped =
+    match step_ops with
+    | Some ops when List.length ops = List.length steps ->
+        List.combine steps ops
+    | _ -> List.map (fun s -> (s, current_ops b)) steps
+  in
+  let apply (schema, loc) (step, ops) =
+    with_ops b ops @@ fun () ->
     match step with
     | Filter p ->
         let ops = fetch loc in
@@ -80,10 +89,10 @@ let apply_steps b ~invalid ~input ~idx schema0 steps =
                (List.map (fun (_, e) -> Expr_emit.expr b schema ~env e) outs))
         )
   in
-  let _, loc = List.fold_left apply (schema0, None) steps in
+  let _, loc = List.fold_left apply (schema0, None) stamped in
   fetch loc
 
-let emit b ~input ~steps ~flags_base ~scratch ~total_slot ~dest =
+let emit ?step_ops b ~input ~steps ~flags_base ~scratch ~total_slot ~dest =
   let open Kir_builder in
   let schema0 = input_schema input in
   let count =
@@ -95,7 +104,9 @@ let emit b ~input ~steps ~flags_base ~scratch ~total_slot ~dest =
   let start, stop = Emit_common.blocked_chunk b ~count in
   for_range b ~start:(Reg start) ~stop:(Reg stop) ~step:(Imm 1) (fun i ->
       let invalid = new_label b and fin = new_label b in
-      let out_ops = apply_steps b ~invalid ~input ~idx:(Reg i) schema0 steps in
+      let out_ops =
+        apply_steps b ~invalid ~input ~idx:(Reg i) ?step_ops schema0 steps
+      in
       Tile.store_tuple b scratch ~idx:(Reg i) out_ops;
       st b Kir.Shared ~base:(Imm flags_base) ~idx:(Reg i) ~src:(Imm 1) ~width:4;
       br b fin;

@@ -34,6 +34,7 @@ val out_schema :
 (** Schema after applying every step (raises on ill-typed steps). *)
 
 val emit :
+  ?step_ops:int list list ->
   Kir_builder.t ->
   input:input ->
   steps:step list ->
@@ -43,4 +44,7 @@ val emit :
   dest:Dest.t ->
   unit
 (** Emit the three phases. Ends with {!Dest.finalize} (count visible,
-    barrier taken). *)
+    barrier taken). [step_ops], when it has one entry per step, stamps
+    each step's instructions with that provenance set (see
+    {!Kir_builder.set_ops}); the scan/compact phases keep the caller's
+    current provenance. *)

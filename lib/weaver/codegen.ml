@@ -85,7 +85,34 @@ let compute_kernel (config : Config.t) ~name (ir : Fusion.t) (lay : Layout.t) =
     | None, Some o -> (staging_dest ~si o, None)
     | None, None -> assert false
   in
+  (* Provenance: each segment's instructions are stamped with its plan
+     operator ids; a Load segment belongs to the operators that consume
+     its tile; the bounds-staging preamble stays untagged (overhead). *)
+  let seg_ops = function
+    | Fusion.Load _ -> []
+    | Fusion.Pipe { op_ids; _ } -> op_ids
+    | Fusion.Bin { op_id; _ } -> [ op_id ]
+  in
+  let tile_consumers : (int, int list) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun seg ->
+      let note = function
+        | Fusion.From_tile t ->
+            let prev =
+              Option.value ~default:[] (Hashtbl.find_opt tile_consumers t)
+            in
+            Hashtbl.replace tile_consumers t (seg_ops seg @ prev)
+        | Fusion.From_input _ -> ()
+      in
+      match seg with
+      | Fusion.Load _ -> ()
+      | Fusion.Pipe { input; _ } -> note input
+      | Fusion.Bin { left; right; _ } ->
+          note left;
+          note right)
+    ir.segments;
   let copy_tile_to_staging ~si t o =
+    with_ops b [ fst ir.outputs.(o) ] @@ fun () ->
     let tl = tile t in
     let cnt = Ra_lib.Tile.load_count b tl in
     let cap = lay.out_caps.(o) in
@@ -107,11 +134,17 @@ let compute_kernel (config : Config.t) ~name (ir : Fusion.t) (lay : Layout.t) =
     (fun si seg ->
       match (seg, lay.seg_scratch.(si)) with
       | Fusion.Load { input; tile = t }, _ ->
-          Ra_lib.Emit_common.coop_copy_g2s b ~buf:(in_buf input)
-            ~src_row:(Reg starts.(input))
-            ~count:(Reg cnts.(input))
-            ~tile:(tile t)
-      | Fusion.Pipe { input; steps; in_schema; dest; _ }, Layout.S_pipe s ->
+          let consumers =
+            Option.value ~default:[] (Hashtbl.find_opt tile_consumers t)
+          in
+          with_ops b consumers (fun () ->
+              Ra_lib.Emit_common.coop_copy_g2s b ~buf:(in_buf input)
+                ~src_row:(Reg starts.(input))
+                ~count:(Reg cnts.(input))
+                ~tile:(tile t))
+      | Fusion.Pipe { op_ids; input; steps; in_schema; dest; _ }, Layout.S_pipe s
+        ->
+          with_ops b op_ids @@ fun () ->
           let pin =
             match input with
             | Fusion.From_input i ->
@@ -125,12 +158,15 @@ let compute_kernel (config : Config.t) ~name (ir : Fusion.t) (lay : Layout.t) =
             | Fusion.From_tile t -> Ra_lib.Pipeline_emit.From_tile (tile t)
           in
           let d, extra = dest_of ~si dest in
-          Ra_lib.Pipeline_emit.emit b ~input:pin ~steps ~flags_base:s.flags
-            ~scratch:s.scratch ~total_slot:s.total ~dest:d;
+          Ra_lib.Pipeline_emit.emit
+            ~step_ops:(List.map (fun i -> [ i ]) op_ids)
+            b ~input:pin ~steps ~flags_base:s.flags ~scratch:s.scratch
+            ~total_slot:s.total ~dest:d;
           (match (dest.to_tile, extra) with
           | Some t, Some o -> copy_tile_to_staging ~si t o
           | _ -> ())
-      | Fusion.Bin { kind; left; right; dest; _ }, scratch ->
+      | Fusion.Bin { op_id; kind; left; right; dest; _ }, scratch ->
+          with_ops b [ op_id ] @@ fun () ->
           let tile_of = function
             | Fusion.From_tile t -> tile t
             | Fusion.From_input _ ->
@@ -184,19 +220,24 @@ let generate ?pivot config ~name (ir : Fusion.t) (lay : Layout.t) =
       ~key_arity:ir.key_arity ~pivot ~cap:lay.cap
   in
   let compute = compute_kernel config ~name ir lay in
+  (* scan/gather kernels exist to materialize one output: attribute every
+     instruction to that output's plan operator (the partition kernel
+     stays untagged — it is shared launch infrastructure) *)
   let scans =
     Array.mapi
-      (fun o _ ->
-        Ra_lib.Gather_emit.emit_scan_offsets
-          ~name:(Printf.sprintf "%s_scan%d" name o))
+      (fun o (op, _) ->
+        Kir.retag [ op ]
+          (Ra_lib.Gather_emit.emit_scan_offsets
+             ~name:(Printf.sprintf "%s_scan%d" name o)))
       ir.outputs
   in
   let gathers =
     Array.mapi
-      (fun o (_, schema) ->
-        Ra_lib.Gather_emit.emit_gather
-          ~name:(Printf.sprintf "%s_gather%d" name o)
-          ~schema ~stage_cap:lay.out_caps.(o))
+      (fun o (op, schema) ->
+        Kir.retag [ op ]
+          (Ra_lib.Gather_emit.emit_gather
+             ~name:(Printf.sprintf "%s_gather%d" name o)
+             ~schema ~stage_cap:lay.out_caps.(o)))
       ir.outputs
   in
   let all = partition :: compute :: (Array.to_list scans @ Array.to_list gathers) in

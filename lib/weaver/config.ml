@@ -28,6 +28,7 @@ type t = {
   trace : bool;
   trace_out : string option;
   metrics_out : string option;
+  attrib : bool;  (** per-operator cost attribution (EXPLAIN ANALYZE) *)
 }
 
 let default =
@@ -59,6 +60,7 @@ let default =
     trace = false;
     trace_out = None;
     metrics_out = None;
+    attrib = false;
   }
 
 let with_jobs t jobs =

@@ -26,13 +26,15 @@ type t = {
   leaks : (string * int) list;
   queue_wait_cycles : float;
   service : bool;
+  counterfactuals : Weaver_obs.Attrib.counterfactual list;
 }
 
 let collect ?(queue_wait_cycles = 0.0) ?(service = false) ?(corruptions = 0)
     ?(rollbacks = 0) ?(checkpoints = 0) ?(checkpoint_hits = 0)
     ?(checkpoints_evicted = 0) ?(replayed_cycles = 0.0)
-    ?(saved_replay_cycles = 0.0) ~reports ~pcie ~peak_global_bytes ~retries
-    ~fissions ~demotions ~faults_injected ~leaks () =
+    ?(saved_replay_cycles = 0.0) ?(counterfactuals = []) ~reports ~pcie
+    ~peak_global_bytes ~retries ~fissions ~demotions ~faults_injected ~leaks ()
+    =
   let sum f =
     List.fold_left
       (fun a (r : Executor.launch_report) -> a +. f r.Executor.time)
@@ -64,6 +66,7 @@ let collect ?(queue_wait_cycles = 0.0) ?(service = false) ?(corruptions = 0)
     leaks;
     queue_wait_cycles;
     service;
+    counterfactuals;
   }
 
 let total_cycles t = t.kernel_cycles +. t.pcie_cycles
@@ -96,6 +99,7 @@ let equal a b =
   && a.leaks = b.leaks
   && Float.equal a.queue_wait_cycles b.queue_wait_cycles
   && Bool.equal a.service b.service
+  && a.counterfactuals = b.counterfactuals
 
 let seconds device t = Timing.cycles_to_seconds device (total_cycles t)
 
@@ -118,7 +122,24 @@ let by_kernel t =
       Stats.add s r.Executor.stats)
     t.reports;
   Hashtbl.fold (fun name (n, c, s) acc -> (name, !n, !c, s) :: acc) tbl []
-  |> List.sort (fun (_, _, a, _) (_, _, b, _) -> Float.compare b a)
+  |> List.sort (fun (na, _, a, _) (nb, _, b, _) ->
+         (* cycles descending; names ascending on exact ties so the order
+            never depends on hash-table iteration *)
+         match Float.compare b a with 0 -> String.compare na nb | c -> c)
+
+(* Fold the per-launch attribution evidence into a ledger, in launch
+   order — the same left-to-right fold [collect] uses for kernel_cycles,
+   so [Attrib.fold_cycles] matches it bit-for-bit. *)
+let attribution t =
+  let a = Weaver_obs.Attrib.create () in
+  List.iter
+    (fun (r : Executor.launch_report) ->
+      Weaver_obs.Attrib.add a ~total:r.Executor.time.Timing.total_cycles
+        ~compute:r.Executor.time.Timing.compute_cycles
+        ~memory:r.Executor.time.Timing.memory_cycles
+        ~launch:r.Executor.time.Timing.launch_cycles r.Executor.attrib)
+    t.reports;
+  a
 
 let pp ppf t =
   Format.fprintf ppf
@@ -139,6 +160,16 @@ let pp ppf t =
       t.checkpoints_evicted t.replayed_cycles t.saved_replay_cycles;
   if t.service then
     Format.fprintf ppf "@ queue wait: %.0f cycles" t.queue_wait_cycles;
+  (match t.counterfactuals with
+  | [] -> ()
+  | cfs ->
+      let open Weaver_obs.Attrib in
+      let bytes = List.fold_left (fun a c -> a + c.cf_bytes) 0 cfs in
+      let trips = List.fold_left (fun a c -> a + c.cf_round_trips) 0 cfs in
+      Format.fprintf ppf
+        "@ fusion avoided: %d intermediate bytes, %d PCIe round-trips across \
+         %d groups"
+        bytes trips (List.length cfs));
   match t.leaks with
   | [] -> ()
   | leaks ->

@@ -55,6 +55,10 @@ type t = {
   service : bool;
       (** whether this run went through {!Service} (and so
           [queue_wait_cycles] is meaningful) *)
+  counterfactuals : Weaver_obs.Attrib.counterfactual list;
+      (** per executed fused group, the intermediate traffic an unfused
+          plan would have materialized (Fig. 18 evidence); recorded only
+          when the run attributes costs, in group execution order *)
 }
 
 val collect :
@@ -67,6 +71,7 @@ val collect :
   ?checkpoints_evicted:int ->
   ?replayed_cycles:float ->
   ?saved_replay_cycles:float ->
+  ?counterfactuals:Weaver_obs.Attrib.counterfactual list ->
   reports:Executor.launch_report list ->
   pcie:Pcie.t ->
   peak_global_bytes:int ->
@@ -96,7 +101,16 @@ val seconds : Device.t -> t -> float
 
 val by_kernel : t -> (string * int * float * Gpu_sim.Stats.t) list
 (** Launches aggregated by kernel name: (name, launches, total cycles,
-    summed stats), sorted by cycles descending — the "where did the time
-    go" view the CLI's profile command prints. *)
+    summed stats), sorted by cycles descending (name ascending on exact
+    ties) — the "where did the time go" view the CLI's profile command
+    prints. *)
+
+val attribution : t -> Weaver_obs.Attrib.t
+(** Per-operator cost ledger folded from the launch reports, in launch
+    order. [Attrib.fold_cycles] of the result is bit-identical to
+    [kernel_cycles]; the ledger's integer unit sums obey the conservation
+    law ([Attrib.conserved]) by construction. Launches that carry no
+    attribution sample (runs without [Config.attrib]) land entirely on
+    the overhead row. *)
 
 val pp : Format.formatter -> t -> unit

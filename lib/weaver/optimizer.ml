@@ -87,9 +87,22 @@ let identity (op : Kir.binop) ra rb =
   | And -> if imm 0 rb || imm 0 ra then Some (RImm 0) else None
   | Rem | Min | Max | Fadd | Fsub | Fmul | Fdiv | Fmin | Fmax -> None
 
+(* merge provenance sets (kept sorted and deduplicated) *)
+let prov_union a b =
+  if a == b || b = [] then a else if a = [] then b else List.sort_uniq compare (a @ b)
+
 let value_numbering (k : Kir.kernel) =
   let n = Array.length k.body in
   let body = Array.copy k.body in
+  (* Provenance: indices are preserved (rewrites are in place), so the
+     array carries through — but when folding replaces an instruction with
+     a Mov reusing an earlier definition, the surviving computation now
+     serves both operators: union the reuser's provenance into the
+     definition's. *)
+  let prov = Array.copy k.prov in
+  let prov_at i = if i < Array.length prov then prov.(i) else [] in
+  (* (reg, version) -> defining instruction index *)
+  let defs : (int * int, int) Hashtbl.t = Hashtbl.create 64 in
   (* Value knowledge resets only at labels: jumps can only land on labels,
      so facts accumulated since the last label hold on every path that
      reaches the current instruction (the fallthrough of a conditional
@@ -131,8 +144,24 @@ let value_numbering (k : Kir.kernel) =
     | RImm v -> Kir.Imm v
     | RRegv (r, _) -> Kir.Reg r
   in
-  let define r = version.(r) <- version.(r) + 1 in
+  let cur = ref 0 in
+  let define r =
+    version.(r) <- version.(r) + 1;
+    Hashtbl.replace defs (r, version.(r)) !cur
+  in
+  (* the definition at [src] is reused by instruction [i]: fold i's
+     operator set into the definition's *)
+  let share i src =
+    match src with
+    | RImm _ -> ()
+    | RRegv (r, v) -> (
+        match Hashtbl.find_opt defs (r, v) with
+        | Some j when j < Array.length prov ->
+            prov.(j) <- prov_union prov.(j) (prov_at i)
+        | _ -> ())
+  in
   for i = 0 to n - 1 do
+    cur := i;
     if boundary.(i) then reset_block ();
     (match body.(i) with
     | Kir.Mov (d, a) ->
@@ -167,6 +196,7 @@ let value_numbering (k : Kir.kernel) =
             let key = KBin (op, ra, rb) in
             match Hashtbl.find_opt exprs key with
             | Some src when rop_valid src ->
+                share i src;
                 body.(i) <- Kir.Mov (d, operand_of src);
                 define d;
                 Hashtbl.replace copies d (version.(d), src)
@@ -186,6 +216,7 @@ let value_numbering (k : Kir.kernel) =
             let key = KUn (op, ra) in
             match Hashtbl.find_opt exprs key with
             | Some src when rop_valid src ->
+                share i src;
                 body.(i) <- Kir.Mov (d, operand_of src);
                 define d;
                 Hashtbl.replace copies d (version.(d), src)
@@ -205,6 +236,7 @@ let value_numbering (k : Kir.kernel) =
             let key = KCmp (c, ra, rb) in
             match Hashtbl.find_opt exprs key with
             | Some src when rop_valid src ->
+                share i src;
                 body.(i) <- Kir.Mov (d, operand_of src);
                 define d;
                 Hashtbl.replace copies d (version.(d), src)
@@ -224,6 +256,7 @@ let value_numbering (k : Kir.kernel) =
             let key = KSel (rc, ra, rb) in
             match Hashtbl.find_opt exprs key with
             | Some src when rop_valid src ->
+                share i src;
                 body.(i) <- Kir.Mov (d, operand_of src);
                 define d;
                 Hashtbl.replace copies d (version.(d), src)
@@ -236,6 +269,7 @@ let value_numbering (k : Kir.kernel) =
         let rb = resolve base and ri = resolve idx in
         match Hashtbl.find_opt loads (space, rb, ri) with
         | Some (r, v) when version.(r) = v ->
+            share i (RRegv (r, v));
             body.(i) <- Kir.Mov (dst, Kir.Reg r);
             define dst;
             Hashtbl.replace copies dst (version.(dst), RRegv (r, version.(r)))
@@ -294,7 +328,7 @@ let value_numbering (k : Kir.kernel) =
         kill_loads Kir.Global
     | Kir.Br _ | Kir.Ret | Kir.Trap _ -> ())
   done;
-  { k with body }
+  { k with body; prov }
 
 (* --- global dead code elimination ---------------------------------------- *)
 
@@ -362,15 +396,19 @@ let dce (k : Kir.kernel) =
     done;
     new_index.(n) <- !acc;
     let body = Array.make !acc Kir.Ret in
+    (* provenance compacts under the same keep mask: a dropped
+       instruction's operator set drops with it *)
+    let prov = Array.make !acc [] in
     let j = ref 0 in
     for i = 0 to n - 1 do
       if keep.(i) then begin
         body.(!j) <- k.body.(i);
+        prov.(!j) <- (if i < Array.length k.prov then k.prov.(i) else []);
         incr j
       end
     done;
     let labels = Array.map (fun t -> new_index.(t)) k.labels in
-    ({ k with body; labels }, true)
+    ({ k with body; labels; prov }, true)
   end
 
 let optimize level (k : Kir.kernel) =

@@ -82,6 +82,9 @@ type st = {
   mutable budget_spent : int;  (** recovery tokens consumed (see below) *)
   mutable corruptions : int;
       (** certificate mismatches detected (swept per attempt) *)
+  mutable counterfactuals : Weaver_obs.Attrib.counterfactual list;
+      (** reversed; per executed fused group, keyed by group name with
+          replace-on-same-name so restart replays never double-count *)
   ckpt : ckpt;
   restored : (int, unit) Hashtbl.t;
       (** op ids restored from the ledger this attempt; units whose every
@@ -161,7 +164,9 @@ let launch st kernel ~params ~grid ~cta =
   let r =
     Executor.launch ~timing:(config st).Config.timing
       ~jobs:(config st).Config.jobs ~faults:st.faults ~cancel:st.cancel
-      ~trace:st.trace (device st) st.mem kernel ~params ~grid ~cta
+      ~trace:st.trace
+      ~attrib:(config st).Config.attrib
+      (device st) st.mem kernel ~params ~grid ~cta
   in
   st.reports <- r :: st.reports;
   st.kernel_cycles <- st.kernel_cycles +. r.Executor.time.Timing.total_cycles;
@@ -201,10 +206,45 @@ let transfer st dir ~bytes =
   go 0;
   check_budget st
 
-let synth_report st name stats =
+let synth_report ?ops st name stats =
   let time =
     Timing.kernel_time ~params:(config st).Config.timing (device st)
       ~occupancy:1.0 stats
+  in
+  (* Synthesized launches have no per-pc profile; when the run attributes
+     costs, credit the whole report's events to the owning operators
+     (split evenly), so modelled sorts and fallbacks stay on the ledger's
+     per-operator rows rather than leaking into overhead. *)
+  let attrib =
+    if not (config st).Config.attrib then None
+    else
+      match ops with
+      | None | Some [] -> Some []
+      | Some l ->
+          let l = List.sort_uniq compare l in
+          let n = List.length l in
+          let split q i = (q / n) + if i < q mod n then 1 else 0 in
+          Some
+            (List.mapi
+               (fun i op ->
+                 ( op,
+                   {
+                     Weaver_obs.Attrib.c_instructions =
+                       split stats.Stats.instructions i;
+                     c_weight = 1.0;
+                     c_global_bytes =
+                       split
+                         (stats.Stats.global_load_bytes
+                        + stats.Stats.global_store_bytes)
+                         i;
+                     c_shared =
+                       split
+                         (stats.Stats.shared_loads + stats.Stats.shared_stores)
+                         i;
+                     c_atomics = split stats.Stats.atomics i;
+                     c_barriers = split stats.Stats.barrier_waits i;
+                   } ))
+               l)
   in
   let r =
     {
@@ -215,6 +255,7 @@ let synth_report st name stats =
       limiting_resource = "modelled";
       stats;
       time;
+      attrib;
     }
   in
   st.reports <- r :: st.reports;
@@ -614,7 +655,7 @@ let exec_fallback_node st ~name ~op_id ~consumed_sources =
   in
   stats.Stats.instructions <- work_rows * 40;
   stats.Stats.alu_ops <- work_rows * 30;
-  synth_report st (name ^ "_skew_fallback") stats;
+  synth_report ~ops:[ op_id ] st (name ^ "_skew_fallback") stats;
   let buf =
     alloc_rel st ~label:(name ^ "_fallback_out") ~rows:(Relation.count out)
       ~schema:(Relation.schema out)
@@ -630,6 +671,95 @@ let exec_fallback_node st ~name ~op_id ~consumed_sources =
       remaining = consumer_units_of st op_id;
     };
   consume st consumed_sources
+
+(* Fig. 18 accounting: what materializing this group's internal edges
+   would have cost an unfused plan. Static upper bounds: a segment's
+   output rows are estimated from its input rows (pipelines only shrink
+   or keep their input; binary kinds use their worst-case shape). Each
+   erased edge would have been written once and read back once, and — in
+   a streamed plan — shipped over PCIe both ways. *)
+let counterfactual_of ~plan ~name ~in_rows (ir : Fusion.t) =
+  let tile_rows = Array.make (Array.length ir.tiles) 0 in
+  let place_rows = function
+    | Fusion.From_input i -> in_rows.(i)
+    | Fusion.From_tile t -> tile_rows.(t)
+  in
+  let edges = ref 0 and rows = ref 0 and bytes = ref 0 in
+  let edge ~out ~schema (dest : Fusion.dest) =
+    match dest.to_tile with
+    | Some t ->
+        tile_rows.(t) <- out;
+        incr edges;
+        rows := !rows + out;
+        bytes := !bytes + (2 * out * Schema.tuple_bytes schema)
+    | None -> ()
+  in
+  List.iter
+    (fun seg ->
+      match seg with
+      | Fusion.Load { input; tile } -> tile_rows.(tile) <- in_rows.(input)
+      | Fusion.Pipe { op_ids; input; out_schema; dest; _ } ->
+          let seg_in = place_rows input in
+          (* intra-pipe edges: every non-terminal step's output would
+             have been a materialized relation in the unfused plan; the
+             steps are unary and never grow their input, so the
+             segment's input rows bound each edge *)
+          let rec intra = function
+            | [] | [ _ ] -> ()
+            | op :: rest ->
+                incr edges;
+                rows := !rows + seg_in;
+                bytes :=
+                  !bytes
+                  + 2 * seg_in
+                    * Schema.tuple_bytes (Plan.node plan op).Plan.schema;
+                intra rest
+          in
+          intra op_ids;
+          edge ~out:seg_in ~schema:out_schema dest
+      | Fusion.Bin { kind; left; right; out_schema; dest; _ } ->
+          let l = place_rows left and r = place_rows right in
+          let out =
+            match kind with
+            | Fusion.B_product -> l * r
+            | Fusion.B_union _ -> l + r
+            | Fusion.B_join _ -> max l r
+            | Fusion.B_semijoin _ | Fusion.B_antijoin _ | Fusion.B_intersect _
+            | Fusion.B_difference _ ->
+                l
+          in
+          edge ~out ~schema:out_schema dest)
+    ir.segments;
+  {
+    Weaver_obs.Attrib.cf_group = name;
+    cf_ops = ir.op_ids;
+    cf_edges = !edges;
+    cf_rows = !rows;
+    cf_bytes = !bytes;
+    cf_round_trips = 2 * !edges;
+  }
+
+(* replace-on-same-name: a restart replay (demotion, rollback) re-executes
+   a group under the same name; its counterfactual must not double-count *)
+let record_counterfactual st (cf : Weaver_obs.Attrib.counterfactual) =
+  if (config st).Config.attrib then begin
+    st.counterfactuals <-
+      cf
+      :: List.filter
+           (fun (c : Weaver_obs.Attrib.counterfactual) ->
+             c.cf_group <> cf.cf_group)
+           st.counterfactuals;
+    let module T = Weaver_obs.Trace in
+    if T.recording st.trace then
+      T.instant st.trace ~lane:T.Attrib ("counterfactual:" ^ cf.cf_group)
+        ~args:
+          [
+            ("edges", T.Int cf.cf_edges);
+            ("rows", T.Int cf.cf_rows);
+            ("bytes", T.Int cf.cf_bytes);
+            ("round_trips", T.Int cf.cf_round_trips);
+          ]
+  end
 
 let exec_fallback st ~name (ir : Fusion.t) =
   exec_fallback_node st ~name ~op_id:(List.hd ir.op_ids)
@@ -855,6 +985,13 @@ let rec exec_fused st ~name (ir : Fusion.t) =
   in
   match attempt (config st) 0 with
   | outs -> (
+      (* the group's kernels ran: its fusion counterfactual is evidence
+         now, whatever publishing does *)
+      if (config st).Config.attrib then
+        record_counterfactual st
+          (counterfactual_of ~plan:st.program.plan ~name
+             ~in_rows:(Array.map (fun (m : mat) -> m.rows) in_mats)
+             ir);
       (* publish outputs, then release inputs. If publishing itself fails
          (a Streamed download's transfer fault, a deadline at a transfer
          checkpoint), outputs not yet adopted by a mat are freed here —
@@ -982,7 +1119,10 @@ let exec_sort st ~op_id ~key_arity ~source =
      Ra_lib.Sort_model.sort_host st.mem ~buf:out ~rows:m.rows ~schema:m.schema
        ~key_arity;
      List.iteri
-       (fun i s -> synth_report st (Printf.sprintf "sort%d_pass%d" op_id i) s)
+       (fun i s ->
+         synth_report ~ops:[ op_id ] st
+           (Printf.sprintf "sort%d_pass%d" op_id i)
+           s)
        (Ra_lib.Sort_model.synthetic_stats ~rows:m.rows ~schema:m.schema)
    with e ->
      Memory.free st.mem out;
@@ -1015,9 +1155,11 @@ let exec_unique st ~op_id ~key_arity ~source =
   let rec attempt cap tries =
     let attempt_t0 = spent_cycles st in
     let grid = clamp_grid st ~rows:m.rows ~cap in
+    (* every kernel of a standalone unit exists for its one operator:
+       attribute all of them (partition included) to [op_id] *)
     let certify k =
       gate_kernel st k;
-      o k
+      Kir.retag [ op_id ] (o k)
     in
     let partition =
       certify
@@ -1128,9 +1270,10 @@ let exec_aggregate st ~op_id ~source ~(lay : Ra_lib.Aggregate_emit.layout) =
     let attempt_t0 = spent_cycles st in
     let slice = cfg.Config.cap * 8 in
     let grid = clamp_grid st ~rows:m.rows ~cap:slice in
+    (* see exec_unique: a standalone unit's kernels all belong to its op *)
     let certify k =
       gate_kernel st k;
-      o k
+      Kir.retag [ op_id ] (o k)
     in
     let partition =
       certify
@@ -1293,6 +1436,7 @@ let run_result ?(cancel = Cancel.none) ?(trace = Weaver_obs.Trace.none) program
   let saved_fissions = ref 0 in
   let saved_budget = ref 0 in
   let saved_corruptions = ref 0 in
+  let saved_cfs = ref [] in
   let replayed = ref 0.0 in
   let saved_replay = ref 0.0 in
   let last_mem = ref None in
@@ -1330,6 +1474,7 @@ let run_result ?(cancel = Cancel.none) ?(trace = Weaver_obs.Trace.none) program
         fissions = !saved_fissions;
         budget_spent = !saved_budget;
         corruptions = !saved_corruptions;
+        counterfactuals = !saved_cfs;
         ckpt;
         restored = Hashtbl.create 8;
         base_mats =
@@ -1472,8 +1617,28 @@ let run_result ?(cancel = Cancel.none) ?(trace = Weaver_obs.Trace.none) program
           ~faults_injected:(Fault_inject.injected faults) ~leaks
           ~corruptions:st.corruptions ~rollbacks ~checkpoints:ckpt.ck_taken
           ~checkpoint_hits:ckpt.ck_hits ~checkpoints_evicted:ckpt.ck_evicted
-          ~replayed_cycles:!replayed ~saved_replay_cycles:!saved_replay ()
+          ~replayed_cycles:!replayed ~saved_replay_cycles:!saved_replay
+          ~counterfactuals:(List.rev st.counterfactuals) ()
       in
+      (* per-operator ledger summary on its own trace lane, so the Chrome
+         export carries the EXPLAIN ANALYZE view *)
+      (if T.recording trace && program.config.Config.attrib then begin
+         let module A = Weaver_obs.Attrib in
+         let ledger = Metrics.attribution metrics in
+         List.iter
+           (fun (r : A.row) ->
+             T.instant trace ~lane:T.Attrib
+               (if r.A.op = A.overhead_op then "op:overhead"
+                else Printf.sprintf "op:%d" r.A.op)
+               ~args:
+                 [
+                   ("cycles", T.Float (A.cycles_of_units r.A.units));
+                   ("roofline", T.Str (A.roofline_name (A.classify r)));
+                   ("global_bytes", T.Int r.A.global_bytes);
+                   ("launches", T.Int r.A.launches);
+                 ])
+           (A.rows ledger)
+       end);
       T.close trace run_sp;
       { sinks; metrics }
     with e ->
@@ -1491,6 +1656,7 @@ let run_result ?(cancel = Cancel.none) ?(trace = Weaver_obs.Trace.none) program
       saved_fissions := st.fissions;
       saved_budget := st.budget_spent;
       saved_corruptions := st.corruptions;
+      saved_cfs := st.counterfactuals;
       (* failure-path cleanup: every materialization is released so a
          cancelled or deadline-missed query leaves the (simulated) device
          empty — anything still live afterwards is a genuine lifetime bug
@@ -1518,7 +1684,8 @@ let run_result ?(cancel = Cancel.none) ?(trace = Weaver_obs.Trace.none) program
       ~faults_injected:(Fault_inject.injected faults) ~leaks
       ~corruptions:!saved_corruptions ~rollbacks ~checkpoints:ckpt.ck_taken
       ~checkpoint_hits:ckpt.ck_hits ~checkpoints_evicted:ckpt.ck_evicted
-      ~replayed_cycles:!replayed ~saved_replay_cycles:!saved_replay ()
+      ~replayed_cycles:!replayed ~saved_replay_cycles:!saved_replay
+      ~counterfactuals:(List.rev !saved_cfs) ()
   in
   (* Policy order (see DESIGN.md "Fault model & recovery"): retries and
      fission already happened inside the attempt; what escapes here is a

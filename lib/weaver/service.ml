@@ -301,6 +301,37 @@ let run_batch ?(config = default_config) ?(trace = Weaver_obs.Trace.none)
   let t_arrival = T.cycles trace in
   let reg_inc name = Option.iter (fun r -> R.inc r name) registry in
   let reg_observe name v = Option.iter (fun r -> R.observe r name v) registry in
+  (* Per-operator attribution histograms. One labeled series per plan
+     operator (plus the overhead pseudo-row), pre-registered across the
+     whole batch so the scrape schema is stable before any request
+     finishes; each completed or failed request then lands one sample
+     per operator — its attributed cycles for that request. *)
+  let module A = Weaver_obs.Attrib in
+  let op_series op =
+    R.labeled "weaver_op_cycles"
+      [ ("op", if op = A.overhead_op then "overhead" else string_of_int op) ]
+  in
+  Option.iter
+    (fun r ->
+      R.pre_register r;
+      R.declare_histogram r (op_series A.overhead_op);
+      List.iter
+        (fun (req : request) ->
+          List.iter
+            (fun (n : Plan.node) -> R.declare_histogram r (op_series n.Plan.id))
+            (Plan.nodes req.program.Runtime.plan))
+        requests)
+    registry;
+  let observe_attrib (m : Metrics.t) =
+    Option.iter
+      (fun r ->
+        List.iter
+          (fun (row : A.row) ->
+            R.observe r (op_series row.A.op)
+              (A.cycles_of_units row.A.units))
+          (A.rows (Metrics.attribution m)))
+      registry
+  in
   (* dashboards alert on the dedicated rejection/overload counters, so
      they must be present in the dump even when zero: touch them up front *)
   Option.iter
@@ -560,6 +591,12 @@ let run_batch ?(config = default_config) ?(trace = Weaver_obs.Trace.none)
                  Normal, checkpointing is off regardless of the request *)
               (if ctl.level <> Normal then false
                else Option.value r.checkpoint ~default:cfg0.Config.checkpoint);
+            attrib =
+              (* the per-operator histograms need the attribution ledger;
+                 it is host-side bookkeeping only, so simulated cycles —
+                 and every admission/hedging decision derived from them —
+                 are unchanged with or without a registry *)
+              (cfg0.Config.attrib || Option.is_some registry);
           }
         in
         let cancel = Option.value r.cancel ~default:Cancel.none in
@@ -709,6 +746,7 @@ let run_batch ?(config = default_config) ?(trace = Weaver_obs.Trace.none)
             runtime_demotions :=
               !runtime_demotions + res.Runtime.metrics.Metrics.demotions;
             account_integrity res.Runtime.metrics;
+            observe_attrib res.Runtime.metrics;
             (* a run that only survived by demoting itself is memory
                pressure too: charge the memory breaker *)
             let trips =
@@ -731,6 +769,7 @@ let run_batch ?(config = default_config) ?(trace = Weaver_obs.Trace.none)
             runtime_demotions :=
               !runtime_demotions + f.Runtime.partial.Metrics.demotions;
             account_integrity f.Runtime.partial;
+            observe_attrib f.Runtime.partial;
             (match f.Runtime.fault with
             | Fault.Deadline_exceeded _ ->
                 incr deadline_misses;

@@ -15,6 +15,7 @@ let raw_kernel ?(reg_count = 8) ?(shared_words = 0) ?(labels = [||]) body =
     shared_bytes = shared_words * 4;
     body;
     labels;
+    prov = Kir.no_prov;
   }
 
 let contains s needle =

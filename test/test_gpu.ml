@@ -174,6 +174,7 @@ let test_validate () =
       shared_bytes = 0;
       body = [| Kir.Br 0; Kir.Ret |];
       labels = [| 99 |];
+      prov = Kir.no_prov;
     }
   in
   (match Kir_validate.check bad with

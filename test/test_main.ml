@@ -21,4 +21,5 @@ let () =
       ("integrity", Test_integrity.suite);
       ("service", Test_service.suite);
       ("obs", Test_obs.suite);
+      ("attrib", Test_attrib.suite);
     ]

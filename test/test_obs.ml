@@ -88,7 +88,7 @@ let test_tracing_changes_no_results () =
    batch arrival), and Worker lanes are wall-clock-only. *)
 let sequential_lane = function
   | T.Driver | T.Gate | T.Host | T.Kernel | T.Pcie | T.Mem -> true
-  | T.Queue | T.Service | T.Worker _ -> false
+  | T.Queue | T.Service | T.Attrib | T.Worker _ -> false
 
 let check_well_formed ~what trace =
   let evs = T.events trace in
@@ -229,7 +229,24 @@ let test_export_shape () =
   check_one "wall" wall;
   (* the wall export is a superset: worker lanes only exist there *)
   Alcotest.(check bool) "wall export is larger" true
-    (String.length wall > String.length (Weaver_obs.Chrome.export trace))
+    (String.length wall > String.length (Weaver_obs.Chrome.export trace));
+  (* a lane filter drops both the events and the lane metadata of every
+     other lane *)
+  let only_kernel =
+    Weaver_obs.Chrome.export
+      ~lanes:(fun l -> l = T.Kernel)
+      trace
+  in
+  check_one "filtered" only_kernel;
+  Alcotest.(check bool) "kernel lane kept" true
+    (Astring_contains.contains only_kernel "\"kernel\"");
+  List.iter
+    (fun lane ->
+      Alcotest.(check bool) (lane ^ " lane dropped") false
+        (Astring_contains.contains only_kernel ("\"" ^ lane ^ "\"")))
+    [ "pcie"; "runtime"; "driver"; "memory" ];
+  Alcotest.(check bool) "filtered export is smaller" true
+    (String.length only_kernel < String.length (Weaver_obs.Chrome.export trace))
 
 (* --- flight recorder --------------------------------------------------------- *)
 
@@ -369,6 +386,64 @@ let test_quantiles_and_prometheus () =
        [ "# TYPE lat histogram"; "# TYPE hits_total counter";
          "# TYPE depth gauge"; "lat_sum"; "lat_count"; "depth 7" ])
 
+let test_scrape_format () =
+  (* the exposition-format regression: HELP/TYPE once per family, label
+     sets escaped and preserved, histogram suffixes spliced before the
+     label braces, pre-registered families visible at zero *)
+  let reg = Reg.create () in
+  Reg.pre_register reg;
+  let op3 = Reg.labeled "weaver_op_cycles" [ ("op", "3") ] in
+  let op7 = Reg.labeled "weaver_op_cycles" [ ("op", "7") ] in
+  Reg.declare_histogram reg op3;
+  Reg.declare_histogram reg op7;
+  Reg.observe reg op3 100.0;
+  Reg.observe reg op3 900.0;
+  Reg.observe reg op7 5.0;
+  Reg.inc reg (Reg.labeled "weaver_queries_total" [ ("q", "a\"b\\c\nd") ]);
+  let dump = Reg.prometheus reg in
+  let has needle = Astring_contains.contains dump needle in
+  let check_has what needle = Alcotest.(check bool) what true (has needle) in
+  (* escaping: once in [labeled], verbatim in the dump *)
+  Alcotest.(check string) "label value escaping" "a\\\"b\\\\c\\nd"
+    (Reg.escape_label_value "a\"b\\c\nd");
+  check_has "escaped label survives to the dump"
+    "weaver_queries_total{q=\"a\\\"b\\\\c\\nd\"} 1";
+  (* histogram suffixes go before the label set, with le merged in *)
+  check_has "bucket labels" "weaver_op_cycles_bucket{op=\"3\",le=\"";
+  check_has "sum labels" "weaver_op_cycles_sum{op=\"3\"} 1000";
+  check_has "count labels" "weaver_op_cycles_count{op=\"3\"} 2";
+  check_has "second label set" "weaver_op_cycles_count{op=\"7\"} 1";
+  (* pre-registered counters are scrapable before the first event *)
+  check_has "pre-registered zero counter" "weaver_retries_total 0";
+  check_has "pre-registered histogram" "weaver_kernel_cycles_count 0";
+  (* HELP and TYPE for every family, exactly once per family *)
+  let count needle =
+    let lines = String.split_on_char '\n' dump in
+    List.length
+      (List.filter (fun l -> Astring_contains.contains l needle) lines)
+  in
+  List.iter
+    (fun fam ->
+      Alcotest.(check int) ("# HELP for " ^ fam) 1 (count ("# HELP " ^ fam ^ " "));
+      Alcotest.(check int) ("# TYPE for " ^ fam) 1 (count ("# TYPE " ^ fam ^ " ")))
+    [ "weaver_op_cycles"; "weaver_queries_total"; "weaver_retries_total";
+      "weaver_launches_total"; "weaver_kernel_cycles" ];
+  Alcotest.(check int) "one TYPE line per histogram family" 1
+    (count "# TYPE weaver_op_cycles histogram");
+  (* standard families carry curated help text, not the fallback *)
+  check_has "curated help" "# HELP weaver_launches_total Kernel launches";
+  (* samples of a family follow its header: TYPE precedes the first sample *)
+  let idx needle =
+    let rec go i =
+      if i + String.length needle > String.length dump then -1
+      else if String.sub dump i (String.length needle) = needle then i
+      else go (i + 1)
+    in
+    go 0
+  in
+  Alcotest.(check bool) "TYPE precedes samples" true
+    (idx "# TYPE weaver_op_cycles histogram" < idx "weaver_op_cycles_bucket{")
+
 let test_service_registry () =
   let mk rid w =
     let wl = pattern w in
@@ -437,6 +512,7 @@ let suite =
       test_registry_matches_metrics;
     Alcotest.test_case "quantiles and prometheus exposition" `Quick
       test_quantiles_and_prometheus;
+    Alcotest.test_case "prometheus scrape format" `Quick test_scrape_format;
     Alcotest.test_case "service populates registry and lanes" `Quick
       test_service_registry;
   ]
